@@ -1,0 +1,94 @@
+// §5.1 memory claim reproduction: "a XORP router holding a full backbone
+// routing table of about 150,000 routes requires about 120 MB for BGP and
+// 60 MB for the RIB, which is simply not a problem on any recent
+// hardware."
+//
+// Loads the synthetic 146515-route feed into a BGP process and then a
+// RIB, measuring resident-set growth per component. Absolute numbers
+// differ from 2004 (pointer widths, allocator behaviour, attribute
+// sharing); the claim being validated is the *shape*: BGP costs a small
+// number of hundreds of bytes per route (it keeps originals + Loc-RIB +
+// resolver state), the RIB roughly half that, and a full table fits
+// comfortably in commodity memory.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bgp/process.hpp"
+#include "rib/rib.hpp"
+#include "sim/harness.hpp"
+#include "sim/routefeed.hpp"
+
+using namespace xrp;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+size_t rss_bytes() {
+    std::ifstream statm("/proc/self/statm");
+    size_t size = 0, resident = 0;
+    statm >> size >> resident;
+    return resident * static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+double mb(size_t bytes) { return static_cast<double>(bytes) / (1024 * 1024); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    size_t n = 146515;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick") n = 30000;
+
+    std::printf("# §5.1 memory footprint: %zu-route backbone table\n", n);
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+
+    size_t base = rss_bytes();
+
+    // ---- BGP ----------------------------------------------------------
+    bgp::BgpProcess::Config cfg;
+    cfg.local_as = 1777;
+    cfg.bgp_id = IPv4::must_parse("192.0.2.250");
+    auto bgp_proc = std::make_unique<bgp::BgpProcess>(loop, cfg);
+    auto [feed, peer_id] = sim::attach_feed_peer(
+        loop, *bgp_proc, IPv4::must_parse("192.0.2.1"), 3561);
+    loop.run_until([&] { return feed->established(); }, 10s);
+
+    sim::RouteFeedConfig fcfg;
+    fcfg.route_count = n;
+    auto updates = sim::generate_feed(fcfg);
+    for (const auto& u : updates) feed->send(u);
+    if (!loop.run_until([&] { return bgp_proc->loc_rib_count() >= n; },
+                        600s)) {
+        std::fprintf(stderr, "load failed: %zu\n", bgp_proc->loc_rib_count());
+        return 1;
+    }
+    size_t after_bgp = rss_bytes();
+
+    // ---- RIB ----------------------------------------------------------
+    rib::Rib rib(loop);
+    rib.add_route("static", IPv4Net::must_parse("192.0.2.0/24"),
+                  IPv4::must_parse("192.0.2.250"), 1);
+    auto prefixes = sim::generate_prefixes(n, fcfg.seed);
+    for (const auto& net : prefixes)
+        rib.add_route("ebgp", net, IPv4::must_parse("192.0.2.1"), 0);
+    size_t after_rib = rss_bytes();
+
+    double bgp_mb = mb(after_bgp - base);
+    double rib_mb = mb(after_rib - after_bgp);
+    std::printf("%-28s %10s %14s\n", "component", "RSS (MB)",
+                "bytes/route");
+    std::printf("%-28s %10.1f %14.0f\n", "BGP (peer-in + loc-rib)", bgp_mb,
+                bgp_mb * 1024 * 1024 / static_cast<double>(n));
+    std::printf("%-28s %10.1f %14.0f\n", "RIB (origins + winners)", rib_mb,
+                rib_mb * 1024 * 1024 / static_cast<double>(n));
+    std::printf("# paper (150k routes, 2004): BGP ~120 MB, RIB ~60 MB — "
+                "\"simply not a problem on any recent hardware\"\n");
+    std::printf("# shape check: BGP > RIB, both O(100s of bytes)/route, "
+                "table fits easily in RAM\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation for §5.1's claimed trade-off: "The cost is a small performance
+// penalty and slightly greater memory usage". Measures route add/delete
+// throughput through pipelines of increasing depth (origin -> N pass-
+// through filter stages -> sink) against a direct origin->sink baseline,
+// giving the per-stage cost of the staged-table architecture.
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+#include <memory>
+
+#include "sim/routefeed.hpp"
+#include "stage/filter.hpp"
+#include "stage/origin.hpp"
+#include "stage/sink.hpp"
+
+using namespace xrp;
+using namespace xrp::stage;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+struct Pipeline {
+    OriginStage<IPv4> origin{"origin"};
+    std::vector<std::unique_ptr<FilterStage<IPv4>>> filters;
+    SinkStage<IPv4> sink{"sink"};
+
+    explicit Pipeline(int depth) {
+        RouteStage<IPv4>* tail = &origin;
+        for (int i = 0; i < depth; ++i) {
+            filters.push_back(std::make_unique<FilterStage<IPv4>>(
+                "f" + std::to_string(i)));
+            // A realistic pass-through filter: touches the route.
+            filters.back()->add_filter([](Route<IPv4>& r) {
+                return r.net.prefix_len() <= 32;
+            });
+            tail->set_downstream(filters.back().get());
+            filters.back()->set_upstream(tail);
+            tail = filters.back().get();
+        }
+        tail->set_downstream(&sink);
+        sink.set_upstream(tail);
+    }
+};
+
+Route<IPv4> make_route(const IPv4Net& net) {
+    Route<IPv4> r;
+    r.net = net;
+    r.nexthop = IPv4::must_parse("192.0.2.1");
+    r.protocol = "bench";
+    return r;
+}
+
+}  // namespace
+
+static void BM_PipelineAddDelete(benchmark::State& state) {
+    const int depth = static_cast<int>(state.range(0));
+    static const auto prefixes = sim::generate_prefixes(10000, 3);
+    Pipeline p(depth);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto& net = prefixes[i % prefixes.size()];
+        Route<IPv4> r = make_route(net);
+        p.origin.add_route(r);
+        p.origin.delete_route(r);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+    state.counters["stages"] = depth;
+}
+// depth 0 = the monolithic baseline (origin feeding sink directly);
+// Figure 5's BGP input path is ~3 stages deep, output ~2.
+BENCHMARK(BM_PipelineAddDelete)->Arg(0)->Arg(1)->Arg(3)->Arg(5)->Arg(10);
+
+static void BM_PipelineLookupThroughStages(benchmark::State& state) {
+    // The Decision Process's alternative-route lookups traverse the whole
+    // pipeline upstream (§5.1); per-stage lookup cost matters too.
+    const int depth = static_cast<int>(state.range(0));
+    static const auto prefixes = sim::generate_prefixes(10000, 3);
+    Pipeline p(depth);
+    for (const auto& net : prefixes) p.origin.add_route(make_route(net));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            p.sink.upstream()->lookup_route(prefixes[i % prefixes.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.counters["stages"] = depth;
+}
+BENCHMARK(BM_PipelineLookupThroughStages)->Arg(0)->Arg(3)->Arg(10);
+
+// Accepts the suite-wide --quick flag by mapping it onto a short
+// --benchmark_min_time before handing off to google-benchmark.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    static char min_time[] = "--benchmark_min_time=0.05";
+    for (auto& a : args)
+        if (std::string_view(a) == "--quick") a = min_time;
+    int new_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&new_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

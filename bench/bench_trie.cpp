@@ -1,0 +1,123 @@
+// Ablation: the route trie (§5.3) under backbone-table conditions —
+// insert/LPM/exact/erase throughput at 146k routes, the cost of safe
+// iterators vs plain traversal, and register_lookup (Figure 8 queries).
+// google-benchmark micro-harness.
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+#include <random>
+
+#include "net/trie.hpp"
+#include "sim/routefeed.hpp"
+
+using namespace xrp;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+const std::vector<IPv4Net>& table_prefixes() {
+    static const auto p = sim::generate_prefixes(146515, 42);
+    return p;
+}
+
+net::RouteTrie<IPv4, int>& loaded_trie() {
+    static net::RouteTrie<IPv4, int>* trie = [] {
+        auto* t = new net::RouteTrie<IPv4, int>();
+        int i = 0;
+        for (const auto& net : table_prefixes()) t->insert(net, i++);
+        return t;
+    }();
+    return *trie;
+}
+
+}  // namespace
+
+static void BM_TrieInsertErase(benchmark::State& state) {
+    auto& trie = loaded_trie();
+    const auto& prefixes = table_prefixes();
+    size_t i = 0;
+    for (auto _ : state) {
+        const IPv4Net& net = prefixes[i % prefixes.size()];
+        trie.erase(net);
+        trie.insert(net, 1);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TrieInsertErase);
+
+static void BM_TrieLongestPrefixMatch(benchmark::State& state) {
+    auto& trie = loaded_trie();
+    std::mt19937 rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trie.lookup(IPv4(rng())));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieLongestPrefixMatch);
+
+static void BM_TrieExactMatch(benchmark::State& state) {
+    auto& trie = loaded_trie();
+    const auto& prefixes = table_prefixes();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trie.find(prefixes[i % prefixes.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieExactMatch);
+
+static void BM_TrieRegisterLookup(benchmark::State& state) {
+    // The Figure-8 query: LPM + largest-enclosing-valid-subnet.
+    auto& trie = loaded_trie();
+    std::mt19937 rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trie.register_lookup(IPv4(rng())));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieRegisterLookup);
+
+static void BM_TrieWalkForEach(benchmark::State& state) {
+    auto& trie = loaded_trie();
+    for (auto _ : state) {
+        size_t n = 0;
+        trie.for_each([&](const IPv4Net&, const int&) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(trie.size()));
+}
+BENCHMARK(BM_TrieWalkForEach);
+
+static void BM_TrieWalkSafeIterator(benchmark::State& state) {
+    // The §5.3 safe iterator pays refcount maintenance per step; this
+    // quantifies the overhead vs the recursive walk above.
+    auto& trie = loaded_trie();
+    for (auto _ : state) {
+        size_t n = 0;
+        for (auto it = trie.begin(); !it.at_end(); ++it) ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(trie.size()));
+}
+BENCHMARK(BM_TrieWalkSafeIterator);
+
+// Accepts the suite-wide --quick flag by mapping it onto a short
+// --benchmark_min_time before handing off to google-benchmark.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    static char min_time[] = "--benchmark_min_time=0.05";
+    for (auto& a : args)
+        if (std::string_view(a) == "--quick") a = min_time;
+    int new_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&new_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Two BGP speakers in different ASes peer over the in-memory transport,
+// exchange routes through the full Figure-5 staged pipeline, and react to
+// a withdrawal — the paper's bread-and-butter scenario, visible end to
+// end. Watch the AS path grow as the route crosses the EBGP hop.
+#include <cstdio>
+
+#include "bgp/process.hpp"
+
+using namespace xrp;
+using namespace xrp::bgp;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+void print_locrib(const char* who, BgpProcess& p) {
+    std::printf("%s Loc-RIB (%zu routes):\n", who, p.loc_rib_count());
+    p.loc_rib().for_each([](const IPv4Net& net, const BgpRoute& r) {
+        const PathAttributes* pa = route_attrs(r);
+        std::printf("  %-18s via %-12s %-6s aspath=[%s]\n",
+                    net.str().c_str(), r.nexthop.str().c_str(),
+                    r.protocol.c_str(),
+                    pa != nullptr ? pa->as_path.str().c_str() : "");
+    });
+}
+
+}  // namespace
+
+int main() {
+    ev::VirtualClock clock;  // virtual time: the demo runs instantly
+    ev::EventLoop loop(clock);
+
+    BgpProcess::Config c1;
+    c1.local_as = 1777;
+    c1.bgp_id = IPv4::must_parse("192.0.2.1");
+    BgpProcess r1(loop, c1);
+
+    BgpProcess::Config c2;
+    c2.local_as = 3561;
+    c2.bgp_id = IPv4::must_parse("192.0.2.2");
+    BgpProcess r2(loop, c2);
+
+    // Peer them over an in-memory pipe with 1 ms latency.
+    auto [t1, t2] = PipeTransport::make_pair(loop, loop, 1ms);
+    BgpPeer::Config p1;
+    p1.local_id = c1.bgp_id;
+    p1.peer_addr = c2.bgp_id;
+    p1.local_as = c1.local_as;
+    p1.peer_as = c2.local_as;
+    BgpPeer::Config p2;
+    p2.local_id = c2.bgp_id;
+    p2.peer_addr = c1.bgp_id;
+    p2.local_as = c2.local_as;
+    p2.peer_as = c1.local_as;
+    int id1 = r1.add_peer(p1, std::move(t1));
+    r2.add_peer(p2, std::move(t2));
+
+    loop.run_until([&] { return r1.peer_session(id1)->established(); }, 10s);
+    std::printf("session: %s\n",
+                BgpPeer::state_name(r1.peer_session(id1)->state()).data());
+
+    // AS 1777 originates two networks.
+    r1.originate(IPv4Net::must_parse("10.1.0.0/16"),
+                 IPv4::must_parse("192.0.2.1"));
+    r1.originate(IPv4Net::must_parse("10.2.0.0/16"),
+                 IPv4::must_parse("192.0.2.1"));
+    loop.run_until([&] { return r2.loc_rib_count() == 2; }, 10s);
+    print_locrib("\nAS 3561", r2);
+
+    // AS 3561 answers with one of its own.
+    r2.originate(IPv4Net::must_parse("80.0.0.0/8"),
+                 IPv4::must_parse("192.0.2.2"));
+    loop.run_until([&] { return r1.loc_rib_count() == 3; }, 10s);
+    print_locrib("\nAS 1777", r1);
+
+    // Withdrawal flows through the same staged pipeline.
+    std::printf("\nAS 1777 withdraws 10.2.0.0/16...\n");
+    r1.withdraw(IPv4Net::must_parse("10.2.0.0/16"));
+    loop.run_until([&] { return r2.loc_rib_count() == 2; }, 10s);
+    print_locrib("AS 3561", r2);
+
+    return 0;
+}

@@ -1,0 +1,81 @@
+// call_xrl: the paper's scriptable IPC tool (§6.1).
+//
+// "The canonical form of an XRL is textual and human-readable... the
+// textual form permits XRLs to be called from any scripting language via
+// a simple call_xrl program. This is put to frequent use in all our
+// scripts for automated testing."
+//
+// This demo hosts a small router (FEA + RIB) in-process and then executes
+// whatever textual XRLs you pass on the command line — or a default
+// script if you pass none. Try:
+//
+//   ./call_xrl 'finder://rib/rib/1.0/add_route?protocol:txt=static&net:ipv4net=10.0.0.0/8&nexthop:ipv4=192.0.2.254&metric:u32=1' \
+//              'finder://rib/rib/1.0/lookup_route4?addr:ipv4=10.1.2.3'
+#include <cstdio>
+
+#include "fea/fea_xrl.hpp"
+#include "rib/rib_xrl.hpp"
+
+using namespace xrp;
+using namespace std::chrono_literals;
+
+int main(int argc, char** argv) {
+    ev::RealClock clock;
+    ipc::Plexus plexus(clock);
+
+    // Host components so there is something to call.
+    ipc::XrlRouter fea_xr(plexus, "fea", true);
+    fea::Fea fea(plexus.loop);
+    fea.interfaces().add_interface("eth0", net::IPv4::must_parse("192.0.2.1"),
+                                   24);
+    fea::bind_fea_xrl(fea, fea_xr);
+    fea_xr.finalize();
+
+    ipc::XrlRouter rib_xr(plexus, "rib", true);
+    rib::Rib rib(plexus.loop, std::make_unique<rib::XrlFeaHandle>(rib_xr));
+    rib::bind_rib_xrl(rib, rib_xr);
+    rib_xr.finalize();
+
+    ipc::XrlRouter client(plexus, "call_xrl");
+    client.finalize();
+
+    std::vector<std::string> calls;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i) calls.emplace_back(argv[i]);
+    } else {
+        calls = {
+            "finder://rib/rib/1.0/add_route?protocol:txt=static&"
+            "net:ipv4net=10.0.0.0/8&nexthop:ipv4=192.0.2.254&metric:u32=1",
+            "finder://rib/rib/1.0/add_route?protocol:txt=static&"
+            "net:ipv4net=10.1.0.0/16&nexthop:ipv4=192.0.2.7&metric:u32=1",
+            "finder://rib/rib/1.0/lookup_route4?addr:ipv4=10.1.2.3",
+            "finder://rib/rib/1.0/get_route_count",
+            "finder://fea/fea/1.0/get_fib_size",
+            "finder://rib/rib/1.0/delete_route?protocol:txt=static&"
+            "net:ipv4net=10.0.0.0/8",
+            "finder://rib/rib/1.0/get_route_count",
+            "finder://ghost/x/1.0/boom",  // resolution failure, reported
+        };
+    }
+
+    for (const std::string& text : calls) {
+        auto xrl = xrl::Xrl::parse(text);
+        std::printf("> %s\n", text.c_str());
+        if (!xrl) {
+            std::printf("  parse error\n");
+            continue;
+        }
+        bool done = false;
+        client.send(*xrl, [&](const xrl::XrlError& err,
+                              const xrl::XrlArgs& out) {
+            if (err.ok())
+                std::printf("  OKAY%s%s\n", out.empty() ? "" : " -> ",
+                            out.str().c_str());
+            else
+                std::printf("  %s\n", err.str().c_str());
+            done = true;
+        });
+        plexus.loop.run_until([&] { return done; }, 5s);
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Route flap damping (§8.3): a flapping prefix accumulates penalty until
+// the damping stage suppresses it; after the penalty decays under the
+// reuse threshold, the held announcement is released. The damping stage
+// is just another pipeline stage — "the code does not impact other
+// stages, which need not be aware that damping is occurring."
+#include <cstdio>
+
+#include "bgp/process.hpp"
+
+using namespace xrp;
+using namespace xrp::bgp;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+int main() {
+    ev::VirtualClock clock;  // hours of damping decay in milliseconds
+    ev::EventLoop loop(clock);
+
+    BgpProcess::Config stable_cfg;
+    stable_cfg.local_as = 1;
+    stable_cfg.bgp_id = IPv4::must_parse("192.0.2.1");
+    BgpProcess flapper(loop, stable_cfg);
+
+    BgpProcess::Config damped_cfg;
+    damped_cfg.local_as = 2;
+    damped_cfg.bgp_id = IPv4::must_parse("192.0.2.2");
+    damped_cfg.enable_damping = true;
+    damped_cfg.damping.penalty_per_flap = 1000;
+    damped_cfg.damping.suppress_threshold = 3000;
+    damped_cfg.damping.reuse_threshold = 750;
+    damped_cfg.damping.half_life = 300s;  // 5 minutes, RFC-ish
+    BgpProcess victim(loop, damped_cfg);
+
+    auto [ta, tb] = PipeTransport::make_pair(loop, loop, 1ms);
+    BgpPeer::Config ca;
+    ca.local_id = stable_cfg.bgp_id;
+    ca.peer_addr = damped_cfg.bgp_id;
+    ca.local_as = 1;
+    ca.peer_as = 2;
+    BgpPeer::Config cb;
+    cb.local_id = damped_cfg.bgp_id;
+    cb.peer_addr = stable_cfg.bgp_id;
+    cb.local_as = 2;
+    cb.peer_as = 1;
+    flapper.add_peer(ca, std::move(ta));
+    int peer_id = victim.add_peer(cb, std::move(tb));
+    loop.run_until(
+        [&] { return victim.peer_session(peer_id)->established(); }, 10s);
+
+    auto net = IPv4Net::must_parse("10.0.0.0/8");
+    DampingStage* damp = victim.damping_stage(peer_id);
+
+    auto report = [&](const char* when) {
+        std::printf("%-28s penalty=%7.1f suppressed=%-3s visible=%s\n", when,
+                    damp->penalty(net), damp->is_suppressed(net) ? "yes" : "no",
+                    victim.loc_rib_count() > 0 ? "yes" : "no");
+    };
+
+    std::printf("flapping 10.0.0.0/8 four times...\n");
+    for (int i = 0; i < 4; ++i) {
+        flapper.originate(net, IPv4::must_parse("192.0.2.1"));
+        loop.run_for(2s);
+        flapper.withdraw(net);
+        loop.run_for(2s);
+        report(("after flap " + std::to_string(i + 1)).c_str());
+    }
+
+    std::printf("\nthe route re-announces, but the damping stage holds it:\n");
+    flapper.originate(net, IPv4::must_parse("192.0.2.1"));
+    loop.run_for(5s);
+    report("announced while suppressed");
+
+    std::printf("\nwaiting for the penalty to decay (half-life %llds)...\n",
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::seconds>(
+                        damped_cfg.damping.half_life)
+                        .count()));
+    for (int i = 0; i < 5; ++i) {
+        loop.run_for(300s);
+        report(("t+" + std::to_string((i + 1) * 5) + "min").c_str());
+        if (!damp->is_suppressed(net) && victim.loc_rib_count() > 0) break;
+    }
+    std::printf("\nroute released from damping and visible again.\n");
+    return 0;
+}

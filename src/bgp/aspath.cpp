@@ -1,0 +1,93 @@
+#include "bgp/aspath.hpp"
+
+namespace xrp::bgp {
+
+AsPath::AsPath(std::vector<As> sequence) {
+    if (!sequence.empty())
+        segments_.push_back({SegmentType::kSequence, std::move(sequence)});
+}
+
+uint32_t AsPath::path_length() const {
+    uint32_t n = 0;
+    for (const Segment& s : segments_)
+        n += s.type == SegmentType::kSequence
+                 ? static_cast<uint32_t>(s.ases.size())
+                 : 1;
+    return n;
+}
+
+bool AsPath::contains(As as) const {
+    for (const Segment& s : segments_)
+        for (As a : s.ases)
+            if (a == as) return true;
+    return false;
+}
+
+std::optional<As> AsPath::first_as() const {
+    if (segments_.empty() || segments_[0].ases.empty()) return std::nullopt;
+    if (segments_[0].type != SegmentType::kSequence) return std::nullopt;
+    return segments_[0].ases[0];
+}
+
+AsPath AsPath::prepend(As as) const {
+    AsPath p = *this;
+    if (p.segments_.empty() ||
+        p.segments_[0].type != SegmentType::kSequence ||
+        p.segments_[0].ases.size() >= 255) {
+        p.segments_.insert(p.segments_.begin(),
+                           {SegmentType::kSequence, {as}});
+    } else {
+        p.segments_[0].ases.insert(p.segments_[0].ases.begin(), as);
+    }
+    return p;
+}
+
+std::string AsPath::str() const {
+    std::string s;
+    for (const Segment& seg : segments_) {
+        if (!s.empty()) s += ' ';
+        if (seg.type == SegmentType::kSet) s += '{';
+        for (size_t i = 0; i < seg.ases.size(); ++i) {
+            if (i) s += ' ';
+            s += std::to_string(seg.ases[i]);
+        }
+        if (seg.type == SegmentType::kSet) s += '}';
+    }
+    return s;
+}
+
+void AsPath::encode(std::vector<uint8_t>& out) const {
+    for (const Segment& seg : segments_) {
+        out.push_back(static_cast<uint8_t>(seg.type));
+        out.push_back(static_cast<uint8_t>(seg.ases.size()));
+        for (As a : seg.ases) {
+            out.push_back(static_cast<uint8_t>(a >> 8));
+            out.push_back(static_cast<uint8_t>(a));
+        }
+    }
+}
+
+std::optional<AsPath> AsPath::decode(const uint8_t* data, size_t size) {
+    AsPath p;
+    size_t pos = 0;
+    while (pos < size) {
+        if (size - pos < 2) return std::nullopt;
+        uint8_t type = data[pos];
+        uint8_t count = data[pos + 1];
+        pos += 2;
+        if (type != 1 && type != 2) return std::nullopt;
+        if (size - pos < static_cast<size_t>(count) * 2) return std::nullopt;
+        Segment seg;
+        seg.type = static_cast<SegmentType>(type);
+        seg.ases.reserve(count);
+        for (int i = 0; i < count; ++i) {
+            seg.ases.push_back(
+                static_cast<As>((data[pos] << 8) | data[pos + 1]));
+            pos += 2;
+        }
+        p.segments_.push_back(std::move(seg));
+    }
+    return p;
+}
+
+}  // namespace xrp::bgp

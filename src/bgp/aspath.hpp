@@ -1,0 +1,63 @@
+// BGP AS paths: ordered segments of AS numbers, the loop-prevention and
+// path-length mechanism of BGP. Supports AS_SEQUENCE and AS_SET segments,
+// prepending (what a router does when announcing to an EBGP peer), loop
+// detection, and the RFC 4271 wire encoding (2-byte AS numbers).
+#ifndef XRP_BGP_ASPATH_HPP
+#define XRP_BGP_ASPATH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xrp::bgp {
+
+using As = uint16_t;
+
+class AsPath {
+public:
+    enum class SegmentType : uint8_t { kSet = 1, kSequence = 2 };
+
+    struct Segment {
+        SegmentType type;
+        std::vector<As> ases;
+        bool operator==(const Segment&) const = default;
+    };
+
+    AsPath() = default;
+    // Convenience: a single AS_SEQUENCE.
+    explicit AsPath(std::vector<As> sequence);
+
+    const std::vector<Segment>& segments() const { return segments_; }
+    bool empty() const { return segments_.empty(); }
+
+    // Path length as the decision process counts it: one per sequence
+    // member, one per whole set (RFC 4271 §9.1.2.2).
+    uint32_t path_length() const;
+
+    // True if `as` appears anywhere (loop detection).
+    bool contains(As as) const;
+
+    // The first AS of the first sequence segment — the neighbor AS the
+    // route was learned from (used for MED comparability).
+    std::optional<As> first_as() const;
+
+    // Returns a copy with `as` prepended to the leading sequence.
+    AsPath prepend(As as) const;
+
+    // "1777 3561 {100 200}" — sets in braces.
+    std::string str() const;
+
+    // RFC 4271 AS_PATH attribute payload.
+    void encode(std::vector<uint8_t>& out) const;
+    static std::optional<AsPath> decode(const uint8_t* data, size_t size);
+
+    bool operator==(const AsPath&) const = default;
+
+private:
+    std::vector<Segment> segments_;
+};
+
+}  // namespace xrp::bgp
+
+#endif

@@ -1,0 +1,190 @@
+#include "bgp/attributes.hpp"
+
+namespace xrp::bgp {
+
+namespace {
+
+// Attribute flags.
+constexpr uint8_t kFlagOptional = 0x80;
+constexpr uint8_t kFlagTransitive = 0x40;
+constexpr uint8_t kFlagExtLen = 0x10;
+
+void put_u16be(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+void put_u32be(std::vector<uint8_t>& out, uint32_t v) {
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_attr(std::vector<uint8_t>& out, uint8_t flags, AttrType type,
+              const std::vector<uint8_t>& payload) {
+    if (payload.size() > 255) flags |= kFlagExtLen;
+    out.push_back(flags);
+    out.push_back(static_cast<uint8_t>(type));
+    if (flags & kFlagExtLen)
+        put_u16be(out, static_cast<uint16_t>(payload.size()));
+    else
+        out.push_back(static_cast<uint8_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+uint32_t get_u32be(const uint8_t* p) {
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+std::string PathAttributes::str() const {
+    std::string s = "origin=";
+    s += origin == Origin::kIgp ? "igp"
+         : origin == Origin::kEgp ? "egp"
+                                  : "incomplete";
+    s += " aspath=[" + as_path.str() + "]";
+    s += " nexthop=" + nexthop.str();
+    if (med) s += " med=" + std::to_string(*med);
+    if (local_pref) s += " localpref=" + std::to_string(*local_pref);
+    if (atomic_aggregate) s += " atomic";
+    if (!communities.empty()) {
+        s += " communities=";
+        for (size_t i = 0; i < communities.size(); ++i) {
+            if (i) s += ',';
+            s += std::to_string(communities[i] >> 16) + ":" +
+                 std::to_string(communities[i] & 0xffff);
+        }
+    }
+    return s;
+}
+
+void PathAttributes::encode(std::vector<uint8_t>& out) const {
+    put_attr(out, kFlagTransitive, AttrType::kOrigin,
+             {static_cast<uint8_t>(origin)});
+    std::vector<uint8_t> path;
+    as_path.encode(path);
+    put_attr(out, kFlagTransitive, AttrType::kAsPath, path);
+    std::vector<uint8_t> nh;
+    uint32_t nhv = nexthop.to_host();
+    for (int i = 3; i >= 0; --i) nh.push_back(static_cast<uint8_t>(nhv >> (8 * i)));
+    put_attr(out, kFlagTransitive, AttrType::kNextHop, nh);
+    if (med) {
+        std::vector<uint8_t> v;
+        put_u32be(v, *med);
+        put_attr(out, kFlagOptional, AttrType::kMed, v);
+    }
+    if (local_pref) {
+        std::vector<uint8_t> v;
+        put_u32be(v, *local_pref);
+        put_attr(out, kFlagTransitive, AttrType::kLocalPref, v);
+    }
+    if (atomic_aggregate)
+        put_attr(out, kFlagTransitive, AttrType::kAtomicAggregate, {});
+    if (aggregator) {
+        std::vector<uint8_t> v;
+        put_u16be(v, aggregator->as);
+        put_u32be(v, aggregator->id.to_host());
+        put_attr(out, kFlagOptional | kFlagTransitive, AttrType::kAggregator,
+                 v);
+    }
+    if (!communities.empty()) {
+        std::vector<uint8_t> v;
+        for (uint32_t c : communities) put_u32be(v, c);
+        put_attr(out, kFlagOptional | kFlagTransitive, AttrType::kCommunity,
+                 v);
+    }
+}
+
+std::optional<PathAttributes> PathAttributes::decode(const uint8_t* data,
+                                                     size_t size) {
+    PathAttributes pa;
+    bool have_origin = false, have_aspath = false, have_nexthop = false;
+    size_t pos = 0;
+    while (pos < size) {
+        if (size - pos < 3) return std::nullopt;
+        uint8_t flags = data[pos];
+        uint8_t type = data[pos + 1];
+        pos += 2;
+        size_t len;
+        if (flags & kFlagExtLen) {
+            if (size - pos < 2) return std::nullopt;
+            len = static_cast<size_t>((data[pos] << 8) | data[pos + 1]);
+            pos += 2;
+        } else {
+            if (size - pos < 1) return std::nullopt;
+            len = data[pos];
+            pos += 1;
+        }
+        if (size - pos < len) return std::nullopt;
+        const uint8_t* p = data + pos;
+        switch (static_cast<AttrType>(type)) {
+            case AttrType::kOrigin:
+                if (len != 1 || p[0] > 2) return std::nullopt;
+                pa.origin = static_cast<Origin>(p[0]);
+                have_origin = true;
+                break;
+            case AttrType::kAsPath: {
+                auto ap = AsPath::decode(p, len);
+                if (!ap) return std::nullopt;
+                pa.as_path = std::move(*ap);
+                have_aspath = true;
+                break;
+            }
+            case AttrType::kNextHop:
+                if (len != 4) return std::nullopt;
+                pa.nexthop = net::IPv4(get_u32be(p));
+                have_nexthop = true;
+                break;
+            case AttrType::kMed:
+                if (len != 4) return std::nullopt;
+                pa.med = get_u32be(p);
+                break;
+            case AttrType::kLocalPref:
+                if (len != 4) return std::nullopt;
+                pa.local_pref = get_u32be(p);
+                break;
+            case AttrType::kAtomicAggregate:
+                if (len != 0) return std::nullopt;
+                pa.atomic_aggregate = true;
+                break;
+            case AttrType::kAggregator:
+                if (len != 6) return std::nullopt;
+                pa.aggregator = Aggregator{
+                    static_cast<As>((p[0] << 8) | p[1]),
+                    net::IPv4(get_u32be(p + 2))};
+                break;
+            case AttrType::kCommunity:
+                if (len % 4 != 0) return std::nullopt;
+                for (size_t i = 0; i < len; i += 4)
+                    pa.communities.push_back(get_u32be(p + i));
+                break;
+            default:
+                // Unknown optional attributes are tolerated (and dropped —
+                // we don't forward unknown transitives, a simplification).
+                if (!(flags & kFlagOptional)) return std::nullopt;
+                break;
+        }
+        pos += len;
+    }
+    if (!have_origin || !have_aspath || !have_nexthop) return std::nullopt;
+    return pa;
+}
+
+PathAttributesPtr with_prepended_as(const PathAttributes& base, As as,
+                                    net::IPv4 new_nexthop) {
+    auto pa = std::make_shared<PathAttributes>(base);
+    pa->as_path = base.as_path.prepend(as);
+    pa->nexthop = new_nexthop;
+    // MED and LOCAL_PREF are not propagated to external peers.
+    pa->med.reset();
+    pa->local_pref.reset();
+    return pa;
+}
+
+PathAttributesPtr with_local_pref(const PathAttributes& base, uint32_t lp) {
+    auto pa = std::make_shared<PathAttributes>(base);
+    pa->local_pref = lp;
+    return pa;
+}
+
+}  // namespace xrp::bgp

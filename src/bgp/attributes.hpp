@@ -1,0 +1,74 @@
+// BGP path attributes (RFC 4271 §5): the per-route data the decision
+// process ranks on. A PathAttributes block is immutable once built and
+// shared by every route carrying it (routes from one UPDATE share one
+// block), which is what keeps a 146k-route table's memory sane. Stages
+// that "modify" attributes (filters, prepending) copy-on-write.
+#ifndef XRP_BGP_ATTRIBUTES_HPP
+#define XRP_BGP_ATTRIBUTES_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "net/ipv4.hpp"
+
+namespace xrp::bgp {
+
+enum class Origin : uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+// Attribute type codes (RFC 4271 §4.3 / RFC 1997).
+enum class AttrType : uint8_t {
+    kOrigin = 1,
+    kAsPath = 2,
+    kNextHop = 3,
+    kMed = 4,
+    kLocalPref = 5,
+    kAtomicAggregate = 6,
+    kAggregator = 7,
+    kCommunity = 8,
+};
+
+struct Aggregator {
+    As as = 0;
+    net::IPv4 id;
+    bool operator==(const Aggregator&) const = default;
+};
+
+class PathAttributes {
+public:
+    Origin origin = Origin::kIncomplete;
+    AsPath as_path;
+    net::IPv4 nexthop;
+    std::optional<uint32_t> med;
+    std::optional<uint32_t> local_pref;
+    bool atomic_aggregate = false;
+    std::optional<Aggregator> aggregator;
+    std::vector<uint32_t> communities;  // RFC 1997, sorted
+
+    bool operator==(const PathAttributes&) const = default;
+
+    std::string str() const;
+
+    // Encodes the path-attributes block of an UPDATE message (with
+    // attribute headers). Well-known mandatory attributes are always
+    // present; optional ones only when set.
+    void encode(std::vector<uint8_t>& out) const;
+    // Decodes a path-attributes block. Returns nullopt on malformed input
+    // or missing mandatory attributes.
+    static std::optional<PathAttributes> decode(const uint8_t* data,
+                                                size_t size);
+};
+
+using PathAttributesPtr = std::shared_ptr<const PathAttributes>;
+
+// Builder helpers for the common mutations; each returns a fresh block.
+PathAttributesPtr with_prepended_as(const PathAttributes& base, As as,
+                                    net::IPv4 new_nexthop);
+PathAttributesPtr with_local_pref(const PathAttributes& base, uint32_t lp);
+
+}  // namespace xrp::bgp
+
+#endif

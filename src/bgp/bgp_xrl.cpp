@@ -1,0 +1,43 @@
+#include "bgp/bgp_xrl.hpp"
+
+#include "rib/rib_xrl.hpp"
+
+namespace xrp::bgp {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+void bind_bgp_xrl(BgpProcess& bgp, ipc::XrlRouter& router) {
+    router.add_interface(*xrl::InterfaceSpec::parse(kBgpIdl));
+    router.add_interface(*xrl::InterfaceSpec::parse(rib::kRibClientIdl));
+
+    router.add_handler(
+        "bgp/1.0/get_local_as", [&bgp](const XrlArgs&, XrlArgs& out) {
+            out.add("as", static_cast<uint32_t>(bgp.config().local_as));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "bgp/1.0/originate_route4", [&bgp](const XrlArgs& in, XrlArgs&) {
+            bgp.originate(*in.get_ipv4net("net"), *in.get_ipv4("nexthop"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "bgp/1.0/withdraw_route4", [&bgp](const XrlArgs& in, XrlArgs&) {
+            bgp.withdraw(*in.get_ipv4net("net"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "bgp/1.0/get_route_count", [&bgp](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(bgp.loc_rib_count()));
+            return XrlError::okay();
+        });
+
+    // The RIB calls this when a registration we hold becomes invalid.
+    router.add_handler("rib_client/1.0/route_info_invalid",
+                       [&bgp](const XrlArgs& in, XrlArgs&) {
+                           bgp.nexthop_invalid(*in.get_ipv4net("valid_subnet"));
+                           return XrlError::okay();
+                       });
+}
+
+}  // namespace xrp::bgp

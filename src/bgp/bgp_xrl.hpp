@@ -1,0 +1,95 @@
+// XRL plumbing for BGP:
+//   - bind_bgp_xrl(): exposes bgp/1.0 (origination, introspection) and
+//     rib_client/1.0 (registration invalidations from the RIB) on an
+//     XrlRouter;
+//   - XrlRibHandle: BGP's coupling to the RIB over XRLs — winners flow to
+//     rib/1.0/add_route, nexthop questions go through the Figure-8
+//     register_interest protocol asynchronously, exactly the coupling the
+//     paper's NexthopResolver stage describes (§5.1.1, §5.2.1).
+#ifndef XRP_BGP_BGP_XRL_HPP
+#define XRP_BGP_BGP_XRL_HPP
+
+#include "bgp/process.hpp"
+#include "ipc/router.hpp"
+
+namespace xrp::bgp {
+
+inline constexpr const char* kBgpIdl = R"(
+interface bgp/1.0 {
+    get_local_as -> as:u32;
+    originate_route4 ? net:ipv4net & nexthop:ipv4;
+    withdraw_route4 ? net:ipv4net;
+    get_route_count -> count:u32;
+}
+)";
+
+void bind_bgp_xrl(BgpProcess& bgp, ipc::XrlRouter& router);
+
+class XrlRibHandle final : public RibHandle {
+public:
+    XrlRibHandle(ipc::XrlRouter& router, std::string rib_target = "rib")
+        : router_(router), target_(std::move(rib_target)) {}
+
+    // Profiling point "bgp_rib_sent": the paper's "Sent to RIB" moment.
+    void set_profiler(profiler::Profiler* p) {
+        profiler_ = p;
+        if (p != nullptr) p->add_point("bgp_rib_sent");
+    }
+
+    void add_route(const BgpRoute& r) override {
+        xrl::XrlArgs args;
+        args.add("protocol", r.protocol)
+            .add("net", r.net)
+            .add("nexthop", r.nexthop)
+            .add("metric", r.igp_metric == stage::kUnresolvedMetric
+                               ? uint32_t{0}
+                               : r.igp_metric);
+        if (profiler_ != nullptr)
+            profiler_->record("bgp_rib_sent", "add " + r.net.str());
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
+    }
+
+    void delete_route(const BgpRoute& r) override {
+        xrl::XrlArgs args;
+        args.add("protocol", r.protocol).add("net", r.net);
+        if (profiler_ != nullptr)
+            profiler_->record("bgp_rib_sent", "delete " + r.net.str());
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
+    }
+
+    void register_interest(
+        net::IPv4 nexthop,
+        NexthopResolverStage::AnswerCallback answer) override {
+        xrl::XrlArgs args;
+        args.add("addr", nexthop).add("client", router_.instance());
+        router_.send(
+            xrl::Xrl::generic(target_, "rib", "1.0", "register_interest",
+                              args),
+            [answer = std::move(answer), nexthop](
+                const xrl::XrlError& err, const xrl::XrlArgs& out) {
+                if (!err.ok()) {
+                    // Treat an unreachable RIB as an unresolvable nexthop,
+                    // valid only for the host route so we retry per-nexthop.
+                    answer(std::nullopt, net::IPv4Net(nexthop, 32));
+                    return;
+                }
+                bool resolves = out.get_bool("resolves").value_or(false);
+                answer(resolves ? std::optional<uint32_t>(
+                                      out.get_u32("metric").value_or(0))
+                                : std::nullopt,
+                       out.get_ipv4net("valid_subnet")
+                           .value_or(net::IPv4Net(nexthop, 32)));
+            });
+    }
+
+private:
+    ipc::XrlRouter& router_;
+    std::string target_;
+    profiler::Profiler* profiler_ = nullptr;
+};
+
+}  // namespace xrp::bgp
+
+#endif

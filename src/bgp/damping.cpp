@@ -1,0 +1,123 @@
+#include "bgp/damping.hpp"
+
+namespace xrp::bgp {
+
+DampingStage::DampingStage(std::string name, ev::EventLoop& loop,
+                           DampingConfig config)
+    : name_(std::move(name)), loop_(loop), config_(config) {
+    reuse_timer_ = loop_.set_periodic(config_.reuse_scan_interval, [this] {
+        reuse_scan();
+        return true;
+    });
+}
+
+void DampingStage::decay(Entry& e) const {
+    ev::TimePoint now = const_cast<ev::EventLoop&>(loop_).now();
+    if (e.last_decay == ev::TimePoint{}) {
+        e.last_decay = now;
+        return;
+    }
+    auto dt = now - e.last_decay;
+    if (dt <= ev::Duration::zero()) return;
+    double half_lives = std::chrono::duration<double>(dt).count() /
+                        std::chrono::duration<double>(config_.half_life).count();
+    e.penalty *= std::exp2(-half_lives);
+    e.last_decay = now;
+}
+
+void DampingStage::add_route(const BgpRoute& route, RouteStage*) {
+    Entry& e = entries_[route.net];
+    decay(e);
+    if (e.suppressed) {
+        e.held = route;  // held back; downstream still believes "withdrawn"
+        return;
+    }
+    if (e.advertised && e.held) {
+        // Implicit replacement: keep downstream's delete+add discipline.
+        // (Origins normally send the delete first, so this is a guard.)
+        this->forward_delete(*e.held);
+    }
+    e.held = route;  // remember what downstream has, for suppression time
+    e.advertised = true;
+    this->forward_add(route);
+}
+
+void DampingStage::delete_route(const BgpRoute& route, RouteStage*) {
+    auto it = entries_.find(route.net);
+    if (it == entries_.end()) {
+        // Never saw the add (e.g. plumbed mid-stream); just forward.
+        this->forward_delete(route);
+        return;
+    }
+    Entry& e = it->second;
+    decay(e);
+    e.penalty += config_.penalty_per_flap;
+    if (e.suppressed) {
+        // Downstream has nothing; swallow the withdrawal of a held route.
+        e.held.reset();
+        return;
+    }
+    if (e.advertised) {
+        // Retract exactly what downstream holds (our stored copy), not
+        // the caller's version — rule (1) of §5.1 requires the delete to
+        // match the add byte-for-byte.
+        this->forward_delete(e.held ? *e.held : route);
+        e.advertised = false;
+        e.held.reset();
+    }
+    if (e.penalty >= config_.suppress_threshold) e.suppressed = true;
+}
+
+std::optional<BgpRoute> DampingStage::lookup_route(const Net& net) const {
+    auto it = entries_.find(net);
+    if (it != entries_.end() && it->second.suppressed)
+        return std::nullopt;  // consistent with the withheld announcements
+    if (it != entries_.end() && it->second.advertised && it->second.held)
+        return it->second.held;
+    if (it != entries_.end()) return std::nullopt;
+    return this->lookup_upstream(net);
+}
+
+size_t DampingStage::suppressed_count() const {
+    size_t n = 0;
+    for (const auto& [net, e] : entries_)
+        if (e.suppressed) ++n;
+    return n;
+}
+
+double DampingStage::penalty(const Net& net) const {
+    auto it = entries_.find(net);
+    if (it == entries_.end()) return 0.0;
+    Entry copy = it->second;
+    decay(copy);
+    return copy.penalty;
+}
+
+bool DampingStage::is_suppressed(const Net& net) const {
+    auto it = entries_.find(net);
+    return it != entries_.end() && it->second.suppressed;
+}
+
+void DampingStage::reuse_scan() {
+    std::vector<Net> to_release;
+    std::vector<Net> to_forget;
+    for (auto& [net, e] : entries_) {
+        decay(e);
+        if (e.suppressed && e.penalty < config_.reuse_threshold)
+            to_release.push_back(net);
+        else if (!e.suppressed && !e.advertised &&
+                 e.penalty < config_.forget_threshold)
+            to_forget.push_back(net);
+    }
+    for (const Net& net : to_release) {
+        Entry& e = entries_[net];
+        e.suppressed = false;
+        if (e.held) {
+            e.advertised = true;
+            this->forward_add(*e.held);
+        }
+    }
+    for (const Net& net : to_forget) entries_.erase(net);
+}
+
+}  // namespace xrp::bgp

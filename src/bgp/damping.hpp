@@ -1,0 +1,76 @@
+// Route flap damping as a pipeline stage (§8.3).
+//
+// "Route flap damping was also not a part of our original BGP design. We
+// are currently adding this functionality (ISPs demand it, even though
+// it's a flawed mechanism), and can do so efficiently and simply by
+// adding another stage to the BGP pipeline. The code does not impact
+// other stages, which need not be aware that damping is occurring."
+//
+// RFC 2439-style: each withdrawal adds a fixed penalty to the prefix's
+// figure of merit; the penalty decays exponentially with a configured
+// half-life. While the penalty exceeds the suppress threshold the
+// prefix's announcements are held inside this stage (downstream believes
+// the route is withdrawn); when decay brings it under the reuse
+// threshold, the most recent announcement is released. All consistency
+// rules hold: suppression always begins at a withdrawal, so downstream
+// is in the "no route" state for the whole suppressed period.
+#ifndef XRP_BGP_DAMPING_HPP
+#define XRP_BGP_DAMPING_HPP
+
+#include <cmath>
+#include <map>
+
+#include "bgp/stages.hpp"
+#include "ev/eventloop.hpp"
+
+namespace xrp::bgp {
+
+struct DampingConfig {
+    double penalty_per_flap = 1000.0;
+    double suppress_threshold = 3000.0;
+    double reuse_threshold = 750.0;
+    ev::Duration half_life = std::chrono::seconds(900);
+    // Entries whose penalty decays below this are forgotten entirely.
+    double forget_threshold = 100.0;
+    // How often suppressed prefixes are re-examined for reuse.
+    ev::Duration reuse_scan_interval = std::chrono::seconds(1);
+};
+
+class DampingStage : public stage::RouteStage<net::IPv4> {
+public:
+    DampingStage(std::string name, ev::EventLoop& loop, DampingConfig config);
+
+    void add_route(const BgpRoute& route, RouteStage*) override;
+    void delete_route(const BgpRoute& route, RouteStage*) override;
+    std::optional<BgpRoute> lookup_route(const Net& net) const override;
+
+    std::string name() const override { return name_; }
+
+    size_t suppressed_count() const;
+    double penalty(const Net& net) const;
+    bool is_suppressed(const Net& net) const;
+
+private:
+    struct Entry {
+        double penalty = 0.0;
+        ev::TimePoint last_decay{};
+        bool suppressed = false;
+        // The newest announcement received while suppressed, pending reuse.
+        std::optional<BgpRoute> held;
+        // Whether downstream currently has a route for this prefix.
+        bool advertised = false;
+    };
+
+    void decay(Entry& e) const;
+    void reuse_scan();
+
+    std::string name_;
+    ev::EventLoop& loop_;
+    DampingConfig config_;
+    std::map<Net, Entry> entries_;
+    ev::Timer reuse_timer_;
+};
+
+}  // namespace xrp::bgp
+
+#endif

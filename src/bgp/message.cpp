@@ -1,0 +1,164 @@
+#include "bgp/message.hpp"
+
+namespace xrp::bgp {
+
+namespace {
+
+void put_u16be(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+// NLRI: one length byte then ceil(len/8) address bytes.
+void encode_prefix(std::vector<uint8_t>& out, const net::IPv4Net& n) {
+    out.push_back(static_cast<uint8_t>(n.prefix_len()));
+    uint32_t a = n.masked_addr().to_host();
+    for (uint32_t i = 0; i < (n.prefix_len() + 7) / 8; ++i)
+        out.push_back(static_cast<uint8_t>(a >> (24 - 8 * i)));
+}
+
+std::optional<net::IPv4Net> decode_prefix(const uint8_t* data, size_t size,
+                                          size_t& pos) {
+    if (pos >= size) return std::nullopt;
+    uint8_t len = data[pos++];
+    if (len > 32) return std::nullopt;
+    size_t nbytes = (len + 7) / 8;
+    if (size - pos < nbytes) return std::nullopt;
+    uint32_t a = 0;
+    for (size_t i = 0; i < nbytes; ++i)
+        a |= static_cast<uint32_t>(data[pos + i]) << (24 - 8 * i);
+    pos += nbytes;
+    return net::IPv4Net(net::IPv4(a), len);
+}
+
+std::vector<uint8_t> with_header(MessageType type,
+                                 const std::vector<uint8_t>& body) {
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderSize + body.size());
+    out.insert(out.end(), 16, 0xff);  // marker
+    put_u16be(out, static_cast<uint16_t>(kHeaderSize + body.size()));
+    out.push_back(static_cast<uint8_t>(type));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_message(const Message& m) {
+    struct Visitor {
+        std::vector<uint8_t> operator()(const OpenMessage& o) const {
+            std::vector<uint8_t> b;
+            b.push_back(o.version);
+            put_u16be(b, o.as);
+            put_u16be(b, o.hold_time);
+            uint32_t id = o.bgp_id.to_host();
+            for (int i = 3; i >= 0; --i)
+                b.push_back(static_cast<uint8_t>(id >> (8 * i)));
+            b.push_back(0);  // no optional parameters
+            return with_header(MessageType::kOpen, b);
+        }
+        std::vector<uint8_t> operator()(const UpdateMessage& u) const {
+            std::vector<uint8_t> withdrawn;
+            for (const auto& n : u.withdrawn) encode_prefix(withdrawn, n);
+            std::vector<uint8_t> attrs;
+            if (u.attributes) u.attributes->encode(attrs);
+            std::vector<uint8_t> b;
+            put_u16be(b, static_cast<uint16_t>(withdrawn.size()));
+            b.insert(b.end(), withdrawn.begin(), withdrawn.end());
+            put_u16be(b, static_cast<uint16_t>(attrs.size()));
+            b.insert(b.end(), attrs.begin(), attrs.end());
+            for (const auto& n : u.nlri) encode_prefix(b, n);
+            return with_header(MessageType::kUpdate, b);
+        }
+        std::vector<uint8_t> operator()(const NotificationMessage& n) const {
+            std::vector<uint8_t> b;
+            b.push_back(n.code);
+            b.push_back(n.subcode);
+            b.insert(b.end(), n.data.begin(), n.data.end());
+            return with_header(MessageType::kNotification, b);
+        }
+        std::vector<uint8_t> operator()(const KeepaliveMessage&) const {
+            return with_header(MessageType::kKeepalive, {});
+        }
+    };
+    return std::visit(Visitor{}, m);
+}
+
+std::optional<size_t> peek_message_length(const uint8_t* data, size_t size) {
+    if (size < kHeaderSize) return 0;
+    for (int i = 0; i < 16; ++i)
+        if (data[i] != 0xff) return std::nullopt;
+    size_t len = static_cast<size_t>((data[16] << 8) | data[17]);
+    if (len < kHeaderSize || len > kMaxMessageSize) return std::nullopt;
+    if (data[18] < 1 || data[18] > 4) return std::nullopt;
+    return len;
+}
+
+std::optional<Message> decode_message(const uint8_t* data, size_t size) {
+    auto len = peek_message_length(data, size);
+    if (!len || *len == 0 || *len != size) return std::nullopt;
+    MessageType type = static_cast<MessageType>(data[18]);
+    const uint8_t* body = data + kHeaderSize;
+    size_t blen = size - kHeaderSize;
+    switch (type) {
+        case MessageType::kOpen: {
+            if (blen < 10) return std::nullopt;
+            OpenMessage o;
+            o.version = body[0];
+            o.as = static_cast<As>((body[1] << 8) | body[2]);
+            o.hold_time = static_cast<uint16_t>((body[3] << 8) | body[4]);
+            o.bgp_id = net::IPv4((static_cast<uint32_t>(body[5]) << 24) |
+                                 (static_cast<uint32_t>(body[6]) << 16) |
+                                 (static_cast<uint32_t>(body[7]) << 8) |
+                                 body[8]);
+            // body[9] = opt param len; parameters ignored.
+            if (blen != 10u + body[9]) return std::nullopt;
+            return Message(o);
+        }
+        case MessageType::kUpdate: {
+            if (blen < 4) return std::nullopt;
+            UpdateMessage u;
+            size_t pos = 0;
+            size_t wlen = static_cast<size_t>((body[0] << 8) | body[1]);
+            pos = 2;
+            if (blen < 2 + wlen + 2) return std::nullopt;
+            size_t wend = pos + wlen;
+            while (pos < wend) {
+                auto n = decode_prefix(body, wend, pos);
+                if (!n) return std::nullopt;
+                u.withdrawn.push_back(*n);
+            }
+            size_t alen =
+                static_cast<size_t>((body[pos] << 8) | body[pos + 1]);
+            pos += 2;
+            if (blen < pos + alen) return std::nullopt;
+            if (alen > 0) {
+                auto pa = PathAttributes::decode(body + pos, alen);
+                if (!pa) return std::nullopt;
+                u.attributes = std::move(*pa);
+                pos += alen;
+            }
+            while (pos < blen) {
+                auto n = decode_prefix(body, blen, pos);
+                if (!n) return std::nullopt;
+                u.nlri.push_back(*n);
+            }
+            if (!u.nlri.empty() && !u.attributes) return std::nullopt;
+            return Message(std::move(u));
+        }
+        case MessageType::kNotification: {
+            if (blen < 2) return std::nullopt;
+            NotificationMessage n;
+            n.code = body[0];
+            n.subcode = body[1];
+            n.data.assign(body + 2, body + blen);
+            return Message(std::move(n));
+        }
+        case MessageType::kKeepalive:
+            if (blen != 0) return std::nullopt;
+            return Message(KeepaliveMessage{});
+    }
+    return std::nullopt;
+}
+
+}  // namespace xrp::bgp

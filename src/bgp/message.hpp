@@ -1,0 +1,72 @@
+// BGP-4 message encode/decode (RFC 4271 §4): OPEN, UPDATE, NOTIFICATION,
+// KEEPALIVE, with the 19-byte common header and prefix (NLRI) packing.
+// Pure functions of bytes — no I/O here; sessions (peer.hpp) own framing.
+#ifndef XRP_BGP_MESSAGE_HPP
+#define XRP_BGP_MESSAGE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "bgp/attributes.hpp"
+#include "net/ipnet.hpp"
+
+namespace xrp::bgp {
+
+enum class MessageType : uint8_t {
+    kOpen = 1,
+    kUpdate = 2,
+    kNotification = 3,
+    kKeepalive = 4,
+};
+
+struct OpenMessage {
+    uint8_t version = 4;
+    As as = 0;
+    uint16_t hold_time = 90;
+    net::IPv4 bgp_id;
+    bool operator==(const OpenMessage&) const = default;
+};
+
+struct UpdateMessage {
+    std::vector<net::IPv4Net> withdrawn;
+    // Empty attrs with non-empty nlri is invalid; both-empty = EoR-style
+    // empty update.
+    std::optional<PathAttributes> attributes;
+    std::vector<net::IPv4Net> nlri;
+    bool operator==(const UpdateMessage&) const = default;
+};
+
+struct NotificationMessage {
+    uint8_t code = 0;
+    uint8_t subcode = 0;
+    std::vector<uint8_t> data;
+    bool operator==(const NotificationMessage&) const = default;
+};
+
+struct KeepaliveMessage {
+    bool operator==(const KeepaliveMessage&) const = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage,
+                             KeepaliveMessage>;
+
+// Encodes one complete message including the marker/length/type header.
+std::vector<uint8_t> encode_message(const Message& m);
+
+// Parses one message from `data` (must be exactly one message: header
+// length == size). Returns nullopt on malformed input.
+std::optional<Message> decode_message(const uint8_t* data, size_t size);
+
+// Extracts the total length of the message at the head of `data` if a
+// complete header is present (for stream reassembly); 0 if fewer than 19
+// bytes, nullopt if the header is invalid.
+std::optional<size_t> peek_message_length(const uint8_t* data, size_t size);
+
+inline constexpr size_t kHeaderSize = 19;
+inline constexpr size_t kMaxMessageSize = 4096;
+
+}  // namespace xrp::bgp
+
+#endif

@@ -1,0 +1,275 @@
+#include "bgp/peer.hpp"
+
+#include <cassert>
+
+namespace xrp::bgp {
+
+// ---- PipeTransport ------------------------------------------------------
+
+struct PipeTransport::Shared {
+    struct End {
+        ev::EventLoop* loop = nullptr;
+        PipeTransport* transport = nullptr;  // null once destroyed
+        bool connected = false;
+    };
+    End ends[2];
+    ev::Duration latency{};
+    bool broken = false;
+};
+
+std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>>
+PipeTransport::make_pair(ev::EventLoop& loop_a, ev::EventLoop& loop_b,
+                         ev::Duration latency) {
+    auto shared = std::make_shared<Shared>();
+    shared->latency = latency;
+    shared->ends[0].loop = &loop_a;
+    shared->ends[1].loop = &loop_b;
+    auto a = std::unique_ptr<PipeTransport>(new PipeTransport(shared, 0));
+    auto b = std::unique_ptr<PipeTransport>(new PipeTransport(shared, 1));
+    shared->ends[0].transport = a.get();
+    shared->ends[1].transport = b.get();
+    return {std::move(a), std::move(b)};
+}
+
+PipeTransport::PipeTransport(std::shared_ptr<Shared> shared, int side)
+    : shared_(std::move(shared)), side_(side) {}
+
+PipeTransport::~PipeTransport() {
+    shared_->ends[side_].transport = nullptr;
+    close();
+}
+
+void PipeTransport::connect() {
+    // A pipe is "up" as soon as both ends have called connect().
+    shared_->ends[side_].connected = true;
+    if (shared_->broken || !shared_->ends[0].connected ||
+        !shared_->ends[1].connected)
+        return;
+    for (int s = 0; s < 2; ++s) {
+        Shared::End& e = shared_->ends[s];
+        e.loop->defer([shared = shared_, s] {
+            PipeTransport* t = shared->ends[s].transport;
+            if (t != nullptr && !shared->broken && t->on_connected)
+                t->on_connected();
+        });
+    }
+}
+
+void PipeTransport::send(std::vector<uint8_t> bytes) {
+    // The broken check happens at *send* time only: bytes already queued
+    // when the pipe closes are still delivered (like data in a TCP buffer
+    // racing a FIN), so a Cease notification sent just before close()
+    // reaches the peer.
+    if (shared_->broken) return;
+    int peer = 1 - side_;
+    Shared::End& e = shared_->ends[peer];
+    e.loop->defer_after(
+        shared_->latency,
+        [shared = shared_, peer, bytes = std::move(bytes)] {
+            PipeTransport* t = shared->ends[peer].transport;
+            if (t != nullptr && t->on_data)
+                t->on_data(bytes.data(), bytes.size());
+        });
+}
+
+void PipeTransport::close() {
+    if (shared_->broken) return;
+    shared_->broken = true;
+    int peer = 1 - side_;
+    Shared::End& e = shared_->ends[peer];
+    // Same latency as data so the error arrives after in-flight bytes.
+    e.loop->defer_after(shared_->latency, [shared = shared_, peer] {
+        PipeTransport* t = shared->ends[peer].transport;
+        if (t != nullptr && t->on_error) t->on_error();
+    });
+}
+
+// ---- BgpPeer ------------------------------------------------------------
+
+std::string_view BgpPeer::state_name(State s) {
+    switch (s) {
+        case State::kIdle: return "Idle";
+        case State::kConnect: return "Connect";
+        case State::kActive: return "Active";
+        case State::kOpenSent: return "OpenSent";
+        case State::kOpenConfirm: return "OpenConfirm";
+        case State::kEstablished: return "Established";
+    }
+    return "?";
+}
+
+BgpPeer::BgpPeer(ev::EventLoop& loop, Config config,
+                 std::unique_ptr<BgpTransport> transport)
+    : loop_(loop), config_(config), transport_(std::move(transport)) {
+    transport_->on_connected = [this] { on_connected(); };
+    transport_->on_data = [this](const uint8_t* d, size_t n) {
+        on_bytes(d, n);
+    };
+    transport_->on_error = [this] { on_transport_error(); };
+}
+
+BgpPeer::~BgpPeer() = default;
+
+void BgpPeer::transition(State s) {
+    if (state_ == s) return;
+    bool came_down = state_ == State::kEstablished;
+    state_ = s;
+    if (s == State::kEstablished) {
+        was_established_ = true;
+        if (on_established) on_established();
+    } else if (came_down) {
+        ++stats_.session_drops;
+        if (on_down) on_down();
+    }
+}
+
+void BgpPeer::start() {
+    if (state_ != State::kIdle) return;
+    transition(State::kConnect);
+    transport_->connect();
+}
+
+void BgpPeer::stop() {
+    config_.auto_restart = false;
+    connect_retry_timer_.unschedule();
+    if (state_ == State::kEstablished || state_ == State::kOpenSent ||
+        state_ == State::kOpenConfirm)
+        send_message(NotificationMessage{6, 0, {}});  // Cease
+    hold_timer_.unschedule();
+    keepalive_timer_.unschedule();
+    transport_->close();
+    transition(State::kIdle);
+}
+
+void BgpPeer::on_connected() {
+    if (state_ != State::kConnect && state_ != State::kActive) return;
+    OpenMessage open;
+    open.as = config_.local_as;
+    open.hold_time = config_.hold_time;
+    open.bgp_id = config_.local_id;
+    send_message(open);
+    transition(State::kOpenSent);
+}
+
+void BgpPeer::on_transport_error() {
+    hold_timer_.unschedule();
+    keepalive_timer_.unschedule();
+    rbuf_.clear();
+    transition(State::kIdle);
+    arm_connect_retry();
+}
+
+void BgpPeer::arm_connect_retry() {
+    if (!config_.auto_restart) return;
+    connect_retry_timer_ = loop_.set_timer(config_.connect_retry, [this] {
+        if (state_ == State::kIdle) {
+            transition(State::kConnect);
+            transport_->connect();
+        }
+    });
+}
+
+void BgpPeer::on_bytes(const uint8_t* data, size_t size) {
+    rbuf_.insert(rbuf_.end(), data, data + size);
+    size_t off = 0;
+    while (true) {
+        auto len = peek_message_length(rbuf_.data() + off, rbuf_.size() - off);
+        if (!len) {
+            session_failed(1, 1, true);  // header error
+            return;
+        }
+        if (*len == 0 || rbuf_.size() - off < *len) break;
+        auto m = decode_message(rbuf_.data() + off, *len);
+        off += *len;
+        if (!m) {
+            session_failed(1, 2, true);
+            return;
+        }
+        handle_message(*m);
+        if (state_ == State::kIdle) {
+            rbuf_.clear();
+            return;  // session torn down while processing
+        }
+    }
+    if (off > 0)
+        rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<ptrdiff_t>(off));
+}
+
+void BgpPeer::handle_message(const Message& m) {
+    if (const auto* open = std::get_if<OpenMessage>(&m)) {
+        if (state_ != State::kOpenSent) {
+            session_failed(5, 0, true);  // FSM error
+            return;
+        }
+        if (open->version != 4) {
+            session_failed(2, 1, true);
+            return;
+        }
+        if (config_.peer_as != 0 && open->as != config_.peer_as) {
+            session_failed(2, 2, true);  // bad peer AS
+            return;
+        }
+        negotiated_hold_ = std::min(config_.hold_time, open->hold_time);
+        send_message(KeepaliveMessage{});
+        if (negotiated_hold_ > 0) {
+            arm_hold_timer();
+            keepalive_timer_ = loop_.set_periodic(
+                std::chrono::seconds(std::max(1, negotiated_hold_ / 3)),
+                [this] {
+                    ++stats_.keepalives_out;
+                    send_message(KeepaliveMessage{});
+                    return true;
+                });
+        }
+        transition(State::kOpenConfirm);
+        return;
+    }
+    if (std::holds_alternative<KeepaliveMessage>(m)) {
+        ++stats_.keepalives_in;
+        if (state_ == State::kOpenConfirm) transition(State::kEstablished);
+        if (negotiated_hold_ > 0) arm_hold_timer();
+        return;
+    }
+    if (const auto* update = std::get_if<UpdateMessage>(&m)) {
+        if (state_ != State::kEstablished) {
+            session_failed(5, 0, true);
+            return;
+        }
+        ++stats_.updates_in;
+        if (negotiated_hold_ > 0) arm_hold_timer();
+        if (on_update) on_update(*update);
+        return;
+    }
+    if (std::get_if<NotificationMessage>(&m) != nullptr) {
+        ++stats_.notifications_in;
+        session_failed(0, 0, false);
+        return;
+    }
+}
+
+void BgpPeer::session_failed(uint8_t code, uint8_t subcode, bool send_notify) {
+    if (send_notify && state_ != State::kIdle)
+        send_message(NotificationMessage{code, subcode, {}});
+    hold_timer_.unschedule();
+    keepalive_timer_.unschedule();
+    rbuf_.clear();
+    transition(State::kIdle);
+    arm_connect_retry();
+}
+
+void BgpPeer::arm_hold_timer() {
+    hold_timer_ = loop_.set_timer(std::chrono::seconds(negotiated_hold_),
+                                  [this] { session_failed(4, 0, true); });
+}
+
+void BgpPeer::send_message(const Message& m) {
+    transport_->send(encode_message(m));
+}
+
+void BgpPeer::send_update(const UpdateMessage& update) {
+    if (state_ != State::kEstablished) return;
+    ++stats_.updates_out;
+    send_message(update);
+}
+
+}  // namespace xrp::bgp

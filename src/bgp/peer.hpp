@@ -1,0 +1,143 @@
+// BGP peer session: the per-neighbour state machine of Figure 2 ("state
+// machine for neighboring router"), kept deliberately separate from route
+// processing — "packet formats and state machines are largely separate
+// from route processing" (§5).
+//
+// The FSM follows RFC 4271's session states (Idle, Connect, Active,
+// OpenSent, OpenConfirm, Established) with hold/keepalive/connect-retry
+// timers, running over an abstract byte transport. The in-memory
+// PipeTransport connects two speakers (possibly in different event loops)
+// with configurable latency — the multi-router simulations and the
+// Figure 13 benchmark run on it.
+#ifndef XRP_BGP_PEER_HPP
+#define XRP_BGP_PEER_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "ev/eventloop.hpp"
+
+namespace xrp::bgp {
+
+// Abstract ordered byte pipe with connect semantics.
+class BgpTransport {
+public:
+    virtual ~BgpTransport() = default;
+    virtual void connect() = 0;
+    virtual void send(std::vector<uint8_t> bytes) = 0;
+    virtual void close() = 0;
+
+    std::function<void()> on_connected;
+    std::function<void(const uint8_t*, size_t)> on_data;
+    std::function<void()> on_error;
+};
+
+// In-memory pipe pair. Bytes sent on one end arrive at the other after
+// `latency` of the *receiver's* loop clock (works across two loops and on
+// virtual clocks). Closing either end errors the peer end.
+class PipeTransport final : public BgpTransport {
+public:
+    struct Shared;
+    static std::pair<std::unique_ptr<PipeTransport>,
+                     std::unique_ptr<PipeTransport>>
+    make_pair(ev::EventLoop& loop_a, ev::EventLoop& loop_b,
+              ev::Duration latency = std::chrono::milliseconds(0));
+
+    ~PipeTransport() override;
+    void connect() override;
+    void send(std::vector<uint8_t> bytes) override;
+    void close() override;
+
+private:
+    PipeTransport(std::shared_ptr<Shared> shared, int side);
+    std::shared_ptr<Shared> shared_;
+    int side_;
+};
+
+class BgpPeer {
+public:
+    enum class State {
+        kIdle,
+        kConnect,
+        kActive,
+        kOpenSent,
+        kOpenConfirm,
+        kEstablished,
+    };
+    static std::string_view state_name(State s);
+
+    struct Config {
+        net::IPv4 local_id;
+        net::IPv4 peer_addr;  // identifies the peer; also its expected id
+        As local_as = 0;
+        As peer_as = 0;
+        uint16_t hold_time = 90;
+        // Reconnect automatically after failure (connect-retry timer).
+        bool auto_restart = true;
+        ev::Duration connect_retry = std::chrono::seconds(5);
+    };
+
+    struct Stats {
+        uint64_t updates_in = 0;
+        uint64_t updates_out = 0;
+        uint64_t keepalives_in = 0;
+        uint64_t keepalives_out = 0;
+        uint64_t notifications_in = 0;
+        uint64_t session_drops = 0;
+    };
+
+    BgpPeer(ev::EventLoop& loop, Config config,
+            std::unique_ptr<BgpTransport> transport);
+    ~BgpPeer();
+    BgpPeer(const BgpPeer&) = delete;
+    BgpPeer& operator=(const BgpPeer&) = delete;
+
+    void start();
+    void stop();  // sends Cease, returns to Idle, no auto-restart
+
+    State state() const { return state_; }
+    bool established() const { return state_ == State::kEstablished; }
+    bool is_ibgp() const { return config_.local_as == config_.peer_as; }
+    const Config& config() const { return config_; }
+    const Stats& stats() const { return stats_; }
+
+    // Only legal when established; silently dropped otherwise (the caller
+    // sees the session state via callbacks).
+    void send_update(const UpdateMessage& update);
+
+    // ---- owner callbacks ------------------------------------------------
+    std::function<void()> on_established;
+    // Fired on any transition out of Established (or failed setup).
+    std::function<void()> on_down;
+    std::function<void(const UpdateMessage&)> on_update;
+
+private:
+    void transition(State s);
+    void on_connected();
+    void on_transport_error();
+    void on_bytes(const uint8_t* data, size_t size);
+    void handle_message(const Message& m);
+    void send_message(const Message& m);
+    void session_failed(uint8_t code, uint8_t subcode, bool send_notify);
+    void arm_hold_timer();
+    void arm_connect_retry();
+
+    ev::EventLoop& loop_;
+    Config config_;
+    std::unique_ptr<BgpTransport> transport_;
+    State state_ = State::kIdle;
+    std::vector<uint8_t> rbuf_;
+    uint16_t negotiated_hold_ = 0;
+    ev::Timer hold_timer_;
+    ev::Timer keepalive_timer_;
+    ev::Timer connect_retry_timer_;
+    Stats stats_;
+    bool was_established_ = false;
+};
+
+}  // namespace xrp::bgp
+
+#endif

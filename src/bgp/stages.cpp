@@ -1,0 +1,55 @@
+#include "bgp/stages.hpp"
+
+namespace xrp::bgp {
+
+bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b) {
+    const PathAttributes* pa = route_attrs(a);
+    const PathAttributes* pb = route_attrs(b);
+
+    // Eligibility: a resolved nexthop always beats an unresolved one.
+    bool ra = a.igp_metric != stage::kUnresolvedMetric;
+    bool rb = b.igp_metric != stage::kUnresolvedMetric;
+    if (ra != rb) return ra;
+
+    // 1. Highest LOCAL_PREF (default 100).
+    uint32_t lpa = pa != nullptr && pa->local_pref ? *pa->local_pref : 100;
+    uint32_t lpb = pb != nullptr && pb->local_pref ? *pb->local_pref : 100;
+    if (lpa != lpb) return lpa > lpb;
+
+    // 2. Shortest AS path.
+    uint32_t la = pa != nullptr ? pa->as_path.path_length() : 0;
+    uint32_t lb = pb != nullptr ? pb->as_path.path_length() : 0;
+    if (la != lb) return la < lb;
+
+    // 3. Lowest origin (IGP < EGP < INCOMPLETE).
+    uint8_t oa = pa != nullptr ? static_cast<uint8_t>(pa->origin) : 2;
+    uint8_t ob = pb != nullptr ? static_cast<uint8_t>(pb->origin) : 2;
+    if (oa != ob) return oa < ob;
+
+    // 4. Lowest MED, comparable only when learned from the same
+    // neighbouring AS (RFC 4271 §9.1.2.2 c).
+    if (pa != nullptr && pb != nullptr) {
+        auto na = pa->as_path.first_as();
+        auto nb = pb->as_path.first_as();
+        if (na && nb && *na == *nb) {
+            uint32_t ma = pa->med.value_or(0);
+            uint32_t mb = pb->med.value_or(0);
+            if (ma != mb) return ma < mb;
+        }
+    }
+
+    // 5. EBGP-learned over IBGP-learned.
+    bool ea = a.protocol == "ebgp";
+    bool eb = b.protocol == "ebgp";
+    if (ea != eb) return ea;
+
+    // 6. Lowest IGP metric to the nexthop — hot-potato routing (§3).
+    if (a.igp_metric != b.igp_metric) return a.igp_metric < b.igp_metric;
+
+    // 7. Lowest originating router id (carried in source_id), then
+    // nexthop as a final deterministic tie-break.
+    if (a.source_id != b.source_id) return a.source_id < b.source_id;
+    return a.nexthop < b.nexthop;
+}
+
+}  // namespace xrp::bgp

@@ -1,0 +1,244 @@
+// BGP-specific pipeline stages (Figure 5): the Decision Process and the
+// Nexthop Resolver. The generic stage machinery lives in src/stage; these
+// add the BGP ranking rules and the asynchronous RIB coupling.
+#ifndef XRP_BGP_STAGES_HPP
+#define XRP_BGP_STAGES_HPP
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "bgp/attributes.hpp"
+#include "net/trie.hpp"
+#include "stage/stage.hpp"
+
+namespace xrp::bgp {
+
+using BgpRoute = stage::Route<net::IPv4>;
+
+inline const PathAttributes* route_attrs(const BgpRoute& r) {
+    return static_cast<const PathAttributes*>(r.attrs.get());
+}
+
+// The full RFC 4271 §9.1.2.2 ranking, in order: LOCAL_PREF (higher wins),
+// AS path length, origin, MED (comparable only between routes from the
+// same neighbour AS), EBGP-over-IBGP, IGP metric to nexthop (hot potato,
+// §3), then router id / peer address as deterministic tie-breaks.
+// Returns true when `a` is preferred.
+bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b);
+
+// ---- Decision Process (§5.1.1) -----------------------------------------
+//
+// "In addition to deciding which route wins", the paper's first-cut
+// decision stage did nexthop resolution and fan-out too; the revised
+// architecture (Fig. 5) strips it down to exactly one job: pick the best
+// eligible route per prefix among all peers' pipelines. It stores nothing
+// — alternatives are found by calling lookup_route *upstream through each
+// parent pipeline*, which works because origins hold original routes and
+// every intermediate stage answers lookups consistently (§5.1's rules).
+class DecisionStage : public stage::RouteStage<net::IPv4> {
+public:
+    explicit DecisionStage(std::string name) : name_(std::move(name)) {}
+
+    void add_parent(RouteStage* parent) {
+        parents_.push_back(parent);
+        parent->set_downstream(this);
+    }
+    void remove_parent(RouteStage* parent) {
+        std::erase(parents_, parent);
+    }
+
+    void add_route(const BgpRoute& route, RouteStage* caller) override {
+        auto other = best_other(route.net, caller);
+        if (other && bgp_route_preferred(*other, route)) return;
+        if (other) this->forward_delete(*other);
+        this->forward_add(route);
+    }
+
+    void delete_route(const BgpRoute& route, RouteStage* caller) override {
+        auto other = best_other(route.net, caller);
+        if (other && bgp_route_preferred(*other, route))
+            return;  // the deleted route had lost; downstream never saw it
+        this->forward_delete(route);
+        if (other) this->forward_add(*other);
+    }
+
+    std::optional<BgpRoute> lookup_route(const Net& net) const override {
+        return best_other(net, nullptr);
+    }
+
+    std::string name() const override { return name_; }
+
+private:
+    std::optional<BgpRoute> best_other(const Net& net,
+                                       RouteStage* excluded) const {
+        std::optional<BgpRoute> best;
+        for (RouteStage* p : parents_) {
+            if (p == excluded) continue;
+            auto r = p->lookup_route(net);
+            if (!r) continue;
+            if (!best || bgp_route_preferred(*r, *best)) best = std::move(r);
+        }
+        return best;
+    }
+
+    std::string name_;
+    std::vector<RouteStage*> parents_;
+};
+
+// ---- Nexthop Resolver (§5.1.1) -------------------------------------------
+//
+// "The Nexthop Resolver stages talk asynchronously to the RIB to discover
+// metrics to the nexthops in BGP's routes. As replies arrive, it
+// annotates routes in add_route and lookup_route messages with the
+// relevant IGP metrics. Routes are held in a queue until the relevant
+// nexthop metrics are received; this avoids the need for the Decision
+// Process to wait on asynchronous operations."
+//
+// The RIB side of the conversation is the Figure-8 registration protocol:
+// an answer comes with a validity subnet; we cache it for every nexthop in
+// that subnet until the RIB invalidates it (owner calls invalidate()).
+class NexthopResolverStage : public stage::RouteStage<net::IPv4> {
+public:
+    // answer(metric) — nullopt metric = nexthop unreachable.
+    using AnswerCallback =
+        std::function<void(std::optional<uint32_t> metric,
+                           net::IPv4Net valid_subnet)>;
+    // Asks the RIB (asynchronously) how `nexthop` is routed.
+    using MetricLookup =
+        std::function<void(net::IPv4 nexthop, AnswerCallback answer)>;
+
+    NexthopResolverStage(std::string name, MetricLookup lookup)
+        : name_(std::move(name)), lookup_(std::move(lookup)) {}
+
+    void add_route(const BgpRoute& route, RouteStage*) override {
+        const Entry* e = cache_.lookup(route.nexthop);
+        if (e != nullptr && e->metric) {
+            emit(route, *e->metric);
+            return;
+        }
+        // The route will be parked; if an older version of this prefix is
+        // downstream, retract it first so the stream stays consistent.
+        if (const BgpRoute* f = forwarded_.find(route.net)) {
+            BgpRoute old = *f;
+            forwarded_.erase(route.net);
+            this->forward_delete(old);
+        }
+        if (e != nullptr) {  // known-unreachable nexthop
+            unreachable_.insert(route.net, route);
+            return;
+        }
+        // Cache miss: park the route and ask the RIB once per nexthop.
+        bool first = pending_.find(route.nexthop) == pending_.end();
+        pending_[route.nexthop].push_back(route);
+        if (first) query(route.nexthop);
+    }
+
+    void delete_route(const BgpRoute& route, RouteStage*) override {
+        // Still parked? Then downstream never saw it.
+        if (unreachable_.erase(route.net)) return;
+        auto pit = pending_.find(route.nexthop);
+        if (pit != pending_.end()) {
+            auto& v = pit->second;
+            for (auto it = v.begin(); it != v.end(); ++it) {
+                if (it->net == route.net) {
+                    v.erase(it);
+                    return;
+                }
+            }
+        }
+        if (const BgpRoute* f = forwarded_.find(route.net)) {
+            BgpRoute old = *f;
+            forwarded_.erase(route.net);
+            this->forward_delete(old);
+        }
+    }
+
+    std::optional<BgpRoute> lookup_route(const Net& net) const override {
+        // Downstream truth is the annotated version we forwarded.
+        const BgpRoute* f = forwarded_.find(net);
+        return f != nullptr ? std::optional<BgpRoute>(*f) : std::nullopt;
+    }
+
+    // The RIB invalidated a previously-answered subnet (§5.2.1 "cache
+    // invalidated" message): drop the cache entry and re-query for every
+    // forwarded route whose nexthop it covered.
+    void invalidate(const net::IPv4Net& valid_subnet) {
+        cache_.erase(valid_subnet);
+        std::vector<BgpRoute> affected;
+        forwarded_.for_each([&](const Net&, const BgpRoute& r) {
+            if (valid_subnet.contains(r.nexthop)) affected.push_back(r);
+        });
+        // Parked-unreachable routes under this subnet also get another try.
+        unreachable_.for_each([&](const Net&, const BgpRoute& r) {
+            if (valid_subnet.contains(r.nexthop)) affected.push_back(r);
+        });
+        for (const BgpRoute& r : affected) {
+            unreachable_.erase(r.net);
+            BgpRoute original = r;
+            original.igp_metric = stage::kUnresolvedMetric;
+            bool first = pending_.find(original.nexthop) == pending_.end();
+            pending_[original.nexthop].push_back(original);
+            if (first) query(original.nexthop);
+        }
+    }
+
+    std::string name() const override { return name_; }
+
+    size_t pending_count() const {
+        size_t n = 0;
+        for (const auto& [nh, v] : pending_) n += v.size();
+        return n;
+    }
+    size_t unreachable_count() const { return unreachable_.size(); }
+
+private:
+    struct Entry {
+        std::optional<uint32_t> metric;  // nullopt = unreachable
+    };
+
+    void query(net::IPv4 nexthop) {
+        lookup_(nexthop, [this, nexthop](std::optional<uint32_t> metric,
+                                         net::IPv4Net valid_subnet) {
+            cache_.insert(valid_subnet, Entry{metric});
+            auto it = pending_.find(nexthop);
+            if (it == pending_.end()) return;
+            std::vector<BgpRoute> routes = std::move(it->second);
+            pending_.erase(it);
+            for (BgpRoute& r : routes) {
+                if (metric) {
+                    emit(r, *metric);
+                } else {
+                    unreachable_.insert(r.net, r);
+                }
+            }
+        });
+    }
+
+    void emit(const BgpRoute& route, uint32_t metric) {
+        BgpRoute r = route;
+        r.igp_metric = metric;
+        // A re-announcement while we were resolving may already be
+        // downstream; keep the stream consistent. If the downstream copy
+        // is identical (common after an invalidation that resolved to the
+        // same metric), skip the churn entirely.
+        if (const BgpRoute* f = forwarded_.find(r.net)) {
+            if (*f == r) return;
+            BgpRoute old = *f;
+            this->forward_delete(old);
+        }
+        forwarded_.insert(r.net, r);
+        this->forward_add(r);
+    }
+
+    std::string name_;
+    MetricLookup lookup_;
+    net::RouteTrie<net::IPv4, Entry> cache_;     // by validity subnet
+    net::RouteTrie<net::IPv4, BgpRoute> forwarded_;
+    net::RouteTrie<net::IPv4, BgpRoute> unreachable_;
+    std::map<net::IPv4, std::vector<BgpRoute>> pending_;  // by nexthop
+};
+
+}  // namespace xrp::bgp
+
+#endif

@@ -1,0 +1,16 @@
+#include "ev/clock.hpp"
+
+#include <cassert>
+
+namespace xrp::ev {
+
+TimePoint RealClock::now() {
+    return std::chrono::time_point_cast<Duration>(
+        std::chrono::steady_clock::now());
+}
+
+void RealClock::advance_to(TimePoint) {
+    assert(false && "advance_to called on a real clock");
+}
+
+}  // namespace xrp::ev

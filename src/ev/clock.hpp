@@ -1,0 +1,52 @@
+// Time source abstraction for the event loop.
+//
+// Everything in the system reads time through a Clock so that whole-router
+// simulations (bench/bench_convergence, examples/network_convergence) can
+// run on a virtual clock: when the loop has nothing runnable it jumps the
+// clock to the next timer deadline instead of sleeping, letting a 255-
+// second BGP experiment finish in milliseconds without changing any
+// protocol code.
+#ifndef XRP_EV_CLOCK_HPP
+#define XRP_EV_CLOCK_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace xrp::ev {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+class Clock {
+public:
+    virtual ~Clock() = default;
+    virtual TimePoint now() = 0;
+    virtual bool is_virtual() const = 0;
+    // Virtual clocks move only when told; calling this on a real clock is a
+    // programming error (asserts).
+    virtual void advance_to(TimePoint t) = 0;
+};
+
+class RealClock final : public Clock {
+public:
+    TimePoint now() override;
+    bool is_virtual() const override { return false; }
+    void advance_to(TimePoint t) override;
+};
+
+class VirtualClock final : public Clock {
+public:
+    TimePoint now() override { return now_; }
+    bool is_virtual() const override { return true; }
+    void advance_to(TimePoint t) override {
+        if (t > now_) now_ = t;
+    }
+    void advance_by(Duration d) { now_ += d; }
+
+private:
+    TimePoint now_{};
+};
+
+}  // namespace xrp::ev
+
+#endif

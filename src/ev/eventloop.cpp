@@ -1,0 +1,260 @@
+#include "ev/eventloop.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cassert>
+
+namespace xrp::ev {
+
+Timer EventLoop::schedule(TimerSP state) {
+    state->seq = ++timer_seq_;
+    state->scheduled = true;
+    heap_.push(state);
+    return Timer(std::move(state));
+}
+
+Timer EventLoop::set_timer(Duration delay, std::function<void()> cb) {
+    return set_timer_at(now() + delay, std::move(cb));
+}
+
+Timer EventLoop::set_timer_at(TimePoint when, std::function<void()> cb) {
+    auto s = std::make_shared<detail::TimerState>();
+    s->expiry = when;
+    s->cb = std::move(cb);
+    return schedule(std::move(s));
+}
+
+Timer EventLoop::set_periodic(Duration period, std::function<bool()> cb) {
+    assert(period > Duration::zero());
+    auto s = std::make_shared<detail::TimerState>();
+    s->expiry = now() + period;
+    s->period = period;
+    s->periodic_cb = std::move(cb);
+    return schedule(std::move(s));
+}
+
+void EventLoop::defer(std::function<void()> cb) {
+    deferred_owned_.push_back(set_timer(Duration::zero(), std::move(cb)));
+}
+
+void EventLoop::defer_after(Duration delay, std::function<void()> cb) {
+    deferred_owned_.push_back(set_timer(delay, std::move(cb)));
+}
+
+void EventLoop::add_reader(int fd, std::function<void()> cb) {
+    readers_[fd] = std::move(cb);
+}
+void EventLoop::add_writer(int fd, std::function<void()> cb) {
+    writers_[fd] = std::move(cb);
+}
+void EventLoop::remove_reader(int fd) { readers_.erase(fd); }
+void EventLoop::remove_writer(int fd) { writers_.erase(fd); }
+
+Task EventLoop::add_background_task(std::function<bool()> slice, int weight) {
+    auto s = std::make_shared<detail::TaskState>();
+    s->slice = std::move(slice);
+    s->weight = std::max(1, weight);
+    s->running = true;
+    tasks_.push_back(s);
+    return Task(std::move(s));
+}
+
+size_t EventLoop::background_task_count() const {
+    size_t n = 0;
+    for (const auto& t : tasks_)
+        if (!t->cancelled) ++n;
+    return n;
+}
+
+bool EventLoop::fire_due_timers() {
+    // Collect what is due *now*; timers armed by callbacks during this
+    // batch wait for the next turn, so a self-rearming zero-delay timer
+    // cannot starve fds and tasks.
+    const TimePoint t = now();
+    bool any = false;
+    std::vector<TimerSP> due;
+    while (!heap_.empty() && heap_.top()->expiry <= t) {
+        due.push_back(heap_.top());
+        heap_.pop();
+    }
+    for (TimerSP& s : due) {
+        s->scheduled = false;
+        if (s->cancelled) continue;
+        any = true;
+        if (s->periodic_cb) {
+            bool again = s->periodic_cb();
+            if (again && !s->cancelled) {
+                s->expiry += s->period;
+                s->seq = ++timer_seq_;
+                s->scheduled = true;
+                heap_.push(s);
+            } else {
+                s->cancelled = true;
+            }
+        } else {
+            auto cb = std::move(s->cb);
+            s->cancelled = true;
+            cb();
+        }
+    }
+    if (!deferred_owned_.empty()) {
+        // Drop handles of already-fired defer() timers.
+        std::erase_if(deferred_owned_,
+                      [](const Timer& t2) { return !t2.scheduled(); });
+    }
+    return any;
+}
+
+bool EventLoop::dispatch_fds(int timeout_ms) {
+    if (readers_.empty() && writers_.empty()) return false;
+    // Exactly one pollfd per fd, with merged interest bits: duplicate fd
+    // entries confuse some poll(2) interposition layers (which also
+    // rewrite `events`, so classification below re-checks our own maps
+    // rather than trusting the returned events field).
+    std::vector<pollfd> pfds;
+    pfds.reserve(readers_.size() + writers_.size());
+    {
+        auto rit = readers_.begin();
+        auto wit = writers_.begin();
+        while (rit != readers_.end() || wit != writers_.end()) {
+            if (wit == writers_.end() ||
+                (rit != readers_.end() && rit->first < wit->first)) {
+                pfds.push_back({rit->first, POLLIN, 0});
+                ++rit;
+            } else if (rit == readers_.end() || wit->first < rit->first) {
+                pfds.push_back({wit->first, POLLOUT, 0});
+                ++wit;
+            } else {
+                pfds.push_back({rit->first, POLLIN | POLLOUT, 0});
+                ++rit;
+                ++wit;
+            }
+        }
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc <= 0) return false;
+    bool any = false;
+    for (const pollfd& p : pfds) {
+        if (p.revents == 0) continue;
+        // Look the callbacks up at dispatch time: an earlier callback in
+        // this batch may have removed (or replaced) this fd's handler.
+        if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+            auto it = readers_.find(p.fd);
+            if (it != readers_.end()) {
+                // Copy before invoking: the handler may remove itself
+                // (remove_reader from inside the callback), and the
+                // callable plus everything it captures must stay alive
+                // for the duration of the call.
+                auto cb = it->second;
+                any = true;
+                cb();
+            }
+        }
+        if (p.revents & (POLLOUT | POLLHUP | POLLERR)) {
+            auto it = writers_.find(p.fd);
+            if (it != writers_.end()) {
+                auto cb = it->second;  // same self-removal hazard
+                any = true;
+                cb();
+            }
+        }
+    }
+    return any;
+}
+
+bool EventLoop::run_one_task_slice() {
+    // Weighted round-robin over live tasks; one slice per idle loop turn
+    // keeps timer/fd latency bounded while background work proceeds.
+    std::erase_if(tasks_, [](const auto& t) { return t->cancelled; });
+    if (tasks_.empty()) return false;
+    if (task_rr_ >= tasks_.size()) task_rr_ = 0;
+    auto t = tasks_[task_rr_];
+    if (task_credit_ <= 0) task_credit_ = t->weight;
+    bool more = t->slice && !t->cancelled ? t->slice() : false;
+    if (clock_.is_virtual() && task_virtual_cost_ > Duration::zero())
+        clock_.advance_to(now() + task_virtual_cost_);
+    if (!more) {
+        t->cancelled = true;
+        task_credit_ = 0;
+        return true;
+    }
+    if (--task_credit_ <= 0) ++task_rr_;
+    return true;
+}
+
+int EventLoop::poll_timeout_ms(bool may_block) {
+    if (!may_block || clock_.is_virtual()) return 0;
+    if (background_task_count() > 0) return 0;
+    if (heap_.empty()) return 100;  // re-check stop flag periodically
+    Duration d = heap_.top()->expiry - now();
+    if (d <= Duration::zero()) return 0;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+    return static_cast<int>(std::min<long long>(ms + 1, 100));
+}
+
+bool EventLoop::run_once(bool may_block) {
+    bool any = fire_due_timers();
+    any |= dispatch_fds(any ? 0 : poll_timeout_ms(may_block));
+    if (!any) any = run_one_task_slice();
+    if (!any && clock_.is_virtual() && !heap_.empty()) {
+        // Nothing runnable now: jump virtual time to the next deadline,
+        // but never past the caller's cap (run_for/run_until deadline).
+        TimePoint target = std::min(heap_.top()->expiry, advance_cap_);
+        if (target > now()) {
+            clock_.advance_to(target);
+            any = fire_due_timers();
+        }
+    }
+    return any;
+}
+
+void EventLoop::run() {
+    stopped_ = false;
+    while (!stopped_) {
+        bool any = run_once(true);
+        if (!any && heap_.empty() && readers_.empty() && writers_.empty() &&
+            background_task_count() == 0)
+            break;  // nothing can ever fire again
+    }
+}
+
+bool EventLoop::run_until(const std::function<bool()>& pred, Duration limit) {
+    const TimePoint deadline = now() + limit;
+    const TimePoint saved_cap = advance_cap_;
+    advance_cap_ = std::min(saved_cap, deadline);
+    bool ok = true;
+    while (!pred()) {
+        if (now() >= deadline) {
+            ok = false;
+            break;
+        }
+        bool any = run_once(true);
+        if (!any && clock_.is_virtual() &&
+            (heap_.empty() || heap_.top()->expiry > advance_cap_) &&
+            background_task_count() == 0) {
+            // Virtual time cannot usefully progress before the deadline.
+            ok = pred();
+            break;
+        }
+    }
+    advance_cap_ = saved_cap;
+    return ok;
+}
+
+void EventLoop::run_for(Duration d) {
+    const TimePoint deadline = now() + d;
+    const TimePoint saved_cap = advance_cap_;
+    advance_cap_ = std::min(saved_cap, deadline);
+    while (now() < deadline) {
+        bool any = run_once(true);
+        if (clock_.is_virtual() && !any && background_task_count() == 0 &&
+            (heap_.empty() || heap_.top()->expiry > advance_cap_)) {
+            clock_.advance_to(std::min(deadline, advance_cap_));
+            break;
+        }
+    }
+    advance_cap_ = saved_cap;
+}
+
+}  // namespace xrp::ev

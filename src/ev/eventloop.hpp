@@ -1,0 +1,118 @@
+// The single-threaded event loop at the core of every component (§4).
+//
+// Three event sources, strictly prioritized:
+//   1. expired timers — fired in deadline order;
+//   2. ready file descriptors — dispatched via poll(2);
+//   3. background tasks — one cooperative slice per idle loop turn,
+//      weighted round-robin.
+//
+// The loop never blocks while a background task has work, and on a virtual
+// clock it never blocks at all: when nothing is runnable it advances the
+// clock straight to the next timer deadline.
+#ifndef XRP_EV_EVENTLOOP_HPP
+#define XRP_EV_EVENTLOOP_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ev/clock.hpp"
+#include "ev/task.hpp"
+#include "ev/timer.hpp"
+
+namespace xrp::ev {
+
+class EventLoop {
+public:
+    explicit EventLoop(Clock& clock) : clock_(clock) {}
+
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+
+    Clock& clock() { return clock_; }
+    TimePoint now() { return clock_.now(); }
+
+    // ---- timers -----------------------------------------------------
+    // One-shot timer. The returned handle owns the registration.
+    [[nodiscard]] Timer set_timer(Duration delay, std::function<void()> cb);
+    [[nodiscard]] Timer set_timer_at(TimePoint when, std::function<void()> cb);
+    // Periodic timer; the callback returns false to stop.
+    [[nodiscard]] Timer set_periodic(Duration period, std::function<bool()> cb);
+    // Fire-and-forget: run `cb` from the loop as soon as possible. Used to
+    // break call chains and keep event handlers shallow.
+    void defer(std::function<void()> cb);
+    // Fire-and-forget with a delay (simulated link latency, retry backoff).
+    void defer_after(Duration delay, std::function<void()> cb);
+
+    // ---- file descriptors --------------------------------------------
+    void add_reader(int fd, std::function<void()> cb);
+    void add_writer(int fd, std::function<void()> cb);
+    void remove_reader(int fd);
+    void remove_writer(int fd);
+
+    // ---- background tasks --------------------------------------------
+    // `slice` runs when the loop is otherwise idle; return true while more
+    // work remains. Higher weight gets proportionally more slices.
+    [[nodiscard]] Task add_background_task(std::function<bool()> slice,
+                                           int weight = 1);
+    size_t background_task_count() const;
+
+    // On a virtual clock, each background slice advances time by this much
+    // (real slices cost real time; without this, a hungry task would
+    // freeze virtual time and starve every timer). Default 1us.
+    void set_task_virtual_cost(Duration d) { task_virtual_cost_ = d; }
+
+    // ---- running ------------------------------------------------------
+    // Processes one batch of work. `may_block` permits a blocking poll when
+    // nothing is due (real clocks only). Returns true if any callback ran.
+    bool run_once(bool may_block = true);
+    // Runs until stop() or until no event source could ever fire again.
+    void run();
+    void stop() { stopped_ = true; }
+    // Runs until `pred()` is true or `limit` elapses (loop-clock time).
+    // Returns true if the predicate was satisfied.
+    bool run_until(const std::function<bool()>& pred, Duration limit);
+    // Runs for `d` of loop-clock time.
+    void run_for(Duration d);
+
+    bool timers_pending() const { return !heap_.empty(); }
+
+private:
+    using TimerSP = std::shared_ptr<detail::TimerState>;
+    struct HeapCmp {
+        bool operator()(const TimerSP& a, const TimerSP& b) const {
+            if (a->expiry != b->expiry) return a->expiry > b->expiry;
+            return a->seq > b->seq;
+        }
+    };
+
+    Timer schedule(TimerSP state);
+    bool fire_due_timers();
+    bool dispatch_fds(int timeout_ms);
+    bool run_one_task_slice();
+    int poll_timeout_ms(bool may_block);
+
+    Clock& clock_;
+    bool stopped_ = false;
+    uint64_t timer_seq_ = 0;
+    // Virtual clocks never advance past this; run_for/run_until pin it to
+    // their deadline so idle jumps stop exactly on time.
+    TimePoint advance_cap_ = TimePoint::max();
+
+    std::priority_queue<TimerSP, std::vector<TimerSP>, HeapCmp> heap_;
+    std::vector<Timer> deferred_owned_;  // keeps defer() timers alive
+
+    std::map<int, std::function<void()>> readers_;
+    std::map<int, std::function<void()>> writers_;
+
+    std::vector<std::shared_ptr<detail::TaskState>> tasks_;
+    size_t task_rr_ = 0;   // round-robin cursor
+    int task_credit_ = 0;  // remaining slices for current task
+    Duration task_virtual_cost_ = std::chrono::microseconds(1);
+};
+
+}  // namespace xrp::ev
+
+#endif

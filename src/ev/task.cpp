@@ -1,0 +1,4 @@
+#include "ev/task.hpp"
+
+// Task is header-only today; this TU anchors the header in the build.
+namespace xrp::ev {}

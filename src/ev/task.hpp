@@ -1,0 +1,61 @@
+// Background tasks (§4): cooperative slices that run only when the event
+// loop has no expired timers and no ready file descriptors. A task's
+// callback does a bounded chunk of work and returns true if more remains.
+// Dropping the Task handle cancels it; tasks that finish (return false)
+// unschedule themselves.
+//
+// The paper leans on these for everything that is too big for one event:
+// deleting 146k routes when a peer falls over (§5.1.2), re-filtering after
+// a policy change, draining the BGP fanout queue toward slow peers.
+#ifndef XRP_EV_TASK_HPP
+#define XRP_EV_TASK_HPP
+
+#include <functional>
+#include <memory>
+
+namespace xrp::ev {
+
+class EventLoop;
+
+namespace detail {
+struct TaskState {
+    std::function<bool()> slice;
+    int weight = 1;  // relative share of idle slices
+    bool cancelled = false;
+    bool running = false;  // in the loop's run queue
+};
+}  // namespace detail
+
+class Task {
+public:
+    Task() = default;
+    Task(Task&&) noexcept = default;
+    Task& operator=(Task&& o) noexcept {
+        if (this != &o) {
+            cancel();
+            state_ = std::move(o.state_);
+        }
+        return *this;
+    }
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    ~Task() { cancel(); }
+
+    bool active() const { return state_ && !state_->cancelled; }
+
+    void cancel() {
+        if (state_) {
+            state_->cancelled = true;
+            state_.reset();
+        }
+    }
+
+private:
+    friend class EventLoop;
+    explicit Task(std::shared_ptr<detail::TaskState> s) : state_(std::move(s)) {}
+    std::shared_ptr<detail::TaskState> state_;
+};
+
+}  // namespace xrp::ev
+
+#endif

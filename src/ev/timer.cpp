@@ -1,0 +1,5 @@
+#include "ev/timer.hpp"
+
+// Timer is header-only today; this TU anchors the header in the build so
+// that any future out-of-line definitions have a home.
+namespace xrp::ev {}

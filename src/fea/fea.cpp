@@ -1,0 +1,85 @@
+#include "fea/fea.hpp"
+
+namespace xrp::fea {
+
+void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
+    if (profiler_ != nullptr) profiler_->record("fea_in", "add " + net.str());
+    FibEntry e;
+    e.net = net;
+    e.nexthop = nexthop;
+    const Interface* itf = interfaces_.find_by_subnet(nexthop);
+    if (itf != nullptr) e.ifname = itf->name;
+    fib_.add_route(e);
+    if (profiler_ != nullptr)
+        profiler_->record("kernel_in", "add " + net.str());
+}
+
+bool Fea::delete_route(const net::IPv4Net& net) {
+    if (profiler_ != nullptr)
+        profiler_->record("fea_in", "delete " + net.str());
+    bool ok = fib_.delete_route(net);
+    if (ok && profiler_ != nullptr)
+        profiler_->record("kernel_in", "delete " + net.str());
+    return ok;
+}
+
+void Fea::attach_to_network(VirtualNetwork* network, int link_id,
+                            const std::string& ifname) {
+    attachments_[ifname] = {network, link_id};
+    network->attach(link_id, this, ifname);
+}
+
+int Fea::udp_open(uint16_t port, UdpReceiveCallback cb) {
+    for (const auto& [id, s] : sockets_)
+        if (s.port == port) return 0;
+    int id = next_sock_++;
+    sockets_[id] = {port, std::move(cb)};
+    return id;
+}
+
+void Fea::udp_close(int sock) { sockets_.erase(sock); }
+
+bool Fea::udp_send(int sock, const std::string& ifname, net::IPv4 dst,
+                   uint16_t dst_port, std::vector<uint8_t> payload) {
+    auto sit = sockets_.find(sock);
+    if (sit == sockets_.end()) return false;
+    const Interface* itf = interfaces_.find(ifname);
+    if (itf == nullptr || !itf->enabled || !itf->link_up) return false;
+    auto ait = attachments_.find(ifname);
+    if (ait == attachments_.end()) return false;
+    Datagram d;
+    d.src = itf->addr;
+    d.dst = dst;
+    d.src_port = sit->second.port;
+    d.dst_port = dst_port;
+    d.payload = std::move(payload);
+    ait->second.network->send(this, ifname, d);
+    return true;
+}
+
+void Fea::receive(const std::string& ifname, const Datagram& dgram) {
+    const Interface* itf = interfaces_.find(ifname);
+    if (itf == nullptr || !itf->enabled || !itf->link_up) return;
+    for (const auto& [id, s] : sockets_) {
+        if (s.port != dgram.dst_port) continue;
+        // Accept unicast to our address, subnet broadcast, multicast, and
+        // limited broadcast.
+        bool for_us = dgram.dst == itf->addr || dgram.dst.is_multicast() ||
+                      dgram.dst == net::IPv4::all_ones() ||
+                      (itf->subnet.contains(dgram.dst) &&
+                       dgram.dst ==
+                           (itf->subnet.masked_addr() |
+                            ~net::IPv4::make_prefix(itf->subnet.prefix_len())));
+        if (for_us && s.cb) s.cb(ifname, dgram);
+    }
+}
+
+void Fea::set_profiler(profiler::Profiler* p) {
+    profiler_ = p;
+    if (p != nullptr) {
+        p->add_point("fea_in");
+        p->add_point("kernel_in");
+    }
+}
+
+}  // namespace xrp::fea

@@ -1,0 +1,91 @@
+// Fea: the Forwarding Engine Abstraction process (§3).
+//
+// "The FEA provides a stable API for communicating with a forwarding
+// engine or engines" — here the simulated forwarding plane — and, per the
+// security design (§7), acts as the relay for all network access:
+// "rather than sending UDP packets directly, RIP sends and receives
+// packets using XRL calls to the FEA", so routing processes never need
+// raw sockets or root privileges.
+//
+// Profiling points: "fea_in" (route arriving at the FEA) and "kernel_in"
+// (route entering the kernel/forwarding plane) — the last two points of
+// the paper's Figures 10-12 pipeline.
+#ifndef XRP_FEA_FEA_HPP
+#define XRP_FEA_FEA_HPP
+
+#include <map>
+#include <memory>
+
+#include "ev/eventloop.hpp"
+#include "fea/iftable.hpp"
+#include "fea/simfib.hpp"
+#include "fea/simnet.hpp"
+#include "profiler/profiler.hpp"
+
+namespace xrp::fea {
+
+class Fea {
+public:
+    explicit Fea(ev::EventLoop& loop, std::string name = "fea")
+        : loop_(loop), name_(std::move(name)) {}
+    Fea(const Fea&) = delete;
+    Fea& operator=(const Fea&) = delete;
+
+    ev::EventLoop& loop() { return loop_; }
+    const std::string& name() const { return name_; }
+    IfTable& interfaces() { return interfaces_; }
+    const IfTable& interfaces() const { return interfaces_; }
+    SimForwardingPlane& fib() { return fib_; }
+    const SimForwardingPlane& fib() const { return fib_; }
+
+    // ---- forwarding table API (used by the RIB) ------------------------
+    // The egress interface is resolved from the nexthop's subnet; a route
+    // whose nexthop matches no interface is installed interface-less
+    // (recursive routes — the RIB has already resolved reachability).
+    void add_route(const net::IPv4Net& net, net::IPv4 nexthop);
+    bool delete_route(const net::IPv4Net& net);
+    const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
+
+    // ---- virtual network attachment -------------------------------------
+    void attach_to_network(VirtualNetwork* network, int link_id,
+                           const std::string& ifname);
+
+    // ---- the §7 UDP relay ---------------------------------------------
+    using UdpReceiveCallback =
+        std::function<void(const std::string& ifname, const Datagram&)>;
+    // Opens a relay socket bound to `port` on every interface. Returns a
+    // socket id (>0), or 0 if the port is taken.
+    int udp_open(uint16_t port, UdpReceiveCallback cb);
+    void udp_close(int sock);
+    bool udp_send(int sock, const std::string& ifname, net::IPv4 dst,
+                  uint16_t dst_port, std::vector<uint8_t> payload);
+
+    // Called by the VirtualNetwork when a datagram reaches one of our
+    // attached interfaces.
+    void receive(const std::string& ifname, const Datagram& dgram);
+
+    void set_profiler(profiler::Profiler* p);
+
+private:
+    struct RelaySocket {
+        uint16_t port = 0;
+        UdpReceiveCallback cb;
+    };
+    struct Attachment {
+        VirtualNetwork* network = nullptr;
+        int link_id = 0;
+    };
+
+    ev::EventLoop& loop_;
+    std::string name_;
+    IfTable interfaces_;
+    SimForwardingPlane fib_;
+    std::map<int, RelaySocket> sockets_;
+    std::map<std::string, Attachment> attachments_;  // by ifname
+    int next_sock_ = 1;
+    profiler::Profiler* profiler_ = nullptr;
+};
+
+}  // namespace xrp::fea
+
+#endif

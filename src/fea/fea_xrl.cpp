@@ -1,0 +1,43 @@
+#include "fea/fea_xrl.hpp"
+
+namespace xrp::fea {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+void bind_fea_xrl(Fea& fea, ipc::XrlRouter& router) {
+    auto spec = xrl::InterfaceSpec::parse(kFeaIdl);
+    router.add_interface(*spec);
+
+    router.add_handler(
+        "fea/1.0/add_route4", [&fea](const XrlArgs& in, XrlArgs&) {
+            fea.add_route(*in.get_ipv4net("net"), *in.get_ipv4("nexthop"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/delete_route4", [&fea](const XrlArgs& in, XrlArgs&) {
+            if (!fea.delete_route(*in.get_ipv4net("net")))
+                return XrlError::command_failed("no such route");
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/lookup_route4", [&fea](const XrlArgs& in, XrlArgs& out) {
+            const FibEntry* e = fea.lookup(*in.get_ipv4("addr"));
+            out.add("found", e != nullptr);
+            out.add("net", e != nullptr ? e->net : net::IPv4Net{});
+            out.add("nexthop", e != nullptr ? e->nexthop : net::IPv4{});
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/get_fib_size", [&fea](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(fea.fib().size()));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/get_interface_count", [&fea](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(fea.interfaces().size()));
+            return XrlError::okay();
+        });
+}
+
+}  // namespace xrp::fea

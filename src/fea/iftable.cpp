@@ -1,0 +1,82 @@
+#include "fea/iftable.hpp"
+
+namespace xrp::fea {
+
+uint32_t IfTable::add_interface(const std::string& name, net::IPv4 addr,
+                                uint32_t prefix_len, net::Mac mac) {
+    Interface itf;
+    itf.name = name;
+    itf.ifindex = next_ifindex_++;
+    itf.mac = mac;
+    itf.addr = addr;
+    itf.subnet = net::IPv4Net(addr, prefix_len);
+    interfaces_[name] = itf;
+    notify(interfaces_[name]);
+    return itf.ifindex;
+}
+
+bool IfTable::remove_interface(const std::string& name) {
+    auto it = interfaces_.find(name);
+    if (it == interfaces_.end()) return false;
+    Interface itf = it->second;
+    interfaces_.erase(it);
+    itf.enabled = false;
+    notify(itf);
+    return true;
+}
+
+const Interface* IfTable::find(const std::string& name) const {
+    auto it = interfaces_.find(name);
+    return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const Interface* IfTable::find_by_index(uint32_t ifindex) const {
+    for (const auto& [name, itf] : interfaces_)
+        if (itf.ifindex == ifindex) return &itf;
+    return nullptr;
+}
+
+const Interface* IfTable::find_by_subnet(net::IPv4 addr) const {
+    for (const auto& [name, itf] : interfaces_)
+        if (itf.subnet.contains(addr)) return &itf;
+    return nullptr;
+}
+
+bool IfTable::set_enabled(const std::string& name, bool enabled) {
+    auto it = interfaces_.find(name);
+    if (it == interfaces_.end()) return false;
+    if (it->second.enabled == enabled) return true;
+    it->second.enabled = enabled;
+    notify(it->second);
+    return true;
+}
+
+bool IfTable::set_link_up(const std::string& name, bool up) {
+    auto it = interfaces_.find(name);
+    if (it == interfaces_.end()) return false;
+    if (it->second.link_up == up) return true;
+    it->second.link_up = up;
+    notify(it->second);
+    return true;
+}
+
+std::vector<std::string> IfTable::interface_names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, itf] : interfaces_) out.push_back(name);
+    return out;
+}
+
+uint64_t IfTable::add_listener(ChangeCallback cb) {
+    uint64_t id = next_listener_++;
+    listeners_[id] = std::move(cb);
+    return id;
+}
+
+void IfTable::remove_listener(uint64_t id) { listeners_.erase(id); }
+
+void IfTable::notify(const Interface& itf) {
+    auto listeners = listeners_;  // callbacks may mutate the listener set
+    for (const auto& [id, cb] : listeners) cb(itf, is_up(itf));
+}
+
+}  // namespace xrp::fea

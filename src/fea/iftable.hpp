@@ -1,0 +1,72 @@
+// Interface table: the FEA's model of the router's network interfaces.
+// Protocols discover interfaces and their addresses here (RIP binds one
+// instance per interface), and link state changes propagate as events.
+#ifndef XRP_FEA_IFTABLE_HPP
+#define XRP_FEA_IFTABLE_HPP
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipnet.hpp"
+#include "net/mac.hpp"
+
+namespace xrp::fea {
+
+struct Interface {
+    std::string name;
+    uint32_t ifindex = 0;
+    net::Mac mac;
+    uint32_t mtu = 1500;
+    bool enabled = true;
+    bool link_up = true;
+    // Primary IPv4 address with its subnet.
+    net::IPv4 addr;
+    net::IPv4Net subnet;
+};
+
+class IfTable {
+public:
+    using ChangeCallback =
+        std::function<void(const Interface&, bool now_up)>;
+
+    // Adds an interface; ifindex assigned automatically. Returns it.
+    uint32_t add_interface(const std::string& name, net::IPv4 addr,
+                           uint32_t prefix_len,
+                           net::Mac mac = net::Mac{});
+
+    bool remove_interface(const std::string& name);
+
+    const Interface* find(const std::string& name) const;
+    const Interface* find_by_index(uint32_t ifindex) const;
+    // The interface whose subnet contains `addr`, if any.
+    const Interface* find_by_subnet(net::IPv4 addr) const;
+
+    // Administrative and link state; both fire change callbacks.
+    bool set_enabled(const std::string& name, bool enabled);
+    bool set_link_up(const std::string& name, bool up);
+
+    std::vector<std::string> interface_names() const;
+    size_t size() const { return interfaces_.size(); }
+
+    // Watch up/down transitions (either admin or link).
+    uint64_t add_listener(ChangeCallback cb);
+    void remove_listener(uint64_t id);
+
+private:
+    void notify(const Interface& itf);
+    bool is_up(const Interface& itf) const {
+        return itf.enabled && itf.link_up;
+    }
+
+    std::map<std::string, Interface> interfaces_;
+    std::map<uint64_t, ChangeCallback> listeners_;
+    uint32_t next_ifindex_ = 1;
+    uint64_t next_listener_ = 1;
+};
+
+}  // namespace xrp::fea
+
+#endif

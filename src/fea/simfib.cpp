@@ -1,0 +1,4 @@
+#include "fea/simfib.hpp"
+
+// SimForwardingPlane is header-only; this TU anchors it in the build.
+namespace xrp::fea {}

@@ -1,0 +1,76 @@
+// SimForwardingPlane: the simulated kernel FIB.
+//
+// Substitutes for the FreeBSD kernel forwarding table / Click forwarding
+// path of the paper's testbed (see DESIGN.md). It is the terminal point
+// of the control plane — the "Entering kernel" profile point of Figures
+// 10-12 fires when a route lands here — and it can actually forward:
+// lookup() runs longest-prefix match over the installed table, which the
+// virtual network (simnet.hpp) uses to move packets between simulated
+// routers.
+#ifndef XRP_FEA_SIMFIB_HPP
+#define XRP_FEA_SIMFIB_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/trie.hpp"
+
+namespace xrp::fea {
+
+struct FibEntry {
+    net::IPv4Net net;
+    net::IPv4 nexthop;
+    std::string ifname;
+    bool operator==(const FibEntry&) const = default;
+};
+
+class SimForwardingPlane {
+public:
+    using ChangeCallback = std::function<void(bool is_add, const FibEntry&)>;
+
+    // Installs (or overwrites) an entry. Counts as one kernel transaction.
+    void add_route(const FibEntry& e) {
+        fib_.insert(e.net, e);
+        ++installs_;
+        if (cb_) cb_(true, e);
+    }
+
+    bool delete_route(const net::IPv4Net& net) {
+        const FibEntry* e = fib_.find(net);
+        if (e == nullptr) return false;
+        FibEntry copy = *e;
+        fib_.erase(net);
+        ++removals_;
+        if (cb_) cb_(false, copy);
+        return true;
+    }
+
+    // Data-plane lookup: longest-prefix match.
+    const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
+    const FibEntry* find_exact(const net::IPv4Net& net) const {
+        return fib_.find(net);
+    }
+
+    size_t size() const { return fib_.size(); }
+    uint64_t install_count() const { return installs_; }
+    uint64_t removal_count() const { return removals_; }
+
+    void set_change_callback(ChangeCallback cb) { cb_ = std::move(cb); }
+
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        fib_.for_each(fn);
+    }
+
+private:
+    net::RouteTrie<net::IPv4, FibEntry> fib_;
+    uint64_t installs_ = 0;
+    uint64_t removals_ = 0;
+    ChangeCallback cb_;
+};
+
+}  // namespace xrp::fea
+
+#endif

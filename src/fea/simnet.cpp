@@ -1,0 +1,73 @@
+#include "fea/simnet.hpp"
+
+#include "fea/fea.hpp"
+
+namespace xrp::fea {
+
+int VirtualNetwork::add_link() {
+    int id = next_link_++;
+    links_[id];
+    return id;
+}
+
+void VirtualNetwork::attach(int link_id, Fea* fea, const std::string& ifname) {
+    links_[link_id].endpoints.push_back({fea, ifname});
+}
+
+void VirtualNetwork::detach(int link_id, Fea* fea,
+                            const std::string& ifname) {
+    auto it = links_.find(link_id);
+    if (it == links_.end()) return;
+    std::erase(it->second.endpoints, Endpoint{fea, ifname});
+}
+
+void VirtualNetwork::set_link_up(int link_id, bool up) {
+    auto it = links_.find(link_id);
+    if (it == links_.end()) return;
+    it->second.up = up;
+    // Propagate as interface link state so protocols see the event.
+    for (const Endpoint& ep : it->second.endpoints)
+        ep.fea->interfaces().set_link_up(ep.ifname, up);
+}
+
+bool VirtualNetwork::link_up(int link_id) const {
+    auto it = links_.find(link_id);
+    return it != links_.end() && it->second.up;
+}
+
+void VirtualNetwork::send(Fea* from, const std::string& ifname,
+                          const Datagram& dgram) {
+    // Find the link this endpoint is attached to.
+    for (auto& [id, link] : links_) {
+        bool attached = false;
+        for (const Endpoint& ep : link.endpoints)
+            if (ep.fea == from && ep.ifname == ifname) attached = true;
+        if (!attached) continue;
+        if (!link.up) {
+            ++dropped_;
+            return;
+        }
+        for (const Endpoint& ep : link.endpoints) {
+            if (ep.fea == from && ep.ifname == ifname) continue;  // no echo
+            if (loss_ > 0.0 &&
+                std::uniform_real_distribution<>(0.0, 1.0)(rng_) < loss_) {
+                ++dropped_;
+                continue;
+            }
+            deliver(ep, dgram);
+        }
+        return;
+    }
+    ++dropped_;  // endpoint not attached anywhere
+}
+
+void VirtualNetwork::deliver(const Endpoint& ep, const Datagram& dgram) {
+    ++delivered_;
+    Fea* fea = ep.fea;
+    std::string ifname = ep.ifname;
+    fea->loop().defer_after(latency_, [fea, ifname, dgram] {
+        fea->receive(ifname, dgram);
+    });
+}
+
+}  // namespace xrp::fea

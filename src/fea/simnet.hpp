@@ -1,0 +1,87 @@
+// VirtualNetwork: an in-memory datagram fabric connecting the FEAs of
+// simulated routers.
+//
+// Substitutes for the testbed's physical links (DESIGN.md). A *link* is a
+// broadcast segment; attaching (fea, ifname) endpoints to a link lets
+// protocols like RIP exchange real UDP-style datagrams — unicast,
+// subnet-broadcast, or multicast-ish all-attached delivery — with
+// configurable latency and loss, driven entirely by event-loop timers so
+// it works on virtual clocks.
+#ifndef XRP_FEA_SIMNET_HPP
+#define XRP_FEA_SIMNET_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ev/eventloop.hpp"
+#include "net/ipnet.hpp"
+
+namespace xrp::fea {
+
+class Fea;
+
+struct Datagram {
+    net::IPv4 src;
+    net::IPv4 dst;
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    std::vector<uint8_t> payload;
+};
+
+class VirtualNetwork {
+public:
+    explicit VirtualNetwork(ev::Duration latency = std::chrono::milliseconds(1))
+        : latency_(latency) {}
+
+    // Creates a broadcast segment; returns its id.
+    int add_link();
+    // Attaches an endpoint. The endpoint address is the FEA interface's
+    // address; delivery consults it for unicast/broadcast matching.
+    void attach(int link_id, Fea* fea, const std::string& ifname);
+    void detach(int link_id, Fea* fea, const std::string& ifname);
+
+    // Link failure: all attached endpoints see link-down (and the segment
+    // stops carrying datagrams).
+    void set_link_up(int link_id, bool up);
+    bool link_up(int link_id) const;
+
+    // Random loss probability [0,1) applied per datagram per receiver.
+    void set_loss(double p) { loss_ = p; }
+
+    // Sends from (fea, ifname) onto the attached link; delivery to every
+    // other endpoint whose address matches dst (unicast), or to all
+    // endpoints for broadcast/multicast destinations.
+    void send(Fea* from, const std::string& ifname, const Datagram& dgram);
+
+    uint64_t delivered_count() const { return delivered_; }
+    uint64_t dropped_count() const { return dropped_; }
+
+private:
+    struct Endpoint {
+        Fea* fea;
+        std::string ifname;
+        bool operator==(const Endpoint&) const = default;
+    };
+    struct Link {
+        bool up = true;
+        std::vector<Endpoint> endpoints;
+    };
+
+    void deliver(const Endpoint& ep, const Datagram& dgram);
+
+    ev::Duration latency_;
+    double loss_ = 0.0;
+    std::mt19937 rng_{12345};
+    std::map<int, Link> links_;
+    int next_link_ = 1;
+    uint64_t delivered_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+}  // namespace xrp::fea
+
+#endif

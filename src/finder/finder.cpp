@@ -1,0 +1,201 @@
+#include "finder/finder.hpp"
+
+#include <algorithm>
+
+#include "finder/key.hpp"
+
+namespace xrp::finder {
+
+namespace {
+
+// Preference order for transports: cheapest first.
+int family_rank(std::string_view family) {
+    if (family == "inproc") return 0;
+    if (family == "stcp") return 1;
+    if (family == "sudp") return 2;
+    return 3;
+}
+
+}  // namespace
+
+std::optional<std::string> Finder::register_target(const std::string& cls,
+                                                   bool sole) {
+    if (target_exists(cls)) {
+        if (sole) return std::nullopt;
+        // A live instance that registered as sole blocks all joiners.
+        auto range = by_class_.equal_range(cls);
+        for (auto it = range.first; it != range.second; ++it)
+            if (instances_.at(it->second).sole) return std::nullopt;
+    }
+    // First instance of a class gets the bare class name, so that small
+    // setups can address components by class without ceremony.
+    int n = class_counters_[cls]++;
+    std::string name = n == 0 ? cls : cls + "-" + std::to_string(n);
+    while (instances_.count(name) != 0) {
+        n = class_counters_[cls]++;
+        name = cls + "-" + std::to_string(n);
+    }
+    Instance inst;
+    inst.cls = cls;
+    inst.name = name;
+    inst.sole = sole;
+    inst.secret = generate_method_key();  // reuse the 16-byte random key
+    auto [it, inserted] = instances_.emplace(name, std::move(inst));
+    by_class_.emplace(cls, name);
+    notify(LifetimeEvent::kBirth, it->second);
+    return name;
+}
+
+std::string Finder::register_method(
+    const std::string& instance, const std::string& full_method,
+    const std::map<std::string, std::string>& family_addresses) {
+    auto it = instances_.find(instance);
+    if (it == instances_.end()) return {};
+    MethodInfo info;
+    info.key = generate_method_key();
+    info.family_addresses = family_addresses;
+    std::string key = info.key;
+    it->second.methods[full_method] = std::move(info);
+    return key;
+}
+
+void Finder::unregister_target(const std::string& instance) {
+    auto it = instances_.find(instance);
+    if (it == instances_.end()) return;
+    Instance inst = std::move(it->second);
+    instances_.erase(it);
+    auto range = by_class_.equal_range(inst.cls);
+    for (auto bit = range.first; bit != range.second; ++bit) {
+        if (bit->second == instance) {
+            by_class_.erase(bit);
+            break;
+        }
+    }
+    notify(LifetimeEvent::kDeath, inst);
+    // Resolutions naming this class may now be stale everywhere.
+    for (const auto& [id, cb] : invalidate_listeners_) cb(inst.cls);
+}
+
+bool Finder::target_exists(const std::string& cls) const {
+    return by_class_.count(cls) != 0;
+}
+
+const std::string& Finder::instance_secret(const std::string& instance) const {
+    static const std::string kEmpty;
+    auto it = instances_.find(instance);
+    return it == instances_.end() ? kEmpty : it->second.secret;
+}
+
+std::optional<std::vector<Resolution>> Finder::resolve(
+    const std::string& target, const std::string& full_method,
+    const std::string& caller, xrl::XrlError* error,
+    const std::string& caller_secret) {
+    if (require_secrets_) {
+        auto cit = instances_.find(caller);
+        if (cit == instances_.end() || cit->second.secret != caller_secret) {
+            if (error)
+                *error = xrl::XrlError(
+                    xrl::ErrorCode::kResolveFailed,
+                    "caller authentication failed for '" + caller + "'");
+            return std::nullopt;
+        }
+    }
+    // Accept either an instance name or a class name; a class resolves to
+    // its first live instance.
+    const Instance* inst = nullptr;
+    auto it = instances_.find(target);
+    if (it != instances_.end()) {
+        inst = &it->second;
+    } else {
+        auto cit = by_class_.find(target);
+        if (cit != by_class_.end()) inst = &instances_.at(cit->second);
+    }
+    if (inst == nullptr) {
+        if (error)
+            *error = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
+                                   "no such target: " + target);
+        return std::nullopt;
+    }
+    if (!acl_permits(inst->cls, caller, full_method)) {
+        if (error)
+            *error = xrl::XrlError(
+                xrl::ErrorCode::kResolveFailed,
+                "access denied: " + caller + " -> " + target + "/" +
+                    full_method);
+        return std::nullopt;
+    }
+    auto mit = inst->methods.find(full_method);
+    if (mit == inst->methods.end()) {
+        if (error)
+            *error = xrl::XrlError(
+                xrl::ErrorCode::kResolveFailed,
+                "no such method: " + target + "/" + full_method);
+        return std::nullopt;
+    }
+    std::vector<Resolution> out;
+    for (const auto& [family, address] : mit->second.family_addresses)
+        out.push_back({family, address,
+                       join_keyed_method(full_method, mit->second.key)});
+    std::sort(out.begin(), out.end(), [](const Resolution& a,
+                                         const Resolution& b) {
+        return family_rank(a.family) < family_rank(b.family);
+    });
+    return out;
+}
+
+uint64_t Finder::watch(const std::string& cls, LifetimeCallback cb) {
+    uint64_t id = next_id_++;
+    watches_[id] = {cls, std::move(cb)};
+    return id;
+}
+
+void Finder::unwatch(uint64_t id) { watches_.erase(id); }
+
+uint64_t Finder::add_invalidate_listener(InvalidateCallback cb) {
+    uint64_t id = next_id_++;
+    invalidate_listeners_[id] = std::move(cb);
+    return id;
+}
+
+void Finder::remove_invalidate_listener(uint64_t id) {
+    invalidate_listeners_.erase(id);
+}
+
+void Finder::allow(const std::string& target_cls,
+                   const std::string& caller_cls,
+                   const std::string& method_prefix) {
+    acl_.emplace(target_cls, AclRule{caller_cls, method_prefix});
+}
+
+bool Finder::acl_permits(const std::string& target_cls,
+                         const std::string& caller,
+                         const std::string& full_method) const {
+    auto range = acl_.equal_range(target_cls);
+    if (range.first == range.second) return true;  // no rules: open
+    // The caller is an instance name; derive its class prefix (instance
+    // names are "cls" or "cls-N").
+    std::string caller_cls = caller;
+    size_t dash = caller_cls.rfind('-');
+    if (dash != std::string::npos &&
+        caller_cls.find_first_not_of("0123456789", dash + 1) ==
+            std::string::npos)
+        caller_cls = caller_cls.substr(0, dash);
+    for (auto it = range.first; it != range.second; ++it) {
+        const AclRule& r = it->second;
+        if (r.caller_cls == caller_cls &&
+            full_method.compare(0, r.method_prefix.size(), r.method_prefix) ==
+                0)
+            return true;
+    }
+    return false;
+}
+
+void Finder::notify(LifetimeEvent ev, const Instance& inst) {
+    // Copy: callbacks may add/remove watches.
+    auto watches = watches_;
+    for (const auto& [id, w] : watches) {
+        if (w.first == "*" || w.first == inst.cls) w.second(ev, inst.cls, inst.name);
+    }
+}
+
+}  // namespace xrp::finder

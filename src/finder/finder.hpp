@@ -1,0 +1,145 @@
+// The Finder (§6.2): broker for all XRL communication.
+//
+// Components register a *component class* ("bgp"), a unique *instance*
+// name, their methods, and the protocol families each method is reachable
+// over. Callers resolve generic XRLs ("finder://bgp/...") into resolved
+// XRLs that pin a family, an address, and a keyed method name. The Finder
+// also provides the component-lifetime notification service (birth/death
+// events per class) and pushes cache invalidations to clients when a
+// registration disappears.
+//
+// Access control (§7): each registered target may carry an allow-list of
+// (caller, method-prefix) pairs; resolution requests name the caller, and
+// only permitted XRLs resolve. By default everything local is permitted,
+// matching the paper's current-state description.
+#ifndef XRP_FINDER_FINDER_HPP
+#define XRP_FINDER_FINDER_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xrl/error.hpp"
+#include "xrl/xrl.hpp"
+
+namespace xrp::finder {
+
+// One way to reach one method: a protocol family plus its address.
+// Families used by the IPC layer: "inproc" (address = instance name),
+// "stcp" / "sudp" (address = "127.0.0.1:port").
+struct Resolution {
+    std::string family;
+    std::string address;
+    std::string keyed_method;  // "iface/1.0/method#<key>"
+};
+
+enum class LifetimeEvent { kBirth, kDeath };
+
+class Finder {
+public:
+    using LifetimeCallback =
+        std::function<void(LifetimeEvent, const std::string& cls,
+                           const std::string& instance)>;
+    using InvalidateCallback = std::function<void(const std::string& cls)>;
+
+    Finder() = default;
+    Finder(const Finder&) = delete;
+    Finder& operator=(const Finder&) = delete;
+
+    // ---- registration --------------------------------------------------
+    // Registers a target instance of `cls`. If `sole` and another live
+    // instance of the class exists, registration fails. Returns the
+    // instance name actually assigned (cls, or cls-N for later instances).
+    std::optional<std::string> register_target(const std::string& cls,
+                                               bool sole);
+
+    // ---- per-caller secrets (§7 "the Router Manager will pass a unique
+    // secret to each process. The process will then use this secret when
+    // it resolves an XRL with the Finder.") -------------------------------
+    // Each registered instance has a secret, handed back to its owner.
+    const std::string& instance_secret(const std::string& instance) const;
+    // When enabled, resolve() calls must present the caller's own secret;
+    // a caller cannot impersonate another component to sneak past ACLs.
+    void set_require_caller_secrets(bool require) {
+        require_secrets_ = require;
+    }
+
+    // Declares a method on a registered instance, reachable over the given
+    // families (family -> address). Returns the generated method key.
+    std::string register_method(const std::string& instance,
+                                const std::string& full_method,
+                                const std::map<std::string, std::string>&
+                                    family_addresses);
+
+    void unregister_target(const std::string& instance);
+
+    bool target_exists(const std::string& cls) const;
+
+    // ---- resolution ----------------------------------------------------
+    // Resolves target class (or instance) + full method into the available
+    // transports, ordered by preference (inproc first, then stcp, sudp).
+    // `caller` is the requesting instance, checked against ACLs.
+    std::optional<std::vector<Resolution>> resolve(
+        const std::string& target, const std::string& full_method,
+        const std::string& caller = {}, xrl::XrlError* error = nullptr,
+        const std::string& caller_secret = {});
+
+    // ---- lifetime notification ------------------------------------------
+    // Watch births/deaths of instances of `cls` ("*" watches every class).
+    // Returns a watch id usable with unwatch().
+    uint64_t watch(const std::string& cls, LifetimeCallback cb);
+    void unwatch(uint64_t id);
+
+    // ---- client caches ---------------------------------------------------
+    // Clients that cache resolutions register to hear invalidations.
+    uint64_t add_invalidate_listener(InvalidateCallback cb);
+    void remove_invalidate_listener(uint64_t id);
+
+    // ---- access control (§7 future-work design, implemented) -----------
+    // Restrict `target_cls` so only `caller_cls` may resolve methods whose
+    // full name starts with `method_prefix`. Once any rule exists for a
+    // target class, everything not matching a rule is denied.
+    void allow(const std::string& target_cls, const std::string& caller_cls,
+               const std::string& method_prefix = {});
+
+    size_t target_count() const { return instances_.size(); }
+
+private:
+    struct MethodInfo {
+        std::string key;
+        std::map<std::string, std::string> family_addresses;
+    };
+    struct Instance {
+        std::string cls;
+        std::string name;
+        bool sole = false;
+        std::string secret;  // per-instance caller-authentication secret
+        std::map<std::string, MethodInfo> methods;  // full_method -> info
+    };
+    struct AclRule {
+        std::string caller_cls;
+        std::string method_prefix;
+    };
+
+    bool acl_permits(const std::string& target_cls, const std::string& caller,
+                     const std::string& full_method) const;
+    void notify(LifetimeEvent ev, const Instance& inst);
+
+    std::map<std::string, Instance> instances_;          // by instance name
+    std::multimap<std::string, std::string> by_class_;   // cls -> instance
+    std::map<uint64_t, std::pair<std::string, LifetimeCallback>> watches_;
+    std::map<uint64_t, InvalidateCallback> invalidate_listeners_;
+    std::multimap<std::string, AclRule> acl_;  // target_cls -> rule
+    uint64_t next_id_ = 1;
+    std::map<std::string, int> class_counters_;
+    bool require_secrets_ = false;
+};
+
+}  // namespace xrp::finder
+
+#endif

@@ -1,0 +1,38 @@
+#include "finder/key.hpp"
+
+#include <random>
+
+namespace xrp::finder {
+
+std::string generate_method_key() {
+    // random_device per call would exhaust entropy pools under the XRL
+    // registration churn of a full router; one seeded generator suffices
+    // (keys defend against accidental bypass, not cryptographic attack —
+    // and the paper's 16-byte random key has the same threat model).
+    static std::mt19937_64 rng{std::random_device{}()};
+    static const char* hex = "0123456789abcdef";
+    std::string key;
+    key.reserve(32);
+    for (int i = 0; i < 4; ++i) {
+        uint64_t v = rng();
+        for (int j = 0; j < 8; ++j) {
+            key += hex[v & 0xf];
+            v >>= 4;
+        }
+    }
+    return key;
+}
+
+std::pair<std::string, std::string> split_keyed_method(
+    const std::string& keyed) {
+    size_t hash = keyed.find('#');
+    if (hash == std::string::npos) return {keyed, {}};
+    return {keyed.substr(0, hash), keyed.substr(hash + 1)};
+}
+
+std::string join_keyed_method(const std::string& method,
+                              const std::string& key) {
+    return key.empty() ? method : method + "#" + key;
+}
+
+}  // namespace xrp::finder

@@ -1,0 +1,24 @@
+// Random method keys (§7): at registration time the Finder appends a
+// 16-byte random key to the registered method name of every resolved XRL.
+// A receiver rejects calls whose key doesn't match, so a caller cannot
+// bypass Finder resolution (and therefore cannot bypass the Finder's
+// access-control checks).
+#ifndef XRP_FINDER_KEY_HPP
+#define XRP_FINDER_KEY_HPP
+
+#include <string>
+
+namespace xrp::finder {
+
+// 32 lowercase hex characters (16 random bytes).
+std::string generate_method_key();
+
+// "iface/1.0/method#key" -> {"iface/1.0/method", "key"}; key empty if none.
+std::pair<std::string, std::string> split_keyed_method(
+    const std::string& keyed);
+std::string join_keyed_method(const std::string& method,
+                              const std::string& key);
+
+}  // namespace xrp::finder
+
+#endif

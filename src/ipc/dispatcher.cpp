@@ -1,0 +1,92 @@
+#include "ipc/dispatcher.hpp"
+
+#include "finder/key.hpp"
+
+namespace xrp::ipc {
+
+void XrlDispatcher::add_interface(xrl::InterfaceSpec spec) {
+    std::string ikey = spec.name() + "/" + spec.version();
+    specs_[ikey] = std::move(spec);
+    // Re-link any handlers that were added before their spec.
+    const xrl::InterfaceSpec& s = specs_[ikey];
+    for (auto& [full, m] : methods_) {
+        if (full.compare(0, ikey.size() + 1, ikey + "/") == 0)
+            m.spec = s.find_method(full.substr(ikey.size() + 1));
+    }
+}
+
+const xrl::MethodSpec* XrlDispatcher::find_spec(
+    const std::string& full_method) const {
+    // full_method = iface/version/method; spec key = iface/version.
+    size_t s1 = full_method.find('/');
+    if (s1 == std::string::npos) return nullptr;
+    size_t s2 = full_method.find('/', s1 + 1);
+    if (s2 == std::string::npos) return nullptr;
+    auto it = specs_.find(full_method.substr(0, s2));
+    if (it == specs_.end()) return nullptr;
+    return it->second.find_method(full_method.substr(s2 + 1));
+}
+
+void XrlDispatcher::add_handler(const std::string& full_method,
+                                MethodHandler h) {
+    Method& m = methods_[full_method];
+    m.sync = std::move(h);
+    m.spec = find_spec(full_method);
+}
+
+void XrlDispatcher::add_async_handler(const std::string& full_method,
+                                      AsyncMethodHandler h) {
+    Method& m = methods_[full_method];
+    m.async = std::move(h);
+    m.spec = find_spec(full_method);
+}
+
+void XrlDispatcher::set_method_key(const std::string& full_method,
+                                   const std::string& key) {
+    auto it = methods_.find(full_method);
+    if (it != methods_.end()) it->second.key = key;
+}
+
+std::vector<std::string> XrlDispatcher::method_names() const {
+    std::vector<std::string> out;
+    out.reserve(methods_.size());
+    for (const auto& [name, m] : methods_) out.push_back(name);
+    return out;
+}
+
+void XrlDispatcher::dispatch(const std::string& keyed_method,
+                             const xrl::XrlArgs& in,
+                             ResponseCallback done) const {
+    auto [method, key] = finder::split_keyed_method(keyed_method);
+    auto it = methods_.find(method);
+    if (it == methods_.end()) {
+        done(xrl::XrlError(xrl::ErrorCode::kNoSuchMethod, method), {});
+        return;
+    }
+    const Method& m = it->second;
+    if (require_keys_ && !m.key.empty() && key != m.key) {
+        // Caller did not get this method name from the Finder.
+        done(xrl::XrlError(xrl::ErrorCode::kBadKey, method), {});
+        return;
+    }
+    if (m.spec != nullptr) {
+        xrl::XrlError verr = m.spec->validate_inputs(in);
+        if (!verr.ok()) {
+            done(verr, {});
+            return;
+        }
+    }
+    if (m.async) {
+        m.async(in, std::move(done));
+        return;
+    }
+    if (m.sync) {
+        xrl::XrlArgs out;
+        xrl::XrlError err = m.sync(in, out);
+        done(err, out);
+        return;
+    }
+    done(xrl::XrlError(xrl::ErrorCode::kInternalError, "no handler"), {});
+}
+
+}  // namespace xrp::ipc

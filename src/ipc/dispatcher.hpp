@@ -1,0 +1,84 @@
+// Receiver-side XRL dispatch.
+//
+// A dispatcher owns a component's method table. Incoming calls arrive as
+// a keyed method name plus arguments; the dispatcher verifies the Finder
+// key (§7 — rejects callers that bypassed resolution), validates the
+// arguments against the method's IDL spec when one was registered, and
+// invokes the handler. Handlers come in two flavours: synchronous (the
+// common case — compute and return) and asynchronous (complete later via
+// callback; used where the answer itself depends on other XRLs).
+#ifndef XRP_IPC_DISPATCHER_HPP
+#define XRP_IPC_DISPATCHER_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xrl/args.hpp"
+#include "xrl/error.hpp"
+#include "xrl/idl.hpp"
+
+namespace xrp::ipc {
+
+using ResponseCallback =
+    std::function<void(const xrl::XrlError&, const xrl::XrlArgs&)>;
+// Synchronous handler: fill `out`, return the error status.
+using MethodHandler =
+    std::function<xrl::XrlError(const xrl::XrlArgs& in, xrl::XrlArgs& out)>;
+// Asynchronous handler: complete by invoking `done` exactly once.
+using AsyncMethodHandler =
+    std::function<void(const xrl::XrlArgs& in, ResponseCallback done)>;
+
+class XrlDispatcher {
+public:
+    XrlDispatcher() = default;
+    XrlDispatcher(const XrlDispatcher&) = delete;
+    XrlDispatcher& operator=(const XrlDispatcher&) = delete;
+
+    // Registers an interface spec; methods of registered interfaces have
+    // their inputs validated before the handler runs.
+    void add_interface(xrl::InterfaceSpec spec);
+
+    // `full_method` is "iface/version/method".
+    void add_handler(const std::string& full_method, MethodHandler h);
+    void add_async_handler(const std::string& full_method,
+                           AsyncMethodHandler h);
+
+    // Set by the router after Finder registration.
+    void set_method_key(const std::string& full_method,
+                        const std::string& key);
+    // When true (default), calls must carry the correct key. Disabled in
+    // some unit tests that poke the dispatcher directly.
+    void set_require_keys(bool require) { require_keys_ = require; }
+
+    bool has_method(const std::string& full_method) const {
+        return methods_.count(full_method) != 0;
+    }
+    std::vector<std::string> method_names() const;
+
+    // Dispatches `keyed_method` ("iface/1.0/m#key"). `done` is invoked
+    // exactly once, possibly synchronously.
+    void dispatch(const std::string& keyed_method, const xrl::XrlArgs& in,
+                  ResponseCallback done) const;
+
+private:
+    struct Method {
+        MethodHandler sync;
+        AsyncMethodHandler async;
+        std::string key;
+        const xrl::MethodSpec* spec = nullptr;  // into specs_
+    };
+
+    const xrl::MethodSpec* find_spec(const std::string& full_method) const;
+
+    std::map<std::string, Method> methods_;
+    // Keyed by "iface/version"; stable addresses (node-based map) so
+    // Method::spec pointers stay valid.
+    std::map<std::string, xrl::InterfaceSpec> specs_;
+    bool require_keys_ = true;
+};
+
+}  // namespace xrp::ipc
+
+#endif

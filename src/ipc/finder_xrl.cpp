@@ -1,0 +1,44 @@
+#include "ipc/finder_xrl.hpp"
+
+namespace xrp::ipc {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus) {
+    auto router = std::make_unique<XrlRouter>(plexus, "finder", true);
+    router->add_interface(*xrl::InterfaceSpec::parse(kFinderIdl));
+    finder::Finder& finder = plexus.finder;
+
+    router->add_handler(
+        "finder/1.0/resolve_xrl",
+        [&finder](const XrlArgs& in, XrlArgs& out) {
+            XrlError err;
+            auto res = finder.resolve(*in.get_text("target"),
+                                      *in.get_text("method"), "", &err);
+            bool ok = res.has_value() && !res->empty();
+            out.add("ok", ok);
+            out.add("family", ok ? res->front().family : std::string{});
+            out.add("address", ok ? res->front().address : std::string{});
+            out.add("keyed_method",
+                    ok ? res->front().keyed_method : std::string{});
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/target_exists",
+        [&finder](const XrlArgs& in, XrlArgs& out) {
+            out.add("exists", finder.target_exists(*in.get_text("target")));
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/get_target_count",
+        [&finder](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(finder.target_count()));
+            return XrlError::okay();
+        });
+
+    router->finalize();
+    return router;
+}
+
+}  // namespace xrp::ipc

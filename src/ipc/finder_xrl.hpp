@@ -1,0 +1,72 @@
+// The Finder's own XRL face and the kill protocol family (§6.3).
+//
+// "There is also a special Finder protocol family permitting the Finder
+// to be addressable through XRLs, just as any other XORP component.
+// Finally, there exists a kill protocol family, which is capable of
+// sending just one message type — a UNIX signal — to components within a
+// host."
+//
+// bind_finder_xrl() registers a "finder" target whose methods proxy the
+// Finder object, so management tooling (call_xrl scripts, the Router
+// Manager) can query resolution state over ordinary XRLs.
+//
+// KillFamily delivers "signals" to co-hosted components: each component
+// registers a handler; senders address components by instance name. In
+// the multi-process original this wraps kill(2); in-process it invokes
+// the handler through the event loop, preserving the asynchronous
+// semantics.
+#ifndef XRP_IPC_FINDER_XRL_HPP
+#define XRP_IPC_FINDER_XRL_HPP
+
+#include <csignal>
+
+#include "ipc/router.hpp"
+
+namespace xrp::ipc {
+
+inline constexpr const char* kFinderIdl = R"(
+interface finder/1.0 {
+    resolve_xrl ? target:txt & method:txt
+        -> ok:bool & family:txt & address:txt & keyed_method:txt;
+    target_exists ? target:txt -> exists:bool;
+    get_target_count -> count:u32;
+}
+)";
+
+// Creates (and returns) the Finder's XrlRouter, bound to plexus.finder.
+// Keep the returned router alive as long as the face should exist.
+std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus);
+
+class KillFamily {
+public:
+    using SignalHandler = std::function<void(int signo)>;
+
+    explicit KillFamily(ev::EventLoop& loop) : loop_(loop) {}
+
+    // A component registers to receive signals under its instance name.
+    void register_target(const std::string& instance, SignalHandler handler) {
+        handlers_[instance] = std::move(handler);
+    }
+    void unregister_target(const std::string& instance) {
+        handlers_.erase(instance);
+    }
+
+    // Delivers asynchronously (like a real signal). Returns false if the
+    // target is unknown.
+    bool kill(const std::string& instance, int signo = SIGTERM) {
+        auto it = handlers_.find(instance);
+        if (it == handlers_.end()) return false;
+        loop_.defer([handler = it->second, signo] { handler(signo); });
+        return true;
+    }
+
+    size_t target_count() const { return handlers_.size(); }
+
+private:
+    ev::EventLoop& loop_;
+    std::map<std::string, SignalHandler> handlers_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

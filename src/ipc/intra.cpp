@@ -1,0 +1,4 @@
+#include "ipc/intra.hpp"
+
+// IntraProcessRegistry is header-only; this TU anchors it in the build.
+namespace xrp::ipc {}

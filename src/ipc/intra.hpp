@@ -1,0 +1,69 @@
+// Intra-process protocol family: XRLs between components in the same
+// address space dispatch as direct method calls through a registry, with
+// no marshaling (§6.3). This is the fastest family (Figure 9) and the
+// default for co-located components; because every call still flows
+// through dispatch + key check, components keep exactly the same coupling
+// properties as over TCP.
+#ifndef XRP_IPC_INTRA_HPP
+#define XRP_IPC_INTRA_HPP
+
+#include <map>
+#include <string>
+
+#include "ipc/dispatcher.hpp"
+#include "ipc/wire.hpp"
+
+namespace xrp::ipc {
+
+class IntraProcessRegistry {
+public:
+    IntraProcessRegistry() = default;
+    IntraProcessRegistry(const IntraProcessRegistry&) = delete;
+    IntraProcessRegistry& operator=(const IntraProcessRegistry&) = delete;
+
+    // `address` is the component instance name. The dispatcher must
+    // outlive the registration (the router unregisters in its dtor).
+    void add(const std::string& address, XrlDispatcher* dispatcher) {
+        endpoints_[address] = dispatcher;
+    }
+    void remove(const std::string& address) { endpoints_.erase(address); }
+
+    XrlDispatcher* find(const std::string& address) const {
+        auto it = endpoints_.find(address);
+        return it == endpoints_.end() ? nullptr : it->second;
+    }
+
+    // Direct-call send: dispatches synchronously on the callee. Arguments
+    // are still marshalled through the wire codec — XORP's in-process
+    // family does the same, which is why the paper's Figure 9 shows intra
+    // and TCP converging as argument counts grow: both pay marshalling.
+    // It also guarantees the callee can never alias the caller's data.
+    void send(const std::string& address, const std::string& keyed_method,
+              const xrl::XrlArgs& args, ResponseCallback done) const {
+        XrlDispatcher* d = find(address);
+        if (d == nullptr) {
+            done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
+                               "no intra-process endpoint: " + address),
+                 {});
+            return;
+        }
+        std::vector<uint8_t> buf;
+        encode_args(args, buf);
+        WireReader reader(buf.data(), buf.size());
+        auto copied = decode_args(reader);
+        if (!copied) {
+            done(xrl::XrlError(xrl::ErrorCode::kInternalError,
+                               "intra-process marshalling failed"),
+                 {});
+            return;
+        }
+        d->dispatch(keyed_method, *copied, std::move(done));
+    }
+
+private:
+    std::map<std::string, XrlDispatcher*> endpoints_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

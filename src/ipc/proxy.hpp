@@ -1,0 +1,74 @@
+// XrlProxy: the §7 argument-restricting intermediary.
+//
+// "We can envisage taking this approach even further, and restricting the
+// range of arguments that a process can use for a particular XRL method.
+// This would require an XRL intermediary, but the flexibility of our XRL
+// resolution mechanism makes installing such an XRL proxy rather simple."
+//
+// A proxy registers as its own target class and forwards exposed methods
+// to a real target — but only when the per-method argument constraint
+// accepts the arguments. Combined with Finder ACLs (deny the untrusted
+// caller direct access to the real target, allow it the proxy), an
+// experimental process can be limited not just to a set of methods but to
+// a range of argument values.
+#ifndef XRP_IPC_PROXY_HPP
+#define XRP_IPC_PROXY_HPP
+
+#include <functional>
+#include <map>
+
+#include "ipc/router.hpp"
+
+namespace xrp::ipc {
+
+class XrlProxy {
+public:
+    // Accepts the arguments or rejects the call (with a note).
+    using ArgConstraint =
+        std::function<bool(const xrl::XrlArgs& args, std::string* why)>;
+
+    // `proxy_cls` is the class callers address; `real_target` is where
+    // accepted calls are forwarded.
+    XrlProxy(Plexus& plexus, std::string proxy_cls, std::string real_target)
+        : router_(plexus, std::move(proxy_cls), true),
+          real_target_(std::move(real_target)) {}
+
+    // Exposes `iface/version/method` through the proxy under the same
+    // method name, gated by `constraint` (null = pass-through).
+    void expose(const std::string& full_method,
+                ArgConstraint constraint = nullptr) {
+        router_.add_async_handler(
+            full_method,
+            [this, full_method, constraint](const xrl::XrlArgs& in,
+                                            ResponseCallback done) {
+                std::string why = "argument constraint rejected the call";
+                if (constraint && !constraint(in, &why)) {
+                    done(xrl::XrlError(xrl::ErrorCode::kCommandFailed,
+                                       full_method + ": " + why),
+                         {});
+                    return;
+                }
+                // Forward: split full_method back into its parts.
+                size_t s1 = full_method.find('/');
+                size_t s2 = full_method.find('/', s1 + 1);
+                router_.send(
+                    xrl::Xrl(std::string("finder"), real_target_,
+                             full_method.substr(0, s1),
+                             full_method.substr(s1 + 1, s2 - s1 - 1),
+                             full_method.substr(s2 + 1), in),
+                    std::move(done));
+            });
+    }
+
+    bool finalize() { return router_.finalize(); }
+    const std::string& instance() const { return router_.instance(); }
+    XrlRouter& router() { return router_; }
+
+private:
+    XrlRouter router_;
+    std::string real_target_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

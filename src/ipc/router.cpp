@@ -1,0 +1,162 @@
+#include "ipc/router.hpp"
+
+namespace xrp::ipc {
+
+XrlRouter::XrlRouter(Plexus& plexus, std::string cls, bool sole)
+    : plexus_(plexus), cls_(std::move(cls)), sole_(sole) {}
+
+XrlRouter::~XrlRouter() {
+    if (!instance_.empty()) {
+        plexus_.intra.remove(instance_);
+        plexus_.finder.unregister_target(instance_);
+    }
+    if (invalidate_listener_id_ != 0)
+        plexus_.finder.remove_invalidate_listener(invalidate_listener_id_);
+}
+
+void XrlRouter::enable_tcp() {
+    if (!tcp_listener_)
+        tcp_listener_ = std::make_unique<TcpListener>(plexus_.loop, dispatcher_);
+}
+
+void XrlRouter::enable_udp() {
+    if (!udp_listener_)
+        udp_listener_ = std::make_unique<UdpListener>(plexus_.loop, dispatcher_);
+}
+
+bool XrlRouter::finalize() {
+    if (finalized_) return true;
+    auto instance = plexus_.finder.register_target(cls_, sole_);
+    if (!instance) return false;
+    instance_ = *instance;
+    secret_ = plexus_.finder.instance_secret(instance_);
+    plexus_.intra.add(instance_, &dispatcher_);
+
+    std::map<std::string, std::string> families;
+    families["inproc"] = instance_;
+    if (tcp_listener_ && tcp_listener_->ok())
+        families["stcp"] = tcp_listener_->address();
+    if (udp_listener_ && udp_listener_->ok())
+        families["sudp"] = udp_listener_->address();
+
+    for (const std::string& method : dispatcher_.method_names()) {
+        std::string key =
+            plexus_.finder.register_method(instance_, method, families);
+        dispatcher_.set_method_key(method, key);
+    }
+
+    // Drop cached resolutions whenever any instance of a class goes away;
+    // the next send re-resolves (§6.2 cache invalidation).
+    invalidate_listener_id_ = plexus_.finder.add_invalidate_listener(
+        [this](const std::string& cls) {
+            for (auto it = resolve_cache_.begin();
+                 it != resolve_cache_.end();) {
+                // Cache keys are "target|full_method"; match on target
+                // class or exact instance prefix.
+                const std::string& k = it->first;
+                if (k.compare(0, cls.size(), cls) == 0 &&
+                    (k.size() == cls.size() || k[cls.size()] == '|' ||
+                     k[cls.size()] == '-'))
+                    it = resolve_cache_.erase(it);
+                else
+                    ++it;
+            }
+        });
+
+    finalized_ = true;
+    return true;
+}
+
+const finder::Resolution* XrlRouter::resolve(const xrl::Xrl& xrl,
+                                             xrl::XrlError* err) {
+    const std::string cache_key = xrl.target() + "|" + xrl.full_method();
+    auto it = resolve_cache_.find(cache_key);
+    if (it == resolve_cache_.end()) {
+        auto resolutions = plexus_.finder.resolve(
+            xrl.target(), xrl.full_method(), instance_, err, secret_);
+        if (!resolutions) return nullptr;
+        it = resolve_cache_.emplace(cache_key, std::move(*resolutions)).first;
+    }
+    const auto& resolutions = it->second;
+    if (!preferred_family_.empty()) {
+        for (const auto& r : resolutions)
+            if (r.family == preferred_family_) return &r;
+        if (err)
+            *err = xrl::XrlError(
+                xrl::ErrorCode::kResolveFailed,
+                "family " + preferred_family_ + " not offered by target");
+        return nullptr;
+    }
+    if (resolutions.empty()) {
+        if (err)
+            *err = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
+                                 "no transports");
+        return nullptr;
+    }
+    return &resolutions.front();
+}
+
+void XrlRouter::dispatch_via(const finder::Resolution& res,
+                             const xrl::XrlArgs& args, ResponseCallback done) {
+    if (res.family == "inproc") {
+        plexus_.intra.send(res.address, res.keyed_method, args,
+                           std::move(done));
+        return;
+    }
+    if (res.family == "stcp") {
+        auto& ch = tcp_channels_[res.address];
+        if (!ch) ch = std::make_unique<TcpChannel>(plexus_.loop, res.address);
+        if (ch->broken()) {
+            // Recreate once: the target may have restarted on the same
+            // address, and a stale broken channel must not wedge us.
+            ch = std::make_unique<TcpChannel>(plexus_.loop, res.address);
+        }
+        ch->send(res.keyed_method, args, std::move(done));
+        return;
+    }
+    if (res.family == "sudp") {
+        auto& ch = udp_channels_[res.address];
+        if (!ch) ch = std::make_unique<UdpChannel>(plexus_.loop, res.address);
+        ch->send(res.keyed_method, args, std::move(done));
+        return;
+    }
+    plexus_.loop.defer([done = std::move(done), family = res.family] {
+        done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
+                           "unknown family: " + family),
+             {});
+    });
+}
+
+bool XrlRouter::send(const xrl::Xrl& xrl, ResponseCallback done) {
+    xrl::XrlError err;
+    const finder::Resolution* res = resolve(xrl, &err);
+    if (res == nullptr) {
+        plexus_.loop.defer([done = std::move(done), err] { done(err, {}); });
+        return true;
+    }
+    dispatch_via(*res, xrl.args(), std::move(done));
+    return true;
+}
+
+std::string XrlRouter::debug_state() const {
+    std::string out = instance_ + ":";
+    for (const auto& [addr, ch] : tcp_channels_) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      " ch[%s] pend=%zu wbuf=%zu rbuf=%zu conn=%d brk=%d wa=%d;",
+                      addr.c_str(), ch->pending_count(), ch->wbuf_bytes(),
+                      ch->rbuf_bytes(), ch->connecting() ? 1 : 0,
+                      ch->broken() ? 1 : 0, ch->writer_armed() ? 1 : 0);
+        out += buf;
+    }
+    if (tcp_listener_) {
+        auto [w, r] = tcp_listener_->buffered_bytes();
+        char buf[128];
+        std::snprintf(buf, sizeof buf, " lsn conns=%zu wbuf=%zu rbuf=%zu;",
+                      tcp_listener_->connection_count(), w, r);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace xrp::ipc

@@ -1,0 +1,133 @@
+// XrlRouter: the per-component IPC facade (what XORP calls by the same
+// name). A component creates one router, declares its interfaces and
+// handlers, enables the transports it wants to be reachable over, and
+// finalizes — which registers everything with the Finder and makes the
+// component addressable. Outbound, the router resolves generic XRLs
+// through the Finder (with a client-side cache invalidated on Finder
+// push), picks a protocol family, and sends.
+//
+// Plexus bundles the three singletons a "router process" shares: the
+// event loop, the Finder, and the intra-process endpoint registry. One
+// Plexus ~= one XORP router instance; tests build several in one address
+// space to simulate multi-router topologies.
+#ifndef XRP_IPC_ROUTER_HPP
+#define XRP_IPC_ROUTER_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ev/eventloop.hpp"
+#include "finder/finder.hpp"
+#include "ipc/dispatcher.hpp"
+#include "ipc/intra.hpp"
+#include "ipc/tcp.hpp"
+#include "ipc/udp.hpp"
+
+namespace xrp::ipc {
+
+struct Plexus {
+    explicit Plexus(ev::Clock& clock)
+        : owned_loop_(std::make_unique<ev::EventLoop>(clock)),
+          loop(*owned_loop_) {}
+    // Shares an external loop: several Plexuses (= several simulated
+    // router hosts) can then run in one simulation on one virtual clock.
+    explicit Plexus(ev::EventLoop& shared_loop) : loop(shared_loop) {}
+
+    std::unique_ptr<ev::EventLoop> owned_loop_;
+    ev::EventLoop& loop;
+    finder::Finder finder;
+    IntraProcessRegistry intra;
+};
+
+class XrlRouter {
+public:
+    // `cls` is the component class ("bgp", "rib", ...). With `sole`, a
+    // second instance of the class is refused by the Finder.
+    XrlRouter(Plexus& plexus, std::string cls, bool sole = false);
+    ~XrlRouter();
+    XrlRouter(const XrlRouter&) = delete;
+    XrlRouter& operator=(const XrlRouter&) = delete;
+
+    // ---- receiver side -------------------------------------------------
+    void add_interface(xrl::InterfaceSpec spec) {
+        dispatcher_.add_interface(std::move(spec));
+    }
+    void add_handler(const std::string& full_method, MethodHandler h) {
+        dispatcher_.add_handler(full_method, std::move(h));
+    }
+    void add_async_handler(const std::string& full_method,
+                           AsyncMethodHandler h) {
+        dispatcher_.add_async_handler(full_method, std::move(h));
+    }
+
+    // Transports this component is reachable over. Intra-process is always
+    // enabled; TCP/UDP listeners are created on demand.
+    void enable_tcp();
+    void enable_udp();
+
+    // Registers target + methods with the Finder. Call after all handlers
+    // are added; later-added handlers are registered incrementally.
+    bool finalize();
+    bool finalized() const { return finalized_; }
+
+    const std::string& instance() const { return instance_; }
+    Plexus& plexus() { return plexus_; }
+    ev::EventLoop& loop() { return plexus_.loop; }
+
+    // ---- sender side -----------------------------------------------------
+    // Sends a generic XRL; `done` fires exactly once. Returns false (and
+    // does not fire `done`) only on gross misuse (unresolved router).
+    bool send(const xrl::Xrl& xrl, ResponseCallback done);
+
+    // Fire-and-forget convenience: logs nothing, drops the reply. For
+    // notifications where the caller has no failure handling anyway.
+    void send_ignore(const xrl::Xrl& xrl) {
+        send(xrl, [](const xrl::XrlError&, const xrl::XrlArgs&) {});
+    }
+
+    // Force every outbound call onto one family (benchmarks use this to
+    // compare transports); empty string restores automatic choice.
+    void set_preferred_family(std::string family) {
+        preferred_family_ = std::move(family);
+    }
+
+    XrlDispatcher& dispatcher() { return dispatcher_; }
+
+    size_t resolution_cache_size() const { return resolve_cache_.size(); }
+
+    // Debug introspection for stall diagnosis.
+    std::string debug_state() const;
+
+private:
+    struct Channel;  // type-erased sender
+
+    const finder::Resolution* resolve(const xrl::Xrl& xrl,
+                                      xrl::XrlError* err);
+    void dispatch_via(const finder::Resolution& res, const xrl::XrlArgs& args,
+                      ResponseCallback done);
+
+    Plexus& plexus_;
+    std::string cls_;
+    std::string instance_;
+    std::string secret_;  // §7 caller-authentication secret from the Finder
+    bool sole_;
+    bool finalized_ = false;
+    XrlDispatcher dispatcher_;
+
+    std::unique_ptr<TcpListener> tcp_listener_;
+    std::unique_ptr<UdpListener> udp_listener_;
+
+    std::map<std::string, std::unique_ptr<TcpChannel>> tcp_channels_;
+    std::map<std::string, std::unique_ptr<UdpChannel>> udp_channels_;
+
+    // target + full_method -> resolutions (preference-ordered).
+    std::map<std::string, std::vector<finder::Resolution>> resolve_cache_;
+    uint64_t invalidate_listener_id_ = 0;
+    std::string preferred_family_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,0 +1,89 @@
+#include "ipc/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace xrp::ipc {
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+    if (this != &o) {
+        reset();
+        fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+}
+
+void Fd::reset(int fd) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+}
+
+bool set_nonblocking(int fd) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) {
+    int one = 1;
+    return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) == 0;
+}
+
+std::optional<sockaddr_in> parse_inet_address(const std::string& address) {
+    size_t colon = address.rfind(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::string host = address.substr(0, colon);
+    int port = std::atoi(address.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return std::nullopt;
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+        return std::nullopt;
+    return sa;
+}
+
+std::string local_address_string(int fd) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+        return {};
+    char host[INET_ADDRSTRLEN];
+    ::inet_ntop(AF_INET, &sa.sin_addr, host, sizeof host);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s:%u", host, ntohs(sa.sin_port));
+    return buf;
+}
+
+namespace {
+
+Fd make_bound_socket(int type) {
+    Fd fd(::socket(AF_INET, type, 0));
+    if (!fd.valid()) return {};
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = 0;  // ephemeral
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0)
+        return {};
+    if (!set_nonblocking(fd.get())) return {};
+    return fd;
+}
+
+}  // namespace
+
+Fd make_tcp_listener() {
+    Fd fd = make_bound_socket(SOCK_STREAM);
+    if (!fd.valid()) return {};
+    if (::listen(fd.get(), 64) != 0) return {};
+    return fd;
+}
+
+Fd make_udp_socket() { return make_bound_socket(SOCK_DGRAM); }
+
+}  // namespace xrp::ipc

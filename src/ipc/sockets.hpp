@@ -1,0 +1,49 @@
+// Small RAII + parsing helpers shared by the TCP and UDP families.
+#ifndef XRP_IPC_SOCKETS_HPP
+#define XRP_IPC_SOCKETS_HPP
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xrp::ipc {
+
+// Owning file descriptor (Core Guidelines R.1: RAII for resources).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+    Fd& operator=(Fd&& o) noexcept;
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+    ~Fd() { reset(); }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release() { return std::exchange(fd_, -1); }
+    void reset(int fd = -1);
+
+private:
+    int fd_ = -1;
+};
+
+bool set_nonblocking(int fd);
+bool set_nodelay(int fd);
+
+// "127.0.0.1:16878" -> sockaddr_in.
+std::optional<sockaddr_in> parse_inet_address(const std::string& address);
+// Formats the bound local address of `fd` as "ip:port".
+std::string local_address_string(int fd);
+
+// Creates a nonblocking listening TCP socket on 127.0.0.1, ephemeral port.
+Fd make_tcp_listener();
+// Creates a nonblocking UDP socket bound to 127.0.0.1, ephemeral port.
+Fd make_udp_socket();
+
+}  // namespace xrp::ipc
+
+#endif

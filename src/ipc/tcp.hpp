@@ -1,0 +1,134 @@
+// TCP protocol family ("stcp"): length-framed XRL frames over loopback
+// TCP, fully pipelined (§6.3, §8.1).
+//
+// Pipelining is the property the paper's Figure 9 isolates: a sender may
+// have many requests outstanding (the benchmark uses a window of 100) and
+// responses are matched by sequence number, so throughput is not bounded
+// by round-trip time. Everything is nonblocking and driven off the event
+// loop; there are no threads.
+#ifndef XRP_IPC_TCP_HPP
+#define XRP_IPC_TCP_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ev/eventloop.hpp"
+#include "ipc/dispatcher.hpp"
+#include "ipc/sockets.hpp"
+#include "ipc/wire.hpp"
+
+namespace xrp::ipc {
+
+// Upper bound on a single frame; anything larger is a protocol violation
+// and kills the connection.
+inline constexpr size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+class TcpListener {
+public:
+    TcpListener(ev::EventLoop& loop, XrlDispatcher& dispatcher);
+    ~TcpListener();
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    bool ok() const { return listen_fd_.valid(); }
+    // "127.0.0.1:port" — the address registered with the Finder.
+    const std::string& address() const { return address_; }
+    size_t connection_count() const { return conns_.size(); }
+    // Debug introspection: total unflushed response bytes + unparsed input.
+    std::pair<size_t, size_t> buffered_bytes() const {
+        size_t w = 0, r = 0;
+        for (const auto& [fd, c] : conns_) {
+            w += c->wbuf.size() - c->woff;
+            r += c->rbuf.size();
+        }
+        return {w, r};
+    }
+
+private:
+    struct Connection : std::enable_shared_from_this<Connection> {
+        Connection(TcpListener& owner, Fd fd) : owner(owner), fd(std::move(fd)) {}
+        TcpListener& owner;
+        Fd fd;
+        std::vector<uint8_t> rbuf;
+        std::vector<uint8_t> wbuf;
+        size_t woff = 0;
+        bool writer_armed = false;
+        bool closed = false;
+    };
+
+    void on_accept();
+    void on_readable(const std::shared_ptr<Connection>& c);
+    void on_writable(const std::shared_ptr<Connection>& c);
+    void process_frames(const std::shared_ptr<Connection>& c);
+    void queue_response(const std::shared_ptr<Connection>& c,
+                        const ResponseFrame& resp);
+    void flush(const std::shared_ptr<Connection>& c);
+    void close_connection(const std::shared_ptr<Connection>& c);
+
+    ev::EventLoop& loop_;
+    XrlDispatcher& dispatcher_;
+    Fd listen_fd_;
+    std::string address_;
+    std::map<int, std::shared_ptr<Connection>> conns_;
+};
+
+// Sender side: one channel per (remote address); created lazily by the
+// XrlRouter and kept for the router's lifetime.
+class TcpChannel {
+public:
+    TcpChannel(ev::EventLoop& loop, const std::string& address);
+    ~TcpChannel();
+    TcpChannel(const TcpChannel&) = delete;
+    TcpChannel& operator=(const TcpChannel&) = delete;
+
+    // Pipelined up to a bounded window: requests beyond kMaxOutstanding
+    // queue in user space and go out as responses return. Unbounded
+    // pipelining would dump megabytes into one TCP connection during
+    // table loads, collapsing into zero-window persist-timer lockstep on
+    // some stacks; a bounded window keeps the pipe full without that.
+    void send(const std::string& keyed_method, const xrl::XrlArgs& args,
+              ResponseCallback done);
+
+    static constexpr size_t kMaxOutstanding = 256;
+
+    bool broken() const { return broken_; }
+    size_t pending_count() const { return pending_.size(); }
+    // Debug introspection for stall diagnosis.
+    size_t wbuf_bytes() const { return wbuf_.size() - woff_; }
+    size_t rbuf_bytes() const { return rbuf_.size(); }
+    bool connecting() const { return connecting_; }
+    bool writer_armed() const { return writer_armed_; }
+
+private:
+    void on_connect_writable();
+    void on_readable();
+    void on_writable();
+    void flush();
+    void pump_backlog();
+    void fail_all(const xrl::XrlError& err);
+
+    ev::EventLoop& loop_;
+    Fd fd_;
+    bool connecting_ = false;
+    bool broken_ = false;
+    bool writer_armed_ = false;
+    uint32_t next_seq_ = 1;
+    std::vector<uint8_t> rbuf_;
+    std::vector<uint8_t> wbuf_;
+    size_t woff_ = 0;
+    std::map<uint32_t, ResponseCallback> pending_;
+    // Requests awaiting a window slot: pre-encoded frame + seq + callback.
+    struct Queued {
+        uint32_t seq;
+        std::vector<uint8_t> frame;  // length-prefixed
+        ResponseCallback done;
+    };
+    std::deque<Queued> backlog_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

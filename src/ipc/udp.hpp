@@ -1,0 +1,75 @@
+// UDP protocol family ("sudp"): one datagram per request, one per
+// response, and — deliberately — *no pipelining*: the channel is
+// stop-and-wait, exactly like XORP's first-prototype UDP family that the
+// paper keeps around to illustrate what pipelining buys (Figure 9 shows
+// it well below TCP even on the same host).
+#ifndef XRP_IPC_UDP_HPP
+#define XRP_IPC_UDP_HPP
+
+#include <deque>
+#include <string>
+
+#include "ev/eventloop.hpp"
+#include "ipc/dispatcher.hpp"
+#include "ipc/sockets.hpp"
+#include "ipc/wire.hpp"
+
+namespace xrp::ipc {
+
+class UdpListener {
+public:
+    UdpListener(ev::EventLoop& loop, XrlDispatcher& dispatcher);
+    ~UdpListener();
+    UdpListener(const UdpListener&) = delete;
+    UdpListener& operator=(const UdpListener&) = delete;
+
+    bool ok() const { return fd_.valid(); }
+    const std::string& address() const { return address_; }
+
+private:
+    void on_readable();
+
+    ev::EventLoop& loop_;
+    XrlDispatcher& dispatcher_;
+    Fd fd_;
+    std::string address_;
+};
+
+class UdpChannel {
+public:
+    UdpChannel(ev::EventLoop& loop, const std::string& address,
+               ev::Duration timeout = std::chrono::seconds(2));
+    ~UdpChannel();
+    UdpChannel(const UdpChannel&) = delete;
+    UdpChannel& operator=(const UdpChannel&) = delete;
+
+    // Stop-and-wait: requests queue locally; at most one is on the wire.
+    void send(const std::string& keyed_method, const xrl::XrlArgs& args,
+              ResponseCallback done);
+
+    bool broken() const { return broken_; }
+
+private:
+    struct Pending {
+        uint32_t seq;
+        std::vector<uint8_t> datagram;
+        ResponseCallback done;
+    };
+
+    void pump();
+    void on_readable();
+    void on_timeout();
+
+    ev::EventLoop& loop_;
+    Fd fd_;
+    ev::Duration timeout_;
+    bool broken_ = false;
+    bool in_flight_ = false;
+    uint32_t next_seq_ = 1;
+    std::deque<Pending> queue_;
+    ev::Timer timeout_timer_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,0 +1,71 @@
+// Binary wire codec for XRLs (§6.1: "internally XRLs are encoded more
+// efficiently" than the textual form).
+//
+// All integers are little-endian. An encoded frame is:
+//   request:  u8 kind=1 | u32 seq | u16 method_len | method | args
+//   response: u8 kind=2 | u32 seq | u8 error_code | u16 note_len | note | args
+// and an encoded args block is:
+//   u16 count | count * atom
+//   atom: u8 type | u16 name_len | name | value
+// TCP prepends a u32 frame length; UDP uses one datagram per frame.
+#ifndef XRP_IPC_WIRE_HPP
+#define XRP_IPC_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xrl/args.hpp"
+#include "xrl/error.hpp"
+
+namespace xrp::ipc {
+
+enum class FrameKind : uint8_t { kRequest = 1, kResponse = 2 };
+
+struct RequestFrame {
+    uint32_t seq = 0;
+    std::string method;  // keyed full method, e.g. "bgp/1.0/set_local_as#ab12..."
+    xrl::XrlArgs args;
+};
+
+struct ResponseFrame {
+    uint32_t seq = 0;
+    xrl::XrlError error;
+    xrl::XrlArgs args;
+};
+
+// Appends to `out`; never fails (all atom states are encodable).
+void encode_args(const xrl::XrlArgs& args, std::vector<uint8_t>& out);
+void encode_request(const RequestFrame& f, std::vector<uint8_t>& out);
+void encode_response(const ResponseFrame& f, std::vector<uint8_t>& out);
+
+// Cursor-based decoding; returns nullopt on truncated or malformed input.
+class WireReader {
+public:
+    WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+    std::optional<uint8_t> u8();
+    std::optional<uint16_t> u16();
+    std::optional<uint32_t> u32();
+    std::optional<uint64_t> u64();
+    std::optional<std::string> str16();
+    std::optional<std::vector<uint8_t>> bytes32();
+    bool take(void* out, size_t n);
+    size_t remaining() const { return size_ - pos_; }
+
+private:
+    const uint8_t* data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+std::optional<xrl::XrlArgs> decode_args(WireReader& r);
+// Decodes a frame (without any transport length prefix). Returns the kind
+// and fills exactly one of the two out-params.
+std::optional<FrameKind> decode_frame(const uint8_t* data, size_t size,
+                                      RequestFrame& req, ResponseFrame& resp);
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,0 +1,90 @@
+// IpNet<A>: an address prefix (subnet), the key type of every routing
+// table in the system. Instantiated with net::IPv4 and net::IPv6.
+#ifndef XRP_NET_IPNET_HPP
+#define XRP_NET_IPNET_HPP
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+
+namespace xrp::net {
+
+template <class A>
+class IpNet {
+public:
+    constexpr IpNet() = default;
+    // The stored address is always masked to the prefix length, so two
+    // IpNets constructed from different host addresses inside the same
+    // subnet compare equal.
+    constexpr IpNet(A addr, uint32_t prefix_len)
+        : addr_(addr.masked(prefix_len)), prefix_len_(prefix_len) {}
+
+    // Parses "addr/len" text; rejects a missing or out-of-range length.
+    static std::optional<IpNet> parse(std::string_view text) {
+        size_t slash = text.find('/');
+        if (slash == std::string_view::npos) return std::nullopt;
+        auto addr = A::parse(text.substr(0, slash));
+        if (!addr) return std::nullopt;
+        std::string_view lenstr = text.substr(slash + 1);
+        if (lenstr.empty() || lenstr.size() > 3) return std::nullopt;
+        uint32_t len = 0;
+        for (char c : lenstr) {
+            if (c < '0' || c > '9') return std::nullopt;
+            len = len * 10 + static_cast<uint32_t>(c - '0');
+        }
+        if (len > A::kAddrBits) return std::nullopt;
+        return IpNet(*addr, len);
+    }
+
+    static IpNet must_parse(std::string_view text) {
+        auto n = parse(text);
+        if (!n) std::abort();
+        return *n;
+    }
+
+    constexpr A masked_addr() const { return addr_; }
+    constexpr uint32_t prefix_len() const { return prefix_len_; }
+
+    std::string str() const {
+        return addr_.str() + "/" + std::to_string(prefix_len_);
+    }
+
+    // True if `a` falls inside this subnet.
+    constexpr bool contains(A a) const {
+        return a.masked(prefix_len_) == addr_;
+    }
+    // True if `o` is equal to or more specific than this subnet.
+    constexpr bool contains(const IpNet& o) const {
+        return o.prefix_len_ >= prefix_len_ && contains(o.addr_);
+    }
+    constexpr bool overlaps(const IpNet& o) const {
+        return contains(o) || o.contains(*this);
+    }
+
+    // Sort order: by address, then by prefix length (less specific first).
+    // This gives in-order trie traversal semantics for free in flat maps.
+    friend constexpr auto operator<=>(const IpNet&, const IpNet&) = default;
+
+private:
+    A addr_{};
+    uint32_t prefix_len_ = 0;
+};
+
+using IPv4Net = IpNet<IPv4>;
+using IPv6Net = IpNet<IPv6>;
+
+}  // namespace xrp::net
+
+template <class A>
+struct std::hash<xrp::net::IpNet<A>> {
+    size_t operator()(const xrp::net::IpNet<A>& n) const noexcept {
+        return std::hash<A>{}(n.masked_addr()) * 31 + n.prefix_len();
+    }
+};
+
+#endif

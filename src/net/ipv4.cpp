@@ -1,0 +1,55 @@
+#include "net/ipv4.hpp"
+
+#include <arpa/inet.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrp::net {
+
+std::optional<IPv4> IPv4::parse(std::string_view text) {
+    uint32_t octets[4];
+    size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+            return std::nullopt;
+        uint32_t v = 0;
+        size_t digits = 0;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+            v = v * 10 + static_cast<uint32_t>(text[pos] - '0');
+            if (v > 255 || ++digits > 3) return std::nullopt;
+            ++pos;
+        }
+        octets[i] = v;
+        if (i < 3) {
+            if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+            ++pos;
+        }
+    }
+    if (pos != text.size()) return std::nullopt;
+    return IPv4((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                octets[3]);
+}
+
+IPv4 IPv4::must_parse(std::string_view text) {
+    auto a = parse(text);
+    if (!a) {
+        std::fprintf(stderr, "IPv4::must_parse: bad address '%.*s'\n",
+                     static_cast<int>(text.size()), text.data());
+        std::abort();
+    }
+    return *a;
+}
+
+uint32_t IPv4::to_network() const { return htonl(addr_); }
+
+IPv4 IPv4::from_network(uint32_t net_order) { return IPv4(ntohl(net_order)); }
+
+std::string IPv4::str() const {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr_ >> 24) & 0xff,
+                  (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff, addr_ & 0xff);
+    return buf;
+}
+
+}  // namespace xrp::net

@@ -1,0 +1,89 @@
+// IPv4 address value type.
+//
+// Stored in host byte order internally; conversions to/from network order
+// and dotted-quad text are explicit. The class is a trivially copyable
+// value type so it can live in tries, XRL atoms, and wire buffers without
+// ceremony. IPv6 (net/ipv6.hpp) implements the same interface so that the
+// routing-table and protocol templates instantiate for both families from
+// one source tree, as the paper highlights (§4).
+#ifndef XRP_NET_IPV4_HPP
+#define XRP_NET_IPV4_HPP
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xrp::net {
+
+class IPv4 {
+public:
+    // Number of bits in an address; used by IpNet<> and the route trie.
+    static constexpr uint32_t kAddrBits = 32;
+
+    constexpr IPv4() = default;
+    constexpr explicit IPv4(uint32_t host_order) : addr_(host_order) {}
+
+    // Parses dotted-quad text ("192.0.2.1"). Returns nullopt on any
+    // malformed input (wrong field count, out-of-range octet, stray chars).
+    static std::optional<IPv4> parse(std::string_view text);
+
+    // Parses or aborts; for literals in tests and examples.
+    static IPv4 must_parse(std::string_view text);
+
+    static constexpr IPv4 any() { return IPv4(0); }
+    static constexpr IPv4 loopback() { return IPv4(0x7f000001); }
+    static constexpr IPv4 all_ones() { return IPv4(0xffffffff); }
+
+    // A netmask with the top `prefix_len` bits set. prefix_len must be <= 32.
+    static constexpr IPv4 make_prefix(uint32_t prefix_len) {
+        return IPv4(prefix_len == 0 ? 0 : (0xffffffffu << (32 - prefix_len)));
+    }
+
+    constexpr uint32_t to_host() const { return addr_; }
+    uint32_t to_network() const;  // big-endian representation
+    static IPv4 from_network(uint32_t net_order);
+
+    std::string str() const;
+
+    // Bit `i` counted from the most significant end; bit 0 is the top bit.
+    // This is the natural order for longest-prefix-match walks.
+    constexpr bool bit(uint32_t i) const { return (addr_ >> (31 - i)) & 1u; }
+
+    constexpr IPv4 masked(uint32_t prefix_len) const {
+        return IPv4(addr_ & make_prefix(prefix_len).addr_);
+    }
+
+    // Length of the longest common prefix of two addresses, in bits.
+    static uint32_t common_prefix_len(IPv4 a, IPv4 b) {
+        uint32_t x = a.addr_ ^ b.addr_;
+        return x == 0 ? 32 : static_cast<uint32_t>(__builtin_clz(x));
+    }
+
+    constexpr bool is_unicast() const {
+        return addr_ != 0 && (addr_ >> 28) != 0xe && (addr_ >> 24) != 0x7f &&
+               addr_ != 0xffffffffu;
+    }
+    constexpr bool is_multicast() const { return (addr_ >> 28) == 0xe; }
+
+    friend constexpr auto operator<=>(IPv4, IPv4) = default;
+
+    constexpr IPv4 operator&(IPv4 o) const { return IPv4(addr_ & o.addr_); }
+    constexpr IPv4 operator|(IPv4 o) const { return IPv4(addr_ | o.addr_); }
+    constexpr IPv4 operator~() const { return IPv4(~addr_); }
+
+private:
+    uint32_t addr_ = 0;
+};
+
+}  // namespace xrp::net
+
+template <>
+struct std::hash<xrp::net::IPv4> {
+    size_t operator()(xrp::net::IPv4 a) const noexcept {
+        return std::hash<uint32_t>{}(a.to_host());
+    }
+};
+
+#endif

@@ -1,0 +1,143 @@
+#include "net/ipv6.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace xrp::net {
+
+namespace {
+
+std::optional<uint32_t> parse_hex_group(std::string_view s) {
+    if (s.empty() || s.size() > 4) return std::nullopt;
+    uint32_t v = 0;
+    for (char c : s) {
+        uint32_t d;
+        if (c >= '0' && c <= '9') d = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') d = static_cast<uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') d = static_cast<uint32_t>(c - 'A' + 10);
+        else return std::nullopt;
+        v = (v << 4) | d;
+    }
+    return v;
+}
+
+}  // namespace
+
+std::optional<IPv6> IPv6::parse(std::string_view text) {
+    // Split on "::" into head and tail group lists.
+    size_t dc = text.find("::");
+    std::string_view head = dc == std::string_view::npos ? text : text.substr(0, dc);
+    std::string_view tail =
+        dc == std::string_view::npos ? std::string_view{} : text.substr(dc + 2);
+    if (dc != std::string_view::npos && tail.find("::") != std::string_view::npos)
+        return std::nullopt;  // at most one "::"
+
+    auto split_groups = [](std::string_view s,
+                           std::vector<uint16_t>& out) -> bool {
+        if (s.empty()) return true;
+        size_t start = 0;
+        while (true) {
+            size_t colon = s.find(':', start);
+            std::string_view g = colon == std::string_view::npos
+                                     ? s.substr(start)
+                                     : s.substr(start, colon - start);
+            if (g.find('.') != std::string_view::npos) {
+                // Embedded IPv4 tail must be the final group.
+                if (colon != std::string_view::npos) return false;
+                auto v4 = IPv4::parse(g);
+                if (!v4) return false;
+                out.push_back(static_cast<uint16_t>(v4->to_host() >> 16));
+                out.push_back(static_cast<uint16_t>(v4->to_host() & 0xffff));
+                return true;
+            }
+            auto v = parse_hex_group(g);
+            if (!v) return false;
+            out.push_back(static_cast<uint16_t>(*v));
+            if (colon == std::string_view::npos) return true;
+            start = colon + 1;
+        }
+    };
+
+    std::vector<uint16_t> h, t;
+    if (!split_groups(head, h) || !split_groups(tail, t)) return std::nullopt;
+
+    std::vector<uint16_t> groups;
+    if (dc == std::string_view::npos) {
+        if (h.size() != 8) return std::nullopt;
+        groups = std::move(h);
+    } else {
+        if (h.size() + t.size() > 7) return std::nullopt;
+        groups = std::move(h);
+        groups.resize(8 - t.size(), 0);
+        groups.insert(groups.end(), t.begin(), t.end());
+    }
+
+    uint64_t hi = 0, lo = 0;
+    for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<size_t>(i)];
+    for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<size_t>(i)];
+    return IPv6(hi, lo);
+}
+
+IPv6 IPv6::must_parse(std::string_view text) {
+    auto a = parse(text);
+    if (!a) {
+        std::fprintf(stderr, "IPv6::must_parse: bad address '%.*s'\n",
+                     static_cast<int>(text.size()), text.data());
+        std::abort();
+    }
+    return *a;
+}
+
+std::array<uint8_t, 16> IPv6::to_bytes() const {
+    std::array<uint8_t, 16> b;
+    for (int i = 0; i < 8; ++i)
+        b[static_cast<size_t>(i)] = static_cast<uint8_t>(hi_ >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+        b[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(lo_ >> (56 - 8 * i));
+    return b;
+}
+
+IPv6 IPv6::from_bytes(const uint8_t* b) {
+    uint64_t hi = 0, lo = 0;
+    for (int i = 0; i < 8; ++i) hi = (hi << 8) | b[i];
+    for (int i = 8; i < 16; ++i) lo = (lo << 8) | b[i];
+    return IPv6(hi, lo);
+}
+
+std::string IPv6::str() const {
+    uint16_t g[8];
+    for (int i = 0; i < 4; ++i)
+        g[i] = static_cast<uint16_t>(hi_ >> (48 - 16 * i));
+    for (int i = 0; i < 4; ++i)
+        g[4 + i] = static_cast<uint16_t>(lo_ >> (48 - 16 * i));
+
+    // Find the longest run of zero groups (>= 2) for "::" compression.
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (g[i] != 0) { ++i; continue; }
+        int j = i;
+        while (j < 8 && g[j] == 0) ++j;
+        if (j - i > best_len) { best_start = i; best_len = j - i; }
+        i = j;
+    }
+    if (best_len < 2) best_start = -1;
+
+    auto join = [&](int from, int to) {
+        std::string s;
+        for (int i = from; i < to; ++i) {
+            char tmp[8];
+            std::snprintf(tmp, sizeof tmp, "%x", g[i]);
+            if (i != from) s += ':';
+            s += tmp;
+        }
+        return s;
+    };
+
+    if (best_start < 0) return join(0, 8);
+    return join(0, best_start) + "::" + join(best_start + best_len, 8);
+}
+
+}  // namespace xrp::net

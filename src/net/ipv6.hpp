@@ -1,0 +1,100 @@
+// IPv6 address value type mirroring the IPv4 interface so that templated
+// code (IpNet, RouteTrie, protocol pipelines) instantiates for both
+// families from one source (§4 of the paper credits C++ templates for
+// exactly this).
+#ifndef XRP_NET_IPV6_HPP
+#define XRP_NET_IPV6_HPP
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xrp::net {
+
+class IPv6 {
+public:
+    static constexpr uint32_t kAddrBits = 128;
+
+    constexpr IPv6() = default;
+    // hi holds bits 0..63 (network order: the first 8 bytes), lo bits 64..127.
+    constexpr IPv6(uint64_t hi, uint64_t lo) : hi_(hi), lo_(lo) {}
+
+    // Parses RFC 4291 text: full form, "::" compression, embedded
+    // dotted-quad tails ("::ffff:192.0.2.1").
+    static std::optional<IPv6> parse(std::string_view text);
+    static IPv6 must_parse(std::string_view text);
+
+    static constexpr IPv6 any() { return IPv6(); }
+    static constexpr IPv6 loopback() { return IPv6(0, 1); }
+
+    static constexpr IPv6 make_prefix(uint32_t prefix_len) {
+        uint64_t hi = 0, lo = 0;
+        if (prefix_len >= 64) {
+            hi = ~uint64_t{0};
+            uint32_t rest = prefix_len - 64;
+            lo = rest == 0 ? 0 : (~uint64_t{0} << (64 - rest));
+        } else if (prefix_len > 0) {
+            hi = ~uint64_t{0} << (64 - prefix_len);
+        }
+        return IPv6(hi, lo);
+    }
+
+    constexpr uint64_t hi() const { return hi_; }
+    constexpr uint64_t lo() const { return lo_; }
+
+    std::array<uint8_t, 16> to_bytes() const;
+    static IPv6 from_bytes(const uint8_t* b);
+
+    std::string str() const;
+
+    constexpr bool bit(uint32_t i) const {
+        return i < 64 ? (hi_ >> (63 - i)) & 1u : (lo_ >> (127 - i)) & 1u;
+    }
+
+    constexpr IPv6 masked(uint32_t prefix_len) const {
+        IPv6 m = make_prefix(prefix_len);
+        return IPv6(hi_ & m.hi_, lo_ & m.lo_);
+    }
+
+    // Length of the longest common prefix of two addresses, in bits.
+    static uint32_t common_prefix_len(const IPv6& a, const IPv6& b) {
+        uint64_t xh = a.hi_ ^ b.hi_;
+        if (xh != 0) return static_cast<uint32_t>(__builtin_clzll(xh));
+        uint64_t xl = a.lo_ ^ b.lo_;
+        if (xl != 0) return 64 + static_cast<uint32_t>(__builtin_clzll(xl));
+        return 128;
+    }
+
+    constexpr bool is_multicast() const { return (hi_ >> 56) == 0xff; }
+    constexpr bool is_unicast() const {
+        return !is_multicast() && !(hi_ == 0 && lo_ == 0);
+    }
+
+    friend constexpr auto operator<=>(const IPv6&, const IPv6&) = default;
+
+    constexpr IPv6 operator&(const IPv6& o) const {
+        return IPv6(hi_ & o.hi_, lo_ & o.lo_);
+    }
+    constexpr IPv6 operator|(const IPv6& o) const {
+        return IPv6(hi_ | o.hi_, lo_ | o.lo_);
+    }
+    constexpr IPv6 operator~() const { return IPv6(~hi_, ~lo_); }
+
+private:
+    uint64_t hi_ = 0;
+    uint64_t lo_ = 0;
+};
+
+}  // namespace xrp::net
+
+template <>
+struct std::hash<xrp::net::IPv6> {
+    size_t operator()(const xrp::net::IPv6& a) const noexcept {
+        return std::hash<uint64_t>{}(a.hi() * 1000003 ^ a.lo());
+    }
+};
+
+#endif

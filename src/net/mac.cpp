@@ -1,0 +1,53 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrp::net {
+
+std::optional<Mac> Mac::parse(std::string_view text) {
+    std::array<uint8_t, 6> o{};
+    size_t pos = 0;
+    for (int i = 0; i < 6; ++i) {
+        uint32_t v = 0;
+        size_t digits = 0;
+        while (pos < text.size() && digits < 2) {
+            char c = text[pos];
+            uint32_t d;
+            if (c >= '0' && c <= '9') d = static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f') d = static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') d = static_cast<uint32_t>(c - 'A' + 10);
+            else break;
+            v = (v << 4) | d;
+            ++digits;
+            ++pos;
+        }
+        if (digits == 0) return std::nullopt;
+        o[static_cast<size_t>(i)] = static_cast<uint8_t>(v);
+        if (i < 5) {
+            if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+            ++pos;
+        }
+    }
+    if (pos != text.size()) return std::nullopt;
+    return Mac(o);
+}
+
+Mac Mac::must_parse(std::string_view text) {
+    auto m = parse(text);
+    if (!m) {
+        std::fprintf(stderr, "Mac::must_parse: bad address '%.*s'\n",
+                     static_cast<int>(text.size()), text.data());
+        std::abort();
+    }
+    return *m;
+}
+
+std::string Mac::str() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                  octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+    return buf;
+}
+
+}  // namespace xrp::net

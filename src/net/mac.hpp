@@ -1,0 +1,35 @@
+// Ethernet MAC address value type; appears in FEA interface descriptions
+// and as an XRL atom type.
+#ifndef XRP_NET_MAC_HPP
+#define XRP_NET_MAC_HPP
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xrp::net {
+
+class Mac {
+public:
+    constexpr Mac() = default;
+    constexpr explicit Mac(std::array<uint8_t, 6> octets) : octets_(octets) {}
+
+    // Parses colon-separated hex ("aa:bb:cc:dd:ee:ff").
+    static std::optional<Mac> parse(std::string_view text);
+    static Mac must_parse(std::string_view text);
+
+    std::string str() const;
+    constexpr const std::array<uint8_t, 6>& octets() const { return octets_; }
+
+    friend constexpr auto operator<=>(const Mac&, const Mac&) = default;
+
+private:
+    std::array<uint8_t, 6> octets_{};
+};
+
+}  // namespace xrp::net
+
+#endif

@@ -1,0 +1,436 @@
+// Path-compressed binary trie (Patricia tree) keyed by IpNet<A>, with the
+// paper's "safe route iterators" (§5.3).
+//
+// Background tasks — a BGP deletion stage slicing through 146k routes, a
+// policy re-filter pass — park an iterator in the table and resume later.
+// Meanwhile event handlers may delete the very node the iterator points
+// at. To keep parked iterators valid, every node carries a reference count
+// of iterators currently resting on it. Erasing a route clears the node's
+// value immediately (lookups no longer see it) but defers the structural
+// unlink until the last iterator leaves; the departing iterator performs
+// the deferred pruning. Users of the trie never see any of this: the rule
+// they rely on is simply "an iterator never dangles across a pause".
+//
+// Node layout invariants:
+//  - the root always exists and has key 0/0;
+//  - a child's key strictly extends its parent's key;
+//  - a valueless node with fewer than two children and no parked iterators
+//    is pruned (spliced out or removed) eagerly;
+//  - subtree_values counts valued nodes in each subtree, giving O(path)
+//    "is there any route under this prefix" queries for the RegisterStage.
+#ifndef XRP_NET_TRIE_HPP
+#define XRP_NET_TRIE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/ipnet.hpp"
+
+namespace xrp::net {
+
+template <class A, class T>
+class RouteTrie {
+    struct Node;
+
+public:
+    using Net = IpNet<A>;
+
+    RouteTrie() : root_(std::make_unique<Node>(Net{})) {}
+
+    RouteTrie(const RouteTrie&) = delete;
+    RouteTrie& operator=(const RouteTrie&) = delete;
+
+    ~RouteTrie() { assert(live_iterators_ == 0); }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    // Inserts or overwrites. Returns true if the key was new.
+    bool insert(const Net& net, T value) {
+        Node* n = root_.get();
+        while (true) {
+            if (n->key == net) {
+                bool was_new = !n->value.has_value();
+                n->value = std::move(value);
+                if (was_new) {
+                    ++size_;
+                    bump_counts(n, +1);
+                }
+                return was_new;
+            }
+            // Invariant: n->key contains net and is strictly shorter.
+            bool b = net.masked_addr().bit(n->key.prefix_len());
+            std::unique_ptr<Node>& slot = n->child[b];
+            if (!slot) {
+                slot = std::make_unique<Node>(net, n);
+                slot->value = std::move(value);
+                ++size_;
+                bump_counts(slot.get(), +1);
+                return true;
+            }
+            Node* c = slot.get();
+            if (c->key.contains(net)) {
+                n = c;
+                continue;
+            }
+            if (net.contains(c->key)) {
+                // Interpose a node for `net` between n and c.
+                auto mid = std::make_unique<Node>(net, n);
+                mid->value = std::move(value);
+                Node* midp = mid.get();
+                adopt(midp, std::move(slot));
+                slot = std::move(mid);
+                ++size_;
+                bump_counts(midp, +1);
+                return true;
+            }
+            // Keys diverge: interpose a valueless fork at the common prefix.
+            uint32_t d = A::common_prefix_len(net.masked_addr(),
+                                              c->key.masked_addr());
+            assert(d < net.prefix_len() && d < c->key.prefix_len());
+            auto fork = std::make_unique<Node>(
+                Net(net.masked_addr(), d), n);
+            Node* forkp = fork.get();
+            adopt(forkp, std::move(slot));
+            auto leaf = std::make_unique<Node>(net, forkp);
+            leaf->value = std::move(value);
+            Node* leafp = leaf.get();
+            forkp->child[net.masked_addr().bit(d)] = std::move(leaf);
+            slot = std::move(fork);
+            ++size_;
+            bump_counts(leafp, +1);
+            return true;
+        }
+    }
+
+    // Removes the exact prefix. Returns false if absent. If iterators are
+    // parked on the node, the value disappears now but the node lingers
+    // until they move on.
+    bool erase(const Net& net) {
+        Node* n = find_node(net);
+        if (n == nullptr || !n->value.has_value()) return false;
+        n->value.reset();
+        --size_;
+        bump_counts(n, -1);
+        prune_upward(n);
+        return true;
+    }
+
+    // Exact-match lookup.
+    const T* find(const Net& net) const {
+        const Node* n = find_node(net);
+        return (n != nullptr && n->value.has_value()) ? &*n->value : nullptr;
+    }
+    T* find(const Net& net) {
+        Node* n = find_node(net);
+        return (n != nullptr && n->value.has_value()) ? &*n->value : nullptr;
+    }
+
+    // Longest-prefix match for a host address.
+    const T* lookup(A addr, Net* matched_net = nullptr) const {
+        const Node* best = nullptr;
+        for (const Node* n = root_.get(); n != nullptr;) {
+            if (!n->key.contains(addr)) break;
+            if (n->value.has_value()) best = n;
+            if (n->key.prefix_len() == A::kAddrBits) break;
+            n = n->child[addr.bit(n->key.prefix_len())].get();
+        }
+        if (best == nullptr) return nullptr;
+        if (matched_net != nullptr) *matched_net = best->key;
+        return &*best->value;
+    }
+
+    // Nearest strictly-less-specific route covering `net`.
+    const T* find_less_specific(const Net& net, Net* matched_net = nullptr) const {
+        const Node* best = nullptr;
+        for (const Node* n = root_.get(); n != nullptr;) {
+            if (!n->key.contains(net) || n->key.prefix_len() >= net.prefix_len())
+                break;
+            if (n->value.has_value()) best = n;
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+        }
+        if (best == nullptr) return nullptr;
+        if (matched_net != nullptr) *matched_net = best->key;
+        return &*best->value;
+    }
+
+    // True if any route exists that is equal to or more specific than `net`.
+    bool has_route_within(const Net& net) const {
+        const Node* n = root_.get();
+        while (n != nullptr) {
+            if (net.contains(n->key)) return n->subtree_values > 0;
+            if (!n->key.contains(net)) return false;
+            if (n->key.prefix_len() == A::kAddrBits) return false;
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+        }
+        return false;
+    }
+
+    // The RegisterStage query (§5.2.1, Figure 8): for a host address,
+    // report the matching route (if any) and the *largest enclosing subnet*
+    // of `addr` within which that answer holds — the largest prefix
+    // containing addr that is inside the matched route (if any) and is not
+    // overlayed by any more-specific route. Clients may cache the answer
+    // for every address in the returned subnet.
+    struct RegisterResult {
+        const T* route = nullptr;  // null if no route covers addr
+        Net matched_net{};         // valid when route != null
+        Net valid_subnet{};        // the largest enclosing cacheable subnet
+    };
+    RegisterResult register_lookup(A addr) const {
+        RegisterResult r;
+        // Phase 1: find the deepest valued node containing addr.
+        const Node* vnode = nullptr;
+        for (const Node* n = root_.get(); n != nullptr;) {
+            if (!n->key.contains(addr)) break;
+            if (n->value.has_value()) vnode = n;
+            if (n->key.prefix_len() == A::kAddrBits) break;
+            n = n->child[addr.bit(n->key.prefix_len())].get();
+        }
+        uint32_t best = 0;
+        const Node* n = root_.get();
+        if (vnode != nullptr) {
+            r.route = &*vnode->value;
+            r.matched_net = vnode->key;
+            best = vnode->key.prefix_len();
+            n = vnode;
+        }
+        // Phase 2: descend below the match accumulating constraints from
+        // every more-specific route that shares a partial path with addr.
+        while (n->key.prefix_len() < A::kAddrBits) {
+            bool b = addr.bit(n->key.prefix_len());
+            const Node* sib = n->child[!b].get();
+            if (sib != nullptr && sib->subtree_values > 0)
+                best = std::max(best, n->key.prefix_len() + 1);
+            const Node* c = n->child[b].get();
+            if (c == nullptr) break;
+            uint32_t d = std::min(
+                A::common_prefix_len(addr, c->key.masked_addr()),
+                c->key.prefix_len());
+            if (d < c->key.prefix_len()) {
+                if (c->subtree_values > 0) best = std::max(best, d + 1);
+                break;
+            }
+            n = c;
+        }
+        r.valid_subnet = Net(addr.masked(best), best);
+        return r;
+    }
+
+    // ---- Safe iterator ----------------------------------------------
+    class iterator {
+    public:
+        iterator() = default;
+        iterator(const iterator& o) : trie_(o.trie_), node_(o.node_) {
+            acquire();
+        }
+        iterator(iterator&& o) noexcept : trie_(o.trie_), node_(o.node_) {
+            o.trie_ = nullptr;
+            o.node_ = nullptr;
+        }
+        iterator& operator=(const iterator& o) {
+            if (this != &o) {
+                release();
+                trie_ = o.trie_;
+                node_ = o.node_;
+                acquire();
+            }
+            return *this;
+        }
+        iterator& operator=(iterator&& o) noexcept {
+            if (this != &o) {
+                release();
+                trie_ = o.trie_;
+                node_ = o.node_;
+                o.trie_ = nullptr;
+                o.node_ = nullptr;
+            }
+            return *this;
+        }
+        ~iterator() { release(); }
+
+        bool at_end() const { return node_ == nullptr; }
+
+        const Net& key() const { return node_->key; }
+        // The pointed-at route may have been erased while we were parked;
+        // valid() distinguishes "route still live" from "node lingering
+        // solely for our benefit".
+        bool valid() const {
+            return node_ != nullptr && node_->value.has_value();
+        }
+        T& value() { return *node_->value; }
+        const T& value() const { return *node_->value; }
+
+        // Advance to the next live route in prefix order. If the current
+        // route was erased underneath us, this still lands on the correct
+        // successor, per the §5.3 contract.
+        iterator& operator++() {
+            assert(node_ != nullptr);
+            Node* n = node_;
+            do {
+                n = RouteTrie::preorder_next(n);
+            } while (n != nullptr && !n->value.has_value());
+            move_to(n);
+            return *this;
+        }
+
+        bool operator==(const iterator& o) const { return node_ == o.node_; }
+
+    private:
+        friend class RouteTrie;
+        iterator(RouteTrie* trie, Node* node) : trie_(trie), node_(node) {
+            acquire();
+        }
+        void acquire() {
+            if (node_ != nullptr) {
+                ++node_->iter_refs;
+                ++trie_->live_iterators_;
+            }
+        }
+        void release() {
+            if (node_ != nullptr) {
+                Node* n = node_;
+                node_ = nullptr;
+                --trie_->live_iterators_;
+                assert(n->iter_refs > 0);
+                if (--n->iter_refs == 0) trie_->prune_upward(n);
+            }
+        }
+        void move_to(Node* n) {
+            RouteTrie* t = trie_;
+            release();
+            trie_ = t;
+            node_ = n;
+            acquire();
+        }
+
+        RouteTrie* trie_ = nullptr;
+        Node* node_ = nullptr;
+    };
+
+    iterator begin() {
+        Node* n = root_.get();
+        if (!n->value.has_value()) {
+            do {
+                n = preorder_next(n);
+            } while (n != nullptr && !n->value.has_value());
+        }
+        return iterator(this, n);
+    }
+    iterator end() { return iterator(this, nullptr); }
+
+    // Visits every live route in prefix order. `fn(net, value)`.
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for_each_node(root_.get(), fn);
+    }
+
+    // Visits every live route equal to or more specific than `within`.
+    template <class Fn>
+    void for_each_within(const Net& within, Fn&& fn) const {
+        const Node* n = root_.get();
+        while (n != nullptr && !within.contains(n->key)) {
+            if (!n->key.contains(within)) return;  // disjoint
+            if (n->key.prefix_len() == A::kAddrBits) return;
+            n = n->child[within.masked_addr().bit(n->key.prefix_len())].get();
+        }
+        if (n != nullptr) for_each_node(n, fn);
+    }
+
+    size_t node_count() const { return count_nodes(root_.get()); }
+
+private:
+    struct Node {
+        explicit Node(Net k, Node* p = nullptr) : key(k), parent(p) {}
+        ~Node() { assert(iter_refs == 0); }
+
+        Net key;
+        std::optional<T> value;
+        Node* parent = nullptr;
+        std::unique_ptr<Node> child[2];
+        uint32_t iter_refs = 0;
+        // Count of valued nodes in this subtree (including this node).
+        uint32_t subtree_values = 0;
+    };
+
+    static void adopt(Node* new_parent, std::unique_ptr<Node> child) {
+        Node* c = child.get();
+        c->parent = new_parent;
+        new_parent->subtree_values += c->subtree_values;
+        new_parent->child[c->key.masked_addr().bit(
+            new_parent->key.prefix_len())] = std::move(child);
+    }
+
+    void bump_counts(Node* n, int delta) {
+        for (Node* p = n; p != nullptr; p = p->parent)
+            p->subtree_values =
+                static_cast<uint32_t>(static_cast<int>(p->subtree_values) + delta);
+    }
+
+    Node* find_node(const Net& net) const {
+        Node* n = root_.get();
+        while (n != nullptr) {
+            if (n->key == net) return n;
+            if (!n->key.contains(net)) return nullptr;
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+        }
+        return nullptr;
+    }
+
+    static Node* preorder_next(Node* n) {
+        if (n->child[0]) return n->child[0].get();
+        if (n->child[1]) return n->child[1].get();
+        while (n->parent != nullptr) {
+            Node* p = n->parent;
+            if (p->child[0].get() == n && p->child[1]) return p->child[1].get();
+            n = p;
+        }
+        return nullptr;
+    }
+
+    // Removes structurally-unneeded nodes starting at `n` and walking up.
+    // A node is removable when it has no value, no parked iterators, and
+    // fewer than two children. Never removes the root.
+    void prune_upward(Node* n) {
+        while (n != nullptr && n->parent != nullptr && !n->value.has_value() &&
+               n->iter_refs == 0 && !(n->child[0] && n->child[1])) {
+            Node* parent = n->parent;
+            std::unique_ptr<Node>& slot =
+                parent->child[parent->child[0].get() == n ? 0 : 1];
+            assert(slot.get() == n);
+            std::unique_ptr<Node> only_child =
+                std::move(n->child[0] ? n->child[0] : n->child[1]);
+            if (only_child) {
+                only_child->parent = parent;
+                slot = std::move(only_child);  // splice n out
+            } else {
+                slot.reset();  // remove leaf
+            }
+            n = parent;
+        }
+    }
+
+    template <class Fn>
+    static void for_each_node(const Node* n, Fn& fn) {
+        if (n == nullptr) return;
+        if (n->value.has_value()) fn(n->key, *n->value);
+        for_each_node(n->child[0].get(), fn);
+        for_each_node(n->child[1].get(), fn);
+    }
+
+    static size_t count_nodes(const Node* n) {
+        if (n == nullptr) return 0;
+        return 1 + count_nodes(n->child[0].get()) + count_nodes(n->child[1].get());
+    }
+
+    std::unique_ptr<Node> root_;
+    size_t size_ = 0;
+    size_t live_iterators_ = 0;
+};
+
+}  // namespace xrp::net
+
+#endif

@@ -1,0 +1,190 @@
+#include "policy/compiler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+
+namespace xrp::policy {
+
+std::string value_str(const Value& v) {
+    struct Visitor {
+        std::string operator()(uint32_t x) const { return std::to_string(x); }
+        std::string operator()(bool x) const { return x ? "true" : "false"; }
+        std::string operator()(const std::string& x) const { return x; }
+        std::string operator()(net::IPv4 x) const { return x.str(); }
+        std::string operator()(net::IPv4Net x) const { return x.str(); }
+        std::string operator()(const net::IPv6& x) const { return x.str(); }
+        std::string operator()(const net::IPv6Net& x) const { return x.str(); }
+    };
+    return std::visit(Visitor{}, v);
+}
+
+namespace {
+
+struct Tokenizer {
+    std::string_view text;
+    size_t pos = 0;
+
+    void skip() {
+        while (pos < text.size()) {
+            if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            } else if (text[pos] == '#') {
+                while (pos < text.size() && text[pos] != '\n') ++pos;
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::string next() {
+        skip();
+        if (pos >= text.size()) return {};
+        char c = text[pos];
+        if (c == '{' || c == '}' || c == ';') {
+            ++pos;
+            return std::string(1, c);
+        }
+        size_t start = pos;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])) &&
+               text[pos] != '{' && text[pos] != '}' && text[pos] != ';' &&
+               text[pos] != '#')
+            ++pos;
+        return std::string(text.substr(start, pos - start));
+    }
+
+    std::string peek() {
+        size_t saved = pos;
+        std::string t = next();
+        pos = saved;
+        return t;
+    }
+};
+
+const std::map<std::string, OpCode, std::less<>> kSimpleOps = {
+    {"eq", OpCode::kEq},        {"ne", OpCode::kNe},
+    {"lt", OpCode::kLt},        {"le", OpCode::kLe},
+    {"gt", OpCode::kGt},        {"ge", OpCode::kGe},
+    {"and", OpCode::kAnd},      {"or", OpCode::kOr},
+    {"not", OpCode::kNot},      {"contains", OpCode::kContains},
+    {"tag-add", OpCode::kTagAdd}, {"tag-present", OpCode::kTagPresent},
+    {"accept", OpCode::kAccept}, {"reject", OpCode::kReject},
+};
+
+std::optional<Value> parse_literal(const std::string& type,
+                                   const std::string& text) {
+    if (type == "u32") {
+        uint32_t v{};
+        auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+        if (ec != std::errc{} || p != text.data() + text.size())
+            return std::nullopt;
+        return Value(v);
+    }
+    if (type == "bool") {
+        if (text == "true") return Value(true);
+        if (text == "false") return Value(false);
+        return std::nullopt;
+    }
+    if (type == "txt") return Value(text);
+    if (type == "ipv4") {
+        auto a = net::IPv4::parse(text);
+        if (!a) return std::nullopt;
+        return Value(*a);
+    }
+    if (type == "ipv4net") {
+        auto a = net::IPv4Net::parse(text);
+        if (!a) return std::nullopt;
+        return Value(*a);
+    }
+    if (type == "ipv6") {
+        auto a = net::IPv6::parse(text);
+        if (!a) return std::nullopt;
+        return Value(*a);
+    }
+    if (type == "ipv6net") {
+        auto a = net::IPv6Net::parse(text);
+        if (!a) return std::nullopt;
+        return Value(*a);
+    }
+    return std::nullopt;
+}
+
+bool fail(std::string* error, std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+}
+
+bool compile_term(Tokenizer& tok, Term& term, std::string* error) {
+    if (tok.next() != "{") return fail(error, "expected '{' after term name");
+    while (true) {
+        std::string word = tok.next();
+        if (word == "}") return true;
+        if (word.empty()) return fail(error, "unexpected end of policy");
+
+        Instr instr;
+        if (auto it = kSimpleOps.find(word); it != kSimpleOps.end()) {
+            instr.op = it->second;
+        } else if (word == "push") {
+            std::string type = tok.next();
+            std::string lit = tok.next();
+            auto v = parse_literal(type, lit);
+            if (!v)
+                return fail(error, "bad literal: push " + type + " " + lit);
+            instr.op = OpCode::kPush;
+            instr.operand = std::move(*v);
+        } else if (word == "load" || word == "store") {
+            instr.op = word == "load" ? OpCode::kLoad : OpCode::kStore;
+            instr.name = tok.next();
+            if (instr.name.empty() || instr.name == ";")
+                return fail(error, word + " requires an attribute name");
+        } else if (word == "onfalse") {
+            std::string action = tok.next();
+            if (action == "next") instr.op = OpCode::kOnFalseNext;
+            else if (action == "accept") instr.op = OpCode::kOnFalseAccept;
+            else if (action == "reject") instr.op = OpCode::kOnFalseReject;
+            else return fail(error, "onfalse requires next|accept|reject");
+        } else {
+            return fail(error, "unknown instruction: " + word);
+        }
+        term.instrs.push_back(std::move(instr));
+        if (tok.peek() == ";") tok.next();
+    }
+}
+
+}  // namespace
+
+std::optional<Program> compile(std::string_view text, std::string* error) {
+    Tokenizer tok{text};
+    Program prog;
+    while (true) {
+        std::string word = tok.next();
+        if (word.empty()) break;
+        if (word == "default") {
+            std::string v = tok.next();
+            if (v == "accept") prog.default_accept = true;
+            else if (v == "reject") prog.default_accept = false;
+            else {
+                if (error) *error = "default requires accept|reject";
+                return std::nullopt;
+            }
+            if (tok.peek() == ";") tok.next();
+            continue;
+        }
+        if (word != "term") {
+            if (error) *error = "expected 'term', got '" + word + "'";
+            return std::nullopt;
+        }
+        Term term;
+        term.name = tok.next();
+        if (term.name.empty() || term.name == "{") {
+            if (error) *error = "term requires a name";
+            return std::nullopt;
+        }
+        if (!compile_term(tok, term, error)) return std::nullopt;
+        prog.terms.push_back(std::move(term));
+    }
+    return prog;
+}
+
+}  // namespace xrp::policy

@@ -1,0 +1,19 @@
+// Compiles policy text into a Program. See program.hpp for the grammar.
+#ifndef XRP_POLICY_COMPILER_HPP
+#define XRP_POLICY_COMPILER_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "policy/program.hpp"
+
+namespace xrp::policy {
+
+// Returns nullopt and fills `error` on syntax problems.
+std::optional<Program> compile(std::string_view text,
+                               std::string* error = nullptr);
+
+}  // namespace xrp::policy
+
+#endif

@@ -1,0 +1,90 @@
+// The policy stack language (§8.3).
+//
+// "Our policy framework consists of three new BGP stages and two new RIB
+// stages, each of which supports a common simple stack language for
+// operating on routes." This is that language. A policy is a list of
+// *terms*; each term is straight-line stack code over a route's
+// attributes ending (optionally) in accept/reject; a route falls through
+// to the next term unless a term decides. Programs are pure functions of
+// the route, which is what lets them run inside FilterStages without
+// breaking stage consistency.
+//
+// Textual syntax (whitespace-insensitive, '#' comments):
+//
+//   term block-martians {
+//       push ipv4net 10.0.0.0/8;
+//       load prefix;
+//       contains;            # 10/8 contains prefix?
+//       onfalse next;
+//       reject;
+//   }
+//   term boost-short {
+//       load metric; push u32 5; le; onfalse next;
+//       push u32 200; store localpref;
+//       accept;
+//   }
+//
+// Generic attributes every route supports: prefix, prefix-len, nexthop,
+// metric, admin-distance, igp-metric, protocol. Protocols may bind more
+// (BGP adds localpref, med, aspath-len, origin, community membership) via
+// an AttributeBinding passed to the VM.
+#ifndef XRP_POLICY_PROGRAM_HPP
+#define XRP_POLICY_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/ipnet.hpp"
+
+namespace xrp::policy {
+
+using Value = std::variant<uint32_t, bool, std::string, net::IPv4,
+                           net::IPv4Net, net::IPv6, net::IPv6Net>;
+
+std::string value_str(const Value& v);
+
+enum class OpCode : uint8_t {
+    kPush,     // push literal operand
+    kLoad,     // push attribute named by `name`
+    kStore,    // pop value into attribute named by `name`
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kContains,     // [a b] -> bool: a contains b (nets/addresses)
+    kTagAdd,       // pop txt, append to the route's tag list
+    kTagPresent,   // pop txt, push bool
+    kAccept,       // terminate policy: accept
+    kReject,       // terminate policy: reject
+    kOnFalseNext,  // pop bool; false -> skip to next term
+    kOnFalseAccept,
+    kOnFalseReject,
+};
+
+struct Instr {
+    OpCode op;
+    Value operand{};   // kPush only
+    std::string name;  // kLoad / kStore only
+};
+
+struct Term {
+    std::string name;
+    std::vector<Instr> instrs;
+};
+
+struct Program {
+    std::vector<Term> terms;
+    // Verdict when no term decides.
+    bool default_accept = true;
+};
+
+}  // namespace xrp::policy
+
+#endif

@@ -1,0 +1,289 @@
+// The policy VM: executes a compiled Program against one route.
+//
+// Execution is a pure function of (program, route): no clocks, no
+// randomness, no external state — the property FilterStage's consistency
+// argument rests on. Type errors at runtime (comparing a prefix with a
+// bool, storing text into metric) reject the route and record a
+// diagnostic rather than crashing the router; a misconfigured policy must
+// never take the process down (§1's robustness bar).
+#ifndef XRP_POLICY_VM_HPP
+#define XRP_POLICY_VM_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/program.hpp"
+#include "stage/route.hpp"
+
+namespace xrp::policy {
+
+enum class Verdict { kAccept, kReject };
+
+// Protocol-specific attribute extension: BGP binds localpref/med/aspath
+// attributes stored in Route::attrs. Return nullopt / false for unknown
+// names; the VM then reports a bad-attribute diagnostic.
+template <class A>
+struct AttributeBinding {
+    std::function<std::optional<Value>(const stage::Route<A>&,
+                                       const std::string& name)>
+        load;
+    std::function<bool(stage::Route<A>&, const std::string& name,
+                       const Value& v)>
+        store;
+};
+
+template <class A>
+class Vm {
+public:
+    explicit Vm(AttributeBinding<A> binding = {})
+        : binding_(std::move(binding)) {}
+
+    // Runs the program; may modify `route` (stores, tag-add). On any type
+    // or attribute error the route is rejected and last_error() is set.
+    Verdict run(const Program& prog, stage::Route<A>& route) {
+        error_.clear();
+        for (const Term& term : prog.terms) {
+            stack_.clear();
+            std::optional<Verdict> v = run_term(term, route);
+            if (!error_.empty()) return Verdict::kReject;
+            if (v) return *v;
+        }
+        return prog.default_accept ? Verdict::kAccept : Verdict::kReject;
+    }
+
+    const std::string& last_error() const { return error_; }
+
+private:
+    using RouteT = stage::Route<A>;
+
+    std::optional<Verdict> run_term(const Term& term, RouteT& route) {
+        for (const Instr& in : term.instrs) {
+            switch (in.op) {
+                case OpCode::kPush:
+                    stack_.push_back(in.operand);
+                    break;
+                case OpCode::kLoad: {
+                    auto v = load(route, in.name);
+                    if (!v) {
+                        error_ = term.name + ": unknown attribute '" +
+                                 in.name + "'";
+                        return std::nullopt;
+                    }
+                    stack_.push_back(std::move(*v));
+                    break;
+                }
+                case OpCode::kStore: {
+                    auto v = pop();
+                    if (!v) return stack_underflow(term);
+                    if (!store(route, in.name, *v)) {
+                        error_ = term.name + ": cannot store attribute '" +
+                                 in.name + "'";
+                        return std::nullopt;
+                    }
+                    break;
+                }
+                case OpCode::kEq:
+                case OpCode::kNe: {
+                    auto b = pop();
+                    auto a = pop();
+                    if (!a || !b) return stack_underflow(term);
+                    bool eq = *a == *b;
+                    stack_.push_back(in.op == OpCode::kEq ? eq : !eq);
+                    break;
+                }
+                case OpCode::kLt:
+                case OpCode::kLe:
+                case OpCode::kGt:
+                case OpCode::kGe: {
+                    auto b = pop();
+                    auto a = pop();
+                    if (!a || !b) return stack_underflow(term);
+                    auto na = std::get_if<uint32_t>(&*a);
+                    auto nb = std::get_if<uint32_t>(&*b);
+                    if (na == nullptr || nb == nullptr) {
+                        error_ = term.name + ": ordering needs u32 operands";
+                        return std::nullopt;
+                    }
+                    bool r = in.op == OpCode::kLt   ? *na < *nb
+                             : in.op == OpCode::kLe ? *na <= *nb
+                             : in.op == OpCode::kGt ? *na > *nb
+                                                    : *na >= *nb;
+                    stack_.push_back(r);
+                    break;
+                }
+                case OpCode::kAnd:
+                case OpCode::kOr: {
+                    auto b = pop_bool(term);
+                    auto a = pop_bool(term);
+                    if (!a || !b) return std::nullopt;
+                    stack_.push_back(in.op == OpCode::kAnd ? (*a && *b)
+                                                           : (*a || *b));
+                    break;
+                }
+                case OpCode::kNot: {
+                    auto a = pop_bool(term);
+                    if (!a) return std::nullopt;
+                    stack_.push_back(!*a);
+                    break;
+                }
+                case OpCode::kContains: {
+                    auto b = pop();
+                    auto a = pop();
+                    if (!a || !b) return stack_underflow(term);
+                    auto r = contains(*a, *b);
+                    if (!r) {
+                        error_ = term.name + ": bad operands for contains";
+                        return std::nullopt;
+                    }
+                    stack_.push_back(*r);
+                    break;
+                }
+                case OpCode::kTagAdd: {
+                    auto v = pop();
+                    if (!v) return stack_underflow(term);
+                    auto s = std::get_if<std::string>(&*v);
+                    if (s == nullptr) {
+                        error_ = term.name + ": tag-add needs txt";
+                        return std::nullopt;
+                    }
+                    route.tags.push_back(*s);
+                    break;
+                }
+                case OpCode::kTagPresent: {
+                    auto v = pop();
+                    if (!v) return stack_underflow(term);
+                    auto s = std::get_if<std::string>(&*v);
+                    if (s == nullptr) {
+                        error_ = term.name + ": tag-present needs txt";
+                        return std::nullopt;
+                    }
+                    bool present = false;
+                    for (const auto& t : route.tags)
+                        if (t == *s) present = true;
+                    stack_.push_back(present);
+                    break;
+                }
+                case OpCode::kAccept:
+                    return Verdict::kAccept;
+                case OpCode::kReject:
+                    return Verdict::kReject;
+                case OpCode::kOnFalseNext:
+                case OpCode::kOnFalseAccept:
+                case OpCode::kOnFalseReject: {
+                    auto a = pop_bool(term);
+                    if (!a) return std::nullopt;
+                    if (!*a) {
+                        if (in.op == OpCode::kOnFalseNext) return term_done();
+                        return in.op == OpCode::kOnFalseAccept
+                                   ? Verdict::kAccept
+                                   : Verdict::kReject;
+                    }
+                    break;
+                }
+            }
+        }
+        return std::nullopt;  // fall through to next term
+    }
+
+    // ---- helpers -----------------------------------------------------
+    std::optional<Verdict> term_done() { return std::nullopt; }
+
+    std::optional<Verdict> stack_underflow(const Term& term) {
+        error_ = term.name + ": stack underflow";
+        return std::nullopt;
+    }
+
+    std::optional<Value> pop() {
+        if (stack_.empty()) return std::nullopt;
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        return v;
+    }
+
+    std::optional<bool> pop_bool(const Term& term) {
+        auto v = pop();
+        if (!v) {
+            error_ = term.name + ": stack underflow";
+            return std::nullopt;
+        }
+        auto b = std::get_if<bool>(&*v);
+        if (b == nullptr) {
+            error_ = term.name + ": expected bool";
+            return std::nullopt;
+        }
+        return *b;
+    }
+
+    static std::optional<bool> contains(const Value& a, const Value& b) {
+        if (auto an = std::get_if<net::IPv4Net>(&a)) {
+            if (auto bn = std::get_if<net::IPv4Net>(&b))
+                return an->contains(*bn);
+            if (auto ba = std::get_if<net::IPv4>(&b))
+                return an->contains(*ba);
+        }
+        if (auto an6 = std::get_if<net::IPv6Net>(&a)) {
+            if (auto bn6 = std::get_if<net::IPv6Net>(&b))
+                return an6->contains(*bn6);
+            if (auto ba6 = std::get_if<net::IPv6>(&b))
+                return an6->contains(*ba6);
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Value> load(const RouteT& route, const std::string& name) {
+        if (name == "prefix") return Value(route.net);
+        if (name == "prefix-len") return Value(route.net.prefix_len());
+        if (name == "nexthop") return Value(route.nexthop);
+        if (name == "metric") return Value(route.metric);
+        if (name == "admin-distance") return Value(route.admin_distance);
+        if (name == "igp-metric") return Value(route.igp_metric);
+        if (name == "protocol") return Value(route.protocol);
+        if (binding_.load) return binding_.load(route, name);
+        return std::nullopt;
+    }
+
+    bool store(RouteT& route, const std::string& name, const Value& v) {
+        if (name == "metric") {
+            auto n = std::get_if<uint32_t>(&v);
+            if (n == nullptr) return false;
+            route.metric = *n;
+            return true;
+        }
+        if (name == "admin-distance") {
+            auto n = std::get_if<uint32_t>(&v);
+            if (n == nullptr) return false;
+            route.admin_distance = *n;
+            return true;
+        }
+        if (name == "nexthop") {
+            auto a = std::get_if<A>(&v);
+            if (a == nullptr) return false;
+            route.nexthop = *a;
+            return true;
+        }
+        if (binding_.store) return binding_.store(route, name, v);
+        return false;
+    }
+
+    AttributeBinding<A> binding_;
+    std::vector<Value> stack_;
+    std::string error_;
+};
+
+// Adapts a compiled program into a FilterStage filter. The program is
+// shared (policies are swapped atomically by replacing the filter).
+template <class A>
+std::function<bool(stage::Route<A>&)> make_filter(
+    std::shared_ptr<const Program> prog, AttributeBinding<A> binding = {}) {
+    return [prog = std::move(prog),
+            binding = std::move(binding)](stage::Route<A>& r) {
+        Vm<A> vm(binding);
+        return vm.run(*prog, r) == Verdict::kAccept;
+    };
+}
+
+}  // namespace xrp::policy
+
+#endif

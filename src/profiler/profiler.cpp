@@ -1,0 +1,22 @@
+#include "profiler/profiler.hpp"
+
+#include <cstdio>
+
+namespace xrp::profiler {
+
+std::string Profiler::format(const std::string& var) const {
+    std::string out;
+    for (const Record& r : records(var)) {
+        auto ns = r.t.time_since_epoch().count();
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s %lld %06lld ", var.c_str(),
+                      static_cast<long long>(ns / 1000000000),
+                      static_cast<long long>((ns / 1000) % 1000000));
+        out += buf;
+        out += r.payload;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace xrp::profiler

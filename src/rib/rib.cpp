@@ -1,0 +1,152 @@
+#include "rib/rib.hpp"
+
+namespace xrp::rib {
+
+using net::IPv4;
+using net::IPv4Net;
+
+Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
+    : loop_(loop), fea_(std::move(fea)) {
+    if (!fea_) fea_ = std::make_unique<NullFeaHandle>();
+
+    auto make_origin = [&](const char* proto, uint32_t dist) {
+        origins_[proto] = Origin{
+            dist, std::make_unique<stage::OriginStage<IPv4>>(
+                      std::string(proto) + "-origin")};
+        return origins_[proto].stage.get();
+    };
+    auto* connected = make_origin("connected", kDistanceConnected);
+    auto* statics = make_origin("static", kDistanceStatic);
+    auto* ospf = make_origin("ospf", kDistanceOspf);
+    auto* rip = make_origin("rip", kDistanceRip);
+    auto* ebgp = make_origin("ebgp", kDistanceEbgp);
+    auto* ibgp = make_origin("ibgp", kDistanceIbgp);
+
+    // Internal merge tree (Figure 7's pairwise Merge stages).
+    auto merge = [&](const char* name, stage::RouteStage<IPv4>* a,
+                     stage::RouteStage<IPv4>* b) {
+        merges_.push_back(
+            std::make_unique<stage::MergeStage<IPv4>>(name));
+        merges_.back()->set_parents(a, b);
+        return merges_.back().get();
+    };
+    auto* m1 = merge("merge-conn-static", connected, statics);
+    auto* m2 = merge("merge-igp1", m1, ospf);
+    auto* internal = merge("merge-internal", m2, rip);
+    auto* external = merge("merge-bgp", ebgp, ibgp);
+
+    extint_ = std::make_unique<stage::ExtIntStage<IPv4>>("extint");
+    extint_->set_parents(external, internal);
+
+    register_stage_ =
+        std::make_unique<stage::RegisterStage<IPv4>>("register");
+    extint_->set_downstream(register_stage_.get());
+    register_stage_->set_upstream(extint_.get());
+
+    final_ = std::make_unique<stage::SinkStage<IPv4>>(
+        "fea-branch", [this](bool is_add, const Route4& r) {
+            if (profiler_ != nullptr)
+                profiler_->record("rib_fea_queued",
+                                  (is_add ? "add " : "delete ") + r.net.str());
+            if (is_add)
+                fea_->add_route(r.net, r.nexthop);
+            else
+                fea_->delete_route(r.net);
+        });
+    register_stage_->set_downstream(final_.get());
+    final_->set_upstream(register_stage_.get());
+}
+
+Rib::~Rib() = default;
+
+bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
+                    IPv4 nexthop, uint32_t metric) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return false;
+    if (profiler_ != nullptr)
+        profiler_->record("rib_in", "add " + net.str());
+    Route4 r;
+    r.net = net;
+    r.nexthop = nexthop;
+    r.metric = metric;
+    r.admin_distance = it->second.admin_distance;
+    r.protocol = protocol;
+    it->second.stage->add_route(r);
+    return true;
+}
+
+bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return false;
+    if (profiler_ != nullptr)
+        profiler_->record("rib_in", "delete " + net.str());
+    Route4 r;
+    r.net = net;
+    it->second.stage->delete_route(r);
+    return true;
+}
+
+void Rib::set_admin_distance(const std::string& protocol, uint32_t distance) {
+    auto it = origins_.find(protocol);
+    if (it != origins_.end()) it->second.admin_distance = distance;
+}
+
+std::optional<Route4> Rib::lookup(IPv4 addr) const {
+    return final_->lookup_route_lpm(addr);
+}
+
+std::optional<Route4> Rib::lookup_exact(const IPv4Net& net) const {
+    return final_->lookup_route(net);
+}
+
+size_t Rib::origin_route_count(const std::string& protocol) const {
+    auto it = origins_.find(protocol);
+    return it == origins_.end() ? 0 : it->second.stage->route_count();
+}
+
+Rib::Answer Rib::register_interest(IPv4 addr, uint64_t client_id,
+                                   InvalidateCallback cb) {
+    auto ans = register_stage_->register_interest(addr, client_id,
+                                                  std::move(cb));
+    Answer out;
+    out.valid_subnet = ans.valid_subnet;
+    if (ans.has_route) {
+        out.resolves = true;
+        out.matched_net = ans.route.net;
+        out.nexthop = ans.route.nexthop;
+        out.metric = ans.route.metric;
+    }
+    return out;
+}
+
+void Rib::unregister_interest(const IPv4Net& valid_subnet,
+                              uint64_t client_id) {
+    register_stage_->unregister_interest(valid_subnet, client_id);
+}
+
+uint64_t Rib::add_redist(RedistPredicate pred, RedistSink sink) {
+    uint64_t id = next_redist_id_++;
+    auto stage = std::make_unique<stage::RedistStage<IPv4>>(
+        "redist-" + std::to_string(id), std::move(pred), std::move(sink));
+    // Plumb between the ExtInt stage and whatever currently follows it.
+    stage::plumb_between<IPv4>(*extint_, *stage, *extint_->downstream());
+    redists_[id] = std::move(stage);
+    return id;
+}
+
+void Rib::remove_redist(uint64_t id) {
+    auto it = redists_.find(id);
+    if (it == redists_.end()) return;
+    stage::unplumb(*it->second);
+    redists_.erase(it);
+}
+
+void Rib::set_profiler(profiler::Profiler* p) {
+    profiler_ = p;
+    if (p != nullptr) {
+        p->add_point("rib_in");
+        p->add_point("rib_fea_queued");
+    }
+}
+
+}  // namespace xrp::rib

@@ -1,0 +1,149 @@
+// Rib: the Routing Information Base process (§3, §5.2, Figure 7).
+//
+// "The RIB serves as the plumbing between routing protocols": protocols
+// deposit candidate routes into per-protocol origin tables; a tree of
+// pairwise Merge stages (administrative distance) plus the ExtInt stage
+// (external/internal composition and recursive nexthop resolution)
+// computes the winners; dynamic Redist stages tap the winner stream for
+// route redistribution; the Register stage answers interest
+// registrations (Figure 8) and pushes cache invalidations; and the final
+// sink feeds the FEA.
+//
+//   connected --\
+//   static   --- merge \
+//   ospf     ---- merge - merge = internal --\
+//   rip      ---/                             ExtInt -> [Redist]* -> Register -> FEA
+//   ebgp     --- merge ======== external ----/
+//   ibgp     ---/
+//
+// Profiling points: "rib_in" (route arriving at the RIB) and
+// "rib_fea_queued" (winner queued for transmission to the FEA) — the
+// middle points of Figures 10-12.
+#ifndef XRP_RIB_RIB_HPP
+#define XRP_RIB_RIB_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "ev/eventloop.hpp"
+#include "fea/fea.hpp"
+#include "profiler/profiler.hpp"
+#include "stage/extint.hpp"
+#include "stage/merge.hpp"
+#include "stage/origin.hpp"
+#include "stage/redist.hpp"
+#include "stage/register.hpp"
+#include "stage/sink.hpp"
+
+namespace xrp::rib {
+
+using Route4 = stage::Route<net::IPv4>;
+
+// Coupling to the FEA, abstract so the RIB tests standalone and deploys
+// over XRLs.
+class FeaHandle {
+public:
+    virtual ~FeaHandle() = default;
+    virtual void add_route(const net::IPv4Net& net, net::IPv4 nexthop) = 0;
+    virtual void delete_route(const net::IPv4Net& net) = 0;
+};
+
+class NullFeaHandle final : public FeaHandle {
+public:
+    void add_route(const net::IPv4Net&, net::IPv4) override {}
+    void delete_route(const net::IPv4Net&) override {}
+};
+
+// Same-address-space FEA coupling (single-process router assembly).
+class DirectFeaHandle final : public FeaHandle {
+public:
+    explicit DirectFeaHandle(fea::Fea& fea) : fea_(fea) {}
+    void add_route(const net::IPv4Net& net, net::IPv4 nexthop) override {
+        fea_.add_route(net, nexthop);
+    }
+    void delete_route(const net::IPv4Net& net) override {
+        fea_.delete_route(net);
+    }
+
+private:
+    fea::Fea& fea_;
+};
+
+class Rib {
+public:
+    // Conventional administrative distances; operators can override.
+    static constexpr uint32_t kDistanceConnected = 0;
+    static constexpr uint32_t kDistanceStatic = 1;
+    static constexpr uint32_t kDistanceEbgp = 20;
+    static constexpr uint32_t kDistanceOspf = 110;
+    static constexpr uint32_t kDistanceRip = 120;
+    static constexpr uint32_t kDistanceIbgp = 200;
+
+    Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea = nullptr);
+    ~Rib();
+    Rib(const Rib&) = delete;
+    Rib& operator=(const Rib&) = delete;
+
+    // ---- protocol route input -------------------------------------------
+    // Known protocols: connected, static, ospf, rip (internal), ebgp,
+    // ibgp (external). Returns false for an unknown protocol name.
+    bool add_route(const std::string& protocol, const net::IPv4Net& net,
+                   net::IPv4 nexthop, uint32_t metric = 0);
+    bool delete_route(const std::string& protocol, const net::IPv4Net& net);
+    void set_admin_distance(const std::string& protocol, uint32_t distance);
+
+    // ---- winner queries -----------------------------------------------
+    std::optional<Route4> lookup(net::IPv4 addr) const;
+    std::optional<Route4> lookup_exact(const net::IPv4Net& net) const;
+    size_t route_count() const { return final_->route_count(); }
+    size_t origin_route_count(const std::string& protocol) const;
+
+    // ---- interest registration (Figure 8, §5.2.1) ----------------------
+    struct Answer {
+        bool resolves = false;
+        net::IPv4Net matched_net{};
+        net::IPv4 nexthop{};
+        uint32_t metric = 0;
+        net::IPv4Net valid_subnet{};
+    };
+    using InvalidateCallback = std::function<void(const net::IPv4Net&)>;
+    Answer register_interest(net::IPv4 addr, uint64_t client_id,
+                             InvalidateCallback cb);
+    void unregister_interest(const net::IPv4Net& valid_subnet,
+                             uint64_t client_id);
+    size_t registration_count() const {
+        return register_stage_->registration_count();
+    }
+
+    // ---- redistribution (dynamic Redist stages) -------------------------
+    using RedistSink = std::function<void(bool is_add, const Route4&)>;
+    using RedistPredicate = std::function<bool(const Route4&)>;
+    uint64_t add_redist(RedistPredicate pred, RedistSink sink);
+    void remove_redist(uint64_t id);
+
+    void set_profiler(profiler::Profiler* p);
+
+private:
+    struct Origin {
+        uint32_t admin_distance;
+        std::unique_ptr<stage::OriginStage<net::IPv4>> stage;
+    };
+
+    ev::EventLoop& loop_;
+    std::unique_ptr<FeaHandle> fea_;
+    profiler::Profiler* profiler_ = nullptr;
+
+    std::map<std::string, Origin> origins_;
+    std::vector<std::unique_ptr<stage::MergeStage<net::IPv4>>> merges_;
+    std::unique_ptr<stage::ExtIntStage<net::IPv4>> extint_;
+    std::map<uint64_t, std::unique_ptr<stage::RedistStage<net::IPv4>>>
+        redists_;
+    std::unique_ptr<stage::RegisterStage<net::IPv4>> register_stage_;
+    std::unique_ptr<stage::SinkStage<net::IPv4>> final_;
+    uint64_t next_redist_id_ = 1;
+};
+
+}  // namespace xrp::rib
+
+#endif

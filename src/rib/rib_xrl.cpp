@@ -1,0 +1,83 @@
+#include "rib/rib_xrl.hpp"
+
+namespace xrp::rib {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+namespace {
+
+// Stable small ids for client target names (RegisterStage keys clients by
+// integer id).
+uint64_t client_id_for(const std::string& name) {
+    static std::map<std::string, uint64_t> ids;
+    auto [it, inserted] = ids.emplace(name, ids.size() + 1);
+    return it->second;
+}
+
+}  // namespace
+
+void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router) {
+    auto spec = xrl::InterfaceSpec::parse(kRibIdl);
+    router.add_interface(*spec);
+
+    router.add_handler(
+        "rib/1.0/add_route", [&rib](const XrlArgs& in, XrlArgs&) {
+            if (!rib.add_route(*in.get_text("protocol"),
+                               *in.get_ipv4net("net"),
+                               *in.get_ipv4("nexthop"), *in.get_u32("metric")))
+                return XrlError::command_failed("unknown protocol");
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/delete_route", [&rib](const XrlArgs& in, XrlArgs&) {
+            if (!rib.delete_route(*in.get_text("protocol"),
+                                  *in.get_ipv4net("net")))
+                return XrlError::command_failed("unknown protocol");
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/lookup_route4", [&rib](const XrlArgs& in, XrlArgs& out) {
+            auto r = rib.lookup(*in.get_ipv4("addr"));
+            out.add("found", r.has_value());
+            out.add("net", r ? r->net : net::IPv4Net{});
+            out.add("nexthop", r ? r->nexthop : net::IPv4{});
+            out.add("metric", r ? r->metric : uint32_t{0});
+            out.add("protocol", r ? r->protocol : std::string{});
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/register_interest",
+        [&rib, &router](const XrlArgs& in, XrlArgs& out) {
+            const std::string client = *in.get_text("client");
+            const uint64_t id = client_id_for(client);
+            auto ans = rib.register_interest(
+                *in.get_ipv4("addr"), id,
+                [&router, client](const net::IPv4Net& subnet) {
+                    XrlArgs args;
+                    args.add("valid_subnet", subnet);
+                    router.send_ignore(xrl::Xrl::generic(
+                        client, "rib_client", "1.0", "route_info_invalid",
+                        args));
+                });
+            out.add("resolves", ans.resolves);
+            out.add("net", ans.matched_net);
+            out.add("nexthop", ans.nexthop);
+            out.add("metric", ans.metric);
+            out.add("valid_subnet", ans.valid_subnet);
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/unregister_interest", [&rib](const XrlArgs& in, XrlArgs&) {
+            rib.unregister_interest(*in.get_ipv4net("valid_subnet"),
+                                    client_id_for(*in.get_text("client")));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/get_route_count", [&rib](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(rib.route_count()));
+            return XrlError::okay();
+        });
+}
+
+}  // namespace xrp::rib

@@ -1,0 +1,77 @@
+// XRL plumbing for the RIB:
+//   - bind_rib_xrl(): exposes the rib/1.0 interface (route input, winner
+//     queries, Figure-8 interest registration) on an XrlRouter;
+//   - XrlFeaHandle: the RIB's coupling to a remote FEA over XRLs;
+//   - rib-client invalidation: when a registration is invalidated the RIB
+//     calls <client>/rib_client/1.0/route_info_invalid, closing the
+//     asynchronous loop of §5.2.1.
+#ifndef XRP_RIB_RIB_XRL_HPP
+#define XRP_RIB_RIB_XRL_HPP
+
+#include "ipc/router.hpp"
+#include "rib/rib.hpp"
+
+namespace xrp::rib {
+
+inline constexpr const char* kRibIdl = R"(
+interface rib/1.0 {
+    add_route ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32;
+    delete_route ? protocol:txt & net:ipv4net;
+    lookup_route4 ? addr:ipv4
+        -> found:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & protocol:txt;
+    register_interest ? addr:ipv4 & client:txt
+        -> resolves:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & valid_subnet:ipv4net;
+    unregister_interest ? valid_subnet:ipv4net & client:txt;
+    get_route_count -> count:u32;
+}
+)";
+
+inline constexpr const char* kRibClientIdl = R"(
+interface rib_client/1.0 {
+    route_info_invalid ? valid_subnet:ipv4net;
+}
+)";
+
+// Registers rib/1.0 on `router` backed by `rib`. Interest-registration
+// clients are identified by their component target name; invalidations go
+// back to them as rib_client/1.0/route_info_invalid XRLs.
+void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router);
+
+// FeaHandle that forwards to a (possibly remote) FEA component over XRLs.
+class XrlFeaHandle final : public FeaHandle {
+public:
+    explicit XrlFeaHandle(ipc::XrlRouter& router, std::string fea_target = "fea")
+        : router_(router), target_(std::move(fea_target)) {}
+
+    // Profiling point "rib_fea_sent": the paper's "Sent to the FEA".
+    void set_profiler(profiler::Profiler* p) {
+        profiler_ = p;
+        if (p != nullptr) p->add_point("rib_fea_sent");
+    }
+
+    void add_route(const net::IPv4Net& net, net::IPv4 nexthop) override {
+        xrl::XrlArgs args;
+        args.add("net", net).add("nexthop", nexthop);
+        if (profiler_ != nullptr)
+            profiler_->record("rib_fea_sent", "add " + net.str());
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args));
+    }
+    void delete_route(const net::IPv4Net& net) override {
+        xrl::XrlArgs args;
+        args.add("net", net);
+        if (profiler_ != nullptr)
+            profiler_->record("rib_fea_sent", "delete " + net.str());
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "fea", "1.0", "delete_route4", args));
+    }
+
+private:
+    ipc::XrlRouter& router_;
+    std::string target_;
+    profiler::Profiler* profiler_ = nullptr;
+};
+
+}  // namespace xrp::rib
+
+#endif

@@ -1,0 +1,75 @@
+#include "rip/packet.hpp"
+
+namespace xrp::rip {
+
+namespace {
+
+void put_u16be(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+void put_u32be(std::vector<uint8_t>& out, uint32_t v) {
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+uint16_t get_u16be(const uint8_t* p) {
+    return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+uint32_t get_u32be(const uint8_t* p) {
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+// Mask -> prefix length; rejects non-contiguous masks.
+std::optional<uint32_t> mask_to_len(uint32_t mask) {
+    uint32_t len = mask == 0 ? 0 : 32 - static_cast<uint32_t>(__builtin_ctz(mask));
+    if (net::IPv4::make_prefix(len).to_host() != mask) return std::nullopt;
+    return len;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_packet(const RipPacket& p) {
+    std::vector<uint8_t> out;
+    out.reserve(4 + p.entries.size() * 20);
+    out.push_back(static_cast<uint8_t>(p.command));
+    out.push_back(p.version);
+    put_u16be(out, 0);  // must-be-zero
+    for (const RipEntry& e : p.entries) {
+        put_u16be(out, e.afi);
+        put_u16be(out, e.tag);
+        put_u32be(out, e.net.masked_addr().to_host());
+        put_u32be(out, net::IPv4::make_prefix(e.net.prefix_len()).to_host());
+        put_u32be(out, e.nexthop.to_host());
+        put_u32be(out, e.metric);
+    }
+    return out;
+}
+
+std::optional<RipPacket> decode_packet(const uint8_t* data, size_t size) {
+    if (size < 4 || (size - 4) % 20 != 0) return std::nullopt;
+    if (data[0] != 1 && data[0] != 2) return std::nullopt;
+    if (data[1] != 2) return std::nullopt;  // RIPv2 only
+    RipPacket p;
+    p.command = static_cast<Command>(data[0]);
+    p.version = data[1];
+    size_t count = (size - 4) / 20;
+    if (count > kMaxEntriesPerPacket) return std::nullopt;
+    for (size_t i = 0; i < count; ++i) {
+        const uint8_t* e = data + 4 + i * 20;
+        RipEntry entry;
+        entry.afi = get_u16be(e);
+        entry.tag = get_u16be(e + 2);
+        uint32_t addr = get_u32be(e + 4);
+        auto len = mask_to_len(get_u32be(e + 8));
+        if (!len) return std::nullopt;
+        entry.net = net::IPv4Net(net::IPv4(addr), *len);
+        entry.nexthop = net::IPv4(get_u32be(e + 12));
+        entry.metric = get_u32be(e + 16);
+        if (entry.metric > kInfinity && entry.afi != 0) return std::nullopt;
+        p.entries.push_back(entry);
+    }
+    return p;
+}
+
+}  // namespace xrp::rip

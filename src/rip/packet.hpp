@@ -1,0 +1,56 @@
+// RIPv2 packet encode/decode (RFC 2453 §4): command/version header and
+// up to 25 route entries of (AFI, tag, prefix, mask, nexthop, metric).
+#ifndef XRP_RIP_PACKET_HPP
+#define XRP_RIP_PACKET_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipnet.hpp"
+
+namespace xrp::rip {
+
+inline constexpr uint32_t kInfinity = 16;
+inline constexpr size_t kMaxEntriesPerPacket = 25;
+inline constexpr uint16_t kRipPort = 520;
+
+enum class Command : uint8_t { kRequest = 1, kResponse = 2 };
+
+struct RipEntry {
+    uint16_t afi = 2;  // AF_INET; 0 in a request means "whole table"
+    uint16_t tag = 0;
+    net::IPv4Net net;
+    net::IPv4 nexthop;  // 0.0.0.0 = via the sender
+    uint32_t metric = 0;
+    bool operator==(const RipEntry&) const = default;
+};
+
+struct RipPacket {
+    Command command = Command::kResponse;
+    uint8_t version = 2;
+    std::vector<RipEntry> entries;
+    bool operator==(const RipPacket&) const = default;
+
+    // A request for the entire routing table (RFC 2453 §3.9.1).
+    static RipPacket whole_table_request() {
+        RipPacket p;
+        p.command = Command::kRequest;
+        RipEntry e;
+        e.afi = 0;
+        e.metric = kInfinity;
+        p.entries.push_back(e);
+        return p;
+    }
+    bool is_whole_table_request() const {
+        return command == Command::kRequest && entries.size() == 1 &&
+               entries[0].afi == 0 && entries[0].metric == kInfinity;
+    }
+};
+
+std::vector<uint8_t> encode_packet(const RipPacket& p);
+std::optional<RipPacket> decode_packet(const uint8_t* data, size_t size);
+
+}  // namespace xrp::rip
+
+#endif

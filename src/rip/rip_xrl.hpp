@@ -1,0 +1,43 @@
+// XRL coupling for RIP: routes flow to the RIB as rib/1.0 XRLs, keeping
+// the RIP process decoupled from the RIB exactly like the bigger
+// protocols. (Packet I/O uses the FEA relay library handle directly; see
+// DESIGN.md's substitution notes.)
+#ifndef XRP_RIP_RIP_XRL_HPP
+#define XRP_RIP_RIP_XRL_HPP
+
+#include "ipc/router.hpp"
+#include "rip/rip.hpp"
+
+namespace xrp::rip {
+
+class XrlRibClient final : public RibClient {
+public:
+    explicit XrlRibClient(ipc::XrlRouter& router, std::string rib_target = "rib")
+        : router_(router), target_(std::move(rib_target)) {}
+
+    void add_route(const net::IPv4Net& net, net::IPv4 nexthop,
+                   uint32_t metric) override {
+        xrl::XrlArgs args;
+        args.add("protocol", std::string("rip"))
+            .add("net", net)
+            .add("nexthop", nexthop)
+            .add("metric", metric);
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
+    }
+
+    void delete_route(const net::IPv4Net& net) override {
+        xrl::XrlArgs args;
+        args.add("protocol", std::string("rip")).add("net", net);
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
+    }
+
+private:
+    ipc::XrlRouter& router_;
+    std::string target_;
+};
+
+}  // namespace xrp::rip
+
+#endif

@@ -1,0 +1,136 @@
+#include "rip/routedb.hpp"
+
+namespace xrp::rip {
+
+bool RouteDb::update(const net::IPv4Net& net, net::IPv4 from,
+                     const std::string& ifname, uint32_t metric,
+                     uint16_t tag) {
+    metric = std::min(metric, kInfinity);
+    auto it = routes_.find(net);
+
+    if (it == routes_.end()) {
+        if (metric >= kInfinity) return false;  // don't learn dead routes
+        Entry& e = routes_[net];
+        e.route = {net, from, ifname, metric, tag, false, true, false};
+        arm_timeout(e);
+        if (cb_) cb_(true, e.route);
+        return true;
+    }
+
+    Entry& e = it->second;
+    if (e.route.permanent) return false;  // our own routes win locally
+    const bool same_source = e.route.nexthop == from;
+
+    if (same_source) {
+        // Same neighbour: always believe it (RFC 2453 §3.9.2).
+        arm_timeout(e);
+        if (metric == e.route.metric && !e.route.deleting) return false;
+        if (metric >= kInfinity) {
+            if (e.route.deleting) return false;
+            expire(net);
+            return true;
+        }
+        bool was_deleting = e.route.deleting;
+        e.route.metric = metric;
+        e.route.tag = tag;
+        e.route.deleting = false;
+        e.route.changed = true;
+        e.gc_timer.unschedule();
+        if (cb_) cb_(true, e.route);
+        return was_deleting || true;
+    }
+
+    // Different neighbour: adopt only a strictly better metric (or equal
+    // metric when ours is nearly timed out — simplified: strictly better,
+    // or replacing a dying route).
+    if (metric < e.route.metric || (e.route.deleting && metric < kInfinity)) {
+        e.route.nexthop = from;
+        e.route.ifname = ifname;
+        e.route.metric = metric;
+        e.route.tag = tag;
+        e.route.deleting = false;
+        e.route.changed = true;
+        e.gc_timer.unschedule();
+        arm_timeout(e);
+        if (cb_) cb_(true, e.route);
+        return true;
+    }
+    return false;
+}
+
+void RouteDb::originate(const net::IPv4Net& net, uint32_t metric,
+                        uint16_t tag) {
+    Entry& e = routes_[net];
+    e.route = {net, net::IPv4::any(), "", std::min(metric, kInfinity), tag,
+               true, true, false};
+    e.timeout_timer.unschedule();
+    e.gc_timer.unschedule();
+    if (cb_) cb_(true, e.route);
+}
+
+bool RouteDb::withdraw(const net::IPv4Net& net) {
+    auto it = routes_.find(net);
+    if (it == routes_.end() || !it->second.route.permanent) return false;
+    expire(net);
+    return true;
+}
+
+void RouteDb::expire_interface_routes(const std::string& ifname) {
+    std::vector<net::IPv4Net> affected;
+    for (const auto& [net, e] : routes_)
+        if (!e.route.permanent && !e.route.deleting &&
+            e.route.ifname == ifname)
+            affected.push_back(net);
+    for (const auto& net : affected) expire(net);
+}
+
+const RipRoute* RouteDb::find(const net::IPv4Net& net) const {
+    auto it = routes_.find(net);
+    return it == routes_.end() ? nullptr : &it->second.route;
+}
+
+size_t RouteDb::live_count() const {
+    size_t n = 0;
+    for (const auto& [net, e] : routes_)
+        if (!e.route.deleting) ++n;
+    return n;
+}
+
+std::vector<RipRoute> RouteDb::take_changed() {
+    std::vector<RipRoute> out;
+    for (auto& [net, e] : routes_) {
+        if (e.route.changed) {
+            out.push_back(e.route);
+            e.route.changed = false;
+        }
+    }
+    return out;
+}
+
+void RouteDb::arm_timeout(Entry& e) {
+    const net::IPv4Net net = e.route.net;
+    e.timeout_timer =
+        loop_.set_timer(timers_.timeout, [this, net] { expire(net); });
+}
+
+void RouteDb::expire(const net::IPv4Net& net) {
+    auto it = routes_.find(net);
+    if (it == routes_.end()) return;
+    Entry& e = it->second;
+    e.route.metric = kInfinity;
+    e.route.deleting = true;
+    e.route.changed = true;
+    e.route.permanent = false;
+    e.timeout_timer.unschedule();
+    if (cb_) cb_(false, e.route);  // withdrawn from the RIB immediately
+    start_gc(e);
+}
+
+void RouteDb::start_gc(Entry& e) {
+    const net::IPv4Net net = e.route.net;
+    e.gc_timer = loop_.set_timer(timers_.gc, [this, net] {
+        routes_.erase(net);  // advertisement of infinity ends here
+    });
+}
+
+}  // namespace xrp::rip

@@ -1,0 +1,88 @@
+// RIP route database: per-prefix state with the RFC 2453 timer dance —
+// timeout (route expires to infinity), garbage-collection (expired route
+// finally removed), and a changed flag feeding triggered updates. Timer
+// expiry is event-driven off the loop clock; there is no periodic scan
+// over the table (§4 of the paper: everything is event-driven).
+#ifndef XRP_RIP_ROUTEDB_HPP
+#define XRP_RIP_ROUTEDB_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ev/eventloop.hpp"
+#include "net/ipnet.hpp"
+#include "rip/packet.hpp"
+
+namespace xrp::rip {
+
+struct RipRoute {
+    net::IPv4Net net;
+    net::IPv4 nexthop;      // the neighbour we learned it from
+    std::string ifname;     // the interface it arrived on
+    uint32_t metric = kInfinity;
+    uint16_t tag = 0;
+    bool permanent = false;  // locally originated; never times out
+    bool changed = false;    // pending inclusion in a triggered update
+    bool deleting = false;   // expired; in garbage-collection
+};
+
+class RouteDb {
+public:
+    // Fired on install/metric-change (is_add=true, live route) and on
+    // final removal OR expiry-to-infinity (is_add=false).
+    using ChangeCallback = std::function<void(bool is_add, const RipRoute&)>;
+
+    struct Timers {
+        ev::Duration timeout = std::chrono::seconds(180);
+        ev::Duration gc = std::chrono::seconds(120);
+    };
+
+    RouteDb(ev::EventLoop& loop, Timers timers, ChangeCallback cb)
+        : loop_(loop), timers_(timers), cb_(std::move(cb)) {}
+
+    // Installs or refreshes a learned route; handles the RFC 2453 rules
+    // about same-source refresh vs better-metric replacement internally.
+    // Returns true if anything changed (triggering an update).
+    bool update(const net::IPv4Net& net, net::IPv4 from,
+                const std::string& ifname, uint32_t metric, uint16_t tag);
+
+    // Locally-originated route (redistribution/connected); never expires.
+    void originate(const net::IPv4Net& net, uint32_t metric, uint16_t tag = 0);
+    bool withdraw(const net::IPv4Net& net);
+
+    // Expire every route learned via `ifname` right now (link-down event).
+    void expire_interface_routes(const std::string& ifname);
+
+    const RipRoute* find(const net::IPv4Net& net) const;
+    size_t size() const { return routes_.size(); }
+    size_t live_count() const;
+
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (const auto& [net, e] : routes_) fn(e.route);
+    }
+
+    // Collects routes with the changed flag set and clears the flags.
+    std::vector<RipRoute> take_changed();
+
+private:
+    struct Entry {
+        RipRoute route;
+        ev::Timer timeout_timer;
+        ev::Timer gc_timer;
+    };
+
+    void arm_timeout(Entry& e);
+    void expire(const net::IPv4Net& net);
+    void start_gc(Entry& e);
+
+    ev::EventLoop& loop_;
+    Timers timers_;
+    ChangeCallback cb_;
+    std::map<net::IPv4Net, Entry> routes_;
+};
+
+}  // namespace xrp::rip
+
+#endif

@@ -1,0 +1,240 @@
+#include "rtrmgr/rtrmgr.hpp"
+
+namespace xrp::rtrmgr {
+
+using net::IPv4;
+using net::IPv4Net;
+using xrl::Xrl;
+using xrl::XrlArgs;
+
+Router::Router(std::string name, ev::EventLoop& loop)
+    : name_(std::move(name)), plexus_(loop) {
+    // Assembly order mirrors a real boot: FEA first (it owns the hardware
+    // abstraction), then the RIB (which needs the FEA), then protocols.
+    fea_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "fea", true);
+    fea_ = std::make_unique<fea::Fea>(plexus_.loop);
+    fea::bind_fea_xrl(*fea_, *fea_xr_);
+    fea_xr_->finalize();
+
+    rib_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rib", true);
+    rib_ = std::make_unique<rib::Rib>(
+        plexus_.loop, std::make_unique<rib::XrlFeaHandle>(*rib_xr_));
+    rib::bind_rib_xrl(*rib_, *rib_xr_);
+    rib_xr_->finalize();
+
+    rip_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rip", true);
+    rip_ = std::make_unique<rip::RipProcess>(
+        plexus_.loop, *fea_, rip::RipProcess::Config{},
+        std::make_unique<rip::XrlRibClient>(*rip_xr_));
+    rip_xr_->finalize();
+
+    mgr_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rtrmgr", true);
+    mgr_xr_->finalize();
+}
+
+Router::~Router() = default;
+
+bool Router::configure(const std::string& config_text, std::string* error) {
+    auto tree = ConfigTree::parse(config_text, error);
+    if (!tree) return false;
+    return configure(*tree, error);
+}
+
+bool Router::configure(const ConfigTree& tree, std::string* error) {
+    if (!validate(tree, error)) return false;
+    previous_ = running_;
+    if (!apply(tree, error)) return false;
+    running_ = tree;
+    return true;
+}
+
+bool Router::rollback(std::string* error) {
+    ConfigTree target = previous_;
+    return configure(target, error);
+}
+
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+}
+
+}  // namespace
+
+bool Router::validate(const ConfigTree& tree, std::string* error) const {
+    for (const ConfigNode& top : tree.root().children) {
+        if (top.name == "interfaces") {
+            for (const ConfigNode& itf : top.children) {
+                auto addr = itf.leaf_value("address");
+                if (!addr || !IPv4Net::parse(*addr))
+                    return fail(error, "interface " + itf.name +
+                                           ": bad or missing address");
+            }
+        } else if (top.name == "protocols") {
+            for (const ConfigNode& proto : top.children) {
+                if (proto.name == "static") {
+                    for (const ConfigNode& r : proto.children) {
+                        if (r.name != "route" || r.args.size() != 1 ||
+                            !IPv4Net::parse(r.args[0]))
+                            return fail(error, "static: bad route statement");
+                        auto nh = r.leaf_value("nexthop");
+                        if (!nh || !IPv4::parse(*nh))
+                            return fail(error, "static route " + r.args[0] +
+                                                   ": bad nexthop");
+                    }
+                } else if (proto.name == "rip") {
+                    for (const ConfigNode& c : proto.children)
+                        if (c.name != "interface" || c.args.size() != 1)
+                            return fail(error, "rip: expected 'interface <name>'");
+                } else if (proto.name == "bgp") {
+                    auto as = proto.leaf_value("local-as");
+                    auto id = proto.leaf_value("bgp-id");
+                    if (!as || std::atoi(as->c_str()) <= 0)
+                        return fail(error, "bgp: bad or missing local-as");
+                    if (!id || !IPv4::parse(*id))
+                        return fail(error, "bgp: bad or missing bgp-id");
+                    if (bgp_ != nullptr) {
+                        // The core BGP identity is fixed at creation.
+                        if (static_cast<bgp::As>(std::atoi(as->c_str())) !=
+                                bgp_->config().local_as ||
+                            IPv4::must_parse(*id) != bgp_->config().bgp_id)
+                            return fail(error,
+                                        "bgp: local-as/bgp-id cannot change "
+                                        "at runtime");
+                    }
+                } else {
+                    return fail(error, "unknown protocol: " + proto.name);
+                }
+            }
+        } else {
+            return fail(error, "unknown section: " + top.name);
+        }
+    }
+    // Interface removal is not supported (sessions would dangle).
+    if (const ConfigNode* old_ifs = running_.find("interfaces")) {
+        const ConfigNode* new_ifs = tree.find("interfaces");
+        for (const ConfigNode& itf : old_ifs->children)
+            if (new_ifs == nullptr || new_ifs->find(itf.name) == nullptr)
+                return fail(error,
+                            "interface " + itf.name + " cannot be removed");
+    }
+    return true;
+}
+
+bool Router::apply(const ConfigTree& tree, std::string* error) {
+    (void)error;
+    // ---- interfaces (additive) ----------------------------------------
+    if (const ConfigNode* ifs = tree.find("interfaces")) {
+        for (const ConfigNode& itf : ifs->children) {
+            if (fea_->interfaces().find(itf.name) != nullptr) continue;
+            IPv4Net addr = IPv4Net::must_parse(*itf.leaf_value("address"));
+            // leaf_value validated; address keeps host bits via raw parse.
+            size_t slash = itf.leaf_value("address")->find('/');
+            IPv4 host = IPv4::must_parse(
+                itf.leaf_value("address")->substr(0, slash));
+            fea_->interfaces().add_interface(itf.name, host,
+                                             addr.prefix_len());
+            // A configured interface originates its connected route; this
+            // is what makes directly-attached BGP nexthops resolvable.
+            XrlArgs args;
+            args.add("protocol", std::string("connected"))
+                .add("net", addr)
+                .add("nexthop", host)
+                .add("metric", uint32_t{0});
+            mgr_xr_->send_ignore(
+                Xrl::generic("rib", "rib", "1.0", "add_route", args));
+        }
+    }
+
+    // ---- static routes (diffed, applied via XRLs to the RIB) ------------
+    auto collect_static = [](const ConfigTree& t) {
+        std::map<IPv4Net, IPv4> out;
+        if (const ConfigNode* s = t.find("protocols/static"))
+            for (const ConfigNode& r : s->children)
+                out[IPv4Net::must_parse(r.args[0])] =
+                    IPv4::must_parse(*r.leaf_value("nexthop"));
+        return out;
+    };
+    auto old_static = collect_static(running_);
+    auto new_static = collect_static(tree);
+    for (const auto& [net, nh] : old_static) {
+        auto it = new_static.find(net);
+        if (it == new_static.end() || !(it->second == nh)) {
+            XrlArgs args;
+            args.add("protocol", std::string("static")).add("net", net);
+            mgr_xr_->send_ignore(
+                Xrl::generic("rib", "rib", "1.0", "delete_route", args));
+        }
+    }
+    for (const auto& [net, nh] : new_static) {
+        auto it = old_static.find(net);
+        if (it == old_static.end() || !(it->second == nh)) {
+            XrlArgs args;
+            args.add("protocol", std::string("static"))
+                .add("net", net)
+                .add("nexthop", nh)
+                .add("metric", uint32_t{1});
+            mgr_xr_->send_ignore(
+                Xrl::generic("rib", "rib", "1.0", "add_route", args));
+        }
+    }
+
+    // ---- RIP interfaces (diffed) ----------------------------------------
+    auto collect_rip = [](const ConfigTree& t) {
+        std::set<std::string> out;
+        if (const ConfigNode* r = t.find("protocols/rip"))
+            for (const ConfigNode& c : r->children) out.insert(c.args[0]);
+        return out;
+    };
+    auto old_rip = collect_rip(running_);
+    auto new_rip = collect_rip(tree);
+    for (const std::string& ifname : old_rip)
+        if (new_rip.count(ifname) == 0) rip_->disable_interface(ifname);
+    for (const std::string& ifname : new_rip)
+        if (old_rip.count(ifname) == 0) rip_->enable_interface(ifname);
+
+    // ---- BGP (created once) ----------------------------------------------
+    if (const ConfigNode* b = tree.find("protocols/bgp")) {
+        if (bgp_ == nullptr) {
+            bgp::BgpProcess::Config cfg;
+            cfg.local_as = static_cast<bgp::As>(
+                std::atoi(b->leaf_value("local-as")->c_str()));
+            cfg.bgp_id = IPv4::must_parse(*b->leaf_value("bgp-id"));
+            if (b->find("damping") != nullptr) cfg.enable_damping = true;
+            bgp_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "bgp", true);
+            bgp_ = std::make_unique<bgp::BgpProcess>(
+                plexus_.loop, cfg,
+                std::make_unique<bgp::XrlRibHandle>(*bgp_xr_));
+            bgp::bind_bgp_xrl(*bgp_, *bgp_xr_);
+            bgp_xr_->finalize();
+        }
+        // network statements: originate into BGP.
+        for (const ConfigNode& c : b->children)
+            if (c.name == "network" && c.args.size() == 1) {
+                auto net = IPv4Net::parse(c.args[0]);
+                if (net) bgp_->originate(*net, bgp_->config().bgp_id);
+            }
+    }
+    return true;
+}
+
+void Router::connect_bgp(Router& a, Router& b, ev::Duration latency) {
+    if (a.bgp() == nullptr || b.bgp() == nullptr) return;
+    auto [ta, tb] = bgp::PipeTransport::make_pair(a.plexus_.loop,
+                                                  b.plexus_.loop, latency);
+    bgp::BgpPeer::Config ca;
+    ca.local_id = a.bgp()->config().bgp_id;
+    ca.peer_addr = b.bgp()->config().bgp_id;
+    ca.local_as = a.bgp()->config().local_as;
+    ca.peer_as = b.bgp()->config().local_as;
+    bgp::BgpPeer::Config cb;
+    cb.local_id = b.bgp()->config().bgp_id;
+    cb.peer_addr = a.bgp()->config().bgp_id;
+    cb.local_as = b.bgp()->config().local_as;
+    cb.peer_as = a.bgp()->config().local_as;
+    a.bgp()->add_peer(ca, std::move(ta));
+    b.bgp()->add_peer(cb, std::move(tb));
+}
+
+}  // namespace xrp::rtrmgr

@@ -1,0 +1,106 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xrp::sim {
+
+void LatencyStats::sort() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double LatencyStats::mean() const {
+    if (samples_.empty()) return 0;
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+}
+
+double LatencyStats::stddev() const {
+    if (samples_.size() < 2) return 0;
+    double m = mean();
+    double s = 0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyStats::min() const {
+    sort();
+    return samples_.empty() ? 0 : samples_.front();
+}
+
+double LatencyStats::max() const {
+    sort();
+    return samples_.empty() ? 0 : samples_.back();
+}
+
+double LatencyStats::percentile(double p) const {
+    if (samples_.empty()) return 0;
+    sort();
+    double idx = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::string LatencyStats::row() const {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%8.3f %8.3f %8.3f %8.3f", mean(),
+                  stddev(), min(), max());
+    return buf;
+}
+
+FeedPeer::FeedPeer(ev::EventLoop& loop, bgp::BgpPeer::Config config,
+                   std::unique_ptr<bgp::BgpTransport> transport)
+    : loop_(loop),
+      session_(std::make_unique<bgp::BgpPeer>(loop, config,
+                                              std::move(transport))) {
+    session_->on_update = [this](const bgp::UpdateMessage& u) {
+        received_.emplace_back(loop_.now(), u);
+    };
+    session_->start();
+}
+
+void FeedPeer::announce(const net::IPv4Net& net, net::IPv4 nexthop,
+                        std::vector<bgp::As> path) {
+    bgp::UpdateMessage u;
+    bgp::PathAttributes pa;
+    pa.origin = bgp::Origin::kIgp;
+    pa.as_path = bgp::AsPath(std::move(path));
+    pa.nexthop = nexthop;
+    u.attributes = std::move(pa);
+    u.nlri.push_back(net);
+    send(u);
+}
+
+void FeedPeer::withdraw(const net::IPv4Net& net) {
+    bgp::UpdateMessage u;
+    u.withdrawn.push_back(net);
+    send(u);
+}
+
+std::pair<std::unique_ptr<FeedPeer>, int> attach_feed_peer(
+    ev::EventLoop& loop, bgp::BgpProcess& bgp, net::IPv4 feed_addr,
+    bgp::As feed_as, ev::Duration latency) {
+    auto [tf, tp] = bgp::PipeTransport::make_pair(loop, loop, latency);
+    bgp::BgpPeer::Config feed_cfg;
+    feed_cfg.local_id = feed_addr;
+    feed_cfg.peer_addr = bgp.config().bgp_id;
+    feed_cfg.local_as = feed_as;
+    feed_cfg.peer_as = bgp.config().local_as;
+    auto feed = std::make_unique<FeedPeer>(loop, feed_cfg, std::move(tf));
+
+    bgp::BgpPeer::Config proc_cfg;
+    proc_cfg.local_id = bgp.config().bgp_id;
+    proc_cfg.peer_addr = feed_addr;
+    proc_cfg.local_as = bgp.config().local_as;
+    proc_cfg.peer_as = feed_as;
+    int id = bgp.add_peer(proc_cfg, std::move(tp));
+    return {std::move(feed), id};
+}
+
+}  // namespace xrp::sim

@@ -1,0 +1,80 @@
+// Measurement harness shared by the benchmarks and examples: latency
+// statistics (the Avg/SD/Min/Max rows of Figures 10-12), a feed source
+// that plays a BGP session like the paper's test peer, and assembly
+// helpers for multi-router simulations.
+#ifndef XRP_SIM_HARNESS_HPP
+#define XRP_SIM_HARNESS_HPP
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/peer.hpp"
+#include "bgp/process.hpp"
+#include "ev/eventloop.hpp"
+
+namespace xrp::sim {
+
+// Running statistics over latency samples (milliseconds).
+class LatencyStats {
+public:
+    void add(double ms) {
+        samples_.push_back(ms);
+        sorted_ = false;
+    }
+    size_t count() const { return samples_.size(); }
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double percentile(double p) const;  // p in [0,100]
+
+    // "Avg   SD    Min   Max" formatted like the paper's tables.
+    std::string row() const;
+
+private:
+    void sort() const;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+// A scripted BGP speaker: establishes a session and sends whatever
+// updates the experiment needs — the stand-in for the paper's test peer
+// that "introduces 255 routes". It is not a router; it only talks.
+class FeedPeer {
+public:
+    FeedPeer(ev::EventLoop& loop, bgp::BgpPeer::Config config,
+             std::unique_ptr<bgp::BgpTransport> transport);
+
+    bool established() const { return session_->established(); }
+    bgp::BgpPeer& session() { return *session_; }
+
+    void send(const bgp::UpdateMessage& update) {
+        session_->send_update(update);
+    }
+    void announce(const net::IPv4Net& net, net::IPv4 nexthop,
+                  std::vector<bgp::As> path);
+    void withdraw(const net::IPv4Net& net);
+
+    // Updates received back from the device under test.
+    const std::vector<std::pair<ev::TimePoint, bgp::UpdateMessage>>&
+    received() const {
+        return received_;
+    }
+
+private:
+    ev::EventLoop& loop_;
+    std::unique_ptr<bgp::BgpPeer> session_;
+    std::vector<std::pair<ev::TimePoint, bgp::UpdateMessage>> received_;
+};
+
+// Creates a FeedPeer connected to `bgp` (adds the matching peer on the
+// process side). Returns the feed and the process-side peer id.
+std::pair<std::unique_ptr<FeedPeer>, int> attach_feed_peer(
+    ev::EventLoop& loop, bgp::BgpProcess& bgp, net::IPv4 feed_addr,
+    bgp::As feed_as, ev::Duration latency = std::chrono::milliseconds(1));
+
+}  // namespace xrp::sim
+
+#endif

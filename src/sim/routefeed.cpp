@@ -1,0 +1,70 @@
+#include "sim/routefeed.hpp"
+
+#include <random>
+#include <unordered_set>
+
+namespace xrp::sim {
+
+std::vector<net::IPv4Net> generate_prefixes(size_t count, uint32_t seed) {
+    std::mt19937 rng(seed);
+    // Rough RouteViews-shaped prefix length distribution.
+    std::discrete_distribution<int> len_dist({
+        // /8   /9  /10  /11  /12  /13  /14  /15
+        5, 2, 3, 4, 8, 10, 14, 18,
+        // /16  /17  /18  /19  /20  /21  /22  /23  /24
+        120, 30, 40, 60, 70, 60, 80, 70, 550,
+    });
+    std::unordered_set<net::IPv4Net> seen;
+    std::vector<net::IPv4Net> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        uint32_t len = 8 + static_cast<uint32_t>(len_dist(rng));
+        // Keep generated space inside 1.0.0.0 - 223.255.255.255 unicast.
+        // 10/8 is reserved for injected test routes and 192/8 for peering
+        // infrastructure (nexthops); a feed prefix overlapping a nexthop
+        // would churn every registered nexthop resolution, which real
+        // feeds don't do to their own peering LAN either.
+        uint32_t addr = rng();
+        uint32_t top = addr >> 24;
+        if (top == 0 || top == 10 || top == 127 || top == 192 || top >= 224)
+            continue;
+        net::IPv4Net net(net::IPv4(addr), len);
+        if (seen.insert(net).second) out.push_back(net);
+    }
+    return out;
+}
+
+std::vector<bgp::UpdateMessage> generate_feed(const RouteFeedConfig& config) {
+    std::mt19937 rng(config.seed + 1);
+    auto prefixes = generate_prefixes(config.route_count, config.seed);
+
+    // A pool of plausible transit AS numbers.
+    const bgp::As pool[] = {701,  1239, 3356, 2914, 7018, 3549, 6453,
+                            1299, 6461, 3257, 174,  286,  6939, 4637};
+    std::uniform_int_distribution<size_t> pick(0, std::size(pool) - 1);
+    std::uniform_int_distribution<int> path_len(1, 5);
+
+    std::vector<bgp::UpdateMessage> updates;
+    updates.reserve(prefixes.size() / config.prefixes_per_update + 1);
+    size_t i = 0;
+    while (i < prefixes.size()) {
+        bgp::PathAttributes pa;
+        pa.origin = bgp::Origin::kIgp;
+        std::vector<bgp::As> path{config.first_hop_as};
+        int extra = path_len(rng);
+        for (int k = 0; k < extra; ++k) path.push_back(pool[pick(rng)]);
+        pa.as_path = bgp::AsPath(std::move(path));
+        pa.nexthop = config.nexthop;
+        if (rng() % 4 == 0) pa.med = rng() % 100;
+
+        bgp::UpdateMessage u;
+        u.attributes = std::move(pa);
+        for (size_t k = 0; k < config.prefixes_per_update && i < prefixes.size();
+             ++k, ++i)
+            u.nlri.push_back(prefixes[i]);
+        updates.push_back(std::move(u));
+    }
+    return updates;
+}
+
+}  // namespace xrp::sim

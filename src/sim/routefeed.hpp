@@ -1,0 +1,38 @@
+// Synthetic BGP route feeds (see DESIGN.md substitutions).
+//
+// The paper's evaluation loads "a full Internet backbone routing feed
+// consisting of 146515 routes". We have no 2004 RouteViews dump, so this
+// generator produces a deterministic synthetic equivalent: unique
+// prefixes with a realistic length distribution (heavy at /24 and /16-
+// /20, a few short prefixes), AS paths of realistic length drawn from a
+// fixed pool, and NLRI grouped into UPDATEs sharing one attribute block —
+// the properties that actually exercise the code paths the latency
+// experiments measure (table size, trie shape, attribute sharing).
+#ifndef XRP_SIM_ROUTEFEED_HPP
+#define XRP_SIM_ROUTEFEED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace xrp::sim {
+
+struct RouteFeedConfig {
+    size_t route_count = 146515;  // the paper's table size
+    uint32_t seed = 42;
+    // NLRI per UPDATE (routes sharing one attribute block).
+    size_t prefixes_per_update = 24;
+    bgp::As first_hop_as = 3561;
+    net::IPv4 nexthop = net::IPv4((192u << 24) | (2 << 8) | 1);
+};
+
+// Unique prefixes, deterministic for a given seed.
+std::vector<net::IPv4Net> generate_prefixes(size_t count, uint32_t seed);
+
+// A full feed as a sequence of UPDATE messages ready to send on a session.
+std::vector<bgp::UpdateMessage> generate_feed(const RouteFeedConfig& config);
+
+}  // namespace xrp::sim
+
+#endif

@@ -1,0 +1,131 @@
+#include "sim/scanner_router.hpp"
+
+namespace xrp::sim {
+
+using bgp::BgpRoute;
+using net::IPv4;
+using net::IPv4Net;
+
+ScannerBgpRouter::ScannerBgpRouter(ev::EventLoop& loop, Config config)
+    : loop_(loop), config_(config) {
+    scan_timer_ = loop_.set_periodic(config_.scan_interval, [this] {
+        scan();
+        return true;
+    });
+}
+
+ScannerBgpRouter::~ScannerBgpRouter() = default;
+
+int ScannerBgpRouter::add_peer(const bgp::BgpPeer::Config& config,
+                               std::unique_ptr<bgp::BgpTransport> transport) {
+    int id = next_peer_id_++;
+    auto p = std::make_unique<PeerState>();
+    p->session = std::make_unique<bgp::BgpPeer>(loop_, config,
+                                                std::move(transport));
+    p->session->on_update = [this, id](const bgp::UpdateMessage& u) {
+        on_update(id, u);
+    };
+    peers_[id] = std::move(p);
+    peers_[id]->session->start();
+    return id;
+}
+
+bgp::BgpPeer* ScannerBgpRouter::peer_session(int id) {
+    auto it = peers_.find(id);
+    return it == peers_.end() ? nullptr : it->second->session.get();
+}
+
+void ScannerBgpRouter::originate(const IPv4Net& net, IPv4 nexthop) {
+    auto pa = std::make_shared<bgp::PathAttributes>();
+    pa->origin = bgp::Origin::kIgp;
+    pa->nexthop = nexthop;
+    BgpRoute r;
+    r.net = net;
+    r.nexthop = nexthop;
+    r.protocol = "local";
+    r.igp_metric = 0;
+    r.attrs = std::move(pa);
+    local_.insert(net, r);
+    dirty_.insert(net);  // waits for the scanner, like everything else
+}
+
+void ScannerBgpRouter::on_update(int peer_id,
+                                 const bgp::UpdateMessage& update) {
+    auto it = peers_.find(peer_id);
+    if (it == peers_.end()) return;
+    PeerState& p = *it->second;
+    // Adj-RIB-In is updated immediately; the decision is NOT (that is the
+    // whole point of this baseline).
+    for (const IPv4Net& net : update.withdrawn) {
+        p.adj_in.erase(net);
+        dirty_.insert(net);
+    }
+    if (update.attributes && !update.nlri.empty()) {
+        if (update.attributes->as_path.contains(config_.local_as)) return;
+        auto attrs = std::make_shared<bgp::PathAttributes>(*update.attributes);
+        for (const IPv4Net& net : update.nlri) {
+            BgpRoute r;
+            r.net = net;
+            r.nexthop = attrs->nexthop;
+            r.protocol = "ebgp";
+            r.source_id = it->second->session->config().peer_addr.to_host();
+            r.igp_metric = 0;
+            r.attrs = attrs;
+            p.adj_in.erase(net);
+            p.adj_in.insert(net, r);
+            dirty_.insert(net);
+        }
+    }
+}
+
+void ScannerBgpRouter::scan() {
+    ++scans_;
+    std::set<IPv4Net> work;
+    work.swap(dirty_);
+    for (const IPv4Net& net : work) {
+        // Decision: best across local + every Adj-RIB-In.
+        const BgpRoute* best = local_.find(net);
+        for (const auto& [id, p] : peers_) {
+            const BgpRoute* r = p->adj_in.find(net);
+            if (r != nullptr &&
+                (best == nullptr || bgp::bgp_route_preferred(*r, *best)))
+                best = r;
+        }
+        const BgpRoute* previous = best_.find(net);
+        advertise(net, best, previous);
+        if (best != nullptr) {
+            best_.erase(net);
+            best_.insert(net, *best);
+        } else {
+            best_.erase(net);
+        }
+    }
+}
+
+void ScannerBgpRouter::advertise(const IPv4Net& net, const BgpRoute* route,
+                                 const BgpRoute* previous) {
+    if (route == nullptr && previous == nullptr) return;
+    if (route != nullptr && previous != nullptr && *route == *previous)
+        return;
+    for (const auto& [id, p] : peers_) {
+        if (!p->session->established()) continue;
+        if (route != nullptr &&
+            route->source_id == p->session->config().peer_addr.to_host())
+            continue;  // split horizon
+        bgp::UpdateMessage u;
+        if (route == nullptr) {
+            u.withdrawn.push_back(net);
+        } else {
+            const bgp::PathAttributes* pa = bgp::route_attrs(*route);
+            bgp::PathAttributes base =
+                pa != nullptr ? *pa : bgp::PathAttributes{};
+            auto out = bgp::with_prepended_as(
+                base, config_.local_as, p->session->config().local_id);
+            u.attributes = *out;
+            u.nlri.push_back(net);
+        }
+        p->session->send_update(u);
+    }
+}
+
+}  // namespace xrp::sim

@@ -1,0 +1,72 @@
+// ScannerBgpRouter: the timer-based baseline for Figure 13.
+//
+// "Cisco IOS and Zebra both use route scanners, with (as we demonstrate) a
+// significant latency cost." This speaker models that architecture: it
+// accepts UPDATEs into per-peer Adj-RIBs-In immediately, but runs its
+// decision process and advertisement generation only from a periodic
+// scanner (default 30 s, the interval the paper infers for Cisco/Quagga).
+// Routes received just after a scan wait almost the full interval — the
+// sawtooth of Figure 13. Speaking the same wire protocol and sessions as
+// the event-driven BgpProcess, it substitutes for the Cisco-4500 and
+// Quagga boxes of the paper's testbed (DESIGN.md).
+#ifndef XRP_SIM_SCANNER_ROUTER_HPP
+#define XRP_SIM_SCANNER_ROUTER_HPP
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "bgp/peer.hpp"
+#include "bgp/stages.hpp"
+#include "net/trie.hpp"
+
+namespace xrp::sim {
+
+class ScannerBgpRouter {
+public:
+    struct Config {
+        bgp::As local_as = 0;
+        net::IPv4 bgp_id;
+        ev::Duration scan_interval = std::chrono::seconds(30);
+    };
+
+    ScannerBgpRouter(ev::EventLoop& loop, Config config);
+    ~ScannerBgpRouter();
+    ScannerBgpRouter(const ScannerBgpRouter&) = delete;
+    ScannerBgpRouter& operator=(const ScannerBgpRouter&) = delete;
+
+    int add_peer(const bgp::BgpPeer::Config& config,
+                 std::unique_ptr<bgp::BgpTransport> transport);
+    bgp::BgpPeer* peer_session(int id);
+
+    void originate(const net::IPv4Net& net, net::IPv4 nexthop);
+
+    size_t best_route_count() const { return best_.size(); }
+    uint64_t scans_run() const { return scans_; }
+
+private:
+    struct PeerState {
+        std::unique_ptr<bgp::BgpPeer> session;
+        net::RouteTrie<net::IPv4, bgp::BgpRoute> adj_in;
+    };
+
+    void on_update(int peer_id, const bgp::UpdateMessage& update);
+    void scan();
+    void advertise(const net::IPv4Net& net, const bgp::BgpRoute* route,
+                   const bgp::BgpRoute* previous);
+
+    ev::EventLoop& loop_;
+    Config config_;
+    std::map<int, std::unique_ptr<PeerState>> peers_;
+    net::RouteTrie<net::IPv4, bgp::BgpRoute> local_;
+    net::RouteTrie<net::IPv4, bgp::BgpRoute> best_;
+    // Prefixes touched since the last scan — the scanner's work list.
+    std::set<net::IPv4Net> dirty_;
+    ev::Timer scan_timer_;
+    uint64_t scans_ = 0;
+    int next_peer_id_ = 1;
+};
+
+}  // namespace xrp::sim
+
+#endif

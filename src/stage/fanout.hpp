@@ -1,0 +1,139 @@
+// FanoutStage: duplicates the winning route stream to n output branches
+// (§5.1.1) — one per peer, plus the RIB branch.
+//
+// The subtlety is slow peers: routes can arrive faster than some peer
+// drains them, and queueing per-branch after specialization would
+// duplicate every change n times. The paper's answer, implemented here:
+// a *single* change queue before specialization, with n readers holding
+// positions into it. Fast, ready readers are driven synchronously to the
+// queue tail; a branch that signals backpressure keeps its position and
+// is resumed when it reports ready again. Entries consumed by every
+// reader are garbage-collected from the front.
+#ifndef XRP_STAGE_FANOUT_HPP
+#define XRP_STAGE_FANOUT_HPP
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "stage/stage.hpp"
+
+namespace xrp::stage {
+
+template <class A>
+class FanoutStage : public RouteStage<A> {
+public:
+    using typename RouteStage<A>::RouteT;
+    using typename RouteStage<A>::Net;
+
+    explicit FanoutStage(std::string name) : name_(std::move(name)) {}
+
+    // ---- branch management ---------------------------------------------
+    // Adds an output branch; the fanout does NOT own it. Returns an id.
+    int add_branch(RouteStage<A>* branch) {
+        int id = next_id_++;
+        Reader r;
+        r.stage = branch;
+        r.next = base_ + queue_.size();  // joins at the live tail
+        readers_.emplace(id, r);
+        branch->set_upstream(this);
+        return id;
+    }
+
+    void remove_branch(int id) {
+        readers_.erase(id);
+        gc();
+    }
+
+    // Backpressure: a branch that cannot accept more calls
+    // set_branch_ready(id,false); when its sink drains it calls
+    // set_branch_ready(id,true) and consumption resumes from its position.
+    void set_branch_ready(int id, bool ready) {
+        auto it = readers_.find(id);
+        if (it == readers_.end()) return;
+        it->second.ready = ready;
+        if (ready) {
+            drain(it->second);
+            gc();
+        }
+    }
+
+    size_t queue_size() const { return queue_.size(); }
+    size_t branch_count() const { return readers_.size(); }
+    // How far the slowest reader lags the tail (0 = all caught up).
+    size_t max_lag() const {
+        size_t lag = 0;
+        for (const auto& [id, r] : readers_)
+            lag = std::max(lag, base_ + queue_.size() - r.next);
+        return lag;
+    }
+
+    // ---- stage interface --------------------------------------------------
+    void add_route(const RouteT& route, RouteStage<A>*) override {
+        enqueue({true, route});
+    }
+    void delete_route(const RouteT& route, RouteStage<A>*) override {
+        enqueue({false, route});
+    }
+    std::optional<RouteT> lookup_route(const Net& net) const override {
+        return this->lookup_upstream(net);
+    }
+    std::string name() const override { return name_; }
+
+private:
+    struct Item {
+        bool is_add;
+        RouteT route;
+    };
+    struct Reader {
+        RouteStage<A>* stage = nullptr;
+        size_t next = 0;  // absolute index (base_ + offset)
+        bool ready = true;
+        bool draining = false;  // re-entrancy guard
+    };
+
+    void enqueue(Item item) {
+        queue_.push_back(std::move(item));
+        for (auto& [id, r] : readers_) drain(r);
+        gc();
+    }
+
+    void drain(Reader& r) {
+        if (r.draining) return;  // downstream called back into us
+        r.draining = true;
+        while (r.ready && r.next < base_ + queue_.size()) {
+            const Item& item = queue_[r.next - base_];
+            ++r.next;
+            if (item.is_add)
+                r.stage->add_route(item.route, this);
+            else
+                r.stage->delete_route(item.route, this);
+        }
+        r.draining = false;
+    }
+
+    void gc() {
+        if (readers_.empty()) {
+            base_ += queue_.size();
+            queue_.clear();
+            return;
+        }
+        size_t min_next = SIZE_MAX;
+        for (const auto& [id, r] : readers_)
+            min_next = std::min(min_next, r.next);
+        while (base_ < min_next && !queue_.empty()) {
+            queue_.pop_front();
+            ++base_;
+        }
+    }
+
+    std::string name_;
+    std::deque<Item> queue_;
+    size_t base_ = 0;  // absolute index of queue_.front()
+    std::map<int, Reader> readers_;
+    int next_id_ = 1;
+};
+
+}  // namespace xrp::stage
+
+#endif

@@ -1,0 +1,99 @@
+// OriginStage: the only stage that stores routes (§5.1: "we only store
+// the original versions of routes, in the Peer In stages"). Everything
+// downstream is computed; lookups bottom out here.
+//
+// A replacement add is turned into delete(old) + add(new) so downstream
+// stages never see updates. detach_table() supports the dynamic deletion
+// stage (§5.1.2): when a peer dies, the whole table is handed to a
+// DeletionStage and the origin starts over empty, instantly ready for the
+// peering to come back.
+#ifndef XRP_STAGE_ORIGIN_HPP
+#define XRP_STAGE_ORIGIN_HPP
+
+#include <memory>
+#include <string>
+
+#include "net/trie.hpp"
+#include "stage/stage.hpp"
+
+namespace xrp::stage {
+
+template <class A>
+class OriginStage : public RouteStage<A> {
+public:
+    using typename RouteStage<A>::RouteT;
+    using typename RouteStage<A>::Net;
+    using Table = net::RouteTrie<A, RouteT>;
+
+    explicit OriginStage(std::string name)
+        : name_(std::move(name)), table_(std::make_unique<Table>()) {}
+
+    // Origins are heads of pipeline: add/delete arrive via these entry
+    // points from the protocol machinery, not from an upstream stage.
+    void add_route(const RouteT& route, RouteStage<A>* = nullptr) override {
+        if (const RouteT* old = table_->find(route.net)) {
+            RouteT removed = *old;
+            table_->erase(route.net);
+            this->forward_delete(removed);
+        }
+        table_->insert(route.net, route);
+        this->forward_add(route);
+    }
+
+    void delete_route(const RouteT& route, RouteStage<A>* = nullptr) override {
+        const RouteT* old = table_->find(route.net);
+        if (old == nullptr) return;  // unknown prefix: nothing to retract
+        RouteT removed = *old;
+        table_->erase(route.net);
+        this->forward_delete(removed);
+    }
+
+    std::optional<RouteT> lookup_route(const Net& net) const override {
+        const RouteT* r = table_->find(net);
+        return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
+    }
+
+    std::optional<RouteT> lookup_route_lpm(A addr) const override {
+        const RouteT* r = table_->lookup(addr);
+        return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
+    }
+
+    std::string name() const override { return name_; }
+
+    size_t route_count() const { return table_->size(); }
+    const Table& table() const { return *table_; }
+
+    // Re-announcement support for policy changes (§5.1.2). A filter swap
+    // must retract through the *old* bank and re-announce through the
+    // *new* one, or routes the new bank rejects would linger downstream:
+    //   origin.retract_all(); filter.set_filters(new); origin.announce_all();
+    void retract_all() {
+        table_->for_each(
+            [this](const Net&, const RouteT& r) { this->forward_delete(r); });
+    }
+    void announce_all() {
+        table_->for_each(
+            [this](const Net&, const RouteT& r) { this->forward_add(r); });
+    }
+    void repump() {
+        retract_all();
+        announce_all();
+    }
+
+    // Hands the current table to the caller (for a DeletionStage) and
+    // resets to empty. Downstream sees nothing yet — the deletion stage
+    // emits the deletes incrementally.
+    std::unique_ptr<Table> detach_table() {
+        auto t = std::move(table_);
+        table_ = std::make_unique<Table>();
+        return t;
+    }
+
+private:
+    std::string name_;
+    std::unique_ptr<Table> table_;
+};
+
+}  // namespace xrp::stage
+
+#endif

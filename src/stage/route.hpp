@@ -1,0 +1,56 @@
+// The route record that flows between pipeline stages.
+//
+// One struct serves every protocol: the RIB cares about net, nexthop,
+// metric and admin_distance; BGP additionally hangs its immutable path-
+// attribute block off `attrs` and uses `source_id` to identify the
+// originating peer. `tags` is the policy tag list that §8.3 describes as
+// the only cross-cutting change the policy framework needed.
+#ifndef XRP_STAGE_ROUTE_HPP
+#define XRP_STAGE_ROUTE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ipnet.hpp"
+
+namespace xrp::stage {
+
+inline constexpr uint32_t kUnresolvedMetric = 0xffffffff;
+
+template <class A>
+struct Route {
+    using Addr = A;
+
+    net::IpNet<A> net;
+    A nexthop{};
+    uint32_t metric = 0;
+    // RIB arbitration preference; lower wins (connected=0, static=1,
+    // ebgp=20, rip=120, ibgp=200 by convention).
+    uint32_t admin_distance = 255;
+    std::string protocol;
+    // Identifies the origin within a protocol (BGP peer id, RIP instance).
+    uint32_t source_id = 0;
+    // IGP metric to the nexthop, filled in by the NexthopResolver stage;
+    // kUnresolvedMetric until then.
+    uint32_t igp_metric = kUnresolvedMetric;
+    // Protocol-private immutable attributes (BGP: PathAttributes).
+    std::shared_ptr<const void> attrs;
+    // Policy tag list; policy filter stages read and write these.
+    std::vector<std::string> tags;
+
+    bool operator==(const Route& o) const {
+        return net == o.net && nexthop == o.nexthop && metric == o.metric &&
+               admin_distance == o.admin_distance && protocol == o.protocol &&
+               source_id == o.source_id && igp_metric == o.igp_metric &&
+               attrs == o.attrs && tags == o.tags;
+    }
+};
+
+using Route4 = Route<net::IPv4>;
+using Route6 = Route<net::IPv6>;
+
+}  // namespace xrp::stage
+
+#endif

@@ -1,0 +1,62 @@
+// SinkStage: a terminal stage that materializes the stream into a table
+// and/or hands each change to a callback. Pipelines end in sinks: the RIB
+// branch that feeds the FEA, a PeerOut's session writer, or a test
+// harness observing what came out.
+#ifndef XRP_STAGE_SINK_HPP
+#define XRP_STAGE_SINK_HPP
+
+#include <functional>
+#include <string>
+
+#include "net/trie.hpp"
+#include "stage/stage.hpp"
+
+namespace xrp::stage {
+
+template <class A>
+class SinkStage : public RouteStage<A> {
+public:
+    using typename RouteStage<A>::RouteT;
+    using typename RouteStage<A>::Net;
+    using ChangeCallback = std::function<void(bool is_add, const RouteT&)>;
+
+    explicit SinkStage(std::string name, ChangeCallback cb = nullptr)
+        : name_(std::move(name)), cb_(std::move(cb)) {}
+
+    void add_route(const RouteT& route, RouteStage<A>*) override {
+        table_.insert(route.net, route);
+        if (cb_) cb_(true, route);
+    }
+
+    void delete_route(const RouteT& route, RouteStage<A>*) override {
+        table_.erase(route.net);
+        if (cb_) cb_(false, route);
+    }
+
+    std::optional<RouteT> lookup_route(const Net& net) const override {
+        const RouteT* r = table_.find(net);
+        return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
+    }
+
+    std::optional<RouteT> lookup_route_lpm(A addr) const override {
+        const RouteT* r = table_.lookup(addr);
+        return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
+    }
+
+    std::string name() const override { return name_; }
+
+    const net::RouteTrie<A, RouteT>& table() const { return table_; }
+    // Mutable access for owners that park safe iterators in the table
+    // (e.g. BGP's background dump of the Loc-RIB to a new peer).
+    net::RouteTrie<A, RouteT>& mutable_table() { return table_; }
+    size_t route_count() const { return table_.size(); }
+
+private:
+    std::string name_;
+    ChangeCallback cb_;
+    net::RouteTrie<A, RouteT> table_;
+};
+
+}  // namespace xrp::stage
+
+#endif

@@ -1,0 +1,103 @@
+// The stage interface (§5.1) — the paper's core structural idea.
+//
+// A routing table is not an object but a *network of stages* through which
+// routes flow. Every stage implements the same three messages:
+//
+//   add_route    — flows downstream (toward decision/peers/FIB)
+//   delete_route — flows downstream
+//   lookup_route — flows upstream (toward the origin tables that store)
+//
+// with two consistency rules that bound what any stage must handle:
+//   (1) every delete_route matches a previous add_route it saw;
+//   (2) lookup_route answers agree with the add/delete stream already sent
+//       downstream.
+// A replacement is always expressed as delete(old) then add(new), so
+// stages never need "update" logic.
+//
+// Stages are indifferent to their neighbours: dynamic stages (deletion,
+// re-filtering) splice themselves into a live pipeline and unsplice when
+// done, and no neighbour can tell (§5.1.2).
+#ifndef XRP_STAGE_STAGE_HPP
+#define XRP_STAGE_STAGE_HPP
+
+#include <cassert>
+#include <optional>
+#include <string>
+
+#include "stage/route.hpp"
+
+namespace xrp::stage {
+
+template <class A>
+class RouteStage {
+public:
+    using RouteT = Route<A>;
+    using Net = net::IpNet<A>;
+
+    virtual ~RouteStage() = default;
+
+    // ---- the three messages ------------------------------------------
+    virtual void add_route(const RouteT& route, RouteStage* caller) = 0;
+    virtual void delete_route(const RouteT& route, RouteStage* caller) = 0;
+    // Exact-prefix lookup, answered by the nearest stage that can; stages
+    // that don't store pass it upstream.
+    virtual std::optional<RouteT> lookup_route(const Net& net) const = 0;
+    // Longest-prefix-match lookup for a host address (nexthop resolution);
+    // flows upstream like lookup_route.
+    virtual std::optional<RouteT> lookup_route_lpm(A addr) const {
+        return upstream_ != nullptr ? upstream_->lookup_route_lpm(addr)
+                                    : std::nullopt;
+    }
+
+    // ---- plumbing -------------------------------------------------------
+    // Simple stages have one upstream and one downstream; stages with
+    // fan-in/fan-out (Decision, Fanout, Merge) override what they need.
+    virtual void set_downstream(RouteStage* s) { downstream_ = s; }
+    virtual void set_upstream(RouteStage* s) { upstream_ = s; }
+    RouteStage* downstream() const { return downstream_; }
+    RouteStage* upstream() const { return upstream_; }
+
+    // Human-readable name for debugging and the consistency checker.
+    virtual std::string name() const = 0;
+
+protected:
+    void forward_add(const RouteT& r) {
+        if (downstream_ != nullptr) downstream_->add_route(r, this);
+    }
+    void forward_delete(const RouteT& r) {
+        if (downstream_ != nullptr) downstream_->delete_route(r, this);
+    }
+    std::optional<RouteT> lookup_upstream(const Net& net) const {
+        return upstream_ != nullptr ? upstream_->lookup_route(net)
+                                    : std::nullopt;
+    }
+
+private:
+    RouteStage* downstream_ = nullptr;
+    RouteStage* upstream_ = nullptr;
+};
+
+// Splices `mid` into the pipeline between `up` and `down` (Figure 6).
+template <class A>
+void plumb_between(RouteStage<A>& up, RouteStage<A>& mid,
+                   RouteStage<A>& down) {
+    up.set_downstream(&mid);
+    mid.set_upstream(&up);
+    mid.set_downstream(&down);
+    down.set_upstream(&mid);
+}
+
+// Removes `mid` from a linear pipeline, reconnecting its neighbours.
+template <class A>
+void unplumb(RouteStage<A>& mid) {
+    RouteStage<A>* up = mid.upstream();
+    RouteStage<A>* down = mid.downstream();
+    if (up != nullptr) up->set_downstream(down);
+    if (down != nullptr) down->set_upstream(up);
+    mid.set_upstream(nullptr);
+    mid.set_downstream(nullptr);
+}
+
+}  // namespace xrp::stage
+
+#endif

@@ -1,0 +1,4 @@
+#include "staticroutes/staticroutes.hpp"
+
+// StaticRoutes is header-only; this TU anchors it in the build.
+namespace xrp::staticroutes {}

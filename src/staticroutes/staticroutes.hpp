@@ -1,0 +1,49 @@
+// StaticRoutes: the simplest routing "protocol" — operator-configured
+// routes pushed into the RIB ("static", distance 1). Exists as its own
+// component, exactly as in Figure 1, so the Router Manager can configure
+// static routes without touching the RIB's innards.
+#ifndef XRP_STATICROUTES_STATICROUTES_HPP
+#define XRP_STATICROUTES_STATICROUTES_HPP
+
+#include <map>
+
+#include "rib/rib.hpp"
+
+namespace xrp::staticroutes {
+
+class StaticRoutes {
+public:
+    explicit StaticRoutes(rib::Rib& rib) : rib_(rib) {}
+
+    bool add(const net::IPv4Net& net, net::IPv4 nexthop,
+             uint32_t metric = 1) {
+        if (!rib_.add_route("static", net, nexthop, metric)) return false;
+        routes_[net] = {nexthop, metric};
+        return true;
+    }
+
+    bool remove(const net::IPv4Net& net) {
+        if (routes_.erase(net) == 0) return false;
+        rib_.delete_route("static", net);
+        return true;
+    }
+
+    size_t size() const { return routes_.size(); }
+
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (const auto& [net, r] : routes_) fn(net, r.nexthop, r.metric);
+    }
+
+private:
+    struct Entry {
+        net::IPv4 nexthop;
+        uint32_t metric;
+    };
+    rib::Rib& rib_;
+    std::map<net::IPv4Net, Entry> routes_;
+};
+
+}  // namespace xrp::staticroutes
+
+#endif

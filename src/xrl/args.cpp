@@ -1,0 +1,32 @@
+#include "xrl/args.hpp"
+
+namespace xrp::xrl {
+
+std::string XrlArgs::str() const {
+    std::string s;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+        if (i) s += '&';
+        s += atoms_[i].str();
+    }
+    return s;
+}
+
+std::optional<XrlArgs> XrlArgs::parse(std::string_view text) {
+    XrlArgs args;
+    if (text.empty()) return args;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t amp = text.find('&', start);
+        std::string_view item = amp == std::string_view::npos
+                                    ? text.substr(start)
+                                    : text.substr(start, amp - start);
+        auto atom = XrlAtom::parse(item);
+        if (!atom) return std::nullopt;
+        args.add(std::move(*atom));
+        if (amp == std::string_view::npos) break;
+        start = amp + 1;
+    }
+    return args;
+}
+
+}  // namespace xrp::xrl

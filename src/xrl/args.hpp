@@ -1,0 +1,99 @@
+// XrlArgs: an ordered list of named atoms — the argument (and result)
+// container of every XRL call. Getters are typed and name-checked; a
+// mismatch surfaces as XrlError kBadArgs at the dispatch layer rather
+// than as an exception across component boundaries.
+#ifndef XRP_XRL_ARGS_HPP
+#define XRP_XRL_ARGS_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xrl/atom.hpp"
+
+namespace xrp::xrl {
+
+class XrlArgs {
+public:
+    XrlArgs() = default;
+
+    XrlArgs& add(XrlAtom atom) {
+        atoms_.push_back(std::move(atom));
+        return *this;
+    }
+    template <class T>
+    XrlArgs& add(std::string name, T value) {
+        atoms_.emplace_back(std::move(name), std::move(value));
+        return *this;
+    }
+
+    size_t size() const { return atoms_.size(); }
+    bool empty() const { return atoms_.empty(); }
+    const XrlAtom& at(size_t i) const { return atoms_.at(i); }
+    const std::vector<XrlAtom>& atoms() const { return atoms_; }
+
+    const XrlAtom* find(std::string_view name) const {
+        for (const auto& a : atoms_)
+            if (a.name() == name) return &a;
+        return nullptr;
+    }
+
+    // Typed getters; nullopt when the name is absent or the type differs.
+    template <class T>
+    std::optional<T> get(std::string_view name) const {
+        const XrlAtom* a = find(name);
+        if (a == nullptr || !a->holds<T>()) return std::nullopt;
+        return a->get<T>();
+    }
+
+    std::optional<uint32_t> get_u32(std::string_view n) const {
+        return get<uint32_t>(n);
+    }
+    std::optional<int32_t> get_i32(std::string_view n) const {
+        return get<int32_t>(n);
+    }
+    std::optional<uint64_t> get_u64(std::string_view n) const {
+        return get<uint64_t>(n);
+    }
+    std::optional<bool> get_bool(std::string_view n) const {
+        return get<bool>(n);
+    }
+    std::optional<std::string> get_text(std::string_view n) const {
+        return get<std::string>(n);
+    }
+    std::optional<net::IPv4> get_ipv4(std::string_view n) const {
+        return get<net::IPv4>(n);
+    }
+    std::optional<net::IPv4Net> get_ipv4net(std::string_view n) const {
+        return get<net::IPv4Net>(n);
+    }
+    std::optional<net::IPv6> get_ipv6(std::string_view n) const {
+        return get<net::IPv6>(n);
+    }
+    std::optional<net::IPv6Net> get_ipv6net(std::string_view n) const {
+        return get<net::IPv6Net>(n);
+    }
+    std::optional<net::Mac> get_mac(std::string_view n) const {
+        return get<net::Mac>(n);
+    }
+    std::optional<std::vector<uint8_t>> get_binary(std::string_view n) const {
+        return get<std::vector<uint8_t>>(n);
+    }
+    std::optional<XrlAtomList> get_list(std::string_view n) const {
+        return get<XrlAtomList>(n);
+    }
+
+    // Textual form: atoms joined by '&' ("as:u32=1777&id:txt=foo").
+    std::string str() const;
+    static std::optional<XrlArgs> parse(std::string_view text);
+
+    bool operator==(const XrlArgs& o) const { return atoms_ == o.atoms_; }
+
+private:
+    std::vector<XrlAtom> atoms_;
+};
+
+}  // namespace xrp::xrl
+
+#endif

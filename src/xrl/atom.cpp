@@ -1,0 +1,297 @@
+#include "xrl/atom.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace xrp::xrl {
+
+namespace {
+
+constexpr std::string_view kTypeNames[] = {
+    "u32",  "i32",     "u64",  "bool",    "txt", "ipv4",
+    "ipv4net", "ipv6", "ipv6net", "mac", "binary", "list",
+};
+
+bool is_meta(char c) {
+    // Metacharacters of the textual XRL syntax plus escape char itself.
+    return c == '%' || c == '&' || c == '=' || c == '?' || c == ':' ||
+           c == ',' || c == '/' || c == '#' ||
+           static_cast<unsigned char>(c) < 0x21 ||
+           static_cast<unsigned char>(c) > 0x7e;
+}
+
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+template <class Int>
+std::optional<Int> parse_int(std::string_view s) {
+    Int v{};
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+    return v;
+}
+
+std::optional<XrlAtom::Value> parse_value(AtomType t, std::string_view raw);
+
+std::string value_text(const XrlAtom::Value& v) {
+    struct Visitor {
+        std::string operator()(uint32_t x) const { return std::to_string(x); }
+        std::string operator()(int32_t x) const { return std::to_string(x); }
+        std::string operator()(uint64_t x) const { return std::to_string(x); }
+        std::string operator()(bool x) const { return x ? "true" : "false"; }
+        std::string operator()(const std::string& x) const {
+            return xrl_escape(x);
+        }
+        std::string operator()(net::IPv4 x) const { return x.str(); }
+        std::string operator()(net::IPv4Net x) const {
+            return xrl_escape(x.str());
+        }
+        std::string operator()(const net::IPv6& x) const {
+            return xrl_escape(x.str());
+        }
+        std::string operator()(const net::IPv6Net& x) const {
+            return xrl_escape(x.str());
+        }
+        std::string operator()(const net::Mac& x) const {
+            return xrl_escape(x.str());
+        }
+        std::string operator()(const std::vector<uint8_t>& x) const {
+            std::string s;
+            s.reserve(x.size() * 2);
+            for (uint8_t b : x) {
+                char buf[3];
+                std::snprintf(buf, sizeof buf, "%02x", b);
+                s += buf;
+            }
+            return s;
+        }
+        std::string operator()(const XrlAtomList& x) const {
+            // List items render as escaped "type=value" joined by ','.
+            std::string s;
+            for (size_t i = 0; i < x.size(); ++i) {
+                if (i) s += ',';
+                std::string item(atom_type_name(x[i].type()));
+                item += '=';
+                item += value_text(x[i].value());
+                // Escape any ',' produced by nested lists.
+                for (char c : item)
+                    if (c == ',') {
+                        s += "%2c";
+                    } else {
+                        s += c;
+                    }
+            }
+            return s;
+        }
+    };
+    return std::visit(Visitor{}, v);
+}
+
+std::optional<XrlAtom::Value> parse_value(AtomType t, std::string_view raw) {
+    switch (t) {
+        case AtomType::kU32: {
+            auto v = parse_int<uint32_t>(raw);
+            if (!v) return std::nullopt;
+            return XrlAtom::Value(*v);
+        }
+        case AtomType::kI32: {
+            auto v = parse_int<int32_t>(raw);
+            if (!v) return std::nullopt;
+            return XrlAtom::Value(*v);
+        }
+        case AtomType::kU64: {
+            auto v = parse_int<uint64_t>(raw);
+            if (!v) return std::nullopt;
+            return XrlAtom::Value(*v);
+        }
+        case AtomType::kBool: {
+            if (raw == "true" || raw == "1") return XrlAtom::Value(true);
+            if (raw == "false" || raw == "0") return XrlAtom::Value(false);
+            return std::nullopt;
+        }
+        case AtomType::kText: {
+            auto s = xrl_unescape(raw);
+            if (!s) return std::nullopt;
+            return XrlAtom::Value(std::move(*s));
+        }
+        case AtomType::kIPv4: {
+            auto u = xrl_unescape(raw);
+            if (!u) return std::nullopt;
+            auto a = net::IPv4::parse(*u);
+            if (!a) return std::nullopt;
+            return XrlAtom::Value(*a);
+        }
+        case AtomType::kIPv4Net: {
+            auto u = xrl_unescape(raw);
+            if (!u) return std::nullopt;
+            auto a = net::IPv4Net::parse(*u);
+            if (!a) return std::nullopt;
+            return XrlAtom::Value(*a);
+        }
+        case AtomType::kIPv6: {
+            auto u = xrl_unescape(raw);
+            if (!u) return std::nullopt;
+            auto a = net::IPv6::parse(*u);
+            if (!a) return std::nullopt;
+            return XrlAtom::Value(*a);
+        }
+        case AtomType::kIPv6Net: {
+            auto u = xrl_unescape(raw);
+            if (!u) return std::nullopt;
+            auto a = net::IPv6Net::parse(*u);
+            if (!a) return std::nullopt;
+            return XrlAtom::Value(*a);
+        }
+        case AtomType::kMac: {
+            auto u = xrl_unescape(raw);
+            if (!u) return std::nullopt;
+            auto a = net::Mac::parse(*u);
+            if (!a) return std::nullopt;
+            return XrlAtom::Value(*a);
+        }
+        case AtomType::kBinary: {
+            if (raw.size() % 2 != 0) return std::nullopt;
+            std::vector<uint8_t> out;
+            out.reserve(raw.size() / 2);
+            for (size_t i = 0; i < raw.size(); i += 2) {
+                int hi = hex_digit(raw[i]), lo = hex_digit(raw[i + 1]);
+                if (hi < 0 || lo < 0) return std::nullopt;
+                out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+            }
+            return XrlAtom::Value(std::move(out));
+        }
+        case AtomType::kList: {
+            XrlAtomList items;
+            if (raw.empty()) return XrlAtom::Value(std::move(items));
+            size_t start = 0;
+            while (start <= raw.size()) {
+                size_t comma = raw.find(',', start);
+                std::string_view item =
+                    comma == std::string_view::npos
+                        ? raw.substr(start)
+                        : raw.substr(start, comma - start);
+                size_t eq = item.find('=');
+                if (eq == std::string_view::npos) return std::nullopt;
+                auto it = atom_type_from_name(item.substr(0, eq));
+                if (!it || *it == AtomType::kList) return std::nullopt;
+                // Nested list payloads had their commas escaped; one level
+                // of unescape happens inside parse_value for text-like
+                // types, so direct nesting of lists is not supported
+                // (matching XORP, which only lists primitives).
+                auto v = parse_value(*it, item.substr(eq + 1));
+                if (!v) return std::nullopt;
+                // Build an unnamed atom with the parsed value.
+                struct Builder {
+                    XrlAtom operator()(uint32_t x) { return XrlAtom("", x); }
+                    XrlAtom operator()(int32_t x) { return XrlAtom("", x); }
+                    XrlAtom operator()(uint64_t x) { return XrlAtom("", x); }
+                    XrlAtom operator()(bool x) { return XrlAtom("", x); }
+                    XrlAtom operator()(std::string x) {
+                        return XrlAtom("", std::move(x));
+                    }
+                    XrlAtom operator()(net::IPv4 x) { return XrlAtom("", x); }
+                    XrlAtom operator()(net::IPv4Net x) {
+                        return XrlAtom("", x);
+                    }
+                    XrlAtom operator()(net::IPv6 x) { return XrlAtom("", x); }
+                    XrlAtom operator()(net::IPv6Net x) {
+                        return XrlAtom("", x);
+                    }
+                    XrlAtom operator()(net::Mac x) { return XrlAtom("", x); }
+                    XrlAtom operator()(std::vector<uint8_t> x) {
+                        return XrlAtom("", std::move(x));
+                    }
+                    XrlAtom operator()(XrlAtomList x) {
+                        return XrlAtom("", std::move(x));
+                    }
+                };
+                items.push_back(std::visit(Builder{}, std::move(*v)));
+                if (comma == std::string_view::npos) break;
+                start = comma + 1;
+            }
+            return XrlAtom::Value(std::move(items));
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view atom_type_name(AtomType t) {
+    return kTypeNames[static_cast<size_t>(t)];
+}
+
+std::optional<AtomType> atom_type_from_name(std::string_view name) {
+    for (size_t i = 0; i < std::size(kTypeNames); ++i)
+        if (kTypeNames[i] == name) return static_cast<AtomType>(i);
+    return std::nullopt;
+}
+
+AtomType XrlAtom::type() const {
+    return static_cast<AtomType>(value_.index());
+}
+
+std::string XrlAtom::str() const {
+    std::string s = name_;
+    s += ':';
+    s += atom_type_name(type());
+    s += '=';
+    s += value_text(value_);
+    return s;
+}
+
+std::optional<XrlAtom> XrlAtom::parse(std::string_view text) {
+    size_t colon = text.find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    size_t eq = text.find('=', colon);
+    if (eq == std::string_view::npos) return std::nullopt;
+    std::string name(text.substr(0, colon));
+    auto t = atom_type_from_name(text.substr(colon + 1, eq - colon - 1));
+    if (!t) return std::nullopt;
+    auto v = parse_value(*t, text.substr(eq + 1));
+    if (!v) return std::nullopt;
+    XrlAtom a;
+    a.name_ = std::move(name);
+    a.value_ = std::move(*v);
+    return a;
+}
+
+std::string xrl_escape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (is_meta(c)) {
+            char buf[4];
+            std::snprintf(buf, sizeof buf, "%%%02x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::optional<std::string> xrl_unescape(std::string_view escaped) {
+    std::string out;
+    out.reserve(escaped.size());
+    for (size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] == '%') {
+            if (i + 2 >= escaped.size()) return std::nullopt;
+            int hi = hex_digit(escaped[i + 1]);
+            int lo = hex_digit(escaped[i + 2]);
+            if (hi < 0 || lo < 0) return std::nullopt;
+            out += static_cast<char>((hi << 4) | lo);
+            i += 2;
+        } else {
+            out += escaped[i];
+        }
+    }
+    return out;
+}
+
+}  // namespace xrp::xrl

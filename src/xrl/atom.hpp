@@ -1,0 +1,111 @@
+// XrlAtom: one named, typed XRL argument (§6.1).
+//
+// The paper restricts arguments to "a set of core types used throughout
+// XORP, including network addresses, numbers, strings, booleans, binary
+// arrays, and lists of these primitives". An atom has a canonical text
+// form ("as:u32=1777") used in scriptable XRLs, and a compact binary form
+// used on the wire (ipc/wire.cpp).
+#ifndef XRP_XRL_ATOM_HPP
+#define XRP_XRL_ATOM_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "net/ipnet.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "net/mac.hpp"
+
+namespace xrp::xrl {
+
+enum class AtomType : uint8_t {
+    kU32,
+    kI32,
+    kU64,
+    kBool,
+    kText,
+    kIPv4,
+    kIPv4Net,
+    kIPv6,
+    kIPv6Net,
+    kMac,
+    kBinary,
+    kList,
+};
+
+// Short type names used in textual XRLs ("u32", "txt", "ipv4net", ...).
+std::string_view atom_type_name(AtomType t);
+std::optional<AtomType> atom_type_from_name(std::string_view name);
+
+class XrlAtom;
+// Atoms inside a list are unnamed; the list itself carries the name.
+using XrlAtomList = std::vector<XrlAtom>;
+
+class XrlAtom {
+public:
+    using Value = std::variant<uint32_t, int32_t, uint64_t, bool, std::string,
+                               net::IPv4, net::IPv4Net, net::IPv6,
+                               net::IPv6Net, net::Mac, std::vector<uint8_t>,
+                               XrlAtomList>;
+
+    XrlAtom() = default;
+    XrlAtom(std::string name, uint32_t v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, int32_t v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, uint64_t v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, bool v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, std::string v)
+        : name_(std::move(name)), value_(std::move(v)) {}
+    XrlAtom(std::string name, const char* v)
+        : name_(std::move(name)), value_(std::string(v)) {}
+    XrlAtom(std::string name, net::IPv4 v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, net::IPv4Net v)
+        : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, net::IPv6 v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, net::IPv6Net v)
+        : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, net::Mac v) : name_(std::move(name)), value_(v) {}
+    XrlAtom(std::string name, std::vector<uint8_t> v)
+        : name_(std::move(name)), value_(std::move(v)) {}
+    XrlAtom(std::string name, XrlAtomList v)
+        : name_(std::move(name)), value_(std::move(v)) {}
+
+    const std::string& name() const { return name_; }
+    AtomType type() const;
+    const Value& value() const { return value_; }
+
+    template <class T>
+    bool holds() const {
+        return std::holds_alternative<T>(value_);
+    }
+    template <class T>
+    const T& get() const {
+        return std::get<T>(value_);
+    }
+
+    // Canonical text form: "name:type=value", with %-escaping of XRL
+    // metacharacters in the value.
+    std::string str() const;
+    // Parses one "name:type=value" item.
+    static std::optional<XrlAtom> parse(std::string_view text);
+
+    bool operator==(const XrlAtom& o) const {
+        return name_ == o.name_ && value_ == o.value_;
+    }
+
+private:
+    std::string name_;
+    Value value_;
+};
+
+// %-escaping for XRL text values: escapes the XRL metacharacters and
+// non-printables so that values round-trip through the textual form.
+std::string xrl_escape(std::string_view raw);
+std::optional<std::string> xrl_unescape(std::string_view escaped);
+
+}  // namespace xrp::xrl
+
+#endif

@@ -1,0 +1,28 @@
+#include "xrl/error.hpp"
+
+namespace xrp::xrl {
+
+std::string_view error_code_name(ErrorCode c) {
+    switch (c) {
+        case ErrorCode::kOkay: return "OKAY";
+        case ErrorCode::kResolveFailed: return "RESOLVE_FAILED";
+        case ErrorCode::kNoSuchMethod: return "NO_SUCH_METHOD";
+        case ErrorCode::kBadArgs: return "BAD_ARGS";
+        case ErrorCode::kCommandFailed: return "COMMAND_FAILED";
+        case ErrorCode::kTransportFailed: return "TRANSPORT_FAILED";
+        case ErrorCode::kBadKey: return "BAD_KEY";
+        case ErrorCode::kInternalError: return "INTERNAL_ERROR";
+    }
+    return "UNKNOWN";
+}
+
+std::string XrlError::str() const {
+    std::string s(error_code_name(code_));
+    if (!note_.empty()) {
+        s += ": ";
+        s += note_;
+    }
+    return s;
+}
+
+}  // namespace xrp::xrl

@@ -1,0 +1,55 @@
+// XRL dispatch outcome. Every XRL invocation completes with exactly one
+// XrlError, delivered to the caller's callback (XRLs never throw across
+// component boundaries). Mirrors the error classes the paper's IPC layer
+// distinguishes: resolution failures, transport failures, receiver-side
+// rejections, and command-level failures that carry a note from the callee.
+#ifndef XRP_XRL_ERROR_HPP
+#define XRP_XRL_ERROR_HPP
+
+#include <string>
+#include <string_view>
+
+namespace xrp::xrl {
+
+enum class ErrorCode {
+    kOkay,
+    kResolveFailed,    // the Finder knows no such target/method
+    kNoSuchMethod,     // target exists but method not registered
+    kBadArgs,          // argument names/types don't match the method
+    kCommandFailed,    // the callee ran and reported failure
+    kTransportFailed,  // connection refused, reset, timeout
+    kBadKey,           // method key mismatch: caller bypassed the Finder
+    kInternalError,
+};
+
+std::string_view error_code_name(ErrorCode c);
+
+class XrlError {
+public:
+    XrlError() = default;
+    explicit XrlError(ErrorCode code, std::string note = {})
+        : code_(code), note_(std::move(note)) {}
+
+    static XrlError okay() { return XrlError(); }
+    static XrlError command_failed(std::string note) {
+        return XrlError(ErrorCode::kCommandFailed, std::move(note));
+    }
+
+    ErrorCode code() const { return code_; }
+    bool ok() const { return code_ == ErrorCode::kOkay; }
+    const std::string& note() const { return note_; }
+
+    std::string str() const;
+
+    friend bool operator==(const XrlError& a, const XrlError& b) {
+        return a.code_ == b.code_;
+    }
+
+private:
+    ErrorCode code_ = ErrorCode::kOkay;
+    std::string note_;
+};
+
+}  // namespace xrp::xrl
+
+#endif

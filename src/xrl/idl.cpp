@@ -1,0 +1,192 @@
+#include "xrl/idl.hpp"
+
+#include <cctype>
+
+namespace xrp::xrl {
+
+namespace {
+
+// Minimal tokenizer: identifiers, punctuation (?, &, ;, :, {, }, /), and
+// the two-character arrow.
+struct Lexer {
+    std::string_view text;
+    size_t pos = 0;
+
+    void skip_ws() {
+        while (pos < text.size()) {
+            if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            } else if (text[pos] == '#') {  // comment to end of line
+                while (pos < text.size() && text[pos] != '\n') ++pos;
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::string next() {
+        skip_ws();
+        if (pos >= text.size()) return {};
+        char c = text[pos];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            size_t start = pos;
+            while (pos < text.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                    text[pos] == '_' || text[pos] == '.'))
+                ++pos;
+            return std::string(text.substr(start, pos - start));
+        }
+        if (c == '-' && pos + 1 < text.size() && text[pos + 1] == '>') {
+            pos += 2;
+            return "->";
+        }
+        ++pos;
+        return std::string(1, c);
+    }
+
+    std::string peek() {
+        size_t saved = pos;
+        std::string t = next();
+        pos = saved;
+        return t;
+    }
+};
+
+bool parse_named_type_list(Lexer& lex, std::vector<NamedType>& out,
+                           std::string* error) {
+    // name:type (& name:type)*
+    while (true) {
+        std::string name = lex.next();
+        if (name.empty() || !std::isalpha(static_cast<unsigned char>(name[0]))) {
+            if (error) *error = "expected argument name, got '" + name + "'";
+            return false;
+        }
+        if (lex.next() != ":") {
+            if (error) *error = "expected ':' after argument name " + name;
+            return false;
+        }
+        std::string tname = lex.next();
+        auto t = atom_type_from_name(tname);
+        if (!t) {
+            if (error) *error = "unknown type '" + tname + "'";
+            return false;
+        }
+        out.push_back({std::move(name), *t});
+        if (lex.peek() != "&") return true;
+        lex.next();  // consume '&'
+    }
+}
+
+}  // namespace
+
+XrlError MethodSpec::validate_inputs(const XrlArgs& args) const {
+    if (args.size() != inputs.size())
+        return XrlError(ErrorCode::kBadArgs,
+                        name + ": expected " + std::to_string(inputs.size()) +
+                            " arguments, got " + std::to_string(args.size()));
+    for (const NamedType& nt : inputs) {
+        const XrlAtom* a = args.find(nt.name);
+        if (a == nullptr)
+            return XrlError(ErrorCode::kBadArgs,
+                            name + ": missing argument '" + nt.name + "'");
+        if (a->type() != nt.type)
+            return XrlError(
+                ErrorCode::kBadArgs,
+                name + ": argument '" + nt.name + "' has type " +
+                    std::string(atom_type_name(a->type())) + ", expected " +
+                    std::string(atom_type_name(nt.type)));
+    }
+    return XrlError::okay();
+}
+
+XrlError MethodSpec::validate_outputs(const XrlArgs& args) const {
+    if (args.size() != outputs.size())
+        return XrlError(ErrorCode::kBadArgs,
+                        name + ": expected " + std::to_string(outputs.size()) +
+                            " results, got " + std::to_string(args.size()));
+    for (const NamedType& nt : outputs) {
+        const XrlAtom* a = args.find(nt.name);
+        if (a == nullptr || a->type() != nt.type)
+            return XrlError(ErrorCode::kBadArgs,
+                            name + ": bad result '" + nt.name + "'");
+    }
+    return XrlError::okay();
+}
+
+std::optional<InterfaceSpec> InterfaceSpec::parse(std::string_view text,
+                                                  std::string* error) {
+    Lexer lex{text};
+    if (lex.next() != "interface") {
+        if (error) *error = "expected 'interface'";
+        return std::nullopt;
+    }
+    std::string name = lex.next();
+    if (lex.next() != "/") {
+        if (error) *error = "expected '/' after interface name";
+        return std::nullopt;
+    }
+    std::string version = lex.next();
+    if (lex.next() != "{") {
+        if (error) *error = "expected '{'";
+        return std::nullopt;
+    }
+
+    InterfaceSpec spec(std::move(name), std::move(version));
+    while (true) {
+        std::string tok = lex.next();
+        if (tok == "}") break;
+        if (tok.empty()) {
+            if (error) *error = "unexpected end of input";
+            return std::nullopt;
+        }
+        MethodSpec m;
+        m.name = std::move(tok);
+        std::string sep = lex.peek();
+        if (sep == "?") {
+            lex.next();
+            if (lex.peek() != "->" && lex.peek() != ";" && lex.peek() != "}") {
+                if (!parse_named_type_list(lex, m.inputs, error))
+                    return std::nullopt;
+            }
+        }
+        if (lex.peek() == "->") {
+            lex.next();
+            if (lex.peek() != ";" && lex.peek() != "}") {
+                if (!parse_named_type_list(lex, m.outputs, error))
+                    return std::nullopt;
+            }
+        }
+        if (lex.peek() == ";") lex.next();
+        spec.add_method(std::move(m));
+    }
+    return spec;
+}
+
+std::string InterfaceSpec::str() const {
+    std::string s = "interface " + name_ + "/" + version_ + " {\n";
+    for (const auto& [name, m] : methods_) {
+        s += "    " + name;
+        if (!m.inputs.empty()) {
+            s += " ? ";
+            for (size_t i = 0; i < m.inputs.size(); ++i) {
+                if (i) s += " & ";
+                s += m.inputs[i].name + ":" +
+                     std::string(atom_type_name(m.inputs[i].type));
+            }
+        }
+        if (!m.outputs.empty()) {
+            s += " -> ";
+            for (size_t i = 0; i < m.outputs.size(); ++i) {
+                if (i) s += " & ";
+                s += m.outputs[i].name + ":" +
+                     std::string(atom_type_name(m.outputs[i].type));
+            }
+        }
+        s += ";\n";
+    }
+    s += "}\n";
+    return s;
+}
+
+}  // namespace xrp::xrl

@@ -1,0 +1,82 @@
+// Interface definition language (§6.1: "we have an interface definition
+// language that supports interface specification, automatic stub code
+// generation, and basic error checking").
+//
+// Ours is runtime-checked rather than code-generated: a component parses
+// an InterfaceSpec at startup and registers it with its dispatcher; every
+// incoming call is validated against the spec (names and types of inputs),
+// and replies are validated against the declared outputs in debug builds.
+//
+// Grammar (whitespace-insensitive):
+//   interface <name>/<version> {
+//       <method> ? <arg>:<type> & <arg>:<type> -> <ret>:<type> ;
+//       <method> ?                     // no inputs, no outputs
+//       ...
+//   }
+// The "? ..." input list and "-> ..." output list are each optional.
+#ifndef XRP_XRL_IDL_HPP
+#define XRP_XRL_IDL_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xrl/args.hpp"
+#include "xrl/error.hpp"
+
+namespace xrp::xrl {
+
+struct NamedType {
+    std::string name;
+    AtomType type;
+    bool operator==(const NamedType&) const = default;
+};
+
+struct MethodSpec {
+    std::string name;
+    std::vector<NamedType> inputs;
+    std::vector<NamedType> outputs;
+
+    // Checks that `args` carries exactly the declared names with the
+    // declared types (order-insensitive, extras rejected).
+    XrlError validate_inputs(const XrlArgs& args) const;
+    XrlError validate_outputs(const XrlArgs& args) const;
+};
+
+class InterfaceSpec {
+public:
+    InterfaceSpec() = default;
+    InterfaceSpec(std::string name, std::string version)
+        : name_(std::move(name)), version_(std::move(version)) {}
+
+    // Parses the IDL text above; returns nullopt and fills `error` (if
+    // given) on syntax problems.
+    static std::optional<InterfaceSpec> parse(std::string_view text,
+                                              std::string* error = nullptr);
+
+    const std::string& name() const { return name_; }
+    const std::string& version() const { return version_; }
+    const std::map<std::string, MethodSpec>& methods() const {
+        return methods_;
+    }
+    const MethodSpec* find_method(std::string_view m) const {
+        auto it = methods_.find(std::string(m));
+        return it == methods_.end() ? nullptr : &it->second;
+    }
+
+    void add_method(MethodSpec m) { methods_[m.name] = std::move(m); }
+
+    // Regenerates canonical IDL text (used by tests for round-tripping).
+    std::string str() const;
+
+private:
+    std::string name_;
+    std::string version_;
+    std::map<std::string, MethodSpec> methods_;
+};
+
+}  // namespace xrp::xrl
+
+#endif

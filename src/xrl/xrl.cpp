@@ -1,0 +1,62 @@
+#include "xrl/xrl.hpp"
+
+namespace xrp::xrl {
+
+std::string Xrl::str() const {
+    std::string s = protocol_;
+    s += "://";
+    s += target_;
+    s += '/';
+    s += interface_;
+    s += '/';
+    s += version_;
+    s += '/';
+    s += method_;
+    if (!args_.empty()) {
+        s += '?';
+        s += args_.str();
+    }
+    return s;
+}
+
+std::optional<Xrl> Xrl::parse(std::string_view text) {
+    size_t scheme_end = text.find("://");
+    if (scheme_end == std::string_view::npos || scheme_end == 0)
+        return std::nullopt;
+    std::string protocol(text.substr(0, scheme_end));
+    std::string_view rest = text.substr(scheme_end + 3);
+
+    // Split off the query first so '/' inside argument values (already
+    // escaped, but be safe) can't confuse path parsing.
+    std::string_view query;
+    size_t qmark = rest.find('?');
+    if (qmark != std::string_view::npos) {
+        query = rest.substr(qmark + 1);
+        rest = rest.substr(0, qmark);
+    }
+
+    // Path: target/interface/version/method
+    size_t s1 = rest.find('/');
+    if (s1 == std::string_view::npos || s1 == 0) return std::nullopt;
+    size_t s2 = rest.find('/', s1 + 1);
+    if (s2 == std::string_view::npos) return std::nullopt;
+    size_t s3 = rest.find('/', s2 + 1);
+    if (s3 == std::string_view::npos) return std::nullopt;
+    std::string target(rest.substr(0, s1));
+    std::string iface(rest.substr(s1 + 1, s2 - s1 - 1));
+    std::string version(rest.substr(s2 + 1, s3 - s2 - 1));
+    std::string method(rest.substr(s3 + 1));
+    if (iface.empty() || version.empty() || method.empty())
+        return std::nullopt;
+
+    XrlArgs args;
+    if (!query.empty()) {
+        auto parsed = XrlArgs::parse(query);
+        if (!parsed) return std::nullopt;
+        args = std::move(*parsed);
+    }
+    return Xrl(std::move(protocol), std::move(target), std::move(iface),
+               std::move(version), std::move(method), std::move(args));
+}
+
+}  // namespace xrp::xrl

@@ -1,0 +1,85 @@
+// Xrl: a XORP Resource Locator (§6.1) — one method invocation on one
+// component, with a canonical human-readable text form:
+//
+//   finder://bgp/bgp/1.0/set_local_as?as:u32=1777            (generic)
+//   stcp://192.1.2.3:16878/bgp/1.0/set_local_as?as:u32=1777  (resolved)
+//
+// A *generic* XRL names a target by component class ("bgp") and must be
+// resolved by the Finder into a *resolved* XRL that pins the transport
+// protocol family ("stcp") and its address. The method part of a resolved
+// XRL also carries the Finder's random key suffix (security, §7), which
+// receivers verify to prevent Finder bypass.
+#ifndef XRP_XRL_XRL_HPP
+#define XRP_XRL_XRL_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "xrl/args.hpp"
+
+namespace xrp::xrl {
+
+class Xrl {
+public:
+    Xrl() = default;
+    Xrl(std::string protocol, std::string target, std::string interface_name,
+        std::string version, std::string method, XrlArgs args = {})
+        : protocol_(std::move(protocol)),
+          target_(std::move(target)),
+          interface_(std::move(interface_name)),
+          version_(std::move(version)),
+          method_(std::move(method)),
+          args_(std::move(args)) {}
+
+    // Convenience for the common generic case.
+    static Xrl generic(std::string target, std::string interface_name,
+                       std::string version, std::string method,
+                       XrlArgs args = {}) {
+        return Xrl("finder", std::move(target), std::move(interface_name),
+                   std::move(version), std::move(method), std::move(args));
+    }
+
+    const std::string& protocol() const { return protocol_; }
+    const std::string& target() const { return target_; }
+    const std::string& interface_name() const { return interface_; }
+    const std::string& version() const { return version_; }
+    const std::string& method() const { return method_; }
+    const XrlArgs& args() const { return args_; }
+    XrlArgs& args() { return args_; }
+
+    bool is_resolved() const { return protocol_ != "finder"; }
+
+    // "interface/version/method" — the unit the Finder registers and
+    // resolves; the per-method key is appended to this string.
+    std::string full_method() const {
+        return interface_ + "/" + version_ + "/" + method_;
+    }
+
+    std::string str() const;
+    static std::optional<Xrl> parse(std::string_view text);
+
+    void set_protocol_target(std::string protocol, std::string target) {
+        protocol_ = std::move(protocol);
+        target_ = std::move(target);
+    }
+    void set_method(std::string method) { method_ = std::move(method); }
+
+    bool operator==(const Xrl& o) const {
+        return protocol_ == o.protocol_ && target_ == o.target_ &&
+               interface_ == o.interface_ && version_ == o.version_ &&
+               method_ == o.method_ && args_ == o.args_;
+    }
+
+private:
+    std::string protocol_ = "finder";
+    std::string target_;
+    std::string interface_;
+    std::string version_;
+    std::string method_;
+    XrlArgs args_;
+};
+
+}  // namespace xrp::xrl
+
+#endif

@@ -1,0 +1,287 @@
+// Focused tests for the BGP pipeline stages: DecisionStage consistency
+// under random multi-peer churn (checked by the §5.1 CacheStage),
+// NexthopResolver queueing/invalidation behaviour, and DampingStage unit
+// behaviour (decay math, suppression state machine).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bgp/damping.hpp"
+#include "bgp/stages.hpp"
+#include "stage/cache.hpp"
+#include "stage/origin.hpp"
+#include "stage/sink.hpp"
+
+using namespace xrp;
+using namespace xrp::bgp;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+using stage::CacheStage;
+using stage::OriginStage;
+using stage::SinkStage;
+
+namespace {
+
+BgpRoute mkroute(const IPv4Net& net, uint32_t localpref, uint32_t source,
+                 const char* proto = "ebgp", uint32_t igp = 0) {
+    auto pa = std::make_shared<PathAttributes>();
+    pa->origin = Origin::kIgp;
+    pa->as_path = AsPath({static_cast<As>(source)});
+    pa->nexthop = IPv4((192u << 24) | source);
+    pa->local_pref = localpref;
+    BgpRoute r;
+    r.net = net;
+    r.nexthop = pa->nexthop;
+    r.protocol = proto;
+    r.source_id = source;
+    r.igp_metric = igp;
+    r.attrs = std::move(pa);
+    return r;
+}
+
+}  // namespace
+
+TEST(DecisionStage, PicksBestAcrossParentsAndPromotesOnLoss) {
+    OriginStage<IPv4> p1("p1"), p2("p2"), p3("p3");
+    DecisionStage decision("decision");
+    decision.add_parent(&p1);
+    decision.add_parent(&p2);
+    decision.add_parent(&p3);
+    CacheStage<IPv4> check("check");
+    SinkStage<IPv4> sink("sink");
+    decision.set_downstream(&check);
+    check.set_upstream(&decision);
+    check.set_downstream(&sink);
+    sink.set_upstream(&check);
+
+    auto net = IPv4Net::must_parse("10.0.0.0/8");
+    p1.add_route(mkroute(net, 100, 1));
+    p2.add_route(mkroute(net, 300, 2));  // best
+    p3.add_route(mkroute(net, 200, 3));
+    EXPECT_TRUE(check.consistent()) << check.violations().front();
+    ASSERT_EQ(sink.route_count(), 1u);
+    EXPECT_EQ(sink.lookup_route(net)->source_id, 2u);
+
+    // Best withdraws: next-best promoted, downstream stays consistent.
+    p2.delete_route(mkroute(net, 300, 2));
+    EXPECT_TRUE(check.consistent()) << check.violations().front();
+    EXPECT_EQ(sink.lookup_route(net)->source_id, 3u);
+    // Loser withdraws: no downstream change.
+    p1.delete_route(mkroute(net, 100, 1));
+    EXPECT_TRUE(check.consistent());
+    EXPECT_EQ(sink.lookup_route(net)->source_id, 3u);
+    p3.delete_route(mkroute(net, 200, 3));
+    EXPECT_EQ(sink.route_count(), 0u);
+    EXPECT_TRUE(check.consistent());
+}
+
+TEST(DecisionStage, PropertyRandomChurnStaysConsistent) {
+    // The §5.1 consistency rules must hold through arbitrary interleaved
+    // adds/deletes from many peers; the CacheStage is the oracle, and the
+    // final sink must equal a brute-force recomputation.
+    std::mt19937 rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<std::unique_ptr<OriginStage<IPv4>>> peers;
+        DecisionStage decision("decision");
+        for (int i = 0; i < 4; ++i) {
+            peers.push_back(std::make_unique<OriginStage<IPv4>>(
+                "p" + std::to_string(i)));
+            decision.add_parent(peers.back().get());
+        }
+        CacheStage<IPv4> check("check");
+        SinkStage<IPv4> sink("sink");
+        decision.set_downstream(&check);
+        check.set_upstream(&decision);
+        check.set_downstream(&sink);
+        sink.set_upstream(&check);
+
+        for (int step = 0; step < 1500; ++step) {
+            size_t p = rng() % peers.size();
+            IPv4Net net(IPv4((rng() % 40) << 24), 8);
+            uint32_t lp = 100 + rng() % 5;
+            if (rng() % 3 != 0)
+                peers[p]->add_route(
+                    mkroute(net, lp, static_cast<uint32_t>(p + 1)));
+            else
+                peers[p]->delete_route(
+                    mkroute(net, lp, static_cast<uint32_t>(p + 1)));
+            ASSERT_TRUE(check.consistent())
+                << check.violations().front() << " at step " << step;
+        }
+        // Cross-check winners against brute force over peer tables.
+        for (uint32_t n = 0; n < 40; ++n) {
+            IPv4Net net(IPv4(n << 24), 8);
+            std::optional<BgpRoute> best;
+            for (auto& p : peers) {
+                auto r = p->lookup_route(net);
+                if (r && (!best || bgp_route_preferred(*r, *best)))
+                    best = r;
+            }
+            auto got = sink.lookup_route(net);
+            ASSERT_EQ(got.has_value(), best.has_value()) << net.str();
+            if (best) EXPECT_EQ(got->source_id, best->source_id) << net.str();
+        }
+    }
+}
+
+TEST(NexthopResolver, QueuesUntilAnswerArrives) {
+    // The §5.1.1 contract: the Decision Process never waits — routes are
+    // held in the resolver until the RIB answers.
+    std::vector<std::pair<IPv4, NexthopResolverStage::AnswerCallback>> asked;
+    NexthopResolverStage resolver("nh", [&](IPv4 nexthop,
+                                            NexthopResolverStage::
+                                                AnswerCallback answer) {
+        asked.emplace_back(nexthop, std::move(answer));
+    });
+    SinkStage<IPv4> sink("sink");
+    resolver.set_downstream(&sink);
+    sink.set_upstream(&resolver);
+
+    auto net1 = IPv4Net::must_parse("10.0.0.0/8");
+    auto net2 = IPv4Net::must_parse("20.0.0.0/8");
+    resolver.add_route(mkroute(net1, 100, 7), nullptr);
+    resolver.add_route(mkroute(net2, 100, 7), nullptr);  // same nexthop
+    EXPECT_EQ(sink.route_count(), 0u);          // parked
+    ASSERT_EQ(asked.size(), 1u);                // one query per nexthop
+    EXPECT_EQ(resolver.pending_count(), 2u);
+
+    // The answer releases both, annotated.
+    asked[0].second(42, IPv4Net(asked[0].first, 24));
+    EXPECT_EQ(sink.route_count(), 2u);
+    EXPECT_EQ(sink.lookup_route(net1)->igp_metric, 42u);
+
+    // Cache hit: a third route with the same nexthop resolves instantly.
+    auto net3 = IPv4Net::must_parse("30.0.0.0/8");
+    resolver.add_route(mkroute(net3, 100, 7), nullptr);
+    EXPECT_EQ(asked.size(), 1u);
+    EXPECT_EQ(sink.route_count(), 3u);
+}
+
+TEST(NexthopResolver, DeleteWhilePendingNeverReachesDownstream) {
+    std::vector<std::pair<IPv4, NexthopResolverStage::AnswerCallback>> asked;
+    NexthopResolverStage resolver(
+        "nh", [&](IPv4 nh, NexthopResolverStage::AnswerCallback answer) {
+            asked.emplace_back(nh, std::move(answer));
+        });
+    CacheStage<IPv4> check("check");
+    resolver.set_downstream(&check);
+    check.set_upstream(&resolver);
+
+    auto net = IPv4Net::must_parse("10.0.0.0/8");
+    resolver.add_route(mkroute(net, 100, 7), nullptr);
+    resolver.delete_route(mkroute(net, 100, 7), nullptr);
+    asked[0].second(5, IPv4Net(asked[0].first, 24));
+    EXPECT_TRUE(check.consistent());
+    EXPECT_EQ(check.route_count(), 0u);
+}
+
+TEST(NexthopResolver, UnreachableRoutesReleasedByInvalidation) {
+    std::map<uint32_t, std::optional<uint32_t>> metric;
+    NexthopResolverStage resolver(
+        "nh", [&](IPv4 nh, NexthopResolverStage::AnswerCallback answer) {
+            answer(metric[nh.to_host()], IPv4Net(nh, 24));
+        });
+    SinkStage<IPv4> sink("sink");
+    resolver.set_downstream(&sink);
+    sink.set_upstream(&resolver);
+
+    auto net = IPv4Net::must_parse("10.0.0.0/8");
+    BgpRoute r = mkroute(net, 100, 7);
+    metric[r.nexthop.to_host()] = std::nullopt;  // unreachable
+    resolver.add_route(r, nullptr);
+    EXPECT_EQ(sink.route_count(), 0u);
+    EXPECT_EQ(resolver.unreachable_count(), 1u);
+
+    // The nexthop becomes reachable; the RIB invalidates the old answer.
+    metric[r.nexthop.to_host()] = 9;
+    resolver.invalidate(IPv4Net(r.nexthop, 24));
+    EXPECT_EQ(sink.route_count(), 1u);
+    EXPECT_EQ(sink.lookup_route(net)->igp_metric, 9u);
+    EXPECT_EQ(resolver.unreachable_count(), 0u);
+}
+
+// ---- DampingStage unit behaviour ---------------------------------------
+
+struct DampingFixture {
+    ev::VirtualClock clock;
+    ev::EventLoop loop{clock};
+    DampingConfig config;
+    std::unique_ptr<DampingStage> damp;
+    CacheStage<IPv4> check{"check"};
+    SinkStage<IPv4> sink{"sink"};
+    IPv4Net net = IPv4Net::must_parse("10.0.0.0/8");
+
+    DampingFixture() {
+        config.penalty_per_flap = 1000;
+        config.suppress_threshold = 2500;
+        config.reuse_threshold = 800;
+        config.half_life = 8s;
+        damp = std::make_unique<DampingStage>("damp", loop, config);
+        damp->set_downstream(&check);
+        check.set_upstream(damp.get());
+        check.set_downstream(&sink);
+        sink.set_upstream(&check);
+    }
+    void flap() {
+        damp->add_route(mkroute(net, 100, 1), nullptr);
+        loop.run_for(100ms);
+        damp->delete_route(mkroute(net, 100, 1), nullptr);
+        loop.run_for(100ms);
+    }
+};
+
+TEST(DampingStage, PenaltyAccumulatesAndDecays) {
+    DampingFixture f;
+    f.flap();
+    EXPECT_NEAR(f.damp->penalty(f.net), 1000, 50);
+    f.flap();
+    EXPECT_NEAR(f.damp->penalty(f.net), 1975, 80);
+    // One half-life: roughly halved.
+    f.loop.run_for(8s);
+    EXPECT_NEAR(f.damp->penalty(f.net), 990, 80);
+}
+
+TEST(DampingStage, SuppressionAndReuse) {
+    DampingFixture f;
+    f.flap();
+    f.flap();
+    EXPECT_FALSE(f.damp->is_suppressed(f.net));
+    f.flap();  // ~2960 > 2500
+    EXPECT_TRUE(f.damp->is_suppressed(f.net));
+    EXPECT_TRUE(f.check.consistent());
+    EXPECT_EQ(f.sink.route_count(), 0u);
+
+    // Announce while suppressed: held, not forwarded.
+    f.damp->add_route(mkroute(f.net, 100, 1), nullptr);
+    EXPECT_EQ(f.sink.route_count(), 0u);
+
+    // Decay under reuse (~2 half-lives from ~2960 to ~740): released.
+    f.loop.run_for(17s);
+    EXPECT_FALSE(f.damp->is_suppressed(f.net));
+    EXPECT_EQ(f.sink.route_count(), 1u);
+    EXPECT_TRUE(f.check.consistent()) << f.check.violations().front();
+}
+
+TEST(DampingStage, WithdrawalWhileSuppressedIsSwallowed) {
+    DampingFixture f;
+    f.flap();
+    f.flap();
+    f.flap();
+    ASSERT_TRUE(f.damp->is_suppressed(f.net));
+    // Announce then withdraw while suppressed: downstream must see nothing.
+    f.damp->add_route(mkroute(f.net, 100, 1), nullptr);
+    f.damp->delete_route(mkroute(f.net, 100, 1), nullptr);
+    f.loop.run_for(30s);  // decays below reuse with no held route
+    EXPECT_EQ(f.sink.route_count(), 0u);
+    EXPECT_TRUE(f.check.consistent());
+}
+
+TEST(DampingStage, StablePrefixUnaffected) {
+    DampingFixture f;
+    f.damp->add_route(mkroute(f.net, 100, 1), nullptr);
+    f.loop.run_for(60s);
+    EXPECT_EQ(f.sink.route_count(), 1u);
+    EXPECT_FALSE(f.damp->is_suppressed(f.net));
+    EXPECT_TRUE(f.check.consistent());
+}

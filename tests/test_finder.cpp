@@ -1,0 +1,172 @@
+// Tests for the Finder (§6.2, §7): registration, resolution, keys,
+// lifetime notification, invalidation, ACLs.
+#include <gtest/gtest.h>
+
+#include "finder/finder.hpp"
+#include "finder/key.hpp"
+
+using namespace xrp::finder;
+using xrp::xrl::ErrorCode;
+using xrp::xrl::XrlError;
+
+TEST(FinderKey, Generate) {
+    std::string a = generate_method_key();
+    std::string b = generate_method_key();
+    EXPECT_EQ(a.size(), 32u);  // 16 bytes hex
+    EXPECT_NE(a, b);
+    for (char c : a) EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+TEST(FinderKey, SplitJoin) {
+    auto [m, k] = split_keyed_method("bgp/1.0/set#deadbeef");
+    EXPECT_EQ(m, "bgp/1.0/set");
+    EXPECT_EQ(k, "deadbeef");
+    auto [m2, k2] = split_keyed_method("bgp/1.0/set");
+    EXPECT_EQ(m2, "bgp/1.0/set");
+    EXPECT_TRUE(k2.empty());
+    EXPECT_EQ(join_keyed_method("m", "k"), "m#k");
+    EXPECT_EQ(join_keyed_method("m", ""), "m");
+}
+
+TEST(Finder, RegisterAndResolve) {
+    Finder f;
+    auto inst = f.register_target("bgp", true);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(*inst, "bgp");  // first instance gets the class name
+    std::string key = f.register_method(
+        *inst, "bgp/1.0/set_local_as",
+        {{"inproc", "bgp"}, {"stcp", "127.0.0.1:1000"}});
+    EXPECT_FALSE(key.empty());
+
+    auto res = f.resolve("bgp", "bgp/1.0/set_local_as");
+    ASSERT_TRUE(res.has_value());
+    ASSERT_EQ(res->size(), 2u);
+    // inproc preferred over stcp.
+    EXPECT_EQ(res->at(0).family, "inproc");
+    EXPECT_EQ(res->at(1).family, "stcp");
+    EXPECT_EQ(res->at(0).keyed_method, "bgp/1.0/set_local_as#" + key);
+}
+
+TEST(Finder, SoleInstanceRefusesSecond) {
+    Finder f;
+    ASSERT_TRUE(f.register_target("rib", true).has_value());
+    // A second sole registration is refused, and so is a non-sole joiner:
+    // the first registrant was promised exclusivity.
+    EXPECT_FALSE(f.register_target("rib", true).has_value());
+    EXPECT_FALSE(f.register_target("rib", false).has_value());
+}
+
+TEST(Finder, MultipleInstancesGetDistinctNames) {
+    Finder f;
+    auto a = f.register_target("probe", false);
+    auto b = f.register_target("probe", false);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(*a, "probe");
+    EXPECT_EQ(*b, "probe-1");
+    // Resolution by instance name works too.
+    f.register_method(*b, "p/1.0/m", {{"inproc", *b}});
+    auto res = f.resolve(*b, "p/1.0/m");
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->at(0).address, *b);
+}
+
+TEST(Finder, ResolveFailures) {
+    Finder f;
+    XrlError err;
+    EXPECT_FALSE(f.resolve("ghost", "x/1.0/m", "", &err).has_value());
+    EXPECT_EQ(err.code(), ErrorCode::kResolveFailed);
+
+    auto inst = f.register_target("bgp", true);
+    EXPECT_FALSE(f.resolve("bgp", "bgp/1.0/nope", "", &err).has_value());
+    EXPECT_EQ(err.code(), ErrorCode::kResolveFailed);
+}
+
+TEST(Finder, UnregisterMakesTargetUnresolvable) {
+    Finder f;
+    auto inst = f.register_target("bgp", true);
+    f.register_method(*inst, "bgp/1.0/m", {{"inproc", *inst}});
+    ASSERT_TRUE(f.resolve("bgp", "bgp/1.0/m").has_value());
+    f.unregister_target(*inst);
+    EXPECT_FALSE(f.resolve("bgp", "bgp/1.0/m").has_value());
+    EXPECT_FALSE(f.target_exists("bgp"));
+    // The class name is reusable afterward.
+    EXPECT_TRUE(f.register_target("bgp", true).has_value());
+}
+
+TEST(Finder, LifetimeWatch) {
+    Finder f;
+    std::vector<std::string> events;
+    uint64_t id = f.watch("bgp", [&](LifetimeEvent ev, const std::string& cls,
+                                     const std::string& inst) {
+        events.push_back((ev == LifetimeEvent::kBirth ? "birth:" : "death:") +
+                         cls + "/" + inst);
+    });
+    auto inst = f.register_target("bgp", true);
+    f.register_target("rib", true);  // different class: no event
+    f.unregister_target(*inst);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0], "birth:bgp/bgp");
+    EXPECT_EQ(events[1], "death:bgp/bgp");
+
+    f.unwatch(id);
+    f.register_target("bgp", true);
+    EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(Finder, WildcardWatchSeesEverything) {
+    Finder f;
+    int births = 0;
+    f.watch("*", [&](LifetimeEvent ev, const std::string&,
+                     const std::string&) {
+        if (ev == LifetimeEvent::kBirth) ++births;
+    });
+    f.register_target("a", false);
+    f.register_target("b", false);
+    EXPECT_EQ(births, 2);
+}
+
+TEST(Finder, InvalidateListenersFireOnDeath) {
+    Finder f;
+    std::vector<std::string> invalidated;
+    f.add_invalidate_listener(
+        [&](const std::string& cls) { invalidated.push_back(cls); });
+    auto inst = f.register_target("bgp", true);
+    f.unregister_target(*inst);
+    ASSERT_EQ(invalidated.size(), 1u);
+    EXPECT_EQ(invalidated[0], "bgp");
+}
+
+TEST(Finder, AclDeniesUnlistedCaller) {
+    Finder f;
+    auto rib = f.register_target("rib", true);
+    f.register_method(*rib, "rib/1.0/add_route", {{"inproc", *rib}});
+    f.register_method(*rib, "rib/1.0/get_version", {{"inproc", *rib}});
+
+    // Only bgp may call add_route; get_version open to bgp as well.
+    f.allow("rib", "bgp", "rib/1.0/add_route");
+
+    XrlError err;
+    // Once rules exist, an unlisted caller is denied.
+    EXPECT_FALSE(
+        f.resolve("rib", "rib/1.0/add_route", "experimental", &err).has_value());
+    EXPECT_EQ(err.code(), ErrorCode::kResolveFailed);
+    // The listed caller resolves, including numbered instances of the class.
+    EXPECT_TRUE(f.resolve("rib", "rib/1.0/add_route", "bgp").has_value());
+    EXPECT_TRUE(f.resolve("rib", "rib/1.0/add_route", "bgp-2").has_value());
+    // Other methods of the protected class are denied for everyone without
+    // a matching rule.
+    EXPECT_FALSE(f.resolve("rib", "rib/1.0/get_version", "bgp-x", &err)
+                     .has_value());
+}
+
+TEST(Finder, AclPrefixCoversWholeInterface) {
+    Finder f;
+    auto rib = f.register_target("rib", true);
+    f.register_method(*rib, "rib/1.0/a", {{"inproc", *rib}});
+    f.register_method(*rib, "rib/1.0/b", {{"inproc", *rib}});
+    f.allow("rib", "bgp", "rib/1.0/");
+    EXPECT_TRUE(f.resolve("rib", "rib/1.0/a", "bgp").has_value());
+    EXPECT_TRUE(f.resolve("rib", "rib/1.0/b", "bgp").has_value());
+    EXPECT_FALSE(f.resolve("rib", "rib/1.0/a", "rip").has_value());
+}

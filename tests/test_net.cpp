@@ -1,0 +1,174 @@
+// Unit tests for the address/prefix value types (src/net).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ipnet.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "net/mac.hpp"
+
+using namespace xrp::net;
+
+TEST(IPv4, ParseAndFormatRoundTrip) {
+    for (const char* s : {"0.0.0.0", "1.2.3.4", "127.0.0.1", "192.0.2.255",
+                          "255.255.255.255", "10.0.0.1"}) {
+        auto a = IPv4::parse(s);
+        ASSERT_TRUE(a.has_value()) << s;
+        EXPECT_EQ(a->str(), s);
+    }
+}
+
+TEST(IPv4, ParseRejectsMalformed) {
+    for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.256",
+                          "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4",
+                          "1.2.3.-4", "01.2.3.4567", "1.2.3.4/24"}) {
+        EXPECT_FALSE(IPv4::parse(s).has_value()) << s;
+    }
+}
+
+TEST(IPv4, NetworkOrderRoundTrip) {
+    IPv4 a = IPv4::must_parse("192.0.2.1");
+    EXPECT_EQ(IPv4::from_network(a.to_network()), a);
+}
+
+TEST(IPv4, BitsAndMasks) {
+    IPv4 a = IPv4::must_parse("128.16.32.1");
+    EXPECT_TRUE(a.bit(0));   // 128 => top bit set
+    EXPECT_FALSE(a.bit(1));
+    EXPECT_EQ(a.masked(16).str(), "128.16.0.0");
+    EXPECT_EQ(a.masked(0).str(), "0.0.0.0");
+    EXPECT_EQ(a.masked(32), a);
+    EXPECT_EQ(IPv4::make_prefix(24).str(), "255.255.255.0");
+    EXPECT_EQ(IPv4::make_prefix(0).str(), "0.0.0.0");
+    EXPECT_EQ(IPv4::make_prefix(32).str(), "255.255.255.255");
+}
+
+TEST(IPv4, CommonPrefixLen) {
+    EXPECT_EQ(IPv4::common_prefix_len(IPv4::must_parse("128.16.0.0"),
+                                      IPv4::must_parse("128.16.128.0")),
+              16u);
+    EXPECT_EQ(IPv4::common_prefix_len(IPv4(0), IPv4(0)), 32u);
+    EXPECT_EQ(IPv4::common_prefix_len(IPv4(0), IPv4(0x80000000)), 0u);
+}
+
+TEST(IPv4, Classification) {
+    EXPECT_TRUE(IPv4::must_parse("8.8.8.8").is_unicast());
+    EXPECT_FALSE(IPv4::must_parse("224.0.0.1").is_unicast());
+    EXPECT_TRUE(IPv4::must_parse("224.0.0.1").is_multicast());
+    EXPECT_FALSE(IPv4::must_parse("255.255.255.255").is_unicast());
+    EXPECT_FALSE(IPv4::any().is_unicast());
+}
+
+TEST(IPv6, ParseCanonicalForms) {
+    struct Case {
+        const char* in;
+        const char* out;
+    } cases[] = {
+        {"::", "::"},
+        {"::1", "::1"},
+        {"2001:db8::1", "2001:db8::1"},
+        {"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+        {"fe80::1:2:3:4", "fe80::1:2:3:4"},
+        {"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+        {"2001:db8::", "2001:db8::"},
+        {"::ffff:192.0.2.1", "::ffff:c000:201"},
+    };
+    for (const auto& c : cases) {
+        auto a = IPv6::parse(c.in);
+        ASSERT_TRUE(a.has_value()) << c.in;
+        EXPECT_EQ(a->str(), c.out) << c.in;
+    }
+}
+
+TEST(IPv6, ParseRejectsMalformed) {
+    for (const char* s : {"", ":::", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9",
+                          "g::1", "1::2::3", "12345::"}) {
+        EXPECT_FALSE(IPv6::parse(s).has_value()) << s;
+    }
+}
+
+TEST(IPv6, BytesRoundTrip) {
+    IPv6 a = IPv6::must_parse("2001:db8::42");
+    auto b = a.to_bytes();
+    EXPECT_EQ(IPv6::from_bytes(b.data()), a);
+    EXPECT_EQ(b[0], 0x20);
+    EXPECT_EQ(b[1], 0x01);
+    EXPECT_EQ(b[15], 0x42);
+}
+
+TEST(IPv6, BitsAndMasks) {
+    IPv6 a = IPv6::must_parse("8000::");
+    EXPECT_TRUE(a.bit(0));
+    EXPECT_FALSE(a.bit(1));
+    IPv6 b = IPv6::must_parse("::1");
+    EXPECT_TRUE(b.bit(127));
+    EXPECT_EQ(IPv6::must_parse("2001:db8:ffff::").masked(32).str(),
+              "2001:db8::");
+    EXPECT_EQ(IPv6::common_prefix_len(IPv6::must_parse("2001:db8::"),
+                                      IPv6::must_parse("2001:db9::")),
+              31u);
+}
+
+TEST(Mac, ParseFormatRoundTrip) {
+    auto m = Mac::parse("aa:bb:cc:00:11:22");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->str(), "aa:bb:cc:00:11:22");
+    EXPECT_FALSE(Mac::parse("aa:bb:cc:00:11").has_value());
+    EXPECT_FALSE(Mac::parse("aa:bb:cc:00:11:2g").has_value());
+    EXPECT_FALSE(Mac::parse("aa:bb:cc:00:11:22:33").has_value());
+}
+
+TEST(IpNet, ParseAndCanonicalize) {
+    auto n = IPv4Net::parse("128.16.64.1/18");
+    ASSERT_TRUE(n.has_value());
+    // Host bits are masked away at construction.
+    EXPECT_EQ(n->str(), "128.16.64.0/18");
+    EXPECT_EQ(n->prefix_len(), 18u);
+    EXPECT_FALSE(IPv4Net::parse("1.2.3.4").has_value());
+    EXPECT_FALSE(IPv4Net::parse("1.2.3.4/33").has_value());
+    EXPECT_FALSE(IPv4Net::parse("1.2.3.4/").has_value());
+    EXPECT_FALSE(IPv4Net::parse("1.2.3.4/ab").has_value());
+}
+
+TEST(IpNet, Containment) {
+    IPv4Net big = IPv4Net::must_parse("128.16.0.0/16");
+    IPv4Net small = IPv4Net::must_parse("128.16.128.0/17");
+    IPv4Net other = IPv4Net::must_parse("128.17.0.0/16");
+    EXPECT_TRUE(big.contains(small));
+    EXPECT_FALSE(small.contains(big));
+    EXPECT_TRUE(big.contains(big));
+    EXPECT_FALSE(big.contains(other));
+    EXPECT_TRUE(big.overlaps(small));
+    EXPECT_TRUE(small.overlaps(big));
+    EXPECT_FALSE(small.overlaps(other));
+    EXPECT_TRUE(big.contains(IPv4::must_parse("128.16.200.7")));
+    EXPECT_FALSE(big.contains(IPv4::must_parse("128.17.0.1")));
+}
+
+TEST(IpNet, OrderingIsAddressThenLength) {
+    std::set<IPv4Net> s{
+        IPv4Net::must_parse("128.16.128.0/17"),
+        IPv4Net::must_parse("128.16.0.0/16"),
+        IPv4Net::must_parse("128.16.0.0/18"),
+    };
+    auto it = s.begin();
+    EXPECT_EQ(it->str(), "128.16.0.0/16");
+    ++it;
+    EXPECT_EQ(it->str(), "128.16.0.0/18");
+    ++it;
+    EXPECT_EQ(it->str(), "128.16.128.0/17");
+}
+
+TEST(IpNet, IPv6Nets) {
+    IPv6Net n = IPv6Net::must_parse("2001:db8::/32");
+    EXPECT_TRUE(n.contains(IPv6::must_parse("2001:db8:1::1")));
+    EXPECT_FALSE(n.contains(IPv6::must_parse("2001:db9::1")));
+    EXPECT_EQ(n.str(), "2001:db8::/32");
+}
+
+TEST(IpNet, DefaultRouteContainsEverything) {
+    IPv4Net def = IPv4Net::must_parse("0.0.0.0/0");
+    EXPECT_TRUE(def.contains(IPv4::must_parse("255.255.255.255")));
+    EXPECT_TRUE(def.contains(IPv4Net::must_parse("10.0.0.0/8")));
+}

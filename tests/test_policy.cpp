@@ -1,0 +1,259 @@
+// Tests for the policy stack language (§8.3): compiler, VM semantics,
+// protocol attribute bindings, and integration with FilterStage.
+#include <gtest/gtest.h>
+
+#include "policy/compiler.hpp"
+#include "policy/vm.hpp"
+#include "stage/filter.hpp"
+#include "stage/origin.hpp"
+#include "stage/sink.hpp"
+
+using namespace xrp;
+using namespace xrp::policy;
+using net::IPv4;
+using net::IPv4Net;
+using stage::Route4;
+
+namespace {
+
+Route4 mkroute(const char* net_s, uint32_t metric = 1,
+               const char* proto = "rip") {
+    Route4 r;
+    r.net = IPv4Net::must_parse(net_s);
+    r.nexthop = IPv4::must_parse("192.0.2.1");
+    r.metric = metric;
+    r.protocol = proto;
+    return r;
+}
+
+Verdict run(const char* text, Route4& route,
+            AttributeBinding<IPv4> binding = {}) {
+    std::string err;
+    auto prog = compile(text, &err);
+    EXPECT_TRUE(prog.has_value()) << err;
+    Vm<IPv4> vm(std::move(binding));
+    return vm.run(*prog, route);
+}
+
+}  // namespace
+
+TEST(PolicyCompiler, ParsesTermsAndDefault) {
+    std::string err;
+    auto prog = compile(R"(
+        # example policy
+        default reject;
+        term t1 { load metric; push u32 5; le; onfalse next; accept; }
+        term t2 { reject; }
+    )",
+                        &err);
+    ASSERT_TRUE(prog.has_value()) << err;
+    EXPECT_FALSE(prog->default_accept);
+    ASSERT_EQ(prog->terms.size(), 2u);
+    EXPECT_EQ(prog->terms[0].name, "t1");
+    EXPECT_EQ(prog->terms[0].instrs.size(), 5u);
+}
+
+TEST(PolicyCompiler, RejectsBadSyntax) {
+    std::string err;
+    EXPECT_FALSE(compile("banana", &err).has_value());
+    EXPECT_FALSE(compile("term t1 { wat; }", &err).has_value());
+    EXPECT_NE(err.find("wat"), std::string::npos);
+    EXPECT_FALSE(compile("term t1 { push u32 abc; }", &err).has_value());
+    EXPECT_FALSE(compile("term t1 { onfalse banana; }", &err).has_value());
+    EXPECT_FALSE(compile("term t1 { load; }", &err).has_value());
+    EXPECT_FALSE(compile("term t1 { accept", &err).has_value());
+}
+
+TEST(PolicyVm, EmptyProgramUsesDefault) {
+    Route4 r = mkroute("10.0.0.0/8");
+    EXPECT_EQ(run("", r), Verdict::kAccept);
+    EXPECT_EQ(run("default reject;", r), Verdict::kReject);
+}
+
+TEST(PolicyVm, PrefixMatchRejects) {
+    const char* text = R"(
+        term block-martians {
+            push ipv4net 10.0.0.0/8; load prefix; contains;
+            onfalse next;
+            reject;
+        }
+    )";
+    Route4 martian = mkroute("10.1.0.0/16");
+    Route4 fine = mkroute("80.1.0.0/16");
+    EXPECT_EQ(run(text, martian), Verdict::kReject);
+    EXPECT_EQ(run(text, fine), Verdict::kAccept);
+}
+
+TEST(PolicyVm, MetricComparisonAndStore) {
+    const char* text = R"(
+        term boost {
+            load metric; push u32 5; le; onfalse next;
+            push u32 99; store metric;
+            accept;
+        }
+    )";
+    Route4 cheap = mkroute("10.0.0.0/8", 3);
+    EXPECT_EQ(run(text, cheap), Verdict::kAccept);
+    EXPECT_EQ(cheap.metric, 99u);
+    Route4 costly = mkroute("10.0.0.0/8", 10);
+    EXPECT_EQ(run(text, costly), Verdict::kAccept);  // falls to default
+    EXPECT_EQ(costly.metric, 10u);                   // untouched
+}
+
+TEST(PolicyVm, ProtocolStringMatch) {
+    const char* text = R"(
+        default reject;
+        term only-rip {
+            load protocol; push txt rip; eq; onfalse next;
+            accept;
+        }
+    )";
+    Route4 rip = mkroute("10.0.0.0/8", 1, "rip");
+    Route4 bgp = mkroute("10.0.0.0/8", 1, "ebgp");
+    EXPECT_EQ(run(text, rip), Verdict::kAccept);
+    EXPECT_EQ(run(text, bgp), Verdict::kReject);
+}
+
+TEST(PolicyVm, BooleanOps) {
+    const char* text = R"(
+        term t {
+            load metric; push u32 10; lt;
+            load protocol; push txt rip; eq;
+            and; not;
+            onfalse accept;
+            reject;
+        }
+    )";
+    // metric<10 AND proto==rip -> not -> false -> onfalse accept
+    Route4 both = mkroute("10.0.0.0/8", 5, "rip");
+    EXPECT_EQ(run(text, both), Verdict::kAccept);
+    Route4 neither = mkroute("10.0.0.0/8", 50, "ebgp");
+    EXPECT_EQ(run(text, neither), Verdict::kReject);
+}
+
+TEST(PolicyVm, TagsFlowThroughPolicy) {
+    // Stage 1 tags; stage 2 matches on the tag — the §8.3 mechanism for
+    // communicating between BGP and RIB policy stages.
+    const char* tagger = R"(
+        term tag-it {
+            push ipv4net 10.0.0.0/8; load prefix; contains; onfalse next;
+            push txt from-ten; tag-add;
+        }
+    )";
+    const char* matcher = R"(
+        default reject;
+        term match-tag {
+            push txt from-ten; tag-present; onfalse next;
+            accept;
+        }
+    )";
+    Route4 r = mkroute("10.3.0.0/16");
+    EXPECT_EQ(run(tagger, r), Verdict::kAccept);
+    ASSERT_EQ(r.tags.size(), 1u);
+    EXPECT_EQ(run(matcher, r), Verdict::kAccept);
+
+    Route4 other = mkroute("80.1.0.0/16");
+    EXPECT_EQ(run(tagger, other), Verdict::kAccept);
+    EXPECT_TRUE(other.tags.empty());
+    EXPECT_EQ(run(matcher, other), Verdict::kReject);
+}
+
+TEST(PolicyVm, TypeErrorsRejectSafely) {
+    // Comparing a prefix with ordering ops is a type error: the route is
+    // rejected and the VM reports it, but nothing crashes.
+    const char* text = "term t { load prefix; push u32 5; lt; accept; }";
+    Route4 r = mkroute("10.0.0.0/8");
+    std::string err;
+    auto prog = compile(text, &err);
+    ASSERT_TRUE(prog.has_value());
+    Vm<IPv4> vm;
+    EXPECT_EQ(vm.run(*prog, r), Verdict::kReject);
+    EXPECT_FALSE(vm.last_error().empty());
+}
+
+TEST(PolicyVm, StackUnderflowRejectsSafely) {
+    Route4 r = mkroute("10.0.0.0/8");
+    std::string err;
+    auto prog = compile("term t { eq; accept; }", &err);
+    ASSERT_TRUE(prog.has_value());
+    Vm<IPv4> vm;
+    EXPECT_EQ(vm.run(*prog, r), Verdict::kReject);
+    EXPECT_NE(vm.last_error().find("underflow"), std::string::npos);
+}
+
+TEST(PolicyVm, UnknownAttributeRejectsSafely) {
+    Route4 r = mkroute("10.0.0.0/8");
+    auto prog = compile("term t { load frobnitz; accept; }");
+    ASSERT_TRUE(prog.has_value());
+    Vm<IPv4> vm;
+    EXPECT_EQ(vm.run(*prog, r), Verdict::kReject);
+    EXPECT_NE(vm.last_error().find("frobnitz"), std::string::npos);
+}
+
+TEST(PolicyVm, AttributeBindingExtendsVocabulary) {
+    // Simulate a protocol binding (the way BGP exposes localpref).
+    struct FakeAttrs {
+        uint32_t localpref = 100;
+    };
+    auto attrs = std::make_shared<FakeAttrs>();
+    Route4 r = mkroute("10.0.0.0/8");
+    r.attrs = attrs;
+
+    AttributeBinding<IPv4> binding;
+    binding.load = [](const Route4& route,
+                      const std::string& name) -> std::optional<Value> {
+        if (name != "localpref" || !route.attrs) return std::nullopt;
+        return Value(static_cast<const FakeAttrs*>(route.attrs.get())->localpref);
+    };
+    binding.store = [](Route4& route, const std::string& name,
+                       const Value& v) {
+        if (name != "localpref" || !route.attrs) return false;
+        auto n = std::get_if<uint32_t>(&v);
+        if (n == nullptr) return false;
+        auto copy = std::make_shared<FakeAttrs>(
+            *static_cast<const FakeAttrs*>(route.attrs.get()));
+        copy->localpref = *n;
+        route.attrs = copy;
+        return true;
+    };
+
+    const char* text = R"(
+        default reject;
+        term t {
+            load localpref; push u32 100; eq; onfalse next;
+            push u32 200; store localpref;
+            accept;
+        }
+    )";
+    EXPECT_EQ(run(text, r, binding), Verdict::kAccept);
+    EXPECT_EQ(static_cast<const FakeAttrs*>(r.attrs.get())->localpref, 200u);
+    // Copy-on-write: the original attribute block is untouched.
+    EXPECT_EQ(attrs->localpref, 100u);
+}
+
+TEST(PolicyFilter, IntegratesWithFilterStage) {
+    auto prog = std::make_shared<Program>(*compile(R"(
+        term block-martians {
+            push ipv4net 10.0.0.0/8; load prefix; contains; onfalse next;
+            reject;
+        }
+    )"));
+    stage::OriginStage<IPv4> origin("o");
+    stage::FilterStage<IPv4> filter("policy-filter");
+    stage::SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&filter);
+    filter.set_upstream(&origin);
+    filter.set_downstream(&sink);
+    sink.set_upstream(&filter);
+    filter.add_filter(make_filter<IPv4>(prog));
+
+    origin.add_route(mkroute("10.1.0.0/16"));
+    origin.add_route(mkroute("80.1.0.0/16"));
+    EXPECT_EQ(sink.route_count(), 1u);
+    EXPECT_FALSE(sink.lookup_route(IPv4Net::must_parse("10.1.0.0/16")));
+    EXPECT_TRUE(sink.lookup_route(IPv4Net::must_parse("80.1.0.0/16")));
+
+    origin.delete_route(mkroute("10.1.0.0/16"));
+    origin.delete_route(mkroute("80.1.0.0/16"));
+    EXPECT_EQ(sink.route_count(), 0u);
+}

@@ -1,0 +1,221 @@
+// Tests for the RIB process: admin-distance arbitration through the
+// merge tree, ExtInt nexthop gating, redistribution, Figure-8 interest
+// registration with invalidation, and the FEA feed.
+#include <gtest/gtest.h>
+
+#include "ev/eventloop.hpp"
+#include "rib/rib.hpp"
+
+using namespace xrp;
+using namespace xrp::rib;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+struct RibFixture {
+    ev::VirtualClock clock;
+    ev::EventLoop loop{clock};
+    fea::Fea fea{loop};
+    Rib rib{loop, std::make_unique<DirectFeaHandle>(fea)};
+
+    RibFixture() {
+        fea.interfaces().add_interface("eth0", IPv4::must_parse("192.0.2.1"),
+                                       24);
+    }
+};
+
+}  // namespace
+
+TEST(Rib, UnknownProtocolRefused) {
+    RibFixture f;
+    EXPECT_FALSE(f.rib.add_route("carrier-pigeon",
+                                 IPv4Net::must_parse("10.0.0.0/8"),
+                                 IPv4::must_parse("192.0.2.9")));
+}
+
+TEST(Rib, SingleProtocolFlowsToFea) {
+    RibFixture f;
+    ASSERT_TRUE(f.rib.add_route("static", IPv4Net::must_parse("10.0.0.0/8"),
+                                IPv4::must_parse("192.0.2.9"), 1));
+    EXPECT_EQ(f.rib.route_count(), 1u);
+    const fea::FibEntry* e = f.fea.lookup(IPv4::must_parse("10.1.1.1"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->nexthop.str(), "192.0.2.9");
+    ASSERT_TRUE(f.rib.delete_route("static", IPv4Net::must_parse("10.0.0.0/8")));
+    EXPECT_EQ(f.fea.fib().size(), 0u);
+}
+
+TEST(Rib, AdminDistanceArbitration) {
+    RibFixture f;
+    // Same prefix from rip (120) and ospf (110): ospf must win, both in
+    // the RIB and in the FIB.
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.add_route("ospf", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.110"), 10);
+    auto win = f.rib.lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->protocol, "ospf");
+    EXPECT_EQ(f.fea.lookup(IPv4::must_parse("10.1.1.1"))->nexthop.str(),
+              "192.0.2.110");
+
+    // OSPF withdraws: RIP takes over.
+    f.rib.delete_route("ospf", IPv4Net::must_parse("10.0.0.0/8"));
+    win = f.rib.lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->protocol, "rip");
+}
+
+TEST(Rib, ConnectedAlwaysBeatsEverything) {
+    RibFixture f;
+    f.rib.add_route("ebgp", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.20"));
+    f.rib.add_route("connected", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.1"));
+    auto win = f.rib.lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->protocol, "connected");
+}
+
+TEST(Rib, CustomAdminDistance) {
+    RibFixture f;
+    f.rib.set_admin_distance("rip", 5);  // operator prefers RIP today
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    f.rib.add_route("ospf", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.110"));
+    auto win = f.rib.lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->protocol, "rip");
+}
+
+TEST(Rib, BgpRouteGatedOnIgpReachability) {
+    RibFixture f;
+    // A BGP route whose nexthop has no IGP cover is not usable.
+    f.rib.add_route("ebgp", IPv4Net::must_parse("80.0.0.0/8"),
+                    IPv4::must_parse("10.9.9.9"));
+    EXPECT_EQ(f.rib.route_count(), 0u);
+    EXPECT_EQ(f.fea.fib().size(), 0u);
+
+    // An IGP route to the nexthop appears; the BGP route becomes usable.
+    f.rib.add_route("rip", IPv4Net::must_parse("10.9.0.0/16"),
+                    IPv4::must_parse("192.0.2.120"), 4);
+    EXPECT_EQ(f.rib.route_count(), 2u);
+    auto win = f.rib.lookup_exact(IPv4Net::must_parse("80.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->igp_metric, 4u);
+
+    // IGP cover goes away again: BGP route withdraws from the FIB.
+    f.rib.delete_route("rip", IPv4Net::must_parse("10.9.0.0/16"));
+    EXPECT_EQ(f.rib.route_count(), 0u);
+    EXPECT_EQ(f.fea.fib().size(), 0u);
+}
+
+TEST(Rib, IbgpVsEbgpPreference) {
+    RibFixture f;
+    f.rib.add_route("connected", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.1"));
+    f.rib.add_route("ibgp", IPv4Net::must_parse("80.0.0.0/8"),
+                    IPv4::must_parse("10.0.0.200"));
+    f.rib.add_route("ebgp", IPv4Net::must_parse("80.0.0.0/8"),
+                    IPv4::must_parse("10.0.0.100"));
+    auto win = f.rib.lookup_exact(IPv4Net::must_parse("80.0.0.0/8"));
+    ASSERT_TRUE(win.has_value());
+    EXPECT_EQ(win->protocol, "ebgp");  // distance 20 < 200
+}
+
+TEST(Rib, LpmAcrossProtocols) {
+    RibFixture f;
+    f.rib.add_route("static", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.8"));
+    f.rib.add_route("rip", IPv4Net::must_parse("10.1.0.0/16"),
+                    IPv4::must_parse("192.0.2.16"));
+    auto r = f.rib.lookup(IPv4::must_parse("10.1.2.3"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->protocol, "rip");  // more specific wins over distance
+    r = f.rib.lookup(IPv4::must_parse("10.2.2.3"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->protocol, "static");
+}
+
+TEST(Rib, RedistributionTap) {
+    RibFixture f;
+    std::vector<std::string> tapped;
+    uint64_t id = f.rib.add_redist(
+        [](const Route4& r) { return r.protocol == "rip"; },
+        [&](bool add, const Route4& r) {
+            tapped.push_back((add ? "add " : "del ") + r.net.str());
+        });
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    f.rib.add_route("static", IPv4Net::must_parse("20.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.8"));
+    f.rib.delete_route("rip", IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_EQ(tapped.size(), 2u);
+    EXPECT_EQ(tapped[0], "add 10.0.0.0/8");
+    EXPECT_EQ(tapped[1], "del 10.0.0.0/8");
+
+    // The tap can be removed; traffic continues unaffected.
+    f.rib.remove_redist(id);
+    f.rib.add_route("rip", IPv4Net::must_parse("30.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    EXPECT_EQ(tapped.size(), 2u);
+    EXPECT_EQ(f.rib.route_count(), 2u);
+}
+
+TEST(Rib, RegisterInterestAnswersAndInvalidates) {
+    RibFixture f;
+    f.rib.add_route("rip", IPv4Net::must_parse("128.16.0.0/16"),
+                    IPv4::must_parse("192.0.2.120"), 7);
+
+    std::vector<std::string> invalidated;
+    auto ans = f.rib.register_interest(
+        IPv4::must_parse("128.16.32.1"), 1,
+        [&](const IPv4Net& n) { invalidated.push_back(n.str()); });
+    ASSERT_TRUE(ans.resolves);
+    EXPECT_EQ(ans.matched_net.str(), "128.16.0.0/16");
+    EXPECT_EQ(ans.metric, 7u);
+    EXPECT_EQ(ans.valid_subnet.str(), "128.16.0.0/16");
+    EXPECT_EQ(f.rib.registration_count(), 1u);
+
+    // A more specific route appears: the registration is invalidated.
+    f.rib.add_route("rip", IPv4Net::must_parse("128.16.64.0/18"),
+                    IPv4::must_parse("192.0.2.121"), 9);
+    ASSERT_EQ(invalidated.size(), 1u);
+    EXPECT_EQ(invalidated[0], "128.16.0.0/16");
+    EXPECT_EQ(f.rib.registration_count(), 0u);
+
+    // Re-query: now the answer is scoped to avoid the overlay (Figure 8).
+    auto ans2 = f.rib.register_interest(IPv4::must_parse("128.16.32.1"), 1,
+                                        [](const IPv4Net&) {});
+    ASSERT_TRUE(ans2.resolves);
+    EXPECT_EQ(ans2.matched_net.str(), "128.16.0.0/16");
+    EXPECT_TRUE(ans2.valid_subnet.contains(IPv4::must_parse("128.16.32.1")));
+    EXPECT_FALSE(
+        ans2.valid_subnet.overlaps(IPv4Net::must_parse("128.16.64.0/18")));
+}
+
+TEST(Rib, RegisterInterestNoRoute) {
+    RibFixture f;
+    auto ans = f.rib.register_interest(IPv4::must_parse("7.7.7.7"), 1,
+                                       [](const IPv4Net&) {});
+    EXPECT_FALSE(ans.resolves);
+    EXPECT_TRUE(ans.valid_subnet.contains(IPv4::must_parse("7.7.7.7")));
+    // Unregister by subnet is idempotent.
+    f.rib.unregister_interest(ans.valid_subnet, 1);
+    f.rib.unregister_interest(ans.valid_subnet, 1);
+    EXPECT_EQ(f.rib.registration_count(), 0u);
+}
+
+TEST(Rib, ProfilerPointsFire) {
+    RibFixture f;
+    profiler::Profiler prof(f.loop);
+    f.rib.set_profiler(&prof);
+    prof.enable("rib_in");
+    prof.enable("rib_fea_queued");
+    f.rib.add_route("static", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.9"));
+    EXPECT_EQ(prof.records("rib_in").size(), 1u);
+    EXPECT_EQ(prof.records("rib_fea_queued").size(), 1u);
+}

@@ -1,0 +1,276 @@
+// Integration tests: the whole control plane assembled the way the paper
+// deploys it — FEA, RIB, RIP, BGP as separate components coupled ONLY by
+// XRLs through a Finder — plus the Router Manager's config/commit logic.
+#include <gtest/gtest.h>
+
+#include "rtrmgr/rtrmgr.hpp"
+
+using namespace xrp;
+using namespace xrp::rtrmgr;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+TEST(ConfigTree, ParseAndRoundTrip) {
+    const char* text = R"(
+        # full router config
+        interfaces {
+            eth0 { address 192.0.2.1/24; }
+            eth1 { address 10.0.1.1/24; }
+        }
+        protocols {
+            static {
+                route 172.16.0.0/16 { nexthop 192.0.2.254; }
+            }
+            rip { interface eth1; }
+            bgp {
+                local-as 1777;
+                bgp-id 192.0.2.1;
+            }
+        }
+    )";
+    std::string err;
+    auto tree = ConfigTree::parse(text, &err);
+    ASSERT_TRUE(tree.has_value()) << err;
+
+    const ConfigNode* bgp = tree->find("protocols/bgp");
+    ASSERT_NE(bgp, nullptr);
+    EXPECT_EQ(bgp->leaf_value("local-as"), "1777");
+    const ConfigNode* eth0 = tree->find("interfaces/eth0");
+    ASSERT_NE(eth0, nullptr);
+    EXPECT_EQ(eth0->leaf_value("address"), "192.0.2.1/24");
+    const ConfigNode* rt =
+        tree->find("protocols/static")->find("route", "172.16.0.0/16");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->leaf_value("nexthop"), "192.0.2.254");
+
+    // Round-trip: parse(str(tree)) == tree.
+    auto again = ConfigTree::parse(tree->str(), &err);
+    ASSERT_TRUE(again.has_value()) << err;
+    EXPECT_EQ(*again, *tree);
+}
+
+TEST(ConfigTree, ParseErrors) {
+    std::string err;
+    EXPECT_FALSE(ConfigTree::parse("a { b", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(ConfigTree::parse("a { b; ", &err).has_value());
+    EXPECT_NE(err.find("missing '}'"), std::string::npos);
+    EXPECT_FALSE(ConfigTree::parse("}", &err).has_value());
+    EXPECT_FALSE(ConfigTree::parse("a b c", &err).has_value());
+    EXPECT_FALSE(ConfigTree::parse("{ a; }", &err).has_value());
+    EXPECT_TRUE(ConfigTree::parse("", &err).has_value());
+}
+
+TEST(RouterManager, ConfigureBuildsWorkingRouter) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    ASSERT_TRUE(router.configure(R"(
+        interfaces {
+            eth0 { address 192.0.2.1/24; }
+        }
+        protocols {
+            static { route 10.0.0.0/8 { nexthop 192.0.2.254; } }
+        }
+    )",
+                                 &err))
+        << err;
+    loop.run_for(100ms);  // let the XRLs flow
+
+    // The static route travelled rtrmgr -> RIB -> FEA entirely over XRLs
+    // (plus eth0's connected route).
+    EXPECT_EQ(router.rib().route_count(), 2u);
+    EXPECT_TRUE(router.rib()
+                    .lookup_exact(IPv4Net::must_parse("192.0.2.0/24"))
+                    .has_value());
+    const fea::FibEntry* e = router.fea().lookup(IPv4::must_parse("10.1.2.3"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->nexthop.str(), "192.0.2.254");
+}
+
+TEST(RouterManager, ValidationRejectsWithoutSideEffects) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    EXPECT_FALSE(router.configure("bananas { }", &err));
+    EXPECT_NE(err.find("unknown section"), std::string::npos);
+    EXPECT_FALSE(router.configure(
+        "protocols { static { route 10.0.0.0/8 { } } }", &err));
+    EXPECT_NE(err.find("nexthop"), std::string::npos);
+    EXPECT_FALSE(router.configure(
+        "interfaces { eth0 { address banana; } }", &err));
+    loop.run_for(50ms);
+    EXPECT_EQ(router.rib().route_count(), 0u);
+    EXPECT_EQ(router.fea().interfaces().size(), 0u);
+}
+
+TEST(RouterManager, ReconfigureDiffsStaticRoutes) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    ASSERT_TRUE(router.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols { static {
+            route 10.0.0.0/8 { nexthop 192.0.2.254; }
+            route 20.0.0.0/8 { nexthop 192.0.2.254; }
+        } }
+    )",
+                                 &err))
+        << err;
+    loop.run_for(50ms);
+    EXPECT_EQ(router.rib().route_count(), 3u);  // 2 static + connected
+
+    // New config drops one route, adds another, keeps one.
+    ASSERT_TRUE(router.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols { static {
+            route 20.0.0.0/8 { nexthop 192.0.2.254; }
+            route 30.0.0.0/8 { nexthop 192.0.2.254; }
+        } }
+    )",
+                                 &err))
+        << err;
+    loop.run_for(50ms);
+    EXPECT_EQ(router.rib().route_count(), 3u);
+    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
+    EXPECT_TRUE(router.rib().lookup_exact(IPv4Net::must_parse("30.0.0.0/8")));
+}
+
+TEST(RouterManager, RollbackRestoresPreviousConfig) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    ASSERT_TRUE(router.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
+    )",
+                                 &err));
+    loop.run_for(50ms);
+    ASSERT_TRUE(router.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols { static { route 20.0.0.0/8 { nexthop 192.0.2.254; } } }
+    )",
+                                 &err));
+    loop.run_for(50ms);
+    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
+
+    ASSERT_TRUE(router.rollback(&err)) << err;
+    loop.run_for(50ms);
+    EXPECT_TRUE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
+    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("20.0.0.0/8")));
+}
+
+TEST(RouterManager, TwoRoutersRunRipOverVirtualNetwork) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Router r1("r1", loop), r2("r2", loop);
+    std::string err;
+    // Bring the base config up first, install the redistribution tap,
+    // then commit the static route so it flows through the tap.
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces { eth0 { address 10.0.1.1/24; } }
+        protocols { rip { interface eth0; } }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r2.configure(R"(
+        interfaces { eth0 { address 10.0.1.2/24; } }
+        protocols { rip { interface eth0; } }
+    )",
+                             &err))
+        << err;
+    int link = network.add_link();
+    r1.attach_link(network, link, "eth0");
+    r2.attach_link(network, link, "eth0");
+    // Redistribute r1's static routes into RIP via the RIB's redist tap.
+    r1.rib().add_redist(
+        [](const rib::Route4& r) { return r.protocol == "static"; },
+        [&](bool add, const rib::Route4& r) {
+            if (add)
+                r1.rip().originate(r.net, 1);
+            else
+                r1.rip().withdraw(r.net);
+        });
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces { eth0 { address 10.0.1.1/24; } }
+        protocols {
+            static { route 172.16.0.0/16 { nexthop 10.0.1.99; } }
+            rip { interface eth0; }
+        }
+    )",
+                             &err))
+        << err;
+
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.rib()
+                .lookup_exact(IPv4Net::must_parse("172.16.0.0/16"))
+                .has_value();
+        },
+        60s));
+    auto got = r2.rib().lookup_exact(IPv4Net::must_parse("172.16.0.0/16"));
+    EXPECT_EQ(got->protocol, "rip");
+    // All the way into r2's forwarding plane.
+    EXPECT_NE(r2.fea().lookup(IPv4::must_parse("172.16.1.1")), nullptr);
+}
+
+TEST(RouterManager, TwoRoutersRunBgpWithXrlCoupledRibs) {
+    // Full stack: BGP session between two managed routers; learned routes
+    // flow BGP --XRL--> RIB --XRL--> FEA on the receiving side, with
+    // nexthop resolution bouncing through the Figure-8 registration.
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router r1("r1", loop), r2("r2", loop);
+    std::string err;
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols {
+            bgp {
+                local-as 1777;
+                bgp-id 192.0.2.1;
+                network 10.0.0.0/8;
+            }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r2.configure(R"(
+        interfaces { eth0 { address 192.0.2.2/24; } }
+        protocols {
+            static { route 192.0.2.0/24 { nexthop 192.0.2.2; } }
+            bgp {
+                local-as 3561;
+                bgp-id 192.0.2.2;
+            }
+        }
+    )",
+                             &err))
+        << err;
+    Router::connect_bgp(r1, r2);
+
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            auto r = r2.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+            return r.has_value();
+        },
+        60s));
+    auto got = r2.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
+    EXPECT_EQ(got->protocol, "ebgp");
+    EXPECT_EQ(got->nexthop.str(), "192.0.2.1");
+    // And into r2's FIB.
+    ASSERT_TRUE(loop.run_until(
+        [&] { return r2.fea().lookup(IPv4::must_parse("10.1.1.1")) != nullptr; },
+        10s));
+
+    // Withdrawal propagates all the way back out of the FIB.
+    r1.bgp()->withdraw(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(loop.run_until(
+        [&] { return r2.fea().lookup(IPv4::must_parse("10.1.1.1")) == nullptr; },
+        60s));
+}

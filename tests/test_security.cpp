@@ -1,0 +1,149 @@
+// Tests for the §7 security framework, including the paper's "plans for
+// extending XORP's security", all implemented here: per-method random
+// keys (Finder-bypass prevention), Finder ACLs, per-caller secrets
+// (impersonation prevention), and the argument-restricting XRL proxy.
+#include <gtest/gtest.h>
+
+#include "ipc/proxy.hpp"
+#include "ipc/router.hpp"
+
+using namespace xrp;
+using namespace xrp::ipc;
+using namespace std::chrono_literals;
+using xrl::ErrorCode;
+using xrl::Xrl;
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+namespace {
+
+// A RIB-flavoured victim component with one sensitive method.
+class Victim {
+public:
+    explicit Victim(Plexus& plexus) : router_(plexus, "rib", true) {
+        router_.add_handler("rib/1.0/set_distance",
+                            [this](const XrlArgs& in, XrlArgs&) {
+                                last_distance = *in.get_u32("distance");
+                                ++calls;
+                                return XrlError::okay();
+                            });
+        EXPECT_TRUE(router_.finalize());
+    }
+    int calls = 0;
+    uint32_t last_distance = 0;
+
+private:
+    XrlRouter router_;
+};
+
+XrlError call_set_distance(Plexus& plexus, XrlRouter& caller,
+                           const std::string& target, uint32_t distance) {
+    XrlArgs args;
+    args.add("distance", distance);
+    XrlError got;
+    bool done = false;
+    caller.send(Xrl::generic(target, "rib", "1.0", "set_distance", args),
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    plexus.loop.run_until([&] { return done; }, 2s);
+    return got;
+}
+
+}  // namespace
+
+TEST(Security, CallerSecretsPreventImpersonation) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    plexus.finder.set_require_caller_secrets(true);
+    Victim victim(plexus);
+
+    // Only "bgp" may call the rib; "experimental" may not.
+    plexus.finder.allow("rib", "bgp", "rib/1.0/");
+
+    XrlRouter bgp(plexus, "bgp", true);
+    ASSERT_TRUE(bgp.finalize());
+    // The legitimate caller resolves fine: its router presents the secret
+    // the Finder issued at registration.
+    EXPECT_TRUE(call_set_distance(plexus, bgp, "rib", 10).ok());
+    EXPECT_EQ(victim.calls, 1);
+
+    // An attacker that claims to be "bgp" at the Finder without the secret
+    // is refused resolution outright.
+    XrlError err;
+    auto res = plexus.finder.resolve("rib", "rib/1.0/set_distance", "bgp",
+                                     &err, "wrong-secret");
+    EXPECT_FALSE(res.has_value());
+    EXPECT_EQ(err.code(), ErrorCode::kResolveFailed);
+    EXPECT_NE(err.note().find("authentication"), std::string::npos);
+}
+
+TEST(Security, AclPlusProxyRestrictsArgumentRange) {
+    // The full §7 arrangement: the experimental process cannot touch the
+    // rib directly, only through a proxy that bounds the argument range.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    Victim victim(plexus);
+
+    XrlProxy proxy(plexus, "rib-guard", "rib");
+    proxy.expose("rib/1.0/set_distance",
+                 [](const XrlArgs& args, std::string* why) {
+                     auto d = args.get_u32("distance");
+                     if (d && *d >= 100 && *d <= 200) return true;
+                     *why = "distance must be within [100, 200]";
+                     return false;
+                 });
+    ASSERT_TRUE(proxy.finalize());
+
+    // ACLs: the experimental component may only talk to the proxy.
+    plexus.finder.allow("rib", "rib-guard", "rib/1.0/");
+    plexus.finder.allow("rib-guard", "experimental", "rib/1.0/");
+
+    XrlRouter experimental(plexus, "experimental", true);
+    ASSERT_TRUE(experimental.finalize());
+
+    // Direct access: denied at resolution.
+    EXPECT_EQ(call_set_distance(plexus, experimental, "rib", 150).code(),
+              ErrorCode::kResolveFailed);
+    EXPECT_EQ(victim.calls, 0);
+
+    // Through the proxy, in-range: forwarded.
+    EXPECT_TRUE(call_set_distance(plexus, experimental, "rib-guard", 150).ok());
+    EXPECT_EQ(victim.calls, 1);
+    EXPECT_EQ(victim.last_distance, 150u);
+
+    // Through the proxy, out of range: rejected by the constraint, and
+    // the victim never sees the call.
+    XrlError err = call_set_distance(plexus, experimental, "rib-guard", 5);
+    EXPECT_EQ(err.code(), ErrorCode::kCommandFailed);
+    EXPECT_NE(err.note().find("[100, 200]"), std::string::npos);
+    EXPECT_EQ(victim.calls, 1);
+}
+
+TEST(Security, ProxyPassThroughMethod) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    Victim victim(plexus);
+    XrlProxy proxy(plexus, "guard", "rib");
+    proxy.expose("rib/1.0/set_distance");  // no constraint
+    ASSERT_TRUE(proxy.finalize());
+    XrlRouter caller(plexus, "caller");
+    ASSERT_TRUE(caller.finalize());
+    EXPECT_TRUE(call_set_distance(plexus, caller, "guard", 7).ok());
+    EXPECT_EQ(victim.last_distance, 7u);
+}
+
+TEST(Security, ProxyReportsUpstreamFailure) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    // No victim registered: the forwarded call fails to resolve, and the
+    // proxy relays that failure to its caller.
+    XrlProxy proxy(plexus, "guard", "rib");
+    proxy.expose("rib/1.0/set_distance");
+    ASSERT_TRUE(proxy.finalize());
+    XrlRouter caller(plexus, "caller");
+    ASSERT_TRUE(caller.finalize());
+    EXPECT_EQ(call_set_distance(plexus, caller, "guard", 7).code(),
+              ErrorCode::kResolveFailed);
+}

@@ -1,0 +1,180 @@
+// Tests for the simulation substrate: route feed generator, latency
+// statistics, the feed peer, and the scanner-based baseline router whose
+// batching behaviour Figure 13 contrasts with event-driven XORP.
+#include <gtest/gtest.h>
+
+#include "bgp/process.hpp"
+#include "sim/harness.hpp"
+#include "sim/routefeed.hpp"
+#include "sim/scanner_router.hpp"
+
+using namespace xrp;
+using namespace xrp::sim;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+TEST(RouteFeed, GeneratesUniquePrefixes) {
+    auto prefixes = generate_prefixes(10000, 7);
+    EXPECT_EQ(prefixes.size(), 10000u);
+    std::set<IPv4Net> set(prefixes.begin(), prefixes.end());
+    EXPECT_EQ(set.size(), prefixes.size());
+    // Deterministic for a seed.
+    auto again = generate_prefixes(10000, 7);
+    EXPECT_EQ(prefixes, again);
+    auto other = generate_prefixes(10000, 8);
+    EXPECT_NE(prefixes, other);
+}
+
+TEST(RouteFeed, PrefixLengthDistributionIsRealistic) {
+    auto prefixes = generate_prefixes(20000, 1);
+    std::map<uint32_t, int> by_len;
+    for (const auto& p : prefixes) by_len[p.prefix_len()]++;
+    // /24 dominates; /16 is the secondary mode; short prefixes are rare.
+    EXPECT_GT(by_len[24], by_len[16]);
+    EXPECT_GT(by_len[16], by_len[12]);
+    EXPECT_GT(by_len[24], 20000 / 4);
+    EXPECT_LT(by_len[8], 20000 / 50);
+}
+
+TEST(RouteFeed, UpdatesCarryWholeFeed) {
+    RouteFeedConfig cfg;
+    cfg.route_count = 1000;
+    cfg.prefixes_per_update = 24;
+    auto updates = generate_feed(cfg);
+    size_t total = 0;
+    for (const auto& u : updates) {
+        EXPECT_TRUE(u.attributes.has_value());
+        EXPECT_LE(u.nlri.size(), 24u);
+        EXPECT_EQ(u.attributes->as_path.first_as(), cfg.first_hop_as);
+        total += u.nlri.size();
+    }
+    EXPECT_EQ(total, 1000u);
+    // Encodable within BGP's message limit.
+    for (const auto& u : updates)
+        EXPECT_LE(encode_message(bgp::Message(u)).size(),
+                  bgp::kMaxMessageSize);
+}
+
+TEST(LatencyStats, BasicMoments) {
+    LatencyStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.29, 0.01);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 2.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+}
+
+TEST(FeedPeerHarness, EstablishesAndInjects) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    bgp::BgpProcess::Config cfg;
+    cfg.local_as = 1777;
+    cfg.bgp_id = IPv4::must_parse("192.0.2.1");
+    bgp::BgpProcess proc(loop, cfg);
+
+    auto [feed, peer_id] = attach_feed_peer(loop, proc,
+                                            IPv4::must_parse("192.0.2.9"),
+                                            3561);
+    ASSERT_TRUE(loop.run_until([&] { return feed->established(); }, 10s));
+    feed->announce(IPv4Net::must_parse("10.0.0.0/8"),
+                   IPv4::must_parse("192.0.2.9"), {3561});
+    ASSERT_TRUE(loop.run_until([&] { return proc.loc_rib_count() == 1; }, 10s));
+    EXPECT_EQ(proc.peer_route_count(peer_id), 1u);
+    feed->withdraw(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(loop.run_until([&] { return proc.loc_rib_count() == 0; }, 10s));
+}
+
+TEST(ScannerRouter, BatchesUntilScan) {
+    // feed -> scanner -> sink: a route sent right after a scan waits for
+    // the next scan tick before appearing at the sink.
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+
+    ScannerBgpRouter::Config cfg;
+    cfg.local_as = 2;
+    cfg.bgp_id = IPv4::must_parse("192.0.2.2");
+    cfg.scan_interval = 30s;
+    ScannerBgpRouter scanner(loop, cfg);
+
+    // Feed side.
+    auto [tf, tp] = bgp::PipeTransport::make_pair(loop, loop, 1ms);
+    bgp::BgpPeer::Config fc;
+    fc.local_id = IPv4::must_parse("192.0.2.1");
+    fc.peer_addr = IPv4::must_parse("192.0.2.2");
+    fc.local_as = 1;
+    fc.peer_as = 2;
+    FeedPeer feed(loop, fc, std::move(tf));
+    bgp::BgpPeer::Config sc = fc;
+    sc.local_id = IPv4::must_parse("192.0.2.2");
+    sc.peer_addr = IPv4::must_parse("192.0.2.1");
+    sc.local_as = 2;
+    sc.peer_as = 1;
+    scanner.add_peer(sc, std::move(tp));
+
+    // Sink side.
+    auto [ts, tq] = bgp::PipeTransport::make_pair(loop, loop, 1ms);
+    bgp::BgpPeer::Config kc;
+    kc.local_id = IPv4::must_parse("192.0.2.3");
+    kc.peer_addr = IPv4::must_parse("192.0.2.2");
+    kc.local_as = 3;
+    kc.peer_as = 2;
+    FeedPeer sink(loop, kc, std::move(ts));
+    bgp::BgpPeer::Config sc2;
+    sc2.local_id = IPv4::must_parse("192.0.2.2");
+    sc2.peer_addr = IPv4::must_parse("192.0.2.3");
+    sc2.local_as = 2;
+    sc2.peer_as = 3;
+    scanner.add_peer(sc2, std::move(tq));
+
+    ASSERT_TRUE(loop.run_until(
+        [&] { return feed.established() && sink.established(); }, 10s));
+
+    auto t0 = loop.now();
+    feed.announce(IPv4Net::must_parse("10.0.0.0/8"),
+                  IPv4::must_parse("192.0.2.1"), {1});
+    ASSERT_TRUE(loop.run_until([&] { return !sink.received().empty(); }, 60s));
+    auto delay = sink.received()[0].first - t0;
+    // Not before the scanner ticked: delay ~ scan interval, >> wire time.
+    EXPECT_GT(delay, 5s);
+    EXPECT_LE(delay, 31s);
+    EXPECT_EQ(scanner.best_route_count(), 1u);
+
+    // The advertised route carries the scanner's AS prepended.
+    const auto& u = sink.received()[0].second;
+    ASSERT_TRUE(u.attributes.has_value());
+    EXPECT_EQ(u.attributes->as_path.str(), "2 1");
+}
+
+TEST(ScannerRouter, WithdrawalAlsoWaitsForScan) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    ScannerBgpRouter::Config cfg;
+    cfg.local_as = 2;
+    cfg.bgp_id = IPv4::must_parse("192.0.2.2");
+    cfg.scan_interval = 10s;
+    ScannerBgpRouter scanner(loop, cfg);
+
+    auto [ts, tq] = bgp::PipeTransport::make_pair(loop, loop, 1ms);
+    bgp::BgpPeer::Config kc;
+    kc.local_id = IPv4::must_parse("192.0.2.3");
+    kc.peer_addr = IPv4::must_parse("192.0.2.2");
+    kc.local_as = 3;
+    kc.peer_as = 2;
+    FeedPeer sink(loop, kc, std::move(ts));
+    bgp::BgpPeer::Config sc2;
+    sc2.local_id = IPv4::must_parse("192.0.2.2");
+    sc2.peer_addr = IPv4::must_parse("192.0.2.3");
+    sc2.local_as = 2;
+    sc2.peer_as = 3;
+    scanner.add_peer(sc2, std::move(tq));
+    ASSERT_TRUE(loop.run_until([&] { return sink.established(); }, 10s));
+
+    scanner.originate(IPv4Net::must_parse("10.0.0.0/8"),
+                      IPv4::must_parse("192.0.2.2"));
+    ASSERT_TRUE(loop.run_until([&] { return !sink.received().empty(); }, 30s));
+    EXPECT_GE(scanner.scans_run(), 1u);
+}

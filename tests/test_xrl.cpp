@@ -1,0 +1,237 @@
+// Tests for XRL atoms, args, textual XRLs, and the IDL (§6.1).
+#include <gtest/gtest.h>
+
+#include "xrl/idl.hpp"
+#include "xrl/xrl.hpp"
+
+using namespace xrp::xrl;
+using namespace xrp::net;
+
+TEST(XrlAtom, TextRoundTripAllTypes) {
+    std::vector<XrlAtom> atoms = {
+        {"a", uint32_t{1777}},
+        {"b", int32_t{-42}},
+        {"c", uint64_t{1} << 40},
+        {"d", true},
+        {"e", std::string("hello world & /?=")},
+        {"f", IPv4::must_parse("192.0.2.1")},
+        {"g", IPv4Net::must_parse("10.0.0.0/8")},
+        {"h", IPv6::must_parse("2001:db8::1")},
+        {"i", IPv6Net::must_parse("2001:db8::/32")},
+        {"j", Mac::must_parse("aa:bb:cc:dd:ee:ff")},
+        {"k", std::vector<uint8_t>{0x00, 0xff, 0x10}},
+    };
+    for (const XrlAtom& a : atoms) {
+        auto parsed = XrlAtom::parse(a.str());
+        ASSERT_TRUE(parsed.has_value()) << a.str();
+        EXPECT_EQ(*parsed, a) << a.str();
+    }
+}
+
+TEST(XrlAtom, ListRoundTrip) {
+    XrlAtomList list;
+    list.emplace_back("", uint32_t{1});
+    list.emplace_back("", uint32_t{2});
+    list.emplace_back("", IPv4::must_parse("10.0.0.1"));
+    XrlAtom a("nets", list);
+    auto parsed = XrlAtom::parse(a.str());
+    ASSERT_TRUE(parsed.has_value()) << a.str();
+    EXPECT_EQ(*parsed, a);
+}
+
+TEST(XrlAtom, EmptyTextValue) {
+    XrlAtom a("s", std::string(""));
+    auto parsed = XrlAtom::parse(a.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->get<std::string>(), "");
+}
+
+TEST(XrlAtom, ParseRejectsMalformed) {
+    for (const char* s :
+         {"", "noname", "x:u32", "x:wat=1", "x:u32=abc", "x:u32=4294967296",
+          ":u32=1", "x:bool=maybe", "x:ipv4=1.2.3", "x:binary=abc"}) {
+        EXPECT_FALSE(XrlAtom::parse(s).has_value()) << s;
+    }
+}
+
+TEST(XrlEscape, EscapesMetacharacters) {
+    std::string raw = "a&b=c?d/e:f,g%h i";
+    std::string esc = xrl_escape(raw);
+    EXPECT_EQ(esc.find('&'), std::string::npos);
+    EXPECT_EQ(esc.find('='), std::string::npos);
+    EXPECT_EQ(esc.find('?'), std::string::npos);
+    EXPECT_EQ(esc.find(' '), std::string::npos);
+    auto back = xrl_unescape(esc);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, raw);
+}
+
+TEST(XrlEscape, RejectsTruncatedEscape) {
+    EXPECT_FALSE(xrl_unescape("%").has_value());
+    EXPECT_FALSE(xrl_unescape("abc%2").has_value());
+    EXPECT_FALSE(xrl_unescape("%zz").has_value());
+}
+
+TEST(XrlArgs, BuildAndQuery) {
+    XrlArgs args;
+    args.add("as", uint32_t{1777}).add("name", std::string("bgp"));
+    EXPECT_EQ(args.size(), 2u);
+    EXPECT_EQ(args.get_u32("as"), 1777u);
+    EXPECT_EQ(args.get_text("name"), "bgp");
+    EXPECT_FALSE(args.get_u32("name").has_value());  // wrong type
+    EXPECT_FALSE(args.get_u32("nope").has_value());  // absent
+}
+
+TEST(XrlArgs, TextRoundTrip) {
+    XrlArgs args;
+    args.add("as", uint32_t{1777})
+        .add("peer", IPv4::must_parse("192.0.2.1"))
+        .add("desc", std::string("up & running"));
+    auto parsed = XrlArgs::parse(args.str());
+    ASSERT_TRUE(parsed.has_value()) << args.str();
+    EXPECT_EQ(*parsed, args);
+}
+
+TEST(XrlArgs, EmptyRoundTrip) {
+    auto parsed = XrlArgs::parse("");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Xrl, PaperExampleParses) {
+    // The exact generic XRL from the paper (§6.1), modulo the underscore
+    // the two-column layout swallowed.
+    auto x = Xrl::parse("finder://bgp/bgp/1.0/set_local_as?as:u32=1777");
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(x->protocol(), "finder");
+    EXPECT_EQ(x->target(), "bgp");
+    EXPECT_EQ(x->interface_name(), "bgp");
+    EXPECT_EQ(x->version(), "1.0");
+    EXPECT_EQ(x->method(), "set_local_as");
+    EXPECT_EQ(x->args().get_u32("as"), 1777u);
+    EXPECT_FALSE(x->is_resolved());
+}
+
+TEST(Xrl, ResolvedFormParses) {
+    auto x = Xrl::parse(
+        "stcp://192.1.2.3:16878/bgp/1.0/set_local_as?as:u32=1777");
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(x->protocol(), "stcp");
+    EXPECT_EQ(x->target(), "192.1.2.3:16878");
+    EXPECT_TRUE(x->is_resolved());
+}
+
+TEST(Xrl, StrRoundTrip) {
+    XrlArgs args;
+    args.add("net", IPv4Net::must_parse("10.0.0.0/8")).add("up", true);
+    Xrl x = Xrl::generic("rib", "rib", "1.0", "add_route", args);
+    auto parsed = Xrl::parse(x.str());
+    ASSERT_TRUE(parsed.has_value()) << x.str();
+    EXPECT_EQ(*parsed, x);
+}
+
+TEST(Xrl, NoArgsRoundTrip) {
+    Xrl x = Xrl::generic("bgp", "bgp", "1.0", "get_peer_count");
+    EXPECT_EQ(x.str(), "finder://bgp/bgp/1.0/get_peer_count");
+    auto parsed = Xrl::parse(x.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, x);
+}
+
+TEST(Xrl, ParseRejectsMalformed) {
+    for (const char* s : {"", "finder://", "finder://bgp", "finder://bgp/i",
+                          "finder://bgp/i/v", "://bgp/i/v/m",
+                          "finder://bgp/i/v/m?bad"}) {
+        EXPECT_FALSE(Xrl::parse(s).has_value()) << s;
+    }
+}
+
+TEST(Xrl, FullMethod) {
+    Xrl x = Xrl::generic("bgp", "bgp", "1.0", "set_local_as");
+    EXPECT_EQ(x.full_method(), "bgp/1.0/set_local_as");
+}
+
+TEST(Idl, ParseInterface) {
+    std::string err;
+    auto spec = InterfaceSpec::parse(R"(
+        # BGP configuration interface
+        interface bgp/1.0 {
+            set_local_as ? as:u32;
+            get_local_as -> as:u32;
+            add_peer ? host:ipv4 & port:u32 & as:u32 -> ok:bool;
+            shutdown;
+        }
+    )",
+                                     &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    EXPECT_EQ(spec->name(), "bgp");
+    EXPECT_EQ(spec->version(), "1.0");
+    EXPECT_EQ(spec->methods().size(), 4u);
+
+    const MethodSpec* m = spec->find_method("add_peer");
+    ASSERT_NE(m, nullptr);
+    ASSERT_EQ(m->inputs.size(), 3u);
+    EXPECT_EQ(m->inputs[0].name, "host");
+    EXPECT_EQ(m->inputs[0].type, AtomType::kIPv4);
+    ASSERT_EQ(m->outputs.size(), 1u);
+    EXPECT_EQ(m->outputs[0].name, "ok");
+
+    EXPECT_NE(spec->find_method("shutdown"), nullptr);
+    EXPECT_EQ(spec->find_method("nope"), nullptr);
+}
+
+TEST(Idl, ValidateInputs) {
+    auto spec = InterfaceSpec::parse(
+        "interface t/1.0 { m ? a:u32 & b:txt; }");
+    ASSERT_TRUE(spec.has_value());
+    const MethodSpec* m = spec->find_method("m");
+    ASSERT_NE(m, nullptr);
+
+    XrlArgs good;
+    good.add("a", uint32_t{1}).add("b", std::string("x"));
+    EXPECT_TRUE(m->validate_inputs(good).ok());
+
+    XrlArgs reordered;
+    reordered.add("b", std::string("x")).add("a", uint32_t{1});
+    EXPECT_TRUE(m->validate_inputs(reordered).ok());
+
+    XrlArgs missing;
+    missing.add("a", uint32_t{1});
+    EXPECT_EQ(m->validate_inputs(missing).code(), ErrorCode::kBadArgs);
+
+    XrlArgs wrong_type;
+    wrong_type.add("a", std::string("1")).add("b", std::string("x"));
+    EXPECT_EQ(m->validate_inputs(wrong_type).code(), ErrorCode::kBadArgs);
+
+    XrlArgs extra;
+    extra.add("a", uint32_t{1}).add("b", std::string("x")).add("c", true);
+    EXPECT_EQ(m->validate_inputs(extra).code(), ErrorCode::kBadArgs);
+}
+
+TEST(Idl, RoundTripThroughStr) {
+    auto spec = InterfaceSpec::parse(
+        "interface rib/1.0 { add_route ? net:ipv4net & nexthop:ipv4 & "
+        "metric:u32 -> ok:bool; delete_route ? net:ipv4net; }");
+    ASSERT_TRUE(spec.has_value());
+    auto again = InterfaceSpec::parse(spec->str());
+    ASSERT_TRUE(again.has_value()) << spec->str();
+    EXPECT_EQ(again->str(), spec->str());
+}
+
+TEST(Idl, ParseErrorsAreReported) {
+    std::string err;
+    EXPECT_FALSE(InterfaceSpec::parse("notaninterface", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(
+        InterfaceSpec::parse("interface x/1.0 { m ? a:wat; }", &err)
+            .has_value());
+    EXPECT_NE(err.find("wat"), std::string::npos);
+}
+
+TEST(XrlError, Formatting) {
+    EXPECT_EQ(XrlError::okay().str(), "OKAY");
+    EXPECT_TRUE(XrlError::okay().ok());
+    XrlError e = XrlError::command_failed("peer not found");
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.str(), "COMMAND_FAILED: peer not found");
+}
