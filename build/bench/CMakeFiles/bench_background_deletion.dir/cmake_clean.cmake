@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_background_deletion.dir/bench_background_deletion.cpp.o"
+  "CMakeFiles/bench_background_deletion.dir/bench_background_deletion.cpp.o.d"
+  "bench_background_deletion"
+  "bench_background_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_background_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

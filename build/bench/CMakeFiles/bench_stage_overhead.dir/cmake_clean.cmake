@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stage_overhead.dir/bench_stage_overhead.cpp.o"
+  "CMakeFiles/bench_stage_overhead.dir/bench_stage_overhead.cpp.o.d"
+  "bench_stage_overhead"
+  "bench_stage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trie.dir/bench_trie.cpp.o"
+  "CMakeFiles/bench_trie.dir/bench_trie.cpp.o.d"
+  "bench_trie"
+  "bench_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

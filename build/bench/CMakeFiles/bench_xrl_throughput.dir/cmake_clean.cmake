@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xrl_throughput.dir/bench_xrl_throughput.cpp.o"
+  "CMakeFiles/bench_xrl_throughput.dir/bench_xrl_throughput.cpp.o.d"
+  "bench_xrl_throughput"
+  "bench_xrl_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xrl_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_pair.dir/bgp_pair.cpp.o"
+  "CMakeFiles/bgp_pair.dir/bgp_pair.cpp.o.d"
+  "bgp_pair"
+  "bgp_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_xrl.dir/call_xrl.cpp.o"
+  "CMakeFiles/call_xrl.dir/call_xrl.cpp.o.d"
+  "call_xrl"
+  "call_xrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_xrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

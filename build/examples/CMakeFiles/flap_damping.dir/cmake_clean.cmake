@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flap_damping.dir/flap_damping.cpp.o"
+  "CMakeFiles/flap_damping.dir/flap_damping.cpp.o.d"
+  "flap_damping"
+  "flap_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flap_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

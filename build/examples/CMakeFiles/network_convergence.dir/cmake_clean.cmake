@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_convergence.dir/network_convergence.cpp.o"
+  "CMakeFiles/network_convergence.dir/network_convergence.cpp.o.d"
+  "network_convergence"
+  "network_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_redistribution.dir/policy_redistribution.cpp.o"
+  "CMakeFiles/policy_redistribution.dir/policy_redistribution.cpp.o.d"
+  "policy_redistribution"
+  "policy_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aspath.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/aspath.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/aspath.cpp.o.d"
+  "/root/repo/src/bgp/attributes.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/attributes.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/attributes.cpp.o.d"
+  "/root/repo/src/bgp/bgp_xrl.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/bgp_xrl.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/bgp_xrl.cpp.o.d"
+  "/root/repo/src/bgp/damping.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/damping.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/damping.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/message.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/message.cpp.o.d"
+  "/root/repo/src/bgp/peer.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/peer.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/peer.cpp.o.d"
+  "/root/repo/src/bgp/process.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/process.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/process.cpp.o.d"
+  "/root/repo/src/bgp/stages.cpp" "src/CMakeFiles/xrp_bgp.dir/bgp/stages.cpp.o" "gcc" "src/CMakeFiles/xrp_bgp.dir/bgp/stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_fea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_finder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_xrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_bgp.dir/bgp/aspath.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/aspath.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/attributes.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/attributes.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/bgp_xrl.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/bgp_xrl.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/damping.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/damping.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/message.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/message.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/peer.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/peer.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/process.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/process.cpp.o.d"
+  "CMakeFiles/xrp_bgp.dir/bgp/stages.cpp.o"
+  "CMakeFiles/xrp_bgp.dir/bgp/stages.cpp.o.d"
+  "libxrp_bgp.a"
+  "libxrp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

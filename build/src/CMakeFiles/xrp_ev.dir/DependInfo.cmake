@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ev/clock.cpp" "src/CMakeFiles/xrp_ev.dir/ev/clock.cpp.o" "gcc" "src/CMakeFiles/xrp_ev.dir/ev/clock.cpp.o.d"
+  "/root/repo/src/ev/eventloop.cpp" "src/CMakeFiles/xrp_ev.dir/ev/eventloop.cpp.o" "gcc" "src/CMakeFiles/xrp_ev.dir/ev/eventloop.cpp.o.d"
+  "/root/repo/src/ev/task.cpp" "src/CMakeFiles/xrp_ev.dir/ev/task.cpp.o" "gcc" "src/CMakeFiles/xrp_ev.dir/ev/task.cpp.o.d"
+  "/root/repo/src/ev/timer.cpp" "src/CMakeFiles/xrp_ev.dir/ev/timer.cpp.o" "gcc" "src/CMakeFiles/xrp_ev.dir/ev/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

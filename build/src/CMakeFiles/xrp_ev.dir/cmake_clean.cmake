@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_ev.dir/ev/clock.cpp.o"
+  "CMakeFiles/xrp_ev.dir/ev/clock.cpp.o.d"
+  "CMakeFiles/xrp_ev.dir/ev/eventloop.cpp.o"
+  "CMakeFiles/xrp_ev.dir/ev/eventloop.cpp.o.d"
+  "CMakeFiles/xrp_ev.dir/ev/task.cpp.o"
+  "CMakeFiles/xrp_ev.dir/ev/task.cpp.o.d"
+  "CMakeFiles/xrp_ev.dir/ev/timer.cpp.o"
+  "CMakeFiles/xrp_ev.dir/ev/timer.cpp.o.d"
+  "libxrp_ev.a"
+  "libxrp_ev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_fea.dir/fea/fea.cpp.o"
+  "CMakeFiles/xrp_fea.dir/fea/fea.cpp.o.d"
+  "CMakeFiles/xrp_fea.dir/fea/fea_xrl.cpp.o"
+  "CMakeFiles/xrp_fea.dir/fea/fea_xrl.cpp.o.d"
+  "CMakeFiles/xrp_fea.dir/fea/iftable.cpp.o"
+  "CMakeFiles/xrp_fea.dir/fea/iftable.cpp.o.d"
+  "CMakeFiles/xrp_fea.dir/fea/simfib.cpp.o"
+  "CMakeFiles/xrp_fea.dir/fea/simfib.cpp.o.d"
+  "CMakeFiles/xrp_fea.dir/fea/simnet.cpp.o"
+  "CMakeFiles/xrp_fea.dir/fea/simnet.cpp.o.d"
+  "libxrp_fea.a"
+  "libxrp_fea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_fea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

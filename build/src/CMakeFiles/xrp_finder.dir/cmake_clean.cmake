@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_finder.dir/finder/finder.cpp.o"
+  "CMakeFiles/xrp_finder.dir/finder/finder.cpp.o.d"
+  "CMakeFiles/xrp_finder.dir/finder/key.cpp.o"
+  "CMakeFiles/xrp_finder.dir/finder/key.cpp.o.d"
+  "libxrp_finder.a"
+  "libxrp_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/dispatcher.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/dispatcher.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/dispatcher.cpp.o.d"
+  "/root/repo/src/ipc/finder_xrl.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/finder_xrl.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/finder_xrl.cpp.o.d"
+  "/root/repo/src/ipc/intra.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/intra.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/intra.cpp.o.d"
+  "/root/repo/src/ipc/router.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/router.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/router.cpp.o.d"
+  "/root/repo/src/ipc/sockets.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/sockets.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/sockets.cpp.o.d"
+  "/root/repo/src/ipc/tcp.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/tcp.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/tcp.cpp.o.d"
+  "/root/repo/src/ipc/udp.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/udp.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/udp.cpp.o.d"
+  "/root/repo/src/ipc/wire.cpp" "src/CMakeFiles/xrp_ipc.dir/ipc/wire.cpp.o" "gcc" "src/CMakeFiles/xrp_ipc.dir/ipc/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrp_finder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_xrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_ipc.dir/ipc/dispatcher.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/dispatcher.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/finder_xrl.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/finder_xrl.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/intra.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/intra.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/router.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/router.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/sockets.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/sockets.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/tcp.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/tcp.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/udp.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/udp.cpp.o.d"
+  "CMakeFiles/xrp_ipc.dir/ipc/wire.cpp.o"
+  "CMakeFiles/xrp_ipc.dir/ipc/wire.cpp.o.d"
+  "libxrp_ipc.a"
+  "libxrp_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxrp_ipc.a"
+)

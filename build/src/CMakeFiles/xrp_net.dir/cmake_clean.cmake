@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/xrp_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/xrp_net.dir/net/ipv6.cpp.o"
+  "CMakeFiles/xrp_net.dir/net/ipv6.cpp.o.d"
+  "CMakeFiles/xrp_net.dir/net/mac.cpp.o"
+  "CMakeFiles/xrp_net.dir/net/mac.cpp.o.d"
+  "libxrp_net.a"
+  "libxrp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_policy.dir/policy/compiler.cpp.o"
+  "CMakeFiles/xrp_policy.dir/policy/compiler.cpp.o.d"
+  "libxrp_policy.a"
+  "libxrp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_profiler.dir/profiler/profiler.cpp.o"
+  "CMakeFiles/xrp_profiler.dir/profiler/profiler.cpp.o.d"
+  "libxrp_profiler.a"
+  "libxrp_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

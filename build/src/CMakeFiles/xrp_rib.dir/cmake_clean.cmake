@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_rib.dir/rib/rib.cpp.o"
+  "CMakeFiles/xrp_rib.dir/rib/rib.cpp.o.d"
+  "CMakeFiles/xrp_rib.dir/rib/rib_xrl.cpp.o"
+  "CMakeFiles/xrp_rib.dir/rib/rib_xrl.cpp.o.d"
+  "libxrp_rib.a"
+  "libxrp_rib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

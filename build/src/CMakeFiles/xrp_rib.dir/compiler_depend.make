@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xrp_rib.
+# This may be replaced when dependencies are built.

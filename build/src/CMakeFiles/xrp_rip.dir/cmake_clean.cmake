@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_rip.dir/rip/packet.cpp.o"
+  "CMakeFiles/xrp_rip.dir/rip/packet.cpp.o.d"
+  "CMakeFiles/xrp_rip.dir/rip/rip.cpp.o"
+  "CMakeFiles/xrp_rip.dir/rip/rip.cpp.o.d"
+  "CMakeFiles/xrp_rip.dir/rip/routedb.cpp.o"
+  "CMakeFiles/xrp_rip.dir/rip/routedb.cpp.o.d"
+  "libxrp_rip.a"
+  "libxrp_rip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_rip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_rtrmgr.dir/rtrmgr/configtree.cpp.o"
+  "CMakeFiles/xrp_rtrmgr.dir/rtrmgr/configtree.cpp.o.d"
+  "CMakeFiles/xrp_rtrmgr.dir/rtrmgr/rtrmgr.cpp.o"
+  "CMakeFiles/xrp_rtrmgr.dir/rtrmgr/rtrmgr.cpp.o.d"
+  "libxrp_rtrmgr.a"
+  "libxrp_rtrmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_rtrmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

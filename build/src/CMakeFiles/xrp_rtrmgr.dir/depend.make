@@ -1,0 +1,2 @@
+# Empty dependencies file for xrp_rtrmgr.
+# This may be replaced when dependencies are built.

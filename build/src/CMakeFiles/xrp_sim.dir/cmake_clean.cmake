@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_sim.dir/sim/harness.cpp.o"
+  "CMakeFiles/xrp_sim.dir/sim/harness.cpp.o.d"
+  "CMakeFiles/xrp_sim.dir/sim/routefeed.cpp.o"
+  "CMakeFiles/xrp_sim.dir/sim/routefeed.cpp.o.d"
+  "CMakeFiles/xrp_sim.dir/sim/scanner_router.cpp.o"
+  "CMakeFiles/xrp_sim.dir/sim/scanner_router.cpp.o.d"
+  "libxrp_sim.a"
+  "libxrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

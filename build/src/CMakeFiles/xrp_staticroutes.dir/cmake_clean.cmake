@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_staticroutes.dir/staticroutes/staticroutes.cpp.o"
+  "CMakeFiles/xrp_staticroutes.dir/staticroutes/staticroutes.cpp.o.d"
+  "libxrp_staticroutes.a"
+  "libxrp_staticroutes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_staticroutes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

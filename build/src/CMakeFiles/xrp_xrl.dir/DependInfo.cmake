@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xrl/args.cpp" "src/CMakeFiles/xrp_xrl.dir/xrl/args.cpp.o" "gcc" "src/CMakeFiles/xrp_xrl.dir/xrl/args.cpp.o.d"
+  "/root/repo/src/xrl/atom.cpp" "src/CMakeFiles/xrp_xrl.dir/xrl/atom.cpp.o" "gcc" "src/CMakeFiles/xrp_xrl.dir/xrl/atom.cpp.o.d"
+  "/root/repo/src/xrl/error.cpp" "src/CMakeFiles/xrp_xrl.dir/xrl/error.cpp.o" "gcc" "src/CMakeFiles/xrp_xrl.dir/xrl/error.cpp.o.d"
+  "/root/repo/src/xrl/idl.cpp" "src/CMakeFiles/xrp_xrl.dir/xrl/idl.cpp.o" "gcc" "src/CMakeFiles/xrp_xrl.dir/xrl/idl.cpp.o.d"
+  "/root/repo/src/xrl/xrl.cpp" "src/CMakeFiles/xrp_xrl.dir/xrl/xrl.cpp.o" "gcc" "src/CMakeFiles/xrp_xrl.dir/xrl/xrl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

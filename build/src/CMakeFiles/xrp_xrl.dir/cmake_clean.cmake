@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrp_xrl.dir/xrl/args.cpp.o"
+  "CMakeFiles/xrp_xrl.dir/xrl/args.cpp.o.d"
+  "CMakeFiles/xrp_xrl.dir/xrl/atom.cpp.o"
+  "CMakeFiles/xrp_xrl.dir/xrl/atom.cpp.o.d"
+  "CMakeFiles/xrp_xrl.dir/xrl/error.cpp.o"
+  "CMakeFiles/xrp_xrl.dir/xrl/error.cpp.o.d"
+  "CMakeFiles/xrp_xrl.dir/xrl/idl.cpp.o"
+  "CMakeFiles/xrp_xrl.dir/xrl/idl.cpp.o.d"
+  "CMakeFiles/xrp_xrl.dir/xrl/xrl.cpp.o"
+  "CMakeFiles/xrp_xrl.dir/xrl/xrl.cpp.o.d"
+  "libxrp_xrl.a"
+  "libxrp_xrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrp_xrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

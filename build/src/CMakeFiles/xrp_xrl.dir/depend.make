@@ -1,0 +1,2 @@
+# Empty dependencies file for xrp_xrl.
+# This may be replaced when dependencies are built.

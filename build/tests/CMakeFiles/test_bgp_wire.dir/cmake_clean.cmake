@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_wire.dir/test_bgp_wire.cpp.o"
+  "CMakeFiles/test_bgp_wire.dir/test_bgp_wire.cpp.o.d"
+  "test_bgp_wire"
+  "test_bgp_wire.pdb"
+  "test_bgp_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

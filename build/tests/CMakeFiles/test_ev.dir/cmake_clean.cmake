@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ev.dir/test_ev.cpp.o"
+  "CMakeFiles/test_ev.dir/test_ev.cpp.o.d"
+  "test_ev"
+  "test_ev.pdb"
+  "test_ev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

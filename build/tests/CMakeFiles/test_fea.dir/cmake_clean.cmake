@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fea.dir/test_fea.cpp.o"
+  "CMakeFiles/test_fea.dir/test_fea.cpp.o.d"
+  "test_fea"
+  "test_fea.pdb"
+  "test_fea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finder.dir/test_finder.cpp.o"
+  "CMakeFiles/test_finder.dir/test_finder.cpp.o.d"
+  "test_finder"
+  "test_finder.pdb"
+  "test_finder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrp_rtrmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_staticroutes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_rip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_fea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_finder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_xrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rib.dir/test_rib.cpp.o"
+  "CMakeFiles/test_rib.dir/test_rib.cpp.o.d"
+  "test_rib"
+  "test_rib.pdb"
+  "test_rib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

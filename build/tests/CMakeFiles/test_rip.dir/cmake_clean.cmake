@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rip.dir/test_rip.cpp.o"
+  "CMakeFiles/test_rip.dir/test_rip.cpp.o.d"
+  "test_rip"
+  "test_rip.pdb"
+  "test_rip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

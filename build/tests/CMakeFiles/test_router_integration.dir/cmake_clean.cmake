@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_integration.dir/test_router_integration.cpp.o"
+  "CMakeFiles/test_router_integration.dir/test_router_integration.cpp.o.d"
+  "test_router_integration"
+  "test_router_integration.pdb"
+  "test_router_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xrl.dir/test_xrl.cpp.o"
+  "CMakeFiles/test_xrl.dir/test_xrl.cpp.o.d"
+  "test_xrl"
+  "test_xrl.pdb"
+  "test_xrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_trie[1]_include.cmake")
+include("/root/repo/build/tests/test_ev[1]_include.cmake")
+include("/root/repo/build/tests/test_xrl[1]_include.cmake")
+include("/root/repo/build/tests/test_finder[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_stage[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp_session[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp_process[1]_include.cmake")
+include("/root/repo/build/tests/test_fea[1]_include.cmake")
+include("/root/repo/build/tests/test_rib[1]_include.cmake")
+include("/root/repo/build/tests/test_rip[1]_include.cmake")
+include("/root/repo/build/tests/test_router_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp_stages[1]_include.cmake")
+include("/root/repo/build/tests/test_stage_ipv6[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_security[1]_include.cmake")
