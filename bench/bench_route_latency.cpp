@@ -30,6 +30,7 @@
 #include "rib/rib_xrl.hpp"
 #include "sim/harness.hpp"
 #include "sim/routefeed.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace xrp;
 using namespace std::chrono_literals;
@@ -272,6 +273,10 @@ int main(int argc, char** argv) {
             g_inproc = true;  // intra-process XRLs (debug/comparison)
         }
     }
+
+    // Measure the propagation path itself; the cost of turning telemetry
+    // on is bench_telemetry_overhead's subject.
+    xrp::telemetry::set_enabled(false);
 
     std::printf("# Figures 10-12: route propagation latency (ms)\n");
     std::printf("# BGP -> RIB -> FEA coupled by XRLs over loopback TCP\n");

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "ipc/router.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace xrp;
 using namespace std::chrono_literals;
@@ -93,6 +94,10 @@ int main(int argc, char** argv) {
     bool quick = false;
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+    // Measure the transports themselves; the cost of turning telemetry on
+    // is bench_telemetry_overhead's subject.
+    telemetry::set_enabled(false);
 
     ev::RealClock clock;
     ipc::Plexus plexus(clock);

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 CI: plain build + tests, then an address/undefined-sanitized
+# build + tests. Either failing fails the script.
+set -eu
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== sanitized build (address,undefined) =="
+cmake -B build-asan -S . -DXRP_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "CI OK"

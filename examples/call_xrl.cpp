@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
             "net:ipv4net=10.0.0.0/8",
             "finder://rib/rib/1.0/get_route_count",
             "finder://ghost/x/1.0/boom",  // resolution failure, reported
+            // Self-hosted observability: every finalized target serves
+            // telemetry/1.0, so the Prometheus-style snapshot of this
+            // whole process is one XRL away.
+            "finder://rib/telemetry/1.0/snapshot",
         };
     }
 

@@ -32,8 +32,8 @@ public:
 
     // Profiling point "bgp_rib_sent": the paper's "Sent to RIB" moment.
     void set_profiler(profiler::Profiler* p) {
-        profiler_ = p;
-        if (p != nullptr) p->add_point("bgp_rib_sent");
+        prof_sent_ = p != nullptr ? p->point("bgp_rib_sent")
+                                  : profiler::Profiler::ProfilePoint{};
     }
 
     void add_route(const BgpRoute& r) override {
@@ -44,8 +44,7 @@ public:
             .add("metric", r.igp_metric == stage::kUnresolvedMetric
                                ? uint32_t{0}
                                : r.igp_metric);
-        if (profiler_ != nullptr)
-            profiler_->record("bgp_rib_sent", "add " + r.net.str());
+        if (prof_sent_.enabled()) prof_sent_.record("add " + r.net.str());
         router_.send_ignore(
             xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
     }
@@ -53,8 +52,7 @@ public:
     void delete_route(const BgpRoute& r) override {
         xrl::XrlArgs args;
         args.add("protocol", r.protocol).add("net", r.net);
-        if (profiler_ != nullptr)
-            profiler_->record("bgp_rib_sent", "delete " + r.net.str());
+        if (prof_sent_.enabled()) prof_sent_.record("delete " + r.net.str());
         router_.send_ignore(
             xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
     }
@@ -87,7 +85,7 @@ public:
 private:
     ipc::XrlRouter& router_;
     std::string target_;
-    profiler::Profiler* profiler_ = nullptr;
+    profiler::Profiler::ProfilePoint prof_sent_;
 };
 
 }  // namespace xrp::bgp

@@ -78,9 +78,9 @@ BgpProcess::BgpProcess(ev::EventLoop& loop, Config config,
 
     rib_branch_ = std::make_unique<stage::SinkStage<IPv4>>(
         "rib-branch", [this](bool is_add, const BgpRoute& r) {
-            if (profiler_ != nullptr)
-                profiler_->record("bgp_rib_queued",
-                                  (is_add ? "add " : "delete ") + r.net.str());
+            if (prof_rib_queued_.enabled())
+                prof_rib_queued_.record(
+                    (is_add ? "add " : "delete ") + r.net.str());
             if (is_add)
                 rib_->add_route(r);
             else
@@ -202,8 +202,7 @@ void BgpProcess::handle_update(int peer_id, const UpdateMessage& update) {
     PeerPipeline& p = *it->second;
 
     for (const IPv4Net& net : update.withdrawn) {
-        if (profiler_ != nullptr)
-            profiler_->record("bgp_in", "delete " + net.str());
+        if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
         BgpRoute r;
         r.net = net;
         p.peer_in->delete_route(r);
@@ -219,8 +218,7 @@ void BgpProcess::handle_update(int peer_id, const UpdateMessage& update) {
     auto attrs = std::make_shared<PathAttributes>(*update.attributes);
     const bool ibgp = p.session->is_ibgp();
     for (const IPv4Net& net : update.nlri) {
-        if (profiler_ != nullptr)
-            profiler_->record("bgp_in", "add " + net.str());
+        if (prof_in_.enabled()) prof_in_.record("add " + net.str());
         BgpRoute r;
         r.net = net;
         r.nexthop = attrs->nexthop;
@@ -418,8 +416,11 @@ void BgpProcess::nexthop_invalid(const IPv4Net& valid_subnet) {
 void BgpProcess::set_profiler(profiler::Profiler* p) {
     profiler_ = p;
     if (p != nullptr) {
-        p->add_point("bgp_in");
-        p->add_point("bgp_rib_queued");
+        prof_in_ = p->point("bgp_in");
+        prof_rib_queued_ = p->point("bgp_rib_queued");
+    } else {
+        prof_in_ = {};
+        prof_rib_queued_ = {};
     }
 }
 

@@ -143,6 +143,8 @@ private:
     Config config_;
     std::unique_ptr<RibHandle> rib_;
     profiler::Profiler* profiler_ = nullptr;
+    profiler::Profiler::ProfilePoint prof_in_;
+    profiler::Profiler::ProfilePoint prof_rib_queued_;
 
     std::unique_ptr<DecisionStage> decision_;
     std::unique_ptr<stage::FanoutStage<net::IPv4>> fanout_;

@@ -51,7 +51,12 @@ public:
     void add_route(const BgpRoute& route, RouteStage* caller) override {
         auto other = best_other(route.net, caller);
         if (other && bgp_route_preferred(*other, route)) return;
-        if (other) this->forward_delete(*other);
+        if (other) {
+            // A new route displaced the previous best: a best-path flip,
+            // the event BGP operators watch for churn.
+            best_flips()->inc();
+            this->forward_delete(*other);
+        }
         this->forward_add(route);
     }
 
@@ -82,8 +87,17 @@ private:
         return best;
     }
 
+    telemetry::Counter* best_flips() const {
+        if (flips_ == nullptr)
+            flips_ = telemetry::Registry::global().counter(
+                telemetry::metric_key("bgp_best_path_flips_total",
+                                      {{"stage", name_}}));
+        return flips_;
+    }
+
     std::string name_;
     std::vector<RouteStage*> parents_;
+    mutable telemetry::Counter* flips_ = nullptr;
 };
 
 // ---- Nexthop Resolver (§5.1.1) -------------------------------------------

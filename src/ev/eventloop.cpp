@@ -5,7 +5,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace xrp::ev {
+
+namespace {
+
+// Cached handles, bound on first loop activity (see ipc/router.cpp).
+struct EvMetrics {
+    telemetry::Counter* timers_fired;
+    telemetry::Counter* fd_dispatches;
+    telemetry::Counter* task_slices;
+    telemetry::Gauge* deferred_depth;
+    telemetry::Histogram* timer_drift;   // fire time - deadline
+    telemetry::Histogram* cb_timer;      // time spent inside timer callbacks
+    telemetry::Histogram* cb_fd;         // time spent inside fd callbacks
+    telemetry::Histogram* task_slice_ns;
+
+    static const EvMetrics& get() {
+        static EvMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            EvMetrics x;
+            x.timers_fired = r.counter("ev_timers_fired_total");
+            x.fd_dispatches = r.counter("ev_fd_dispatches_total");
+            x.task_slices = r.counter("ev_task_slices_total");
+            x.deferred_depth = r.gauge("ev_deferred_depth");
+            x.timer_drift = r.histogram("ev_timer_drift_ns");
+            x.cb_timer = r.histogram("ev_dispatch_ns{source=\"timer\"}");
+            x.cb_fd = r.histogram("ev_dispatch_ns{source=\"fd\"}");
+            x.task_slice_ns = r.histogram("ev_task_slice_ns");
+            return x;
+        }();
+        return m;
+    }
+};
+
+}  // namespace
 
 Timer EventLoop::schedule(TimerSP state) {
     state->seq = ++timer_seq_;
@@ -36,10 +71,14 @@ Timer EventLoop::set_periodic(Duration period, std::function<bool()> cb) {
 
 void EventLoop::defer(std::function<void()> cb) {
     deferred_owned_.push_back(set_timer(Duration::zero(), std::move(cb)));
+    EvMetrics::get().deferred_depth->set(
+        static_cast<int64_t>(deferred_owned_.size()));
 }
 
 void EventLoop::defer_after(Duration delay, std::function<void()> cb) {
     deferred_owned_.push_back(set_timer(delay, std::move(cb)));
+    EvMetrics::get().deferred_depth->set(
+        static_cast<int64_t>(deferred_owned_.size()));
 }
 
 void EventLoop::add_reader(int fd, std::function<void()> cb) {
@@ -78,12 +117,19 @@ bool EventLoop::fire_due_timers() {
         due.push_back(heap_.top());
         heap_.pop();
     }
+    const EvMetrics& m = EvMetrics::get();
+    const bool timed = telemetry::enabled();
     for (TimerSP& s : due) {
         s->scheduled = false;
         if (s->cancelled) continue;
         any = true;
+        m.timers_fired->inc();
+        // Drift needs no extra clock read: `t` is this batch's fire time.
+        m.timer_drift->observe(t - s->expiry);
         if (s->periodic_cb) {
+            const TimePoint c0 = timed ? clock_.now() : TimePoint{};
             bool again = s->periodic_cb();
+            if (timed) m.cb_timer->observe_always(clock_.now() - c0);
             if (again && !s->cancelled) {
                 s->expiry += s->period;
                 s->seq = ++timer_seq_;
@@ -95,13 +141,17 @@ bool EventLoop::fire_due_timers() {
         } else {
             auto cb = std::move(s->cb);
             s->cancelled = true;
+            const TimePoint c0 = timed ? clock_.now() : TimePoint{};
             cb();
+            if (timed) m.cb_timer->observe_always(clock_.now() - c0);
         }
     }
     if (!deferred_owned_.empty()) {
         // Drop handles of already-fired defer() timers.
         std::erase_if(deferred_owned_,
                       [](const Timer& t2) { return !t2.scheduled(); });
+        m.deferred_depth->set(
+            static_cast<int64_t>(deferred_owned_.size()));
     }
     return any;
 }
@@ -139,6 +189,8 @@ bool EventLoop::dispatch_fds(int timeout_ms) {
         if (p.revents == 0) continue;
         // Look the callbacks up at dispatch time: an earlier callback in
         // this batch may have removed (or replaced) this fd's handler.
+        const EvMetrics& m = EvMetrics::get();
+        const bool timed = telemetry::enabled();
         if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
             auto it = readers_.find(p.fd);
             if (it != readers_.end()) {
@@ -148,7 +200,10 @@ bool EventLoop::dispatch_fds(int timeout_ms) {
                 // for the duration of the call.
                 auto cb = it->second;
                 any = true;
+                m.fd_dispatches->inc();
+                const TimePoint c0 = timed ? clock_.now() : TimePoint{};
                 cb();
+                if (timed) m.cb_fd->observe_always(clock_.now() - c0);
             }
         }
         if (p.revents & (POLLOUT | POLLHUP | POLLERR)) {
@@ -156,7 +211,10 @@ bool EventLoop::dispatch_fds(int timeout_ms) {
             if (it != writers_.end()) {
                 auto cb = it->second;  // same self-removal hazard
                 any = true;
+                m.fd_dispatches->inc();
+                const TimePoint c0 = timed ? clock_.now() : TimePoint{};
                 cb();
+                if (timed) m.cb_fd->observe_always(clock_.now() - c0);
             }
         }
     }
@@ -171,7 +229,12 @@ bool EventLoop::run_one_task_slice() {
     if (task_rr_ >= tasks_.size()) task_rr_ = 0;
     auto t = tasks_[task_rr_];
     if (task_credit_ <= 0) task_credit_ = t->weight;
+    const EvMetrics& m = EvMetrics::get();
+    m.task_slices->inc();
+    const bool timed = telemetry::enabled();
+    const TimePoint c0 = timed ? clock_.now() : TimePoint{};
     bool more = t->slice && !t->cancelled ? t->slice() : false;
+    if (timed) m.task_slice_ns->observe_always(clock_.now() - c0);
     if (clock_.is_virtual() && task_virtual_cost_ > Duration::zero())
         clock_.advance_to(now() + task_virtual_cost_);
     if (!more) {

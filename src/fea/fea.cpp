@@ -3,23 +3,21 @@
 namespace xrp::fea {
 
 void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
-    if (profiler_ != nullptr) profiler_->record("fea_in", "add " + net.str());
+    if (prof_in_.enabled()) prof_in_.record("add " + net.str());
     FibEntry e;
     e.net = net;
     e.nexthop = nexthop;
     const Interface* itf = interfaces_.find_by_subnet(nexthop);
     if (itf != nullptr) e.ifname = itf->name;
     fib_.add_route(e);
-    if (profiler_ != nullptr)
-        profiler_->record("kernel_in", "add " + net.str());
+    if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
 }
 
 bool Fea::delete_route(const net::IPv4Net& net) {
-    if (profiler_ != nullptr)
-        profiler_->record("fea_in", "delete " + net.str());
+    if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);
-    if (ok && profiler_ != nullptr)
-        profiler_->record("kernel_in", "delete " + net.str());
+    if (ok && prof_kernel_.enabled())
+        prof_kernel_.record("delete " + net.str());
     return ok;
 }
 
@@ -77,8 +75,11 @@ void Fea::receive(const std::string& ifname, const Datagram& dgram) {
 void Fea::set_profiler(profiler::Profiler* p) {
     profiler_ = p;
     if (p != nullptr) {
-        p->add_point("fea_in");
-        p->add_point("kernel_in");
+        prof_in_ = p->point("fea_in");
+        prof_kernel_ = p->point("kernel_in");
+    } else {
+        prof_in_ = {};
+        prof_kernel_ = {};
     }
 }
 

@@ -84,6 +84,8 @@ private:
     std::map<std::string, Attachment> attachments_;  // by ifname
     int next_sock_ = 1;
     profiler::Profiler* profiler_ = nullptr;
+    profiler::Profiler::ProfilePoint prof_in_;
+    profiler::Profiler::ProfilePoint prof_kernel_;
 };
 
 }  // namespace xrp::fea

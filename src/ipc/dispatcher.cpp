@@ -4,6 +4,32 @@
 
 namespace xrp::ipc {
 
+namespace {
+
+// Rejections that never reach a handler, bucketed by cause.
+struct RejectMetrics {
+    telemetry::Counter* no_such_method;
+    telemetry::Counter* bad_key;
+    telemetry::Counter* bad_args;
+
+    static const RejectMetrics& get() {
+        static RejectMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            RejectMetrics x;
+            x.no_such_method = r.counter(
+                "xrl_dispatch_rejects_total{kind=\"no_such_method\"}");
+            x.bad_key =
+                r.counter("xrl_dispatch_rejects_total{kind=\"bad_key\"}");
+            x.bad_args =
+                r.counter("xrl_dispatch_rejects_total{kind=\"bad_args\"}");
+            return x;
+        }();
+        return m;
+    }
+};
+
+}  // namespace
+
 void XrlDispatcher::add_interface(xrl::InterfaceSpec spec) {
     std::string ikey = spec.name() + "/" + spec.version();
     specs_[ikey] = std::move(spec);
@@ -60,29 +86,43 @@ void XrlDispatcher::dispatch(const std::string& keyed_method,
     auto [method, key] = finder::split_keyed_method(keyed_method);
     auto it = methods_.find(method);
     if (it == methods_.end()) {
+        RejectMetrics::get().no_such_method->inc();
         done(xrl::XrlError(xrl::ErrorCode::kNoSuchMethod, method), {});
         return;
     }
     const Method& m = it->second;
+    if (m.calls == nullptr) {
+        auto& reg = telemetry::Registry::global();
+        m.calls = reg.counter(
+            telemetry::metric_key("xrl_calls_total", {{"method", method}}));
+        m.errors = reg.counter(
+            telemetry::metric_key("xrl_errors_total", {{"method", method}}));
+    }
+    m.calls->inc();
     if (require_keys_ && !m.key.empty() && key != m.key) {
         // Caller did not get this method name from the Finder.
+        RejectMetrics::get().bad_key->inc();
         done(xrl::XrlError(xrl::ErrorCode::kBadKey, method), {});
         return;
     }
     if (m.spec != nullptr) {
         xrl::XrlError verr = m.spec->validate_inputs(in);
         if (!verr.ok()) {
+            RejectMetrics::get().bad_args->inc();
             done(verr, {});
             return;
         }
     }
     if (m.async) {
+        // Async completions bypass the error counter: the handler owns
+        // `done` and we will not wrap it on the hot path.
         m.async(in, std::move(done));
         return;
     }
     if (m.sync) {
         xrl::XrlArgs out;
         xrl::XrlError err = m.sync(in, out);
+        if (!err.ok()) m.errors->inc();
         done(err, out);
         return;
     }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "telemetry/metrics.hpp"
 #include "xrl/args.hpp"
 #include "xrl/error.hpp"
 #include "xrl/idl.hpp"
@@ -68,6 +69,11 @@ private:
         AsyncMethodHandler async;
         std::string key;
         const xrl::MethodSpec* spec = nullptr;  // into specs_
+        // Per-method telemetry handles, bound lazily on first dispatch so
+        // registration cost is paid once, never per call. Mutable because
+        // dispatch() is logically const.
+        mutable telemetry::Counter* calls = nullptr;
+        mutable telemetry::Counter* errors = nullptr;
     };
 
     const xrl::MethodSpec* find_spec(const std::string& full_method) const;

@@ -1,6 +1,41 @@
 #include "ipc/router.hpp"
 
+#include "ipc/telemetry_xrl.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xrp::ipc {
+
+namespace {
+
+// Handles bound once on first use; every hot-path touch below is a cached
+// pointer check plus a relaxed atomic op (disabled registry: just the
+// check).
+struct IpcMetrics {
+    telemetry::Counter* sends_inproc;
+    telemetry::Counter* sends_stcp;
+    telemetry::Counter* sends_sudp;
+    telemetry::Counter* resolve_failures;
+    telemetry::Histogram* lat_inproc;
+
+    static const IpcMetrics& get() {
+        static IpcMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            IpcMetrics x;
+            x.sends_inproc =
+                r.counter("xrl_sends_total{family=\"inproc\"}");
+            x.sends_stcp = r.counter("xrl_sends_total{family=\"stcp\"}");
+            x.sends_sudp = r.counter("xrl_sends_total{family=\"sudp\"}");
+            x.resolve_failures = r.counter("xrl_resolve_failures_total");
+            x.lat_inproc =
+                r.histogram("xrl_latency_ns{family=\"inproc\"}");
+            return x;
+        }();
+        return m;
+    }
+};
+
+}  // namespace
 
 XrlRouter::XrlRouter(Plexus& plexus, std::string cls, bool sole)
     : plexus_(plexus), cls_(std::move(cls)), sole_(sole) {}
@@ -26,6 +61,9 @@ void XrlRouter::enable_udp() {
 
 bool XrlRouter::finalize() {
     if (finalized_) return true;
+    // Every component self-hosts observability: the telemetry/1.0 interface
+    // is served over the same IPC it reports on.
+    bind_telemetry_xrls(dispatcher_);
     auto instance = plexus_.finder.register_target(cls_, sole_);
     if (!instance) return false;
     instance_ = *instance;
@@ -98,12 +136,45 @@ const finder::Resolution* XrlRouter::resolve(const xrl::Xrl& xrl,
 
 void XrlRouter::dispatch_via(const finder::Resolution& res,
                              const xrl::XrlArgs& args, ResponseCallback done) {
+    const IpcMetrics& m = IpcMetrics::get();
     if (res.family == "inproc") {
-        plexus_.intra.send(res.address, res.keyed_method, args,
-                           std::move(done));
+        m.sends_inproc->inc();
+        // Intra dispatch is synchronous, so latency is measured around the
+        // call itself and the callee runs under the deepened trace context
+        // (nested sends inherit it straight off this stack).
+        if (telemetry::tracing_enabled()) {
+            telemetry::TraceContext ctx = telemetry::Tracer::current();
+            if (ctx.valid()) {
+                telemetry::TraceContext hop = ctx.next_hop();
+                telemetry::Tracer::global().record(
+                    hop, plexus_.loop.now(), "dispatch",
+                    "inproc " + res.keyed_method);
+                telemetry::Tracer::Scope scope(hop);
+                if (telemetry::enabled()) {
+                    const ev::TimePoint t0 = plexus_.loop.now();
+                    plexus_.intra.send(res.address, res.keyed_method, args,
+                                       std::move(done));
+                    m.lat_inproc->observe_always(plexus_.loop.now() - t0);
+                } else {
+                    plexus_.intra.send(res.address, res.keyed_method, args,
+                                       std::move(done));
+                }
+                return;
+            }
+        }
+        if (telemetry::enabled()) {
+            const ev::TimePoint t0 = plexus_.loop.now();
+            plexus_.intra.send(res.address, res.keyed_method, args,
+                               std::move(done));
+            m.lat_inproc->observe_always(plexus_.loop.now() - t0);
+        } else {
+            plexus_.intra.send(res.address, res.keyed_method, args,
+                               std::move(done));
+        }
         return;
     }
     if (res.family == "stcp") {
+        m.sends_stcp->inc();
         auto& ch = tcp_channels_[res.address];
         if (!ch) ch = std::make_unique<TcpChannel>(plexus_.loop, res.address);
         if (ch->broken()) {
@@ -115,6 +186,7 @@ void XrlRouter::dispatch_via(const finder::Resolution& res,
         return;
     }
     if (res.family == "sudp") {
+        m.sends_sudp->inc();
         auto& ch = udp_channels_[res.address];
         if (!ch) ch = std::make_unique<UdpChannel>(plexus_.loop, res.address);
         ch->send(res.keyed_method, args, std::move(done));
@@ -131,7 +203,21 @@ bool XrlRouter::send(const xrl::Xrl& xrl, ResponseCallback done) {
     xrl::XrlError err;
     const finder::Resolution* res = resolve(xrl, &err);
     if (res == nullptr) {
+        IpcMetrics::get().resolve_failures->inc();
         plexus_.loop.defer([done = std::move(done), err] { done(err, {}); });
+        return true;
+    }
+    if (telemetry::tracing_enabled()) {
+        // Root a new trace if this send is not already under one (i.e. not
+        // issued from inside a traced dispatch).
+        auto& tracer = telemetry::Tracer::global();
+        telemetry::TraceContext ctx = telemetry::Tracer::current();
+        if (!ctx.valid()) ctx = tracer.begin_trace();
+        tracer.record(ctx, plexus_.loop.now(), "send",
+                      res->family + " " + xrl.target() + "/" +
+                          xrl.full_method());
+        telemetry::Tracer::Scope scope(ctx);
+        dispatch_via(*res, xrl.args(), std::move(done));
         return true;
     }
     dispatch_via(*res, xrl.args(), std::move(done));

@@ -6,9 +6,33 @@
 
 #include <cstring>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xrp::ipc {
 
 namespace {
+
+// Cached handles (see router.cpp); shared by channel and listener sides.
+struct TcpMetrics {
+    telemetry::Counter* tx_bytes;
+    telemetry::Counter* rx_bytes;
+    telemetry::Histogram* latency;
+
+    static const TcpMetrics& get() {
+        static TcpMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            TcpMetrics x;
+            x.tx_bytes =
+                r.counter("xrl_wire_bytes_total{dir=\"tx\",family=\"stcp\"}");
+            x.rx_bytes =
+                r.counter("xrl_wire_bytes_total{dir=\"rx\",family=\"stcp\"}");
+            x.latency = r.histogram("xrl_latency_ns{family=\"stcp\"}");
+            return x;
+        }();
+        return m;
+    }
+};
 
 void append_frame(std::vector<uint8_t>& buf, const std::vector<uint8_t>& body) {
     uint32_t len = static_cast<uint32_t>(body.size());
@@ -74,6 +98,7 @@ void TcpListener::on_readable(const std::shared_ptr<Connection>& c) {
         if (n > 0) {
             // Keep reading until EAGAIN: some poll(2) layers behave
             // edge-triggered, so a short read must not end the drain.
+            TcpMetrics::get().rx_bytes->inc(static_cast<uint64_t>(n));
             c->rbuf.insert(c->rbuf.end(), buf, buf + n);
         } else if (n == 0) {
             close_connection(c);
@@ -108,7 +133,11 @@ void TcpListener::process_frames(const std::shared_ptr<Connection>& c) {
         const uint32_t seq = req.seq;
         // Dispatch; the completion may run now (sync handler) or later
         // (async). Either way the response is queued on this connection if
-        // it is still open.
+        // it is still open. Scoping the carried trace context around the
+        // dispatch lets the handler's own nested sends join the trace.
+        telemetry::Tracer::global().record(req.trace, loop_.now(), "dispatch",
+                                           "stcp " + req.method);
+        telemetry::Tracer::Scope trace_scope(req.trace);
         std::weak_ptr<Connection> weak = c;
         dispatcher_.dispatch(
             req.method, req.args,
@@ -141,6 +170,7 @@ void TcpListener::flush(const std::shared_ptr<Connection>& c) {
         ssize_t n = ::write(c->fd.get(), c->wbuf.data() + c->woff,
                             c->wbuf.size() - c->woff);
         if (n > 0) {
+            TcpMetrics::get().tx_bytes->inc(static_cast<uint64_t>(n));
             c->woff += static_cast<size_t>(n);
         } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             break;
@@ -241,18 +271,24 @@ void TcpChannel::send(const std::string& keyed_method,
     req.seq = next_seq_++;
     req.method = keyed_method;
     req.args = args;
+    // Carry the caller's trace (if any) across the wire, one hop deeper.
+    if (telemetry::TraceContext ctx = telemetry::Tracer::current();
+        ctx.valid())
+        req.trace = ctx.next_hop();
     std::vector<uint8_t> body;
     encode_request(req, body);
+    const ev::TimePoint t0 = loop_.now();
     if (pending_.size() >= kMaxOutstanding) {
         Queued q;
         q.seq = req.seq;
         append_frame(q.frame, body);
         q.done = std::move(done);
+        q.t0 = t0;
         backlog_.push_back(std::move(q));
         return;
     }
     append_frame(wbuf_, body);
-    pending_[req.seq] = std::move(done);
+    pending_[req.seq] = Pending{std::move(done), t0};
     if (!connecting_) flush();
 }
 
@@ -262,7 +298,7 @@ void TcpChannel::pump_backlog() {
         Queued q = std::move(backlog_.front());
         backlog_.pop_front();
         wbuf_.insert(wbuf_.end(), q.frame.begin(), q.frame.end());
-        pending_[q.seq] = std::move(q.done);
+        pending_[q.seq] = Pending{std::move(q.done), q.t0};
         queued_any = true;
     }
     if (queued_any && !connecting_) flush();
@@ -273,6 +309,7 @@ void TcpChannel::flush() {
         ssize_t n =
             ::write(fd_.get(), wbuf_.data() + woff_, wbuf_.size() - woff_);
         if (n > 0) {
+            TcpMetrics::get().tx_bytes->inc(static_cast<uint64_t>(n));
             woff_ += static_cast<size_t>(n);
         } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             break;
@@ -305,6 +342,7 @@ void TcpChannel::on_readable() {
         ssize_t n = ::read(fd_.get(), buf, sizeof buf);
         if (n > 0) {
             // Drain to EAGAIN (see listener note about edge-triggered poll).
+            TcpMetrics::get().rx_bytes->inc(static_cast<uint64_t>(n));
             rbuf_.insert(rbuf_.end(), buf, buf + n);
         } else if (n == 0) {
             fail_all(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
@@ -338,7 +376,8 @@ void TcpChannel::on_readable() {
         }
         auto it = pending_.find(resp.seq);
         if (it != pending_.end()) {
-            ResponseCallback cb = std::move(it->second);
+            TcpMetrics::get().latency->observe(loop_.now() - it->second.t0);
+            ResponseCallback cb = std::move(it->second.done);
             pending_.erase(it);
             cb(resp.error, resp.args);
         }
@@ -361,7 +400,7 @@ void TcpChannel::fail_all(const xrl::XrlError& err) {
     pending_.clear();
     auto backlog = std::move(backlog_);
     backlog_.clear();
-    for (auto& [seq, cb] : pending) cb(err, {});
+    for (auto& [seq, p] : pending) p.done(err, {});
     for (auto& q : backlog) q.done(err, {});
 }
 

@@ -119,12 +119,19 @@ private:
     std::vector<uint8_t> rbuf_;
     std::vector<uint8_t> wbuf_;
     size_t woff_ = 0;
-    std::map<uint32_t, ResponseCallback> pending_;
+    // t0 is the send() call time, so the latency histogram measures what the
+    // caller experienced (including any backlog wait), not just the wire.
+    struct Pending {
+        ResponseCallback done;
+        ev::TimePoint t0{};
+    };
+    std::map<uint32_t, Pending> pending_;
     // Requests awaiting a window slot: pre-encoded frame + seq + callback.
     struct Queued {
         uint32_t seq;
         std::vector<uint8_t> frame;  // length-prefixed
         ResponseCallback done;
+        ev::TimePoint t0{};
     };
     std::deque<Queued> backlog_;
 };

@@ -3,11 +3,38 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xrp::ipc {
 
 namespace {
 constexpr size_t kMaxDatagram = 65507;
-}
+
+// Cached handles (see router.cpp); shared by channel and listener sides.
+struct UdpMetrics {
+    telemetry::Counter* tx_bytes;
+    telemetry::Counter* rx_bytes;
+    telemetry::Counter* timeouts;
+    telemetry::Histogram* latency;
+
+    static const UdpMetrics& get() {
+        static UdpMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            UdpMetrics x;
+            x.tx_bytes =
+                r.counter("xrl_wire_bytes_total{dir=\"tx\",family=\"sudp\"}");
+            x.rx_bytes =
+                r.counter("xrl_wire_bytes_total{dir=\"rx\",family=\"sudp\"}");
+            x.timeouts = r.counter("xrl_timeouts_total{family=\"sudp\"}");
+            x.latency = r.histogram("xrl_latency_ns{family=\"sudp\"}");
+            return x;
+        }();
+        return m;
+    }
+};
+
+}  // namespace
 
 // ---- UdpListener ------------------------------------------------------
 
@@ -30,12 +57,16 @@ void UdpListener::on_readable() {
         ssize_t n = ::recvfrom(fd_.get(), buf, sizeof buf, 0,
                                reinterpret_cast<sockaddr*>(&peer), &plen);
         if (n <= 0) return;  // EAGAIN or error: drained
+        UdpMetrics::get().rx_bytes->inc(static_cast<uint64_t>(n));
         RequestFrame req;
         ResponseFrame resp_unused;
         auto kind =
             decode_frame(buf, static_cast<size_t>(n), req, resp_unused);
         if (!kind || *kind != FrameKind::kRequest) continue;  // drop garbage
         const uint32_t seq = req.seq;
+        telemetry::Tracer::global().record(req.trace, loop_.now(), "dispatch",
+                                           "sudp " + req.method);
+        telemetry::Tracer::Scope trace_scope(req.trace);
         // UDP handlers must complete synchronously enough that the peer
         // address capture below stays valid; we copy it into the lambda.
         dispatcher_.dispatch(
@@ -48,9 +79,11 @@ void UdpListener::on_readable() {
                 resp.args = out;
                 std::vector<uint8_t> body;
                 encode_response(resp, body);
-                if (body.size() <= kMaxDatagram)
+                if (body.size() <= kMaxDatagram) {
                     ::sendto(fd_.get(), body.data(), body.size(), 0,
                              reinterpret_cast<const sockaddr*>(&peer), plen);
+                    UdpMetrics::get().tx_bytes->inc(body.size());
+                }
             });
     }
 }
@@ -91,10 +124,14 @@ void UdpChannel::send(const std::string& keyed_method,
     req.seq = next_seq_++;
     req.method = keyed_method;
     req.args = args;
+    if (telemetry::TraceContext ctx = telemetry::Tracer::current();
+        ctx.valid())
+        req.trace = ctx.next_hop();
     Pending p;
     p.seq = req.seq;
     encode_request(req, p.datagram);
     p.done = std::move(done);
+    p.t0 = loop_.now();
     queue_.push_back(std::move(p));
     pump();
 }
@@ -112,6 +149,7 @@ void UdpChannel::pump() {
         return;
     }
     ::send(fd_.get(), head.datagram.data(), head.datagram.size(), 0);
+    UdpMetrics::get().tx_bytes->inc(head.datagram.size());
     in_flight_ = true;
     timeout_timer_ = loop_.set_timer(timeout_, [this] { on_timeout(); });
 }
@@ -121,6 +159,7 @@ void UdpChannel::on_readable() {
     while (true) {
         ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
         if (n <= 0) return;
+        UdpMetrics::get().rx_bytes->inc(static_cast<uint64_t>(n));
         RequestFrame req_unused;
         ResponseFrame resp;
         auto kind =
@@ -128,6 +167,7 @@ void UdpChannel::on_readable() {
         if (!kind || *kind != FrameKind::kResponse) continue;
         if (!in_flight_ || queue_.empty() || resp.seq != queue_.front().seq)
             continue;  // stale response (e.g. after a timeout)
+        UdpMetrics::get().latency->observe(loop_.now() - queue_.front().t0);
         ResponseCallback done = std::move(queue_.front().done);
         queue_.pop_front();
         in_flight_ = false;
@@ -139,6 +179,7 @@ void UdpChannel::on_readable() {
 
 void UdpChannel::on_timeout() {
     if (!in_flight_ || queue_.empty()) return;
+    UdpMetrics::get().timeouts->inc();
     ResponseCallback done = std::move(queue_.front().done);
     queue_.pop_front();
     in_flight_ = false;

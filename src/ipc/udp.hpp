@@ -54,6 +54,9 @@ private:
         uint32_t seq;
         std::vector<uint8_t> datagram;
         ResponseCallback done;
+        // send() call time: the latency histogram includes queue wait, so
+        // it reflects what the caller experienced under stop-and-wait.
+        ev::TimePoint t0{};
     };
 
     void pump();

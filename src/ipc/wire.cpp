@@ -221,6 +221,11 @@ void encode_request(const RequestFrame& f, std::vector<uint8_t>& out) {
     put_u32(out, f.seq);
     put_str16(out, f.method);
     encode_args(f.args, out);
+    if (f.trace.valid()) {
+        put_u8(out, kTraceMarker);
+        put_u64(out, f.trace.trace_id);
+        put_u32(out, f.trace.hop);
+    }
 }
 
 void encode_response(const ResponseFrame& f, std::vector<uint8_t>& out) {
@@ -241,10 +246,23 @@ std::optional<FrameKind> decode_frame(const uint8_t* data, size_t size,
         auto method = r.str16();
         if (!seq || !method) return std::nullopt;
         auto args = decode_args(r);
-        if (!args || r.remaining() != 0) return std::nullopt;
+        if (!args) return std::nullopt;
+        telemetry::TraceContext trace;
+        if (r.remaining() != 0) {
+            // Only the optional trace trailer may follow the args.
+            auto marker = r.u8();
+            auto id = r.u64();
+            auto hop = r.u32();
+            if (!marker || *marker != kTraceMarker || !id || !hop ||
+                r.remaining() != 0)
+                return std::nullopt;
+            trace.trace_id = *id;
+            trace.hop = *hop;
+        }
         req.seq = *seq;
         req.method = std::move(*method);
         req.args = std::move(*args);
+        req.trace = trace;
         return FrameKind::kRequest;
     }
     if (*kind == static_cast<uint8_t>(FrameKind::kResponse)) {

@@ -2,12 +2,19 @@
 // efficiently" than the textual form).
 //
 // All integers are little-endian. An encoded frame is:
-//   request:  u8 kind=1 | u32 seq | u16 method_len | method | args
+//   request:  u8 kind=1 | u32 seq | u16 method_len | method | args [trace]
 //   response: u8 kind=2 | u32 seq | u8 error_code | u16 note_len | note | args
 // and an encoded args block is:
 //   u16 count | count * atom
 //   atom: u8 type | u16 name_len | name | value
 // TCP prepends a u32 frame length; UDP uses one datagram per frame.
+//
+// [trace] is an optional 13-byte trailer on requests only:
+//   u8 marker='T' | u64 trace_id | u32 hop
+// carrying the telemetry trace context across process/transport hops.
+// Frames without the trailer decode exactly as before (backward
+// compatible); a request whose tail is neither empty nor a well-formed
+// trailer is malformed.
 #ifndef XRP_IPC_WIRE_HPP
 #define XRP_IPC_WIRE_HPP
 
@@ -16,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/trace.hpp"
 #include "xrl/args.hpp"
 #include "xrl/error.hpp"
 
@@ -23,10 +31,16 @@ namespace xrp::ipc {
 
 enum class FrameKind : uint8_t { kRequest = 1, kResponse = 2 };
 
+// First byte of the optional request trace trailer.
+inline constexpr uint8_t kTraceMarker = 0x54;  // 'T'
+
 struct RequestFrame {
     uint32_t seq = 0;
     std::string method;  // keyed full method, e.g. "bgp/1.0/set_local_as#ab12..."
     xrl::XrlArgs args;
+    // Invalid (trace_id 0) unless the caller is tracing; encoded as the
+    // optional trailer described above.
+    telemetry::TraceContext trace;
 };
 
 struct ResponseFrame {

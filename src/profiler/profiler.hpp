@@ -8,10 +8,18 @@
 //
 //     route_ribin 1097173928 664085 add 10.0.1.0/24
 //
-// A disabled point costs one map-cached pointer check; records carry the
-// event-loop clock, so they work on virtual time too. The Figures 10-12
-// benchmark drives its eight points ("Entering BGP" ... "Entering
-// kernel") through this machinery, exactly like the paper.
+// Two APIs:
+//   - record(var, payload): legacy, pays a map lookup per call;
+//   - point(var) -> ProfilePoint handle: the lookup is paid once at wiring
+//     time, so the per-call disabled cost is a pointer check — and callers
+//     can guard on handle.enabled() *before* building the payload string,
+//     which is where the real cost of a disabled point used to be.
+// Each point stores at most kMaxRecordsPerPoint records; beyond that,
+// records are dropped (counted), so an enabled point left running cannot
+// grow without bound. Records carry the event-loop clock, so they work on
+// virtual time too. The Figures 10-12 benchmark drives its eight points
+// ("Entering BGP" ... "Entering kernel") through this machinery, exactly
+// like the paper.
 #ifndef XRP_PROFILER_PROFILER_HPP
 #define XRP_PROFILER_PROFILER_HPP
 
@@ -29,8 +37,41 @@ struct Record {
 };
 
 class Profiler {
+    struct Point {
+        bool enabled = false;
+        std::vector<Record> records;
+        uint64_t dropped = 0;
+    };
+
 public:
     explicit Profiler(ev::EventLoop& loop) : loop_(loop) {}
+
+    // Per-point record ceiling (the cap exists so an enabled point on a
+    // hot path degrades to counting, not to unbounded memory).
+    static constexpr size_t kMaxRecordsPerPoint = 1 << 20;
+
+    // A resolved profiling point. Default-constructed handles are inert;
+    // live ones stay valid for the Profiler's lifetime (map nodes are
+    // stable). Copyable and cheap.
+    class ProfilePoint {
+    public:
+        ProfilePoint() = default;
+        bool enabled() const { return p_ != nullptr && p_->enabled; }
+        void record(std::string payload) const {
+            if (enabled()) prof_->append(*p_, std::move(payload));
+        }
+
+    private:
+        friend class Profiler;
+        ProfilePoint(Profiler* prof, Point* p) : prof_(prof), p_(p) {}
+        Profiler* prof_ = nullptr;
+        Point* p_ = nullptr;
+    };
+
+    // Declares (idempotently) and resolves a profiling variable.
+    ProfilePoint point(const std::string& var) {
+        return ProfilePoint(this, &points_[var]);
+    }
 
     // Declares a profiling variable; idempotent.
     void add_point(const std::string& var) { points_[var]; }
@@ -45,11 +86,17 @@ public:
         return it != points_.end() && it->second.enabled;
     }
 
-    // The hot-path call; sampling when enabled, no-op otherwise.
+    // Legacy hot-path call (map lookup per call); prefer point() handles.
     void record(const std::string& var, std::string payload) {
         auto it = points_.find(var);
         if (it == points_.end() || !it->second.enabled) return;
-        it->second.records.push_back({loop_.now(), std::move(payload)});
+        append(it->second, std::move(payload));
+    }
+
+    // Records discarded at the cap for `var` (0 if unknown).
+    uint64_t dropped(const std::string& var) const {
+        auto it = points_.find(var);
+        return it == points_.end() ? 0 : it->second.dropped;
     }
 
     const std::vector<Record>& records(const std::string& var) const {
@@ -60,10 +107,16 @@ public:
 
     void clear(const std::string& var) {
         auto it = points_.find(var);
-        if (it != points_.end()) it->second.records.clear();
+        if (it != points_.end()) {
+            it->second.records.clear();
+            it->second.dropped = 0;
+        }
     }
     void clear_all() {
-        for (auto& [name, p] : points_) p.records.clear();
+        for (auto& [name, p] : points_) {
+            p.records.clear();
+            p.dropped = 0;
+        }
     }
 
     std::vector<std::string> point_names() const {
@@ -77,10 +130,13 @@ public:
     std::string format(const std::string& var) const;
 
 private:
-    struct Point {
-        bool enabled = false;
-        std::vector<Record> records;
-    };
+    void append(Point& p, std::string payload) {
+        if (p.records.size() >= kMaxRecordsPerPoint) {
+            ++p.dropped;
+            return;
+        }
+        p.records.push_back({loop_.now(), std::move(payload)});
+    }
 
     ev::EventLoop& loop_;
     std::map<std::string, Point> points_;

@@ -10,9 +10,16 @@ Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
     if (!fea_) fea_ = std::make_unique<NullFeaHandle>();
 
     auto make_origin = [&](const char* proto, uint32_t dist) {
-        origins_[proto] = Origin{
-            dist, std::make_unique<stage::OriginStage<IPv4>>(
-                      std::string(proto) + "-origin")};
+        Origin o;
+        o.admin_distance = dist;
+        o.stage = std::make_unique<stage::OriginStage<IPv4>>(
+            std::string(proto) + "-origin");
+        auto& reg = telemetry::Registry::global();
+        o.adds = reg.counter(telemetry::metric_key("rib_route_adds_total",
+                                                   {{"protocol", proto}}));
+        o.deletes = reg.counter(telemetry::metric_key(
+            "rib_route_deletes_total", {{"protocol", proto}}));
+        origins_[proto] = std::move(o);
         return origins_[proto].stage.get();
     };
     auto* connected = make_origin("connected", kDistanceConnected);
@@ -45,9 +52,9 @@ Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
 
     final_ = std::make_unique<stage::SinkStage<IPv4>>(
         "fea-branch", [this](bool is_add, const Route4& r) {
-            if (profiler_ != nullptr)
-                profiler_->record("rib_fea_queued",
-                                  (is_add ? "add " : "delete ") + r.net.str());
+            if (prof_fea_queued_.enabled())
+                prof_fea_queued_.record(
+                    (is_add ? "add " : "delete ") + r.net.str());
             if (is_add)
                 fea_->add_route(r.net, r.nexthop);
             else
@@ -63,8 +70,8 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
                     IPv4 nexthop, uint32_t metric) {
     auto it = origins_.find(protocol);
     if (it == origins_.end()) return false;
-    if (profiler_ != nullptr)
-        profiler_->record("rib_in", "add " + net.str());
+    it->second.adds->inc();
+    if (prof_in_.enabled()) prof_in_.record("add " + net.str());
     Route4 r;
     r.net = net;
     r.nexthop = nexthop;
@@ -78,8 +85,8 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
 bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
     auto it = origins_.find(protocol);
     if (it == origins_.end()) return false;
-    if (profiler_ != nullptr)
-        profiler_->record("rib_in", "delete " + net.str());
+    it->second.deletes->inc();
+    if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     Route4 r;
     r.net = net;
     it->second.stage->delete_route(r);
@@ -144,8 +151,11 @@ void Rib::remove_redist(uint64_t id) {
 void Rib::set_profiler(profiler::Profiler* p) {
     profiler_ = p;
     if (p != nullptr) {
-        p->add_point("rib_in");
-        p->add_point("rib_fea_queued");
+        prof_in_ = p->point("rib_in");
+        prof_fea_queued_ = p->point("rib_fea_queued");
+    } else {
+        prof_in_ = {};
+        prof_fea_queued_ = {};
     }
 }
 

@@ -128,11 +128,19 @@ private:
     struct Origin {
         uint32_t admin_distance;
         std::unique_ptr<stage::OriginStage<net::IPv4>> stage;
+        // Per-protocol update counters, bound once at construction.
+        telemetry::Counter* adds = nullptr;
+        telemetry::Counter* deletes = nullptr;
     };
 
     ev::EventLoop& loop_;
     std::unique_ptr<FeaHandle> fea_;
     profiler::Profiler* profiler_ = nullptr;
+    // Resolved profiling handles (bound in set_profiler); the per-route
+    // cost of a disabled point is one pointer check, and the payload
+    // string is only built when the point is live.
+    profiler::Profiler::ProfilePoint prof_in_;
+    profiler::Profiler::ProfilePoint prof_fea_queued_;
 
     std::map<std::string, Origin> origins_;
     std::vector<std::unique_ptr<stage::MergeStage<net::IPv4>>> merges_;

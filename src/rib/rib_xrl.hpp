@@ -45,23 +45,21 @@ public:
 
     // Profiling point "rib_fea_sent": the paper's "Sent to the FEA".
     void set_profiler(profiler::Profiler* p) {
-        profiler_ = p;
-        if (p != nullptr) p->add_point("rib_fea_sent");
+        prof_sent_ = p != nullptr ? p->point("rib_fea_sent")
+                                  : profiler::Profiler::ProfilePoint{};
     }
 
     void add_route(const net::IPv4Net& net, net::IPv4 nexthop) override {
         xrl::XrlArgs args;
         args.add("net", net).add("nexthop", nexthop);
-        if (profiler_ != nullptr)
-            profiler_->record("rib_fea_sent", "add " + net.str());
+        if (prof_sent_.enabled()) prof_sent_.record("add " + net.str());
         router_.send_ignore(
             xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args));
     }
     void delete_route(const net::IPv4Net& net) override {
         xrl::XrlArgs args;
         args.add("net", net);
-        if (profiler_ != nullptr)
-            profiler_->record("rib_fea_sent", "delete " + net.str());
+        if (prof_sent_.enabled()) prof_sent_.record("delete " + net.str());
         router_.send_ignore(
             xrl::Xrl::generic(target_, "fea", "1.0", "delete_route4", args));
     }
@@ -69,7 +67,7 @@ public:
 private:
     ipc::XrlRouter& router_;
     std::string target_;
-    profiler::Profiler* profiler_ = nullptr;
+    profiler::Profiler::ProfilePoint prof_sent_;
 };
 
 }  // namespace xrp::rib

@@ -37,6 +37,7 @@ public:
             this->forward_delete(removed);
         }
         table_->insert(route.net, route);
+        this->routes_gauge()->set(static_cast<int64_t>(table_->size()));
         this->forward_add(route);
     }
 
@@ -45,10 +46,12 @@ public:
         if (old == nullptr) return;  // unknown prefix: nothing to retract
         RouteT removed = *old;
         table_->erase(route.net);
+        this->routes_gauge()->set(static_cast<int64_t>(table_->size()));
         this->forward_delete(removed);
     }
 
     std::optional<RouteT> lookup_route(const Net& net) const override {
+        this->stage_metrics().lookups->inc();
         const RouteT* r = table_->find(net);
         return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
     }

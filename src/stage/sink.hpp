@@ -24,16 +24,21 @@ public:
         : name_(std::move(name)), cb_(std::move(cb)) {}
 
     void add_route(const RouteT& route, RouteStage<A>*) override {
+        this->stage_metrics().adds->inc();
         table_.insert(route.net, route);
+        this->routes_gauge()->set(static_cast<int64_t>(table_.size()));
         if (cb_) cb_(true, route);
     }
 
     void delete_route(const RouteT& route, RouteStage<A>*) override {
+        this->stage_metrics().deletes->inc();
         table_.erase(route.net);
+        this->routes_gauge()->set(static_cast<int64_t>(table_.size()));
         if (cb_) cb_(false, route);
     }
 
     std::optional<RouteT> lookup_route(const Net& net) const override {
+        this->stage_metrics().lookups->inc();
         const RouteT* r = table_.find(net);
         return r != nullptr ? std::optional<RouteT>(*r) : std::nullopt;
     }

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "stage/route.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xrp::stage {
 
@@ -62,17 +63,52 @@ public:
 
 protected:
     void forward_add(const RouteT& r) {
+        stage_metrics().adds->inc();
         if (downstream_ != nullptr) downstream_->add_route(r, this);
     }
     void forward_delete(const RouteT& r) {
+        stage_metrics().deletes->inc();
         if (downstream_ != nullptr) downstream_->delete_route(r, this);
     }
     std::optional<RouteT> lookup_upstream(const Net& net) const {
+        stage_metrics().lookups->inc();
         return upstream_ != nullptr ? upstream_->lookup_route(net)
                                     : std::nullopt;
     }
 
+    // Per-stage telemetry, keyed by name() and bound lazily (name() is
+    // virtual and not callable from the base constructor). Stages sharing
+    // a name share counters — the exposition aggregates by stage role.
+    struct StageMetrics {
+        telemetry::Counter* adds = nullptr;
+        telemetry::Counter* deletes = nullptr;
+        telemetry::Counter* lookups = nullptr;
+    };
+    const StageMetrics& stage_metrics() const {
+        if (metrics_.adds == nullptr) {
+            auto& r = telemetry::Registry::global();
+            const std::string n = name();
+            metrics_.adds = r.counter(
+                telemetry::metric_key("stage_adds_total", {{"stage", n}}));
+            metrics_.deletes = r.counter(
+                telemetry::metric_key("stage_deletes_total", {{"stage", n}}));
+            metrics_.lookups = r.counter(
+                telemetry::metric_key("stage_lookups_total", {{"stage", n}}));
+        }
+        return metrics_;
+    }
+    // Routes-in-flight level for stages that store (origins, sinks,
+    // deletion stages).
+    telemetry::Gauge* routes_gauge() const {
+        if (routes_gauge_ == nullptr)
+            routes_gauge_ = telemetry::Registry::global().gauge(
+                telemetry::metric_key("stage_routes", {{"stage", name()}}));
+        return routes_gauge_;
+    }
+
 private:
+    mutable StageMetrics metrics_{};
+    mutable telemetry::Gauge* routes_gauge_ = nullptr;
     RouteStage* downstream_ = nullptr;
     RouteStage* upstream_ = nullptr;
 };

@@ -1,0 +1,165 @@
+#include "telemetry/metrics.hpp"
+
+#include <cstdio>
+
+namespace xrp::telemetry {
+
+uint64_t Histogram::quantile_ns(double q) const {
+    uint64_t total = count();
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (target == 0) target = 1;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        cum += bucket(i);
+        if (cum >= target) {
+            // Upper edge of bucket i: 2^(i+1) - 1 ns (bucket 0 holds <=1ns).
+            if (i >= 63) return UINT64_MAX;
+            return (uint64_t{1} << (i + 1)) - 1;
+        }
+    }
+    return UINT64_MAX;
+}
+
+std::string metric_key(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+    if (labels.empty()) return name;
+    std::string out = name + "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        // Escape the exposition format's specials.
+        for (char c : v) {
+            if (c == '\\' || c == '"') out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+Registry& Registry::global() {
+    static Registry* r = new Registry();  // immortal: handles never dangle
+    return *r;
+}
+
+Counter* Registry::counter(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = &metrics_[key];
+    if (!e->counter && (e->gauge || e->histogram))
+        e = &metrics_[key + "!counter"];  // kind collision: keep both alive
+    if (!e->counter) e->counter.reset(new Counter(&enabled_));
+    return e->counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = &metrics_[key];
+    if (!e->gauge && (e->counter || e->histogram))
+        e = &metrics_[key + "!gauge"];
+    if (!e->gauge) e->gauge.reset(new Gauge(&enabled_));
+    return e->gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = &metrics_[key];
+    if (!e->histogram && (e->counter || e->gauge))
+        e = &metrics_[key + "!histogram"];
+    if (!e->histogram) e->histogram.reset(new Histogram(&enabled_));
+    return e->histogram.get();
+}
+
+std::vector<std::string> Registry::names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(metrics_.size());
+    for (const auto& [key, e] : metrics_) out.push_back(key);
+    return out;
+}
+
+void Registry::expose_entry(const std::string& key, const Entry& e,
+                            std::string& out) {
+    char buf[160];
+    // Labelled keys are "name{...}"; suffixes go on the name part.
+    size_t brace = key.find('{');
+    std::string name = key.substr(0, brace);
+    std::string labels =
+        brace == std::string::npos ? "" : key.substr(brace);
+    if (e.counter) {
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(e.counter->value()));
+        out += key;
+        out += buf;
+    }
+    if (e.gauge) {
+        std::snprintf(buf, sizeof buf, " %lld\n",
+                      static_cast<long long>(e.gauge->value()));
+        out += key;
+        out += buf;
+    }
+    if (e.histogram) {
+        const Histogram& h = *e.histogram;
+        auto line = [&](const char* suffix, uint64_t v) {
+            out += name;
+            out += suffix;
+            out += labels;
+            std::snprintf(buf, sizeof buf, " %llu\n",
+                          static_cast<unsigned long long>(v));
+            out += buf;
+        };
+        line("_count", h.count());
+        line("_sum_ns", h.sum_ns());
+        line("_p50_ns", h.p50_ns());
+        line("_p95_ns", h.p95_ns());
+        line("_p99_ns", h.p99_ns());
+    }
+}
+
+std::string Registry::expose_one(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(key);
+    if (it == metrics_.end()) return {};
+    std::string out;
+    expose_entry(key, it->second, out);
+    return out;
+}
+
+std::string Registry::expose() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto& [key, e] : metrics_) expose_entry(key, e, out);
+    return out;
+}
+
+void Registry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.clear();
+}
+
+void Registry::zero() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, e] : metrics_) {
+        if (e.counter) e.counter->v_.store(0, std::memory_order_relaxed);
+        if (e.gauge) e.gauge->v_.store(0, std::memory_order_relaxed);
+        if (e.histogram) {
+            for (auto& b : e.histogram->buckets_)
+                b.store(0, std::memory_order_relaxed);
+            e.histogram->count_.store(0, std::memory_order_relaxed);
+            e.histogram->sum_ns_.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+}  // namespace xrp::telemetry

@@ -1,0 +1,195 @@
+// Metrics registry (the §8.2 philosophy, generalized): profiling must be
+// near-free when off, and observation must never perturb the observed
+// router. Three instrument kinds:
+//
+//   Counter   — monotonic event count (calls, errors, bytes);
+//   Gauge     — instantaneous level (routes in flight, queue depth);
+//   Histogram — fixed power-of-two latency buckets with p50/p95/p99
+//               extraction, no allocation on observe().
+//
+// Handles are stable pointers obtained once at setup (registration takes a
+// mutex; nothing hot does). The hot path is a pointer check plus a relaxed
+// atomic op: components are single-threaded per event loop, so atomics are
+// only there to make cross-loop aggregation (several Plexuses in one test
+// process) well-defined, never contended.
+//
+// Every instrument checks the registry-wide enabled flag through a cached
+// pointer, so a disabled registry costs exactly one predictable branch per
+// site — the property bench_telemetry_overhead proves.
+#ifndef XRP_TELEMETRY_METRICS_HPP
+#define XRP_TELEMETRY_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ev/clock.hpp"
+
+namespace xrp::telemetry {
+
+namespace detail {
+// Mirror of Registry::global().enabled(): lets the free enabled() below
+// answer with one relaxed load, no singleton init guard.
+inline std::atomic<bool> g_global_enabled{true};
+}  // namespace detail
+
+class Registry;
+
+class Counter {
+public:
+    void inc(uint64_t n = 1) {
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    friend class Registry;
+    explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+    std::atomic<uint64_t> v_{0};
+    const std::atomic<bool>* enabled_;
+};
+
+class Gauge {
+public:
+    void set(int64_t v) {
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(int64_t n = 1) {
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void sub(int64_t n = 1) { add(-n); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    friend class Registry;
+    explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+    std::atomic<int64_t> v_{0};
+    const std::atomic<bool>* enabled_;
+};
+
+// Fixed log2 buckets over nanoseconds: bucket i counts observations in
+// [2^i, 2^(i+1)) ns; bucket 0 includes everything below 1ns (and negative
+// durations from clock quirks), the last bucket everything >= ~4.3s.
+class Histogram {
+public:
+    static constexpr size_t kBuckets = 32;
+
+    void observe(ev::Duration d) {
+        if (!enabled_->load(std::memory_order_relaxed)) return;
+        observe_always(d);
+    }
+    // For sites that already guarded on Registry::enabled() (they had to
+    // read a clock before observing; no point re-checking).
+    void observe_always(ev::Duration d) {
+        int64_t ns = d.count();
+        size_t b = 0;
+        if (ns > 0) {
+            b = static_cast<size_t>(64 - __builtin_clzll(
+                                             static_cast<uint64_t>(ns))) -
+                1;
+            if (b >= kBuckets) b = kBuckets - 1;
+            sum_ns_.fetch_add(static_cast<uint64_t>(ns),
+                              std::memory_order_relaxed);
+        }
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+    uint64_t bucket(size_t i) const {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+    // Upper-bound estimate of the q-quantile in nanoseconds (q in [0,1]):
+    // the upper edge of the bucket where the cumulative count crosses q.
+    uint64_t quantile_ns(double q) const;
+    uint64_t p50_ns() const { return quantile_ns(0.50); }
+    uint64_t p95_ns() const { return quantile_ns(0.95); }
+    uint64_t p99_ns() const { return quantile_ns(0.99); }
+
+private:
+    friend class Registry;
+    explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_ns_{0};
+    const std::atomic<bool>* enabled_;
+};
+
+// Renders `name` + label pairs as the canonical exposition key:
+//   name{k1="v1",k2="v2"}
+std::string metric_key(const std::string& name,
+                       const std::vector<std::pair<std::string, std::string>>&
+                           labels);
+
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    // The process-wide default registry every instrumentation site uses.
+    static Registry& global();
+
+    // Get-or-create; the returned pointer is stable for the registry's
+    // lifetime. `key` is the full exposition key (use metric_key() for
+    // labelled metrics). Kind mismatches on an existing key return the
+    // existing instrument of the requested kind or, if the key belongs to
+    // another kind, a distinct instrument under key+"!<kind>" — misuse is
+    // survivable, never fatal.
+    Counter* counter(const std::string& key);
+    Gauge* gauge(const std::string& key);
+    Histogram* histogram(const std::string& key);
+
+    void set_enabled(bool on) {
+        enabled_.store(on, std::memory_order_relaxed);
+        if (this == &global())
+            detail::g_global_enabled.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    std::vector<std::string> names() const;
+
+    // One metric formatted as exposition lines ("" if unknown).
+    std::string expose_one(const std::string& key) const;
+    // Full Prometheus-style text exposition:
+    //   name{label="v"} value
+    // histograms additionally expose _count, _sum_ns, _p50_ns, _p95_ns,
+    // _p99_ns lines.
+    std::string expose() const;
+
+    // Drops every registered instrument (invalidates handles — tests only,
+    // between fixtures that re-create their instrumented objects).
+    void reset();
+    // Zeroes values but keeps handles valid.
+    void zero();
+
+private:
+    struct Entry {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    static void expose_entry(const std::string& key, const Entry& e,
+                             std::string& out);
+
+    mutable std::mutex mu_;  // registration + exposition only, never hot
+    std::map<std::string, Entry> metrics_;
+    std::atomic<bool> enabled_{true};
+};
+
+inline bool enabled() {
+    return detail::g_global_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) { Registry::global().set_enabled(on); }
+
+}  // namespace xrp::telemetry
+
+#endif
