@@ -1,6 +1,8 @@
 #!/bin/sh
 # Tier-1 CI: plain build + tests, then an address/undefined-sanitized
-# build + tests. Either failing fails the script.
+# build + tests, then a bench smoke pass (every benchmark binary runs
+# for a token interval — catches crashes and assertion failures without
+# waiting for real measurements). Any failing step fails the script.
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,5 +17,12 @@ echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DXRP_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== bench smoke =="
+for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "-- $b"
+    "$b" --benchmark_min_time=0.01 >/dev/null
+done
 
 echo "CI OK"

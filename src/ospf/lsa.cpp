@@ -1,0 +1,126 @@
+#include "ospf/lsa.hpp"
+
+namespace xrp::ospf {
+
+std::string LsaKey::str() const {
+    return std::string(type == LsaType::kRouter ? "router" : "network") + " " +
+           id.str() + " adv " + adv_router.str();
+}
+
+std::string Lsa::str() const {
+    std::string s = key().str() + " seq " + std::to_string(seq);
+    if (type == LsaType::kRouter) {
+        s += " links " + std::to_string(links.size());
+    } else {
+        s += " net " + network().str() + " attached " +
+             std::to_string(attached.size());
+    }
+    return s;
+}
+
+int compare_freshness(const Lsa& a, uint16_t a_age, const Lsa& b,
+                      uint16_t b_age, uint16_t max_age) {
+    if (a.seq != b.seq) return a.seq > b.seq ? 1 : -1;
+    bool a_max = a_age >= max_age;
+    bool b_max = b_age >= max_age;
+    if (a_max != b_max) return a_max ? 1 : -1;
+    return 0;
+}
+
+namespace {
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+    put_u16(out, static_cast<uint16_t>(v >> 16));
+    put_u16(out, static_cast<uint16_t>(v));
+}
+
+struct Reader {
+    const uint8_t* data;
+    size_t size;
+    size_t& pos;
+    bool ok = true;
+
+    uint8_t u8() {
+        if (pos + 1 > size) {
+            ok = false;
+            return 0;
+        }
+        return data[pos++];
+    }
+    uint16_t u16() {
+        uint16_t hi = u8(), lo = u8();
+        return static_cast<uint16_t>(hi << 8 | lo);
+    }
+    uint32_t u32() {
+        uint32_t hi = u16(), lo = u16();
+        return hi << 16 | lo;
+    }
+    net::IPv4 addr() { return net::IPv4(u32()); }
+};
+
+}  // namespace
+
+void encode_lsa(const Lsa& lsa, std::vector<uint8_t>& out) {
+    out.push_back(static_cast<uint8_t>(lsa.type));
+    out.push_back(lsa.mask_len);
+    put_u16(out, lsa.age);
+    put_u32(out, lsa.id.to_host());
+    put_u32(out, lsa.adv_router.to_host());
+    put_u32(out, lsa.seq);
+    if (lsa.type == LsaType::kRouter) {
+        put_u16(out, static_cast<uint16_t>(lsa.links.size()));
+        for (const RouterLink& l : lsa.links) {
+            out.push_back(static_cast<uint8_t>(l.type));
+            out.push_back(0);
+            put_u16(out, static_cast<uint16_t>(l.metric));
+            put_u32(out, l.id.to_host());
+            put_u32(out, l.data.to_host());
+        }
+    } else {
+        put_u16(out, static_cast<uint16_t>(lsa.attached.size()));
+        for (net::IPv4 r : lsa.attached) put_u32(out, r.to_host());
+    }
+}
+
+std::optional<Lsa> decode_lsa(const uint8_t* data, size_t size, size_t& pos) {
+    Reader r{data, size, pos};
+    Lsa lsa;
+    uint8_t type = r.u8();
+    if (type != 1 && type != 2) return std::nullopt;
+    lsa.type = static_cast<LsaType>(type);
+    lsa.mask_len = r.u8();
+    if (lsa.mask_len > net::IPv4::kAddrBits) return std::nullopt;
+    lsa.age = r.u16();
+    lsa.id = r.addr();
+    lsa.adv_router = r.addr();
+    lsa.seq = r.u32();
+    uint16_t count = r.u16();
+    if (!r.ok) return std::nullopt;
+    if (lsa.type == LsaType::kRouter) {
+        for (uint16_t i = 0; i < count; ++i) {
+            RouterLink l;
+            uint8_t lt = r.u8();
+            if (lt < 1 || lt > 3) return std::nullopt;
+            l.type = static_cast<LinkType>(lt);
+            r.u8();  // pad
+            l.metric = r.u16();
+            l.id = r.addr();
+            l.data = r.addr();
+            if (!r.ok) return std::nullopt;
+            lsa.links.push_back(l);
+        }
+    } else {
+        for (uint16_t i = 0; i < count; ++i) {
+            net::IPv4 a = r.addr();
+            if (!r.ok) return std::nullopt;
+            lsa.attached.push_back(a);
+        }
+    }
+    return lsa;
+}
+
+}  // namespace xrp::ospf

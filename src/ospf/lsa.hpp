@@ -1,0 +1,104 @@
+// Link State Advertisements: the unit of OSPF's replicated topology
+// database (RFC 2328 §12, reduced to the two LSA types the simulated
+// network needs).
+//
+//   Router LSA   — one per router: its point-to-point links to other
+//                  routers, transit links onto multi-access segments, and
+//                  stub prefixes (the router's own subnets);
+//   Network LSA  — one per multi-access segment, originated by the
+//                  segment's Designated Router: the attached routers and
+//                  the segment's prefix.
+//
+// Instances are ordered by sequence number (age breaks exact ties only so
+// a prematurely-aged copy can displace its live twin during withdrawal).
+// `same_content()` deliberately ignores seq/age: a periodic refresh
+// carries a new sequence number but identical topology, and the SPF
+// scheduler must be able to tell the difference — refreshes must not cost
+// a Dijkstra run.
+#ifndef XRP_OSPF_LSA_HPP
+#define XRP_OSPF_LSA_HPP
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipnet.hpp"
+
+namespace xrp::ospf {
+
+enum class LsaType : uint8_t { kRouter = 1, kNetwork = 2 };
+
+// Database key (RFC 2328 §12.1): type + link-state id + advertising
+// router. For Router LSAs id == adv_router; for Network LSAs id is the
+// DR's interface address on the segment.
+struct LsaKey {
+    LsaType type = LsaType::kRouter;
+    net::IPv4 id{};
+    net::IPv4 adv_router{};
+    friend constexpr auto operator<=>(const LsaKey&, const LsaKey&) = default;
+    std::string str() const;
+};
+
+enum class LinkType : uint8_t {
+    kPointToPoint = 1,  // id = neighbour router id, data = own iface addr
+    kTransit = 2,       // id = DR iface addr,       data = own iface addr
+    kStub = 3,          // id = subnet prefix,       data = netmask
+};
+
+struct RouterLink {
+    LinkType type = LinkType::kStub;
+    net::IPv4 id{};
+    net::IPv4 data{};
+    uint32_t metric = 1;
+    friend constexpr auto operator<=>(const RouterLink&,
+                                      const RouterLink&) = default;
+};
+
+struct Lsa {
+    LsaType type = LsaType::kRouter;
+    net::IPv4 id{};
+    net::IPv4 adv_router{};
+    uint32_t seq = 0;
+    // Age in seconds at the moment of encoding/installation; the LSDB adds
+    // holding time on top (see Lsdb::current_age).
+    uint16_t age = 0;
+
+    // Router LSA payload.
+    std::vector<RouterLink> links;
+
+    // Network LSA payload: the segment's mask plus attached router ids.
+    uint8_t mask_len = 0;
+    std::vector<net::IPv4> attached;
+
+    LsaKey key() const { return {type, id, adv_router}; }
+    // Topology equality: everything except seq/age.
+    bool same_content(const Lsa& o) const {
+        return type == o.type && id == o.id && adv_router == o.adv_router &&
+               links == o.links && mask_len == o.mask_len &&
+               attached == o.attached;
+    }
+    bool operator==(const Lsa&) const = default;
+
+    // The prefix a Network LSA describes.
+    net::IPv4Net network() const { return {id, mask_len}; }
+
+    std::string str() const;
+};
+
+// RFC 2328 §13.1, reduced: >0 if `a` is the fresher instance, <0 if `b`
+// is, 0 for the same instance. Sequence number dominates; at equal seq a
+// MaxAge copy (premature aging) counts as fresher.
+int compare_freshness(const Lsa& a, uint16_t a_age, const Lsa& b,
+                      uint16_t b_age, uint16_t max_age);
+
+// Wire codec for one LSA (used inside Link State Update packets).
+void encode_lsa(const Lsa& lsa, std::vector<uint8_t>& out);
+// Decodes one LSA starting at `pos`; advances `pos` past it. nullopt (and
+// `pos` unspecified) on malformed input.
+std::optional<Lsa> decode_lsa(const uint8_t* data, size_t size, size_t& pos);
+
+}  // namespace xrp::ospf
+
+#endif

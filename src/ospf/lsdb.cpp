@@ -1,0 +1,54 @@
+#include "ospf/lsdb.hpp"
+
+#include <chrono>
+
+namespace xrp::ospf {
+
+uint16_t Lsdb::age_of(const Entry& e) const {
+    auto held = std::chrono::duration_cast<std::chrono::seconds>(
+        loop_.now() - e.installed);
+    int64_t age = static_cast<int64_t>(e.lsa.age) + held.count();
+    if (age >= max_age_) return max_age_;
+    return static_cast<uint16_t>(age < 0 ? 0 : age);
+}
+
+uint16_t Lsdb::current_age(const LsaKey& key) const {
+    auto it = db_.find(key);
+    return it == db_.end() ? max_age_ : age_of(it->second);
+}
+
+int Lsdb::compare_with_stored(const Lsa& cand, uint16_t cand_age) const {
+    auto it = db_.find(cand.key());
+    if (it == db_.end()) return 1;
+    return compare_freshness(cand, cand_age, it->second.lsa,
+                             age_of(it->second), max_age_);
+}
+
+Lsdb::InstallResult Lsdb::install(const Lsa& lsa) {
+    auto it = db_.find(lsa.key());
+    if (it == db_.end()) {
+        db_.emplace(lsa.key(), Entry{lsa, loop_.now()});
+        return {true, true};
+    }
+    if (compare_freshness(lsa, lsa.age, it->second.lsa, age_of(it->second),
+                          max_age_) <= 0)
+        return {false, false};
+    bool content_changed = !lsa.same_content(it->second.lsa);
+    it->second = Entry{lsa, loop_.now()};
+    return {true, content_changed};
+}
+
+std::vector<LsaKey> Lsdb::purge_expired() {
+    std::vector<LsaKey> purged;
+    for (auto it = db_.begin(); it != db_.end();) {
+        if (age_of(it->second) >= max_age_) {
+            purged.push_back(it->first);
+            it = db_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return purged;
+}
+
+}  // namespace xrp::ospf

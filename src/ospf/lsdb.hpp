@@ -1,0 +1,71 @@
+// The link-state database: every router's replicated copy of the area
+// topology (RFC 2328 §12.2). Keyed by (type, id, adv_router); each entry
+// remembers when it was installed so ages advance with the event-loop
+// clock (virtual clocks age LSAs for free in tests).
+//
+// `install` is the single freshness gate: a packet-received or
+// self-originated instance goes in only if it beats the stored copy, and
+// the result says whether the *topology* changed — the SPF scheduler
+// keys off content_changed, so periodic refreshes (new seq, same links)
+// never trigger a recompute.
+#ifndef XRP_OSPF_LSDB_HPP
+#define XRP_OSPF_LSDB_HPP
+
+#include <functional>
+#include <map>
+
+#include "ev/eventloop.hpp"
+#include "ospf/lsa.hpp"
+
+namespace xrp::ospf {
+
+class Lsdb {
+public:
+    struct Entry {
+        Lsa lsa;
+        ev::TimePoint installed{};
+    };
+    struct InstallResult {
+        bool installed = false;        // instance accepted (was fresher)
+        bool content_changed = false;  // topology differs from old copy
+    };
+
+    Lsdb(ev::EventLoop& loop, uint16_t max_age_secs = 3600)
+        : loop_(loop), max_age_(max_age_secs) {}
+
+    uint16_t max_age() const { return max_age_; }
+
+    InstallResult install(const Lsa& lsa);
+    bool remove(const LsaKey& key) { return db_.erase(key) > 0; }
+    const Lsa* lookup(const LsaKey& key) const {
+        auto it = db_.find(key);
+        return it == db_.end() ? nullptr : &it->second.lsa;
+    }
+
+    // Stored age plus holding time, saturated at max_age.
+    uint16_t current_age(const LsaKey& key) const;
+
+    size_t size() const { return db_.size(); }
+    const std::map<LsaKey, Entry>& entries() const { return db_; }
+    void for_each(const std::function<void(const Lsa&)>& fn) const {
+        for (const auto& [k, e] : db_) fn(e.lsa);
+    }
+
+    // Drops every entry that reached max_age; returns the purged keys.
+    std::vector<LsaKey> purge_expired();
+
+    // >0 if `cand` (a received instance with its wire age) is fresher than
+    // the stored copy; >0 also when no copy is stored.
+    int compare_with_stored(const Lsa& cand, uint16_t cand_age) const;
+
+private:
+    uint16_t age_of(const Entry& e) const;
+
+    ev::EventLoop& loop_;
+    uint16_t max_age_;
+    std::map<LsaKey, Entry> db_;
+};
+
+}  // namespace xrp::ospf
+
+#endif

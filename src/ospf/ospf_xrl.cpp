@@ -1,0 +1,62 @@
+#include "ospf/ospf_xrl.hpp"
+
+namespace xrp::ospf {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+void bind_ospf_xrl(OspfProcess& ospf, ipc::XrlRouter& router) {
+    auto spec = xrl::InterfaceSpec::parse(kOspfIdl);
+    router.add_interface(*spec);
+
+    router.add_handler(
+        "ospf/1.0/enable_interface", [&ospf](const XrlArgs& in, XrlArgs& out) {
+            out.add("ok", ospf.enable_interface(*in.get_text("ifname"),
+                                                *in.get_u32("cost")));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/disable_interface", [&ospf](const XrlArgs& in, XrlArgs&) {
+            ospf.disable_interface(*in.get_text("ifname"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/set_interface_cost",
+        [&ospf](const XrlArgs& in, XrlArgs& out) {
+            out.add("ok", ospf.set_interface_cost(*in.get_text("ifname"),
+                                                  *in.get_u32("cost")));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/get_status", [&ospf](const XrlArgs&, XrlArgs& out) {
+            out.add("router_id", ospf.router_id());
+            out.add("neighbors", static_cast<uint32_t>(ospf.neighbor_count()));
+            out.add("full", static_cast<uint32_t>(ospf.full_neighbor_count()));
+            out.add("lsas", static_cast<uint32_t>(ospf.lsdb().size()));
+            out.add("routes",
+                    static_cast<uint32_t>(ospf.installed_routes().size()));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/list_neighbors", [&ospf](const XrlArgs&, XrlArgs& out) {
+            out.add("text", ospf.describe_neighbors());
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/list_lsdb", [&ospf](const XrlArgs&, XrlArgs& out) {
+            out.add("count", static_cast<uint32_t>(ospf.lsdb().size()));
+            out.add("text", ospf.describe_lsdb());
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "ospf/1.0/get_spf_stats", [&ospf](const XrlArgs&, XrlArgs& out) {
+            const auto& s = ospf.spf().stats();
+            out.add("full_runs", static_cast<uint32_t>(s.full_runs));
+            out.add("incremental_runs",
+                    static_cast<uint32_t>(s.incremental_runs));
+            out.add("last_visited", static_cast<uint32_t>(s.last_visited));
+            return XrlError::okay();
+        });
+}
+
+}  // namespace xrp::ospf

@@ -1,0 +1,59 @@
+// XRL plumbing for OSPF:
+//   - bind_ospf_xrl(): exposes the ospf/1.0 interface (interface control
+//     and observability) on an XrlRouter;
+//   - XrlRibClient: the OSPF process's coupling to the RIB over XRLs, the
+//     same decoupling RIP uses ("ospf" protocol, admin distance 110).
+#ifndef XRP_OSPF_OSPF_XRL_HPP
+#define XRP_OSPF_OSPF_XRL_HPP
+
+#include "ipc/router.hpp"
+#include "ospf/ospf.hpp"
+
+namespace xrp::ospf {
+
+inline constexpr const char* kOspfIdl = R"(
+interface ospf/1.0 {
+    enable_interface ? ifname:txt & cost:u32 -> ok:bool;
+    disable_interface ? ifname:txt;
+    set_interface_cost ? ifname:txt & cost:u32 -> ok:bool;
+    get_status -> router_id:ipv4 & neighbors:u32 & full:u32 & lsas:u32 & routes:u32;
+    list_neighbors -> text:txt;
+    list_lsdb -> count:u32 & text:txt;
+    get_spf_stats -> full_runs:u32 & incremental_runs:u32 & last_visited:u32;
+}
+)";
+
+// Registers ospf/1.0 on `router` backed by `ospf`.
+void bind_ospf_xrl(OspfProcess& ospf, ipc::XrlRouter& router);
+
+class XrlRibClient final : public RibClient {
+public:
+    explicit XrlRibClient(ipc::XrlRouter& router, std::string rib_target = "rib")
+        : router_(router), target_(std::move(rib_target)) {}
+
+    void add_route(const net::IPv4Net& net, net::IPv4 nexthop,
+                   uint32_t metric) override {
+        xrl::XrlArgs args;
+        args.add("protocol", std::string("ospf"))
+            .add("net", net)
+            .add("nexthop", nexthop)
+            .add("metric", metric);
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
+    }
+
+    void delete_route(const net::IPv4Net& net) override {
+        xrl::XrlArgs args;
+        args.add("protocol", std::string("ospf")).add("net", net);
+        router_.send_ignore(
+            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
+    }
+
+private:
+    ipc::XrlRouter& router_;
+    std::string target_;
+};
+
+}  // namespace xrp::ospf
+
+#endif

@@ -1,0 +1,168 @@
+#include "ospf/packet.hpp"
+
+namespace xrp::ospf {
+
+namespace {
+
+inline constexpr uint8_t kVersion = 2;
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+    put_u16(out, static_cast<uint16_t>(v >> 16));
+    put_u16(out, static_cast<uint16_t>(v));
+}
+
+struct Reader {
+    const uint8_t* data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    uint8_t u8() {
+        if (pos + 1 > size) {
+            ok = false;
+            return 0;
+        }
+        return data[pos++];
+    }
+    uint16_t u16() {
+        uint16_t hi = u8(), lo = u8();
+        return static_cast<uint16_t>(hi << 8 | lo);
+    }
+    uint32_t u32() {
+        uint32_t hi = u16(), lo = u16();
+        return hi << 16 | lo;
+    }
+    net::IPv4 addr() { return net::IPv4(u32()); }
+};
+
+void put_header(std::vector<uint8_t>& out, const LsaHeader& h) {
+    out.push_back(static_cast<uint8_t>(h.type));
+    out.push_back(0);
+    put_u16(out, h.age);
+    put_u32(out, h.id.to_host());
+    put_u32(out, h.adv_router.to_host());
+    put_u32(out, h.seq);
+}
+
+std::optional<LsaHeader> read_header(Reader& r) {
+    LsaHeader h;
+    uint8_t type = r.u8();
+    if (type != 1 && type != 2) return std::nullopt;
+    h.type = static_cast<LsaType>(type);
+    r.u8();  // pad
+    h.age = r.u16();
+    h.id = r.addr();
+    h.adv_router = r.addr();
+    h.seq = r.u32();
+    if (!r.ok) return std::nullopt;
+    return h;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_packet(const OspfPacket& p) {
+    std::vector<uint8_t> out;
+    out.push_back(kVersion);
+    out.push_back(static_cast<uint8_t>(p.type));
+    put_u32(out, p.router_id.to_host());
+    switch (p.type) {
+        case PacketType::kHello:
+            put_u16(out, p.hello.hello_interval);
+            put_u16(out, p.hello.dead_interval);
+            put_u32(out, p.hello.dr.to_host());
+            put_u16(out, static_cast<uint16_t>(p.hello.neighbors.size()));
+            for (net::IPv4 n : p.hello.neighbors) put_u32(out, n.to_host());
+            break;
+        case PacketType::kDbDesc:
+        case PacketType::kLsAck:
+            put_u16(out, static_cast<uint16_t>(p.headers.size()));
+            for (const LsaHeader& h : p.headers) put_header(out, h);
+            break;
+        case PacketType::kLsRequest:
+            put_u16(out, static_cast<uint16_t>(p.requests.size()));
+            for (const LsaKey& k : p.requests) {
+                out.push_back(static_cast<uint8_t>(k.type));
+                out.push_back(0);
+                put_u32(out, k.id.to_host());
+                put_u32(out, k.adv_router.to_host());
+            }
+            break;
+        case PacketType::kLsUpdate:
+            put_u16(out, static_cast<uint16_t>(p.lsas.size()));
+            for (const Lsa& l : p.lsas) encode_lsa(l, out);
+            break;
+    }
+    return out;
+}
+
+std::optional<OspfPacket> decode_packet(const uint8_t* data, size_t size) {
+    Reader r{data, size};
+    OspfPacket p;
+    if (r.u8() != kVersion) return std::nullopt;
+    uint8_t type = r.u8();
+    if (type < 1 || type > 5) return std::nullopt;
+    p.type = static_cast<PacketType>(type);
+    p.router_id = r.addr();
+    if (!r.ok) return std::nullopt;
+    switch (p.type) {
+        case PacketType::kHello: {
+            p.hello.hello_interval = r.u16();
+            p.hello.dead_interval = r.u16();
+            p.hello.dr = r.addr();
+            uint16_t n = r.u16();
+            if (!r.ok) return std::nullopt;
+            for (uint16_t i = 0; i < n; ++i) {
+                net::IPv4 a = r.addr();
+                if (!r.ok) return std::nullopt;
+                p.hello.neighbors.push_back(a);
+            }
+            break;
+        }
+        case PacketType::kDbDesc:
+        case PacketType::kLsAck: {
+            uint16_t n = r.u16();
+            if (!r.ok) return std::nullopt;
+            for (uint16_t i = 0; i < n; ++i) {
+                auto h = read_header(r);
+                if (!h) return std::nullopt;
+                p.headers.push_back(*h);
+            }
+            break;
+        }
+        case PacketType::kLsRequest: {
+            uint16_t n = r.u16();
+            if (!r.ok) return std::nullopt;
+            for (uint16_t i = 0; i < n; ++i) {
+                LsaKey k;
+                uint8_t t = r.u8();
+                if (t != 1 && t != 2) return std::nullopt;
+                k.type = static_cast<LsaType>(t);
+                r.u8();  // pad
+                k.id = r.addr();
+                k.adv_router = r.addr();
+                if (!r.ok) return std::nullopt;
+                p.requests.push_back(k);
+            }
+            break;
+        }
+        case PacketType::kLsUpdate: {
+            uint16_t n = r.u16();
+            if (!r.ok) return std::nullopt;
+            for (uint16_t i = 0; i < n; ++i) {
+                auto l = decode_lsa(data, size, r.pos);
+                if (!l) return std::nullopt;
+                p.lsas.push_back(std::move(*l));
+            }
+            break;
+        }
+    }
+    // Reject trailing garbage so a truncation bug can't hide.
+    if (r.pos != size) return std::nullopt;
+    return p;
+}
+
+}  // namespace xrp::ospf

@@ -1,0 +1,73 @@
+// OSPF packet encode/decode (RFC 2328 §A, reduced). Five packet types:
+// Hello (neighbour discovery/keepalive), Database Description (LSDB
+// header summary at adjacency formation), Link State Request, Link State
+// Update (full LSAs — the flooding payload), and Link State Ack.
+//
+// Per the paper's §7 security design these travel over the FEA's UDP
+// relay (port 89, the real OSPF protocol number) rather than raw IP, so
+// the OSPF process needs no privileged sockets; AllSPFRouters multicast
+// reaches every router on a simnet segment.
+#ifndef XRP_OSPF_PACKET_HPP
+#define XRP_OSPF_PACKET_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ospf/lsa.hpp"
+
+namespace xrp::ospf {
+
+inline constexpr uint16_t kOspfPort = 89;
+// 224.0.0.5, AllSPFRouters.
+inline const net::IPv4 kAllSpfRouters = net::IPv4((224u << 24) | 5);
+
+enum class PacketType : uint8_t {
+    kHello = 1,
+    kDbDesc = 2,
+    kLsRequest = 3,
+    kLsUpdate = 4,
+    kLsAck = 5,
+};
+
+// The LSA instance summary carried by DbDesc and LsAck packets.
+struct LsaHeader {
+    LsaType type = LsaType::kRouter;
+    net::IPv4 id{};
+    net::IPv4 adv_router{};
+    uint32_t seq = 0;
+    uint16_t age = 0;
+    LsaKey key() const { return {type, id, adv_router}; }
+    friend constexpr auto operator<=>(const LsaHeader&,
+                                      const LsaHeader&) = default;
+    static LsaHeader of(const Lsa& lsa, uint16_t current_age) {
+        return {lsa.type, lsa.id, lsa.adv_router, lsa.seq, current_age};
+    }
+};
+
+struct HelloPayload {
+    uint16_t hello_interval = 10;  // seconds, for sanity checks only
+    uint16_t dead_interval = 40;
+    net::IPv4 dr{};  // sender's current DR view (diagnostics)
+    std::vector<net::IPv4> neighbors;  // router ids heard on this segment
+    bool operator==(const HelloPayload&) const = default;
+};
+
+struct OspfPacket {
+    PacketType type = PacketType::kHello;
+    net::IPv4 router_id{};
+
+    HelloPayload hello;              // kHello
+    std::vector<LsaHeader> headers;  // kDbDesc, kLsAck
+    std::vector<LsaKey> requests;    // kLsRequest
+    std::vector<Lsa> lsas;           // kLsUpdate
+
+    bool operator==(const OspfPacket&) const = default;
+};
+
+std::vector<uint8_t> encode_packet(const OspfPacket& p);
+std::optional<OspfPacket> decode_packet(const uint8_t* data, size_t size);
+
+}  // namespace xrp::ospf
+
+#endif

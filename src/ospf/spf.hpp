@@ -1,0 +1,137 @@
+// The SPF engine: Dijkstra over the link-state database (RFC 2328 §16),
+// with an incremental recompute path for the common case — one LSA
+// changed, most of the shortest-path tree still valid.
+//
+// Graph model: vertices are routers (Router LSAs) and multi-access
+// networks (Network LSAs). Edges exist only when both endpoints agree
+// (the §13.? back-link check): a one-way claim — router A lists B but B
+// doesn't list A — contributes nothing, which is what makes flooding
+// races and dead-router remnants safe to compute over. Stub links and
+// network prefixes are not vertices; they are prefix contributions hung
+// off reachable vertices after the tree is built.
+//
+// Incremental algorithm (the Ramalingam–Reps family, specialised to SPT
+// maintenance): diff the changed LSAs' edges against the last run's
+// snapshot; cost decreases seed relaxations, cost increases/removals on
+// tree edges invalidate exactly the affected subtree, which is then
+// re-settled by a Dijkstra restricted to candidates entering from the
+// stable region. Work is proportional to the part of the tree that
+// actually moves, not to the topology — bench_spf measures the gap.
+// Refresh-only changes (same content, new seq) and pure stub-metric
+// changes skip the graph phase entirely. When the engine has no prior
+// state, the root moved, or the change set is too broad, it falls back
+// to a full run; equivalence of the two paths is pinned by test_ospf's
+// random-mutation test.
+#ifndef XRP_OSPF_SPF_HPP
+#define XRP_OSPF_SPF_HPP
+
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "ospf/lsdb.hpp"
+
+namespace xrp::ospf {
+
+struct SpfRoute {
+    uint32_t cost = 0;
+    // First-hop address; 0 for prefixes on the root itself or on a
+    // directly attached segment (the RIB's connected origin owns those).
+    net::IPv4 nexthop{};
+    friend constexpr auto operator<=>(const SpfRoute&,
+                                      const SpfRoute&) = default;
+};
+
+using RouteMap = std::map<net::IPv4Net, SpfRoute>;
+
+class SpfEngine {
+public:
+    struct Stats {
+        uint64_t full_runs = 0;
+        uint64_t incremental_runs = 0;
+        // Incremental requests that had to fall back to a full run.
+        uint64_t fallbacks = 0;
+        // Vertices settled by the most recent run.
+        size_t last_visited = 0;
+    };
+
+    void set_root(net::IPv4 router_id) {
+        if (root_ != router_id) {
+            root_ = router_id;
+            has_run_ = false;
+        }
+    }
+    net::IPv4 root() const { return root_; }
+    bool has_run() const { return has_run_; }
+
+    const RouteMap& run_full(const Lsdb& db);
+    // `changed` are the LSDB keys whose instances were installed/removed
+    // since the last run (refresh-only keys are fine — they are detected
+    // and skipped).
+    const RouteMap& run_incremental(const Lsdb& db,
+                                    const std::vector<LsaKey>& changed);
+
+    const RouteMap& routes() const { return routes_; }
+    const Stats& stats() const { return stats_; }
+
+private:
+    static constexpr uint32_t kInf = 0xffffffffu;
+
+    struct Vertex {
+        LsaType kind = LsaType::kRouter;
+        net::IPv4 id{};
+        friend constexpr auto operator<=>(const Vertex&,
+                                          const Vertex&) = default;
+    };
+    struct Node {
+        uint32_t dist = kInf;
+        Vertex parent{};
+        bool has_parent = false;
+        net::IPv4 nexthop{};
+        uint64_t processed_run = 0;
+    };
+    struct QueueEntry {
+        uint32_t dist;
+        Vertex v;
+        bool operator>(const QueueEntry& o) const {
+            if (dist != o.dist) return dist > o.dist;
+            return o.v < v;
+        }
+    };
+
+    const Lsa* router_lsa(net::IPv4 id) const;
+    const Lsa* network_lsa(net::IPv4 id) const;
+    // Directed edge weight under the current snapshot, with back-link
+    // checks; nullopt if the edge does not (or no longer does) exist.
+    std::optional<uint32_t> edge_weight(const Vertex& a,
+                                        const Vertex& b) const;
+    // Neighbour vertex set claimed by `v`'s LSA, no validity checks.
+    std::vector<Vertex> raw_targets(const Vertex& v) const;
+    net::IPv4 first_hop(const Vertex& parent, const Vertex& child) const;
+    void relax(const Vertex& v,
+               std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                   std::greater<QueueEntry>>& pq);
+    void add_contributions(const Vertex& v, std::set<net::IPv4Net>* touched);
+    void drop_contributions(const Vertex& v, std::set<net::IPv4Net>* touched);
+    void recompute_winners(const std::set<net::IPv4Net>& touched);
+    void rebuild_snapshot(const Lsdb& db);
+
+    net::IPv4 root_{};
+    bool has_run_ = false;
+    uint64_t run_id_ = 0;
+
+    // Last-run snapshot: LSA contents, network-LSA index, the SPT, prefix
+    // contributions per vertex, and the resulting routes.
+    std::map<LsaKey, Lsa> snap_;
+    std::map<net::IPv4, LsaKey> net_idx_;
+    std::map<Vertex, Node> nodes_;
+    std::map<net::IPv4Net, std::map<Vertex, SpfRoute>> contrib_;
+    std::map<Vertex, std::vector<net::IPv4Net>> vertex_prefixes_;
+    RouteMap routes_;
+    Stats stats_;
+};
+
+}  // namespace xrp::ospf
+
+#endif

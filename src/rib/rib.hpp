@@ -9,12 +9,18 @@
 // registrations (Figure 8) and pushes cache invalidations; and the final
 // sink feeds the FEA.
 //
-//   connected --\
-//   static   --- merge \
-//   ospf     ---- merge - merge = internal --\
+//   connected --.
+//   static   --- merge .
+//   ospf     ---- merge - merge = internal --.
 //   rip      ---/                             ExtInt -> [Redist]* -> Register -> FEA
 //   ebgp     --- merge ======== external ----/
 //   ibgp     ---/
+//
+// Every origin shown is live: connected routes come from the FEA's
+// interface table, static from the Router Manager, ospf from the
+// OspfProcess's SPF results, rip from the RipProcess, and ebgp/ibgp from
+// the BgpProcess — each injecting through add_route under its protocol
+// name and arbitrated by the distance table below.
 //
 // Profiling points: "rib_in" (route arriving at the RIB) and
 // "rib_fea_queued" (winner queued for transmission to the FEA) — the
@@ -72,7 +78,17 @@ private:
 
 class Rib {
 public:
-    // Conventional administrative distances; operators can override.
+    // The protocol -> administrative-distance table, defined in this one
+    // place (operators can override per protocol at runtime with
+    // set_admin_distance):
+    //
+    //   protocol    distance   fed by
+    //   connected       0      FEA interface subnets
+    //   static          1      Router Manager config
+    //   ebgp           20      BgpProcess, external sessions
+    //   ospf          110      OspfProcess (SPF results)
+    //   rip           120      RipProcess
+    //   ibgp          200      BgpProcess, internal sessions
     static constexpr uint32_t kDistanceConnected = 0;
     static constexpr uint32_t kDistanceStatic = 1;
     static constexpr uint32_t kDistanceEbgp = 20;

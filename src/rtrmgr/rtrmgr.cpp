@@ -28,6 +28,13 @@ Router::Router(std::string name, ev::EventLoop& loop)
         std::make_unique<rip::XrlRibClient>(*rip_xr_));
     rip_xr_->finalize();
 
+    ospf_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "ospf", true);
+    ospf_ = std::make_unique<ospf::OspfProcess>(
+        plexus_.loop, *fea_, ospf::OspfProcess::Config{},
+        std::make_unique<ospf::XrlRibClient>(*ospf_xr_));
+    ospf::bind_ospf_xrl(*ospf_, *ospf_xr_);
+    ospf_xr_->finalize();
+
     mgr_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rtrmgr", true);
     mgr_xr_->finalize();
 }
@@ -87,6 +94,25 @@ bool Router::validate(const ConfigTree& tree, std::string* error) const {
                     for (const ConfigNode& c : proto.children)
                         if (c.name != "interface" || c.args.size() != 1)
                             return fail(error, "rip: expected 'interface <name>'");
+                } else if (proto.name == "ospf") {
+                    for (const ConfigNode& c : proto.children) {
+                        if (c.name == "router-id") {
+                            if (c.args.size() != 1 || !IPv4::parse(c.args[0]))
+                                return fail(error, "ospf: bad router-id");
+                        } else if (c.name == "interface") {
+                            if (c.args.size() != 1)
+                                return fail(error,
+                                            "ospf: expected 'interface <name>'");
+                            if (auto cost = c.leaf_value("cost");
+                                cost && std::atoi(cost->c_str()) <= 0)
+                                return fail(error, "ospf: interface " +
+                                                       c.args[0] +
+                                                       ": bad cost");
+                        } else {
+                            return fail(error,
+                                        "ospf: unknown statement: " + c.name);
+                        }
+                    }
                 } else if (proto.name == "bgp") {
                     auto as = proto.leaf_value("local-as");
                     auto id = proto.leaf_value("bgp-id");
@@ -193,6 +219,35 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
         if (new_rip.count(ifname) == 0) rip_->disable_interface(ifname);
     for (const std::string& ifname : new_rip)
         if (old_rip.count(ifname) == 0) rip_->enable_interface(ifname);
+
+    // ---- OSPF interfaces (diffed; costs applied in place) ----------------
+    if (const ConfigNode* o = tree.find("protocols/ospf"))
+        if (auto rid = o->leaf_value("router-id"))
+            ospf_->set_router_id(IPv4::must_parse(*rid));
+    auto collect_ospf = [](const ConfigTree& t) {
+        std::map<std::string, uint32_t> out;
+        if (const ConfigNode* o = t.find("protocols/ospf"))
+            for (const ConfigNode& c : o->children)
+                if (c.name == "interface") {
+                    uint32_t cost = 1;
+                    if (auto v = c.leaf_value("cost"))
+                        cost = static_cast<uint32_t>(std::atoi(v->c_str()));
+                    out[c.args[0]] = cost;
+                }
+        return out;
+    };
+    auto old_ospf = collect_ospf(running_);
+    auto new_ospf = collect_ospf(tree);
+    for (const auto& [ifname, cost] : old_ospf)
+        if (new_ospf.find(ifname) == new_ospf.end())
+            ospf_->disable_interface(ifname);
+    for (const auto& [ifname, cost] : new_ospf) {
+        auto it = old_ospf.find(ifname);
+        if (it == old_ospf.end())
+            ospf_->enable_interface(ifname, cost);
+        else if (it->second != cost)
+            ospf_->set_interface_cost(ifname, cost);
+    }
 
     // ---- BGP (created once) ----------------------------------------------
     if (const ConfigNode* b = tree.find("protocols/bgp")) {

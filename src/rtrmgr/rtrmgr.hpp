@@ -20,6 +20,8 @@
 #include "bgp/process.hpp"
 #include "fea/fea.hpp"
 #include "fea/fea_xrl.hpp"
+#include "ospf/ospf.hpp"
+#include "ospf/ospf_xrl.hpp"
 #include "rib/rib.hpp"
 #include "rib/rib_xrl.hpp"
 #include "rip/rip.hpp"
@@ -42,6 +44,7 @@ public:
     fea::Fea& fea() { return *fea_; }
     rib::Rib& rib() { return *rib_; }
     rip::RipProcess& rip() { return *rip_; }
+    ospf::OspfProcess& ospf() { return *ospf_; }
     // Null until a bgp section is configured.
     bgp::BgpProcess* bgp() { return bgp_.get(); }
 
@@ -71,12 +74,14 @@ private:
     std::unique_ptr<ipc::XrlRouter> fea_xr_;
     std::unique_ptr<ipc::XrlRouter> rib_xr_;
     std::unique_ptr<ipc::XrlRouter> rip_xr_;
+    std::unique_ptr<ipc::XrlRouter> ospf_xr_;
     std::unique_ptr<ipc::XrlRouter> bgp_xr_;
     std::unique_ptr<ipc::XrlRouter> mgr_xr_;  // the Router Manager's own
 
     std::unique_ptr<fea::Fea> fea_;
     std::unique_ptr<rib::Rib> rib_;
     std::unique_ptr<rip::RipProcess> rip_;
+    std::unique_ptr<ospf::OspfProcess> ospf_;
     std::unique_ptr<bgp::BgpProcess> bgp_;
 
     ConfigTree running_;

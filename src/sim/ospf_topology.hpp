@@ -1,0 +1,75 @@
+// OspfTopology: assembly helper for multi-router OSPF simulations.
+//
+// Builds N single-process routers (Fea + Rib + OspfProcess with the
+// direct couplings) on one shared event loop and VirtualNetwork, and
+// wires them with point-to-point segments, shared LANs, or stub subnets.
+// Router ids are assigned in index order (higher index = higher id), so
+// DR election outcomes are deterministic in tests. Used by test_ospf and
+// the experiments.
+#ifndef XRP_SIM_OSPF_TOPOLOGY_HPP
+#define XRP_SIM_OSPF_TOPOLOGY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "fea/simnet.hpp"
+#include "ospf/ospf.hpp"
+#include "rib/rib.hpp"
+
+namespace xrp::sim {
+
+class OspfTopology {
+public:
+    struct Node {
+        net::IPv4 router_id;
+        std::unique_ptr<fea::Fea> fea;
+        std::unique_ptr<rib::Rib> rib;
+        std::unique_ptr<ospf::OspfProcess> ospf;
+    };
+    struct Segment {
+        int link_id = 0;
+        net::IPv4Net subnet;
+        std::string ifname;  // the same name on every member router
+        std::vector<size_t> members;
+    };
+
+    OspfTopology(ev::EventLoop& loop, fea::VirtualNetwork& net,
+                 ospf::OspfProcess::Config base = {});
+
+    // Adds a router; returns its index. Router id is 192.168.0.(index+1).
+    size_t add_router();
+
+    // A dedicated segment joining two routers (10.0.<n>.0/24; a gets .1,
+    // b gets .2). Returns the segment index.
+    size_t connect(size_t a, size_t b, uint32_t cost_a = 1,
+                   uint32_t cost_b = 1);
+    // A shared LAN segment; member k gets host .k+1. One interface cost
+    // for everyone.
+    size_t connect_lan(const std::vector<size_t>& members, uint32_t cost = 1);
+    // A leaf subnet on one router: an interface with no peers, advertised
+    // as a stub link. Returns the prefix.
+    net::IPv4Net add_stub(size_t r, uint32_t cost = 1);
+
+    Node& node(size_t i) { return *nodes_[i]; }
+    const Segment& segment(size_t i) const { return segments_[i]; }
+    size_t size() const { return nodes_.size(); }
+    fea::VirtualNetwork& network() { return net_; }
+
+    // True when every router has reached Full with every neighbour it
+    // shares a segment with.
+    bool all_adjacencies_full() const;
+
+private:
+    Segment& new_segment(const std::vector<size_t>& members);
+
+    ev::EventLoop& loop_;
+    fea::VirtualNetwork& net_;
+    ospf::OspfProcess::Config base_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<Segment> segments_;
+    int next_subnet_ = 1;  // 10.0.<n>.0/24 allocator (wraps into 10.<m>)
+};
+
+}  // namespace xrp::sim
+
+#endif

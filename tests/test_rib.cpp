@@ -3,6 +3,8 @@
 // registration with invalidation, and the FEA feed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ev/eventloop.hpp"
 #include "rib/rib.hpp"
 
@@ -218,4 +220,80 @@ TEST(Rib, ProfilerPointsFire) {
                     IPv4::must_parse("192.0.2.9"));
     EXPECT_EQ(prof.records("rib_in").size(), 1u);
     EXPECT_EQ(prof.records("rib_fea_queued").size(), 1u);
+}
+
+TEST(Rib, RedistStagesAreDynamicAndIndependent) {
+    RibFixture f;
+    // A route installed before any tap exists is not replayed: a Redist
+    // stage spliced in mid-stream sees only future updates.
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    std::vector<std::string> rip_tap, all_tap;
+    uint64_t rip_id = f.rib.add_redist(
+        [](const Route4& r) { return r.protocol == "rip"; },
+        [&](bool add, const Route4& r) {
+            rip_tap.push_back((add ? "add " : "del ") + r.net.str());
+        });
+    uint64_t all_id = f.rib.add_redist(
+        [](const Route4&) { return true; },
+        [&](bool add, const Route4& r) {
+            all_tap.push_back((add ? "add " : "del ") + r.net.str());
+        });
+    EXPECT_TRUE(rip_tap.empty());
+    EXPECT_TRUE(all_tap.empty());
+
+    // Each stage filters with its own predicate on the same winner stream.
+    f.rib.add_route("rip", IPv4Net::must_parse("20.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    f.rib.add_route("static", IPv4Net::must_parse("30.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.8"));
+    EXPECT_EQ(rip_tap, (std::vector<std::string>{"add 20.0.0.0/8"}));
+    EXPECT_EQ(all_tap, (std::vector<std::string>{"add 20.0.0.0/8",
+                                                 "add 30.0.0.0/8"}));
+
+    // Removing one stage (idempotently; unknown ids are ignored) leaves
+    // the other wired in.
+    f.rib.remove_redist(rip_id);
+    f.rib.remove_redist(rip_id);
+    f.rib.remove_redist(424242);
+    f.rib.delete_route("rip", IPv4Net::must_parse("20.0.0.0/8"));
+    EXPECT_EQ(rip_tap.size(), 1u);
+    ASSERT_EQ(all_tap.size(), 3u);
+    EXPECT_EQ(all_tap[2], "del 20.0.0.0/8");
+
+    f.rib.remove_redist(all_id);
+    f.rib.add_route("rip", IPv4Net::must_parse("40.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"));
+    EXPECT_EQ(all_tap.size(), 3u);
+    // The routes themselves were never disturbed by tap churn.
+    EXPECT_EQ(f.rib.route_count(), 3u);
+}
+
+TEST(Rib, RedistTapsWinnersNotOrigins) {
+    RibFixture f;
+    std::vector<std::string> tapped;
+    f.rib.add_redist(
+        [](const Route4&) { return true; },
+        [&](bool add, const Route4& r) {
+            tapped.push_back((add ? "add " : "del ") + r.net.str() + " " +
+                             r.protocol);
+        });
+    IPv4Net net = IPv4Net::must_parse("10.0.0.0/8");
+    f.rib.add_route("static", net, IPv4::must_parse("192.0.2.8"));
+    ASSERT_EQ(tapped.size(), 1u);
+    EXPECT_EQ(tapped[0], "add 10.0.0.0/8 static");
+
+    // A losing route (rip, distance 120 > static's 1) never reaches the
+    // redist stage: it taps the arbitrated winner stream, not the origins.
+    f.rib.add_route("rip", net, IPv4::must_parse("192.0.2.120"));
+    EXPECT_EQ(tapped.size(), 1u);
+
+    // When the winner is withdrawn the runner-up takes over, and the tap
+    // sees the handover.
+    f.rib.delete_route("static", net);
+    ASSERT_FALSE(tapped.empty());
+    EXPECT_EQ(tapped.back(), "add 10.0.0.0/8 rip");
+    EXPECT_EQ(std::count(tapped.begin(), tapped.end(),
+                         "del 10.0.0.0/8 static"),
+              1);
 }

@@ -274,3 +274,115 @@ TEST(RouterManager, TwoRoutersRunBgpWithXrlCoupledRibs) {
         [&] { return r2.fea().lookup(IPv4::must_parse("10.1.1.1")) == nullptr; },
         60s));
 }
+
+TEST(RouterManager, OspfConfigValidationRejectsBadInput) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    EXPECT_FALSE(router.configure(
+        "protocols { ospf { router-id banana; } }", &err));
+    EXPECT_NE(err.find("router-id"), std::string::npos);
+    EXPECT_FALSE(router.configure(
+        "protocols { ospf { flood-rate 5; } }", &err));
+    EXPECT_NE(err.find("unknown statement"), std::string::npos);
+    EXPECT_FALSE(router.configure(
+        "protocols { ospf { interface eth0 { cost 0; } } }", &err));
+    EXPECT_NE(err.find("ospf"), std::string::npos);
+    // Nothing was applied.
+    EXPECT_EQ(router.ospf().neighbor_count(), 0u);
+    EXPECT_EQ(router.fea().interfaces().size(), 0u);
+}
+
+TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
+    // The whole OSPF path through the Router Manager: config commit
+    // enables interfaces on the OspfProcess, adjacencies form over the
+    // virtual network, and learned routes flow OSPF --XRL--> RIB --XRL-->
+    // FEA (the OSPF process holds no direct reference to the RIB).
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Router r1("r1", loop), r2("r2", loop);
+    std::string err;
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces {
+            eth0 { address 10.0.1.1/24; }
+            eth1 { address 172.16.1.1/24; }
+        }
+        protocols {
+            ospf {
+                router-id 1.1.1.1;
+                interface eth0 { cost 2; }
+                interface eth1;
+            }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r2.configure(R"(
+        interfaces { eth0 { address 10.0.1.2/24; } }
+        protocols { ospf { router-id 2.2.2.2; interface eth0; } }
+    )",
+                             &err))
+        << err;
+    EXPECT_EQ(r1.ospf().router_id().str(), "1.1.1.1");
+    int link = network.add_link();
+    r1.attach_link(network, link, "eth0");
+    r2.attach_link(network, link, "eth0");
+
+    // r1's eth1 has no OSPF peers: it is advertised as a stub prefix and
+    // shows up in r2's RIB under the ospf origin.
+    IPv4Net stub = IPv4Net::must_parse("172.16.1.0/24");
+    ASSERT_TRUE(loop.run_until(
+        [&] { return r2.rib().lookup_exact(stub).has_value(); }, 120s));
+    auto got = r2.rib().lookup_exact(stub);
+    EXPECT_EQ(got->protocol, "ospf");
+    EXPECT_EQ(got->nexthop.str(), "10.0.1.1");
+    EXPECT_EQ(got->metric, 2u);  // r2's iface cost 1 + eth1's stub cost 1
+    // All the way into r2's forwarding plane.
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.fea().lookup(IPv4::must_parse("172.16.1.9")) != nullptr;
+        },
+        10s));
+
+    // The ospf/1.0 XRL face, through r2's Finder like any operator tool.
+    ipc::XrlRouter cli(r2.plexus(), "cli");
+    bool replied = false;
+    cli.send(xrl::Xrl::generic("ospf", "ospf", "1.0", "get_status",
+                               xrl::XrlArgs()),
+             [&](const xrl::XrlError& e, const xrl::XrlArgs& out) {
+                 ASSERT_TRUE(e.ok()) << e.str();
+                 EXPECT_EQ(out.get_ipv4("router_id")->str(), "2.2.2.2");
+                 EXPECT_EQ(*out.get_u32("full"), 1u);
+                 EXPECT_GE(*out.get_u32("lsas"), 2u);
+                 EXPECT_GE(*out.get_u32("routes"), 1u);
+                 replied = true;
+             });
+    ASSERT_TRUE(loop.run_until([&] { return replied; }, 5s));
+    replied = false;
+    cli.send(xrl::Xrl::generic("ospf", "ospf", "1.0", "list_neighbors",
+                               xrl::XrlArgs()),
+             [&](const xrl::XrlError& e, const xrl::XrlArgs& out) {
+                 ASSERT_TRUE(e.ok()) << e.str();
+                 EXPECT_NE(out.get_text("text")->find("1.1.1.1"),
+                           std::string::npos);
+                 EXPECT_NE(out.get_text("text")->find("Full"),
+                           std::string::npos);
+                 replied = true;
+             });
+    ASSERT_TRUE(loop.run_until([&] { return replied; }, 5s));
+
+    // Reconfigure r1 without the ospf section: the commit diff disables
+    // the interfaces, the adjacency dies, and r2 withdraws the route.
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces {
+            eth0 { address 10.0.1.1/24; }
+            eth1 { address 172.16.1.1/24; }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(loop.run_until(
+        [&] { return !r2.rib().lookup_exact(stub).has_value(); }, 120s));
+}
