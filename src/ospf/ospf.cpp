@@ -294,11 +294,14 @@ void OspfProcess::handle_lsupdate(Neighbor& n, const std::string& ifname,
         }
         if (lsa.age >= db_.max_age()) {
             // Premature aging: drop any stored copy and propagate the kill.
+            // With no database copy there is nothing to withdraw — ack and
+            // discard (RFC 2328 §13 step 4); re-flooding would let the kill
+            // circulate forever around any topology cycle.
             if (db_.lookup(lsa.key()) != nullptr) {
                 db_.remove(lsa.key());
                 schedule_spf(lsa.key());
+                flood(lsa, ifname);
             }
-            flood(lsa, ifname);
         } else {
             auto res = db_.install(lsa);
             if (res.installed) {

@@ -51,9 +51,8 @@ void bind_ospf_xrl(OspfProcess& ospf, ipc::XrlRouter& router) {
     router.add_handler(
         "ospf/1.0/get_spf_stats", [&ospf](const XrlArgs&, XrlArgs& out) {
             const auto& s = ospf.spf().stats();
-            out.add("full_runs", static_cast<uint32_t>(s.full_runs));
-            out.add("incremental_runs",
-                    static_cast<uint32_t>(s.incremental_runs));
+            out.add("full_runs", s.full_runs);
+            out.add("incremental_runs", s.incremental_runs);
             out.add("last_visited", static_cast<uint32_t>(s.last_visited));
             return XrlError::okay();
         });

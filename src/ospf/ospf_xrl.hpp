@@ -19,7 +19,7 @@ interface ospf/1.0 {
     get_status -> router_id:ipv4 & neighbors:u32 & full:u32 & lsas:u32 & routes:u32;
     list_neighbors -> text:txt;
     list_lsdb -> count:u32 & text:txt;
-    get_spf_stats -> full_runs:u32 & incremental_runs:u32 & last_visited:u32;
+    get_spf_stats -> full_runs:u64 & incremental_runs:u64 & last_visited:u32;
 }
 )";
 

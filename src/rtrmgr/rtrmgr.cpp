@@ -149,7 +149,6 @@ bool Router::validate(const ConfigTree& tree, std::string* error) const {
 }
 
 bool Router::apply(const ConfigTree& tree, std::string* error) {
-    (void)error;
     // ---- interfaces (additive) ----------------------------------------
     if (const ConfigNode* ifs = tree.find("interfaces")) {
         for (const ConfigNode& itf : ifs->children) {
@@ -223,7 +222,10 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
     // ---- OSPF interfaces (diffed; costs applied in place) ----------------
     if (const ConfigNode* o = tree.find("protocols/ospf"))
         if (auto rid = o->leaf_value("router-id"))
-            ospf_->set_router_id(IPv4::must_parse(*rid));
+            if (!ospf_->set_router_id(IPv4::must_parse(*rid)))
+                return fail(error,
+                            "ospf: router-id cannot change while interfaces "
+                            "are enabled");
     auto collect_ospf = [](const ConfigTree& t) {
         std::map<std::string, uint32_t> out;
         if (const ConfigNode* o = t.find("protocols/ospf"))

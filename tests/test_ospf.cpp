@@ -715,6 +715,63 @@ TEST(OspfProcess, MaxAgePurgesUnrefreshedLsas) {
     EXPECT_FALSE(f.topo.node(a).rib->lookup_exact(stub_b).has_value());
 }
 
+TEST(OspfProcess, MaxAgeKillWithNoDatabaseCopyDoesNotRecirculate) {
+    TopoFixture f;
+    size_t r0 = f.topo.add_router();
+    size_t r1 = f.topo.add_router();
+    size_t r2 = f.topo.add_router();
+    size_t r3 = f.topo.add_router();
+    size_t lan = f.topo.connect_lan({r0, r1, r2, r3});
+    f.topo.connect(r3, r0);
+    f.topo.connect(r3, r2);
+    ASSERT_TRUE(f.converge());
+    // Wait for the LAN's Network LSA (originated by the DR r3, which has
+    // the highest router id) to flood to every router.
+    LsaKey key{LsaType::kNetwork, f.seg_addr(lan, 3),
+               f.topo.node(r3).router_id};
+    ASSERT_TRUE(f.loop.run_until(
+        [&] {
+            for (size_t i = 0; i < f.topo.size(); ++i)
+                if (f.topo.node(i).ospf->lsdb().lookup(key) == nullptr)
+                    return false;
+            return true;
+        },
+        60s));
+
+    // Disabling the DR's LAN interface makes it withdraw that Network LSA
+    // with a premature-aged (MaxAge) kill flooded out its two surviving
+    // point-to-point links. The intact r3-r0-LAN-r2-r3 cycle delivers the
+    // kill to several routers twice; the second copy finds no database
+    // copy and must be acknowledged and discarded (RFC 2328 §13 step 4) —
+    // re-flooding it would let the kill chase itself around the cycle
+    // forever.
+    f.topo.node(r3).ospf->disable_interface(f.topo.segment(lan).ifname);
+
+    // The withdrawal reaches every router...
+    ASSERT_TRUE(f.loop.run_until(
+        [&] {
+            for (size_t i = 0; i < f.topo.size(); ++i)
+                if (f.topo.node(i).ospf->lsdb().lookup(key) != nullptr)
+                    return false;
+            return true;
+        },
+        60s));
+
+    // ...and once reconvergence settles (DR re-election, router-LSA
+    // refloods, dead timers), flooding goes quiet: no LsUpdate leaves any
+    // router during a window well under the 30-minute refresh interval.
+    f.loop.run_for(120s);
+    auto floods = [&] {
+        uint64_t n = 0;
+        for (size_t i = 0; i < f.topo.size(); ++i)
+            n += f.topo.node(i).ospf->stats().floods_sent;
+        return n;
+    };
+    uint64_t settled = floods();
+    f.loop.run_for(100s);
+    EXPECT_EQ(floods(), settled);
+}
+
 TEST(OspfProcess, LanElectsDrAndOriginatesOneNetworkLsa) {
     TopoFixture f;
     size_t r0 = f.topo.add_router();

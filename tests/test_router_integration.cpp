@@ -294,6 +294,30 @@ TEST(RouterManager, OspfConfigValidationRejectsBadInput) {
     EXPECT_EQ(router.fea().interfaces().size(), 0u);
 }
 
+TEST(RouterManager, OspfRouterIdChangeRejectedWhileInterfacesRun) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router router("r1", loop);
+    std::string err;
+    const char* base = R"(
+        interfaces { eth0 { address 10.0.1.1/24; } }
+        protocols { ospf { router-id 1.1.1.1; interface eth0; } }
+    )";
+    ASSERT_TRUE(router.configure(base, &err)) << err;
+    // Re-committing the same id is a no-op.
+    EXPECT_TRUE(router.configure(base, &err)) << err;
+    // The identity cannot change while interfaces are running — LSAs
+    // already flooded under the old id can't be recalled. The commit must
+    // fail loudly, not report success while keeping the old id.
+    EXPECT_FALSE(router.configure(R"(
+        interfaces { eth0 { address 10.0.1.1/24; } }
+        protocols { ospf { router-id 9.9.9.9; interface eth0; } }
+    )",
+                                  &err));
+    EXPECT_NE(err.find("router-id"), std::string::npos);
+    EXPECT_EQ(router.ospf().router_id().str(), "1.1.1.1");
+}
+
 TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
     // The whole OSPF path through the Router Manager: config commit
     // enables interfaces on the OspfProcess, adjacencies form over the
