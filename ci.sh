@@ -1,8 +1,11 @@
 #!/bin/sh
 # Tier-1 CI: plain build + tests, then an address/undefined-sanitized
-# build + tests, then a bench smoke pass (every benchmark binary runs
-# for a token interval — catches crashes and assertion failures without
-# waiting for real measurements). Any failing step fails the script.
+# build + tests, then a chaos pass (the integration + chaos suites rerun
+# with seeded XRL fault injection — 5% drops and 0-10 ms delays on every
+# dispatch — so the reliable call contract is exercised on every run),
+# then a bench smoke pass (every benchmark binary runs for a token
+# interval — catches crashes and assertion failures without waiting for
+# real measurements). Any failing step fails the script.
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,6 +20,16 @@ echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DXRP_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== chaos pass (seeded fault injection) =="
+# Fixed seed: a failure here replays exactly. The shrunk attempt timeout
+# keeps real-clock retries fast; virtual-clock tests ignore it.
+(cd build && \
+    XRP_FAULT_SEED=1777 \
+    XRP_FAULT_DROP_PERMILLE=50 \
+    XRP_FAULT_DELAY_MS=10 \
+    XRP_CALL_ATTEMPT_TIMEOUT_MS=50 \
+    ctest -R 'Chaos|RouterManager' --output-on-failure -j "$JOBS")
 
 echo "== bench smoke =="
 for b in build/bench/bench_*; do

@@ -11,7 +11,16 @@
 //
 //   ./call_xrl 'finder://rib/rib/1.0/add_route?protocol:txt=static&net:ipv4net=10.0.0.0/8&nexthop:ipv4=192.0.2.254&metric:u32=1' \
 //              'finder://rib/rib/1.0/lookup_route4?addr:ipv4=10.1.2.3'
+//
+// Every call runs under the reliable call contract. --deadline-ms=N
+// bounds the total wall budget (attempts, backoff and failover included)
+// and --attempts=N caps the retry cycles, so a dead or wedged target
+// yields a typed TIMEOUT/TARGET_DEAD error instead of a hung script:
+//
+//   ./call_xrl --deadline-ms=250 'finder://rib/rib/1.0/get_route_count'
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "fea/fea_xrl.hpp"
 #include "rib/rib_xrl.hpp"
@@ -22,6 +31,8 @@ using namespace std::chrono_literals;
 int main(int argc, char** argv) {
     ev::RealClock clock;
     ipc::Plexus plexus(clock);
+
+    ipc::CallOptions opts = ipc::CallOptions::reliable();
 
     // Host components so there is something to call.
     ipc::XrlRouter fea_xr(plexus, "fea", true);
@@ -40,9 +51,23 @@ int main(int argc, char** argv) {
     client.finalize();
 
     std::vector<std::string> calls;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i) calls.emplace_back(argv[i]);
-    } else {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+            long ms = std::atol(argv[i] + 14);
+            if (ms > 0) {
+                opts.with_deadline(std::chrono::milliseconds(ms));
+                // Keep room for at least two attempts inside the budget.
+                opts.with_attempt_timeout(std::chrono::milliseconds(
+                    ms > 1 ? ms / 2 : 1));
+            }
+        } else if (std::strncmp(argv[i], "--attempts=", 11) == 0) {
+            long n = std::atol(argv[i] + 11);
+            if (n > 0) opts.with_attempts(static_cast<uint32_t>(n));
+        } else {
+            calls.emplace_back(argv[i]);
+        }
+    }
+    if (calls.empty()) {
         calls = {
             "finder://rib/rib/1.0/add_route?protocol:txt=static&"
             "net:ipv4net=10.0.0.0/8&nexthop:ipv4=192.0.2.254&metric:u32=1",
@@ -70,16 +95,17 @@ int main(int argc, char** argv) {
             continue;
         }
         bool done = false;
-        client.send(*xrl, [&](const xrl::XrlError& err,
-                              const xrl::XrlArgs& out) {
-            if (err.ok())
-                std::printf("  OKAY%s%s\n", out.empty() ? "" : " -> ",
-                            out.str().c_str());
-            else
-                std::printf("  %s\n", err.str().c_str());
-            done = true;
-        });
-        plexus.loop.run_until([&] { return done; }, 5s);
+        client.call(*xrl, opts,
+                    [&](const xrl::XrlError& err, const xrl::XrlArgs& out) {
+                        if (err.ok())
+                            std::printf("  OKAY%s%s\n",
+                                        out.empty() ? "" : " -> ",
+                                        out.str().c_str());
+                        else
+                            std::printf("  %s\n", err.str().c_str());
+                        done = true;
+                    });
+        plexus.loop.run_until([&] { return done; }, 60s);
     }
     return 0;
 }

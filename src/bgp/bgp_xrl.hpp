@@ -45,16 +45,20 @@ public:
                                ? uint32_t{0}
                                : r.igp_metric);
         if (prof_sent_.enabled()) prof_sent_.record("add " + r.net.str());
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
+        // Route pushes are idempotent: mark them so the call contract may
+        // retry through drops without risking double-execution harm.
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args),
+            ipc::CallOptions::reliable());
     }
 
     void delete_route(const BgpRoute& r) override {
         xrl::XrlArgs args;
         args.add("protocol", r.protocol).add("net", r.net);
         if (prof_sent_.enabled()) prof_sent_.record("delete " + r.net.str());
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args),
+            ipc::CallOptions::reliable());
     }
 
     void register_interest(
@@ -62,9 +66,13 @@ public:
         NexthopResolverStage::AnswerCallback answer) override {
         xrl::XrlArgs args;
         args.add("addr", nexthop).add("client", router_.instance());
-        router_.send(
+        // Interest registration is idempotent (same client + prefix), so
+        // the reliable contract may retry it; the error path below still
+        // degrades gracefully when the RIB stays unreachable.
+        router_.call(
             xrl::Xrl::generic(target_, "rib", "1.0", "register_interest",
                               args),
+            ipc::CallOptions::reliable(),
             [answer = std::move(answer), nexthop](
                 const xrl::XrlError& err, const xrl::XrlArgs& out) {
                 if (!err.ok()) {

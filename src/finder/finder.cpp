@@ -20,12 +20,15 @@ int family_rank(std::string_view family) {
 
 std::optional<std::string> Finder::register_target(const std::string& cls,
                                                    bool sole) {
-    if (target_exists(cls)) {
-        if (sole) return std::nullopt;
-        // A live instance that registered as sole blocks all joiners.
+    {
+        // Only live instances block joiners: a sole instance that was
+        // marked dead must not prevent its replacement from registering.
         auto range = by_class_.equal_range(cls);
-        for (auto it = range.first; it != range.second; ++it)
-            if (instances_.at(it->second).sole) return std::nullopt;
+        for (auto it = range.first; it != range.second; ++it) {
+            const Instance& other = instances_.at(it->second);
+            if (other.down) continue;
+            if (sole || other.sole) return std::nullopt;
+        }
     }
     // First instance of a class gets the bare class name, so that small
     // setups can address components by class without ceremony.
@@ -47,7 +50,7 @@ std::optional<std::string> Finder::register_target(const std::string& cls,
 }
 
 std::string Finder::register_method(
-    const std::string& instance, const std::string& full_method,
+    const std::string& instance, const xrl::MethodName& method,
     const std::map<std::string, std::string>& family_addresses) {
     auto it = instances_.find(instance);
     if (it == instances_.end()) return {};
@@ -55,8 +58,16 @@ std::string Finder::register_method(
     info.key = generate_method_key();
     info.family_addresses = family_addresses;
     std::string key = info.key;
-    it->second.methods[full_method] = std::move(info);
+    it->second.methods[method.full()] = std::move(info);
     return key;
+}
+
+std::string Finder::register_method(
+    const std::string& instance, const std::string& full_method,
+    const std::map<std::string, std::string>& family_addresses) {
+    auto method = xrl::MethodName::parse(full_method);
+    if (!method) return {};
+    return register_method(instance, *method, family_addresses);
 }
 
 void Finder::unregister_target(const std::string& instance) {
@@ -77,7 +88,42 @@ void Finder::unregister_target(const std::string& instance) {
 }
 
 bool Finder::target_exists(const std::string& cls) const {
-    return by_class_.count(cls) != 0;
+    auto range = by_class_.equal_range(cls);
+    for (auto it = range.first; it != range.second; ++it)
+        if (!instances_.at(it->second).down) return true;
+    return false;
+}
+
+void Finder::report_dead(const std::string& instance_or_cls) {
+    // Accept an instance name or a class (which marks its instances).
+    std::vector<std::string> names;
+    if (instances_.count(instance_or_cls) != 0) {
+        names.push_back(instance_or_cls);
+    } else {
+        auto range = by_class_.equal_range(instance_or_cls);
+        for (auto it = range.first; it != range.second; ++it)
+            names.push_back(it->second);
+    }
+    bool any = false;
+    for (const std::string& name : names) {
+        Instance& inst = instances_.at(name);
+        if (inst.down) continue;
+        inst.down = true;
+        any = true;
+        notify(LifetimeEvent::kDeath, inst);
+    }
+    if (!any) return;
+    // Target-down push: every resolution cache naming this class is stale.
+    const std::string cls = names.empty()
+                                ? instance_or_cls
+                                : instances_.at(names.front()).cls;
+    auto listeners = invalidate_listeners_;  // callbacks may mutate the map
+    for (const auto& [id, cb] : listeners) cb(cls);
+}
+
+bool Finder::is_alive(const std::string& instance) const {
+    auto it = instances_.find(instance);
+    return it == instances_.end() || !it->second.down;
 }
 
 const std::string& Finder::instance_secret(const std::string& instance) const {
@@ -101,19 +147,39 @@ std::optional<std::vector<Resolution>> Finder::resolve(
         }
     }
     // Accept either an instance name or a class name; a class resolves to
-    // its first live instance.
+    // its first live instance. Instances marked dead are skipped; if only
+    // dead instances remain the failure is typed kTargetDead so callers
+    // fail fast instead of probing a corpse.
     const Instance* inst = nullptr;
     auto it = instances_.find(target);
-    if (it != instances_.end()) {
+    if (it != instances_.end() && !it->second.down) {
         inst = &it->second;
     } else {
-        auto cit = by_class_.find(target);
-        if (cit != by_class_.end()) inst = &instances_.at(cit->second);
+        // The bare first-instance name doubles as the class name, so a
+        // dead instance must not shadow a live replacement that registered
+        // under the same class.
+        auto range = by_class_.equal_range(target);
+        for (auto cit = range.first; cit != range.second; ++cit) {
+            const Instance& cand = instances_.at(cit->second);
+            if (!cand.down) {
+                inst = &cand;
+                break;
+            }
+            if (inst == nullptr) inst = &cand;  // dead fallback, for typing
+        }
+        if (inst == nullptr && it != instances_.end())
+            inst = &it->second;  // dead instance, for kTargetDead typing
     }
     if (inst == nullptr) {
         if (error)
             *error = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
                                    "no such target: " + target);
+        return std::nullopt;
+    }
+    if (inst->down) {
+        if (error)
+            *error = xrl::XrlError(xrl::ErrorCode::kTargetDead,
+                                   "target marked dead: " + inst->name);
         return std::nullopt;
     }
     if (!acl_permits(inst->cls, caller, full_method)) {

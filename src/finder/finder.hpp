@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "xrl/error.hpp"
+#include "xrl/method_name.hpp"
 #include "xrl/xrl.hpp"
 
 namespace xrp::finder {
@@ -72,6 +73,12 @@ public:
     // Declares a method on a registered instance, reachable over the given
     // families (family -> address). Returns the generated method key.
     std::string register_method(const std::string& instance,
+                                const xrl::MethodName& method,
+                                const std::map<std::string, std::string>&
+                                    family_addresses);
+    // Stringly convenience: parses "iface/version/method"; malformed
+    // names register nothing and return an empty key.
+    std::string register_method(const std::string& instance,
                                 const std::string& full_method,
                                 const std::map<std::string, std::string>&
                                     family_addresses);
@@ -79,6 +86,16 @@ public:
     void unregister_target(const std::string& instance);
 
     bool target_exists(const std::string& cls) const;
+
+    // ---- liveness -------------------------------------------------------
+    // A caller that exhausted the reliable call contract against an
+    // instance reports it dead: death watchers fire, a target-down
+    // invalidation is pushed to every resolution cache, and the instance
+    // stops resolving (typed kTargetDead) until a fresh registration of
+    // the class replaces it. Reporting an unknown instance is a no-op.
+    void report_dead(const std::string& instance_or_cls);
+    // False only for a still-registered instance that was marked dead.
+    bool is_alive(const std::string& instance) const;
 
     // ---- resolution ----------------------------------------------------
     // Resolves target class (or instance) + full method into the available
@@ -118,6 +135,7 @@ private:
         std::string cls;
         std::string name;
         bool sole = false;
+        bool down = false;  // marked dead by report_dead()
         std::string secret;  // per-instance caller-authentication secret
         std::map<std::string, MethodInfo> methods;  // full_method -> info
     };

@@ -1,0 +1,34 @@
+#include "ipc/call.hpp"
+
+#include <cstdlib>
+
+namespace xrp::ipc {
+
+namespace {
+
+ev::Duration env_ms(const char* name, ev::Duration fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    long ms = std::atol(v);
+    if (ms <= 0) return fallback;
+    return std::chrono::milliseconds(ms);
+}
+
+}  // namespace
+
+const CallOptions& CallOptions::defaults() {
+    static const CallOptions opts = [] {
+        CallOptions o;
+        o.deadline = env_ms("XRP_CALL_DEADLINE_MS", o.deadline);
+        o.attempt_timeout =
+            env_ms("XRP_CALL_ATTEMPT_TIMEOUT_MS", o.attempt_timeout);
+        // Backoff must stay below the attempt timeout or retries under
+        // chaos take longer than the faults they heal.
+        if (o.retry.initial_backoff > o.attempt_timeout / 2)
+            o.retry.initial_backoff = o.attempt_timeout / 2;
+        return o;
+    }();
+    return opts;
+}
+
+}  // namespace xrp::ipc

@@ -1,0 +1,107 @@
+// The reliable XRL call contract (sender side).
+//
+// The paper sells XRLs as the *only* coupling between components, which
+// makes every robustness property of the router reduce to how one XRL
+// call behaves when the far side is slow, dead, or restarting. A bare
+// send(Xrl, callback) cannot express that; CallOptions can:
+//
+//   deadline         — total wall budget for the call, all attempts and
+//                      failovers included. Always enforced, uniformly,
+//                      through the event loop: a never-replying handler
+//                      produces kTimeout on inproc, sTCP and sUDP alike.
+//   attempt_timeout  — budget for a single dispatch over one transport;
+//                      when it expires the attempt is abandoned (a late
+//                      reply is discarded) and the contract moves on.
+//   retry            — exponential backoff with jitter between retry
+//                      cycles, bounded by max_attempts.
+//   idempotent       — gates every retry path that could execute the
+//                      method twice. A non-idempotent call still fails
+//                      over / retries when the transport failed *before*
+//                      the request can have run (connection refused,
+//                      resolve failure); after a timeout the request may
+//                      have executed, so only idempotent calls continue.
+//   failover         — on failure, invalidate the cached resolution and
+//                      try the next preference-ordered finder::Resolution
+//                      (e.g. stcp after inproc) before burning a retry.
+//
+// Every attempt's failure invalidates the sender's resolution-cache entry
+// so the next dispatch re-resolves through the Finder and can land on a
+// restarted instance. A call that exhausts the contract against hard
+// transport failures reports the target dead to the Finder, which pushes
+// a target-down invalidation to every dependent — subsequent callers get
+// an immediate, typed kTargetDead instead of a silent hang.
+#ifndef XRP_IPC_CALL_HPP
+#define XRP_IPC_CALL_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "ev/clock.hpp"
+
+namespace xrp::ipc {
+
+struct RetryPolicy {
+    // Total dispatch cycles (1 = no retry). Failover hops within one
+    // cycle do not consume attempts; backoff retries do.
+    uint32_t max_attempts = 3;
+    ev::Duration initial_backoff = std::chrono::milliseconds(10);
+    double multiplier = 2.0;
+    ev::Duration max_backoff = std::chrono::seconds(1);
+    // Each backoff is scaled by a uniform factor in [1-jitter, 1+jitter]
+    // so synchronized callers don't retry in lockstep.
+    double jitter = 0.5;
+};
+
+struct CallOptions {
+    ev::Duration deadline = std::chrono::seconds(30);
+    ev::Duration attempt_timeout = std::chrono::seconds(2);
+    RetryPolicy retry;
+    bool idempotent = false;
+    bool failover = true;
+
+    // Process defaults, once adjusted by environment knobs (used by the
+    // CI chaos pass to shrink timeouts): XRP_CALL_DEADLINE_MS,
+    // XRP_CALL_ATTEMPT_TIMEOUT_MS.
+    static const CallOptions& defaults();
+
+    // One dispatch, first resolution only — the old send() semantics for
+    // callers that do their own recovery (still deadline-bounded).
+    static CallOptions fire_once() {
+        CallOptions o = defaults();
+        o.retry.max_attempts = 1;
+        o.failover = false;
+        return o;
+    }
+
+    // The contract for route pushes and other safely re-appliable calls.
+    static CallOptions reliable() {
+        CallOptions o = defaults();
+        o.idempotent = true;
+        return o;
+    }
+
+    CallOptions& with_deadline(ev::Duration d) {
+        deadline = d;
+        return *this;
+    }
+    CallOptions& with_attempt_timeout(ev::Duration d) {
+        attempt_timeout = d;
+        return *this;
+    }
+    CallOptions& with_attempts(uint32_t n) {
+        retry.max_attempts = n;
+        return *this;
+    }
+    CallOptions& mark_idempotent(bool b = true) {
+        idempotent = b;
+        return *this;
+    }
+    CallOptions& no_failover() {
+        failover = false;
+        return *this;
+    }
+};
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,6 +1,7 @@
 #include "ipc/dispatcher.hpp"
 
 #include "finder/key.hpp"
+#include "xrl/method_name.hpp"
 
 namespace xrp::ipc {
 
@@ -36,21 +37,19 @@ void XrlDispatcher::add_interface(xrl::InterfaceSpec spec) {
     // Re-link any handlers that were added before their spec.
     const xrl::InterfaceSpec& s = specs_[ikey];
     for (auto& [full, m] : methods_) {
-        if (full.compare(0, ikey.size() + 1, ikey + "/") == 0)
-            m.spec = s.find_method(full.substr(ikey.size() + 1));
+        auto name = xrl::MethodName::parse(full);
+        if (name && name->interface_key() == ikey)
+            m.spec = s.find_method(name->method);
     }
 }
 
 const xrl::MethodSpec* XrlDispatcher::find_spec(
     const std::string& full_method) const {
-    // full_method = iface/version/method; spec key = iface/version.
-    size_t s1 = full_method.find('/');
-    if (s1 == std::string::npos) return nullptr;
-    size_t s2 = full_method.find('/', s1 + 1);
-    if (s2 == std::string::npos) return nullptr;
-    auto it = specs_.find(full_method.substr(0, s2));
+    auto name = xrl::MethodName::parse(full_method);
+    if (!name) return nullptr;
+    auto it = specs_.find(name->interface_key());
     if (it == specs_.end()) return nullptr;
-    return it->second.find_method(full_method.substr(s2 + 1));
+    return it->second.find_method(name->method);
 }
 
 void XrlDispatcher::add_handler(const std::string& full_method,

@@ -1,0 +1,205 @@
+#include "ipc/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "telemetry/metrics.hpp"
+#include "xrl/error.hpp"
+
+namespace xrp::ipc {
+
+namespace {
+
+struct FaultMetrics {
+    telemetry::Counter* drops;
+    telemetry::Counter* delays;
+    telemetry::Counter* duplicates;
+    telemetry::Counter* reorders;
+    telemetry::Counter* kills;
+
+    static const FaultMetrics& get() {
+        static FaultMetrics m = [] {
+            auto& r = telemetry::Registry::global();
+            FaultMetrics x;
+            x.drops = r.counter("xrl_faults_injected_total{kind=\"drop\"}");
+            x.delays = r.counter("xrl_faults_injected_total{kind=\"delay\"}");
+            x.duplicates =
+                r.counter("xrl_faults_injected_total{kind=\"duplicate\"}");
+            x.reorders =
+                r.counter("xrl_faults_injected_total{kind=\"reorder\"}");
+            x.kills = r.counter("xrl_faults_injected_total{kind=\"kill\"}");
+            return x;
+        }();
+        return m;
+    }
+};
+
+}  // namespace
+
+void FaultInjector::set_default_plan(const Plan& p) {
+    default_plan_ = p;
+    have_default_ = true;
+    active_ = true;
+}
+
+void FaultInjector::set_target_plan(const std::string& cls, const Plan& p) {
+    by_target_[cls] = p;
+    active_ = true;
+}
+
+void FaultInjector::set_family_plan(const std::string& family, const Plan& p) {
+    by_family_[family] = p;
+    active_ = true;
+}
+
+void FaultInjector::clear() {
+    by_target_.clear();
+    by_family_.clear();
+    have_default_ = false;
+    default_plan_ = Plan{};
+    active_ = false;
+    flush_held();
+}
+
+void FaultInjector::configure_from_env() {
+    const char* seed_v = std::getenv("XRP_FAULT_SEED");
+    const char* drop_v = std::getenv("XRP_FAULT_DROP_PERMILLE");
+    const char* delay_v = std::getenv("XRP_FAULT_DELAY_MS");
+    if (seed_v == nullptr && drop_v == nullptr && delay_v == nullptr) return;
+    if (seed_v != nullptr) seed(std::strtoull(seed_v, nullptr, 10));
+    Plan p;
+    if (drop_v != nullptr)
+        p.drop_permille = static_cast<uint32_t>(std::atoi(drop_v));
+    if (delay_v != nullptr) {
+        long ms = std::atol(delay_v);
+        if (ms > 0) {
+            p.delay_permille = 1000;
+            p.delay_min = ev::Duration{};
+            p.delay_max = std::chrono::milliseconds(ms);
+        }
+    }
+    if (!p.trivial()) set_default_plan(p);
+}
+
+// Most specific plan wins outright: a per-target plan shadows family and
+// default plans (so a trivial per-target plan acts as an exemption).
+FaultInjector::Plan* FaultInjector::plan_for(const std::string& target,
+                                             const std::string& family) {
+    auto t = by_target_.find(target);
+    if (t != by_target_.end()) return &t->second;
+    auto f = by_family_.find(family);
+    if (f != by_family_.end()) return &f->second;
+    if (have_default_) return &default_plan_;
+    return nullptr;
+}
+
+uint64_t FaultInjector::rnd() {
+    // splitmix64: tiny, seedable, good enough for fault scheduling.
+    uint64_t z = (prng_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+bool FaultInjector::roll(uint32_t permille) {
+    if (permille == 0) return false;
+    if (permille >= 1000) return true;
+    return rnd() % 1000 < permille;
+}
+
+void FaultInjector::flush_held() {
+    if (held_.empty()) return;
+    auto held = std::move(held_);
+    held_.clear();
+    held_flush_.unschedule();
+    for (auto& h : held) {
+        if (loop_ != nullptr)
+            loop_->defer([fire = std::move(h.fire)]() mutable { fire(); });
+        else
+            h.fire();
+    }
+}
+
+void FaultInjector::intercept(const std::string& target,
+                              const std::string& family,
+                              std::function<void(ResponseCallback)> deliver,
+                              ResponseCallback done) {
+    Plan* p = (active_ && loop_ != nullptr) ? plan_for(target, family)
+                                            : nullptr;
+    if (p == nullptr || p->trivial()) {
+        deliver(std::move(done));
+        return;
+    }
+
+    if (p->kill_channel) {
+        stats_.kills++;
+        FaultMetrics::get().kills->inc();
+        loop_->defer([done = std::move(done)] {
+            done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
+                               "fault injection: channel killed"),
+                 {});
+        });
+        flush_held();
+        return;
+    }
+    if (p->drop_first > 0 || roll(p->drop_permille)) {
+        if (p->drop_first > 0) --p->drop_first;
+        stats_.drops++;
+        FaultMetrics::get().drops->inc();
+        // Swallowed whole: `done` never fires, exactly like a lost
+        // datagram. The caller's attempt timer is the only way out.
+        flush_held();
+        return;
+    }
+
+    const bool dup = roll(p->duplicate_permille);
+    ev::Duration delay{};
+    if (roll(p->delay_permille)) {
+        stats_.delays++;
+        FaultMetrics::get().delays->inc();
+        delay = p->delay_min;
+        const auto span = p->delay_max - p->delay_min;
+        if (span.count() > 0)
+            delay += ev::Duration(
+                static_cast<ev::Duration::rep>(rnd() % (span.count() + 1)));
+    }
+    if (dup) {
+        stats_.duplicates++;
+        FaultMetrics::get().duplicates->inc();
+    }
+
+    auto fire = [deliver = std::move(deliver), done = std::move(done),
+                 dup]() mutable {
+        if (dup)
+            deliver([](const xrl::XrlError&, const xrl::XrlArgs&) {});
+        deliver(std::move(done));
+    };
+
+    if (roll(p->reorder_permille)) {
+        stats_.reorders++;
+        FaultMetrics::get().reorders->inc();
+        // Held until the next send passes it (or the backstop timer fires
+        // so a quiet wire cannot strand it), plus any rolled delay.
+        ev::Duration release_after =
+            delay + std::max<ev::Duration>(p->delay_max,
+                                           std::chrono::milliseconds(2));
+        held_.push_back({std::move(fire)});
+        if (!held_flush_.scheduled())
+            held_flush_ =
+                loop_->set_timer(release_after, [this] { flush_held(); });
+        return;
+    }
+
+    if (delay.count() > 0) {
+        loop_->defer_after(delay, std::move(fire));
+        flush_held();
+        return;
+    }
+    // No fault rolled for this send (or just a duplicate): deliver
+    // synchronously so the injector is transparent to latency-sensitive
+    // paths, then release anything a reorder was holding behind us.
+    fire();
+    flush_held();
+}
+
+}  // namespace xrp::ipc

@@ -1,0 +1,116 @@
+// FaultInjector: deterministic chaos for the XRL transport layer.
+//
+// Reliability claims are only as good as the failures they were tested
+// against, so the transport layer carries a first-class fault hook: every
+// outbound dispatch (all three families, uniformly) is offered to the
+// Plexus's injector, which may drop it (no reply ever — exercises the
+// call contract's timeout path), delay it, deliver it twice (exercises
+// at-least-once semantics at receivers), reorder it behind the next send,
+// or kill it outright as if the channel died. Plans are scriptable per
+// target class, per protocol family, or as a process-wide default —
+// programmatically, through the fault/1.0 XRL face, or from the
+// environment (the CI chaos pass).
+//
+// Determinism: all probabilistic decisions come from one seeded
+// splitmix64 stream, so a failing chaos run replays exactly from its
+// seed. The drop_first counter drops the next N matching sends with no
+// randomness at all — the building block for pinpoint loss tests.
+#ifndef XRP_IPC_FAULT_HPP
+#define XRP_IPC_FAULT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ev/eventloop.hpp"
+#include "ipc/dispatcher.hpp"
+
+namespace xrp::ipc {
+
+class FaultInjector {
+public:
+    struct Plan {
+        uint32_t drop_permille = 0;       // P(request vanishes)
+        uint32_t delay_permille = 0;      // P(request is delayed)
+        ev::Duration delay_min{};         // uniform in [delay_min,
+        ev::Duration delay_max{};         //             delay_max]
+        uint32_t duplicate_permille = 0;  // P(request delivered twice)
+        uint32_t reorder_permille = 0;    // P(held behind the next send)
+        bool kill_channel = false;        // every send fails kTransportFailed
+        uint32_t drop_first = 0;          // drop the next N sends, surely
+
+        bool trivial() const {
+            return drop_permille == 0 && delay_permille == 0 &&
+                   duplicate_permille == 0 && reorder_permille == 0 &&
+                   !kill_channel && drop_first == 0;
+        }
+    };
+
+    struct Stats {
+        uint64_t drops = 0;
+        uint64_t delays = 0;
+        uint64_t duplicates = 0;
+        uint64_t reorders = 0;
+        uint64_t kills = 0;
+    };
+
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    // Set by the owning Plexus; delayed/reordered deliveries run on it.
+    void bind_loop(ev::EventLoop* loop) { loop_ = loop; }
+
+    void seed(uint64_t s) { prng_ = s ? s : 1; }
+    void set_default_plan(const Plan& p);
+    void set_target_plan(const std::string& cls, const Plan& p);
+    void set_family_plan(const std::string& family, const Plan& p);
+    void clear();
+
+    // Reads XRP_FAULT_SEED / XRP_FAULT_DROP_PERMILLE / XRP_FAULT_DELAY_MS
+    // into the default plan (delay probability 100% with a uniform
+    // [0, delay_ms] jitter). Called once per Plexus; a no-op when none of
+    // the variables are set.
+    void configure_from_env();
+
+    bool active() const { return active_; }
+    const Stats& stats() const { return stats_; }
+
+    // Routes one outbound dispatch through the injector. `deliver`
+    // performs the real transport dispatch with whatever completion
+    // callback the injector threads through. With no matching plan and no
+    // fault rolled, the dispatch runs synchronously, exactly as if the
+    // injector were absent. A dropped send is never delivered and never
+    // completes `done` — the caller's timeout is the only way out.
+    // Callers should bypass the injector entirely while !active().
+    void intercept(const std::string& target, const std::string& family,
+                   std::function<void(ResponseCallback)> deliver,
+                   ResponseCallback done);
+
+private:
+    struct Held {
+        std::function<void()> fire;  // delivery thunk awaiting release
+    };
+
+    Plan* plan_for(const std::string& target, const std::string& family);
+    uint64_t rnd();
+    bool roll(uint32_t permille);
+    void flush_held();
+
+    ev::EventLoop* loop_ = nullptr;
+    bool active_ = false;
+    uint64_t prng_ = 0x9e3779b97f4a7c15ull;
+    Plan default_plan_;
+    bool have_default_ = false;
+    std::map<std::string, Plan> by_target_;
+    std::map<std::string, Plan> by_family_;
+    Stats stats_;
+    std::deque<Held> held_;  // reordered sends awaiting release
+    ev::Timer held_flush_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

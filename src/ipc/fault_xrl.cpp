@@ -1,0 +1,60 @@
+#include "ipc/fault_xrl.hpp"
+
+namespace xrp::ipc {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+void bind_fault_xrls(XrlDispatcher& d, FaultInjector& inj) {
+    if (d.has_method("fault/1.0/set_plan")) return;
+    d.add_interface(*xrl::InterfaceSpec::parse(kFaultIdl));
+
+    FaultInjector* fi = &inj;
+    d.add_handler(
+        "fault/1.0/set_plan", [fi](const XrlArgs& in, XrlArgs& out) {
+            FaultInjector::Plan p;
+            p.drop_permille = *in.get_u32("drop_permille");
+            p.delay_permille = *in.get_u32("delay_permille");
+            p.delay_min = std::chrono::milliseconds(*in.get_u32("delay_min_ms"));
+            p.delay_max = std::chrono::milliseconds(*in.get_u32("delay_max_ms"));
+            p.duplicate_permille = *in.get_u32("duplicate_permille");
+            p.reorder_permille = *in.get_u32("reorder_permille");
+            p.kill_channel = *in.get_bool("kill_channel");
+            p.drop_first = *in.get_u32("drop_first");
+            const std::string scope = *in.get_text("scope");
+            if (scope.empty() || scope == "default") {
+                fi->set_default_plan(p);
+            } else if (scope.rfind("family:", 0) == 0) {
+                fi->set_family_plan(scope.substr(7), p);
+            } else if (scope.rfind("target:", 0) == 0) {
+                fi->set_target_plan(scope.substr(7), p);
+            } else {
+                return XrlError::command_failed(
+                    "bad scope '" + scope +
+                    "' (want default, family:<f>, or target:<cls>)");
+            }
+            out.add("ok", true);
+            return XrlError::okay();
+        });
+    d.add_handler("fault/1.0/set_seed", [fi](const XrlArgs& in, XrlArgs& out) {
+        fi->seed(*in.get_u32("value"));
+        out.add("ok", true);
+        return XrlError::okay();
+    });
+    d.add_handler("fault/1.0/clear", [fi](const XrlArgs&, XrlArgs& out) {
+        fi->clear();
+        out.add("ok", true);
+        return XrlError::okay();
+    });
+    d.add_handler("fault/1.0/stats", [fi](const XrlArgs&, XrlArgs& out) {
+        const FaultInjector::Stats& s = fi->stats();
+        out.add("drops", static_cast<uint32_t>(s.drops));
+        out.add("delays", static_cast<uint32_t>(s.delays));
+        out.add("duplicates", static_cast<uint32_t>(s.duplicates));
+        out.add("reorders", static_cast<uint32_t>(s.reorders));
+        out.add("kills", static_cast<uint32_t>(s.kills));
+        return XrlError::okay();
+    });
+}
+
+}  // namespace xrp::ipc

@@ -1,0 +1,47 @@
+// The fault/1.0 XRL face: scripts the transport fault injector over the
+// same IPC it sabotages. Bound on every finalized component (like
+// telemetry/1.0), so a test harness — or an operator reproducing a field
+// failure — can address any target and shape the faults its Plexus
+// injects:
+//
+//   set_plan ? scope:txt & drop_permille:u32 & delay_permille:u32
+//            & delay_min_ms:u32 & delay_max_ms:u32
+//            & duplicate_permille:u32 & reorder_permille:u32
+//            & kill_channel:bool & drop_first:u32 -> ok:bool
+//   set_seed ? value:u32 -> ok:bool
+//   clear    -> ok:bool
+//   stats    -> drops:u32 & delays:u32 & duplicates:u32
+//             & reorders:u32 & kills:u32
+//
+// `scope` selects the plan slot: "" or "default" for the process-wide
+// default, "family:stcp" for one protocol family, "target:bgp" for one
+// target class (most specific wins; see fault.hpp).
+//
+// The injector is per-Plexus, so in a multi-router simulation each
+// simulated host is scripted independently — exactly the granularity a
+// partition or flaky-link scenario needs.
+#ifndef XRP_IPC_FAULT_XRL_HPP
+#define XRP_IPC_FAULT_XRL_HPP
+
+#include "ipc/dispatcher.hpp"
+#include "ipc/fault.hpp"
+
+namespace xrp::ipc {
+
+inline constexpr const char* kFaultIdl = R"(
+interface fault/1.0 {
+    set_plan ? scope:txt & drop_permille:u32 & delay_permille:u32 & delay_min_ms:u32 & delay_max_ms:u32 & duplicate_permille:u32 & reorder_permille:u32 & kill_channel:bool & drop_first:u32 -> ok:bool;
+    set_seed ? value:u32 -> ok:bool;
+    clear -> ok:bool;
+    stats -> drops:u32 & delays:u32 & duplicates:u32 & reorders:u32 & kills:u32;
+}
+)";
+
+// Adds the fault/1.0 interface + handlers to `d`, controlling `inj`.
+// Idempotent: a second call leaves the existing binding alone. The
+// injector must outlive the dispatcher (both live on the Plexus/router).
+void bind_fault_xrls(XrlDispatcher& d, FaultInjector& inj);
+
+}  // namespace xrp::ipc
+
+#endif

@@ -18,6 +18,7 @@
 #include <map>
 
 #include "ipc/router.hpp"
+#include "xrl/method_name.hpp"
 
 namespace xrp::ipc {
 
@@ -34,30 +35,33 @@ public:
           real_target_(std::move(real_target)) {}
 
     // Exposes `iface/version/method` through the proxy under the same
-    // method name, gated by `constraint` (null = pass-through).
-    void expose(const std::string& full_method,
+    // method name, gated by `constraint` (null = pass-through). Malformed
+    // method names are rejected here, at registration, instead of
+    // producing a mangled forward on the first call.
+    bool expose(const std::string& full_method,
                 ArgConstraint constraint = nullptr) {
+        auto name = xrl::MethodName::parse(full_method);
+        if (!name) return false;
         router_.add_async_handler(
             full_method,
-            [this, full_method, constraint](const xrl::XrlArgs& in,
-                                            ResponseCallback done) {
+            [this, name = *name, constraint](const xrl::XrlArgs& in,
+                                             ResponseCallback done) {
                 std::string why = "argument constraint rejected the call";
                 if (constraint && !constraint(in, &why)) {
                     done(xrl::XrlError(xrl::ErrorCode::kCommandFailed,
-                                       full_method + ": " + why),
+                                       name.full() + ": " + why),
                          {});
                     return;
                 }
-                // Forward: split full_method back into its parts.
-                size_t s1 = full_method.find('/');
-                size_t s2 = full_method.find('/', s1 + 1);
-                router_.send(
-                    xrl::Xrl(std::string("finder"), real_target_,
-                             full_method.substr(0, s1),
-                             full_method.substr(s1 + 1, s2 - s1 - 1),
-                             full_method.substr(s2 + 1), in),
-                    std::move(done));
+                // Forward fire-once: recovery (retries, failover) belongs
+                // to the end caller's own contract, not to the middleman —
+                // stacking retry loops would multiply attempts.
+                router_.call(
+                    xrl::Xrl(std::string("finder"), real_target_, name.iface,
+                             name.version, name.method, in),
+                    CallOptions::fire_once(), std::move(done));
             });
+        return true;
     }
 
     bool finalize() { return router_.finalize(); }

@@ -1,5 +1,10 @@
 #include "ipc/router.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "ipc/fault_xrl.hpp"
 #include "ipc/telemetry_xrl.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -16,6 +21,13 @@ struct IpcMetrics {
     telemetry::Counter* sends_stcp;
     telemetry::Counter* sends_sudp;
     telemetry::Counter* resolve_failures;
+    telemetry::Counter* retries;
+    telemetry::Counter* failovers;
+    telemetry::Counter* attempt_timeouts;
+    telemetry::Counter* deadline_hits;
+    telemetry::Counter* late_responses;
+    telemetry::Counter* ignored_errors;
+    telemetry::Counter* targets_reported_dead;
     telemetry::Histogram* lat_inproc;
 
     static const IpcMetrics& get() {
@@ -27,6 +39,14 @@ struct IpcMetrics {
             x.sends_stcp = r.counter("xrl_sends_total{family=\"stcp\"}");
             x.sends_sudp = r.counter("xrl_sends_total{family=\"sudp\"}");
             x.resolve_failures = r.counter("xrl_resolve_failures_total");
+            x.retries = r.counter("xrl_call_retries_total");
+            x.failovers = r.counter("xrl_call_failovers_total");
+            x.attempt_timeouts = r.counter("xrl_call_attempt_timeouts_total");
+            x.deadline_hits = r.counter("xrl_call_deadline_hits_total");
+            x.late_responses = r.counter("xrl_call_late_responses_total");
+            x.ignored_errors = r.counter("xrl_ignored_errors_total");
+            x.targets_reported_dead =
+                r.counter("xrl_targets_reported_dead_total");
             x.lat_inproc =
                 r.histogram("xrl_latency_ns{family=\"inproc\"}");
             return x;
@@ -37,8 +57,41 @@ struct IpcMetrics {
 
 }  // namespace
 
+// One in-flight reliable call. Owned by shared_ptr: the state machine's
+// timers and response callbacks all reference it; finish_call() releases
+// the timers (and with them the last long-lived references).
+struct XrlRouter::CallState {
+    xrl::Xrl xrl;
+    CallOptions opts;
+    ResponseCallback done;
+    ev::TimePoint deadline_at{};
+    // Resolutions snapshot for the current cycle; failover walks res_index
+    // through it. Each new cycle re-resolves (the failing entry was
+    // invalidated, so a restarted target is picked up).
+    std::vector<finder::Resolution> resolutions;
+    size_t res_index = 0;
+    uint32_t cycles_used = 0;
+    // Bumped per attempt; responses carrying a stale generation are late
+    // (their attempt already timed out) and are counted, then discarded.
+    uint64_t generation = 0;
+    ev::Timer attempt_timer;
+    ev::Timer backoff_timer;
+    bool finished = false;
+    // True while every failure was a hard transport failure (refused,
+    // killed channel). Timeouts clear it: slow is not dead, and death
+    // must never be declared on loss alone (§ classic failure-detector
+    // caution — under injected drops this would amputate live targets).
+    bool hard_failure_only = true;
+    xrl::XrlError last_err;
+    telemetry::TraceContext trace{};
+};
+
 XrlRouter::XrlRouter(Plexus& plexus, std::string cls, bool sole)
-    : plexus_(plexus), cls_(std::move(cls)), sole_(sole) {}
+    : plexus_(plexus), cls_(std::move(cls)), sole_(sole) {
+    // Deterministic per-class seed: chaos runs replay bit-for-bit.
+    prng_ = 0x9e3779b97f4a7c15ull ^ std::hash<std::string>{}(cls_);
+    if (prng_ == 0) prng_ = 1;
+}
 
 XrlRouter::~XrlRouter() {
     if (!instance_.empty()) {
@@ -61,9 +114,11 @@ void XrlRouter::enable_udp() {
 
 bool XrlRouter::finalize() {
     if (finalized_) return true;
-    // Every component self-hosts observability: the telemetry/1.0 interface
-    // is served over the same IPC it reports on.
+    // Every component self-hosts observability and chaos control: the
+    // telemetry/1.0 and fault/1.0 interfaces are served over the same IPC
+    // they report on / sabotage.
     bind_telemetry_xrls(dispatcher_);
+    bind_fault_xrls(dispatcher_, plexus_.faults);
     auto instance = plexus_.finder.register_target(cls_, sole_);
     if (!instance) return false;
     instance_ = *instance;
@@ -105,8 +160,8 @@ bool XrlRouter::finalize() {
     return true;
 }
 
-const finder::Resolution* XrlRouter::resolve(const xrl::Xrl& xrl,
-                                             xrl::XrlError* err) {
+const std::vector<finder::Resolution>* XrlRouter::resolve(
+    const xrl::Xrl& xrl, xrl::XrlError* err) {
     const std::string cache_key = xrl.target() + "|" + xrl.full_method();
     auto it = resolve_cache_.find(cache_key);
     if (it == resolve_cache_.end()) {
@@ -115,26 +170,37 @@ const finder::Resolution* XrlRouter::resolve(const xrl::Xrl& xrl,
         if (!resolutions) return nullptr;
         it = resolve_cache_.emplace(cache_key, std::move(*resolutions)).first;
     }
-    const auto& resolutions = it->second;
-    if (!preferred_family_.empty()) {
-        for (const auto& r : resolutions)
-            if (r.family == preferred_family_) return &r;
-        if (err)
-            *err = xrl::XrlError(
-                xrl::ErrorCode::kResolveFailed,
-                "family " + preferred_family_ + " not offered by target");
-        return nullptr;
-    }
-    if (resolutions.empty()) {
+    if (it->second.empty()) {
         if (err)
             *err = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
                                  "no transports");
         return nullptr;
     }
-    return &resolutions.front();
+    return &it->second;
 }
 
-void XrlRouter::dispatch_via(const finder::Resolution& res,
+void XrlRouter::invalidate_cached(const xrl::Xrl& xrl) {
+    resolve_cache_.erase(xrl.target() + "|" + xrl.full_method());
+}
+
+void XrlRouter::dispatch_via(const std::string& target,
+                             const finder::Resolution& res,
+                             const xrl::XrlArgs& args, ResponseCallback done) {
+    if (plexus_.faults.active()) {
+        // The injector decides the send's fate; `deliver` carries copies
+        // so a delayed/duplicated dispatch outlives this frame.
+        plexus_.faults.intercept(
+            target, res.family,
+            [this, res, args](ResponseCallback cb) {
+                dispatch_raw(res, args, std::move(cb));
+            },
+            std::move(done));
+        return;
+    }
+    dispatch_raw(res, args, std::move(done));
+}
+
+void XrlRouter::dispatch_raw(const finder::Resolution& res,
                              const xrl::XrlArgs& args, ResponseCallback done) {
     const IpcMetrics& m = IpcMetrics::get();
     if (res.family == "inproc") {
@@ -199,17 +265,312 @@ void XrlRouter::dispatch_via(const finder::Resolution& res,
     });
 }
 
-bool XrlRouter::send(const xrl::Xrl& xrl, ResponseCallback done) {
+bool XrlRouter::call(const xrl::Xrl& xrl, const CallOptions& opts,
+                     ResponseCallback done) {
+    if (!plexus_.reliability_enabled)
+        return send_unreliable(xrl, std::move(done));
+    auto st = std::make_shared<CallState>();
+    st->xrl = xrl;
+    st->opts = opts;
+    if (st->opts.retry.max_attempts == 0) st->opts.retry.max_attempts = 1;
+    st->done = std::move(done);
+    st->deadline_at = plexus_.loop.now() + st->opts.deadline;
+    if (telemetry::tracing_enabled()) {
+        // Root a new trace if this call is not already under one (i.e. not
+        // issued from inside a traced dispatch). Each attempt records its
+        // own "send" event under this context — a retry IS a resend.
+        telemetry::TraceContext ctx = telemetry::Tracer::current();
+        if (!ctx.valid()) ctx = telemetry::Tracer::global().begin_trace();
+        st->trace = ctx;
+    }
+    begin_cycle(st);
+    return true;
+}
+
+void XrlRouter::call_oneway(const xrl::Xrl& xrl, const CallOptions& opts) {
+    // One-way means the caller has no recovery, not that failures vanish:
+    // they are counted and logged so a misbehaving dependency is visible.
+    if (!plexus_.reliability_enabled) {
+        // Legacy baseline: fire once, immediately, no queueing — call()
+        // degrades itself, but the queue must not serialize here either
+        // (a dropped send never completes, which would wedge the queue).
+        call(xrl, opts,
+             [caller = cls_, target = xrl.target(),
+              method = xrl.full_method()](const xrl::XrlError& e,
+                                          const xrl::XrlArgs&) {
+                 if (e.ok()) return;
+                 IpcMetrics::get().ignored_errors->inc();
+                 std::fprintf(stderr,
+                              "[xrl] %s: one-way call %s/%s failed: %s\n",
+                              caller.c_str(), target.c_str(), method.c_str(),
+                              e.str().c_str());
+             });
+        return;
+    }
+    oneway_queues_[xrl.target()].q.emplace_back(xrl, opts);
+    pump_oneway(xrl.target());
+}
+
+void XrlRouter::pump_oneway(const std::string& target) {
+    OnewayQueue& oq = oneway_queues_[target];
+    if (oq.pumping) return;
+    oq.pumping = true;
+    // Iterative, not recursive: an inproc call completes inline, so the
+    // completion callback's pump_oneway() re-entry hits the guard above
+    // and this loop issues the next call — a 146k-deep queue must not
+    // become 146k-deep recursion.
+    while (!oq.in_flight && !oq.q.empty()) {
+        oq.in_flight = true;
+        auto [x, o] = std::move(oq.q.front());
+        oq.q.pop_front();
+        call(x, o,
+             [this, caller = cls_, target, method = x.full_method()](
+                 const xrl::XrlError& e, const xrl::XrlArgs&) {
+                 if (!e.ok()) {
+                     IpcMetrics::get().ignored_errors->inc();
+                     std::fprintf(
+                         stderr, "[xrl] %s: one-way call %s/%s failed: %s\n",
+                         caller.c_str(), target.c_str(), method.c_str(),
+                         e.str().c_str());
+                 }
+                 OnewayQueue& done_q = oneway_queues_[target];
+                 done_q.in_flight = false;
+                 pump_oneway(target);
+             });
+    }
+    oq.pumping = false;
+}
+
+void XrlRouter::begin_cycle(const std::shared_ptr<CallState>& st) {
+    if (st->finished) return;
     xrl::XrlError err;
-    const finder::Resolution* res = resolve(xrl, &err);
+    const std::vector<finder::Resolution>* resolutions =
+        resolve(st->xrl, &err);
+    if (resolutions == nullptr) {
+        IpcMetrics::get().resolve_failures->inc();
+        if (err.code() == xrl::ErrorCode::kTargetDead) {
+            // The Finder already knows: fail fast and typed, no probing.
+            finish_call(st, err, {});
+            return;
+        }
+        // Resolution failure happens strictly before execution, so it is
+        // retryable regardless of idempotency (the target may register a
+        // moment from now).
+        handle_attempt_failure(st, err, /*may_have_executed=*/false);
+        return;
+    }
+    st->resolutions.clear();
+    if (preferred_family_.empty()) {
+        st->resolutions = *resolutions;
+    } else {
+        for (const finder::Resolution& r : *resolutions)
+            if (r.family == preferred_family_) st->resolutions.push_back(r);
+        if (st->resolutions.empty()) {
+            finish_call(st,
+                        xrl::XrlError(xrl::ErrorCode::kResolveFailed,
+                                      "family " + preferred_family_ +
+                                          " not offered by target"),
+                        {});
+            return;
+        }
+    }
+    st->res_index = 0;
+    start_attempt(st);
+}
+
+void XrlRouter::start_attempt(const std::shared_ptr<CallState>& st) {
+    if (st->finished) return;
+    const ev::TimePoint now = plexus_.loop.now();
+    if (now >= st->deadline_at) {
+        IpcMetrics::get().deadline_hits->inc();
+        std::string note =
+            "call deadline expired: " + st->xrl.target() + "/" +
+            st->xrl.full_method();
+        if (!st->last_err.ok()) note += "; last error: " + st->last_err.str();
+        finish_call(st, xrl::XrlError(xrl::ErrorCode::kTimeout, note), {});
+        return;
+    }
+    // Each attempt gets the configured budget, clamped by what is left of
+    // the overall deadline — the deadline needs no timer of its own.
+    ev::Duration budget = st->opts.attempt_timeout;
+    if (st->deadline_at - now < budget) budget = st->deadline_at - now;
+    const uint64_t gen = ++st->generation;
+    st->attempt_timer = plexus_.loop.set_timer(
+        budget, [this, st, gen] { on_attempt_timeout(st, gen); });
+    const finder::Resolution res = st->resolutions[st->res_index];
+    ResponseCallback cb = [this, st, gen](const xrl::XrlError& e,
+                                          const xrl::XrlArgs& a) {
+        on_response(st, gen, e, a);
+    };
+    if (telemetry::tracing_enabled() && st->trace.valid()) {
+        telemetry::Tracer::global().record(
+            st->trace, now, "send",
+            res.family + " " + st->xrl.target() + "/" +
+                st->xrl.full_method());
+        telemetry::Tracer::Scope scope(st->trace);
+        dispatch_via(st->xrl.target(), res, st->xrl.args(), std::move(cb));
+        return;
+    }
+    dispatch_via(st->xrl.target(), res, st->xrl.args(), std::move(cb));
+}
+
+void XrlRouter::on_response(const std::shared_ptr<CallState>& st,
+                            uint64_t gen, const xrl::XrlError& err,
+                            const xrl::XrlArgs& args) {
+    if (st->finished || gen != st->generation) {
+        // The attempt this reply answers was abandoned; exactly-once
+        // delivery to `done` wins over a late answer.
+        IpcMetrics::get().late_responses->inc();
+        return;
+    }
+    st->attempt_timer.unschedule();
+    if (err.ok() || !xrl::is_transport_error(err.code())) {
+        // Success — or an answer from (or past) the callee: retrying a
+        // kCommandFailed would re-run application work for the same
+        // deterministic outcome. Final either way.
+        finish_call(st, err, args);
+        return;
+    }
+    // kTimeout from a channel's own backstop means the request left this
+    // host — it may have executed.
+    handle_attempt_failure(
+        st, err,
+        /*may_have_executed=*/err.code() == xrl::ErrorCode::kTimeout);
+}
+
+void XrlRouter::on_attempt_timeout(const std::shared_ptr<CallState>& st,
+                                   uint64_t gen) {
+    if (st->finished || gen != st->generation) return;
+    // Invalidate the generation so the reply, if it ever lands, is
+    // counted late and discarded rather than completing a moved-on call.
+    st->generation++;
+    IpcMetrics::get().attempt_timeouts->inc();
+    const std::string family = st->res_index < st->resolutions.size()
+                                   ? st->resolutions[st->res_index].family
+                                   : std::string("?");
+    handle_attempt_failure(
+        st,
+        xrl::XrlError(xrl::ErrorCode::kTimeout,
+                      "attempt timed out (" + family + ")"),
+        /*may_have_executed=*/true);
+}
+
+void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
+                                       const xrl::XrlError& err,
+                                       bool may_have_executed) {
+    st->last_err = err;
+    if (err.code() != xrl::ErrorCode::kTransportFailed &&
+        err.code() != xrl::ErrorCode::kTargetDead)
+        st->hard_failure_only = false;
+    // Whatever resolution this attempt used is suspect; the next dispatch
+    // must re-resolve through the Finder (§6.2 cache invalidation).
+    invalidate_cached(st->xrl);
+    if (may_have_executed && !st->opts.idempotent) {
+        // The request may have run on the callee; re-dispatching a
+        // non-idempotent method could execute it twice. Surface instead.
+        finish_call(st,
+                    xrl::XrlError(xrl::ErrorCode::kTimeout,
+                                  "timed out; not retried (call not marked "
+                                  "idempotent): " +
+                                      err.str()),
+                    {});
+        return;
+    }
+    // Failover hops within a cycle are free: same request, next transport.
+    if (st->opts.failover && st->res_index + 1 < st->resolutions.size()) {
+        st->res_index++;
+        IpcMetrics::get().failovers->inc();
+        start_attempt(st);
+        return;
+    }
+    st->cycles_used++;
+    if (st->cycles_used >= st->opts.retry.max_attempts) {
+        if (st->hard_failure_only) {
+            // Every transport refused outright across every attempt:
+            // that is death, not slowness. Tell the Finder so dependents
+            // fail fast (kTargetDead) instead of rediscovering it one
+            // timeout at a time.
+            IpcMetrics::get().targets_reported_dead->inc();
+            plexus_.finder.report_dead(st->xrl.target());
+        }
+        finish_call(st, err, {});
+        return;
+    }
+    const ev::Duration backoff = backoff_for(st->opts.retry, st->cycles_used);
+    if (plexus_.loop.now() + backoff >= st->deadline_at) {
+        IpcMetrics::get().deadline_hits->inc();
+        finish_call(st,
+                    xrl::XrlError(xrl::ErrorCode::kTimeout,
+                                  "deadline leaves no room to retry; last "
+                                  "error: " +
+                                      err.str()),
+                    {});
+        return;
+    }
+    IpcMetrics::get().retries->inc();
+    st->backoff_timer =
+        plexus_.loop.set_timer(backoff, [this, st] { begin_cycle(st); });
+}
+
+void XrlRouter::finish_call(const std::shared_ptr<CallState>& st,
+                            const xrl::XrlError& err,
+                            const xrl::XrlArgs& args) {
+    if (st->finished) return;
+    st->finished = true;
+    st->attempt_timer.unschedule();
+    st->backoff_timer.unschedule();
+    ResponseCallback done = std::move(st->done);
+    st->done = nullptr;
+    if (done) done(err, args);
+}
+
+ev::Duration XrlRouter::backoff_for(const RetryPolicy& p, uint32_t cycle) {
+    double ns = static_cast<double>(p.initial_backoff.count());
+    for (uint32_t i = 1; i < cycle; ++i) ns *= p.multiplier;
+    ns = std::min(ns, static_cast<double>(p.max_backoff.count()));
+    if (p.jitter > 0) {
+        const double u = static_cast<double>(rnd() % 10000) / 10000.0;
+        ns *= 1.0 + p.jitter * (2.0 * u - 1.0);
+    }
+    if (ns < 1.0) ns = 1.0;
+    return ev::Duration(static_cast<ev::Duration::rep>(ns));
+}
+
+uint64_t XrlRouter::rnd() {
+    // splitmix64, same generator the fault injector uses.
+    uint64_t z = (prng_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+bool XrlRouter::send_unreliable(const xrl::Xrl& xrl, ResponseCallback done) {
+    // The pre-contract semantics, kept for A/B comparison in chaos tests:
+    // one dispatch, first resolution, no loop-enforced timeout.
+    xrl::XrlError err;
+    const std::vector<finder::Resolution>* resolutions = resolve(xrl, &err);
+    const finder::Resolution* res = nullptr;
+    if (resolutions != nullptr) {
+        if (preferred_family_.empty()) {
+            res = &resolutions->front();
+        } else {
+            for (const finder::Resolution& r : *resolutions)
+                if (r.family == preferred_family_) {
+                    res = &r;
+                    break;
+                }
+            if (res == nullptr)
+                err = xrl::XrlError(
+                    xrl::ErrorCode::kResolveFailed,
+                    "family " + preferred_family_ + " not offered by target");
+        }
+    }
     if (res == nullptr) {
         IpcMetrics::get().resolve_failures->inc();
         plexus_.loop.defer([done = std::move(done), err] { done(err, {}); });
         return true;
     }
     if (telemetry::tracing_enabled()) {
-        // Root a new trace if this send is not already under one (i.e. not
-        // issued from inside a traced dispatch).
         auto& tracer = telemetry::Tracer::global();
         telemetry::TraceContext ctx = telemetry::Tracer::current();
         if (!ctx.valid()) ctx = tracer.begin_trace();
@@ -217,10 +578,10 @@ bool XrlRouter::send(const xrl::Xrl& xrl, ResponseCallback done) {
                       res->family + " " + xrl.target() + "/" +
                           xrl.full_method());
         telemetry::Tracer::Scope scope(ctx);
-        dispatch_via(*res, xrl.args(), std::move(done));
+        dispatch_via(xrl.target(), *res, xrl.args(), std::move(done));
         return true;
     }
-    dispatch_via(*res, xrl.args(), std::move(done));
+    dispatch_via(xrl.target(), *res, xrl.args(), std::move(done));
     return true;
 }
 
@@ -240,6 +601,13 @@ std::string XrlRouter::debug_state() const {
         char buf[128];
         std::snprintf(buf, sizeof buf, " lsn conns=%zu wbuf=%zu rbuf=%zu;",
                       tcp_listener_->connection_count(), w, r);
+        out += buf;
+    }
+    for (const auto& [tgt, oq] : oneway_queues_) {
+        if (oq.q.empty() && !oq.in_flight) continue;
+        char buf[128];
+        std::snprintf(buf, sizeof buf, " ow[%s] q=%zu inflight=%d;",
+                      tgt.c_str(), oq.q.size(), oq.in_flight ? 1 : 0);
         out += buf;
     }
     return out;

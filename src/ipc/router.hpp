@@ -13,6 +13,7 @@
 #ifndef XRP_IPC_ROUTER_HPP
 #define XRP_IPC_ROUTER_HPP
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -20,7 +21,9 @@
 
 #include "ev/eventloop.hpp"
 #include "finder/finder.hpp"
+#include "ipc/call.hpp"
 #include "ipc/dispatcher.hpp"
+#include "ipc/fault.hpp"
 #include "ipc/intra.hpp"
 #include "ipc/tcp.hpp"
 #include "ipc/udp.hpp"
@@ -30,15 +33,32 @@ namespace xrp::ipc {
 struct Plexus {
     explicit Plexus(ev::Clock& clock)
         : owned_loop_(std::make_unique<ev::EventLoop>(clock)),
-          loop(*owned_loop_) {}
+          loop(*owned_loop_) {
+        init();
+    }
     // Shares an external loop: several Plexuses (= several simulated
     // router hosts) can then run in one simulation on one virtual clock.
-    explicit Plexus(ev::EventLoop& shared_loop) : loop(shared_loop) {}
+    explicit Plexus(ev::EventLoop& shared_loop) : loop(shared_loop) {
+        init();
+    }
 
     std::unique_ptr<ev::EventLoop> owned_loop_;
     ev::EventLoop& loop;
     finder::Finder finder;
     IntraProcessRegistry intra;
+    // Chaos hook: every outbound XRL dispatch of every router in this
+    // Plexus passes through the injector (inert until given a plan).
+    FaultInjector faults;
+    // Escape hatch for experiments: when false, call() degrades to the
+    // legacy fire-once send with no timeout, retry, or failover — the
+    // baseline the chaos tests compare the contract against.
+    bool reliability_enabled = true;
+
+private:
+    void init() {
+        faults.bind_loop(&loop);
+        faults.configure_from_env();
+    }
 };
 
 class XrlRouter {
@@ -77,15 +97,40 @@ public:
     ev::EventLoop& loop() { return plexus_.loop; }
 
     // ---- sender side -----------------------------------------------------
-    // Sends a generic XRL; `done` fires exactly once. Returns false (and
-    // does not fire `done`) only on gross misuse (unresolved router).
-    bool send(const xrl::Xrl& xrl, ResponseCallback done);
+    // The reliable call contract (see ipc/call.hpp): resolves, dispatches,
+    // enforces the per-attempt timeout and overall deadline through the
+    // event loop (uniformly across inproc/stcp/sudp), fails over across
+    // preference-ordered resolutions, retries with backoff when the
+    // options permit, and reports targets dead to the Finder when hard
+    // transport failures exhaust the contract. `done` fires exactly once.
+    // Returns false (and does not fire `done`) only on gross misuse.
+    bool call(const xrl::Xrl& xrl, const CallOptions& opts,
+              ResponseCallback done);
 
-    // Fire-and-forget convenience: logs nothing, drops the reply. For
-    // notifications where the caller has no failure handling anyway.
-    void send_ignore(const xrl::Xrl& xrl) {
-        send(xrl, [](const xrl::XrlError&, const xrl::XrlArgs&) {});
+    // Compatibility wrapper: call() under CallOptions::defaults().
+    bool send(const xrl::Xrl& xrl, ResponseCallback done) {
+        return call(xrl, CallOptions::defaults(), done);
     }
+
+    // One-way notification: the caller has no failure handling, but
+    // failures are never silent — they are counted
+    // (xrl_ignored_errors_total) and logged with the caller, target, and
+    // error so dropped notifications show up in triage instead of
+    // vanishing. Replaces the old send_ignore().
+    //
+    // One-way calls to the same target are serialized through an output
+    // queue: at most one is on the wire at a time, the next starts when it
+    // completes. Two reasons. First, a bulk stream (a full-table FIB
+    // download is ~146k pushes) must not pile up inside a pipelined
+    // channel faster than the receiver drains it — with minutes of queued
+    // work behind it, every call would blow its per-attempt timer while
+    // queued and the retries would amplify the very backlog that caused
+    // them. Second, the queue keeps one-way streams FIFO per target even
+    // across retries: an add can never overtake the delete ahead of it.
+    // A call's deadline starts when it is dequeued, not when it is queued
+    // (the queue is a send buffer, not part of the call).
+    void call_oneway(const xrl::Xrl& xrl,
+                     const CallOptions& opts = CallOptions::defaults());
 
     // Force every outbound call onto one family (benchmarks use this to
     // compare transports); empty string restores automatic choice.
@@ -101,11 +146,45 @@ public:
     std::string debug_state() const;
 
 private:
-    struct Channel;  // type-erased sender
+    struct CallState;  // one in-flight reliable call (defined in .cpp)
 
-    const finder::Resolution* resolve(const xrl::Xrl& xrl,
-                                      xrl::XrlError* err);
-    void dispatch_via(const finder::Resolution& res, const xrl::XrlArgs& args,
+    // Returns the full preference-ordered resolution list (cached).
+    const std::vector<finder::Resolution>* resolve(const xrl::Xrl& xrl,
+                                                   xrl::XrlError* err);
+    void invalidate_cached(const xrl::Xrl& xrl);
+
+    // Call-contract state machine.
+    void begin_cycle(const std::shared_ptr<CallState>& st);
+    void start_attempt(const std::shared_ptr<CallState>& st);
+    void on_response(const std::shared_ptr<CallState>& st, uint64_t gen,
+                     const xrl::XrlError& err, const xrl::XrlArgs& args);
+    void on_attempt_timeout(const std::shared_ptr<CallState>& st,
+                            uint64_t gen);
+    void handle_attempt_failure(const std::shared_ptr<CallState>& st,
+                                const xrl::XrlError& err,
+                                bool may_have_executed);
+    void finish_call(const std::shared_ptr<CallState>& st,
+                     const xrl::XrlError& err, const xrl::XrlArgs& args);
+    ev::Duration backoff_for(const RetryPolicy& p, uint32_t cycle);
+    uint64_t rnd();
+
+    // Per-target one-way output queue (see call_oneway).
+    struct OnewayQueue {
+        std::deque<std::pair<xrl::Xrl, CallOptions>> q;
+        bool in_flight = false;
+        bool pumping = false;  // re-entrancy guard: inproc completes inline
+    };
+    void pump_oneway(const std::string& target);
+
+    // Legacy fire-once path (reliability_enabled == false).
+    bool send_unreliable(const xrl::Xrl& xrl, ResponseCallback done);
+
+    // dispatch_via threads the send through the Plexus fault injector
+    // (when active) before dispatch_raw performs the family dispatch.
+    void dispatch_via(const std::string& target,
+                      const finder::Resolution& res, const xrl::XrlArgs& args,
+                      ResponseCallback done);
+    void dispatch_raw(const finder::Resolution& res, const xrl::XrlArgs& args,
                       ResponseCallback done);
 
     Plexus& plexus_;
@@ -122,10 +201,15 @@ private:
     std::map<std::string, std::unique_ptr<TcpChannel>> tcp_channels_;
     std::map<std::string, std::unique_ptr<UdpChannel>> udp_channels_;
 
+    std::map<std::string, OnewayQueue> oneway_queues_;
+
     // target + full_method -> resolutions (preference-ordered).
     std::map<std::string, std::vector<finder::Resolution>> resolve_cache_;
     uint64_t invalidate_listener_id_ = 0;
     std::string preferred_family_;
+    // Backoff-jitter PRNG. Seeded deterministically per router so chaos
+    // runs replay; calls are serialized by the single-threaded loop.
+    uint64_t prng_ = 0;
 };
 
 }  // namespace xrp::ipc

@@ -183,8 +183,10 @@ void UdpChannel::on_timeout() {
     ResponseCallback done = std::move(queue_.front().done);
     queue_.pop_front();
     in_flight_ = false;
-    done(xrl::XrlError(xrl::ErrorCode::kTransportFailed, "request timed out"),
-         {});
+    // kTimeout, not kTransportFailed: the request left this host, so it
+    // may well have executed — the call contract must not blindly retry
+    // non-idempotent methods past this point.
+    done(xrl::XrlError(xrl::ErrorCode::kTimeout, "request timed out"), {});
     pump();
 }
 

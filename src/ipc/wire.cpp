@@ -270,7 +270,7 @@ std::optional<FrameKind> decode_frame(const uint8_t* data, size_t size,
         auto code = r.u8();
         auto note = r.str16();
         if (!seq || !code || !note ||
-            *code > static_cast<uint8_t>(xrl::ErrorCode::kInternalError))
+            *code > static_cast<uint8_t>(xrl::ErrorCode::kTargetDead))
             return std::nullopt;
         auto args = decode_args(r);
         if (!args || r.remaining() != 0) return std::nullopt;

@@ -38,15 +38,19 @@ public:
             .add("net", net)
             .add("nexthop", nexthop)
             .add("metric", metric);
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args));
+        // Route pushes are idempotent: mark them so the call contract may
+        // retry through drops without risking double-execution harm.
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args),
+            ipc::CallOptions::reliable());
     }
 
     void delete_route(const net::IPv4Net& net) override {
         xrl::XrlArgs args;
         args.add("protocol", std::string("ospf")).add("net", net);
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args));
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args),
+            ipc::CallOptions::reliable());
     }
 
 private:

@@ -56,9 +56,12 @@ void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router) {
                 [&router, client](const net::IPv4Net& subnet) {
                     XrlArgs args;
                     args.add("valid_subnet", subnet);
-                    router.send_ignore(xrl::Xrl::generic(
-                        client, "rib_client", "1.0", "route_info_invalid",
-                        args));
+                    // Invalidations must not get lost or the client keeps
+                    // routing on stale state; redelivery is harmless.
+                    router.call_oneway(
+                        xrl::Xrl::generic(client, "rib_client", "1.0",
+                                          "route_info_invalid", args),
+                        ipc::CallOptions::reliable());
                 });
             out.add("resolves", ans.resolves);
             out.add("net", ans.matched_net);

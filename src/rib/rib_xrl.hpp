@@ -53,15 +53,19 @@ public:
         xrl::XrlArgs args;
         args.add("net", net).add("nexthop", nexthop);
         if (prof_sent_.enabled()) prof_sent_.record("add " + net.str());
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args));
+        // FIB pushes are idempotent (re-adding the same route is a no-op),
+        // so the reliable contract may retry them through chaos.
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args),
+            ipc::CallOptions::reliable());
     }
     void delete_route(const net::IPv4Net& net) override {
         xrl::XrlArgs args;
         args.add("net", net);
         if (prof_sent_.enabled()) prof_sent_.record("delete " + net.str());
-        router_.send_ignore(
-            xrl::Xrl::generic(target_, "fea", "1.0", "delete_route4", args));
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "fea", "1.0", "delete_route4", args),
+            ipc::CallOptions::reliable());
     }
 
 private:

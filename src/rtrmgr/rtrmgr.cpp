@@ -167,8 +167,12 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
                 .add("net", addr)
                 .add("nexthop", host)
                 .add("metric", uint32_t{0});
-            mgr_xr_->send_ignore(
-                Xrl::generic("rib", "rib", "1.0", "add_route", args));
+            // Config-driven route pushes are idempotent; let the call
+            // contract retry them so one dropped XRL can't desync the RIB
+            // from the running config.
+            mgr_xr_->call_oneway(
+                Xrl::generic("rib", "rib", "1.0", "add_route", args),
+                ipc::CallOptions::reliable());
         }
     }
 
@@ -188,8 +192,9 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
         if (it == new_static.end() || !(it->second == nh)) {
             XrlArgs args;
             args.add("protocol", std::string("static")).add("net", net);
-            mgr_xr_->send_ignore(
-                Xrl::generic("rib", "rib", "1.0", "delete_route", args));
+            mgr_xr_->call_oneway(
+                Xrl::generic("rib", "rib", "1.0", "delete_route", args),
+                ipc::CallOptions::reliable());
         }
     }
     for (const auto& [net, nh] : new_static) {
@@ -200,8 +205,9 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
                 .add("net", net)
                 .add("nexthop", nh)
                 .add("metric", uint32_t{1});
-            mgr_xr_->send_ignore(
-                Xrl::generic("rib", "rib", "1.0", "add_route", args));
+            mgr_xr_->call_oneway(
+                Xrl::generic("rib", "rib", "1.0", "add_route", args),
+                ipc::CallOptions::reliable());
         }
     }
 

@@ -12,6 +12,8 @@ std::string_view error_code_name(ErrorCode c) {
         case ErrorCode::kTransportFailed: return "TRANSPORT_FAILED";
         case ErrorCode::kBadKey: return "BAD_KEY";
         case ErrorCode::kInternalError: return "INTERNAL_ERROR";
+        case ErrorCode::kTimeout: return "TIMEOUT";
+        case ErrorCode::kTargetDead: return "TARGET_DEAD";
     }
     return "UNKNOWN";
 }

@@ -17,10 +17,20 @@ enum class ErrorCode {
     kNoSuchMethod,     // target exists but method not registered
     kBadArgs,          // argument names/types don't match the method
     kCommandFailed,    // the callee ran and reported failure
-    kTransportFailed,  // connection refused, reset, timeout
+    kTransportFailed,  // connection refused, reset, channel died mid-call
     kBadKey,           // method key mismatch: caller bypassed the Finder
     kInternalError,
+    kTimeout,          // deadline expired with no reply (may have executed)
+    kTargetDead,       // Finder liveness says the target is down
 };
+
+// Transport-class errors are the ones the reliable call contract may
+// retry or fail over on; everything else came from (or past) the callee
+// and retrying would repeat application work for a deterministic answer.
+inline bool is_transport_error(ErrorCode c) {
+    return c == ErrorCode::kTransportFailed || c == ErrorCode::kTimeout ||
+           c == ErrorCode::kResolveFailed || c == ErrorCode::kTargetDead;
+}
 
 std::string_view error_code_name(ErrorCode c);
 

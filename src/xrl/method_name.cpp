@@ -1,0 +1,18 @@
+#include "xrl/method_name.hpp"
+
+namespace xrp::xrl {
+
+std::optional<MethodName> MethodName::parse(std::string_view full) {
+    size_t s1 = full.find('/');
+    if (s1 == std::string_view::npos || s1 == 0) return std::nullopt;
+    size_t s2 = full.find('/', s1 + 1);
+    if (s2 == std::string_view::npos || s2 == s1 + 1) return std::nullopt;
+    if (s2 + 1 >= full.size()) return std::nullopt;
+    std::string_view method = full.substr(s2 + 1);
+    if (method.find('/') != std::string_view::npos) return std::nullopt;
+    return MethodName(std::string(full.substr(0, s1)),
+                      std::string(full.substr(s1 + 1, s2 - s1 - 1)),
+                      std::string(method));
+}
+
+}  // namespace xrp::xrl

@@ -1,0 +1,43 @@
+// MethodName: the structured identity of one XRL method.
+//
+// Everything the IPC stack routes on — dispatcher tables, proxy
+// forwarding, Finder registration — is keyed by "iface/version/method".
+// Historically each layer re-parsed that string with its own chain of
+// find('/') calls; MethodName parses it once, rejects malformed names at
+// the edge, and regenerates the canonical forms everybody keys on.
+#ifndef XRP_XRL_METHOD_NAME_HPP
+#define XRP_XRL_METHOD_NAME_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xrp::xrl {
+
+struct MethodName {
+    std::string iface;    // "rib"
+    std::string version;  // "1.0"
+    std::string method;   // "add_route"
+
+    MethodName() = default;
+    MethodName(std::string iface, std::string version, std::string method)
+        : iface(std::move(iface)),
+          version(std::move(version)),
+          method(std::move(method)) {}
+
+    // Parses "iface/version/method". Every part must be non-empty and the
+    // method part must not contain further '/' (nested paths are not a
+    // thing in XRLs; a stray '/' is always a caller bug).
+    static std::optional<MethodName> parse(std::string_view full);
+
+    // "iface/version/method" — the unit the Finder registers/resolves.
+    std::string full() const { return iface + "/" + version + "/" + method; }
+    // "iface/version" — the unit interface specs are keyed by.
+    std::string interface_key() const { return iface + "/" + version; }
+
+    bool operator==(const MethodName&) const = default;
+};
+
+}  // namespace xrp::xrl
+
+#endif

@@ -1,0 +1,252 @@
+// Chaos tests: the reliable call contract under injected transport
+// faults, at full-router scale. Three managed routers run RIP, OSPF and
+// BGP simultaneously while every XRL dispatch in every Plexus passes
+// through a seeded FaultInjector — 5% drops plus a 0–10 ms delay on
+// every send. The acceptance bar from the paper's coupling argument:
+// with the contract enabled the routing state still converges to the
+// oracle; with the contract disabled (the legacy fire-once send) a
+// single lost XRL is a permanently lost route.
+#include <gtest/gtest.h>
+
+#include "rtrmgr/rtrmgr.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace xrp;
+using namespace xrp::rtrmgr;
+using namespace std::chrono_literals;
+using ipc::FaultInjector;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+// Current value of a global telemetry counter (creates it at zero).
+uint64_t ctr(const std::string& key) {
+    return telemetry::Registry::global().counter(key)->value();
+}
+
+// Arms one router's Plexus with the standard chaos plan: 5% of sends
+// vanish, every send is delayed by a uniform 0–10 ms. Seeded per router
+// so a failing run replays exactly.
+void arm_chaos(Router& r, uint64_t seed) {
+    r.plexus().faults.seed(seed);
+    FaultInjector::Plan p;
+    p.drop_permille = 50;
+    p.delay_permille = 1000;
+    p.delay_min = 0ms;
+    p.delay_max = 10ms;
+    r.plexus().faults.set_default_plan(p);
+}
+
+}  // namespace
+
+TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
+    // r1 --(link A: RIP)-- r2, r1 --(link B: OSPF)-- r2, r1 --(BGP
+    // pipe)-- r3. r1 redistributes a static route into RIP, advertises a
+    // stub prefix into OSPF, and originates a BGP network. The oracle:
+    // r2 holds the RIP and OSPF routes, r3 holds the BGP route, each all
+    // the way into the FIB — no matter what the injector eats.
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Router r1("r1", loop), r2("r2", loop), r3("r3", loop);
+    // Seeds picked so this exact run *does* lose sends (drops > 0 below):
+    // chaos that eats nothing proves nothing.
+    arm_chaos(r1, 4);
+    arm_chaos(r2, 5);
+    arm_chaos(r3, 6);
+
+    const uint64_t retries0 = ctr("xrl_call_retries_total");
+
+    std::string err;
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces {
+            eth0 { address 10.0.1.1/24; }
+            eth1 { address 10.0.2.1/24; }
+            eth2 { address 192.0.2.1/24; }
+            eth3 { address 172.17.1.1/24; }
+        }
+        protocols {
+            rip { interface eth0; }
+            ospf {
+                router-id 1.1.1.1;
+                interface eth1;
+                interface eth3;
+            }
+            bgp {
+                local-as 1777;
+                bgp-id 192.0.2.1;
+                network 10.99.0.0/16;
+            }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r2.configure(R"(
+        interfaces {
+            eth0 { address 10.0.1.2/24; }
+            eth1 { address 10.0.2.2/24; }
+        }
+        protocols {
+            rip { interface eth0; }
+            ospf { router-id 2.2.2.2; interface eth1; }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r3.configure(R"(
+        interfaces { eth0 { address 192.0.2.3/24; } }
+        protocols {
+            static { route 192.0.2.0/24 { nexthop 192.0.2.3; } }
+            bgp {
+                local-as 3561;
+                bgp-id 192.0.2.3;
+            }
+        }
+    )",
+                             &err))
+        << err;
+
+    int link_rip = network.add_link();
+    r1.attach_link(network, link_rip, "eth0");
+    r2.attach_link(network, link_rip, "eth0");
+    int link_ospf = network.add_link();
+    r1.attach_link(network, link_ospf, "eth1");
+    r2.attach_link(network, link_ospf, "eth1");
+
+    // Redistribute r1's static routes into RIP, then commit the static
+    // route so it flows through the tap. The recommit repeats the full
+    // config — the diff engine applies only the addition.
+    r1.rib().add_redist(
+        [](const rib::Route4& r) { return r.protocol == "static"; },
+        [&](bool add, const rib::Route4& r) {
+            if (add)
+                r1.rip().originate(r.net, 1);
+            else
+                r1.rip().withdraw(r.net);
+        });
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces {
+            eth0 { address 10.0.1.1/24; }
+            eth1 { address 10.0.2.1/24; }
+            eth2 { address 192.0.2.1/24; }
+            eth3 { address 172.17.1.1/24; }
+        }
+        protocols {
+            static { route 172.16.0.0/16 { nexthop 10.0.1.99; } }
+            rip { interface eth0; }
+            ospf {
+                router-id 1.1.1.1;
+                interface eth1;
+                interface eth3;
+            }
+            bgp {
+                local-as 1777;
+                bgp-id 192.0.2.1;
+                network 10.99.0.0/16;
+            }
+        }
+    )",
+                             &err))
+        << err;
+    Router::connect_bgp(r1, r3);
+
+    const IPv4Net via_rip = IPv4Net::must_parse("172.16.0.0/16");
+    const IPv4Net via_ospf = IPv4Net::must_parse("172.17.1.0/24");
+    const IPv4Net via_bgp = IPv4Net::must_parse("10.99.0.0/16");
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.rib().lookup_exact(via_rip).has_value() &&
+                   r2.rib().lookup_exact(via_ospf).has_value() &&
+                   r3.rib().lookup_exact(via_bgp).has_value();
+        },
+        600s))
+        << "rip=" << r2.rib().lookup_exact(via_rip).has_value()
+        << " ospf=" << r2.rib().lookup_exact(via_ospf).has_value()
+        << " bgp=" << r3.rib().lookup_exact(via_bgp).has_value();
+
+    EXPECT_EQ(r2.rib().lookup_exact(via_rip)->protocol, "rip");
+    EXPECT_EQ(r2.rib().lookup_exact(via_ospf)->protocol, "ospf");
+    EXPECT_EQ(r3.rib().lookup_exact(via_bgp)->protocol, "ebgp");
+    EXPECT_EQ(r3.rib().lookup_exact(via_bgp)->nexthop.str(), "192.0.2.1");
+
+    // All the way into the forwarding planes, across the RIB->FEA XRLs.
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.fea().lookup(IPv4::must_parse("172.16.1.1")) !=
+                       nullptr &&
+                   r2.fea().lookup(IPv4::must_parse("172.17.1.9")) !=
+                       nullptr &&
+                   r3.fea().lookup(IPv4::must_parse("10.99.1.1")) != nullptr;
+        },
+        120s));
+
+    // The chaos actually bit, and the contract actually worked: the
+    // injectors ate sends and the call layer re-sent them. (Seeded
+    // determinism makes these exact-replayable, not flaky.)
+    uint64_t drops = r1.plexus().faults.stats().drops +
+                     r2.plexus().faults.stats().drops +
+                     r3.plexus().faults.stats().drops;
+    EXPECT_GT(drops, 0u);
+    EXPECT_GT(ctr("xrl_call_retries_total"), retries0);
+}
+
+TEST(Chaos, FailsWithoutRetryLayerUnderSameFaults) {
+    // The negative control for the whole PR: the identical fault plan,
+    // with the contract switched off, loses routing state permanently.
+    // drop_first is deterministic — the first two XRLs to the RIB (the
+    // connected-route add and the static-route add) vanish, no dice
+    // involved.
+    FaultInjector::Plan eat_two;
+    eat_two.drop_first = 2;
+    {
+        ev::VirtualClock clock;
+        ev::EventLoop loop(clock);
+        Router r("r1", loop);
+        r.plexus().reliability_enabled = false;  // legacy fire-once send
+        // Drop any ambient XRP_FAULT_* env plan (the CI chaos pass sets
+        // one on every Plexus): this test's drop accounting must see the
+        // pinpoint plan and nothing else.
+        r.plexus().faults.clear();
+        r.plexus().faults.set_target_plan("rib", eat_two);
+        std::string err;
+        ASSERT_TRUE(r.configure(R"(
+            interfaces { eth0 { address 192.0.2.1/24; } }
+            protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
+        )",
+                                &err))
+            << err;
+        // Generous bound: nothing will ever re-send these. The routes are
+        // simply gone — the pre-contract failure mode this PR removes.
+        loop.run_for(60s);
+        EXPECT_EQ(r.rib().route_count(), 0u);
+        EXPECT_EQ(r.plexus().faults.stats().drops, 2u);
+    }
+    {
+        ev::VirtualClock clock;
+        ev::EventLoop loop(clock);
+        Router r("r1", loop);
+        ASSERT_TRUE(r.plexus().reliability_enabled);
+        r.plexus().faults.clear();  // as above: pinpoint plan only
+        r.plexus().faults.set_target_plan("rib", eat_two);
+        std::string err;
+        ASSERT_TRUE(r.configure(R"(
+            interfaces { eth0 { address 192.0.2.1/24; } }
+            protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
+        )",
+                                &err))
+            << err;
+        // Same two drops; the contract's retries re-send both pushes.
+        ASSERT_TRUE(
+            loop.run_until([&] { return r.rib().route_count() == 2; }, 60s));
+        EXPECT_TRUE(r.rib()
+                        .lookup_exact(IPv4Net::must_parse("10.0.0.0/8"))
+                        .has_value());
+        ASSERT_TRUE(loop.run_until(
+            [&] {
+                return r.fea().lookup(IPv4::must_parse("10.1.2.3")) != nullptr;
+            },
+            60s));
+        EXPECT_EQ(r.plexus().faults.stats().drops, 2u);
+    }
+}

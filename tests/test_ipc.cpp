@@ -11,6 +11,7 @@
 #include "ipc/finder_xrl.hpp"
 #include "ipc/router.hpp"
 #include "ipc/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace xrp;
 using namespace xrp::ipc;
@@ -68,6 +69,11 @@ std::optional<uint32_t> call_add(Plexus& plexus, XrlRouter& client,
                 });
     plexus.loop.run_until([&] { return done; }, 2s);
     return result;
+}
+
+// Current value of a global telemetry counter (creates it at zero).
+uint64_t ctr(const std::string& key) {
+    return telemetry::Registry::global().counter(key)->value();
 }
 
 }  // namespace
@@ -438,7 +444,9 @@ TEST(UdpChannel, TimeoutFailsRequest) {
     });
     plexus.loop.run_until([&] { return done; }, 5s);
     ASSERT_TRUE(done);
-    EXPECT_EQ(got.code(), ErrorCode::kTransportFailed);
+    // The request left this host, so the channel reports kTimeout (the
+    // request may have executed), not a generic transport failure.
+    EXPECT_EQ(got.code(), ErrorCode::kTimeout);
 }
 
 TEST(FinderXrl, FinderAddressableViaXrls) {
@@ -580,4 +588,462 @@ TEST(TcpChannel, BoundedPipeliningStillCompletesHugeBursts) {
         plexus.loop.run_until([&] { return completed == 5000; }, 60s));
     EXPECT_EQ(correct, 5000);
     EXPECT_EQ(order_violations, 0);  // FIFO per channel
+}
+
+// ---- the reliable call contract ---------------------------------------
+
+namespace {
+
+// A server whose only method never replies — the pathological case the
+// call contract's deadline exists for.
+class HangServer {
+public:
+    explicit HangServer(Plexus& plexus, bool tcp = false, bool udp = false)
+        : router_(plexus, "tarpit", true) {
+        router_.add_async_handler(
+            "tar/1.0/hang", [this](const XrlArgs&, ResponseCallback done) {
+                ++dispatched_;
+                parked_.push_back(std::move(done));  // never completed
+            });
+        if (tcp) router_.enable_tcp();
+        if (udp) router_.enable_udp();
+        EXPECT_TRUE(router_.finalize());
+    }
+    int dispatched() const { return dispatched_; }
+
+private:
+    XrlRouter router_;
+    int dispatched_ = 0;
+    std::vector<ResponseCallback> parked_;
+};
+
+}  // namespace
+
+class CallContractFamilies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CallContractFamilies, NeverReplyingHandlerHitsDeadline) {
+    // The acceptance bar for the contract: a handler that never calls its
+    // completion produces a typed kTimeout on every family, enforced by
+    // the sender's event-loop timer — not by any transport's goodwill.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    const std::string family = GetParam();
+    HangServer server(plexus, family == "stcp", family == "sudp");
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+    client.set_preferred_family(family);
+
+    const uint64_t timeouts0 = ctr("xrl_call_attempt_timeouts_total");
+    CallOptions opts;
+    opts.with_deadline(500ms).with_attempt_timeout(100ms).with_attempts(1);
+    XrlError got;
+    bool done = false;
+    client.call(Xrl::generic("tarpit", "tar", "1.0", "hang"), opts,
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 5s));
+    EXPECT_EQ(got.code(), ErrorCode::kTimeout) << got.str();
+    EXPECT_EQ(server.dispatched(), 1) << family;
+    EXPECT_GE(ctr("xrl_call_attempt_timeouts_total") - timeouts0, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CallContractFamilies,
+                         ::testing::Values("inproc", "stcp", "sudp"));
+
+TEST(CallContract, IdempotentCallRetriesThroughDrops) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    // Deterministically drop the first two sends to calc: attempt 1 and
+    // retry 1 vanish; retry 2 gets through.
+    FaultInjector::Plan plan;
+    plan.drop_first = 2;
+    plexus.faults.set_target_plan("calc", plan);
+
+    const uint64_t retries0 = ctr("xrl_call_retries_total");
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(50ms).with_attempts(4).with_deadline(10s);
+    XrlArgs args;
+    args.add("a", uint32_t{40}).add("b", uint32_t{2});
+    std::optional<uint32_t> sum;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args), opts,
+                [&](const XrlError& e, const XrlArgs& out) {
+                    if (e.ok()) sum = out.get_u32("sum");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_EQ(plexus.faults.stats().drops, 2u);
+    EXPECT_GE(ctr("xrl_call_retries_total") - retries0, 2u);
+}
+
+TEST(CallContract, OnewayCallsToOneTargetStayFifoAcrossRetries) {
+    // call_oneway serializes per target: at most one on the wire, the
+    // next dequeued on completion. A dropped-and-retried push must not be
+    // overtaken by the push behind it (an add must never pass the delete
+    // ahead of it), and a bulk stream must not flood the channel.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    XrlRouter server(plexus, "seq", true);
+    std::vector<std::string> got;
+    server.add_interface(*xrl::InterfaceSpec::parse(
+        "interface seq/1.0 { note ? tag:txt; }"));
+    server.add_handler("seq/1.0/note", [&](const XrlArgs& in, XrlArgs&) {
+        got.push_back(*in.get_text("tag"));
+        return XrlError::okay();
+    });
+    ASSERT_TRUE(server.finalize());
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan plan;
+    plan.drop_first = 1;  // eat "first" once; its retry must still precede
+    plexus.faults.set_target_plan("seq", plan);
+
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(50ms).with_attempts(4).with_deadline(10s);
+    XrlArgs a, b;
+    a.add("tag", std::string("first"));
+    b.add("tag", std::string("second"));
+    client.call_oneway(Xrl::generic("seq", "seq", "1.0", "note", a), opts);
+    client.call_oneway(Xrl::generic("seq", "seq", "1.0", "note", b), opts);
+    // Inproc dispatch is synchronous: had "second" bypassed the queue it
+    // would already have landed here while "first" sits in retry backoff.
+    EXPECT_TRUE(got.empty());
+    ASSERT_TRUE(plexus.loop.run_until([&] { return got.size() == 2; }, 10s));
+    EXPECT_EQ(got[0], "first");
+    EXPECT_EQ(got[1], "second");
+    EXPECT_EQ(plexus.faults.stats().drops, 1u);
+}
+
+TEST(CallContract, TimeoutDoesNotRetryNonIdempotentCalls) {
+    // After a timeout the request may have executed; without the
+    // idempotent marker the contract must NOT fire it again.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan plan;
+    plan.drop_first = 1;
+    plexus.faults.set_target_plan("calc", plan);
+
+    CallOptions opts;  // idempotent defaults to false
+    opts.with_attempt_timeout(50ms).with_attempts(3).with_deadline(10s);
+    XrlArgs args;
+    args.add("a", uint32_t{1}).add("b", uint32_t{2});
+    XrlError got;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args), opts,
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    EXPECT_EQ(got.code(), ErrorCode::kTimeout);
+    EXPECT_NE(got.note().find("not retried"), std::string::npos) << got.str();
+    // Exactly one send ever left the router.
+    EXPECT_EQ(plexus.faults.stats().drops, 1u);
+}
+
+TEST(CallContract, HardFailureFailsOverToNextFamily) {
+    // The server is reachable over inproc and sTCP. Killing the inproc
+    // channel is a pre-execution failure, so even a non-idempotent call
+    // hops to the next preference-ordered resolution inside one attempt.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus, /*tcp=*/true);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_family_plan("inproc", kill);
+
+    const uint64_t failovers0 = ctr("xrl_call_failovers_total");
+    auto sum = call_add(plexus, client, 40, 2);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_GE(ctr("xrl_call_failovers_total") - failovers0, 1u);
+    EXPECT_GE(plexus.faults.stats().kills, 1u);
+}
+
+TEST(CallContract, ExhaustedHardFailuresReportTargetDead) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_target_plan("calc", kill);
+
+    const uint64_t dead0 = ctr("xrl_targets_reported_dead_total");
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(100ms).with_attempts(2).with_deadline(10s);
+    XrlArgs args;
+    args.add("a", uint32_t{1}).add("b", uint32_t{2});
+    XrlError got;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args), opts,
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    // Every attempt died a hard transport death: the contract reports the
+    // target dead to the Finder.
+    EXPECT_EQ(got.code(), ErrorCode::kTransportFailed) << got.str();
+    EXPECT_EQ(ctr("xrl_targets_reported_dead_total") - dead0, 1u);
+
+    // Even with the faults gone, the Finder remembers: the next call
+    // fast-fails with a typed kTargetDead instead of dispatching.
+    plexus.faults.clear();
+    done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args),
+                CallOptions::defaults(),
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    EXPECT_EQ(got.code(), ErrorCode::kTargetDead) << got.str();
+
+    // A reborn instance of the class clears the verdict (the dead first
+    // instance must not shadow its replacement).
+    AddServer reborn(plexus);
+    std::optional<uint32_t> sum;
+    done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args),
+                CallOptions::defaults(),
+                [&](const XrlError& e, const XrlArgs& out) {
+                    got = e;
+                    if (e.ok()) sum = out.get_u32("sum");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    ASSERT_TRUE(sum.has_value()) << got.str();
+    EXPECT_EQ(*sum, 3u);
+}
+
+// ---- the fault injector itself ----------------------------------------
+
+TEST(FaultInjector, DuplicateDeliversTwiceCompletesOnce) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    XrlRouter server(plexus, "ctr", true);
+    int handler_runs = 0;
+    server.add_handler("c/1.0/m", [&](const XrlArgs&, XrlArgs&) {
+        ++handler_runs;
+        return XrlError::okay();
+    });
+    ASSERT_TRUE(server.finalize());
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan plan;
+    plan.duplicate_permille = 1000;
+    plexus.faults.set_target_plan("ctr", plan);
+
+    int completions = 0;
+    client.call(Xrl::generic("ctr", "c", "1.0", "m"),
+                CallOptions::fire_once(),
+                [&](const XrlError& e, const XrlArgs&) {
+                    EXPECT_TRUE(e.ok()) << e.str();
+                    ++completions;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return completions >= 1; }, 2s));
+    plexus.loop.run_for(50ms);  // a double completion would land here
+    EXPECT_EQ(handler_runs, 2);  // at-least-once surfaced to the receiver
+    EXPECT_EQ(completions, 1);   // exactly-once surfaced to the caller
+    EXPECT_EQ(plexus.faults.stats().duplicates, 1u);
+}
+
+TEST(FaultInjector, SeededRunsReplayExactly) {
+    // Chaos is only a debugging tool if a failing run replays: the same
+    // seed must produce the identical drop pattern, a different seed a
+    // different one.
+    ev::RealClock clock;
+    Plexus pa(clock), pb(clock), pc(clock);
+    FaultInjector::Plan plan;
+    plan.drop_permille = 400;
+    auto run = [&](FaultInjector& f, uint64_t seed) {
+        f.seed(seed);
+        f.set_default_plan(plan);
+        std::vector<int> delivered;
+        for (int i = 0; i < 200; ++i) {
+            bool got = false;
+            f.intercept(
+                "t", "inproc",
+                [&](ResponseCallback done) {
+                    got = true;
+                    done(XrlError::okay(), {});
+                },
+                [](const XrlError&, const XrlArgs&) {});
+            delivered.push_back(got ? 1 : 0);
+        }
+        return delivered;
+    };
+    auto a = run(pa.faults, 1234);
+    auto b = run(pb.faults, 1234);
+    auto c = run(pc.faults, 99);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(pa.faults.stats().drops, pb.faults.stats().drops);
+    EXPECT_GT(pa.faults.stats().drops, 0u);
+    EXPECT_LT(pa.faults.stats().drops, 200u);
+}
+
+TEST(FaultXrl, PlansScriptableOverTheWire) {
+    // The fault/1.0 face every router exposes: script a delay plan onto
+    // calc, watch it bite, read the stats back, clear it — all over XRLs.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    XrlArgs plan_args;
+    plan_args.add("scope", std::string("target:calc"))
+        .add("drop_permille", uint32_t{0})
+        .add("delay_permille", uint32_t{1000})
+        .add("delay_min_ms", uint32_t{1})
+        .add("delay_max_ms", uint32_t{5})
+        .add("duplicate_permille", uint32_t{0})
+        .add("reorder_permille", uint32_t{0})
+        .add("kill_channel", false)
+        .add("drop_first", uint32_t{0});
+    bool ok = false;
+    bool done = false;
+    client.send(
+        Xrl::generic("calc", "fault", "1.0", "set_plan", plan_args),
+        [&](const XrlError& e, const XrlArgs& out) {
+            ok = e.ok() && out.get_bool("ok").value_or(false);
+            done = true;
+        });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 2s));
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(plexus.faults.active());
+
+    // Calls still complete — delayed, not lost.
+    auto sum = call_add(plexus, client, 40, 2);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+
+    std::optional<uint32_t> delays;
+    done = false;
+    client.send(Xrl::generic("calc", "fault", "1.0", "stats"),
+                [&](const XrlError& e, const XrlArgs& out) {
+                    if (e.ok()) delays = out.get_u32("delays");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 2s));
+    ASSERT_TRUE(delays.has_value());
+    EXPECT_GE(*delays, 1u);
+
+    done = false;
+    client.send(Xrl::generic("calc", "fault", "1.0", "clear"),
+                [&](const XrlError& e, const XrlArgs&) {
+                    EXPECT_TRUE(e.ok()) << e.str();
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 2s));
+    EXPECT_FALSE(plexus.faults.active());
+}
+
+TEST(UdpChannel, StaleResponseAfterTimeoutIsDiscarded) {
+    // sUDP is stop-and-wait with a sequence number. A reply that limps in
+    // after its request already timed out must be discarded — not matched
+    // to the next request — and the channel must keep working.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    Fd server_sock = make_udp_socket();
+    ASSERT_TRUE(server_sock.valid());
+    UdpChannel channel(plexus.loop, local_address_string(server_sock.get()),
+                       std::chrono::milliseconds(100));
+
+    const uint64_t timeouts0 = ctr("xrl_timeouts_total{family=\"sudp\"}");
+    int first_cbs = 0;
+    XrlError first_err;
+    channel.send("x/1.0/one", {}, [&](const XrlError& e, const XrlArgs&) {
+        first_err = e;
+        ++first_cbs;
+    });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return first_cbs == 1; }, 5s));
+    EXPECT_EQ(first_err.code(), ErrorCode::kTimeout);
+    EXPECT_EQ(ctr("xrl_timeouts_total{family=\"sudp\"}") - timeouts0, 1u);
+
+    // Pull the first request off the wire; remember the peer to reply to.
+    uint8_t buf[2048];
+    sockaddr_in peer{};
+    socklen_t plen = sizeof peer;
+    ssize_t n = ::recvfrom(server_sock.get(), buf, sizeof buf, MSG_DONTWAIT,
+                           reinterpret_cast<sockaddr*>(&peer), &plen);
+    ASSERT_GT(n, 0);
+    RequestFrame req1;
+    ResponseFrame resp_unused;
+    auto kind1 =
+        decode_frame(buf, static_cast<size_t>(n), req1, resp_unused);
+    ASSERT_TRUE(kind1.has_value());
+    ASSERT_EQ(*kind1, FrameKind::kRequest);
+
+    // Second request goes out while the late answer to the first is still
+    // "in the network". The channel transmits synchronously from send(),
+    // and the assertions below use non-blocking loop spins — a blocking
+    // run would sleep until the channel's own timeout and defeat the test.
+    int second_cbs = 0;
+    XrlError second_err;
+    std::optional<uint32_t> sum;
+    channel.send("x/1.0/two", {},
+                 [&](const XrlError& e, const XrlArgs& out) {
+                     second_err = e;
+                     if (e.ok()) sum = out.get_u32("sum");
+                     ++second_cbs;
+                 });
+    n = ::recvfrom(server_sock.get(), buf, sizeof buf, MSG_DONTWAIT,
+                   reinterpret_cast<sockaddr*>(&peer), &plen);
+    ASSERT_GT(n, 0);
+    RequestFrame req2;
+    auto kind2 =
+        decode_frame(buf, static_cast<size_t>(n), req2, resp_unused);
+    ASSERT_TRUE(kind2.has_value());
+    ASSERT_EQ(*kind2, FrameKind::kRequest);
+    ASSERT_NE(req1.seq, req2.seq);
+
+    // The stale reply arrives: it matches no in-flight sequence number and
+    // must not complete the second request.
+    ResponseFrame stale;
+    stale.seq = req1.seq;
+    stale.args.add("sum", uint32_t{666});
+    std::vector<uint8_t> wire;
+    encode_response(stale, wire);
+    ASSERT_GT(::sendto(server_sock.get(), wire.data(), wire.size(), 0,
+                       reinterpret_cast<sockaddr*>(&peer), plen),
+              0);
+    for (int i = 0; i < 100; ++i) plexus.loop.run_once(false);
+    EXPECT_EQ(first_cbs, 1);   // no double completion of the first call
+    EXPECT_EQ(second_cbs, 0);  // stale reply did not satisfy the second
+
+    // The real reply to the second request still lands.
+    ResponseFrame good;
+    good.seq = req2.seq;
+    good.args.add("sum", uint32_t{42});
+    wire.clear();
+    encode_response(good, wire);
+    ASSERT_GT(::sendto(server_sock.get(), wire.data(), wire.size(), 0,
+                       reinterpret_cast<sockaddr*>(&peer), plen),
+              0);
+    ASSERT_TRUE(plexus.loop.run_until([&] { return second_cbs == 1; }, 5s));
+    EXPECT_TRUE(second_err.ok()) << second_err.str();
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
 }

@@ -77,11 +77,16 @@ TEST(RouterManager, ConfigureBuildsWorkingRouter) {
     )",
                                  &err))
         << err;
-    loop.run_for(100ms);  // let the XRLs flow
-
-    // The static route travelled rtrmgr -> RIB -> FEA entirely over XRLs
-    // (plus eth0's connected route).
-    EXPECT_EQ(router.rib().route_count(), 2u);
+    // The static route travels rtrmgr -> RIB -> FEA entirely over XRLs
+    // (plus eth0's connected route). run_until, not run_for: under the CI
+    // chaos pass those XRLs may be dropped and re-sent on a retry timer.
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return router.rib().route_count() == 2u &&
+                   router.fea().lookup(IPv4::must_parse("10.1.2.3")) !=
+                       nullptr;
+        },
+        60s));
     EXPECT_TRUE(router.rib()
                     .lookup_exact(IPv4Net::must_parse("192.0.2.0/24"))
                     .has_value());
@@ -121,8 +126,8 @@ TEST(RouterManager, ReconfigureDiffsStaticRoutes) {
     )",
                                  &err))
         << err;
-    loop.run_for(50ms);
-    EXPECT_EQ(router.rib().route_count(), 3u);  // 2 static + connected
+    ASSERT_TRUE(loop.run_until(  // chaos-safe: see above
+        [&] { return router.rib().route_count() == 3u; }, 60s));
 
     // New config drops one route, adds another, keeps one.
     ASSERT_TRUE(router.configure(R"(
@@ -134,10 +139,16 @@ TEST(RouterManager, ReconfigureDiffsStaticRoutes) {
     )",
                                  &err))
         << err;
-    loop.run_for(50ms);
-    EXPECT_EQ(router.rib().route_count(), 3u);
-    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
-    EXPECT_TRUE(router.rib().lookup_exact(IPv4Net::must_parse("30.0.0.0/8")));
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return router.rib().route_count() == 3u &&
+                   !router.rib().lookup_exact(
+                       IPv4Net::must_parse("10.0.0.0/8")) &&
+                   router.rib()
+                       .lookup_exact(IPv4Net::must_parse("30.0.0.0/8"))
+                       .has_value();
+        },
+        60s));
 }
 
 TEST(RouterManager, RollbackRestoresPreviousConfig) {
@@ -150,19 +161,42 @@ TEST(RouterManager, RollbackRestoresPreviousConfig) {
         protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
     )",
                                  &err));
-    loop.run_for(50ms);
+    ASSERT_TRUE(loop.run_until(  // chaos-safe: see above
+        [&] {
+            return router.rib()
+                .lookup_exact(IPv4Net::must_parse("10.0.0.0/8"))
+                .has_value();
+        },
+        60s));
     ASSERT_TRUE(router.configure(R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols { static { route 20.0.0.0/8 { nexthop 192.0.2.254; } } }
     )",
                                  &err));
-    loop.run_for(50ms);
-    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
+    // Wait for the FULL second config to land, not just the deletion:
+    // rolling back while the 20/8 add is still in flight (dropped and
+    // awaiting a retry under the chaos pass) would let it land after the
+    // rollback's delete and resurrect the route.
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return !router.rib().lookup_exact(
+                       IPv4Net::must_parse("10.0.0.0/8")) &&
+                   router.rib()
+                       .lookup_exact(IPv4Net::must_parse("20.0.0.0/8"))
+                       .has_value();
+        },
+        60s));
 
     ASSERT_TRUE(router.rollback(&err)) << err;
-    loop.run_for(50ms);
-    EXPECT_TRUE(router.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8")));
-    EXPECT_FALSE(router.rib().lookup_exact(IPv4Net::must_parse("20.0.0.0/8")));
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return router.rib()
+                       .lookup_exact(IPv4Net::must_parse("10.0.0.0/8"))
+                       .has_value() &&
+                   !router.rib().lookup_exact(
+                       IPv4Net::must_parse("20.0.0.0/8"));
+        },
+        60s));
 }
 
 TEST(RouterManager, TwoRoutersRunRipOverVirtualNetwork) {
@@ -210,8 +244,9 @@ TEST(RouterManager, TwoRoutersRunRipOverVirtualNetwork) {
     ASSERT_TRUE(loop.run_until(
         [&] {
             return r2.rib()
-                .lookup_exact(IPv4Net::must_parse("172.16.0.0/16"))
-                .has_value();
+                       .lookup_exact(IPv4Net::must_parse("172.16.0.0/16"))
+                       .has_value() &&
+                   r2.fea().lookup(IPv4::must_parse("172.16.1.1")) != nullptr;
         },
         60s));
     auto got = r2.rib().lookup_exact(IPv4Net::must_parse("172.16.0.0/16"));
@@ -371,10 +406,13 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
         10s));
 
     // The ospf/1.0 XRL face, through r2's Finder like any operator tool.
+    // Both queries are read-only, so they ride the idempotent contract —
+    // under the CI chaos pass a dropped request is simply re-sent.
     ipc::XrlRouter cli(r2.plexus(), "cli");
     bool replied = false;
-    cli.send(xrl::Xrl::generic("ospf", "ospf", "1.0", "get_status",
+    cli.call(xrl::Xrl::generic("ospf", "ospf", "1.0", "get_status",
                                xrl::XrlArgs()),
+             ipc::CallOptions::reliable(),
              [&](const xrl::XrlError& e, const xrl::XrlArgs& out) {
                  ASSERT_TRUE(e.ok()) << e.str();
                  EXPECT_EQ(out.get_ipv4("router_id")->str(), "2.2.2.2");
@@ -385,8 +423,9 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
              });
     ASSERT_TRUE(loop.run_until([&] { return replied; }, 5s));
     replied = false;
-    cli.send(xrl::Xrl::generic("ospf", "ospf", "1.0", "list_neighbors",
+    cli.call(xrl::Xrl::generic("ospf", "ospf", "1.0", "list_neighbors",
                                xrl::XrlArgs()),
+             ipc::CallOptions::reliable(),
              [&](const xrl::XrlError& e, const xrl::XrlArgs& out) {
                  ASSERT_TRUE(e.ok()) << e.str();
                  EXPECT_NE(out.get_text("text")->find("1.1.1.1"),

@@ -50,7 +50,7 @@ public:
                               return XrlError::okay();
                           });
         front_.add_handler("chain/1.0/go", [this](const XrlArgs&, XrlArgs&) {
-            front_.send_ignore(Xrl::generic("back", "chain", "1.0", "leaf",
+            front_.call_oneway(Xrl::generic("back", "chain", "1.0", "leaf",
                                             XrlArgs()));
             return XrlError::okay();
         });

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "xrl/idl.hpp"
+#include "xrl/method_name.hpp"
 #include "xrl/xrl.hpp"
 
 using namespace xrp::xrl;
@@ -234,4 +235,25 @@ TEST(XrlError, Formatting) {
     XrlError e = XrlError::command_failed("peer not found");
     EXPECT_FALSE(e.ok());
     EXPECT_EQ(e.str(), "COMMAND_FAILED: peer not found");
+}
+
+TEST(MethodName, ParsesAndRegeneratesCanonicalForms) {
+    auto m = MethodName::parse("rib/1.0/add_route");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->iface, "rib");
+    EXPECT_EQ(m->version, "1.0");
+    EXPECT_EQ(m->method, "add_route");
+    EXPECT_EQ(m->full(), "rib/1.0/add_route");
+    EXPECT_EQ(m->interface_key(), "rib/1.0");
+    EXPECT_EQ(*m, MethodName("rib", "1.0", "add_route"));
+}
+
+TEST(MethodName, RejectsMalformedNames) {
+    EXPECT_FALSE(MethodName::parse("").has_value());
+    EXPECT_FALSE(MethodName::parse("rib").has_value());
+    EXPECT_FALSE(MethodName::parse("rib/1.0").has_value());
+    EXPECT_FALSE(MethodName::parse("rib/1.0/").has_value());
+    EXPECT_FALSE(MethodName::parse("/1.0/add_route").has_value());
+    EXPECT_FALSE(MethodName::parse("rib//add_route").has_value());
+    EXPECT_FALSE(MethodName::parse("rib/1.0/add/route").has_value());
 }
