@@ -1,0 +1,156 @@
+// Graceful-restart ablation: what a component restart costs with and
+// without generation-stamp preservation.
+//
+// Naive restart deletes the dead component's table and re-adds it when
+// the component resyncs: every route is unavailable for the whole
+// window and downstream hears 2N messages. Graceful restart marks the
+// table stale in O(1), lets identical re-adds refresh stamps silently,
+// and sweeps only the unrefreshed tail in background slices — zero
+// downstream traffic for unchanged routes, zero unavailability.
+//
+// For each table size this prints: the naive blackhole window (delete ->
+// fully re-added) and message count; the graceful mass-stale cost,
+// resync time, and message count (0); and the background sweep of a 10%
+// stale tail with the worst observed lateness of a 1 ms heartbeat timer.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ev/eventloop.hpp"
+#include "sim/routefeed.hpp"
+#include "stage/origin.hpp"
+#include "stage/sink.hpp"
+#include "stage/stale_sweeper.hpp"
+
+using namespace xrp;
+using namespace xrp::stage;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+Route<IPv4> make_route(const IPv4Net& net) {
+    Route<IPv4> r;
+    r.net = net;
+    r.nexthop = IPv4::must_parse("192.0.2.1");
+    r.protocol = "bench";
+    return r;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void run_size(size_t n) {
+    auto prefixes = sim::generate_prefixes(n, 23);
+
+    // ---- naive restart: delete everything, re-add everything ------------
+    {
+        OriginStage<IPv4> origin("peer-in");
+        size_t msgs = 0;
+        SinkStage<IPv4> sink("sink",
+                             [&](bool, const Route<IPv4>&) { ++msgs; });
+        origin.set_downstream(&sink);
+        sink.set_upstream(&origin);
+        for (const auto& net : prefixes) origin.add_route(make_route(net));
+        msgs = 0;
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (const auto& net : prefixes)
+            origin.delete_route(make_route(net));
+        double torn_down = ms_since(t0);
+        for (const auto& net : prefixes) origin.add_route(make_route(net));
+        double window = ms_since(t0);
+        std::printf(
+            "%8zu routes | naive    : blackhole window %8.1f ms "
+            "(all gone for %7.1f ms), %7zu downstream msgs\n",
+            n, window, torn_down, msgs);
+    }
+
+    // ---- graceful restart: mass-stale + silent stamp refreshes ----------
+    {
+        OriginStage<IPv4> origin("peer-in");
+        size_t msgs = 0;
+        SinkStage<IPv4> sink("sink",
+                             [&](bool, const Route<IPv4>&) { ++msgs; });
+        origin.set_downstream(&sink);
+        sink.set_upstream(&origin);
+        for (const auto& net : prefixes) origin.add_route(make_route(net));
+        msgs = 0;
+
+        auto t0 = std::chrono::steady_clock::now();
+        origin.begin_refresh();
+        double stale_us = ms_since(t0) * 1000.0;
+        for (const auto& net : prefixes) origin.add_route(make_route(net));
+        double resync = ms_since(t0);
+        std::printf(
+            "%8zu routes | graceful : blackhole window      0.0 ms "
+            "(mass-stale %5.1f us, resync %7.1f ms), %zu downstream msgs\n",
+            n, stale_us, resync, msgs);
+    }
+
+    // ---- background sweep of the unrefreshed tail -----------------------
+    {
+        ev::RealClock clock;
+        ev::EventLoop loop(clock);
+        OriginStage<IPv4> origin("peer-in");
+        SinkStage<IPv4> sink("sink");
+        origin.set_downstream(&sink);
+        sink.set_upstream(&origin);
+        for (const auto& net : prefixes) origin.add_route(make_route(net));
+        origin.begin_refresh();
+        // The restarted protocol re-learns 90%; the tail must be reaped
+        // without blocking the loop.
+        for (size_t i = 0; i < prefixes.size(); ++i)
+            if (i % 10 != 0) origin.add_route(make_route(prefixes[i]));
+
+        double worst_jitter = 0;
+        auto expected = loop.now() + 1ms;
+        ev::Timer heartbeat = loop.set_periodic(1ms, [&] {
+            auto now = loop.now();
+            worst_jitter = std::max(
+                worst_jitter,
+                std::chrono::duration<double, std::milli>(now - expected)
+                    .count());
+            expected = now + 1ms;
+            return true;
+        });
+
+        bool completed = false;
+        auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+            "sweeper", origin, loop,
+            [&](StaleSweeperStage<IPv4>*) { completed = true; }, 100);
+        plumb_between<IPv4>(origin, *sweeper, sink);
+        auto t0 = std::chrono::steady_clock::now();
+        loop.run_until([&] { return completed; }, 120s);
+        std::printf(
+            "%8zu routes | sweep    : 10%% stale tail reaped in %7.1f ms, "
+            "worst heartbeat delay %5.2f ms\n",
+            n, ms_since(t0), worst_jitter);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    std::vector<size_t> sizes =
+        quick ? std::vector<size_t>{1000, 10000}
+              : std::vector<size_t>{1000, 10000, 100000};
+
+    std::printf("# Graceful restart vs naive delete-all/re-add\n");
+    for (size_t n : sizes) run_size(n);
+    std::printf(
+        "# the graceful path never blackholes: unchanged routes are "
+        "refreshed in place and the\n"
+        "# unrefreshed tail drains in background slices like §5.1.2's "
+        "deletion stage\n");
+    return 0;
+}

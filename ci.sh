@@ -3,9 +3,12 @@
 # build + tests, then a chaos pass (the integration + chaos suites rerun
 # with seeded XRL fault injection — 5% drops and 0-10 ms delays on every
 # dispatch — so the reliable call contract is exercised on every run),
-# then a bench smoke pass (every benchmark binary runs for a token
-# interval — catches crashes and assertion failures without waiting for
-# real measurements). Any failing step fails the script.
+# then a sanitized kill-chaos pass (component kills composed with the
+# ambient drop/delay plan, under ASan+UBSan: restart teardown is exactly
+# where lifetime bugs live), then a bench smoke pass (every benchmark
+# binary runs for a token interval — catches crashes and assertion
+# failures without waiting for real measurements). Any failing step
+# fails the script.
 set -eu
 
 cd "$(dirname "$0")"
@@ -30,6 +33,19 @@ echo "== chaos pass (seeded fault injection) =="
     XRP_FAULT_DELAY_MS=10 \
     XRP_CALL_ATTEMPT_TIMEOUT_MS=50 \
     ctest -R 'Chaos|RouterManager' --output-on-failure -j "$JOBS")
+
+echo "== kill-chaos pass (sanitized, kills + ambient drops) =="
+# The KillChaos suite kills component channels mid-flight while the env
+# plan above keeps dropping/delaying everything else. Run under the
+# sanitized build: supervisor restarts destroy and rebuild whole
+# components, so this is the pass that would catch use-after-frees in
+# the teardown/resync choreography.
+(cd build-asan && \
+    XRP_FAULT_SEED=1777 \
+    XRP_FAULT_DROP_PERMILLE=50 \
+    XRP_FAULT_DELAY_MS=10 \
+    XRP_CALL_ATTEMPT_TIMEOUT_MS=50 \
+    ctest -R 'KillChaos' --output-on-failure -j "$JOBS")
 
 echo "== bench smoke =="
 for b in build/bench/bench_*; do

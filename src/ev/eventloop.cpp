@@ -42,6 +42,23 @@ struct EvMetrics {
 
 }  // namespace
 
+EventLoop::~EventLoop() {
+    // A pending timer's callback can own state whose destructor in turn
+    // holds Timer handles on this loop — XrlRouter's in-flight CallState
+    // does exactly that (retry/backoff timers capture the shared call
+    // state, the call state owns the timer handles). Dropping the heap
+    // wholesale would leave such cycles alive; clearing each callback
+    // breaks them. Destructors run here may schedule further timers on
+    // the dying loop, so drain until genuinely empty.
+    while (!heap_.empty()) {
+        TimerSP s = heap_.top();
+        heap_.pop();
+        s->cancelled = true;
+        s->cb = nullptr;
+        s->periodic_cb = nullptr;
+    }
+}
+
 Timer EventLoop::schedule(TimerSP state) {
     state->seq = ++timer_seq_;
     state->scheduled = true;

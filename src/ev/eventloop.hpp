@@ -27,6 +27,7 @@ namespace xrp::ev {
 class EventLoop {
 public:
     explicit EventLoop(Clock& clock) : clock_(clock) {}
+    ~EventLoop();
 
     EventLoop(const EventLoop&) = delete;
     EventLoop& operator=(const EventLoop&) = delete;

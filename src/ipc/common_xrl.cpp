@@ -1,0 +1,33 @@
+#include "ipc/common_xrl.hpp"
+
+namespace xrp::ipc {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+void bind_common_xrls(XrlDispatcher& d, const std::string& cls,
+                      StatusProvider status) {
+    if (d.has_method("common/0.1/get_status")) return;
+    d.add_interface(*xrl::InterfaceSpec::parse(kCommonIdl));
+
+    d.add_handler("common/0.1/get_target_name",
+                  [cls](const XrlArgs&, XrlArgs& out) {
+                      out.add("name", cls);
+                      return XrlError::okay();
+                  });
+    d.add_handler("common/0.1/get_version", [](const XrlArgs&, XrlArgs& out) {
+        out.add("version", std::string("xrp/0.1"));
+        return XrlError::okay();
+    });
+    d.add_handler("common/0.1/get_status",
+                  [status](const XrlArgs&, XrlArgs& out) {
+                      uint32_t st = kProcessReady;
+                      std::string reason = "READY";
+                      if (status) status(st, reason);
+                      out.add("status", st);
+                      out.add("reason", reason);
+                      return XrlError::okay();
+                  });
+}
+
+}  // namespace xrp::ipc

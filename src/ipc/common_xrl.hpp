@@ -1,0 +1,47 @@
+// The common/0.1 XRL face: the minimal interface every component speaks
+// (XORP ships the same one). Auto-bound on every finalized XrlRouter, it
+// gives any caller a uniform way to identify a target and — the part the
+// supervision subsystem is built on — probe its liveness:
+//
+//   get_target_name -> name:txt
+//   get_version     -> version:txt
+//   get_status      -> status:u32 & reason:txt
+//
+// `status` uses the XORP process-status vocabulary, reduced to what the
+// supervisor consumes: 2 = READY. A component that wants to report a
+// richer status (starting, shutting down, degraded) installs its own
+// provider before finalize(); the default answers READY as long as the
+// dispatcher is answering at all — which is exactly the "is this
+// component alive" question a health probe asks.
+#ifndef XRP_IPC_COMMON_XRL_HPP
+#define XRP_IPC_COMMON_XRL_HPP
+
+#include <functional>
+#include <string>
+
+#include "ipc/dispatcher.hpp"
+
+namespace xrp::ipc {
+
+inline constexpr uint32_t kProcessReady = 2;
+
+inline constexpr const char* kCommonIdl = R"(
+interface common/0.1 {
+    get_target_name -> name:txt;
+    get_version -> version:txt;
+    get_status -> status:u32 & reason:txt;
+}
+)";
+
+// Fills (status, reason); installed by components with non-trivial health.
+using StatusProvider = std::function<void(uint32_t& status, std::string& reason)>;
+
+// Adds common/0.1 to `d`, answering for component class `cls`.
+// Idempotent: a second call (or a component that bound its own common/0.1
+// first) leaves the existing binding alone.
+void bind_common_xrls(XrlDispatcher& d, const std::string& cls,
+                      StatusProvider status = nullptr);
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,6 +1,8 @@
 #include "ipc/fault.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "telemetry/metrics.hpp"
@@ -59,6 +61,57 @@ void FaultInjector::clear() {
     default_plan_ = Plan{};
     active_ = false;
     flush_held();
+}
+
+bool FaultInjector::clear_scope(const std::string& scope) {
+    bool removed = false;
+    if (scope.empty() || scope == "default") {
+        removed = have_default_;
+        have_default_ = false;
+        default_plan_ = Plan{};
+    } else if (scope.rfind("family:", 0) == 0) {
+        removed = by_family_.erase(scope.substr(7)) > 0;
+    } else if (scope.rfind("target:", 0) == 0) {
+        removed = by_target_.erase(scope.substr(7)) > 0;
+    }
+    active_ = have_default_ || !by_target_.empty() || !by_family_.empty();
+    if (!active_) flush_held();
+    return removed;
+}
+
+std::vector<std::pair<std::string, FaultInjector::Plan>>
+FaultInjector::list_plans() const {
+    std::vector<std::pair<std::string, Plan>> out;
+    if (have_default_) out.emplace_back("default", default_plan_);
+    for (const auto& [family, p] : by_family_)
+        out.emplace_back("family:" + family, p);
+    for (const auto& [cls, p] : by_target_)
+        out.emplace_back("target:" + cls, p);
+    return out;
+}
+
+std::string FaultInjector::describe_plans() const {
+    std::string out;
+    for (const auto& [scope, p] : list_plans()) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s drop=%u delay=%u[%lld..%lldms] dup=%u reorder=%u kill=%d "
+            "drop_first=%u\n",
+            scope.c_str(), p.drop_permille, p.delay_permille,
+            static_cast<long long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    p.delay_min)
+                    .count()),
+            static_cast<long long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    p.delay_max)
+                    .count()),
+            p.duplicate_permille, p.reorder_permille, p.kill_channel ? 1 : 0,
+            p.drop_first);
+        out += buf;
+    }
+    return out;
 }
 
 void FaultInjector::configure_from_env() {

@@ -23,6 +23,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ev/eventloop.hpp"
 #include "ipc/dispatcher.hpp"
@@ -68,6 +70,20 @@ public:
     void set_target_plan(const std::string& cls, const Plan& p);
     void set_family_plan(const std::string& family, const Plan& p);
     void clear();
+
+    // Surgical reset: removes just one plan slot, leaving the others
+    // armed — a chaos test lifts the kill on one target without undoing
+    // the ambient drop/delay plan. `scope` uses the fault/1.0 syntax:
+    // "default", "family:<f>", or "target:<cls>". Unknown scopes are a
+    // no-op returning false.
+    bool clear_scope(const std::string& scope);
+
+    // Introspection: every installed plan as (scope, plan) pairs, in
+    // default -> family -> target order (the inverse of match precedence,
+    // which is most-specific-first; see plan_for).
+    std::vector<std::pair<std::string, Plan>> list_plans() const;
+    // Human/XRL-readable one-line-per-plan rendering of list_plans().
+    std::string describe_plans() const;
 
     // Reads XRP_FAULT_SEED / XRP_FAULT_DROP_PERMILLE / XRP_FAULT_DELAY_MS
     // into the default plan (delay probability 100% with a uniform

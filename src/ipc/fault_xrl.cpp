@@ -46,6 +46,23 @@ void bind_fault_xrls(XrlDispatcher& d, FaultInjector& inj) {
         out.add("ok", true);
         return XrlError::okay();
     });
+    d.add_handler("fault/1.0/clear_target",
+                  [fi](const XrlArgs& in, XrlArgs& out) {
+                      const std::string scope = *in.get_text("scope");
+                      if (!scope.empty() && scope != "default" &&
+                          scope.rfind("family:", 0) != 0 &&
+                          scope.rfind("target:", 0) != 0)
+                          return XrlError::command_failed(
+                              "bad scope '" + scope +
+                              "' (want default, family:<f>, or target:<cls>)");
+                      out.add("removed", fi->clear_scope(scope));
+                      return XrlError::okay();
+                  });
+    d.add_handler("fault/1.0/list_plan", [fi](const XrlArgs&, XrlArgs& out) {
+        out.add("count", static_cast<uint32_t>(fi->list_plans().size()));
+        out.add("plans", fi->describe_plans());
+        return XrlError::okay();
+    });
     d.add_handler("fault/1.0/stats", [fi](const XrlArgs&, XrlArgs& out) {
         const FaultInjector::Stats& s = fi->stats();
         out.add("drops", static_cast<uint32_t>(s.drops));

@@ -10,12 +10,17 @@
 //            & kill_channel:bool & drop_first:u32 -> ok:bool
 //   set_seed ? value:u32 -> ok:bool
 //   clear    -> ok:bool
+//   clear_target ? scope:txt -> removed:bool
+//   list_plan -> count:u32 & plans:txt
 //   stats    -> drops:u32 & delays:u32 & duplicates:u32
 //             & reorders:u32 & kills:u32
 //
 // `scope` selects the plan slot: "" or "default" for the process-wide
 // default, "family:stcp" for one protocol family, "target:bgp" for one
-// target class (most specific wins; see fault.hpp).
+// target class (most specific wins; see fault.hpp). clear_target removes
+// exactly one slot — the kill-chaos tests lift the kill on a restarted
+// component without disturbing the ambient drop/delay plan — and
+// list_plan renders every installed slot, one line each.
 //
 // The injector is per-Plexus, so in a multi-router simulation each
 // simulated host is scripted independently — exactly the granularity a
@@ -33,6 +38,8 @@ interface fault/1.0 {
     set_plan ? scope:txt & drop_permille:u32 & delay_permille:u32 & delay_min_ms:u32 & delay_max_ms:u32 & duplicate_permille:u32 & reorder_permille:u32 & kill_channel:bool & drop_first:u32 -> ok:bool;
     set_seed ? value:u32 -> ok:bool;
     clear -> ok:bool;
+    clear_target ? scope:txt -> removed:bool;
+    list_plan -> count:u32 & plans:txt;
     stats -> drops:u32 & delays:u32 & duplicates:u32 & reorders:u32 & kills:u32;
 }
 )";

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "ipc/common_xrl.hpp"
 #include "ipc/fault_xrl.hpp"
 #include "ipc/telemetry_xrl.hpp"
 #include "telemetry/metrics.hpp"
@@ -116,7 +117,10 @@ bool XrlRouter::finalize() {
     if (finalized_) return true;
     // Every component self-hosts observability and chaos control: the
     // telemetry/1.0 and fault/1.0 interfaces are served over the same IPC
-    // they report on / sabotage.
+    // they report on / sabotage. common/0.1 makes every component
+    // uniformly identifiable and health-probeable (the supervisor's
+    // get_status probes land here unless the component bound its own).
+    bind_common_xrls(dispatcher_, cls_);
     bind_telemetry_xrls(dispatcher_);
     bind_fault_xrls(dispatcher_, plexus_.faults);
     auto instance = plexus_.finder.register_target(cls_, sole_);

@@ -19,6 +19,12 @@ Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
                                                    {{"protocol", proto}}));
         o.deletes = reg.counter(telemetry::metric_key(
             "rib_route_deletes_total", {{"protocol", proto}}));
+        o.stale_gauge = reg.gauge(telemetry::metric_key(
+            "rib_stale_routes", {{"protocol", proto}}));
+        o.swept = reg.counter(telemetry::metric_key(
+            "rib_stale_routes_swept_total", {{"protocol", proto}}));
+        o.grace_expiries = reg.counter(telemetry::metric_key(
+            "rib_grace_expiries_total", {{"protocol", proto}}));
         origins_[proto] = std::move(o);
         return origins_[proto].stage.get();
     };
@@ -79,6 +85,9 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
     r.admin_distance = it->second.admin_distance;
     r.protocol = protocol;
     it->second.stage->add_route(r);
+    if (it->second.state != OriginState::kFresh)
+        it->second.stale_gauge->set(
+            static_cast<int64_t>(it->second.stage->stale_count()));
     return true;
 }
 
@@ -90,6 +99,9 @@ bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
     Route4 r;
     r.net = net;
     it->second.stage->delete_route(r);
+    if (it->second.state != OriginState::kFresh)
+        it->second.stale_gauge->set(
+            static_cast<int64_t>(it->second.stage->stale_count()));
     return true;
 }
 
@@ -146,6 +158,123 @@ void Rib::remove_redist(uint64_t id) {
     if (it == redists_.end()) return;
     stage::unplumb(*it->second);
     redists_.erase(it);
+}
+
+void Rib::origin_dead(const std::string& protocol) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return;
+    Origin& o = it->second;
+    // A re-death mid-sweep: stop the sweeper; the generation bump below
+    // re-marks everything (including whatever it hadn't reached) stale.
+    if (o.sweeper) o.sweeper->abort();
+    o.stage->begin_refresh();
+    o.state = OriginState::kStale;
+    o.stale_gauge->set(static_cast<int64_t>(o.stage->stale_count()));
+    o.grace_timer = loop_.set_timer(
+        o.grace, [this, protocol] { grace_expired(protocol); });
+}
+
+void Rib::origin_revived(const std::string& protocol) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return;
+    Origin& o = it->second;
+    if (o.state != OriginState::kStale) return;
+    // The restarted instance is back and resyncing: stop the grace clock.
+    // Routes stay stale until re-confirmed; the sweep waits for the
+    // explicit resynced signal.
+    o.grace_timer.unschedule();
+}
+
+void Rib::origin_resynced(const std::string& protocol) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return;
+    Origin& o = it->second;
+    if (o.state != OriginState::kStale) return;
+    o.grace_timer.unschedule();
+    if (o.stage->stale_count() == 0) {
+        o.state = OriginState::kFresh;
+        o.stale_gauge->set(0);
+        return;
+    }
+    start_sweep(protocol, o);
+}
+
+void Rib::start_sweep(const std::string& protocol, Origin& o) {
+    o.state = OriginState::kSweeping;
+    o.sweeper = std::make_unique<stage::StaleSweeperStage<IPv4>>(
+        protocol + "-sweeper", *o.stage, loop_,
+        [this, protocol](stage::StaleSweeperStage<IPv4>* self) {
+            auto oit = origins_.find(protocol);
+            if (oit == origins_.end()) return;
+            Origin& org = oit->second;
+            if (org.sweeper.get() != self) return;  // superseded
+            org.swept->inc(self->swept());
+            org.swept_total += self->swept();
+            org.sweeper.reset();
+            if (org.state == OriginState::kSweeping)
+                org.state = OriginState::kFresh;
+            org.stale_gauge->set(
+                static_cast<int64_t>(org.stage->stale_count()));
+        });
+    auto* down = o.stage->downstream();
+    stage::plumb_between<IPv4>(*o.stage, *o.sweeper, *down);
+}
+
+void Rib::grace_expired(const std::string& protocol) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return;
+    Origin& o = it->second;
+    if (o.state != OriginState::kStale) return;
+    o.grace_expiries->inc();
+    if (o.stage->stale_count() < o.stage->route_count()) {
+        // A partial resync snuck in without the resynced signal: keep the
+        // refreshed routes, sweep only the stale remainder.
+        start_sweep(protocol, o);
+        return;
+    }
+    // Nothing was refreshed — the restart never really happened. Classic
+    // §5.1.2: detach the whole table into a background DeletionStage so
+    // the origin starts over empty, instantly ready for a future revival.
+    auto table = o.stage->detach_table();
+    o.state = OriginState::kFresh;
+    o.stale_gauge->set(0);
+    if (table->empty()) return;
+    auto* down = o.stage->downstream();
+    auto del = std::make_unique<stage::DeletionStage<IPv4>>(
+        protocol + "-flush", std::move(table), loop_,
+        [this](stage::DeletionStage<IPv4>* self) {
+            for (auto dit = deleters_.begin(); dit != deleters_.end(); ++dit) {
+                if (dit->get() == self) {
+                    deleters_.erase(dit);
+                    break;
+                }
+            }
+        });
+    stage::plumb_between<IPv4>(*o.stage, *del, *down);
+    deleters_.push_back(std::move(del));
+}
+
+void Rib::set_grace_period(const std::string& protocol, ev::Duration grace) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return;
+    it->second.grace = grace;
+    // An already-running clock keeps its old deadline; the new period
+    // applies from the next death.
+}
+
+Rib::OriginState Rib::origin_state(const std::string& protocol) const {
+    auto it = origins_.find(protocol);
+    return it == origins_.end() ? OriginState::kFresh : it->second.state;
+}
+
+size_t Rib::stale_route_count(const std::string& protocol) const {
+    auto it = origins_.find(protocol);
+    return it == origins_.end() ? 0 : it->second.stage->stale_count();
+}
+
+uint64_t Rib::swept_route_count(const std::string& protocol) const {
+    auto it = origins_.find(protocol);
+    return it == origins_.end() ? 0 : it->second.swept_total;
 }
 
 void Rib::set_profiler(profiler::Profiler* p) {

@@ -35,12 +35,14 @@
 #include "ev/eventloop.hpp"
 #include "fea/fea.hpp"
 #include "profiler/profiler.hpp"
+#include "stage/deletion.hpp"
 #include "stage/extint.hpp"
 #include "stage/merge.hpp"
 #include "stage/origin.hpp"
 #include "stage/redist.hpp"
 #include "stage/register.hpp"
 #include "stage/sink.hpp"
+#include "stage/stale_sweeper.hpp"
 
 namespace xrp::rib {
 
@@ -138,6 +140,33 @@ public:
     uint64_t add_redist(RedistPredicate pred, RedistSink sink);
     void remove_redist(uint64_t id);
 
+    // ---- graceful restart (§5.1.2 applied to component death) -----------
+    // When a protocol component dies, its routes are NOT deleted: the
+    // origin marks them stale (one generation bump, zero downstream
+    // traffic) and a per-protocol grace timer starts. Forwarding keeps
+    // using the stale routes the whole time.
+    //
+    //   origin_dead      — protocol died: mark stale, start the clock.
+    //   origin_revived   — restarted instance is back and resyncing: stop
+    //                      the clock; re-adds refresh stamps in place.
+    //   origin_resynced  — resync declared complete: splice a
+    //                      StaleSweeperStage after the origin to reap, in
+    //                      background slices, only routes never refreshed.
+    //   grace expiry     — restart never completed: detach the whole
+    //                      table into a classic DeletionStage (or, if a
+    //                      partial resync snuck in, sweep just the stale
+    //                      part) so the origin starts over empty.
+    enum class OriginState { kFresh, kStale, kSweeping };
+    void origin_dead(const std::string& protocol);
+    void origin_revived(const std::string& protocol);
+    void origin_resynced(const std::string& protocol);
+    void set_grace_period(const std::string& protocol, ev::Duration grace);
+    OriginState origin_state(const std::string& protocol) const;
+    // Preserved-but-unconfirmed routes for one protocol (0 when fresh).
+    size_t stale_route_count(const std::string& protocol) const;
+    // Stale routes reaped by sweepers for this protocol, lifetime total.
+    uint64_t swept_route_count(const std::string& protocol) const;
+
     void set_profiler(profiler::Profiler* p);
 
 private:
@@ -147,7 +176,23 @@ private:
         // Per-protocol update counters, bound once at construction.
         telemetry::Counter* adds = nullptr;
         telemetry::Counter* deletes = nullptr;
+        // Graceful-restart state (see the public API above).
+        OriginState state = OriginState::kFresh;
+        ev::Duration grace = std::chrono::seconds(120);
+        ev::Timer grace_timer;
+        telemetry::Gauge* stale_gauge = nullptr;
+        telemetry::Counter* swept = nullptr;
+        telemetry::Counter* grace_expiries = nullptr;
+        // Per-instance sweep total (the telemetry counter above is
+        // process-global and shared across Ribs in one simulation).
+        uint64_t swept_total = 0;
+        // Declared after `stage`: the sweeper parks an iterator in the
+        // stage's trie and must be destroyed first.
+        std::unique_ptr<stage::StaleSweeperStage<net::IPv4>> sweeper;
     };
+
+    void grace_expired(const std::string& protocol);
+    void start_sweep(const std::string& protocol, Origin& o);
 
     ev::EventLoop& loop_;
     std::unique_ptr<FeaHandle> fea_;
@@ -165,6 +210,9 @@ private:
         redists_;
     std::unique_ptr<stage::RegisterStage<net::IPv4>> register_stage_;
     std::unique_ptr<stage::SinkStage<net::IPv4>> final_;
+    // Live DeletionStages flushing tables whose grace period expired;
+    // each removes itself via its completion callback.
+    std::vector<std::unique_ptr<stage::DeletionStage<net::IPv4>>> deleters_;
     uint64_t next_redist_id_ = 1;
 };
 

@@ -81,6 +81,48 @@ void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router) {
             out.add("count", static_cast<uint32_t>(rib.route_count()));
             return XrlError::okay();
         });
+    // Graceful-restart notifications, sent by the rtrmgr's supervisor.
+    // Deliberately tolerant of unknown protocols (okay, not error): the
+    // supervisor retries oneways through chaos and a late duplicate after
+    // a reconfiguration must not count as a hard failure.
+    router.add_handler(
+        "rib/1.0/origin_dead", [&rib](const XrlArgs& in, XrlArgs&) {
+            rib.origin_dead(*in.get_text("protocol"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/origin_revived", [&rib](const XrlArgs& in, XrlArgs&) {
+            rib.origin_revived(*in.get_text("protocol"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/origin_resynced", [&rib](const XrlArgs& in, XrlArgs&) {
+            rib.origin_resynced(*in.get_text("protocol"));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/set_grace_period", [&rib](const XrlArgs& in, XrlArgs&) {
+            rib.set_grace_period(
+                *in.get_text("protocol"),
+                std::chrono::seconds(*in.get_u32("seconds")));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/get_origin_status", [&rib](const XrlArgs& in, XrlArgs& out) {
+            const std::string proto = *in.get_text("protocol");
+            const char* state = "fresh";
+            switch (rib.origin_state(proto)) {
+                case Rib::OriginState::kFresh: state = "fresh"; break;
+                case Rib::OriginState::kStale: state = "stale"; break;
+                case Rib::OriginState::kSweeping: state = "sweeping"; break;
+            }
+            out.add("state", std::string(state));
+            out.add("stale",
+                    static_cast<uint32_t>(rib.stale_route_count(proto)));
+            out.add("swept",
+                    static_cast<uint32_t>(rib.swept_route_count(proto)));
+            return XrlError::okay();
+        });
 }
 
 }  // namespace xrp::rib

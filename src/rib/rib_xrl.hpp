@@ -23,6 +23,12 @@ interface rib/1.0 {
         -> resolves:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & valid_subnet:ipv4net;
     unregister_interest ? valid_subnet:ipv4net & client:txt;
     get_route_count -> count:u32;
+    origin_dead ? protocol:txt;
+    origin_revived ? protocol:txt;
+    origin_resynced ? protocol:txt;
+    set_grace_period ? protocol:txt & seconds:u32;
+    get_origin_status ? protocol:txt
+        -> state:txt & stale:u32 & swept:u32;
 }
 )";
 

@@ -37,6 +37,8 @@ Router::Router(std::string name, ev::EventLoop& loop)
 
     mgr_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rtrmgr", true);
     mgr_xr_->finalize();
+
+    supervise_components();
 }
 
 Router::~Router() = default;
@@ -67,9 +69,45 @@ bool fail(std::string* error, std::string msg) {
     return false;
 }
 
+bool valid_grace_leaf(const ConfigNode& c) {
+    return c.args.size() == 1 && std::atoi(c.args[0].c_str()) > 0;
+}
+
+std::set<std::string> rip_interfaces(const ConfigTree& t) {
+    std::set<std::string> out;
+    if (const ConfigNode* r = t.find("protocols/rip"))
+        for (const ConfigNode& c : r->children)
+            if (c.name == "interface") out.insert(c.args[0]);
+    return out;
+}
+
+std::map<std::string, uint32_t> ospf_interfaces(const ConfigTree& t) {
+    std::map<std::string, uint32_t> out;
+    if (const ConfigNode* o = t.find("protocols/ospf"))
+        for (const ConfigNode& c : o->children)
+            if (c.name == "interface") {
+                uint32_t cost = 1;
+                if (auto v = c.leaf_value("cost"))
+                    cost = static_cast<uint32_t>(std::atoi(v->c_str()));
+                out[c.args[0]] = cost;
+            }
+    return out;
+}
+
 }  // namespace
 
 bool Router::validate(const ConfigTree& tree, std::string* error) const {
+    // Crash-loop breaker surfacing: a component the Supervisor gave up on
+    // makes the router's state ambiguous, so commits are refused until an
+    // operator acknowledges (Supervisor::clear_failed re-arms the breaker
+    // and retries the restart).
+    if (supervisor_ != nullptr && supervisor_->any_failed()) {
+        std::string who;
+        for (const std::string& cls : supervisor_->failed())
+            who += (who.empty() ? "" : ", ") + cls;
+        return fail(error, "component(s) failed (crash-loop breaker): " +
+                               who + "; clear_failed() to retry");
+    }
     for (const ConfigNode& top : tree.root().children) {
         if (top.name == "interfaces") {
             for (const ConfigNode& itf : top.children) {
@@ -91,12 +129,24 @@ bool Router::validate(const ConfigTree& tree, std::string* error) const {
                                                    ": bad nexthop");
                     }
                 } else if (proto.name == "rip") {
-                    for (const ConfigNode& c : proto.children)
-                        if (c.name != "interface" || c.args.size() != 1)
-                            return fail(error, "rip: expected 'interface <name>'");
+                    for (const ConfigNode& c : proto.children) {
+                        if (c.name == "grace-period") {
+                            if (!valid_grace_leaf(c))
+                                return fail(error, "rip: bad grace-period");
+                        } else if (c.name != "interface" ||
+                                   c.args.size() != 1) {
+                            return fail(
+                                error,
+                                "rip: expected 'interface <name>' or "
+                                "'grace-period <seconds>'");
+                        }
+                    }
                 } else if (proto.name == "ospf") {
                     for (const ConfigNode& c : proto.children) {
-                        if (c.name == "router-id") {
+                        if (c.name == "grace-period") {
+                            if (!valid_grace_leaf(c))
+                                return fail(error, "ospf: bad grace-period");
+                        } else if (c.name == "router-id") {
                             if (c.args.size() != 1 || !IPv4::parse(c.args[0]))
                                 return fail(error, "ospf: bad router-id");
                         } else if (c.name == "interface") {
@@ -114,6 +164,9 @@ bool Router::validate(const ConfigTree& tree, std::string* error) const {
                         }
                     }
                 } else if (proto.name == "bgp") {
+                    if (const ConfigNode* g = proto.find("grace-period"))
+                        if (!valid_grace_leaf(*g))
+                            return fail(error, "bgp: bad grace-period");
                     auto as = proto.leaf_value("local-as");
                     auto id = proto.leaf_value("bgp-id");
                     if (!as || std::atoi(as->c_str()) <= 0)
@@ -212,14 +265,8 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
     }
 
     // ---- RIP interfaces (diffed) ----------------------------------------
-    auto collect_rip = [](const ConfigTree& t) {
-        std::set<std::string> out;
-        if (const ConfigNode* r = t.find("protocols/rip"))
-            for (const ConfigNode& c : r->children) out.insert(c.args[0]);
-        return out;
-    };
-    auto old_rip = collect_rip(running_);
-    auto new_rip = collect_rip(tree);
+    auto old_rip = rip_interfaces(running_);
+    auto new_rip = rip_interfaces(tree);
     for (const std::string& ifname : old_rip)
         if (new_rip.count(ifname) == 0) rip_->disable_interface(ifname);
     for (const std::string& ifname : new_rip)
@@ -232,20 +279,8 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
                 return fail(error,
                             "ospf: router-id cannot change while interfaces "
                             "are enabled");
-    auto collect_ospf = [](const ConfigTree& t) {
-        std::map<std::string, uint32_t> out;
-        if (const ConfigNode* o = t.find("protocols/ospf"))
-            for (const ConfigNode& c : o->children)
-                if (c.name == "interface") {
-                    uint32_t cost = 1;
-                    if (auto v = c.leaf_value("cost"))
-                        cost = static_cast<uint32_t>(std::atoi(v->c_str()));
-                    out[c.args[0]] = cost;
-                }
-        return out;
-    };
-    auto old_ospf = collect_ospf(running_);
-    auto new_ospf = collect_ospf(tree);
+    auto old_ospf = ospf_interfaces(running_);
+    auto new_ospf = ospf_interfaces(tree);
     for (const auto& [ifname, cost] : old_ospf)
         if (new_ospf.find(ifname) == new_ospf.end())
             ospf_->disable_interface(ifname);
@@ -278,7 +313,32 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
                 auto net = IPv4Net::parse(c.args[0]);
                 if (net) bgp_->originate(*net, bgp_->config().bgp_id);
             }
+        supervise_bgp();
     }
+
+    // ---- graceful-restart grace periods ---------------------------------
+    // `grace-period <seconds>;` in a protocol section sets how long the
+    // RIB preserves that protocol's routes after its component dies.
+    auto apply_grace = [&](const char* section,
+                           std::initializer_list<const char*> protocols) {
+        const ConfigNode* n =
+            tree.find(std::string("protocols/") + section);
+        if (n == nullptr) return;
+        auto g = n->leaf_value("grace-period");
+        if (!g) return;
+        for (const char* proto : protocols) {
+            XrlArgs args;
+            args.add("protocol", std::string(proto))
+                .add("seconds",
+                     static_cast<uint32_t>(std::atoi(g->c_str())));
+            mgr_xr_->call_oneway(
+                Xrl::generic("rib", "rib", "1.0", "set_grace_period", args),
+                ipc::CallOptions::reliable());
+        }
+    };
+    apply_grace("rip", {"rip"});
+    apply_grace("ospf", {"ospf"});
+    apply_grace("bgp", {"ebgp", "ibgp"});
     return true;
 }
 
@@ -296,8 +356,142 @@ void Router::connect_bgp(Router& a, Router& b, ev::Duration latency) {
     cb.peer_addr = a.bgp()->config().bgp_id;
     cb.local_as = b.bgp()->config().local_as;
     cb.peer_as = a.bgp()->config().local_as;
-    a.bgp()->add_peer(ca, std::move(ta));
-    b.bgp()->add_peer(cb, std::move(tb));
+    int ida = a.bgp()->add_peer(ca, std::move(ta));
+    int idb = b.bgp()->add_peer(cb, std::move(tb));
+    // Remember the session on both sides so a BgpProcess restart can
+    // rewire it (see restart_bgp).
+    a.bgp_links_.push_back({&b, latency, ida, idb});
+    b.bgp_links_.push_back({&a, latency, idb, ida});
+}
+
+// ---- component supervision -----------------------------------------------
+
+void Router::supervise_components() {
+    supervisor_ = std::make_unique<Supervisor>(plexus_, *mgr_xr_);
+
+    Supervisor::Spec rip_spec;
+    rip_spec.cls = "rip";
+    rip_spec.protocols = {"rip"};
+    rip_spec.restart = [this] { restart_rip(); };
+    rip_spec.resynced = [this] {
+        // enable_interface sent a whole-table request on restart; any
+        // inbound packet means neighbors answered it. With no interfaces
+        // configured there is nothing to relearn.
+        return rip_interfaces(running_).empty() ||
+               rip_->stats().packets_in > 0;
+    };
+    supervisor_->supervise(std::move(rip_spec));
+
+    Supervisor::Spec ospf_spec;
+    ospf_spec.cls = "ospf";
+    ospf_spec.protocols = {"ospf"};
+    ospf_spec.restart = [this] { restart_ospf(); };
+    ospf_spec.resynced = [this] {
+        // Full adjacency means the database exchange completed (we hold
+        // the area's LSAs again); a first SPF run means routes flowed.
+        return ospf_interfaces(running_).empty() ||
+               (ospf_->full_neighbor_count() > 0 &&
+                ospf_->stats().spf_runs > 0);
+    };
+    supervisor_->supervise(std::move(ospf_spec));
+}
+
+void Router::supervise_bgp() {
+    if (supervisor_ == nullptr || supervisor_->supervising("bgp")) return;
+    Supervisor::Spec spec;
+    spec.cls = "bgp";
+    spec.protocols = {"ebgp", "ibgp"};
+    spec.restart = [this] { restart_bgp(); };
+    spec.resynced = [this] {
+        // Established on every configured session: the peers' table dumps
+        // are queued/flowing; the supervisor's settle delay lets them
+        // drain before the RIB sweeps.
+        for (const BgpLink& l : bgp_links_) {
+            bgp::BgpPeer* p = bgp_->peer_session(l.local_id);
+            if (p == nullptr || !p->established()) return false;
+        }
+        return true;
+    };
+    supervisor_->supervise(std::move(spec));
+}
+
+void Router::restart_rip() {
+    // The process references its XrlRouter (RIB client): destroy it
+    // first. Destroying the XrlRouter unregisters the dead instance so
+    // the fresh one can take the sole-class slot.
+    rip_.reset();
+    rip_xr_.reset();
+    rip_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rip", true);
+    rip_ = std::make_unique<rip::RipProcess>(
+        plexus_.loop, *fea_, rip::RipProcess::Config{},
+        std::make_unique<rip::XrlRibClient>(*rip_xr_));
+    rip_xr_->finalize();
+    // Re-apply the running config; each enable sends a whole-table
+    // request — RIP's natural resync.
+    for (const std::string& ifname : rip_interfaces(running_))
+        rip_->enable_interface(ifname);
+}
+
+void Router::restart_ospf() {
+    ospf_.reset();
+    ospf_xr_.reset();
+    ospf_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "ospf", true);
+    ospf_ = std::make_unique<ospf::OspfProcess>(
+        plexus_.loop, *fea_, ospf::OspfProcess::Config{},
+        std::make_unique<ospf::XrlRibClient>(*ospf_xr_));
+    ospf::bind_ospf_xrl(*ospf_, *ospf_xr_);
+    ospf_xr_->finalize();
+    if (const ConfigNode* o = running_.find("protocols/ospf"))
+        if (auto rid = o->leaf_value("router-id"))
+            ospf_->set_router_id(IPv4::must_parse(*rid));
+    // Re-enabling interfaces restarts hellos; adjacency re-formation and
+    // database exchange re-flood the area's LSAs into the fresh Lsdb
+    // (receiving our own pre-restart LSAs bumps our sequence numbers).
+    for (const auto& [ifname, cost] : ospf_interfaces(running_))
+        ospf_->enable_interface(ifname, cost);
+}
+
+void Router::restart_bgp() {
+    if (bgp_ == nullptr) return;
+    bgp::BgpProcess::Config cfg = bgp_->config();
+    bgp_.reset();
+    bgp_xr_.reset();
+    bgp_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "bgp", true);
+    bgp_ = std::make_unique<bgp::BgpProcess>(
+        plexus_.loop, cfg, std::make_unique<bgp::XrlRibHandle>(*bgp_xr_));
+    bgp::bind_bgp_xrl(*bgp_, *bgp_xr_);
+    bgp_xr_->finalize();
+    // Re-originate configured networks.
+    if (const ConfigNode* b = running_.find("protocols/bgp"))
+        for (const ConfigNode& c : b->children)
+            if (c.name == "network" && c.args.size() == 1)
+                if (auto net = IPv4Net::parse(c.args[0]))
+                    bgp_->originate(*net, bgp_->config().bgp_id);
+    // Rewire every remembered session: the peer drops its half-dead end,
+    // both sides get fresh pipes, and establishment triggers the peer's
+    // full table dump — BGP's resync.
+    for (BgpLink& l : bgp_links_) {
+        l.peer->bgp()->remove_peer(l.remote_id);
+        auto [tl, tr] = bgp::PipeTransport::make_pair(
+            plexus_.loop, l.peer->plexus_.loop, l.latency);
+        bgp::BgpPeer::Config cl;
+        cl.local_id = bgp_->config().bgp_id;
+        cl.peer_addr = l.peer->bgp()->config().bgp_id;
+        cl.local_as = bgp_->config().local_as;
+        cl.peer_as = l.peer->bgp()->config().local_as;
+        bgp::BgpPeer::Config cr;
+        cr.local_id = l.peer->bgp()->config().bgp_id;
+        cr.peer_addr = bgp_->config().bgp_id;
+        cr.local_as = l.peer->bgp()->config().local_as;
+        cr.peer_as = bgp_->config().local_as;
+        l.local_id = bgp_->add_peer(cl, std::move(tl));
+        l.remote_id = l.peer->bgp()->add_peer(cr, std::move(tr));
+        for (BgpLink& rl : l.peer->bgp_links_)
+            if (rl.peer == this) {
+                rl.local_id = l.remote_id;
+                rl.remote_id = l.local_id;
+            }
+    }
 }
 
 }  // namespace xrp::rtrmgr

@@ -27,6 +27,7 @@
 #include "rip/rip.hpp"
 #include "rip/rip_xrl.hpp"
 #include "rtrmgr/configtree.hpp"
+#include "rtrmgr/supervisor.hpp"
 
 namespace xrp::rtrmgr {
 
@@ -47,6 +48,9 @@ public:
     ospf::OspfProcess& ospf() { return *ospf_; }
     // Null until a bgp section is configured.
     bgp::BgpProcess* bgp() { return bgp_.get(); }
+    // The component watchdog: health probes, restart-with-backoff,
+    // graceful-restart choreography against the RIB, crash-loop breaker.
+    Supervisor& supervisor() { return *supervisor_; }
 
     // ---- configuration (commit semantics) -------------------------------
     bool configure(const std::string& config_text, std::string* error);
@@ -68,6 +72,25 @@ private:
     bool validate(const ConfigTree& tree, std::string* error) const;
     bool apply(const ConfigTree& tree, std::string* error);
 
+    void supervise_components();
+    void supervise_bgp();
+    // Component restart hooks for the Supervisor: tear down the dead
+    // objects (process first — it references its XrlRouter), build fresh
+    // ones, and re-apply the running configuration.
+    void restart_rip();
+    void restart_ospf();
+    void restart_bgp();
+
+    // One configured BGP session to a neighboring Router, remembered so a
+    // restarted BgpProcess can be rewired: the peer drops its old session
+    // and both sides get fresh transports. Ids are BgpProcess peer ids.
+    struct BgpLink {
+        Router* peer;
+        ev::Duration latency;
+        int local_id;
+        int remote_id;
+    };
+
     std::string name_;
     ipc::Plexus plexus_;
 
@@ -86,6 +109,11 @@ private:
 
     ConfigTree running_;
     ConfigTree previous_;
+
+    std::vector<BgpLink> bgp_links_;
+    // Declared last: destroyed first, so teardown of the XrlRouters above
+    // cannot be mistaken for component deaths.
+    std::unique_ptr<Supervisor> supervisor_;
 };
 
 }  // namespace xrp::rtrmgr

@@ -1,0 +1,227 @@
+#include "rtrmgr/supervisor.hpp"
+
+#include <algorithm>
+
+#include "ipc/common_xrl.hpp"
+
+namespace xrp::rtrmgr {
+
+using xrl::Xrl;
+using xrl::XrlArgs;
+
+Supervisor::Supervisor(ipc::Plexus& plexus, ipc::XrlRouter& xr)
+    : plexus_(plexus), xr_(xr) {
+    failed_gauge_ = telemetry::Registry::global().gauge(
+        "supervisor_failed_components");
+    // One wildcard watch covers every supervised class; deaths reported
+    // by anyone (a probe, a protocol's RIB push, an operator) all funnel
+    // through here. Deferred: the Finder fires watches synchronously from
+    // report_dead, which can be deep inside a call-contract completion —
+    // restarting a component from there would destroy objects with frames
+    // on the stack.
+    watch_id_ = plexus_.finder.watch(
+        "*", [this](finder::LifetimeEvent ev, const std::string& cls,
+                    const std::string&) {
+            if (ev != finder::LifetimeEvent::kDeath) return;
+            if (components_.count(cls) == 0) return;
+            plexus_.loop.defer([this, cls] { on_death(cls); });
+        });
+}
+
+Supervisor::~Supervisor() { plexus_.finder.unwatch(watch_id_); }
+
+void Supervisor::supervise(Spec spec) {
+    const std::string cls = spec.cls;
+    Component c;
+    c.spec = std::move(spec);
+    auto& reg = telemetry::Registry::global();
+    c.deaths_total = reg.counter(telemetry::metric_key(
+        "supervisor_deaths_total", {{"component", cls}}));
+    c.restarts_total = reg.counter(telemetry::metric_key(
+        "supervisor_restarts_total", {{"component", cls}}));
+    components_[cls] = std::move(c);
+    start_probing(cls);
+}
+
+Supervisor::State Supervisor::state(const std::string& cls) const {
+    auto it = components_.find(cls);
+    return it == components_.end() ? State::kAlive : it->second.state;
+}
+
+uint64_t Supervisor::restart_count(const std::string& cls) const {
+    auto it = components_.find(cls);
+    return it == components_.end() ? 0 : it->second.restarts;
+}
+
+bool Supervisor::any_failed() const {
+    for (const auto& [cls, c] : components_)
+        if (c.state == State::kFailed) return true;
+    return false;
+}
+
+std::vector<std::string> Supervisor::failed() const {
+    std::vector<std::string> out;
+    for (const auto& [cls, c] : components_)
+        if (c.state == State::kFailed) out.push_back(cls);
+    return out;
+}
+
+void Supervisor::clear_failed(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end() || it->second.state != State::kFailed) return;
+    Component& c = it->second;
+    c.deaths.clear();
+    c.consecutive_failures = 0;
+    c.state = State::kDead;
+    failed_gauge_->add(-1);
+    schedule_restart(cls);
+}
+
+void Supervisor::on_death(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end()) return;
+    Component& c = it->second;
+    // Only deaths of a believed-alive component count: our own restart
+    // destroys the old XrlRouter (one death event), and a probe racing a
+    // restart can re-report a corpse we are already burying.
+    if (c.state != State::kAlive) return;
+    c.state = State::kDead;
+    c.probe_timer.unschedule();
+    c.deaths_total->inc();
+
+    const ev::TimePoint now = plexus_.loop.now();
+    c.deaths.push_back(now);
+    while (!c.deaths.empty() &&
+           now - c.deaths.front() > c.spec.breaker_window)
+        c.deaths.pop_front();
+
+    // Graceful restart, step 1: the RIB preserves this component's routes
+    // as stale and starts the grace clock. This must go out even when the
+    // breaker trips below — grace expiry is exactly how a failed
+    // component's routes eventually age out.
+    notify_rib("origin_dead", c);
+
+    if (static_cast<int>(c.deaths.size()) >= c.spec.breaker_threshold) {
+        c.state = State::kFailed;
+        failed_gauge_->add(1);
+        return;
+    }
+    schedule_restart(cls);
+}
+
+ev::Duration Supervisor::backoff_for(const Component& c) const {
+    ev::Duration d = c.spec.backoff_initial;
+    for (uint32_t i = 0; i < c.consecutive_failures && d < c.spec.backoff_max;
+         ++i)
+        d *= 2;
+    return std::min(d, c.spec.backoff_max);
+}
+
+void Supervisor::schedule_restart(const std::string& cls) {
+    Component& c = components_[cls];
+    c.state = State::kRestarting;
+    c.restart_timer = plexus_.loop.set_timer(
+        backoff_for(c), [this, cls] { do_restart(cls); });
+}
+
+void Supervisor::do_restart(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end()) return;
+    Component& c = it->second;
+    if (c.state != State::kRestarting) return;
+    ++c.restarts;
+    ++c.consecutive_failures;
+    c.restarts_total->inc();
+    c.spec.restart();
+    // The fresh instance is registered; tell the RIB the protocol is back
+    // (stops the grace clock) and start watching the resync.
+    notify_rib("origin_revived", c);
+    begin_resync(cls);
+}
+
+void Supervisor::begin_resync(const std::string& cls) {
+    Component& c = components_[cls];
+    c.state = State::kResync;
+    c.resync_deadline = plexus_.loop.set_timer(
+        c.spec.resync_timeout, [this, cls] {
+            // Resync never completed; sweep anyway so stale routes are
+            // not preserved forever (the protocol keeps adding whatever
+            // it learns later — adds are always welcome).
+            auto cit = components_.find(cls);
+            if (cit == components_.end() ||
+                cit->second.state != State::kResync)
+                return;
+            cit->second.resync_poll.unschedule();
+            cit->second.settle_timer.unschedule();
+            finish_resync(cls);
+        });
+    c.resync_poll = plexus_.loop.set_periodic(
+        std::chrono::milliseconds(500), [this, cls] {
+            auto cit = components_.find(cls);
+            if (cit == components_.end() ||
+                cit->second.state != State::kResync)
+                return false;
+            Component& comp = cit->second;
+            if (!comp.spec.resynced || comp.spec.resynced()) {
+                comp.settle_timer = plexus_.loop.set_timer(
+                    comp.spec.resync_settle,
+                    [this, cls] { finish_resync(cls); });
+                return false;  // stop polling; the settle timer owns it now
+            }
+            return true;
+        });
+}
+
+void Supervisor::finish_resync(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end() || it->second.state != State::kResync) return;
+    Component& c = it->second;
+    c.resync_deadline.unschedule();
+    c.state = State::kAlive;
+    c.consecutive_failures = 0;
+    notify_rib("origin_resynced", c);
+    start_probing(cls);
+}
+
+void Supervisor::start_probing(const std::string& cls) {
+    Component& c = components_[cls];
+    c.probe_timer = plexus_.loop.set_periodic(
+        c.spec.probe_interval, [this, cls] {
+            probe(cls);
+            return true;
+        });
+}
+
+void Supervisor::probe(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end() || it->second.state != State::kAlive) return;
+    Component& c = it->second;
+    if (c.probe_inflight) return;  // the previous probe is still deciding
+    c.probe_inflight = true;
+    // Tight-ish contract: a killed channel fails each attempt hard and
+    // the call layer reports the target dead — which loops back to
+    // on_death via the Finder watch. Success just clears the in-flight
+    // flag; a not-ready status is tolerated (the component is alive and
+    // making progress, which is all liveness means here).
+    auto opts = ipc::CallOptions::reliable()
+                    .with_deadline(std::chrono::seconds(10))
+                    .with_attempt_timeout(std::chrono::seconds(2))
+                    .with_attempts(3);
+    xr_.call(Xrl::generic(cls, "common", "0.1", "get_status"), opts,
+             [this, cls](const xrl::XrlError&, const XrlArgs&) {
+                 auto cit = components_.find(cls);
+                 if (cit != components_.end())
+                     cit->second.probe_inflight = false;
+             });
+}
+
+void Supervisor::notify_rib(const std::string& method, const Component& c) {
+    for (const std::string& proto : c.spec.protocols) {
+        XrlArgs args;
+        args.add("protocol", proto);
+        xr_.call_oneway(Xrl::generic("rib", "rib", "1.0", method, args),
+                        ipc::CallOptions::reliable());
+    }
+}
+
+}  // namespace xrp::rtrmgr

@@ -36,12 +36,33 @@ public:
 
     explicit MergeStage(std::string name) : name_(std::move(name)) {}
 
-    // A merge has exactly two parents; do not use set_upstream.
+    // A merge has exactly two parents; wire them with set_parents.
     void set_parents(RouteStage<A>* a, RouteStage<A>* b) {
         a_ = a;
         b_ = b;
         a->set_downstream(this);
         b->set_downstream(this);
+    }
+
+    // Dynamic-stage splicing (§5.1.2) on a parent edge. plumb_between /
+    // unplumb announce the new upstream via set_upstream; a merge must
+    // translate that into adopting the stage as the matching parent, or
+    // other_parent() would keep consulting the stage that was spliced
+    // around. Splice-in: the new stage's upstream is a current parent.
+    // Splice-out: a current parent's upstream is the stage handed to us.
+    void set_upstream(RouteStage<A>* s) override {
+        if (s == nullptr || s == a_ || s == b_) return;
+        if (s->upstream() != nullptr && s->upstream() == a_) {
+            a_ = s;  // splice-in on edge a
+        } else if (s->upstream() != nullptr && s->upstream() == b_) {
+            b_ = s;  // splice-in on edge b
+        } else if (a_ != nullptr && a_->upstream() == s) {
+            a_ = s;  // splice-out on edge a
+        } else if (b_ != nullptr && b_->upstream() == s) {
+            b_ = s;  // splice-out on edge b
+        } else {
+            assert(false && "MergeStage: set_upstream is not a parent splice");
+        }
     }
 
     void add_route(const RouteT& route, RouteStage<A>* caller) override {

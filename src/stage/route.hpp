@@ -39,6 +39,12 @@ struct Route {
     std::shared_ptr<const void> attrs;
     // Policy tag list; policy filter stages read and write these.
     std::vector<std::string> tags;
+    // Graceful-restart bookkeeping, maintained by OriginStage: the
+    // origin's refresh generation when this route was last added or
+    // re-confirmed. Deliberately excluded from operator== — a restarted
+    // protocol re-advertising the identical route must compare equal so
+    // the origin can refresh the stamp without churning downstream.
+    uint64_t origin_stamp = 0;
 
     bool operator==(const Route& o) const {
         return net == o.net && nexthop == o.nexthop && metric == o.metric &&

@@ -1,0 +1,89 @@
+// Shared helpers for the full-router suites (integration, chaos,
+// supervision). Everything here is header-only and deliberately small:
+// telemetry deltas, configure-with-error-reporting, the standard chaos
+// plan, and the convergence waits every multi-router test repeats.
+#ifndef XRP_TESTS_HARNESS_HPP
+#define XRP_TESTS_HARNESS_HPP
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rtrmgr/rtrmgr.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xrp::harness {
+
+// Current value of a global telemetry counter (creates it at zero).
+// Telemetry is process-global, so tests must compare deltas, never
+// absolute values — other tests in the same binary share the registry.
+inline uint64_t ctr(const std::string& key) {
+    return telemetry::Registry::global().counter(key)->value();
+}
+
+// Current value of a global telemetry gauge (creates it at zero).
+inline int64_t gauge(const std::string& key) {
+    return telemetry::Registry::global().gauge(key)->value();
+}
+
+// configure() with gtest-friendly failure text:
+//   ASSERT_TRUE(configure(r, "...config..."));
+inline ::testing::AssertionResult configure(rtrmgr::Router& r,
+                                            const std::string& text) {
+    std::string err;
+    if (r.configure(text, &err)) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << r.name() << ": " << err;
+}
+
+// Arms one router's Plexus with the standard chaos plan: 5% of sends
+// vanish, every send is delayed by a uniform 0–10 ms. Seeded per router
+// so a failing run replays exactly.
+inline void arm_chaos(rtrmgr::Router& r, uint64_t seed) {
+    using namespace std::chrono_literals;
+    r.plexus().faults.seed(seed);
+    ipc::FaultInjector::Plan p;
+    p.drop_permille = 50;
+    p.delay_permille = 1000;
+    p.delay_min = 0ms;
+    p.delay_max = 10ms;
+    r.plexus().faults.set_default_plan(p);
+}
+
+// A plan that fails every send to the target hard (kTransportFailed) —
+// the transport-level equivalent of the component being dead. The call
+// contract converts exhausted hard failures into a Finder death report,
+// which is what wakes the supervisor.
+inline ipc::FaultInjector::Plan kill_plan() {
+    ipc::FaultInjector::Plan p;
+    p.kill_channel = true;
+    return p;
+}
+
+// Convergence waits. All take the shared loop explicitly (every router
+// in a simulation runs on one loop) and default to the 60 s virtual
+// bound the integration suite uses: generous under the CI chaos pass,
+// instant when nothing is being dropped.
+inline bool converge_route(ev::EventLoop& loop, rtrmgr::Router& r,
+                           const net::IPv4Net& net,
+                           ev::Duration limit = std::chrono::seconds(60)) {
+    return loop.run_until(
+        [&] { return r.rib().lookup_exact(net).has_value(); }, limit);
+}
+
+inline bool converge_no_route(ev::EventLoop& loop, rtrmgr::Router& r,
+                              const net::IPv4Net& net,
+                              ev::Duration limit = std::chrono::seconds(60)) {
+    return loop.run_until(
+        [&] { return !r.rib().lookup_exact(net).has_value(); }, limit);
+}
+
+// All the way into the forwarding plane: the FIB resolves `dst`.
+inline bool converge_fib(ev::EventLoop& loop, rtrmgr::Router& r, net::IPv4 dst,
+                         ev::Duration limit = std::chrono::seconds(60)) {
+    return loop.run_until([&] { return r.fea().lookup(dst) != nullptr; },
+                          limit);
+}
+
+}  // namespace xrp::harness
+
+#endif

@@ -1,13 +1,13 @@
 // Chaos tests: the reliable call contract under injected transport
-// faults, at full-router scale. Three managed routers run RIP, OSPF and
-// BGP simultaneously while every XRL dispatch in every Plexus passes
-// through a seeded FaultInjector — 5% drops plus a 0–10 ms delay on
-// every send. The acceptance bar from the paper's coupling argument:
-// with the contract enabled the routing state still converges to the
-// oracle; with the contract disabled (the legacy fire-once send) a
-// single lost XRL is a permanently lost route.
+// faults, at full-router scale — and the kill tier on top of it: a
+// protocol component's channel dies outright mid-convergence, the
+// Supervisor notices, and graceful restart must carry the routes across
+// the outage without a forwarding blackhole. The acceptance bar from the
+// paper's robustness argument (§3, §9): a crashed routing process is a
+// recoverable event, not a routing event.
 #include <gtest/gtest.h>
 
+#include "harness.hpp"
 #include "rtrmgr/rtrmgr.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -17,28 +17,9 @@ using namespace std::chrono_literals;
 using ipc::FaultInjector;
 using net::IPv4;
 using net::IPv4Net;
-
-namespace {
-
-// Current value of a global telemetry counter (creates it at zero).
-uint64_t ctr(const std::string& key) {
-    return telemetry::Registry::global().counter(key)->value();
-}
-
-// Arms one router's Plexus with the standard chaos plan: 5% of sends
-// vanish, every send is delayed by a uniform 0–10 ms. Seeded per router
-// so a failing run replays exactly.
-void arm_chaos(Router& r, uint64_t seed) {
-    r.plexus().faults.seed(seed);
-    FaultInjector::Plan p;
-    p.drop_permille = 50;
-    p.delay_permille = 1000;
-    p.delay_min = 0ms;
-    p.delay_max = 10ms;
-    r.plexus().faults.set_default_plan(p);
-}
-
-}  // namespace
+using SupState = rtrmgr::Supervisor::State;
+using harness::arm_chaos;
+using harness::ctr;
 
 TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
     // r1 --(link A: RIP)-- r2, r1 --(link B: OSPF)-- r2, r1 --(BGP
@@ -58,8 +39,7 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
 
     const uint64_t retries0 = ctr("xrl_call_retries_total");
 
-    std::string err;
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces {
             eth0 { address 10.0.1.1/24; }
             eth1 { address 10.0.2.1/24; }
@@ -79,10 +59,8 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
                 network 10.99.0.0/16;
             }
         }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(r2.configure(R"(
+    )"));
+    ASSERT_TRUE(harness::configure(r2, R"(
         interfaces {
             eth0 { address 10.0.1.2/24; }
             eth1 { address 10.0.2.2/24; }
@@ -91,10 +69,8 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
             rip { interface eth0; }
             ospf { router-id 2.2.2.2; interface eth1; }
         }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(r3.configure(R"(
+    )"));
+    ASSERT_TRUE(harness::configure(r3, R"(
         interfaces { eth0 { address 192.0.2.3/24; } }
         protocols {
             static { route 192.0.2.0/24 { nexthop 192.0.2.3; } }
@@ -103,9 +79,7 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
                 bgp-id 192.0.2.3;
             }
         }
-    )",
-                             &err))
-        << err;
+    )"));
 
     int link_rip = network.add_link();
     r1.attach_link(network, link_rip, "eth0");
@@ -125,7 +99,7 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
             else
                 r1.rip().withdraw(r.net);
         });
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces {
             eth0 { address 10.0.1.1/24; }
             eth1 { address 10.0.2.1/24; }
@@ -146,9 +120,7 @@ TEST(Chaos, MultiProtocolConvergesUnderInjectedFaults) {
                 network 10.99.0.0/16;
             }
         }
-    )",
-                             &err))
-        << err;
+    )"));
     Router::connect_bgp(r1, r3);
 
     const IPv4Net via_rip = IPv4Net::must_parse("172.16.0.0/16");
@@ -209,13 +181,10 @@ TEST(Chaos, FailsWithoutRetryLayerUnderSameFaults) {
         // pinpoint plan and nothing else.
         r.plexus().faults.clear();
         r.plexus().faults.set_target_plan("rib", eat_two);
-        std::string err;
-        ASSERT_TRUE(r.configure(R"(
+        ASSERT_TRUE(harness::configure(r, R"(
             interfaces { eth0 { address 192.0.2.1/24; } }
             protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
-        )",
-                                &err))
-            << err;
+        )"));
         // Generous bound: nothing will ever re-send these. The routes are
         // simply gone — the pre-contract failure mode this PR removes.
         loop.run_for(60s);
@@ -229,24 +198,361 @@ TEST(Chaos, FailsWithoutRetryLayerUnderSameFaults) {
         ASSERT_TRUE(r.plexus().reliability_enabled);
         r.plexus().faults.clear();  // as above: pinpoint plan only
         r.plexus().faults.set_target_plan("rib", eat_two);
-        std::string err;
-        ASSERT_TRUE(r.configure(R"(
+        ASSERT_TRUE(harness::configure(r, R"(
             interfaces { eth0 { address 192.0.2.1/24; } }
             protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
-        )",
-                                &err))
-            << err;
+        )"));
         // Same two drops; the contract's retries re-send both pushes.
         ASSERT_TRUE(
             loop.run_until([&] { return r.rib().route_count() == 2; }, 60s));
         EXPECT_TRUE(r.rib()
                         .lookup_exact(IPv4Net::must_parse("10.0.0.0/8"))
                         .has_value());
-        ASSERT_TRUE(loop.run_until(
-            [&] {
-                return r.fea().lookup(IPv4::must_parse("10.1.2.3")) != nullptr;
-            },
-            60s));
+        ASSERT_TRUE(harness::converge_fib(loop, r,
+                                          IPv4::must_parse("10.1.2.3")));
         EXPECT_EQ(r.plexus().faults.stats().drops, 2u);
     }
+}
+
+// ---- kill tier: component death, supervision, graceful restart --------
+
+namespace {
+
+// The standard two-router RIP topology: r1 redistributes a static
+// 172.16/16 into RIP, r2 learns it over the virtual network. `r2_rip`
+// lets a test splice extra statements (e.g. "grace-period 30;") into
+// r2's rip section.
+struct RipPair {
+    ev::VirtualClock clock;
+    ev::EventLoop loop{clock};
+    fea::VirtualNetwork network{std::chrono::milliseconds(1)};
+    Router r1{"r1", loop}, r2{"r2", loop};
+    const IPv4Net learned = IPv4Net::must_parse("172.16.0.0/16");
+    const IPv4 probe_addr = IPv4::must_parse("172.16.1.1");
+
+    explicit RipPair(const std::string& r2_rip = "") {
+        EXPECT_TRUE(harness::configure(r1, R"(
+            interfaces { eth0 { address 10.0.1.1/24; } }
+            protocols { rip { interface eth0; } }
+        )"));
+        EXPECT_TRUE(harness::configure(
+            r2, "interfaces { eth0 { address 10.0.1.2/24; } }\n"
+                "protocols { rip { " +
+                    r2_rip + " interface eth0; } }"));
+        int link = network.add_link();
+        r1.attach_link(network, link, "eth0");
+        r2.attach_link(network, link, "eth0");
+        r1.rib().add_redist(
+            [](const rib::Route4& r) { return r.protocol == "static"; },
+            [this](bool add, const rib::Route4& r) {
+                if (add)
+                    r1.rip().originate(r.net, 1);
+                else
+                    r1.rip().withdraw(r.net);
+            });
+        EXPECT_TRUE(harness::configure(r1, R"(
+            interfaces { eth0 { address 10.0.1.1/24; } }
+            protocols {
+                static { route 172.16.0.0/16 { nexthop 10.0.1.99; } }
+                rip { interface eth0; }
+            }
+        )"));
+    }
+
+    bool converged() {
+        return harness::converge_route(loop, r2, learned, 600s) &&
+               harness::converge_fib(loop, r2, probe_addr, 120s);
+    }
+};
+
+}  // namespace
+
+TEST(KillChaos, RipDeathPreservesForwardingThroughRestart) {
+    RipPair t;
+    ASSERT_TRUE(t.converged());
+    auto got0 = t.r2.rib().lookup_exact(t.learned);
+    ASSERT_TRUE(got0.has_value());
+    const uint64_t deaths0 = ctr(telemetry::metric_key(
+        "supervisor_deaths_total", {{"component", "rip"}}));
+
+    // The channel to r2's RIP dies: every probe attempt fails hard, the
+    // call contract reports the target dead, the Supervisor takes over.
+    // Wait for the RIB to see origin_dead too — the supervisor notifies
+    // it over an XRL, which ambient CI chaos is free to delay.
+    t.r2.plexus().faults.set_target_plan("rip", harness::kill_plan());
+    ASSERT_TRUE(t.loop.run_until(
+        [&] {
+            return t.r2.supervisor().state("rip") != SupState::kAlive &&
+                   t.r2.rib().origin_state("rip") ==
+                       rib::Rib::OriginState::kStale;
+        },
+        120s));
+
+    // Death noticed. The routes are preserved as stale — NOT deleted —
+    // and the forwarding plane never heard a thing.
+    EXPECT_GE(ctr(telemetry::metric_key("supervisor_deaths_total",
+                                        {{"component", "rip"}})) -
+                  deaths0,
+              1u);
+    EXPECT_EQ(t.r2.rib().origin_state("rip"), rib::Rib::OriginState::kStale);
+    EXPECT_GE(t.r2.rib().stale_route_count("rip"), 1u);
+    EXPECT_TRUE(t.r2.rib().lookup_exact(t.learned).has_value());
+    EXPECT_NE(t.r2.fea().lookup(t.probe_addr), nullptr);
+
+    // An operator lifts the kill over the fault/1.0 face — the surgical
+    // clear_target, which leaves any ambient CI chaos plan armed. (The
+    // call goes via the RIB's dispatcher: the rip channel is the dead
+    // one.)
+    ipc::XrlRouter cli(t.r2.plexus(), "cli");
+    bool cleared = false;
+    xrl::XrlArgs scope;
+    scope.add("scope", std::string("target:rip"));
+    cli.call(xrl::Xrl::generic("rib", "fault", "1.0", "clear_target", scope),
+             ipc::CallOptions::reliable(),
+             [&](const xrl::XrlError& e, const xrl::XrlArgs& out) {
+                 ASSERT_TRUE(e.ok()) << e.str();
+                 EXPECT_TRUE(out.get_bool("removed").value_or(false));
+                 cleared = true;
+             });
+    ASSERT_TRUE(t.loop.run_until([&] { return cleared; }, 30s));
+
+    // The Supervisor restarts the component and walks it through resync.
+    // The acceptance bar: at no point does the learned prefix drop out of
+    // the RIB or the FIB — zero blackhole window for unchanged routes.
+    bool blackhole = false;
+    ASSERT_TRUE(t.loop.run_until(
+        [&] {
+            if (!t.r2.rib().lookup_exact(t.learned).has_value() ||
+                t.r2.fea().lookup(t.probe_addr) == nullptr)
+                blackhole = true;
+            return t.r2.supervisor().state("rip") == SupState::kAlive &&
+                   t.r2.rib().origin_state("rip") ==
+                       rib::Rib::OriginState::kFresh;
+        },
+        600s));
+    EXPECT_FALSE(blackhole);
+    EXPECT_GE(t.r2.supervisor().restart_count("rip"), 1u);
+    // Every route was re-confirmed in place: nothing stale, nothing for
+    // the sweeper to reap.
+    EXPECT_EQ(t.r2.rib().stale_route_count("rip"), 0u);
+    EXPECT_EQ(t.r2.rib().swept_route_count("rip"), 0u);
+    // Post-resync oracle: the same winner as before the kill.
+    auto got = t.r2.rib().lookup_exact(t.learned);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->protocol, "rip");
+    EXPECT_EQ(got->nexthop, got0->nexthop);
+}
+
+TEST(KillChaos, OspfDeathPreservesForwardingThroughRestart) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Router r1("r1", loop), r2("r2", loop);
+    ASSERT_TRUE(harness::configure(r1, R"(
+        interfaces {
+            eth0 { address 10.0.1.1/24; }
+            eth1 { address 172.16.1.1/24; }
+        }
+        protocols {
+            ospf {
+                router-id 1.1.1.1;
+                interface eth0 { cost 2; }
+                interface eth1;
+            }
+        }
+    )"));
+    ASSERT_TRUE(harness::configure(r2, R"(
+        interfaces { eth0 { address 10.0.1.2/24; } }
+        protocols { ospf { router-id 2.2.2.2; interface eth0; } }
+    )"));
+    int link = network.add_link();
+    r1.attach_link(network, link, "eth0");
+    r2.attach_link(network, link, "eth0");
+
+    const IPv4Net stub = IPv4Net::must_parse("172.16.1.0/24");
+    const IPv4 probe_addr = IPv4::must_parse("172.16.1.9");
+    ASSERT_TRUE(harness::converge_route(loop, r2, stub, 600s));
+    ASSERT_TRUE(harness::converge_fib(loop, r2, probe_addr, 120s));
+
+    // Kill r2's OSPF channel; the adjacency state, LSA database and SPF
+    // results all die with the process — but the RIB keeps the routes.
+    r2.plexus().faults.set_target_plan("ospf", harness::kill_plan());
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.supervisor().state("ospf") != SupState::kAlive &&
+                   r2.rib().origin_state("ospf") ==
+                       rib::Rib::OriginState::kStale;
+        },
+        120s));
+    EXPECT_EQ(r2.rib().origin_state("ospf"), rib::Rib::OriginState::kStale);
+    EXPECT_GE(r2.rib().stale_route_count("ospf"), 1u);
+    EXPECT_TRUE(r2.rib().lookup_exact(stub).has_value());
+    EXPECT_NE(r2.fea().lookup(probe_addr), nullptr);
+
+    // Lift the kill via the in-process face this time (the XRL face is
+    // exercised by the RIP test), then watch the restart re-form the
+    // adjacency, re-run SPF, and re-confirm every route in place.
+    ASSERT_TRUE(r2.plexus().faults.clear_scope("target:ospf"));
+    bool blackhole = false;
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            if (!r2.rib().lookup_exact(stub).has_value() ||
+                r2.fea().lookup(probe_addr) == nullptr)
+                blackhole = true;
+            return r2.supervisor().state("ospf") == SupState::kAlive &&
+                   r2.rib().origin_state("ospf") ==
+                       rib::Rib::OriginState::kFresh;
+        },
+        600s));
+    EXPECT_FALSE(blackhole);
+    EXPECT_GE(r2.supervisor().restart_count("ospf"), 1u);
+    EXPECT_EQ(r2.rib().stale_route_count("ospf"), 0u);
+    auto got = r2.rib().lookup_exact(stub);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->protocol, "ospf");
+    EXPECT_EQ(got->nexthop.str(), "10.0.1.1");
+}
+
+TEST(KillChaos, BgpDeathPreservesForwardingThroughRestart) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router r1("r1", loop), r3("r3", loop);
+    ASSERT_TRUE(harness::configure(r1, R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols {
+            bgp {
+                local-as 1777;
+                bgp-id 192.0.2.1;
+                network 10.99.0.0/16;
+            }
+        }
+    )"));
+    ASSERT_TRUE(harness::configure(r3, R"(
+        interfaces { eth0 { address 192.0.2.3/24; } }
+        protocols {
+            static { route 192.0.2.0/24 { nexthop 192.0.2.3; } }
+            bgp {
+                local-as 3561;
+                bgp-id 192.0.2.3;
+            }
+        }
+    )"));
+    Router::connect_bgp(r1, r3);
+
+    const IPv4Net via_bgp = IPv4Net::must_parse("10.99.0.0/16");
+    const IPv4 probe_addr = IPv4::must_parse("10.99.1.1");
+    ASSERT_TRUE(harness::converge_route(loop, r3, via_bgp, 600s));
+    ASSERT_TRUE(harness::converge_fib(loop, r3, probe_addr, 120s));
+
+    // Kill the learner's BGP. The restart path is the hardest of the
+    // three: the Supervisor must rebuild the process, rewire the peering
+    // transports on both ends, and wait for the session to re-establish
+    // and the peer's table dump to drain before declaring resync.
+    r3.plexus().faults.set_target_plan("bgp", harness::kill_plan());
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r3.supervisor().state("bgp") != SupState::kAlive &&
+                   r3.rib().origin_state("ebgp") ==
+                       rib::Rib::OriginState::kStale;
+        },
+        120s));
+    EXPECT_EQ(r3.rib().origin_state("ebgp"), rib::Rib::OriginState::kStale);
+    EXPECT_GE(r3.rib().stale_route_count("ebgp"), 1u);
+    EXPECT_TRUE(r3.rib().lookup_exact(via_bgp).has_value());
+    EXPECT_NE(r3.fea().lookup(probe_addr), nullptr);
+
+    ASSERT_TRUE(r3.plexus().faults.clear_scope("target:bgp"));
+    bool blackhole = false;
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            if (!r3.rib().lookup_exact(via_bgp).has_value() ||
+                r3.fea().lookup(probe_addr) == nullptr)
+                blackhole = true;
+            return r3.supervisor().state("bgp") == SupState::kAlive &&
+                   r3.rib().origin_state("ebgp") ==
+                       rib::Rib::OriginState::kFresh;
+        },
+        600s));
+    EXPECT_FALSE(blackhole);
+    EXPECT_GE(r3.supervisor().restart_count("bgp"), 1u);
+    EXPECT_EQ(r3.rib().stale_route_count("ebgp"), 0u);
+    EXPECT_EQ(r3.rib().swept_route_count("ebgp"), 0u);
+    auto got = r3.rib().lookup_exact(via_bgp);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->protocol, "ebgp");
+    EXPECT_EQ(got->nexthop.str(), "192.0.2.1");
+}
+
+TEST(KillChaos, CrashLoopBreakerTripsAndRecovers) {
+    // A kill that is never lifted: the component dies on every probe, the
+    // restart loop spins, and after breaker_threshold deaths inside the
+    // window the Supervisor gives up — visibly. Config commits refuse
+    // until the operator acknowledges with clear_failed().
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Router r("r1", loop);
+    ASSERT_TRUE(harness::configure(
+        r, "interfaces { eth0 { address 192.0.2.1/24; } }"));
+    const int64_t failed0 = harness::gauge("supervisor_failed_components");
+
+    r.plexus().faults.set_target_plan("rip", harness::kill_plan());
+    ASSERT_TRUE(
+        loop.run_until([&] { return r.supervisor().any_failed(); }, 3600s));
+    EXPECT_EQ(r.supervisor().state("rip"), SupState::kFailed);
+    EXPECT_EQ(r.supervisor().failed(), std::vector<std::string>{"rip"});
+    EXPECT_EQ(harness::gauge("supervisor_failed_components") - failed0, 1);
+
+    // The breaker surfaces through the Router Manager: commits refuse.
+    std::string err;
+    EXPECT_FALSE(r.configure(
+        "interfaces { eth0 { address 192.0.2.1/24; } }", &err));
+    EXPECT_NE(err.find("crash-loop"), std::string::npos);
+    EXPECT_NE(err.find("rip"), std::string::npos);
+
+    // Operator fixes the fault, acknowledges, and the component recovers.
+    ASSERT_TRUE(r.plexus().faults.clear_scope("target:rip"));
+    r.supervisor().clear_failed("rip");
+    ASSERT_TRUE(loop.run_until(
+        [&] { return r.supervisor().state("rip") == SupState::kAlive; },
+        600s));
+    EXPECT_FALSE(r.supervisor().any_failed());
+    EXPECT_EQ(harness::gauge("supervisor_failed_components") - failed0, 0);
+    EXPECT_TRUE(harness::configure(
+        r, "interfaces { eth0 { address 192.0.2.1/24; } }"));
+}
+
+TEST(KillChaos, GraceExpiryAgesOutFailedComponentsRoutes) {
+    // The other half of the preservation bargain: stale routes are kept
+    // on the *promise* the protocol comes back. A component the breaker
+    // gave up on broke that promise, so its routes must age out when the
+    // (configured) grace period runs down — via a background deletion
+    // stage, never a synchronous mass delete.
+    RipPair t("grace-period 30;");
+    ASSERT_TRUE(t.converged());
+    const uint64_t expiries0 = ctr(telemetry::metric_key(
+        "rib_grace_expiries_total", {{"protocol", "rip"}}));
+
+    // Kill r2's RIP and never lift it: crash-loop into the breaker.
+    t.r2.plexus().faults.set_target_plan("rip", harness::kill_plan());
+    ASSERT_TRUE(t.loop.run_until(
+        [&] { return t.r2.supervisor().any_failed(); }, 3600s));
+    EXPECT_EQ(t.r2.supervisor().state("rip"), SupState::kFailed);
+    // The routes are still preserved at this instant...
+    EXPECT_TRUE(t.r2.rib().lookup_exact(t.learned).has_value());
+
+    // ...but the last death's grace clock (30 s from the config leaf) is
+    // running, and no revival will stop it. Expiry flushes the table.
+    ASSERT_TRUE(t.loop.run_until(
+        [&] { return !t.r2.rib().lookup_exact(t.learned).has_value(); },
+        600s));
+    EXPECT_GE(ctr(telemetry::metric_key("rib_grace_expiries_total",
+                                        {{"protocol", "rip"}})) -
+                  expiries0,
+              1u);
+    // All the way out of the forwarding plane, and the origin is reset.
+    ASSERT_TRUE(t.loop.run_until(
+        [&] { return t.r2.fea().lookup(t.probe_addr) == nullptr; }, 60s));
+    EXPECT_EQ(t.r2.rib().origin_state("rip"), rib::Rib::OriginState::kFresh);
+    EXPECT_EQ(t.r2.rib().stale_route_count("rip"), 0u);
+    EXPECT_EQ(t.r2.rib().origin_route_count("rip"), 0u);
 }

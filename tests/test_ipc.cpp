@@ -960,6 +960,101 @@ TEST(FaultXrl, PlansScriptableOverTheWire) {
     EXPECT_FALSE(plexus.faults.active());
 }
 
+TEST(FaultInjector, ClearScopeRemovesExactlyOneSlot) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    FaultInjector& f = plexus.faults;
+    FaultInjector::Plan drop;
+    drop.drop_permille = 100;
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    f.set_default_plan(drop);
+    f.set_family_plan("sudp", drop);
+    f.set_target_plan("rip", kill);
+
+    // Introspection: default -> family -> target order, readable render.
+    auto plans = f.list_plans();
+    ASSERT_EQ(plans.size(), 3u);
+    EXPECT_EQ(plans[0].first, "default");
+    EXPECT_EQ(plans[1].first, "family:sudp");
+    EXPECT_EQ(plans[2].first, "target:rip");
+    EXPECT_TRUE(plans[2].second.kill_channel);
+    const std::string text = f.describe_plans();
+    EXPECT_NE(text.find("default"), std::string::npos);
+    EXPECT_NE(text.find("family:sudp"), std::string::npos);
+    EXPECT_NE(text.find("target:rip"), std::string::npos);
+
+    // Lifting the kill leaves the ambient plans armed.
+    EXPECT_TRUE(f.clear_scope("target:rip"));
+    EXPECT_EQ(f.list_plans().size(), 2u);
+    EXPECT_TRUE(f.active());
+    // Unknown or already-cleared scopes are a no-op returning false.
+    EXPECT_FALSE(f.clear_scope("target:rip"));
+    EXPECT_FALSE(f.clear_scope("target:never-installed"));
+    EXPECT_FALSE(f.clear_scope("family:tcp"));
+    EXPECT_EQ(f.list_plans().size(), 2u);
+
+    // Draining the remaining slots deactivates the injector entirely.
+    EXPECT_TRUE(f.clear_scope("family:sudp"));
+    EXPECT_TRUE(f.clear_scope("default"));
+    EXPECT_TRUE(f.list_plans().empty());
+    EXPECT_FALSE(f.active());
+}
+
+TEST(FaultXrl, IntrospectionAndSurgicalClearOverTheWire) {
+    // list_plan / clear_target: an operator inspects what chaos is armed
+    // and lifts one plan without touching the rest.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+    FaultInjector::Plan drop;
+    drop.drop_permille = 1;  // ambient plan that must survive the clear
+    plexus.faults.set_default_plan(drop);
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_target_plan("victim", kill);
+
+    std::optional<uint32_t> count;
+    std::string plans;
+    bool done = false;
+    client.send(Xrl::generic("calc", "fault", "1.0", "list_plan"),
+                [&](const XrlError& e, const XrlArgs& out) {
+                    ASSERT_TRUE(e.ok()) << e.str();
+                    count = out.get_u32("count");
+                    plans = out.get_text("plans").value_or("");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 2s));
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, 2u);
+    EXPECT_NE(plans.find("target:victim"), std::string::npos);
+
+    auto clear_target = [&](const std::string& scope) {
+        std::optional<bool> removed;
+        bool replied = false;
+        XrlArgs args;
+        args.add("scope", scope);
+        client.send(
+            Xrl::generic("calc", "fault", "1.0", "clear_target", args),
+            [&](const XrlError& e, const XrlArgs& out) {
+                if (e.ok()) removed = out.get_bool("removed");
+                replied = true;
+            });
+        EXPECT_TRUE(plexus.loop.run_until([&] { return replied; }, 2s));
+        return removed;
+    };
+    EXPECT_EQ(clear_target("target:victim"), std::optional<bool>(true));
+    EXPECT_EQ(clear_target("target:victim"), std::optional<bool>(false));
+    // Malformed scopes are refused, not treated as "not found".
+    EXPECT_EQ(clear_target("banana"), std::nullopt);
+    // The ambient default plan is still armed.
+    EXPECT_TRUE(plexus.faults.active());
+    ASSERT_EQ(plexus.faults.list_plans().size(), 1u);
+    EXPECT_EQ(plexus.faults.list_plans()[0].first, "default");
+}
+
 TEST(UdpChannel, StaleResponseAfterTimeoutIsDiscarded) {
     // sUDP is stop-and-wait with a sequence number. A reply that limps in
     // after its request already timed out must be discarded — not matched

@@ -1,6 +1,7 @@
 // Tests for the RIB process: admin-distance arbitration through the
 // merge tree, ExtInt nexthop gating, redistribution, Figure-8 interest
-// registration with invalidation, and the FEA feed.
+// registration with invalidation, the FEA feed, and the graceful-restart
+// state machine (origin death / revival / resync / grace expiry).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 
 using namespace xrp;
 using namespace xrp::rib;
+using namespace std::chrono_literals;
 using net::IPv4;
 using net::IPv4Net;
 
@@ -296,4 +298,154 @@ TEST(Rib, RedistTapsWinnersNotOrigins) {
     EXPECT_EQ(std::count(tapped.begin(), tapped.end(),
                          "del 10.0.0.0/8 static"),
               1);
+}
+
+// ---- Graceful restart: the origin_dead/revived/resynced machine ---------
+
+TEST(RibRestart, OriginDeathPreservesRoutesAndFib) {
+    RibFixture f;
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.add_route("rip", IPv4Net::must_parse("20.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+
+    f.rib.origin_dead("rip");
+    EXPECT_EQ(f.rib.origin_state("rip"), Rib::OriginState::kStale);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 2u);
+    // Nothing deleted, nothing re-sent: RIB and FIB keep forwarding.
+    EXPECT_EQ(f.rib.route_count(), 2u);
+    EXPECT_NE(f.fea.lookup(IPv4::must_parse("10.1.1.1")), nullptr);
+    EXPECT_NE(f.fea.lookup(IPv4::must_parse("20.1.1.1")), nullptr);
+
+    // Adds are always welcome while stale — a restarted instance may
+    // start announcing before the supervisor declares it revived.
+    f.rib.add_route("rip", IPv4Net::must_parse("30.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 2u);  // the new add is fresh
+    EXPECT_EQ(f.rib.route_count(), 3u);
+}
+
+TEST(RibRestart, ResyncSweepsOnlyUnrefreshedRoutes) {
+    RibFixture f;
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.add_route("rip", IPv4Net::must_parse("20.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    const uint64_t swept0 = f.rib.swept_route_count("rip");
+
+    f.rib.origin_dead("rip");
+    f.rib.origin_revived("rip");
+    // The restarted protocol re-advertises 10/8 identically (stamp
+    // refresh, silent) but never re-learns 20/8.
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 1u);
+
+    f.rib.origin_resynced("rip");
+    ASSERT_TRUE(f.loop.run_until(
+        [&] { return f.rib.origin_state("rip") == Rib::OriginState::kFresh; },
+        10s));
+    EXPECT_EQ(f.rib.swept_route_count("rip") - swept0, 1u);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 0u);
+    EXPECT_TRUE(
+        f.rib.lookup_exact(IPv4Net::must_parse("10.0.0.0/8")).has_value());
+    EXPECT_FALSE(
+        f.rib.lookup_exact(IPv4Net::must_parse("20.0.0.0/8")).has_value());
+    EXPECT_NE(f.fea.lookup(IPv4::must_parse("10.1.1.1")), nullptr);
+    EXPECT_EQ(f.fea.lookup(IPv4::must_parse("20.1.1.1")), nullptr);
+}
+
+TEST(RibRestart, GraceExpiryFlushesWholeTable) {
+    RibFixture f;
+    f.rib.set_grace_period("rip", 5s);
+    for (uint32_t i = 1; i <= 50; ++i)
+        f.rib.add_route("rip",
+                        IPv4Net::must_parse(std::to_string(i) + ".0.0.0/8"),
+                        IPv4::must_parse("192.0.2.120"), 3);
+    auto* expiries = telemetry::Registry::global().counter(
+        telemetry::metric_key("rib_grace_expiries_total",
+                              {{"protocol", "rip"}}));
+    const uint64_t exp0 = expiries->value();
+
+    f.rib.origin_dead("rip");
+    // The restart never happens. After the grace period the whole table
+    // detaches into a DeletionStage and drains in the background.
+    ASSERT_TRUE(f.loop.run_until([&] { return f.rib.route_count() == 0; },
+                                 60s));
+    EXPECT_EQ(expiries->value() - exp0, 1u);
+    EXPECT_EQ(f.rib.origin_state("rip"), Rib::OriginState::kFresh);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 0u);
+    EXPECT_EQ(f.rib.origin_route_count("rip"), 0u);
+    EXPECT_EQ(f.fea.lookup(IPv4::must_parse("25.1.1.1")), nullptr);
+}
+
+TEST(RibRestart, RevivalCancelsGraceTimer) {
+    RibFixture f;
+    f.rib.set_grace_period("rip", 5s);
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.origin_dead("rip");
+    f.loop.run_for(3s);
+    f.rib.origin_revived("rip");
+    // Well past the old deadline: the route must still be there.
+    f.loop.run_for(30s);
+    EXPECT_EQ(f.rib.route_count(), 1u);
+    EXPECT_EQ(f.rib.origin_state("rip"), Rib::OriginState::kStale);
+    // Resync completes with the route re-confirmed: back to fresh, with
+    // the route never having left RIB or FIB.
+    f.rib.add_route("rip", IPv4Net::must_parse("10.0.0.0/8"),
+                    IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.origin_resynced("rip");
+    ASSERT_TRUE(f.loop.run_until(
+        [&] { return f.rib.origin_state("rip") == Rib::OriginState::kFresh; },
+        10s));
+    EXPECT_EQ(f.rib.route_count(), 1u);
+    EXPECT_NE(f.fea.lookup(IPv4::must_parse("10.1.1.1")), nullptr);
+}
+
+TEST(RibRestart, RedeathDuringSweepGoesBackToStale) {
+    RibFixture f;
+    for (uint32_t i = 1; i <= 100; ++i)
+        f.rib.add_route("rip",
+                        IPv4Net::must_parse(std::to_string(i) + ".0.0.0/8"),
+                        IPv4::must_parse("192.0.2.120"), 3);
+    f.rib.origin_dead("rip");
+    f.rib.origin_revived("rip");
+    f.rib.origin_resynced("rip");  // nothing was refreshed: 100 to sweep
+    EXPECT_EQ(f.rib.origin_state("rip"), Rib::OriginState::kSweeping);
+
+    // The protocol dies AGAIN mid-sweep. The sweeper aborts; whatever it
+    // had not reaped yet is preserved (stale) for the new incarnation.
+    f.rib.origin_dead("rip");
+    EXPECT_EQ(f.rib.origin_state("rip"), Rib::OriginState::kStale);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), f.rib.origin_route_count("rip"));
+
+    // Second restart succeeds and re-confirms everything still present.
+    f.rib.origin_revived("rip");
+    size_t remaining = 0;
+    for (uint32_t i = 1; i <= 100; ++i) {
+        IPv4Net net = IPv4Net::must_parse(std::to_string(i) + ".0.0.0/8");
+        if (f.rib.lookup_exact(net).has_value()) {
+            f.rib.add_route("rip", net, IPv4::must_parse("192.0.2.120"), 3);
+            ++remaining;
+        }
+    }
+    f.rib.origin_resynced("rip");
+    ASSERT_TRUE(f.loop.run_until(
+        [&] { return f.rib.origin_state("rip") == Rib::OriginState::kFresh; },
+        10s));
+    EXPECT_EQ(f.rib.route_count(), remaining);
+    EXPECT_EQ(f.rib.stale_route_count("rip"), 0u);
+}
+
+TEST(RibRestart, UnknownProtocolIsIgnored) {
+    RibFixture f;
+    // None of these may crash or disturb anything.
+    f.rib.origin_dead("carrier-pigeon");
+    f.rib.origin_revived("carrier-pigeon");
+    f.rib.origin_resynced("carrier-pigeon");
+    f.rib.set_grace_period("carrier-pigeon", 1s);
+    EXPECT_EQ(f.rib.origin_state("carrier-pigeon"), Rib::OriginState::kFresh);
+    EXPECT_EQ(f.rib.stale_route_count("carrier-pigeon"), 0u);
+    EXPECT_EQ(f.rib.route_count(), 0u);
 }

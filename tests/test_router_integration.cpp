@@ -3,11 +3,15 @@
 // XRLs through a Finder — plus the Router Manager's config/commit logic.
 #include <gtest/gtest.h>
 
+#include "harness.hpp"
 #include "rtrmgr/rtrmgr.hpp"
 
 using namespace xrp;
 using namespace xrp::rtrmgr;
 using namespace std::chrono_literals;
+using harness::converge_fib;
+using harness::converge_no_route;
+using harness::converge_route;
 using net::IPv4;
 using net::IPv4Net;
 
@@ -66,17 +70,14 @@ TEST(RouterManager, ConfigureBuildsWorkingRouter) {
     ev::VirtualClock clock;
     ev::EventLoop loop(clock);
     Router router("r1", loop);
-    std::string err;
-    ASSERT_TRUE(router.configure(R"(
+    ASSERT_TRUE(harness::configure(router, R"(
         interfaces {
             eth0 { address 192.0.2.1/24; }
         }
         protocols {
             static { route 10.0.0.0/8 { nexthop 192.0.2.254; } }
         }
-    )",
-                                 &err))
-        << err;
+    )"));
     // The static route travels rtrmgr -> RIB -> FEA entirely over XRLs
     // (plus eth0's connected route). run_until, not run_for: under the CI
     // chaos pass those XRLs may be dropped and re-sent on a retry timer.
@@ -116,29 +117,24 @@ TEST(RouterManager, ReconfigureDiffsStaticRoutes) {
     ev::VirtualClock clock;
     ev::EventLoop loop(clock);
     Router router("r1", loop);
-    std::string err;
-    ASSERT_TRUE(router.configure(R"(
+    ASSERT_TRUE(harness::configure(router, R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols { static {
             route 10.0.0.0/8 { nexthop 192.0.2.254; }
             route 20.0.0.0/8 { nexthop 192.0.2.254; }
         } }
-    )",
-                                 &err))
-        << err;
+    )"));
     ASSERT_TRUE(loop.run_until(  // chaos-safe: see above
         [&] { return router.rib().route_count() == 3u; }, 60s));
 
     // New config drops one route, adds another, keeps one.
-    ASSERT_TRUE(router.configure(R"(
+    ASSERT_TRUE(harness::configure(router, R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols { static {
             route 20.0.0.0/8 { nexthop 192.0.2.254; }
             route 30.0.0.0/8 { nexthop 192.0.2.254; }
         } }
-    )",
-                                 &err))
-        << err;
+    )"));
     ASSERT_TRUE(loop.run_until(
         [&] {
             return router.rib().route_count() == 3u &&
@@ -156,23 +152,16 @@ TEST(RouterManager, RollbackRestoresPreviousConfig) {
     ev::EventLoop loop(clock);
     Router router("r1", loop);
     std::string err;
-    ASSERT_TRUE(router.configure(R"(
+    ASSERT_TRUE(harness::configure(router, R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols { static { route 10.0.0.0/8 { nexthop 192.0.2.254; } } }
-    )",
-                                 &err));
-    ASSERT_TRUE(loop.run_until(  // chaos-safe: see above
-        [&] {
-            return router.rib()
-                .lookup_exact(IPv4Net::must_parse("10.0.0.0/8"))
-                .has_value();
-        },
-        60s));
-    ASSERT_TRUE(router.configure(R"(
+    )"));
+    // chaos-safe: see above
+    ASSERT_TRUE(converge_route(loop, router, IPv4Net::must_parse("10.0.0.0/8")));
+    ASSERT_TRUE(harness::configure(router, R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols { static { route 20.0.0.0/8 { nexthop 192.0.2.254; } } }
-    )",
-                                 &err));
+    )"));
     // Wait for the FULL second config to land, not just the deletion:
     // rolling back while the 20/8 add is still in flight (dropped and
     // awaiting a retry under the chaos pass) would let it land after the
@@ -204,21 +193,16 @@ TEST(RouterManager, TwoRoutersRunRipOverVirtualNetwork) {
     ev::EventLoop loop(clock);
     fea::VirtualNetwork network(1ms);
     Router r1("r1", loop), r2("r2", loop);
-    std::string err;
     // Bring the base config up first, install the redistribution tap,
     // then commit the static route so it flows through the tap.
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces { eth0 { address 10.0.1.1/24; } }
         protocols { rip { interface eth0; } }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(r2.configure(R"(
+    )"));
+    ASSERT_TRUE(harness::configure(r2, R"(
         interfaces { eth0 { address 10.0.1.2/24; } }
         protocols { rip { interface eth0; } }
-    )",
-                             &err))
-        << err;
+    )"));
     int link = network.add_link();
     r1.attach_link(network, link, "eth0");
     r2.attach_link(network, link, "eth0");
@@ -231,24 +215,17 @@ TEST(RouterManager, TwoRoutersRunRipOverVirtualNetwork) {
             else
                 r1.rip().withdraw(r.net);
         });
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces { eth0 { address 10.0.1.1/24; } }
         protocols {
             static { route 172.16.0.0/16 { nexthop 10.0.1.99; } }
             rip { interface eth0; }
         }
-    )",
-                             &err))
-        << err;
+    )"));
 
-    ASSERT_TRUE(loop.run_until(
-        [&] {
-            return r2.rib()
-                       .lookup_exact(IPv4Net::must_parse("172.16.0.0/16"))
-                       .has_value() &&
-                   r2.fea().lookup(IPv4::must_parse("172.16.1.1")) != nullptr;
-        },
-        60s));
+    ASSERT_TRUE(
+        converge_route(loop, r2, IPv4Net::must_parse("172.16.0.0/16")));
+    ASSERT_TRUE(converge_fib(loop, r2, IPv4::must_parse("172.16.1.1")));
     auto got = r2.rib().lookup_exact(IPv4Net::must_parse("172.16.0.0/16"));
     EXPECT_EQ(got->protocol, "rip");
     // All the way into r2's forwarding plane.
@@ -262,8 +239,7 @@ TEST(RouterManager, TwoRoutersRunBgpWithXrlCoupledRibs) {
     ev::VirtualClock clock;
     ev::EventLoop loop(clock);
     Router r1("r1", loop), r2("r2", loop);
-    std::string err;
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces { eth0 { address 192.0.2.1/24; } }
         protocols {
             bgp {
@@ -272,10 +248,8 @@ TEST(RouterManager, TwoRoutersRunBgpWithXrlCoupledRibs) {
                 network 10.0.0.0/8;
             }
         }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(r2.configure(R"(
+    )"));
+    ASSERT_TRUE(harness::configure(r2, R"(
         interfaces { eth0 { address 192.0.2.2/24; } }
         protocols {
             static { route 192.0.2.0/24 { nexthop 192.0.2.2; } }
@@ -284,24 +258,15 @@ TEST(RouterManager, TwoRoutersRunBgpWithXrlCoupledRibs) {
                 bgp-id 192.0.2.2;
             }
         }
-    )",
-                             &err))
-        << err;
+    )"));
     Router::connect_bgp(r1, r2);
 
-    ASSERT_TRUE(loop.run_until(
-        [&] {
-            auto r = r2.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
-            return r.has_value();
-        },
-        60s));
+    ASSERT_TRUE(converge_route(loop, r2, IPv4Net::must_parse("10.0.0.0/8")));
     auto got = r2.rib().lookup_exact(IPv4Net::must_parse("10.0.0.0/8"));
     EXPECT_EQ(got->protocol, "ebgp");
     EXPECT_EQ(got->nexthop.str(), "192.0.2.1");
     // And into r2's FIB.
-    ASSERT_TRUE(loop.run_until(
-        [&] { return r2.fea().lookup(IPv4::must_parse("10.1.1.1")) != nullptr; },
-        10s));
+    ASSERT_TRUE(converge_fib(loop, r2, IPv4::must_parse("10.1.1.1"), 10s));
 
     // Withdrawal propagates all the way back out of the FIB.
     r1.bgp()->withdraw(IPv4Net::must_parse("10.0.0.0/8"));
@@ -362,8 +327,7 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
     ev::EventLoop loop(clock);
     fea::VirtualNetwork network(1ms);
     Router r1("r1", loop), r2("r2", loop);
-    std::string err;
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces {
             eth0 { address 10.0.1.1/24; }
             eth1 { address 172.16.1.1/24; }
@@ -375,15 +339,11 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
                 interface eth1;
             }
         }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(r2.configure(R"(
+    )"));
+    ASSERT_TRUE(harness::configure(r2, R"(
         interfaces { eth0 { address 10.0.1.2/24; } }
         protocols { ospf { router-id 2.2.2.2; interface eth0; } }
-    )",
-                             &err))
-        << err;
+    )"));
     EXPECT_EQ(r1.ospf().router_id().str(), "1.1.1.1");
     int link = network.add_link();
     r1.attach_link(network, link, "eth0");
@@ -392,18 +352,13 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
     // r1's eth1 has no OSPF peers: it is advertised as a stub prefix and
     // shows up in r2's RIB under the ospf origin.
     IPv4Net stub = IPv4Net::must_parse("172.16.1.0/24");
-    ASSERT_TRUE(loop.run_until(
-        [&] { return r2.rib().lookup_exact(stub).has_value(); }, 120s));
+    ASSERT_TRUE(converge_route(loop, r2, stub, 120s));
     auto got = r2.rib().lookup_exact(stub);
     EXPECT_EQ(got->protocol, "ospf");
     EXPECT_EQ(got->nexthop.str(), "10.0.1.1");
     EXPECT_EQ(got->metric, 2u);  // r2's iface cost 1 + eth1's stub cost 1
     // All the way into r2's forwarding plane.
-    ASSERT_TRUE(loop.run_until(
-        [&] {
-            return r2.fea().lookup(IPv4::must_parse("172.16.1.9")) != nullptr;
-        },
-        10s));
+    ASSERT_TRUE(converge_fib(loop, r2, IPv4::must_parse("172.16.1.9"), 10s));
 
     // The ospf/1.0 XRL face, through r2's Finder like any operator tool.
     // Both queries are read-only, so they ride the idempotent contract —
@@ -438,14 +393,11 @@ TEST(RouterManager, TwoRoutersRunOspfOverVirtualNetwork) {
 
     // Reconfigure r1 without the ospf section: the commit diff disables
     // the interfaces, the adjacency dies, and r2 withdraws the route.
-    ASSERT_TRUE(r1.configure(R"(
+    ASSERT_TRUE(harness::configure(r1, R"(
         interfaces {
             eth0 { address 10.0.1.1/24; }
             eth1 { address 172.16.1.1/24; }
         }
-    )",
-                             &err))
-        << err;
-    ASSERT_TRUE(loop.run_until(
-        [&] { return !r2.rib().lookup_exact(stub).has_value(); }, 120s));
+    )"));
+    ASSERT_TRUE(converge_no_route(loop, r2, stub, 120s));
 }

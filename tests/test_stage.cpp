@@ -19,6 +19,7 @@
 #include "stage/redist.hpp"
 #include "stage/register.hpp"
 #include "stage/sink.hpp"
+#include "stage/stale_sweeper.hpp"
 
 using namespace xrp;
 using namespace xrp::stage;
@@ -323,6 +324,209 @@ TEST(DeletionStage, FlappingPeerChainssMultipleStages) {
     EXPECT_EQ(completed, 5);
     EXPECT_TRUE(checker.consistent());
     EXPECT_EQ(sink.route_count(), 0u);
+}
+
+// ---- Graceful restart: generation stamps + stale sweeper ----------------
+
+TEST(OriginStage, BeginRefreshMarksStaleWithoutDownstreamTraffic) {
+    OriginStage<IPv4> origin("peer0");
+    int adds = 0, dels = 0;
+    SinkStage<IPv4> sink("sink", [&](bool is_add, const Route4&) {
+        (is_add ? adds : dels) += 1;
+    });
+    origin.set_downstream(&sink);
+    sink.set_upstream(&origin);
+
+    origin.add_route(mkroute("10.0.0.0/8"));
+    origin.add_route(mkroute("20.0.0.0/8"));
+    origin.add_route(mkroute("30.0.0.0/8"));
+    adds = dels = 0;
+
+    // O(1) mass-staling: nothing moves, nothing is sent.
+    origin.begin_refresh();
+    EXPECT_EQ(origin.stale_count(), 3u);
+    EXPECT_EQ(origin.route_count(), 3u);
+    EXPECT_EQ(adds + dels, 0);
+
+    // Identical re-advertisement: stamp refresh only — the no-blackhole
+    // property. Downstream hears NOTHING.
+    origin.add_route(mkroute("10.0.0.0/8"));
+    EXPECT_EQ(origin.stale_count(), 2u);
+    EXPECT_EQ(adds + dels, 0);
+    auto got = origin.lookup_route(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(origin.route_is_stale(*got));
+
+    // Changed re-advertisement: the usual delete(old)+add(new), and the
+    // route is fresh afterwards.
+    origin.add_route(mkroute("20.0.0.0/8", "192.0.2.9"));
+    EXPECT_EQ(origin.stale_count(), 1u);
+    EXPECT_EQ(adds, 1);
+    EXPECT_EQ(dels, 1);
+
+    // Deleting a still-stale route keeps the accounting straight.
+    origin.delete_route(mkroute("30.0.0.0/8"));
+    EXPECT_EQ(origin.stale_count(), 0u);
+    EXPECT_EQ(origin.route_count(), 2u);
+}
+
+TEST(OriginStage, SecondRefreshRestalesRefreshedRoutes) {
+    OriginStage<IPv4> origin("peer0");
+    SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&sink);
+    sink.set_upstream(&origin);
+    origin.add_route(mkroute("10.0.0.0/8"));
+    origin.begin_refresh();
+    origin.add_route(mkroute("10.0.0.0/8"));  // re-confirmed
+    EXPECT_EQ(origin.stale_count(), 0u);
+    // The protocol dies again before anything else happens: a fresh
+    // generation bump re-marks everything, including the re-confirmed
+    // route.
+    origin.begin_refresh();
+    EXPECT_EQ(origin.stale_count(), 1u);
+    auto got = origin.lookup_route(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(origin.route_is_stale(*got));
+}
+
+TEST(StaleSweeperStage, ReapsOnlyUnrefreshedRoutes) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv4> origin("peer0");
+    CacheStage<IPv4> checker("check");
+    SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&checker);
+    checker.set_upstream(&origin);
+    checker.set_downstream(&sink);
+    sink.set_upstream(&checker);
+
+    for (uint32_t i = 1; i <= 200; ++i)
+        origin.add_route(mkroute((std::to_string(i) + ".0.0.0/8").c_str()));
+
+    // Restart: everything goes stale, then the revived protocol
+    // re-confirms the odd half (identical re-adds — zero traffic).
+    origin.begin_refresh();
+    for (uint32_t i = 1; i <= 200; i += 2)
+        origin.add_route(mkroute((std::to_string(i) + ".0.0.0/8").c_str()));
+    EXPECT_EQ(origin.stale_count(), 100u);
+    EXPECT_EQ(sink.route_count(), 200u);  // forwarding never flinched
+
+    bool completed = false;
+    auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+        "sweep0", origin, loop,
+        [&](StaleSweeperStage<IPv4>*) { completed = true; }, 10);
+    plumb_between<IPv4>(origin, *sweeper, checker);
+
+    ASSERT_TRUE(
+        loop.run_until([&] { return completed; }, std::chrono::seconds(10)));
+    EXPECT_EQ(sweeper->swept(), 100u);
+    EXPECT_EQ(origin.route_count(), 100u);
+    EXPECT_EQ(origin.stale_count(), 0u);
+    EXPECT_EQ(sink.route_count(), 100u);
+    EXPECT_TRUE(checker.consistent())
+        << (checker.violations().empty() ? "" : checker.violations()[0]);
+    EXPECT_TRUE(sink.lookup_route(IPv4Net::must_parse("51.0.0.0/8")));
+    EXPECT_FALSE(sink.lookup_route(IPv4Net::must_parse("52.0.0.0/8")));
+    // The stage unplumbed itself.
+    EXPECT_EQ(origin.downstream(), &checker);
+}
+
+TEST(StaleSweeperStage, ChurnDuringSweepStaysConsistent) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv4> origin("peer0");
+    CacheStage<IPv4> checker("check");
+    SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&checker);
+    checker.set_upstream(&origin);
+    checker.set_downstream(&sink);
+    sink.set_upstream(&checker);
+
+    for (uint32_t i = 1; i <= 100; ++i)
+        origin.add_route(mkroute((std::to_string(i) + ".0.0.0/8").c_str()));
+    origin.begin_refresh();
+
+    bool completed = false;
+    auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+        "sweep0", origin, loop,
+        [&](StaleSweeperStage<IPv4>*) { completed = true; }, 5);
+    plumb_between<IPv4>(origin, *sweeper, checker);
+
+    // The resync races the sweep: re-confirms, metric changes, and
+    // brand-new routes interleave with the background slices.
+    for (uint32_t i = 1; i <= 60; ++i) {
+        if (i % 3 == 0)
+            origin.add_route(  // changed: delete+add through the sweeper
+                mkroute((std::to_string(i) + ".0.0.0/8").c_str(), "192.0.2.2"));
+        else
+            origin.add_route(  // identical: silent stamp refresh
+                mkroute((std::to_string(i) + ".0.0.0/8").c_str()));
+        origin.add_route(mkroute(
+            ("200." + std::to_string(i) + ".0.0/16").c_str()));  // brand new
+        loop.run_once(false);
+        ASSERT_TRUE(checker.consistent()) << checker.violations().front();
+    }
+    ASSERT_TRUE(
+        loop.run_until([&] { return completed; }, std::chrono::seconds(10)));
+    EXPECT_TRUE(checker.consistent());
+    // The 60 re-confirmed + 60 new survive; 40 never-refreshed are gone.
+    EXPECT_EQ(origin.route_count(), 120u);
+    EXPECT_EQ(sink.route_count(), 120u);
+    EXPECT_EQ(origin.stale_count(), 0u);
+}
+
+TEST(StaleSweeperStage, AbortLeavesUnsweptRoutesInPlace) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv4> origin("peer0");
+    SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&sink);
+    sink.set_upstream(&origin);
+
+    for (uint32_t i = 1; i <= 100; ++i)
+        origin.add_route(mkroute((std::to_string(i) + ".0.0.0/8").c_str()));
+    origin.begin_refresh();
+
+    bool completed = false;
+    auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+        "sweep0", origin, loop,
+        [&](StaleSweeperStage<IPv4>*) { completed = true; }, 5);
+    plumb_between<IPv4>(origin, *sweeper, sink);
+
+    // A few slices run, then the origin dies again mid-sweep.
+    for (int k = 0; k < 4; ++k) loop.run_once(false);
+    EXPECT_GT(sweeper->swept(), 0u);
+    EXPECT_LT(sweeper->swept(), 100u);
+    sweeper->abort();
+    EXPECT_TRUE(sweeper->finished());
+    // Unplumbed immediately; completion arrives via the loop.
+    EXPECT_EQ(origin.downstream(), &sink);
+    ASSERT_TRUE(
+        loop.run_until([&] { return completed; }, std::chrono::seconds(1)));
+    // Whatever was not yet swept is still there, still stale — ready for
+    // the next generation bump to take over.
+    EXPECT_EQ(origin.route_count(), 100u - sweeper->swept());
+    EXPECT_EQ(origin.stale_count(), origin.route_count());
+    EXPECT_EQ(sink.route_count(), origin.route_count());
+}
+
+TEST(StaleSweeperStage, LookupPassesThroughToOrigin) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv4> origin("peer0");
+    SinkStage<IPv4> sink("sink");
+    origin.set_downstream(&sink);
+    sink.set_upstream(&origin);
+    origin.add_route(mkroute("10.0.0.0/8"));
+    origin.begin_refresh();
+
+    auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+        "sweep0", origin, loop, nullptr, 10);
+    plumb_between<IPv4>(origin, *sweeper, sink);
+    // The origin keeps the truth; the sweeper holds no table of its own.
+    auto got = sweeper->lookup_route(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->nexthop.str(), "192.0.2.1");
 }
 
 // ---- Fanout (§5.1.1) ----------------------------------------------------

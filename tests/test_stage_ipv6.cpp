@@ -14,6 +14,7 @@
 #include "stage/origin.hpp"
 #include "stage/register.hpp"
 #include "stage/sink.hpp"
+#include "stage/stale_sweeper.hpp"
 
 using namespace xrp;
 using namespace xrp::stage;
@@ -123,6 +124,85 @@ TEST(StageIPv6, DynamicDeletionStage) {
     loop.run_until([&] { return completed; }, std::chrono::seconds(10));
     EXPECT_TRUE(completed);
     EXPECT_EQ(sink.route_count(), 0u);
+}
+
+TEST(StageIPv6, DeletionStageSurvivesReaddChurn) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv6> origin("origin6");
+    CacheStage<IPv6> check("check6");
+    SinkStage<IPv6> sink("sink6");
+    origin.set_downstream(&check);
+    check.set_upstream(&origin);
+    check.set_downstream(&sink);
+    sink.set_upstream(&check);
+    for (uint32_t i = 1; i <= 100; ++i)
+        origin.add_route(
+            mkroute6(("2001:" + std::to_string(i) + "::/32").c_str()));
+
+    bool completed = false;
+    auto del = std::make_unique<DeletionStage<IPv6>>(
+        "del6", origin.detach_table(), loop,
+        [&](DeletionStage<IPv6>*) { completed = true; }, 10);
+    plumb_between<IPv6>(origin, *del, check);
+    // The peer comes straight back and re-announces half with a new
+    // nexthop, racing the background deletion.
+    for (uint32_t i = 1; i <= 50; ++i) {
+        origin.add_route(
+            mkroute6(("2001:" + std::to_string(i) + "::/32").c_str(),
+                     "2001:db8::2"));
+        loop.run_once(false);
+        ASSERT_TRUE(check.consistent()) << check.violations().front();
+    }
+    loop.run_until([&] { return completed; }, std::chrono::seconds(10));
+    ASSERT_TRUE(completed);
+    EXPECT_TRUE(check.consistent());
+    EXPECT_EQ(sink.route_count(), 50u);
+    auto got = sink.lookup_route(IPv6Net::must_parse("2001:25::/32"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->nexthop.str(), "2001:db8::2");
+}
+
+TEST(StageIPv6, GracefulRestartSweepsOnlyStale) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    OriginStage<IPv6> origin("origin6");
+    CacheStage<IPv6> check("check6");
+    SinkStage<IPv6> sink("sink6");
+    origin.set_downstream(&check);
+    check.set_upstream(&origin);
+    check.set_downstream(&sink);
+    sink.set_upstream(&check);
+
+    for (uint32_t i = 1; i <= 100; ++i)
+        origin.add_route(
+            mkroute6(("2001:" + std::to_string(i) + "::/32").c_str()));
+
+    // Restart: mass-stale, then the revived protocol re-confirms the odd
+    // half with identical routes (silent stamp refreshes).
+    origin.begin_refresh();
+    EXPECT_EQ(origin.stale_count(), 100u);
+    for (uint32_t i = 1; i <= 100; i += 2)
+        origin.add_route(
+            mkroute6(("2001:" + std::to_string(i) + "::/32").c_str()));
+    EXPECT_EQ(origin.stale_count(), 50u);
+    EXPECT_EQ(sink.route_count(), 100u);
+
+    bool completed = false;
+    auto sweeper = std::make_unique<StaleSweeperStage<IPv6>>(
+        "sweep6", origin, loop,
+        [&](StaleSweeperStage<IPv6>*) { completed = true; }, 7);
+    plumb_between<IPv6>(origin, *sweeper, check);
+    ASSERT_TRUE(
+        loop.run_until([&] { return completed; }, std::chrono::seconds(10)));
+    EXPECT_EQ(sweeper->swept(), 50u);
+    EXPECT_EQ(origin.stale_count(), 0u);
+    EXPECT_EQ(sink.route_count(), 50u);
+    EXPECT_TRUE(check.consistent())
+        << (check.violations().empty() ? "" : check.violations()[0]);
+    EXPECT_TRUE(sink.lookup_route(IPv6Net::must_parse("2001:25::/32")));
+    EXPECT_FALSE(sink.lookup_route(IPv6Net::must_parse("2001:26::/32")));
+    EXPECT_EQ(origin.downstream(), &check);
 }
 
 TEST(StageIPv6, FanoutWithSlowReader) {
