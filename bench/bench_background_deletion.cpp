@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "ev/eventloop.hpp"
+#include "report.hpp"
 #include "sim/routefeed.hpp"
 #include "stage/deletion.hpp"
 #include "stage/origin.hpp"
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
 
     std::printf("# Ablation: peer-failure teardown of %zu routes (§5.1.2)\n",
                 n);
+    bench::Report report("background_deletion");
+    report.set_meta("routes", json::Value(static_cast<int64_t>(n)));
 
     // ---- synchronous teardown -------------------------------------------
     {
@@ -68,6 +71,9 @@ int main(int argc, char** argv) {
                 .count();
         std::printf("%-34s: event loop blocked for %8.1f ms\n",
                     "synchronous (one event handler)", blocked);
+        json::Value& row = report.add_row();
+        row.set("mode", json::Value("synchronous"));
+        row.set("blocked_ms", json::Value(blocked));
     }
 
     // ---- background deletion stage ---------------------------------------
@@ -109,6 +115,10 @@ int main(int argc, char** argv) {
                     "%6.2f ms (routes left in sink: %zu)\n",
                     "background deletion stage", total, worst_jitter,
                     sink.route_count());
+        json::Value& row = report.add_row();
+        row.set("mode", json::Value("background"));
+        row.set("drained_ms", json::Value(total));
+        row.set("worst_heartbeat_delay_ms", json::Value(worst_jitter));
     }
 
     std::printf("# paper's point: the blocked time above is what a flapping "

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "bgp/process.hpp"
+#include "report.hpp"
 #include "sim/harness.hpp"
 #include "sim/scanner_router.hpp"
 
@@ -178,6 +179,8 @@ int main(int argc, char** argv) {
     std::printf("\n# summary\n");
     std::printf("%-10s %10s %10s %14s\n", "model", "max_delay", "mean",
                 "frac_under_1s");
+    bench::Report report("convergence");
+    report.set_meta("routes", json::Value(n_routes));
     for (const Series& s : all) {
         double mx = 0, sum = 0;
         int under = 0, n = 0;
@@ -190,6 +193,12 @@ int main(int argc, char** argv) {
         }
         std::printf("%-10s %10.3f %10.3f %13.1f%%\n", s.model.c_str(), mx,
                     n ? sum / n : 0, n ? 100.0 * under / n : 0);
+        json::Value& row = report.add_row();
+        row.set("model", json::Value(s.model));
+        row.set("measured", json::Value(n));
+        row.set("max_delay_s", json::Value(mx));
+        row.set("mean_delay_s", json::Value(n ? sum / n : 0.0));
+        row.set("frac_under_1s", json::Value(n ? 1.0 * under / n : 0.0));
     }
     std::printf("# paper shape: XORP/MRTd flat and always <1s; Cisco/Quagga "
                 "sawtooth up to ~30s\n");

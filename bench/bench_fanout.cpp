@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "report.hpp"
 #include "sim/routefeed.hpp"
 #include "stage/fanout.hpp"
 #include "stage/origin.hpp"
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
     std::printf("%-8s %12s %16s %18s %12s\n", "peers", "lag", "shared_queue",
                 "per_peer_copies", "ratio");
 
+    bench::Report report("fanout");
+    report.set_meta("lag", json::Value(static_cast<int64_t>(lag)));
     auto prefixes = sim::generate_prefixes(lag, 5);
     for (int npeers : {2, 4, 8, 16, 32}) {
         OriginStage<IPv4> origin("origin");
@@ -61,6 +64,11 @@ int main(int argc, char** argv) {
                     per_peer,
                     static_cast<double>(per_peer) /
                         static_cast<double>(shared));
+        json::Value& row = report.add_row();
+        row.set("peers", json::Value(npeers));
+        row.set("shared_queue", json::Value(static_cast<int64_t>(shared)));
+        row.set("per_peer_copies",
+                json::Value(static_cast<int64_t>(per_peer)));
         // Release the slow peer and verify everyone converged.
         fanout.set_branch_ready(ids.back(), true);
         if (fanout.queue_size() != 0 ||

@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "bgp/process.hpp"
+#include "report.hpp"
 #include "rib/rib.hpp"
 #include "sim/harness.hpp"
 #include "sim/routefeed.hpp"
@@ -80,6 +81,18 @@ int main(int argc, char** argv) {
 
     double bgp_mb = mb(after_bgp - base);
     double rib_mb = mb(after_rib - after_bgp);
+    bench::Report report("memory");
+    report.set_meta("routes", json::Value(static_cast<int64_t>(n)));
+    json::Value& bgp_row = report.add_row();
+    bgp_row.set("component", json::Value("bgp"));
+    bgp_row.set("rss_mb", json::Value(bgp_mb));
+    bgp_row.set("bytes_per_route",
+                json::Value(bgp_mb * 1024 * 1024 / static_cast<double>(n)));
+    json::Value& rib_row = report.add_row();
+    rib_row.set("component", json::Value("rib"));
+    rib_row.set("rss_mb", json::Value(rib_mb));
+    rib_row.set("bytes_per_route",
+                json::Value(rib_mb * 1024 * 1024 / static_cast<double>(n)));
     std::printf("%-28s %10s %14s\n", "component", "RSS (MB)",
                 "bytes/route");
     std::printf("%-28s %10.1f %14.0f\n", "BGP (peer-in + loc-rib)", bgp_mb,

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ev/eventloop.hpp"
+#include "report.hpp"
 #include "sim/routefeed.hpp"
 #include "stage/origin.hpp"
 #include "stage/sink.hpp"
@@ -46,7 +47,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
         .count();
 }
 
-void run_size(size_t n) {
+void run_size(bench::Report& report, size_t n) {
     auto prefixes = sim::generate_prefixes(n, 23);
 
     // ---- naive restart: delete everything, re-add everything ------------
@@ -70,6 +71,11 @@ void run_size(size_t n) {
             "%8zu routes | naive    : blackhole window %8.1f ms "
             "(all gone for %7.1f ms), %7zu downstream msgs\n",
             n, window, torn_down, msgs);
+        json::Value& row = report.add_row();
+        row.set("routes", json::Value(static_cast<int64_t>(n)));
+        row.set("mode", json::Value("naive"));
+        row.set("blackhole_window_ms", json::Value(window));
+        row.set("downstream_msgs", json::Value(static_cast<int64_t>(msgs)));
     }
 
     // ---- graceful restart: mass-stale + silent stamp refreshes ----------
@@ -92,6 +98,13 @@ void run_size(size_t n) {
             "%8zu routes | graceful : blackhole window      0.0 ms "
             "(mass-stale %5.1f us, resync %7.1f ms), %zu downstream msgs\n",
             n, stale_us, resync, msgs);
+        json::Value& row = report.add_row();
+        row.set("routes", json::Value(static_cast<int64_t>(n)));
+        row.set("mode", json::Value("graceful"));
+        row.set("blackhole_window_ms", json::Value(0.0));
+        row.set("mass_stale_us", json::Value(stale_us));
+        row.set("resync_ms", json::Value(resync));
+        row.set("downstream_msgs", json::Value(static_cast<int64_t>(msgs)));
     }
 
     // ---- background sweep of the unrefreshed tail -----------------------
@@ -128,10 +141,16 @@ void run_size(size_t n) {
         plumb_between<IPv4>(origin, *sweeper, sink);
         auto t0 = std::chrono::steady_clock::now();
         loop.run_until([&] { return completed; }, 120s);
+        double reaped_ms = ms_since(t0);
         std::printf(
             "%8zu routes | sweep    : 10%% stale tail reaped in %7.1f ms, "
             "worst heartbeat delay %5.2f ms\n",
-            n, ms_since(t0), worst_jitter);
+            n, reaped_ms, worst_jitter);
+        json::Value& row = report.add_row();
+        row.set("routes", json::Value(static_cast<int64_t>(n)));
+        row.set("mode", json::Value("sweep"));
+        row.set("reaped_ms", json::Value(reaped_ms));
+        row.set("worst_heartbeat_delay_ms", json::Value(worst_jitter));
     }
 }
 
@@ -146,7 +165,9 @@ int main(int argc, char** argv) {
               : std::vector<size_t>{1000, 10000, 100000};
 
     std::printf("# Graceful restart vs naive delete-all/re-add\n");
-    for (size_t n : sizes) run_size(n);
+    bench::Report report("restart");
+    report.set_meta("quick", json::Value(quick));
+    for (size_t n : sizes) run_size(report, n);
     std::printf(
         "# the graceful path never blackholes: unchanged routes are "
         "refreshed in place and the\n"

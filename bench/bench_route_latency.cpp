@@ -27,6 +27,7 @@
 
 #include "bgp/bgp_xrl.hpp"
 #include "fea/fea_xrl.hpp"
+#include "report.hpp"
 #include "rib/rib_xrl.hpp"
 #include "sim/harness.hpp"
 #include "sim/routefeed.hpp"
@@ -127,7 +128,8 @@ std::optional<ev::TimePoint> find_record(const profiler::Profiler& prof,
 
 bool g_inproc = false;
 
-void run_experiment(const char* title, bool full_table, bool same_peering,
+void run_experiment(bench::Report& report, const char* figure,
+                    const char* title, bool full_table, bool same_peering,
                     size_t table_size, int test_routes) {
     Stack stack;
     if (g_inproc) {
@@ -251,8 +253,17 @@ void run_experiment(const char* title, bool full_table, bool same_peering,
                 "Min", "Max");
     std::printf("%-38s %8s %8s %8s %8s\n", kPointLabels[0], "-", "-", "-",
                 "-");
-    for (size_t p = 1; p < std::size(kPointNames); ++p)
+    for (size_t p = 1; p < std::size(kPointNames); ++p) {
         std::printf("%-38s %s\n", kPointLabels[p], stats[p].row().c_str());
+        json::Value& row = report.add_row();
+        row.set("figure", json::Value(figure));
+        row.set("point", json::Value(kPointNames[p]));
+        row.set("measured", json::Value(measured));
+        row.set("avg_ms", json::Value(stats[p].mean()));
+        row.set("sd_ms", json::Value(stats[p].stddev()));
+        row.set("min_ms", json::Value(stats[p].min()));
+        row.set("max_ms", json::Value(stats[p].max()));
+    }
     std::fflush(stdout);
 }
 
@@ -278,20 +289,25 @@ int main(int argc, char** argv) {
     // on is bench_telemetry_overhead's subject.
     xrp::telemetry::set_enabled(false);
 
+    bench::Report report("route_latency");
+    report.set_meta("table_size", json::Value(static_cast<int64_t>(table_size)));
+    report.set_meta("test_routes", json::Value(test_routes));
+    report.set_meta("inproc", json::Value(g_inproc));
+
     std::printf("# Figures 10-12: route propagation latency (ms)\n");
     std::printf("# BGP -> RIB -> FEA coupled by XRLs over loopback TCP\n");
-    run_experiment("Figure 10: empty routing table", false, true, 0,
-                   test_routes);
-    run_experiment(
-        ("Figure 11: " + std::to_string(table_size) +
-         " routes, test routes on the SAME peering")
-            .c_str(),
-        true, true, table_size, test_routes);
-    run_experiment(
-        ("Figure 12: " + std::to_string(table_size) +
-         " routes, test routes on a DIFFERENT peering")
-            .c_str(),
-        true, false, table_size, test_routes);
+    run_experiment(report, "fig10", "Figure 10: empty routing table", false,
+                   true, 0, test_routes);
+    run_experiment(report, "fig11",
+                   ("Figure 11: " + std::to_string(table_size) +
+                    " routes, test routes on the SAME peering")
+                       .c_str(),
+                   true, true, table_size, test_routes);
+    run_experiment(report, "fig12",
+                   ("Figure 12: " + std::to_string(table_size) +
+                    " routes, test routes on a DIFFERENT peering")
+                       .c_str(),
+                   true, false, table_size, test_routes);
     std::printf(
         "\n# paper shape: ~3.4/3.6/4.4 ms avg to kernel; full table barely\n"
         "# slower than empty; different peering slightly slower than same\n");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ev/eventloop.hpp"
+#include "report.hpp"
 #include "ospf/spf.hpp"
 
 using namespace xrp;
@@ -215,4 +216,12 @@ static void BM_GridRefreshOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_GridRefreshOnly)->Arg(32)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    xrp::bench::Report report("spf");
+    xrp::bench::GBenchReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

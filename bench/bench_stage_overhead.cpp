@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "report.hpp"
 #include "sim/routefeed.hpp"
 #include "stage/filter.hpp"
 #include "stage/origin.hpp"
@@ -101,7 +102,9 @@ int main(int argc, char** argv) {
         if (std::string_view(a) == "--quick") a = min_time;
     int new_argc = static_cast<int>(args.size());
     benchmark::Initialize(&new_argc, args.data());
-    benchmark::RunSpecifiedBenchmarks();
+    xrp::bench::Report report("stage_overhead");
+    xrp::bench::GBenchReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <random>
 
 #include "net/trie.hpp"
+#include "report.hpp"
 #include "sim/routefeed.hpp"
 
 using namespace xrp;
@@ -117,7 +118,9 @@ int main(int argc, char** argv) {
         if (std::string_view(a) == "--quick") a = min_time;
     int new_argc = static_cast<int>(args.size());
     benchmark::Initialize(&new_argc, args.data());
-    benchmark::RunSpecifiedBenchmarks();
+    xrp::bench::Report report("trie");
+    xrp::bench::GBenchReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "ipc/router.hpp"
+#include "report.hpp"
 #include "telemetry/metrics.hpp"
 
 using namespace xrp;
@@ -110,6 +111,10 @@ int main(int argc, char** argv) {
     std::printf("# transaction=%d XRLs, pipeline window=%d (UDP family is "
                 "stop-and-wait by design)\n",
                 kTransaction, kPipeline);
+    bench::Report report("xrl_throughput");
+    report.set_meta("transaction", json::Value(kTransaction));
+    report.set_meta("pipeline", json::Value(kPipeline));
+    report.set_meta("quick", json::Value(quick));
     std::printf("%-6s %12s %12s %12s\n", "nargs", "IntraProcess", "TCP",
                 "UDP");
     for (int nargs = 0; nargs <= 25; nargs += quick ? 25 : 2) {
@@ -118,6 +123,11 @@ int main(int argc, char** argv) {
         double udp = run_transaction(plexus, client, "sudp", nargs);
         std::printf("%-6d %12.0f %12.0f %12.0f\n", nargs, intra, tcp, udp);
         std::fflush(stdout);
+        json::Value& row = report.add_row();
+        row.set("nargs", json::Value(nargs));
+        row.set("inproc_xrls_per_s", json::Value(intra));
+        row.set("stcp_xrls_per_s", json::Value(tcp));
+        row.set("sudp_xrls_per_s", json::Value(udp));
     }
     std::printf("# paper shape: intra ~12000/s at 0 args; TCP converges to "
                 "intra at high arg counts; UDP well below (no pipelining)\n");

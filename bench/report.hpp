@@ -1,0 +1,113 @@
+// Shared machine-readable bench reporter: every benchmark in bench/
+// emits one BENCH_<name>.json next to its console output, in a single
+// envelope CI can validate and plots can consume across PRs:
+//
+//   { "schema": "xrp-bench-v1",
+//     "bench":  "<name>",
+//     "meta":   { scalar run parameters },
+//     "rows":   [ { one measurement cell }, ... ] }
+//
+// Output directory: $XRP_BENCH_DIR when set, else the current directory.
+// Numbers only, insertion-ordered keys, pretty-printed — committed
+// trajectory files diff cleanly between runs.
+#ifndef XRP_BENCH_REPORT_HPP
+#define XRP_BENCH_REPORT_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace xrp::bench {
+
+class Report {
+public:
+    explicit Report(std::string name) : name_(std::move(name)) {}
+    ~Report() {
+        if (!written_) write();
+    }
+    Report(const Report&) = delete;
+    Report& operator=(const Report&) = delete;
+
+    void set_meta(const std::string& key, json::Value v) {
+        meta_.set(key, std::move(v));
+    }
+    // Appends an empty row object; references stay valid (deque) so a
+    // bench can fill cells incrementally.
+    json::Value& add_row() {
+        rows_.push_back(json::Value::object());
+        return rows_.back();
+    }
+    size_t row_count() const { return rows_.size(); }
+
+    std::string path() const {
+        const char* dir = std::getenv("XRP_BENCH_DIR");
+        std::string p = (dir != nullptr && *dir != '\0') ? dir : ".";
+        if (p.back() != '/') p += '/';
+        return p + "BENCH_" + name_ + ".json";
+    }
+
+    bool write() {
+        written_ = true;
+        json::Value doc = json::Value::object();
+        doc.set("schema", json::Value("xrp-bench-v1"));
+        doc.set("bench", json::Value(name_));
+        doc.set("meta", meta_);
+        json::Value rows = json::Value::array();
+        for (const json::Value& r : rows_) rows.push_back(r);
+        doc.set("rows", std::move(rows));
+        const std::string out = doc.dump_pretty() + "\n";
+        const std::string file = path();
+        std::FILE* f = std::fopen(file.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench report: cannot write %s\n",
+                         file.c_str());
+            return false;
+        }
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "# wrote %s (%zu rows)\n", file.c_str(),
+                     rows_.size());
+        return true;
+    }
+
+private:
+    std::string name_;
+    json::Value meta_ = json::Value::object();
+    std::deque<json::Value> rows_;
+    bool written_ = false;
+};
+
+// google-benchmark adapter: prints the normal console table AND appends
+// one row per benchmark run to the Report — name, iterations, adjusted
+// real/cpu ns per iteration, and every user counter.
+class GBenchReporter : public benchmark::ConsoleReporter {
+public:
+    explicit GBenchReporter(Report& report) : report_(report) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            json::Value& row = report_.add_row();
+            row.set("name", json::Value(run.benchmark_name()));
+            row.set("iterations",
+                    json::Value(static_cast<int64_t>(run.iterations)));
+            row.set("real_ns", json::Value(run.GetAdjustedRealTime()));
+            row.set("cpu_ns", json::Value(run.GetAdjustedCPUTime()));
+            for (const auto& [name, counter] : run.counters)
+                row.set(name, json::Value(static_cast<double>(counter)));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+private:
+    Report& report_;
+};
+
+}  // namespace xrp::bench
+
+#endif

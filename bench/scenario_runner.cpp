@@ -1,0 +1,395 @@
+// Scenario observatory driver: runs a matrix of (topology family x
+// scripted event schedule) cells over fleets of full routers on the
+// virtual-clock simnet, with the event journal recording every route /
+// FIB / flood / fault transition, and reduces each run through the
+// ConvergenceAnalyzer into the numbers the paper's evaluation talks
+// about — convergence time, transient blackhole windows, forwarding-loop
+// windows, and control-message overhead. Emits BENCH_scenarios.json in
+// the shared xrp-bench-v1 envelope.
+//
+// Flags: --quick (smaller fleets), --smoke (single fixed-seed small-grid
+// cell — the CI gate), --family=NAME / --schedule=NAME filters.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+#include "sim/analyzer.hpp"
+#include "sim/topogen.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace xrp;
+using namespace std::chrono_literals;
+using sim::ConvergenceAnalyzer;
+using sim::ScenarioFleet;
+using sim::TopoSpec;
+using telemetry::Journal;
+
+namespace {
+
+double ms(ev::Duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+// A spread of probe sources: walking every (node x beacon) pair at every
+// change instant is quadratic in fleet size, so big fleets probe from a
+// sample of vantage points instead.
+std::vector<size_t> probe_sample(size_t nodes) {
+    std::vector<size_t> out;
+    size_t want = nodes <= 8 ? nodes : 8;
+    for (size_t i = 0; i < want; ++i) {
+        size_t n = i * nodes / want;
+        if (out.empty() || out.back() != n) out.push_back(n);
+    }
+    return out;
+}
+
+bool all_delivered(ScenarioFleet& fleet, const std::vector<size_t>& probes,
+                   ev::TimePoint t) {
+    auto fibs = fleet.live_fibs();
+    auto edge_up = [&](size_t a, size_t b) {
+        return fleet.oracle().edge_up_at(t, a, b);
+    };
+    for (size_t src : probes)
+        for (const auto& b : fleet.beacons()) {
+            if (src == b.owner) continue;
+            if (ConvergenceAnalyzer::walk(fleet.topo(), fibs, src, b.dst,
+                                          edge_up) !=
+                ConvergenceAnalyzer::WalkResult::kDelivered)
+                return false;
+        }
+    return true;
+}
+
+// Pick a link whose loss partitions nothing the oracle can't see: any
+// link works (the analyzer only flags blackholes the oracle says are
+// avoidable), but flapping a well-connected one exercises rerouting.
+size_t busiest_link(const TopoSpec& spec) {
+    std::vector<size_t> degree(spec.nodes, 0);
+    for (const auto& l : spec.links) {
+        degree[l.a]++;
+        degree[l.b]++;
+    }
+    size_t best = 0, best_score = 0;
+    for (size_t i = 0; i < spec.links.size(); ++i) {
+        size_t score = degree[spec.links[i].a] + degree[spec.links[i].b];
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+size_t busiest_node(const TopoSpec& spec) {
+    std::vector<size_t> degree(spec.nodes, 0);
+    for (const auto& l : spec.links) {
+        degree[l.a]++;
+        degree[l.b]++;
+    }
+    // Never kill a beacon owner: its beacons would just read "physically
+    // unreachable" and prove nothing.
+    size_t best = 0, best_deg = 0;
+    for (size_t n = 0; n < spec.nodes; ++n) {
+        bool owner = false;
+        for (size_t s : spec.stub_owners) owner |= (s == n);
+        if (owner) continue;
+        if (degree[n] > best_deg) {
+            best_deg = degree[n];
+            best = n;
+        }
+    }
+    return best;
+}
+
+struct CellResult {
+    bool ran = false;
+    bool converged = false;
+    double convergence_ms = 0;
+    double blackhole_ms = 0;
+    double loop_ms = 0;
+    size_t blackhole_windows = 0;
+    size_t loop_windows = 0;
+    uint64_t fib_events = 0;
+    uint64_t route_events = 0;
+    uint64_t flood_events = 0;
+    uint64_t journal_events = 0;
+    uint64_t journal_dropped = 0;
+    uint64_t net_msgs = 0;
+    uint64_t net_bytes = 0;
+    double virtual_s = 0;
+};
+
+CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
+    CellResult res;
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Journal::global().set_enabled(false);
+    Journal::global().set_capacity(1 << 18);
+    Journal::global().clear();
+
+    ScenarioFleet fleet(spec, loop, network);
+    const std::vector<size_t> probes = probe_sample(spec.nodes);
+
+    // Initial protocol convergence, by the analyzer's own definition:
+    // every probed (source, beacon) pair delivers in the data plane.
+    if (!loop.run_until(
+            [&] { return all_delivered(fleet, probes, loop.now()); },
+            600s)) {
+        std::fprintf(stderr, "  [%s/%s] initial convergence FAILED\n",
+                     spec.family.c_str(), schedule.c_str());
+        return res;
+    }
+    loop.run_for(30s);  // settle
+
+    // Observation starts here: journal on, FIB ground truth snapshotted.
+    Journal::global().set_enabled(true);
+    const ev::TimePoint t0 = loop.now();
+    auto initial_fibs = fleet.live_fibs();
+    const uint64_t msgs0 = network.delivered_count();
+    const uint64_t bytes0 = network.delivered_bytes();
+
+    // ---- the scripted schedule -----------------------------------------
+    ev::TimePoint t_fault = t0;
+    if (schedule == "link_flap") {
+        size_t l1 = busiest_link(spec);
+        size_t l2 = (l1 + spec.links.size() / 2) % spec.links.size();
+        loop.run_for(5s);
+        t_fault = loop.now();
+        fleet.set_link_up(l1, false);
+        loop.run_for(60s);
+        fleet.set_link_up(l1, true);
+        loop.run_for(30s);
+        fleet.set_link_up(l2, false);
+        loop.run_for(60s);
+        fleet.set_link_up(l2, true);
+        loop.run_for(120s);
+    } else if (schedule == "node_kill") {
+        size_t victim = busiest_node(spec);
+        loop.run_for(5s);
+        t_fault = loop.now();
+        fleet.set_node_up(victim, false);
+        loop.run_for(90s);
+        fleet.set_node_up(victim, true);
+        loop.run_for(150s);
+    } else if (schedule == "metric_noise") {
+        loop.run_for(5s);
+        t_fault = loop.now();
+        for (size_t i = 0; i < 5; ++i) {
+            size_t l = (busiest_link(spec) + i * 7) % spec.links.size();
+            fleet.set_link_cost(l, (i % 2) ? 1 : 8);
+            loop.run_for(20s);
+        }
+        loop.run_for(120s);
+    } else if (schedule == "churn_burst") {
+        // A route-churn burst injected at one router: 300 statics appear,
+        // live briefly, and vanish — the journal sees the install/FIB
+        // storm, the beacons must stay deliverable throughout.
+        loop.run_for(5s);
+        t_fault = loop.now();
+        auto& rib = fleet.router(0).rib();
+        const net::IPv4 nh = net::IPv4::must_parse("10.1.0.1");
+        for (uint32_t i = 0; i < 300; ++i)
+            rib.add_route("static",
+                          net::IPv4Net(net::IPv4((172u << 24) | (16u << 16) |
+                                                 (i << 8)),
+                                       24),
+                          nh, 1);
+        loop.run_for(30s);
+        for (uint32_t i = 0; i < 300; ++i)
+            rib.delete_route("static",
+                             net::IPv4Net(net::IPv4((172u << 24) |
+                                                    (16u << 16) | (i << 8)),
+                                          24));
+        loop.run_for(60s);
+    } else {
+        std::fprintf(stderr, "unknown schedule %s\n", schedule.c_str());
+        return res;
+    }
+    const ev::TimePoint t_end = loop.now();
+    Journal::global().set_enabled(false);
+
+    if (getenv("XRP_SCENARIO_DEBUG") != nullptr) {
+        // Triage aid: is the data plane actually broken at the end, or
+        // does the journal replay merely think it is?
+        bool live_ok = all_delivered(fleet, probes, loop.now());
+        std::fprintf(stderr, "  [debug] live delivery at end: %s\n",
+                     live_ok ? "ok" : "BROKEN");
+        auto live = fleet.live_fibs();
+        auto fibs = live;  // replayed below
+        for (auto& f : fibs) f.clear();
+        // (full replay comparison happens in the analyzer; here just dump
+        // a few walks)
+        auto edge_up = [&](size_t a, size_t b) {
+            return fleet.oracle().edge_up_at(loop.now(), a, b);
+        };
+        for (size_t src : probes)
+            for (const auto& b : fleet.beacons()) {
+                if (src == b.owner) continue;
+                auto wr = ConvergenceAnalyzer::walk(fleet.topo(), live, src,
+                                                    b.dst, edge_up);
+                if (wr != ConvergenceAnalyzer::WalkResult::kDelivered) {
+                    std::fprintf(stderr,
+                                 "  [debug] live walk r%zu -> %s: %s\n", src,
+                                 b.dst.str().c_str(),
+                                 ConvergenceAnalyzer::walk_result_name(wr));
+                    // Manual hop trace.
+                    size_t n = src;
+                    for (int hop = 0; hop < 10; ++hop) {
+                        const net::IPv4Net* best = nullptr;
+                        net::IPv4 nh{};
+                        for (const auto& [net, nexthop] : live[n]) {
+                            if (!net.contains(b.dst)) continue;
+                            if (best == nullptr ||
+                                net.prefix_len() > best->prefix_len()) {
+                                best = &net;
+                                nh = nexthop;
+                            }
+                        }
+                        if (best == nullptr) {
+                            std::fprintf(stderr,
+                                         "    r%zu: no route (%zu fib "
+                                         "entries)\n",
+                                         n, live[n].size());
+                            break;
+                        }
+                        auto it = fleet.topo().addr_owner.find(nh);
+                        std::fprintf(
+                            stderr, "    r%zu: %s via %s -> %s\n", n,
+                            best->str().c_str(), nh.str().c_str(),
+                            it == fleet.topo().addr_owner.end()
+                                ? "???"
+                                : ("r" + std::to_string(it->second)).c_str());
+                        if (it == fleet.topo().addr_owner.end()) break;
+                        if (it->second == n) break;
+                        n = it->second;
+                    }
+                }
+            }
+    }
+
+    // ---- reduce through the analyzer -----------------------------------
+    auto events = Journal::global().events();
+    res.journal_events = events.size();
+    res.journal_dropped = Journal::global().dropped();
+    ConvergenceAnalyzer::Report rep = ConvergenceAnalyzer::analyze(
+        fleet.topo(), fleet.oracle(), events, fleet.beacons(), probes,
+        std::move(initial_fibs), t0, t_end);
+
+    res.ran = true;
+    res.converged = rep.converged;
+    res.convergence_ms =
+        rep.converged_at > t_fault ? ms(rep.converged_at - t_fault) : 0.0;
+    res.blackhole_ms = ms(rep.total_blackhole());
+    res.loop_ms = ms(rep.total_loop());
+    res.blackhole_windows = rep.blackhole_windows.size();
+    res.loop_windows = rep.loop_windows.size();
+    res.fib_events = rep.fib_events;
+    res.route_events = rep.route_events;
+    res.flood_events = rep.flood_events;
+    res.net_msgs = network.delivered_count() - msgs0;
+    res.net_bytes = network.delivered_bytes() - bytes0;
+    res.virtual_s = std::chrono::duration<double>(t_end - t0).count();
+    return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false, smoke = false;
+    std::string only_family, only_schedule;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+        else if (std::strncmp(argv[i], "--family=", 9) == 0)
+            only_family = argv[i] + 9;
+        else if (std::strncmp(argv[i], "--schedule=", 11) == 0)
+            only_schedule = argv[i] + 11;
+    }
+    telemetry::set_enabled(false);  // metrics are not this bench's subject
+
+    struct Cell {
+        TopoSpec spec;
+        const char* schedule;
+    };
+    std::vector<TopoSpec> families;
+    if (smoke) {
+        families.push_back(sim::make_grid(4, 4));
+    } else if (quick) {
+        families.push_back(sim::make_grid(5, 5));
+        families.push_back(sim::make_fattree(4));
+        families.push_back(sim::make_isp(25, 7));
+    } else {
+        families.push_back(sim::make_grid(6, 6));
+        families.push_back(sim::make_fattree(6));
+        families.push_back(sim::make_isp(64, 7));
+    }
+    std::vector<std::string> schedules =
+        smoke ? std::vector<std::string>{"link_flap"}
+              : std::vector<std::string>{"link_flap", "node_kill",
+                                         "metric_noise", "churn_burst"};
+
+    bench::Report report("scenarios");
+    report.set_meta("quick", json::Value(quick));
+    report.set_meta("smoke", json::Value(smoke));
+
+    std::printf("# Scenario observatory: convergence / blackhole / loop "
+                "windows per (family x schedule)\n");
+    std::printf("%-10s %-14s %8s %7s %6s %12s %12s %10s %10s\n", "family",
+                "schedule", "routers", "links", "conv", "converge_ms",
+                "blackhole_ms", "loop_ms", "msgs");
+    int failures = 0;
+    for (const TopoSpec& spec : families) {
+        if (!only_family.empty() && spec.family != only_family) continue;
+        for (const std::string& schedule : schedules) {
+            if (!only_schedule.empty() && schedule != only_schedule)
+                continue;
+            CellResult r = run_cell(spec, schedule);
+            if (!r.ran) {
+                ++failures;
+                continue;
+            }
+            std::printf("%-10s %-14s %8zu %7zu %6s %12.1f %12.1f %10.1f "
+                        "%10llu\n",
+                        spec.family.c_str(), schedule.c_str(), spec.nodes,
+                        spec.links.size(), r.converged ? "yes" : "NO",
+                        r.convergence_ms, r.blackhole_ms, r.loop_ms,
+                        static_cast<unsigned long long>(r.net_msgs));
+            std::fflush(stdout);
+            if (!r.converged) ++failures;
+            json::Value& row = report.add_row();
+            row.set("family", json::Value(spec.family));
+            row.set("schedule", json::Value(schedule));
+            row.set("routers", json::Value(static_cast<int64_t>(spec.nodes)));
+            row.set("links",
+                    json::Value(static_cast<int64_t>(spec.links.size())));
+            row.set("converged", json::Value(r.converged));
+            row.set("convergence_ms", json::Value(r.convergence_ms));
+            row.set("blackhole_ms", json::Value(r.blackhole_ms));
+            row.set("loop_ms", json::Value(r.loop_ms));
+            row.set("blackhole_windows",
+                    json::Value(static_cast<int64_t>(r.blackhole_windows)));
+            row.set("loop_windows",
+                    json::Value(static_cast<int64_t>(r.loop_windows)));
+            row.set("fib_events", json::Value(r.fib_events));
+            row.set("route_events", json::Value(r.route_events));
+            row.set("flood_events", json::Value(r.flood_events));
+            row.set("journal_events", json::Value(r.journal_events));
+            row.set("journal_dropped", json::Value(r.journal_dropped));
+            row.set("net_msgs", json::Value(r.net_msgs));
+            row.set("net_bytes", json::Value(r.net_bytes));
+            row.set("virtual_s", json::Value(r.virtual_s));
+        }
+    }
+    if (report.row_count() == 0) {
+        std::fprintf(stderr, "no cells ran\n");
+        return 1;
+    }
+    report.write();
+    std::printf("# every cell must re-converge; transient windows are the "
+                "cost being measured, non-convergence is a failure\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// CI gate for the machine-readable perf trajectory: validates every
+// BENCH_*.json passed on the command line against the xrp-bench-v1
+// envelope. Fails (non-zero exit, one line per problem) on malformed
+// JSON, a wrong/missing schema tag, a missing bench name or meta object,
+// an empty or missing rows array, a non-object row, or a row value that
+// is not a scalar (number / string / bool).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+using xrp::json::Value;
+
+namespace {
+
+int check_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto doc = Value::parse(buf.str());
+    if (!doc) {
+        std::fprintf(stderr, "%s: malformed JSON\n", path.c_str());
+        return 1;
+    }
+    if (!doc->is_object()) {
+        std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+        return 1;
+    }
+    int bad = 0;
+    auto schema = doc->get_string("schema");
+    if (!schema || *schema != "xrp-bench-v1") {
+        std::fprintf(stderr, "%s: schema != \"xrp-bench-v1\"\n", path.c_str());
+        ++bad;
+    }
+    auto bench = doc->get_string("bench");
+    if (!bench || bench->empty()) {
+        std::fprintf(stderr, "%s: missing bench name\n", path.c_str());
+        ++bad;
+    }
+    const Value* meta = doc->find("meta");
+    if (meta == nullptr || !meta->is_object()) {
+        std::fprintf(stderr, "%s: missing meta object\n", path.c_str());
+        ++bad;
+    }
+    const Value* rows = doc->find("rows");
+    if (rows == nullptr || !rows->is_array() || rows->size() == 0) {
+        std::fprintf(stderr, "%s: rows missing or empty\n", path.c_str());
+        return bad + 1;
+    }
+    size_t i = 0;
+    for (const Value& row : rows->items()) {
+        if (!row.is_object() || row.size() == 0) {
+            std::fprintf(stderr, "%s: row %zu is not a non-empty object\n",
+                         path.c_str(), i);
+            ++bad;
+        } else {
+            for (const auto& [key, v] : row.members()) {
+                if (v.is_number() || v.is_string() || v.is_bool()) continue;
+                std::fprintf(stderr, "%s: row %zu key \"%s\" is not scalar\n",
+                             path.c_str(), i, key.c_str());
+                ++bad;
+            }
+        }
+        ++i;
+    }
+    return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: validate_bench BENCH_*.json...\n");
+        return 2;
+    }
+    int bad = 0;
+    for (int i = 1; i < argc; ++i) {
+        int n = check_file(argv[i]);
+        if (n == 0) std::printf("%s: ok\n", argv[i]);
+        bad += n;
+    }
+    return bad == 0 ? 0 : 1;
+}

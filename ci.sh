@@ -47,11 +47,23 @@ echo "== kill-chaos pass (sanitized, kills + ambient drops) =="
     XRP_CALL_ATTEMPT_TIMEOUT_MS=50 \
     ctest -R 'KillChaos' --output-on-failure -j "$JOBS")
 
-echo "== bench smoke =="
+echo "== bench smoke + scenario smoke + BENCH schema validation =="
+# Every bench binary emits a machine-readable BENCH_<name>.json via the
+# shared reporter; route them to a scratch dir (so token smoke numbers
+# never clobber a committed trajectory) and validate every file against
+# the xrp-bench-v1 schema — malformed or empty output fails CI. The
+# scenario smoke cell (4x4 grid, link-flap schedule) is fully
+# deterministic: virtual clock, fixed topology, no wall-clock anywhere,
+# and the runner itself exits non-zero if the cell fails to re-converge.
+BENCH_OUT="$(mktemp -d)"
+trap 'rm -rf "$BENCH_OUT"' EXIT
 for b in build/bench/bench_*; do
     [ -x "$b" ] || continue
     echo "-- $b"
-    "$b" --benchmark_min_time=0.01 >/dev/null
+    XRP_BENCH_DIR="$BENCH_OUT" "$b" --benchmark_min_time=0.01 >/dev/null
 done
+echo "-- build/bench/scenario_runner --smoke"
+XRP_BENCH_DIR="$BENCH_OUT" build/bench/scenario_runner --smoke >/dev/null
+build/bench/validate_bench "$BENCH_OUT"/BENCH_*.json
 
 echo "CI OK"

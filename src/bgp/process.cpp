@@ -78,6 +78,10 @@ BgpProcess::BgpProcess(ev::EventLoop& loop, Config config,
 
     rib_branch_ = std::make_unique<stage::SinkStage<IPv4>>(
         "rib-branch", [this](bool is_add, const BgpRoute& r) {
+            // Self-originated winners came from the local routing table
+            // (network statements); feeding them back would ask the RIB
+            // for an origin it doesn't have.
+            if (r.protocol == "local") return;
             if (prof_rib_queued_.enabled())
                 prof_rib_queued_.record(
                     (is_add ? "add " : "delete ") + r.net.str());

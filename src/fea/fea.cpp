@@ -1,5 +1,7 @@
 #include "fea/fea.hpp"
 
+#include "telemetry/journal.hpp"
+
 namespace xrp::fea {
 
 void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
@@ -10,12 +12,20 @@ void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
     const Interface* itf = interfaces_.find_by_subnet(nexthop);
     if (itf != nullptr) e.ifname = itf->name;
     fib_.add_route(e);
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
+            net.str(), nexthop.str() + ":" + e.ifname);
     if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
 }
 
 bool Fea::delete_route(const net::IPv4Net& net) {
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);
+    if (ok && telemetry::journal_enabled())
+        telemetry::Journal::global().record(loop_.now(),
+                                            telemetry::JournalKind::kFibDelete,
+                                            node_, "fea", net.str());
     if (ok && prof_kernel_.enabled())
         prof_kernel_.record("delete " + net.str());
     return ok;

@@ -66,6 +66,10 @@ public:
 
     void set_profiler(profiler::Profiler* p);
 
+    // Router identity stamped on journal events; empty = unbound.
+    void set_node(std::string node) { node_ = std::move(node); }
+    const std::string& node() const { return node_; }
+
 private:
     struct RelaySocket {
         uint16_t port = 0;
@@ -78,6 +82,7 @@ private:
 
     ev::EventLoop& loop_;
     std::string name_;
+    std::string node_;
     IfTable interfaces_;
     SimForwardingPlane fib_;
     std::map<int, RelaySocket> sockets_;

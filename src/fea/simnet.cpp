@@ -63,6 +63,7 @@ void VirtualNetwork::send(Fea* from, const std::string& ifname,
 
 void VirtualNetwork::deliver(const Endpoint& ep, const Datagram& dgram) {
     ++delivered_;
+    delivered_bytes_ += dgram.payload.size();
     Fea* fea = ep.fea;
     std::string ifname = ep.ifname;
     fea->loop().defer_after(latency_, [fea, ifname, dgram] {

@@ -58,6 +58,7 @@ public:
     void send(Fea* from, const std::string& ifname, const Datagram& dgram);
 
     uint64_t delivered_count() const { return delivered_; }
+    uint64_t delivered_bytes() const { return delivered_bytes_; }
     uint64_t dropped_count() const { return dropped_; }
 
 private:
@@ -79,6 +80,7 @@ private:
     std::map<int, Link> links_;
     int next_link_ = 1;
     uint64_t delivered_ = 0;
+    uint64_t delivered_bytes_ = 0;  // payload bytes, per-receiver
     uint64_t dropped_ = 0;
 };
 

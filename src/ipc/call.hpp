@@ -37,6 +37,7 @@
 #include <cstdint>
 
 #include "ev/clock.hpp"
+#include "telemetry/trace.hpp"
 
 namespace xrp::ipc {
 
@@ -58,6 +59,13 @@ struct CallOptions {
     RetryPolicy retry;
     bool idempotent = false;
     bool failover = true;
+    // Explicit trace context for this logical call. When valid it wins
+    // over the ambient thread-local context, so callers can pin a causal
+    // chain across deferred work (a queued one-way send runs long after
+    // the originating stack unwound). Every attempt — retries and
+    // failover hops included — records under this one id/hop: a retry is
+    // a resend of the same logical call, not a new trace.
+    telemetry::TraceContext trace{};
 
     // Process defaults, once adjusted by environment knobs (used by the
     // CI chaos pass to shrink timeouts): XRP_CALL_DEADLINE_MS,
@@ -98,6 +106,10 @@ struct CallOptions {
     }
     CallOptions& no_failover() {
         failover = false;
+        return *this;
+    }
+    CallOptions& with_trace(telemetry::TraceContext ctx) {
+        trace = ctx;
         return *this;
     }
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 #include "xrl/error.hpp"
 
@@ -160,6 +161,14 @@ bool FaultInjector::roll(uint32_t permille) {
     return rnd() % 1000 < permille;
 }
 
+void FaultInjector::journal_fault(const std::string& target,
+                                  const char* action) {
+    if (loop_ == nullptr || !telemetry::journal_enabled()) return;
+    telemetry::Journal::global().record(
+        loop_->now(), telemetry::JournalKind::kFaultInjected, node_, "faults",
+        target, action);
+}
+
 void FaultInjector::flush_held() {
     if (held_.empty()) return;
     auto held = std::move(held_);
@@ -187,6 +196,7 @@ void FaultInjector::intercept(const std::string& target,
     if (p->kill_channel) {
         stats_.kills++;
         FaultMetrics::get().kills->inc();
+        journal_fault(target, "kill");
         loop_->defer([done = std::move(done)] {
             done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
                                "fault injection: channel killed"),
@@ -199,6 +209,7 @@ void FaultInjector::intercept(const std::string& target,
         if (p->drop_first > 0) --p->drop_first;
         stats_.drops++;
         FaultMetrics::get().drops->inc();
+        journal_fault(target, "drop");
         // Swallowed whole: `done` never fires, exactly like a lost
         // datagram. The caller's attempt timer is the only way out.
         flush_held();
@@ -210,6 +221,7 @@ void FaultInjector::intercept(const std::string& target,
     if (roll(p->delay_permille)) {
         stats_.delays++;
         FaultMetrics::get().delays->inc();
+        journal_fault(target, "delay");
         delay = p->delay_min;
         const auto span = p->delay_max - p->delay_min;
         if (span.count() > 0)
@@ -219,6 +231,7 @@ void FaultInjector::intercept(const std::string& target,
     if (dup) {
         stats_.duplicates++;
         FaultMetrics::get().duplicates->inc();
+        journal_fault(target, "duplicate");
     }
 
     auto fire = [deliver = std::move(deliver), done = std::move(done),
@@ -231,6 +244,7 @@ void FaultInjector::intercept(const std::string& target,
     if (roll(p->reorder_permille)) {
         stats_.reorders++;
         FaultMetrics::get().reorders->inc();
+        journal_fault(target, "reorder");
         // Held until the next send passes it (or the backstop timer fires
         // so a quiet wire cannot strand it), plus any rolled delay.
         ev::Duration release_after =

@@ -64,6 +64,8 @@ public:
 
     // Set by the owning Plexus; delayed/reordered deliveries run on it.
     void bind_loop(ev::EventLoop* loop) { loop_ = loop; }
+    // Router identity stamped on journal events; empty = unbound.
+    void set_node(std::string node) { node_ = std::move(node); }
 
     void seed(uint64_t s) { prng_ = s ? s : 1; }
     void set_default_plan(const Plan& p);
@@ -114,8 +116,10 @@ private:
     uint64_t rnd();
     bool roll(uint32_t permille);
     void flush_held();
+    void journal_fault(const std::string& target, const char* action);
 
     ev::EventLoop* loop_ = nullptr;
+    std::string node_;
     bool active_ = false;
     uint64_t prng_ = 0x9e3779b97f4a7c15ull;
     Plan default_plan_;

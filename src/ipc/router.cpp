@@ -7,6 +7,7 @@
 #include "ipc/common_xrl.hpp"
 #include "ipc/fault_xrl.hpp"
 #include "ipc/telemetry_xrl.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -280,10 +281,13 @@ bool XrlRouter::call(const xrl::Xrl& xrl, const CallOptions& opts,
     st->done = std::move(done);
     st->deadline_at = plexus_.loop.now() + st->opts.deadline;
     if (telemetry::tracing_enabled()) {
-        // Root a new trace if this call is not already under one (i.e. not
-        // issued from inside a traced dispatch). Each attempt records its
-        // own "send" event under this context — a retry IS a resend.
-        telemetry::TraceContext ctx = telemetry::Tracer::current();
+        // An explicit per-call context (CallOptions::with_trace) wins;
+        // otherwise inherit the ambient one, or root a new trace if this
+        // call is not already under one (i.e. not issued from inside a
+        // traced dispatch). Each attempt records its own "send" event
+        // under this context — a retry IS a resend.
+        telemetry::TraceContext ctx = st->opts.trace;
+        if (!ctx.valid()) ctx = telemetry::Tracer::current();
         if (!ctx.valid()) ctx = telemetry::Tracer::global().begin_trace();
         st->trace = ctx;
     }
@@ -484,6 +488,11 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
     if (st->opts.failover && st->res_index + 1 < st->resolutions.size()) {
         st->res_index++;
         IpcMetrics::get().failovers->inc();
+        if (telemetry::journal_enabled())
+            telemetry::Journal::global().record(
+                plexus_.loop.now(), telemetry::JournalKind::kCallFailover,
+                plexus_.node, "ipc", st->xrl.target(),
+                st->xrl.full_method());
         start_attempt(st);
         return;
     }
@@ -512,6 +521,11 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
         return;
     }
     IpcMetrics::get().retries->inc();
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            plexus_.loop.now(), telemetry::JournalKind::kCallRetry,
+            plexus_.node, "ipc", st->xrl.target(), st->xrl.full_method(),
+            static_cast<int64_t>(st->cycles_used));
     st->backoff_timer =
         plexus_.loop.set_timer(backoff, [this, st] { begin_cycle(st); });
 }

@@ -53,6 +53,9 @@ struct Plexus {
     // legacy fire-once send with no timeout, retry, or failover — the
     // baseline the chaos tests compare the contract against.
     bool reliability_enabled = true;
+    // Router identity ("r12") stamped on journal events emitted by this
+    // Plexus's components; empty when the simulation has a single router.
+    std::string node;
 
 private:
     void init() {

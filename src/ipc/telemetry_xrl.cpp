@@ -1,5 +1,6 @@
 #include "ipc/telemetry_xrl.hpp"
 
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -57,9 +58,38 @@ void bind_telemetry_xrls(XrlDispatcher& d) {
                       out.add("text", t.format());
                       return XrlError::okay();
                   });
+    d.add_handler("telemetry/1.0/trace_dump_json",
+                  [](const XrlArgs&, XrlArgs& out) {
+                      auto& t = telemetry::Tracer::global();
+                      out.add("count", static_cast<uint32_t>(t.event_count()));
+                      out.add("dropped", static_cast<uint32_t>(t.dropped()));
+                      out.add("text", t.format_jsonl());
+                      return XrlError::okay();
+                  });
     d.add_handler("telemetry/1.0/trace_clear",
                   [](const XrlArgs&, XrlArgs& out) {
                       telemetry::Tracer::global().clear();
+                      out.add("ok", true);
+                      return XrlError::okay();
+                  });
+    d.add_handler("telemetry/1.0/journal_enable",
+                  [](const XrlArgs& in, XrlArgs& out) {
+                      telemetry::Journal::global().set_enabled(
+                          *in.get_bool("on"));
+                      out.add("enabled", telemetry::journal_enabled());
+                      return XrlError::okay();
+                  });
+    d.add_handler("telemetry/1.0/journal_dump_json",
+                  [](const XrlArgs&, XrlArgs& out) {
+                      auto& j = telemetry::Journal::global();
+                      out.add("count", static_cast<uint32_t>(j.event_count()));
+                      out.add("dropped", static_cast<uint32_t>(j.dropped()));
+                      out.add("text", j.to_jsonl());
+                      return XrlError::okay();
+                  });
+    d.add_handler("telemetry/1.0/journal_clear",
+                  [](const XrlArgs&, XrlArgs& out) {
+                      telemetry::Journal::global().clear();
                       out.add("ok", true);
                       return XrlError::okay();
                   });

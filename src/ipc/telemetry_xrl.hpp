@@ -10,7 +10,11 @@
 //   metrics_enable ? on       — flip the registry-wide enable flag
 //   trace_enable ? on         — flip call tracing
 //   trace_dump                — formatted trace ring contents
+//   trace_dump_json           — same ring as JSON-lines (machine-readable)
 //   trace_clear               — drop buffered trace events
+//   journal_enable ? on       — flip the structured event journal
+//   journal_dump_json         — journal ring as JSON-lines
+//   journal_clear             — drop buffered journal events
 //
 // Registry and Tracer are process singletons, so asking any one target
 // yields the whole process's view; in a multi-process deployment each
@@ -30,7 +34,11 @@ interface telemetry/1.0 {
     metrics_enable ? on:bool -> enabled:bool;
     trace_enable ? on:bool -> enabled:bool;
     trace_dump -> count:u32 & dropped:u32 & text:txt;
+    trace_dump_json -> count:u32 & dropped:u32 & text:txt;
     trace_clear -> ok:bool;
+    journal_enable ? on:bool -> enabled:bool;
+    journal_dump_json -> count:u32 & dropped:u32 & text:txt;
+    journal_clear -> ok:bool;
 }
 )";
 

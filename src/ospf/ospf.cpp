@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/journal.hpp"
+
 namespace xrp::ospf {
 
 using net::IPv4;
@@ -449,6 +451,10 @@ void OspfProcess::send_update(const std::string& ifname, IPv4 dst,
 }
 
 void OspfProcess::flood(const Lsa& lsa, const std::string& except_ifname) {
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kLsaFlood, node_, "ospf",
+            lsa.key().str(), except_ifname, static_cast<int64_t>(lsa.seq));
     for (const auto& [ifname, cost] : iface_cost_) {
         (void)cost;
         if (ifname == except_ifname || !iface_active(ifname)) continue;

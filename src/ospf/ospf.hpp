@@ -131,6 +131,10 @@ public:
     };
     const Stats& stats() const { return stats_; }
 
+    // Router identity stamped on journal events; empty = unbound.
+    void set_node(std::string node) { node_ = std::move(node); }
+    const std::string& node() const { return node_; }
+
 private:
     struct Neighbor {
         net::IPv4 router_id{};
@@ -189,6 +193,7 @@ private:
 
     ev::EventLoop& loop_;
     fea::Fea& fea_;
+    std::string node_;
     Config config_;
     std::unique_ptr<RibClient> rib_;
     net::IPv4 router_id_{};

@@ -417,6 +417,39 @@ const RouteMap& SpfEngine::run_incremental(const Lsdb& db,
         touched.insert(v);
         relax(v, pq);
     }
+    // 7b. Re-derive every next hop from the finished tree. Settling only
+    // recomputes hops for re-settled vertices, but a hop is inherited from
+    // the ancestor chain — an ancestor re-parented at equal cost, or
+    // re-settled against a transiently inconsistent LSA, changes its
+    // descendants' first hops without moving their distances, so they are
+    // never re-popped and would keep a hop from an older run. Walking each
+    // parent chain top-down (memoised, cycle-guarded) makes the result
+    // identical to what run_full computes from the same snapshot.
+    {
+        std::set<Vertex> derived;
+        std::vector<Vertex> chain;
+        for (const auto& entry : nodes_) {
+            chain.clear();
+            Vertex v = entry.first;
+            while (derived.insert(v).second) {
+                chain.push_back(v);
+                const Node& n = nodes_.at(v);
+                if (!n.has_parent || nodes_.find(n.parent) == nodes_.end())
+                    break;
+                v = n.parent;
+            }
+            for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+                Node& n = nodes_.at(*it);
+                net::IPv4 h =
+                    n.has_parent ? first_hop(n.parent, *it) : net::IPv4();
+                if (h != n.nexthop) {
+                    n.nexthop = h;
+                    touched.insert(*it);
+                }
+            }
+        }
+    }
+
     // Stub-only changes never enter the graph phase but still move
     // prefixes.
     for (const Vertex& x : delta_vertices) touched.insert(x);

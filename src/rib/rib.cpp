@@ -1,5 +1,7 @@
 #include "rib/rib.hpp"
 
+#include "telemetry/journal.hpp"
+
 namespace xrp::rib {
 
 using net::IPv4;
@@ -78,6 +80,11 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
     if (it == origins_.end()) return false;
     it->second.adds->inc();
     if (prof_in_.enabled()) prof_in_.record("add " + net.str());
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
+            net.str(), protocol + ":" + nexthop.str(),
+            static_cast<int64_t>(metric));
     Route4 r;
     r.net = net;
     r.nexthop = nexthop;
@@ -96,6 +103,10 @@ bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
     if (it == origins_.end()) return false;
     it->second.deletes->inc();
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kRouteWithdraw, node_, "rib",
+            net.str(), protocol);
     Route4 r;
     r.net = net;
     it->second.stage->delete_route(r);

@@ -169,6 +169,10 @@ public:
 
     void set_profiler(profiler::Profiler* p);
 
+    // Router identity stamped on journal events ("r3"); empty = unbound.
+    void set_node(std::string node) { node_ = std::move(node); }
+    const std::string& node() const { return node_; }
+
 private:
     struct Origin {
         uint32_t admin_distance;
@@ -196,6 +200,7 @@ private:
 
     ev::EventLoop& loop_;
     std::unique_ptr<FeaHandle> fea_;
+    std::string node_;
     profiler::Profiler* profiler_ = nullptr;
     // Resolved profiling handles (bound in set_profiler); the per-route
     // cost of a disabled point is one pointer check, and the payload

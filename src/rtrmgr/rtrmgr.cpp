@@ -9,16 +9,21 @@ using xrl::XrlArgs;
 
 Router::Router(std::string name, ev::EventLoop& loop)
     : name_(std::move(name)), plexus_(loop) {
+    // Journal events from every component of this router carry its name.
+    plexus_.node = name_;
+    plexus_.faults.set_node(name_);
     // Assembly order mirrors a real boot: FEA first (it owns the hardware
     // abstraction), then the RIB (which needs the FEA), then protocols.
     fea_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "fea", true);
     fea_ = std::make_unique<fea::Fea>(plexus_.loop);
+    fea_->set_node(name_);
     fea::bind_fea_xrl(*fea_, *fea_xr_);
     fea_xr_->finalize();
 
     rib_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rib", true);
     rib_ = std::make_unique<rib::Rib>(
         plexus_.loop, std::make_unique<rib::XrlFeaHandle>(*rib_xr_));
+    rib_->set_node(name_);
     rib::bind_rib_xrl(*rib_, *rib_xr_);
     rib_xr_->finalize();
 
@@ -32,6 +37,7 @@ Router::Router(std::string name, ev::EventLoop& loop)
     ospf_ = std::make_unique<ospf::OspfProcess>(
         plexus_.loop, *fea_, ospf::OspfProcess::Config{},
         std::make_unique<ospf::XrlRibClient>(*ospf_xr_));
+    ospf_->set_node(name_);
     ospf::bind_ospf_xrl(*ospf_, *ospf_xr_);
     ospf_xr_->finalize();
 
@@ -439,6 +445,7 @@ void Router::restart_ospf() {
     ospf_ = std::make_unique<ospf::OspfProcess>(
         plexus_.loop, *fea_, ospf::OspfProcess::Config{},
         std::make_unique<ospf::XrlRibClient>(*ospf_xr_));
+    ospf_->set_node(name_);
     ospf::bind_ospf_xrl(*ospf_, *ospf_xr_);
     ospf_xr_->finalize();
     if (const ConfigNode* o = running_.find("protocols/ospf"))

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ipc/common_xrl.hpp"
+#include "telemetry/journal.hpp"
 
 namespace xrp::rtrmgr {
 
@@ -88,6 +89,10 @@ void Supervisor::on_death(const std::string& cls) {
     c.state = State::kDead;
     c.probe_timer.unschedule();
     c.deaths_total->inc();
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            plexus_.loop.now(), telemetry::JournalKind::kDeath, plexus_.node,
+            "supervisor", cls);
 
     const ev::TimePoint now = plexus_.loop.now();
     c.deaths.push_back(now);
@@ -104,6 +109,11 @@ void Supervisor::on_death(const std::string& cls) {
     if (static_cast<int>(c.deaths.size()) >= c.spec.breaker_threshold) {
         c.state = State::kFailed;
         failed_gauge_->add(1);
+        if (telemetry::journal_enabled())
+            telemetry::Journal::global().record(
+                now, telemetry::JournalKind::kBreakerTrip, plexus_.node,
+                "supervisor", cls, {},
+                static_cast<int64_t>(c.deaths.size()));
         return;
     }
     schedule_restart(cls);
@@ -132,6 +142,10 @@ void Supervisor::do_restart(const std::string& cls) {
     ++c.restarts;
     ++c.consecutive_failures;
     c.restarts_total->inc();
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            plexus_.loop.now(), telemetry::JournalKind::kRestart, plexus_.node,
+            "supervisor", cls, {}, static_cast<int64_t>(c.restarts));
     c.spec.restart();
     // The fresh instance is registered; tell the RIB the protocol is back
     // (stops the grace clock) and start watching the resync.

@@ -1,0 +1,292 @@
+#include "sim/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace xrp::sim {
+
+using net::IPv4;
+using net::IPv4Net;
+using telemetry::JournalEvent;
+using telemetry::JournalKind;
+
+const char* ConvergenceAnalyzer::walk_result_name(WalkResult r) {
+    switch (r) {
+        case WalkResult::kDelivered: return "delivered";
+        case WalkResult::kBlackhole: return "blackhole";
+        case WalkResult::kLoop: return "loop";
+    }
+    return "unknown";
+}
+
+ConvergenceAnalyzer::WalkResult ConvergenceAnalyzer::walk(
+    const Topology& topo, const std::vector<AnalyzerFib>& fibs, size_t src,
+    net::IPv4 dst, const EdgeUp& edge_up, size_t max_hops) {
+    std::set<size_t> visited;
+    size_t n = src;
+    for (size_t hop = 0; hop < max_hops; ++hop) {
+        // Local delivery: the destination sits in one of our subnets.
+        if (n < topo.attached.size())
+            for (const IPv4Net& net : topo.attached[n])
+                if (net.contains(dst)) return WalkResult::kDelivered;
+        if (!visited.insert(n).second) return WalkResult::kLoop;
+        if (n >= fibs.size()) return WalkResult::kBlackhole;
+        // Longest-prefix match over the modeled FIB.
+        const IPv4Net* best = nullptr;
+        IPv4 nh{};
+        for (const auto& [net, nexthop] : fibs[n]) {
+            if (!net.contains(dst)) continue;
+            if (best == nullptr || net.prefix_len() > best->prefix_len()) {
+                best = &net;
+                nh = nexthop;
+            }
+        }
+        if (best == nullptr) return WalkResult::kBlackhole;
+        auto it = topo.addr_owner.find(nh);
+        if (it == topo.addr_owner.end()) return WalkResult::kBlackhole;
+        size_t next = it->second;
+        // A route whose nexthop is our own address (connected) but whose
+        // subnet didn't deliver above points nowhere useful.
+        if (next == n) return WalkResult::kBlackhole;
+        if (edge_up && !edge_up(n, next)) return WalkResult::kBlackhole;
+        n = next;
+    }
+    return WalkResult::kLoop;  // never terminated within the hop budget
+}
+
+// ---- Oracle ---------------------------------------------------------------
+
+size_t ConvergenceAnalyzer::Oracle::add_edge(size_t a, size_t b) {
+    edges_.push_back({a, b});
+    return edges_.size() - 1;
+}
+
+void ConvergenceAnalyzer::Oracle::set_edge_up(ev::TimePoint t, size_t edge,
+                                              bool up) {
+    events_.push_back({t, edge, up});
+}
+
+void ConvergenceAnalyzer::Oracle::set_node_up(ev::TimePoint t, size_t n,
+                                              bool up) {
+    for (size_t i = 0; i < edges_.size(); ++i)
+        if (edges_[i].a == n || edges_[i].b == n) set_edge_up(t, i, up);
+}
+
+bool ConvergenceAnalyzer::Oracle::edge_state_at(ev::TimePoint t,
+                                                size_t edge) const {
+    bool up = true;  // edges start up
+    for (const Event& e : events_) {
+        if (e.t > t) break;  // events are appended in time order
+        if (e.edge == edge) up = e.up;
+    }
+    return up;
+}
+
+bool ConvergenceAnalyzer::Oracle::edge_up_at(ev::TimePoint t, size_t a,
+                                             size_t b) const {
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        const Edge& e = edges_[i];
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+            if (edge_state_at(t, i)) return true;
+    }
+    return false;
+}
+
+bool ConvergenceAnalyzer::Oracle::reachable(ev::TimePoint t, size_t src,
+                                            size_t dst,
+                                            size_t node_count) const {
+    if (src == dst) return true;
+    std::vector<bool> seen(node_count, false);
+    std::vector<size_t> frontier{src};
+    seen[src] = true;
+    while (!frontier.empty()) {
+        size_t n = frontier.back();
+        frontier.pop_back();
+        for (size_t i = 0; i < edges_.size(); ++i) {
+            const Edge& e = edges_[i];
+            size_t peer;
+            if (e.a == n)
+                peer = e.b;
+            else if (e.b == n)
+                peer = e.a;
+            else
+                continue;
+            if (peer >= node_count || seen[peer] || !edge_state_at(t, i))
+                continue;
+            if (peer == dst) return true;
+            seen[peer] = true;
+            frontier.push_back(peer);
+        }
+    }
+    return false;
+}
+
+std::vector<ev::TimePoint> ConvergenceAnalyzer::Oracle::change_times(
+    ev::TimePoint begin, ev::TimePoint end) const {
+    std::vector<ev::TimePoint> out;
+    for (const Event& e : events_)
+        if (e.t > begin && e.t <= end) out.push_back(e.t);
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+// ---- Report ---------------------------------------------------------------
+
+namespace {
+ev::Duration sum_windows(
+    const std::vector<ConvergenceAnalyzer::Window>& windows) {
+    ev::Duration d{};
+    for (const auto& w : windows) d += w.end - w.begin;
+    return d;
+}
+}  // namespace
+
+ev::Duration ConvergenceAnalyzer::Report::total_blackhole() const {
+    return sum_windows(blackhole_windows);
+}
+ev::Duration ConvergenceAnalyzer::Report::total_loop() const {
+    return sum_windows(loop_windows);
+}
+
+// ---- analyze --------------------------------------------------------------
+
+ConvergenceAnalyzer::Report ConvergenceAnalyzer::analyze(
+    const Topology& topo, const Oracle& oracle,
+    const std::vector<JournalEvent>& events,
+    const std::vector<Beacon>& beacons,
+    const std::vector<size_t>& probe_sources,
+    std::vector<AnalyzerFib> initial_fibs, ev::TimePoint t_begin,
+    ev::TimePoint t_end) {
+    Report rep;
+    std::vector<AnalyzerFib> fibs = std::move(initial_fibs);
+    fibs.resize(topo.node_count);
+
+    // Collect the FIB mutations this analysis replays, and census the
+    // rest of the journal for the report.
+    struct FibChange {
+        ev::TimePoint t{};
+        size_t node = 0;
+        bool add = false;
+        IPv4Net net{};
+        IPv4 nexthop{};
+    };
+    std::vector<FibChange> changes;
+    for (const JournalEvent& e : events) {
+        if (e.t < t_begin || e.t > t_end) continue;
+        switch (e.kind) {
+            case JournalKind::kRouteInstall:
+            case JournalKind::kRouteWithdraw: rep.route_events++; continue;
+            case JournalKind::kLsaFlood: rep.flood_events++; continue;
+            case JournalKind::kFibAdd:
+            case JournalKind::kFibDelete: break;
+            default: continue;
+        }
+        auto nit = topo.node_index.find(e.node);
+        if (nit == topo.node_index.end()) continue;
+        auto net = IPv4Net::parse(e.subject);
+        if (!net) continue;
+        FibChange c;
+        c.t = e.t;
+        c.node = nit->second;
+        c.add = e.kind == JournalKind::kFibAdd;
+        c.net = *net;
+        if (c.add) {
+            // detail is "nexthop:ifname"; the walk only needs the address.
+            auto nh = IPv4::parse(e.detail.substr(0, e.detail.find(':')));
+            if (!nh) continue;
+            c.nexthop = *nh;
+        }
+        changes.push_back(c);
+        rep.fib_events++;
+    }
+    // Journal snapshots are already in seq (= time) order.
+
+    // Every instant the forwarding state or physical topology changed.
+    std::vector<ev::TimePoint> times;
+    times.push_back(t_begin);
+    for (const FibChange& c : changes) times.push_back(c.t);
+    for (ev::TimePoint t : oracle.change_times(t_begin, t_end))
+        times.push_back(t);
+    times.push_back(t_end);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+
+    // Pair status tracking: Window open per (src, beacon) while bad.
+    const size_t pairs = probe_sources.size() * beacons.size();
+    struct PairState {
+        bool bad = false;
+        WalkResult kind = WalkResult::kBlackhole;
+        ev::TimePoint since{};
+    };
+    std::vector<PairState> state(pairs);
+    bool ever_bad = false;
+    rep.converged_at = t_begin;
+
+    size_t next_change = 0;
+    for (ev::TimePoint t : times) {
+        // Apply all FIB mutations with timestamp <= t.
+        while (next_change < changes.size() && changes[next_change].t <= t) {
+            const FibChange& c = changes[next_change++];
+            if (c.add)
+                fibs[c.node][c.net] = c.nexthop;
+            else
+                fibs[c.node].erase(c.net);
+        }
+        auto edge_up = [&](size_t a, size_t b) {
+            return oracle.edge_up_at(t, a, b);
+        };
+        for (size_t si = 0; si < probe_sources.size(); ++si) {
+            for (size_t bi = 0; bi < beacons.size(); ++bi) {
+                const size_t src = probe_sources[si];
+                const Beacon& beacon = beacons[bi];
+                PairState& ps = state[si * beacons.size() + bi];
+                WalkResult wr = walk(topo, fibs, src, beacon.dst, edge_up);
+                bool reach =
+                    oracle.reachable(t, src, beacon.owner, topo.node_count);
+                // Bad = looping, or blackholed while physically reachable.
+                bool bad = wr == WalkResult::kLoop ||
+                           (wr == WalkResult::kBlackhole && reach);
+                if (bad && !ps.bad) {
+                    ps.bad = true;
+                    ps.kind = wr;
+                    ps.since = t;
+                    ever_bad = true;
+                } else if (bad && ps.bad && wr != ps.kind) {
+                    // Blackhole turned loop (or vice versa): close one
+                    // window, open the other.
+                    Window w{ps.since, t, src, beacon.dst, ps.kind};
+                    (ps.kind == WalkResult::kLoop ? rep.loop_windows
+                                                  : rep.blackhole_windows)
+                        .push_back(w);
+                    ps.kind = wr;
+                    ps.since = t;
+                } else if (!bad && ps.bad) {
+                    Window w{ps.since, t, src, beacon.dst, ps.kind};
+                    (ps.kind == WalkResult::kLoop ? rep.loop_windows
+                                                  : rep.blackhole_windows)
+                        .push_back(w);
+                    ps.bad = false;
+                    rep.converged_at = std::max(rep.converged_at, t);
+                }
+            }
+        }
+    }
+    // Close any window still open at the end of the observation.
+    rep.converged = true;
+    for (size_t si = 0; si < probe_sources.size(); ++si) {
+        for (size_t bi = 0; bi < beacons.size(); ++bi) {
+            PairState& ps = state[si * beacons.size() + bi];
+            if (!ps.bad) continue;
+            rep.converged = false;
+            Window w{ps.since, t_end, probe_sources[si], beacons[bi].dst,
+                     ps.kind};
+            (ps.kind == WalkResult::kLoop ? rep.loop_windows
+                                          : rep.blackhole_windows)
+                .push_back(w);
+        }
+    }
+    if (!ever_bad) rep.converged_at = t_begin;
+    return rep;
+}
+
+}  // namespace xrp::sim

@@ -1,0 +1,138 @@
+// ConvergenceAnalyzer: turns a journal of FIB writes plus a link-state
+// oracle into the numbers the paper's evaluation reports — convergence
+// time, transient blackhole windows (a prefix unreachable in the data
+// plane while the physical topology says it should be reachable), and
+// forwarding-loop windows (a FIB walk that revisits a node).
+//
+// The analyzer is deliberately offline: it replays journal fib_add /
+// fib_delete events into per-node FIB models and re-walks every
+// (probe source, beacon) pair at each instant the forwarding state or the
+// physical topology changed. Nothing here touches live router objects, so
+// the same code verifies hand-built timelines in tests and real scenario
+// runs in the harness; the walk itself is also exposed so the scenario
+// runner can probe live FEA FIBs with identical semantics.
+#ifndef XRP_SIM_ANALYZER_HPP
+#define XRP_SIM_ANALYZER_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ev/clock.hpp"
+#include "net/ipnet.hpp"
+#include "telemetry/journal.hpp"
+
+namespace xrp::sim {
+
+// Per-node forwarding model: prefix -> nexthop address. Longest prefix
+// wins on lookup, same as the real SimForwardingPlane.
+using AnalyzerFib = std::map<net::IPv4Net, net::IPv4>;
+
+class ConvergenceAnalyzer {
+public:
+    // Static description of who is where: journal node names, interface
+    // address ownership (how a nexthop address maps to the next router),
+    // and each node's directly attached subnets (local delivery).
+    struct Topology {
+        size_t node_count = 0;
+        std::map<std::string, size_t> node_index;  // journal node -> index
+        std::map<net::IPv4, size_t> addr_owner;    // iface addr -> node
+        std::vector<std::vector<net::IPv4Net>> attached;  // per node
+    };
+
+    // A probed destination: an address inside a stub subnet attached only
+    // to `owner`, so delivery is unambiguous.
+    struct Beacon {
+        net::IPv4 dst{};
+        size_t owner = 0;
+    };
+
+    enum class WalkResult { kDelivered, kBlackhole, kLoop };
+    static const char* walk_result_name(WalkResult r);
+
+    // Can a packet physically cross from node `from` to node `to` now?
+    using EdgeUp = std::function<bool(size_t from, size_t to)>;
+
+    // One data-plane forwarding walk: follow FIB lookups hop by hop from
+    // `src` toward `dst` until local delivery, a missing route / dead
+    // link / unknown nexthop (blackhole), or a revisited node (loop).
+    static WalkResult walk(const Topology& topo,
+                           const std::vector<AnalyzerFib>& fibs, size_t src,
+                           net::IPv4 dst, const EdgeUp& edge_up,
+                           size_t max_hops = 64);
+
+    // The physical-topology oracle: an undirected edge set plus a
+    // timeline of up/down transitions (appended in time order by the
+    // scenario script). Reachability is BFS over the edges up at `t`.
+    class Oracle {
+    public:
+        size_t add_edge(size_t a, size_t b);
+        // Records a transition; call with non-decreasing `t`.
+        void set_edge_up(ev::TimePoint t, size_t edge, bool up);
+        // Convenience for node kill: every edge incident to `n`.
+        void set_node_up(ev::TimePoint t, size_t n, bool up);
+
+        bool edge_up_at(ev::TimePoint t, size_t a, size_t b) const;
+        bool reachable(ev::TimePoint t, size_t src, size_t dst,
+                       size_t node_count) const;
+        // Every distinct transition time in (begin, end].
+        std::vector<ev::TimePoint> change_times(ev::TimePoint begin,
+                                                ev::TimePoint end) const;
+
+    private:
+        struct Edge {
+            size_t a = 0;
+            size_t b = 0;
+        };
+        struct Event {
+            ev::TimePoint t{};
+            size_t edge = 0;
+            bool up = true;
+        };
+        bool edge_state_at(ev::TimePoint t, size_t edge) const;
+
+        std::vector<Edge> edges_;
+        std::vector<Event> events_;
+    };
+
+    // One contiguous interval during which a (src, beacon) pair was in a
+    // bad state: blackholed while the oracle says reachable, or looping.
+    struct Window {
+        ev::TimePoint begin{};
+        ev::TimePoint end{};
+        size_t src = 0;
+        net::IPv4 dst{};
+        WalkResult kind = WalkResult::kBlackhole;
+    };
+
+    struct Report {
+        std::vector<Window> blackhole_windows;
+        std::vector<Window> loop_windows;
+        // All probed pairs correct at t_end, and when they last got there.
+        bool converged = false;
+        ev::TimePoint converged_at{};
+        // Journal census over [t_begin, t_end].
+        uint64_t fib_events = 0;
+        uint64_t route_events = 0;
+        uint64_t flood_events = 0;
+
+        ev::Duration total_blackhole() const;
+        ev::Duration total_loop() const;
+    };
+
+    // Replays `events` (journal snapshot, append order) over
+    // [t_begin, t_end], starting from `initial_fibs` (resized to
+    // node_count; pass {} when the journal covers the whole run), and
+    // probes every (probe_sources x beacons) pair at each change instant.
+    static Report analyze(const Topology& topo, const Oracle& oracle,
+                          const std::vector<telemetry::JournalEvent>& events,
+                          const std::vector<Beacon>& beacons,
+                          const std::vector<size_t>& probe_sources,
+                          std::vector<AnalyzerFib> initial_fibs,
+                          ev::TimePoint t_begin, ev::TimePoint t_end);
+};
+
+}  // namespace xrp::sim
+
+#endif

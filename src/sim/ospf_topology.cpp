@@ -14,15 +14,19 @@ size_t OspfTopology::add_router() {
     auto n = std::make_unique<Node>();
     n->router_id = IPv4((192u << 24) | (168u << 16) |
                         static_cast<uint32_t>(idx + 1));
+    const std::string node = "r" + std::to_string(idx);
     n->fea = std::make_unique<fea::Fea>(loop_,
                                         "fea" + std::to_string(idx));
+    n->fea->set_node(node);
     n->rib = std::make_unique<rib::Rib>(
         loop_, std::make_unique<rib::DirectFeaHandle>(*n->fea));
+    n->rib->set_node(node);
     ospf::OspfProcess::Config cfg = base_;
     cfg.router_id = n->router_id;
     n->ospf = std::make_unique<ospf::OspfProcess>(
         loop_, *n->fea, cfg,
         std::make_unique<ospf::DirectRibClient>(*n->rib));
+    n->ospf->set_node(node);
     nodes_.push_back(std::move(n));
     return idx;
 }

@@ -1,0 +1,252 @@
+#include "sim/topogen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <set>
+
+namespace xrp::sim {
+
+using net::IPv4;
+using net::IPv4Net;
+
+// ---- generators -----------------------------------------------------------
+
+namespace {
+
+void add_corner_stubs(TopoSpec& s, std::initializer_list<size_t> nodes) {
+    for (size_t n : nodes)
+        if (std::find(s.stub_owners.begin(), s.stub_owners.end(), n) ==
+            s.stub_owners.end())
+            s.stub_owners.push_back(n);
+}
+
+}  // namespace
+
+TopoSpec make_grid(size_t rows, size_t cols) {
+    TopoSpec s;
+    s.family = "grid";
+    s.nodes = rows * cols;
+    auto id = [&](size_t r, size_t c) { return r * cols + c; };
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) s.links.push_back({id(r, c), id(r, c + 1), 1});
+            if (r + 1 < rows) s.links.push_back({id(r, c), id(r + 1, c), 1});
+        }
+    }
+    add_corner_stubs(s, {id(0, 0), id(0, cols - 1), id(rows - 1, 0),
+                         id(rows - 1, cols - 1)});
+    s.rip_overlay = true;
+    return s;
+}
+
+TopoSpec make_fattree(size_t k) {
+    TopoSpec s;
+    s.family = "fattree";
+    const size_t half = k / 2;
+    const size_t core = half * half;
+    s.nodes = core + k * k;  // k pods of (half agg + half edge)
+    auto agg = [&](size_t pod, size_t j) { return core + pod * k + j; };
+    auto edge = [&](size_t pod, size_t j) { return core + pod * k + half + j; };
+    // Core i homes onto aggregation switch i/half of every pod.
+    for (size_t i = 0; i < core; ++i)
+        for (size_t pod = 0; pod < k; ++pod)
+            s.links.push_back({i, agg(pod, i / half), 1});
+    // Full agg <-> edge bipartite mesh inside each pod.
+    for (size_t pod = 0; pod < k; ++pod)
+        for (size_t a = 0; a < half; ++a)
+            for (size_t e = 0; e < half; ++e)
+                s.links.push_back({agg(pod, a), edge(pod, e), 1});
+    for (size_t pod = 0; pod < k; ++pod) s.stub_owners.push_back(edge(pod, 0));
+    return s;
+}
+
+TopoSpec make_isp(size_t n, uint64_t seed) {
+    TopoSpec s;
+    s.family = "isp";
+    s.nodes = n;
+    std::mt19937_64 rng(seed);
+    auto cost = [&] { return 1 + static_cast<uint32_t>(rng() % 5); };
+    const size_t backbone = std::max<size_t>(3, n / 4);
+    std::set<std::pair<size_t, size_t>> seen;
+    auto add = [&](size_t a, size_t b, uint32_t c) {
+        if (a == b) return;
+        auto key = std::minmax(a, b);
+        if (!seen.insert(key).second) return;
+        s.links.push_back({a, b, c});
+    };
+    // Ring backbone with random chords.
+    for (size_t i = 0; i < backbone; ++i) add(i, (i + 1) % backbone, cost());
+    for (size_t i = 0; i < backbone / 3; ++i)
+        add(rng() % backbone, rng() % backbone, cost());
+    // Access routers multi-home onto the backbone.
+    for (size_t leaf = backbone; leaf < n; ++leaf) {
+        size_t homes = 1 + rng() % 2;
+        for (size_t h = 0; h < homes; ++h) add(leaf, rng() % backbone, cost());
+    }
+    // Beacons on a spread of access routers (backbone if there are none).
+    const size_t leaves = n - backbone;
+    if (leaves == 0) {
+        add_corner_stubs(s, {0, backbone / 2});
+    } else {
+        size_t want = std::min<size_t>(4, leaves);
+        for (size_t i = 0; i < want; ++i)
+            s.stub_owners.push_back(backbone + i * leaves / want);
+    }
+    s.bgp_pair = true;  // nodes 0 and 1 are ring-adjacent
+    return s;
+}
+
+// ---- ScenarioFleet --------------------------------------------------------
+
+namespace {
+
+std::string octets(size_t a, size_t b, size_t c, size_t d) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%zu.%zu.%zu.%zu", a, b, c, d);
+    return buf;
+}
+
+// Link i lives in 10.(1 + i/250).(i%250).0/24; endpoint a is host .1,
+// endpoint b host .2. 10.240/12 is reserved for stub prefixes, which a
+// link never reaches (i/250 + 1 stays far below 240 at our scales).
+std::string link_addr(size_t link, bool side_b) {
+    return octets(10, 1 + link / 250, link % 250, side_b ? 2 : 1);
+}
+
+std::string stub_prefix_host(size_t stub, size_t host) {
+    return octets(10, 240, stub, host);
+}
+
+}  // namespace
+
+ScenarioFleet::ScenarioFleet(const TopoSpec& spec, ev::EventLoop& loop,
+                             fea::VirtualNetwork& network)
+    : loop_(loop), network_(network), spec_(spec) {
+    struct Iface {
+        std::string name;
+        std::string addr;  // dotted quad, /24
+        bool on_link = false;
+    };
+    std::vector<std::vector<Iface>> ifaces(spec_.nodes);
+    link_ifnames_.resize(spec_.links.size());
+
+    auto next_if = [&](size_t node) {
+        return "eth" + std::to_string(ifaces[node].size());
+    };
+    for (size_t i = 0; i < spec_.links.size(); ++i) {
+        const TopoLink& l = spec_.links[i];
+        link_ifnames_[i].first = next_if(l.a);
+        ifaces[l.a].push_back({link_ifnames_[i].first, link_addr(i, false),
+                               true});
+        link_ifnames_[i].second = next_if(l.b);
+        ifaces[l.b].push_back({link_ifnames_[i].second, link_addr(i, true),
+                               true});
+    }
+    for (size_t s = 0; s < spec_.stub_owners.size(); ++s) {
+        size_t owner = spec_.stub_owners[s];
+        ifaces[owner].push_back({next_if(owner), stub_prefix_host(s, 1),
+                                 false});
+        beacons_.push_back(
+            {IPv4::must_parse(stub_prefix_host(s, 10)), owner});
+    }
+    if (spec_.bgp_pair && spec_.nodes >= 2) {
+        ifaces[0].push_back({next_if(0), "192.0.2.1", false});
+        ifaces[1].push_back({next_if(1), "192.0.2.2", false});
+    }
+
+    // Build each router's config text and the analyzer's topology view.
+    topo_.node_count = spec_.nodes;
+    topo_.attached.resize(spec_.nodes);
+    for (size_t n = 0; n < spec_.nodes; ++n) {
+        const std::string name = "r" + std::to_string(n);
+        topo_.node_index[name] = n;
+        std::string cfg = "interfaces {\n";
+        for (const Iface& ifc : ifaces[n]) {
+            cfg += "  " + ifc.name + " { address " + ifc.addr + "/24; }\n";
+            IPv4 addr = IPv4::must_parse(ifc.addr);
+            topo_.addr_owner[addr] = n;
+            topo_.attached[n].push_back(IPv4Net(addr, 24));
+        }
+        cfg += "}\nprotocols {\n";
+        cfg += "  ospf {\n    router-id " +
+               octets(0, (n >> 16) & 255, (n >> 8) & 255, (n & 255) + 1) +
+               ";\n";
+        for (const Iface& ifc : ifaces[n])
+            cfg += "    interface " + ifc.name + ";\n";
+        cfg += "  }\n";
+        if (spec_.rip_overlay) {
+            cfg += "  rip {\n";
+            for (const Iface& ifc : ifaces[n])
+                if (ifc.on_link) cfg += "    interface " + ifc.name + ";\n";
+            cfg += "  }\n";
+        }
+        if (spec_.bgp_pair && n == 0)
+            cfg += "  bgp {\n    local-as 64500;\n    bgp-id 192.0.2.1;\n"
+                   "    network 10.99.0.0/16;\n  }\n";
+        if (spec_.bgp_pair && n == 1)
+            cfg += "  bgp {\n    local-as 64501;\n    bgp-id 192.0.2.2;\n"
+                   "  }\n  static {\n    route 192.0.2.0/24 { nexthop "
+                   "192.0.2.2; }\n  }\n";
+        cfg += "}\n";
+
+        auto r = std::make_unique<rtrmgr::Router>(name, loop_);
+        std::string err;
+        if (!r->configure(cfg, &err)) {
+            std::fprintf(stderr, "ScenarioFleet: %s: %s\n", name.c_str(),
+                         err.c_str());
+            std::abort();
+        }
+        routers_.push_back(std::move(r));
+    }
+
+    // Physical wiring, OSPF costs, and the oracle's edge set.
+    for (size_t i = 0; i < spec_.links.size(); ++i) {
+        const TopoLink& l = spec_.links[i];
+        int id = network_.add_link();
+        link_ids_.push_back(id);
+        routers_[l.a]->attach_link(network_, id, link_ifnames_[i].first);
+        routers_[l.b]->attach_link(network_, id, link_ifnames_[i].second);
+        if (l.cost != 1) {
+            routers_[l.a]->ospf().set_interface_cost(link_ifnames_[i].first,
+                                                     l.cost);
+            routers_[l.b]->ospf().set_interface_cost(link_ifnames_[i].second,
+                                                     l.cost);
+        }
+        oracle_.add_edge(l.a, l.b);
+    }
+    if (spec_.bgp_pair && spec_.nodes >= 2)
+        rtrmgr::Router::connect_bgp(*routers_[0], *routers_[1]);
+}
+
+ScenarioFleet::~ScenarioFleet() = default;
+
+void ScenarioFleet::set_link_up(size_t link, bool up) {
+    network_.set_link_up(link_ids_[link], up);
+    oracle_.set_edge_up(loop_.now(), link, up);
+}
+
+void ScenarioFleet::set_node_up(size_t node, bool up) {
+    for (size_t i = 0; i < spec_.links.size(); ++i)
+        if (spec_.links[i].a == node || spec_.links[i].b == node)
+            set_link_up(i, up);
+}
+
+void ScenarioFleet::set_link_cost(size_t link, uint32_t cost) {
+    const TopoLink& l = spec_.links[link];
+    routers_[l.a]->ospf().set_interface_cost(link_ifnames_[link].first, cost);
+    routers_[l.b]->ospf().set_interface_cost(link_ifnames_[link].second, cost);
+}
+
+std::vector<AnalyzerFib> ScenarioFleet::live_fibs() const {
+    std::vector<AnalyzerFib> fibs(routers_.size());
+    for (size_t n = 0; n < routers_.size(); ++n) {
+        routers_[n]->fea().fib().for_each(
+            [&](const IPv4Net& net, const fea::FibEntry& e) {
+                fibs[n][net] = e.nexthop;
+            });
+    }
+    return fibs;
+}
+
+}  // namespace xrp::sim

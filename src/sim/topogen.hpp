@@ -1,0 +1,102 @@
+// Topology generators and the ScenarioFleet: the machinery behind the
+// scenario observatory. A TopoSpec is a pure description — nodes, costed
+// links, which nodes own beacon stub prefixes, which protocol overlays to
+// run — produced by the grid / fat-tree / ISP generators. A ScenarioFleet
+// turns a spec into a fleet of full rtrmgr::Routers (FEA + RIB + OSPF,
+// optionally RIP and a BGP pair) wired over one VirtualNetwork, and keeps
+// the ConvergenceAnalyzer's Topology / Oracle / Beacon views in sync with
+// every link or node event the scenario script injects.
+#ifndef XRP_SIM_TOPOGEN_HPP
+#define XRP_SIM_TOPOGEN_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtrmgr/rtrmgr.hpp"
+#include "sim/analyzer.hpp"
+
+namespace xrp::sim {
+
+struct TopoLink {
+    size_t a = 0;
+    size_t b = 0;
+    uint32_t cost = 1;  // OSPF output cost, both directions
+};
+
+struct TopoSpec {
+    std::string family;  // "grid", "fattree", "isp"
+    size_t nodes = 0;
+    std::vector<TopoLink> links;
+    // Nodes that advertise a dedicated stub prefix; each becomes a beacon
+    // the analyzer probes from every other node.
+    std::vector<size_t> stub_owners;
+    bool rip_overlay = false;  // run RIP on every link interface too
+    bool bgp_pair = false;     // eBGP session between nodes 0 and 1
+};
+
+// rows x cols mesh; every node links right and down. Stubs on the four
+// corners (or every node when the grid is tiny).
+TopoSpec make_grid(size_t rows, size_t cols);
+
+// k-ary fat-tree (k even): (k/2)^2 core switches, k pods of k/2
+// aggregation + k/2 edge switches. Stubs on the first edge switch of
+// each pod.
+TopoSpec make_fattree(size_t k);
+
+// ISP-like: a ring backbone with random chords, random-cost links, and
+// leaf (access) routers multi-homed onto the backbone. Deterministic for
+// a given (n, seed). Stubs on a spread of leaf routers.
+TopoSpec make_isp(size_t n, uint64_t seed);
+
+// A fleet of full routers realising a TopoSpec on a shared loop+simnet.
+// Construction configures and wires everything; protocol convergence then
+// happens under loop.run_until / run_for in virtual time.
+class ScenarioFleet {
+public:
+    ScenarioFleet(const TopoSpec& spec, ev::EventLoop& loop,
+                  fea::VirtualNetwork& network);
+    ~ScenarioFleet();
+    ScenarioFleet(const ScenarioFleet&) = delete;
+    ScenarioFleet& operator=(const ScenarioFleet&) = delete;
+
+    size_t size() const { return routers_.size(); }
+    rtrmgr::Router& router(size_t i) { return *routers_[i]; }
+    const TopoSpec& spec() const { return spec_; }
+
+    // ---- analyzer views ------------------------------------------------
+    const ConvergenceAnalyzer::Topology& topo() const { return topo_; }
+    const ConvergenceAnalyzer::Oracle& oracle() const { return oracle_; }
+    const std::vector<ConvergenceAnalyzer::Beacon>& beacons() const {
+        return beacons_;
+    }
+
+    // ---- scripted events -----------------------------------------------
+    // All stamp the oracle at loop.now() and drive the simnet, so the
+    // analyzer's physical truth matches what the routers experienced.
+    void set_link_up(size_t link, bool up);
+    void set_node_up(size_t node, bool up);  // all incident links
+    // OSPF metric change on both endpoints (no oracle event: the link
+    // stays physically up).
+    void set_link_cost(size_t link, uint32_t cost);
+
+    // Snapshot of every router's live FEA FIB in analyzer form; lets the
+    // harness cross-check journal replay against ground truth.
+    std::vector<AnalyzerFib> live_fibs() const;
+
+private:
+    ev::EventLoop& loop_;
+    fea::VirtualNetwork& network_;
+    TopoSpec spec_;
+    std::vector<std::unique_ptr<rtrmgr::Router>> routers_;
+    std::vector<int> link_ids_;  // simnet link id per spec link
+    // Interface name at each end of spec link i: [0] on a, [1] on b.
+    std::vector<std::pair<std::string, std::string>> link_ifnames_;
+    ConvergenceAnalyzer::Topology topo_;
+    ConvergenceAnalyzer::Oracle oracle_;
+    std::vector<ConvergenceAnalyzer::Beacon> beacons_;
+};
+
+}  // namespace xrp::sim
+
+#endif

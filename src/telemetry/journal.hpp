@@ -1,0 +1,116 @@
+// Structured event journal: the observability spine of the scenario
+// harness. Components append typed, monotonic-timestamped records —
+// route install/withdraw, FIB write, LSA flood, supervisor
+// death/restart/breaker, injected fault, XRL retry/failover — and the
+// convergence analyzer replays them to reconstruct what the network was
+// doing in between the moments a test happened to look.
+//
+// Same discipline as the metrics registry: process-global singleton,
+// disabled by default, and the disabled hot path is one relaxed atomic
+// load plus a branch (`journal_enabled()`), so instrumented code costs
+// nothing when nobody is watching. Callers pass their own loop's
+// timestamp — in a multi-router simulation every component runs on one
+// VirtualClock loop, so journal order and timestamp order agree.
+#ifndef XRP_TELEMETRY_JOURNAL_HPP
+#define XRP_TELEMETRY_JOURNAL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ev/clock.hpp"
+
+namespace xrp::telemetry {
+
+enum class JournalKind : uint8_t {
+    kRouteInstall,   // RIB accepted a route          subject=prefix detail=proto:nexthop value=metric
+    kRouteWithdraw,  // RIB removed a route           subject=prefix detail=proto
+    kFibAdd,         // FEA wrote a forwarding entry  subject=prefix detail=nexthop:ifname
+    kFibDelete,      // FEA removed an entry          subject=prefix
+    kLsaFlood,       // OSPF (re)flooded an LSA       subject=lsa key detail=ifname value=seqno
+    kDeath,          // supervisor observed a death   subject=component detail=reason
+    kRestart,        // supervisor restarted it       subject=component value=attempt
+    kBreakerTrip,    // restart breaker gave up       subject=component value=attempts
+    kFaultInjected,  // injector perturbed a send     subject=target detail=action
+    kCallRetry,      // reliable call re-sent         subject=target detail=method value=attempt
+    kCallFailover,   // reliable call switched ep     subject=target detail=method
+};
+
+// Stable machine-readable name ("route_install", "fib_add", ...) used by
+// the JSON-lines export and matched by the analyzer. Never renumber or
+// rename: committed scenario output references these strings.
+const char* journal_kind_name(JournalKind k);
+
+struct JournalEvent {
+    uint64_t seq = 0;     // global append order, never reused
+    ev::TimePoint t{};    // caller's loop time at the hook site
+    JournalKind kind = JournalKind::kRouteInstall;
+    std::string node;       // router identity ("r12"), empty if unbound
+    std::string component;  // "rib", "fea", "ospf", "supervisor", ...
+    std::string subject;    // what it happened to (prefix, LSA, target)
+    std::string detail;     // free-form qualifier (nexthop, reason, action)
+    int64_t value = 0;      // numeric payload (metric, attempt, seqno)
+
+    // One compact JSON object, no trailing newline.
+    std::string to_json() const;
+};
+
+namespace detail {
+// Inline mirror of Journal::global()'s enabled flag so the hot-path
+// check never takes the singleton's mutex (same trick as g_tracing).
+inline std::atomic<bool> g_journal_enabled{false};
+}  // namespace detail
+
+inline bool journal_enabled() {
+    return detail::g_journal_enabled.load(std::memory_order_relaxed);
+}
+
+class Journal {
+public:
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    static Journal& global();
+
+    void set_enabled(bool on);
+    bool enabled() const { return journal_enabled(); }
+
+    // Resize the bounded ring; keeps the newest events that fit.
+    void set_capacity(size_t cap);
+    size_t capacity() const;
+
+    // Append one event. No-op while disabled (hooks additionally guard
+    // with journal_enabled() so argument construction is skipped too).
+    void record(ev::TimePoint t, JournalKind kind, std::string_view node,
+                std::string_view component, std::string_view subject,
+                std::string_view detail = {}, int64_t value = 0);
+
+    // Snapshot of retained events in append order (oldest first).
+    std::vector<JournalEvent> events() const;
+    size_t event_count() const;
+
+    // Events evicted by the bounded ring since the last clear().
+    uint64_t dropped() const;
+
+    void clear();
+
+    // JSON-lines export: one event per line, oldest first.
+    std::string to_jsonl() const;
+
+private:
+    Journal() { ring_.reserve(kDefaultCapacity); }
+
+    mutable std::mutex mu_;
+    std::vector<JournalEvent> ring_;  // circular once full
+    size_t cap_ = kDefaultCapacity;
+    size_t head_ = 0;    // index of oldest event once wrapped
+    bool wrapped_ = false;
+    uint64_t next_seq_ = 1;
+    uint64_t dropped_ = 0;
+};
+
+}  // namespace xrp::telemetry
+
+#endif

@@ -23,6 +23,18 @@ uint64_t Histogram::quantile_ns(double q) const {
     return UINT64_MAX;
 }
 
+std::vector<Histogram::CdfPoint> Histogram::cdf() const {
+    std::vector<CdfPoint> out;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        uint64_t b = bucket(i);
+        if (b == 0) continue;
+        cum += b;
+        out.push_back({(uint64_t{1} << (i + 1)) - 1, cum});
+    }
+    return out;
+}
+
 std::string metric_key(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& labels) {
@@ -124,6 +136,33 @@ void Registry::expose_entry(const std::string& key, const Entry& e,
         line("_p50_ns", h.p50_ns());
         line("_p95_ns", h.p95_ns());
         line("_p99_ns", h.p99_ns());
+        // Cumulative bucket counts (the CDF), appended after the summary
+        // lines so consumers keyed on "starts with _count" keep working.
+        // The le label merges into any existing label set.
+        auto bucket_line = [&](const char* le, uint64_t v) {
+            out += name;
+            out += "_bucket";
+            if (labels.empty()) {
+                out += "{le=\"";
+                out += le;
+                out += "\"}";
+            } else {
+                out.append(labels, 0, labels.size() - 1);
+                out += ",le=\"";
+                out += le;
+                out += "\"}";
+            }
+            std::snprintf(buf, sizeof buf, " %llu\n",
+                          static_cast<unsigned long long>(v));
+            out += buf;
+        };
+        for (const Histogram::CdfPoint& p : h.cdf()) {
+            char le[24];
+            std::snprintf(le, sizeof le, "%llu",
+                          static_cast<unsigned long long>(p.le_ns));
+            bucket_line(le, p.cum);
+        }
+        if (h.count() > 0) bucket_line("+Inf", h.count());
     }
 }
 

@@ -114,6 +114,16 @@ public:
     uint64_t p95_ns() const { return quantile_ns(0.95); }
     uint64_t p99_ns() const { return quantile_ns(0.99); }
 
+    // Full latency CDF: one point per occupied bucket, cumulative counts,
+    // le_ns = the bucket's inclusive upper edge (2^(i+1)-1). Empty buckets
+    // are skipped — the cumulative count is unchanged there, so the CDF
+    // loses nothing and BENCH_*.json stays compact.
+    struct CdfPoint {
+        uint64_t le_ns = 0;
+        uint64_t cum = 0;
+    };
+    std::vector<CdfPoint> cdf() const;
+
 private:
     friend class Registry;
     explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
@@ -162,7 +172,8 @@ public:
     // Full Prometheus-style text exposition:
     //   name{label="v"} value
     // histograms additionally expose _count, _sum_ns, _p50_ns, _p95_ns,
-    // _p99_ns lines.
+    // _p99_ns lines, then cumulative _bucket{le="<ns>"} lines (occupied
+    // buckets only) ending with _bucket{le="+Inf"} — the full CDF.
     std::string expose() const;
 
     // Drops every registered instrument (invalidates handles — tests only,

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/json.hpp"
+
 namespace xrp::telemetry {
 
 thread_local TraceContext Tracer::current_{};
@@ -88,6 +90,23 @@ std::string Tracer::format() const {
         out += ' ';
         out += e.detail;
         out += '\n';
+    }
+    return out;
+}
+
+std::string Tracer::format_jsonl() const {
+    std::string out;
+    char buf[96];
+    for (const TraceEvent& e : events()) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"trace\":%llu,\"hop\":%u,\"t_ns\":%lld,\"point\":",
+                      static_cast<unsigned long long>(e.trace_id), e.hop,
+                      static_cast<long long>(e.t.time_since_epoch().count()));
+        out += buf;
+        json::escape_string(out, e.point);
+        out += ",\"detail\":";
+        json::escape_string(out, e.detail);
+        out += "}\n";
     }
     return out;
 }

@@ -119,6 +119,11 @@ public:
     //   trace=<id> hop=<n> t=<ns> <point> <detail>
     std::string format() const;
 
+    // Machine-readable dump: one JSON object per line, same event order —
+    //   {"trace":<id>,"hop":<n>,"t_ns":<ns>,"point":"...","detail":"..."}
+    // What the scenario runner and the route-journey assertions consume.
+    std::string format_jsonl() const;
+
 private:
     static thread_local TraceContext current_;
 

@@ -12,6 +12,7 @@
 #include "ipc/router.hpp"
 #include "ipc/wire.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace xrp;
 using namespace xrp::ipc;
@@ -1141,4 +1142,110 @@ TEST(UdpChannel, StaleResponseAfterTimeoutIsDiscarded) {
     EXPECT_TRUE(second_err.ok()) << second_err.str();
     ASSERT_TRUE(sum.has_value());
     EXPECT_EQ(*sum, 42u);
+}
+
+// ---- trace identity through the reliable call contract -----------------
+
+TEST(CallContract, RetriesCarryOneTraceIdAndHop) {
+    // One logical call = one trace context: a dropped-and-retried attempt
+    // is a resend, not a new trace. An explicit CallOptions::with_trace
+    // pins the id/hop; every attempt's "send" event must record exactly
+    // that pair, so a scenario journal can attribute retry storms to the
+    // causal chain that suffered them.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    auto& tracer = telemetry::Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(true);
+
+    FaultInjector::Plan plan;
+    plan.drop_first = 2;
+    plexus.faults.set_target_plan("calc", plan);
+
+    const telemetry::TraceContext pinned{0x5eed, 3};
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(50ms).with_attempts(4).with_deadline(10s)
+        .with_trace(pinned);
+    XrlArgs args;
+    args.add("a", uint32_t{40}).add("b", uint32_t{2});
+    std::optional<uint32_t> sum;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args), opts,
+                [&](const XrlError& e, const XrlArgs& out) {
+                    if (e.ok()) sum = out.get_u32("sum");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    tracer.set_enabled(false);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_EQ(plexus.faults.stats().drops, 2u);
+
+    size_t sends = 0;
+    for (const telemetry::TraceEvent& ev : tracer.events()) {
+        if (ev.point != "send" ||
+            ev.detail.find("calc/1.0/add") == std::string::npos)
+            continue;
+        ++sends;
+        EXPECT_EQ(ev.trace_id, pinned.trace_id) << ev.detail;
+        EXPECT_EQ(ev.hop, pinned.hop) << ev.detail;
+    }
+    // Attempt 1 and two retries, all under the pinned identity.
+    EXPECT_GE(sends, 3u);
+    tracer.clear();
+}
+
+TEST(CallContract, FailoverKeepsTheTraceContext) {
+    // A failover hop is still the same logical call: after the inproc
+    // channel is killed and the call re-resolves onto sTCP, the new
+    // attempt must record under the original trace id/hop.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    AddServer server(plexus, /*tcp=*/true);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    auto& tracer = telemetry::Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(true);
+
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_family_plan("inproc", kill);
+
+    const telemetry::TraceContext pinned{0xfa11, 7};
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(200ms).with_attempts(4).with_deadline(10s)
+        .with_trace(pinned);
+    XrlArgs args;
+    args.add("a", uint32_t{40}).add("b", uint32_t{2});
+    std::optional<uint32_t> sum;
+    bool done = false;
+    const uint64_t failovers0 = ctr("xrl_call_failovers_total");
+    client.call(Xrl::generic("calc", "calc", "1.0", "add", args), opts,
+                [&](const XrlError& e, const XrlArgs& out) {
+                    if (e.ok()) sum = out.get_u32("sum");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    tracer.set_enabled(false);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_GE(ctr("xrl_call_failovers_total") - failovers0, 1u);
+
+    size_t sends = 0;
+    for (const telemetry::TraceEvent& ev : tracer.events()) {
+        if (ev.point != "send" ||
+            ev.detail.find("calc/1.0/add") == std::string::npos)
+            continue;
+        ++sends;
+        EXPECT_EQ(ev.trace_id, pinned.trace_id) << ev.detail;
+        EXPECT_EQ(ev.hop, pinned.hop) << ev.detail;
+    }
+    EXPECT_GE(sends, 1u);
+    tracer.clear();
 }

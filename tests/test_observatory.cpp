@@ -1,0 +1,346 @@
+// Observatory tests: the structured event journal (ordering, bounded
+// ring, JSON-lines export) and the convergence analyzer checked against
+// hand-built oracle timelines where every window edge is known exactly,
+// plus a golden schema test pinning the BENCH_scenarios.json envelope.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sim/analyzer.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/json.hpp"
+
+using namespace xrp;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+using sim::AnalyzerFib;
+using sim::ConvergenceAnalyzer;
+using telemetry::Journal;
+using telemetry::JournalEvent;
+using telemetry::JournalKind;
+
+namespace {
+
+// The journal is process-global; scope enablement and restore defaults so
+// tests cannot leak state into each other.
+class JournalOn {
+public:
+    JournalOn() {
+        Journal::global().clear();
+        Journal::global().set_capacity(Journal::kDefaultCapacity);
+        Journal::global().set_enabled(true);
+    }
+    ~JournalOn() {
+        Journal::global().set_enabled(false);
+        Journal::global().clear();
+        Journal::global().set_capacity(Journal::kDefaultCapacity);
+    }
+};
+
+ev::TimePoint at(int64_t s) { return ev::TimePoint{} + std::chrono::seconds(s); }
+
+// ---- shared 3-node line: r0 --(e0)-- r1 --(e1)-- r2[stub] --------------
+//
+// Addresses: link0 10.1.0.0/24 (r0=.1, r1=.2), link1 10.1.1.0/24
+// (r1=.1, r2=.2), beacon stub 10.240.0.0/24 on r2, probed at .10.
+struct Line3 {
+    ConvergenceAnalyzer::Topology topo;
+    ConvergenceAnalyzer::Oracle oracle;
+    size_t e0 = 0, e1 = 0;
+    IPv4Net beacon_net = IPv4Net::must_parse("10.240.0.0/24");
+    IPv4 beacon = IPv4::must_parse("10.240.0.10");
+    std::vector<ConvergenceAnalyzer::Beacon> beacons;
+    std::vector<AnalyzerFib> fibs;
+
+    Line3() {
+        topo.node_count = 3;
+        topo.node_index = {{"r0", 0}, {"r1", 1}, {"r2", 2}};
+        topo.addr_owner = {{IPv4::must_parse("10.1.0.1"), 0},
+                           {IPv4::must_parse("10.1.0.2"), 1},
+                           {IPv4::must_parse("10.1.1.1"), 1},
+                           {IPv4::must_parse("10.1.1.2"), 2}};
+        topo.attached = {{IPv4Net::must_parse("10.1.0.0/24")},
+                         {IPv4Net::must_parse("10.1.0.0/24"),
+                          IPv4Net::must_parse("10.1.1.0/24")},
+                         {IPv4Net::must_parse("10.1.1.0/24"), beacon_net}};
+        e0 = oracle.add_edge(0, 1);
+        e1 = oracle.add_edge(1, 2);
+        beacons.push_back({beacon, 2});
+        // Converged forwarding state: r0 and r1 both route the beacon.
+        fibs.resize(3);
+        fibs[0][beacon_net] = IPv4::must_parse("10.1.0.2");
+        fibs[1][beacon_net] = IPv4::must_parse("10.1.1.2");
+    }
+
+    JournalEvent fib_add(int64_t s, const char* node, IPv4 nexthop) {
+        JournalEvent e;
+        e.t = at(s);
+        e.kind = JournalKind::kFibAdd;
+        e.node = node;
+        e.component = "fea";
+        e.subject = beacon_net.str();
+        e.detail = nexthop.str() + ":eth0";
+        return e;
+    }
+    JournalEvent fib_delete(int64_t s, const char* node) {
+        JournalEvent e;
+        e.t = at(s);
+        e.kind = JournalKind::kFibDelete;
+        e.node = node;
+        e.component = "fea";
+        e.subject = beacon_net.str();
+        return e;
+    }
+};
+
+}  // namespace
+
+// ---- journal -----------------------------------------------------------
+
+TEST(Journal, InterleavedComponentsKeepAppendOrder) {
+    JournalOn scope;
+    Journal& j = Journal::global();
+    // Three components interleaving appends, timestamps non-decreasing —
+    // the single-VirtualClock situation the analyzer relies on.
+    const char* comps[] = {"rib", "fea", "ospf"};
+    const JournalKind kinds[] = {JournalKind::kRouteInstall,
+                                 JournalKind::kFibAdd,
+                                 JournalKind::kLsaFlood};
+    for (int i = 0; i < 30; ++i)
+        j.record(at(i / 3), kinds[i % 3], "r0", comps[i % 3],
+                 "10.0.0.0/24", "x", i);
+
+    auto evs = j.events();
+    ASSERT_EQ(evs.size(), 30u);
+    for (size_t i = 1; i < evs.size(); ++i) {
+        EXPECT_GT(evs[i].seq, evs[i - 1].seq) << i;
+        EXPECT_GE(evs[i].t, evs[i - 1].t) << i;
+    }
+    // Append order preserved per component too (value carries i).
+    for (size_t i = 0; i < evs.size(); ++i) {
+        EXPECT_EQ(evs[i].value, static_cast<int64_t>(i));
+        EXPECT_EQ(evs[i].component, comps[i % 3]);
+    }
+    EXPECT_EQ(j.dropped(), 0u);
+}
+
+TEST(Journal, BoundedRingKeepsNewestAndCountsDropped) {
+    JournalOn scope;
+    Journal& j = Journal::global();
+    j.set_capacity(8);
+    for (int i = 0; i < 20; ++i)
+        j.record(at(i), JournalKind::kFibAdd, "r0", "fea", "10.0.0.0/24",
+                 "", i);
+    EXPECT_EQ(j.event_count(), 8u);
+    EXPECT_EQ(j.dropped(), 12u);
+    auto evs = j.events();
+    ASSERT_EQ(evs.size(), 8u);
+    // The newest 8, still in append order, seq contiguous.
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(evs[i].value, static_cast<int64_t>(12 + i));
+    for (size_t i = 1; i < 8; ++i)
+        EXPECT_EQ(evs[i].seq, evs[i - 1].seq + 1);
+}
+
+TEST(Journal, DisabledRecordsNothing) {
+    JournalOn scope;
+    Journal& j = Journal::global();
+    j.set_enabled(false);
+    j.record(at(1), JournalKind::kDeath, "r0", "supervisor", "ospf");
+    EXPECT_EQ(j.event_count(), 0u);
+}
+
+TEST(Journal, JsonlExportParsesLineByLine) {
+    JournalOn scope;
+    Journal& j = Journal::global();
+    j.record(at(1), JournalKind::kFibAdd, "r3", "fea", "10.2.0.0/24",
+             "10.1.0.2:eth1", 0);
+    j.record(at(2), JournalKind::kCallRetry, "r3", "ipc", "rib",
+             "rib/1.0/add_route", 2);
+    std::string jsonl = j.to_jsonl();
+    std::istringstream in(jsonl);
+    std::string line;
+    size_t n = 0;
+    std::vector<std::string> kinds;
+    while (std::getline(in, line)) {
+        auto v = json::Value::parse(line);
+        ASSERT_TRUE(v.has_value()) << line;
+        ASSERT_TRUE(v->is_object());
+        EXPECT_NE(v->find("seq"), nullptr);
+        EXPECT_NE(v->find("t_ns"), nullptr);
+        ASSERT_NE(v->find("kind"), nullptr);
+        EXPECT_EQ(v->get_string("node").value_or(""), "r3");
+        kinds.push_back(v->get_string("kind").value_or(""));
+        ++n;
+    }
+    ASSERT_EQ(n, 2u);
+    // Stable machine-readable kind names: committed scenario output
+    // references these strings.
+    EXPECT_EQ(kinds[0], "fib_add");
+    EXPECT_EQ(kinds[1], "call_retry");
+}
+
+// ---- analyzer vs hand-built timelines ----------------------------------
+
+TEST(Analyzer, BlackholeWindowMatchesOracleTimeline) {
+    Line3 net;
+    // r1 loses its beacon route at t=10s and regains it at t=15s; the
+    // physical topology never changes, so exactly [10s,15s] is a
+    // transient blackhole for the r0 probe.
+    std::vector<JournalEvent> events = {net.fib_delete(10, "r1"),
+                                        net.fib_add(15, "r1",
+                                                    IPv4::must_parse(
+                                                        "10.1.1.2"))};
+    auto rep = ConvergenceAnalyzer::analyze(net.topo, net.oracle, events,
+                                            net.beacons, {0}, net.fibs,
+                                            at(0), at(30));
+    EXPECT_TRUE(rep.converged);
+    ASSERT_EQ(rep.blackhole_windows.size(), 1u);
+    EXPECT_EQ(rep.blackhole_windows[0].begin, at(10));
+    EXPECT_EQ(rep.blackhole_windows[0].end, at(15));
+    EXPECT_EQ(rep.total_blackhole(), 5s);
+    EXPECT_TRUE(rep.loop_windows.empty());
+    EXPECT_EQ(rep.converged_at, at(15));
+    EXPECT_EQ(rep.fib_events, 2u);
+}
+
+TEST(Analyzer, LoopWindowMatchesOracleTimeline) {
+    Line3 net;
+    // r1's beacon route points back at r0 during [10s,12s): r0 -> r1 ->
+    // r0 is a forwarding loop, not a blackhole.
+    std::vector<JournalEvent> events = {
+        net.fib_add(10, "r1", IPv4::must_parse("10.1.0.1")),
+        net.fib_add(12, "r1", IPv4::must_parse("10.1.1.2"))};
+    auto rep = ConvergenceAnalyzer::analyze(net.topo, net.oracle, events,
+                                            net.beacons, {0}, net.fibs,
+                                            at(0), at(30));
+    EXPECT_TRUE(rep.converged);
+    EXPECT_TRUE(rep.blackhole_windows.empty());
+    ASSERT_EQ(rep.loop_windows.size(), 1u);
+    EXPECT_EQ(rep.loop_windows[0].begin, at(10));
+    EXPECT_EQ(rep.loop_windows[0].end, at(12));
+    EXPECT_EQ(rep.total_loop(), 2s);
+}
+
+TEST(Analyzer, PartitionedOracleExcusesTheBlackhole) {
+    Line3 net;
+    // The r1--r2 link is physically down over [10s,20s] and r1's route is
+    // gone for the same interval. Unreachable per the oracle means no
+    // blackhole is charged: the data plane cannot beat physics.
+    net.oracle.set_edge_up(at(10), net.e1, false);
+    net.oracle.set_edge_up(at(20), net.e1, true);
+    std::vector<JournalEvent> events = {net.fib_delete(10, "r1"),
+                                        net.fib_add(20, "r1",
+                                                    IPv4::must_parse(
+                                                        "10.1.1.2"))};
+    auto rep = ConvergenceAnalyzer::analyze(net.topo, net.oracle, events,
+                                            net.beacons, {0}, net.fibs,
+                                            at(0), at(30));
+    EXPECT_TRUE(rep.converged);
+    EXPECT_TRUE(rep.blackhole_windows.empty()) << rep.blackhole_windows.size();
+    EXPECT_TRUE(rep.loop_windows.empty());
+}
+
+TEST(Analyzer, SlowReconvergenceAfterRepairIsCharged) {
+    Line3 net;
+    // Same partition, but the FIB comes back 4s after the link does:
+    // those 4 seconds are a real blackhole window.
+    net.oracle.set_edge_up(at(10), net.e1, false);
+    net.oracle.set_edge_up(at(20), net.e1, true);
+    std::vector<JournalEvent> events = {net.fib_delete(10, "r1"),
+                                        net.fib_add(24, "r1",
+                                                    IPv4::must_parse(
+                                                        "10.1.1.2"))};
+    auto rep = ConvergenceAnalyzer::analyze(net.topo, net.oracle, events,
+                                            net.beacons, {0}, net.fibs,
+                                            at(0), at(30));
+    EXPECT_TRUE(rep.converged);
+    ASSERT_EQ(rep.blackhole_windows.size(), 1u);
+    EXPECT_EQ(rep.blackhole_windows[0].begin, at(20));
+    EXPECT_EQ(rep.blackhole_windows[0].end, at(24));
+    EXPECT_EQ(rep.total_blackhole(), 4s);
+    EXPECT_EQ(rep.converged_at, at(24));
+}
+
+TEST(Analyzer, WalkDetectsDeliveryBlackholeAndLoop) {
+    Line3 net;
+    auto up = [](size_t, size_t) { return true; };
+    EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, net.fibs, 0, net.beacon,
+                                        up),
+              ConvergenceAnalyzer::WalkResult::kDelivered);
+    std::vector<AnalyzerFib> noroute = net.fibs;
+    noroute[1].clear();
+    EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, noroute, 0, net.beacon,
+                                        up),
+              ConvergenceAnalyzer::WalkResult::kBlackhole);
+    std::vector<AnalyzerFib> looped = net.fibs;
+    looped[1][net.beacon_net] = IPv4::must_parse("10.1.0.1");
+    EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, looped, 0, net.beacon,
+                                        up),
+              ConvergenceAnalyzer::WalkResult::kLoop);
+    // A dead first hop is a blackhole even with a route present.
+    auto down = [](size_t, size_t) { return false; };
+    EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, net.fibs, 0, net.beacon,
+                                        down),
+              ConvergenceAnalyzer::WalkResult::kBlackhole);
+}
+
+// ---- BENCH_scenarios.json golden schema --------------------------------
+
+namespace {
+
+// One real (smoke-run) envelope, abbreviated to a single row. Pins the
+// machine-readable contract: schema tag, envelope members, and the exact
+// per-cell column set. scenario_runner must keep emitting this shape, and
+// bench/validate_bench.cpp enforces it against live output in CI.
+constexpr const char* kScenariosGolden = R"({
+  "schema": "xrp-bench-v1",
+  "bench": "scenarios",
+  "meta": {"quick": false, "smoke": true},
+  "rows": [
+    {"family": "grid", "schedule": "link_flap", "routers": 16, "links": 24,
+     "converged": true, "convergence_ms": 90210, "blackhole_ms": 840,
+     "loop_ms": 0, "blackhole_windows": 4, "loop_windows": 0,
+     "fib_events": 364, "route_events": 451, "flood_events": 180,
+     "journal_events": 995, "journal_dropped": 0, "net_msgs": 2596,
+     "net_bytes": 435912, "virtual_s": 275}
+  ]
+})";
+
+}  // namespace
+
+TEST(BenchSchema, ScenariosGoldenEnvelopeAndColumns) {
+    auto doc = json::Value::parse(kScenariosGolden);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->get_string("schema").value_or(""), "xrp-bench-v1");
+    EXPECT_EQ(doc->get_string("bench").value_or(""), "scenarios");
+    const json::Value* meta = doc->find("meta");
+    ASSERT_NE(meta, nullptr);
+    ASSERT_TRUE(meta->is_object());
+    const json::Value* rows = doc->find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_TRUE(rows->is_array());
+    ASSERT_GT(rows->size(), 0u);
+
+    const std::set<std::string> required = {
+        "family",          "schedule",     "routers",
+        "links",           "converged",    "convergence_ms",
+        "blackhole_ms",    "loop_ms",      "blackhole_windows",
+        "loop_windows",    "fib_events",   "route_events",
+        "flood_events",    "journal_events", "journal_dropped",
+        "net_msgs",        "net_bytes",    "virtual_s"};
+    for (const json::Value& row : rows->items()) {
+        ASSERT_TRUE(row.is_object());
+        std::set<std::string> keys;
+        for (const auto& [k, v] : row.members()) {
+            keys.insert(k);
+            EXPECT_TRUE(v.is_number() || v.is_string() || v.is_bool()) << k;
+        }
+        EXPECT_EQ(keys, required);
+    }
+}

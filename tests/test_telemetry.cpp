@@ -7,11 +7,14 @@
 
 #include <chrono>
 #include <map>
+#include <sstream>
 
 #include "ipc/router.hpp"
 #include "ipc/wire.hpp"
 #include "profiler/profiler.hpp"
 #include "rtrmgr/rtrmgr.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -502,4 +505,192 @@ TEST(Trace, BgpRibFeaChainIsOneCausalTrace) {
     EXPECT_TRUE(found_chain) << "rib and fea dispatches not causally "
                                 "linked in any one trace:\n"
                              << Tracer::global().format();
+}
+
+// ---- machine-readable trace dump ---------------------------------------
+
+TEST(Trace, JsonlDumpReconstructsRouteAddTimeline) {
+    // The paper's Figures 10-12 route-add journey, asserted from the
+    // machine-readable dump instead of the text formatter: the JSON-lines
+    // export must contain one trace whose dispatch events visit the RIB
+    // and then the FEA at deepening hops with non-decreasing timestamps —
+    // exactly what the scenario harness consumes offline.
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    rtrmgr::Router r1("r1", loop), r2("r2", loop);
+    std::string err;
+    ASSERT_TRUE(r1.configure(R"(
+        interfaces { eth0 { address 192.0.2.1/24; } }
+        protocols {
+            bgp { local-as 1777; bgp-id 192.0.2.1; }
+        }
+    )",
+                             &err))
+        << err;
+    ASSERT_TRUE(r2.configure(R"(
+        interfaces { eth0 { address 192.0.2.2/24; } }
+        protocols {
+            static { route 192.0.2.0/24 { nexthop 192.0.2.2; } }
+            bgp { local-as 3561; bgp-id 192.0.2.2; }
+        }
+    )",
+                             &err))
+        << err;
+    rtrmgr::Router::connect_bgp(r1, r2);
+    loop.run_for(5s);
+
+    TracingOn tracing;
+    r1.bgp()->originate(net::IPv4Net::must_parse("10.99.0.0/16"),
+                        net::IPv4::must_parse("192.0.2.1"));
+    ASSERT_TRUE(loop.run_until(
+        [&] {
+            return r2.fea().lookup(net::IPv4::must_parse("10.99.1.2")) !=
+                   nullptr;
+        },
+        60s));
+
+    // Per trace id: (hop, t_ns) of the RIB and FEA dispatches.
+    struct Legs {
+        int64_t rib_hop = -1, fea_hop = -1;
+        int64_t rib_t = 0, fea_t = 0;
+    };
+    std::map<uint64_t, Legs> traces;
+    std::istringstream in(Tracer::global().format_jsonl());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        auto v = json::Value::parse(line);
+        ASSERT_TRUE(v.has_value()) << line;
+        ++lines;
+        if (v->get_string("point").value_or("") != "dispatch") continue;
+        auto id = static_cast<uint64_t>(v->get_number("trace").value_or(0));
+        auto hop = static_cast<int64_t>(v->get_number("hop").value_or(-1));
+        auto t = static_cast<int64_t>(v->get_number("t_ns").value_or(0));
+        const std::string detail = v->get_string("detail").value_or("");
+        Legs& legs = traces[id];
+        if (detail.find("rib/1.0/add_route") != std::string::npos) {
+            legs.rib_hop = hop;
+            legs.rib_t = t;
+        }
+        if (detail.find("fea/1.0/add_route4") != std::string::npos) {
+            legs.fea_hop = hop;
+            legs.fea_t = t;
+        }
+    }
+    EXPECT_EQ(lines, Tracer::global().event_count());
+    bool found = false;
+    for (const auto& [id, legs] : traces)
+        if (legs.rib_hop >= 0 && legs.fea_hop > legs.rib_hop &&
+            legs.fea_t >= legs.rib_t)
+            found = true;
+    EXPECT_TRUE(found) << "no trace with rib -> fea timeline:\n"
+                       << Tracer::global().format_jsonl();
+}
+
+TEST(TelemetryXrl, TraceAndJournalJsonDumpsOverXrl) {
+    ev::RealClock clock;
+    ipc::Plexus plexus(clock);
+    ipc::XrlRouter svc(plexus, "svc", true);
+    svc.add_handler("noop/1.0/noop", [](const XrlArgs&, XrlArgs&) {
+        return XrlError::okay();
+    });
+    svc.finalize();
+    ipc::XrlRouter client(plexus, "cli");
+    client.finalize();
+
+    auto rpc = [&](const char* method, XrlArgs in) {
+        XrlArgs result;
+        bool done = false;
+        client.send(Xrl::generic("svc", "telemetry", "1.0", method, in),
+                    [&](const XrlError& err, const XrlArgs& out) {
+                        EXPECT_TRUE(err.ok()) << method << ": " << err.str();
+                        result = out;
+                        done = true;
+                    });
+        EXPECT_TRUE(plexus.loop.run_until([&] { return done; }, 2s));
+        return result;
+    };
+
+    // Trace one traced call, then fetch the JSONL dump over XRL.
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+    bool done = false;
+    client.send(Xrl::generic("svc", "noop", "1.0", "noop", XrlArgs()),
+                [&](const XrlError& err, const XrlArgs&) {
+                    EXPECT_TRUE(err.ok());
+                    done = true;
+                });
+    plexus.loop.run_until([&] { return done; }, 2s);
+    Tracer::global().set_enabled(false);
+
+    XrlArgs dump = rpc("trace_dump_json", XrlArgs());
+    std::string text = dump.get_text("text").value_or("");
+    ASSERT_FALSE(text.empty());
+    std::istringstream in(text);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) {
+        auto v = json::Value::parse(line);
+        ASSERT_TRUE(v.has_value()) << line;
+        EXPECT_NE(v->find("trace"), nullptr);
+        EXPECT_NE(v->find("hop"), nullptr);
+        EXPECT_NE(v->find("point"), nullptr);
+        ++n;
+    }
+    EXPECT_EQ(n, static_cast<size_t>(
+                     dump.get_u32("count").value_or(0)));
+    Tracer::global().clear();
+
+    // Journal: enable over XRL, record, dump over XRL, clear over XRL.
+    XrlArgs on;
+    on.add("on", true);
+    EXPECT_EQ(rpc("journal_enable", on).get_bool("enabled"), true);
+    telemetry::Journal::global().record(
+        plexus.loop.now(), telemetry::JournalKind::kFibAdd, "r0", "fea",
+        "10.0.0.0/24", "192.0.2.1:eth0");
+    XrlArgs jd = rpc("journal_dump_json", XrlArgs());
+    EXPECT_EQ(jd.get_u32("count").value_or(0), 1u);
+    auto jline = json::Value::parse(jd.get_text("text").value_or(""));
+    ASSERT_TRUE(jline.has_value());
+    EXPECT_EQ(jline->get_string("kind").value_or(""), "fib_add");
+    XrlArgs off;
+    off.add("on", false);
+    rpc("journal_enable", off);
+    rpc("journal_clear", XrlArgs());
+    EXPECT_EQ(telemetry::Journal::global().event_count(), 0u);
+}
+
+// ---- histogram CDF exposition ------------------------------------------
+
+TEST(Metrics, HistogramCdfIsCumulativeAndExposed) {
+    Registry reg;
+    reg.set_enabled(true);
+    auto* h = reg.histogram("cdf_test_ns");
+    // 3 obs in the [1,1] decade-ish bucket, 2 in a higher one.
+    h->observe(ev::Duration(1));
+    h->observe(ev::Duration(1));
+    h->observe(ev::Duration(1));
+    h->observe(ev::Duration(1000));
+    h->observe(ev::Duration(1000));
+
+    auto cdf = h->cdf();
+    ASSERT_GE(cdf.size(), 2u);
+    // Cumulative counts are non-decreasing and end at the total.
+    uint64_t prev = 0;
+    for (const auto& p : cdf) {
+        EXPECT_GE(p.cum, prev);
+        prev = p.cum;
+    }
+    EXPECT_EQ(cdf.back().cum, 5u);
+    // First occupied bucket holds the three 1ns observations.
+    EXPECT_EQ(cdf.front().cum, 3u);
+    EXPECT_GE(cdf.front().le_ns, 1u);
+
+    // Exposition carries the cumulative buckets, ending at +Inf.
+    std::string text = reg.expose();
+    EXPECT_NE(text.find("cdf_test_ns_bucket{le=\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cdf_test_ns_bucket{le=\"+Inf\"} 5"),
+              std::string::npos)
+        << text;
 }
