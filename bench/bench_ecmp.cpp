@@ -1,0 +1,221 @@
+// ECMP member-kill chaos cell (BENCH_ecmp.json): a 4-wide equal-cost fan
+// of full routers — one ingress, four middles, one egress owning a beacon
+// stub — converges under OSPF until the ingress FIB carries a 4-member
+// NexthopSet for the beacon prefix. A synthetic flow population is then
+// placed through the sim FIB's rendezvous hash, one middle router is
+// killed, and after reconvergence the same flows are placed again.
+//
+// The stickiness contract under test (weighted rendezvous hashing):
+//   - every flow that sat on the dead member moves, and nothing else —
+//     zero flinch for flows on surviving members;
+//   - the dead member's share is ~1/width of the population;
+//   - reviving the member restores the original placement exactly.
+// The process exits non-zero if any of those fail, so the CI smoke run
+// doubles as the chaos assertion; the numbers land in the xrp-bench-v1
+// envelope for the trajectory.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+#include "sim/analyzer.hpp"
+#include "sim/topogen.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace xrp;
+using namespace std::chrono_literals;
+using sim::ScenarioFleet;
+using sim::TopoSpec;
+using telemetry::Journal;
+
+namespace {
+
+// Ingress 0, middles 1..width, egress width+1 with the beacon stub: every
+// ingress->egress path costs 2, so SPF at the ingress builds one
+// width-member successor set.
+TopoSpec make_fan(size_t width) {
+    TopoSpec s;
+    s.family = "ecmpfan";
+    s.nodes = width + 2;
+    for (size_t m = 1; m <= width; ++m) {
+        s.links.push_back({0, m, 1});
+        s.links.push_back({m, width + 1, 1});
+    }
+    s.stub_owners.push_back(width + 1);
+    return s;
+}
+
+double ms(ev::Duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    (void)argc;
+    (void)argv;  // accepts (and ignores) --benchmark_* smoke flags
+    telemetry::set_enabled(false);
+
+    const size_t width = 4;
+    const size_t flow_count = 2048;
+
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    fea::VirtualNetwork network(1ms);
+    Journal::global().set_enabled(false);
+    Journal::global().set_capacity(1 << 16);
+    Journal::global().clear();
+
+    ScenarioFleet fleet(make_fan(width), loop, network);
+    const net::IPv4 beacon = fleet.beacons()[0].dst;
+    const net::IPv4Net beacon_net(beacon, 24);
+
+    auto ingress_entry = [&]() -> const fea::FibEntry* {
+        return fleet.router(0).fea().fib().lookup(beacon);
+    };
+    auto member_count = [&] {
+        const fea::FibEntry* e = ingress_entry();
+        if (e == nullptr) return size_t{0};
+        return e->is_multipath() ? e->nexthops.size() : size_t{1};
+    };
+
+    if (!loop.run_until([&] { return member_count() == width; }, 600s)) {
+        std::fprintf(stderr, "ecmp fan never converged to %zu members\n",
+                     width);
+        return 1;
+    }
+    loop.run_for(30s);  // settle
+
+    // Place the flow population: distinct synthetic 5-tuples toward the
+    // beacon, through the same rendezvous pick the data plane uses.
+    auto place = [&](std::vector<net::IPv4>& out) {
+        out.clear();
+        out.reserve(flow_count);
+        for (size_t f = 0; f < flow_count; ++f) {
+            uint64_t key = net::flow_key(
+                net::IPv4(0xac100000u + static_cast<uint32_t>(f)), beacon,
+                static_cast<uint16_t>(1024 + f), 80);
+            auto hop = fleet.router(0).fea().fib().lookup_flow(beacon, key);
+            out.push_back(hop ? hop->nexthop : net::IPv4());
+        }
+    };
+    std::vector<net::IPv4> before;
+    place(before);
+
+    // Victim: the member the first flow rides, so the kill provably moves
+    // observed traffic. Map its interface address back to the router.
+    const net::IPv4 dead_member = before[0];
+    size_t victim = fleet.topo().addr_owner.at(dead_member);
+    size_t on_dead = 0;
+    for (const net::IPv4& m : before)
+        if (m == dead_member) ++on_dead;
+
+    Journal::global().set_enabled(true);
+    const ev::TimePoint t_kill = loop.now();
+    fleet.set_node_up(victim, false);
+    if (!loop.run_until(
+            [&] {
+                const fea::FibEntry* e = ingress_entry();
+                return e != nullptr && !e->nexthops.contains(dead_member) &&
+                       member_count() == width - 1;
+            },
+            600s)) {
+        std::fprintf(stderr, "ingress never dropped the dead member\n");
+        return 1;
+    }
+    const double reconverge_ms = ms(loop.now() - t_kill);
+    loop.run_for(30s);
+    Journal::global().set_enabled(false);
+
+    std::vector<net::IPv4> after;
+    place(after);
+    size_t moved = 0, survivor_moves = 0;
+    for (size_t f = 0; f < flow_count; ++f) {
+        if (after[f] == before[f]) continue;
+        ++moved;
+        if (before[f] != dead_member) ++survivor_moves;
+    }
+
+    // FIB churn for the beacon prefix at the ingress during the kill.
+    uint64_t fib_adds = 0, fib_deletes = 0;
+    for (const auto& e : Journal::global().events()) {
+        if (e.node != "r0" || e.subject != beacon_net.str()) continue;
+        if (e.kind == telemetry::JournalKind::kFibAdd) ++fib_adds;
+        if (e.kind == telemetry::JournalKind::kFibDelete) ++fib_deletes;
+    }
+
+    // Revive: rendezvous scores are per-member, so the restored member
+    // wins back exactly its old flows and no others.
+    fleet.set_node_up(victim, true);
+    loop.run_until([&] { return member_count() == width; }, 600s);
+    loop.run_for(30s);
+    std::vector<net::IPv4> restored;
+    place(restored);
+    size_t restore_diffs = 0;
+    for (size_t f = 0; f < flow_count; ++f)
+        if (restored[f] != before[f]) ++restore_diffs;
+
+    const double moved_pct = 100.0 * static_cast<double>(moved) /
+                             static_cast<double>(flow_count);
+    const double expected_pct = 100.0 / static_cast<double>(width);
+
+    bench::Report report("ecmp");
+    report.set_meta("width", json::Value(static_cast<int64_t>(width)));
+    report.set_meta("flows", json::Value(static_cast<int64_t>(flow_count)));
+    json::Value& row = report.add_row();
+    row.set("members_before", json::Value(static_cast<int64_t>(width)));
+    row.set("members_after_kill",
+            json::Value(static_cast<int64_t>(width - 1)));
+    row.set("flows_on_dead_member",
+            json::Value(static_cast<int64_t>(on_dead)));
+    row.set("flows_moved", json::Value(static_cast<int64_t>(moved)));
+    row.set("survivor_moves",
+            json::Value(static_cast<int64_t>(survivor_moves)));
+    row.set("moved_pct", json::Value(moved_pct));
+    row.set("expected_pct", json::Value(expected_pct));
+    row.set("restore_diffs",
+            json::Value(static_cast<int64_t>(restore_diffs)));
+    row.set("beacon_fib_adds", json::Value(fib_adds));
+    row.set("beacon_fib_deletes", json::Value(fib_deletes));
+    row.set("reconverge_ms", json::Value(reconverge_ms));
+    report.write();
+
+    std::printf("# ECMP member-kill: %zu flows over %zu members\n",
+                flow_count, width);
+    std::printf("%-24s %10s\n", "metric", "value");
+    std::printf("%-24s %10zu\n", "flows_on_dead_member", on_dead);
+    std::printf("%-24s %10zu\n", "flows_moved", moved);
+    std::printf("%-24s %10zu\n", "survivor_moves", survivor_moves);
+    std::printf("%-24s %9.1f%%\n", "moved_pct", moved_pct);
+    std::printf("%-24s %10zu\n", "restore_diffs", restore_diffs);
+    std::printf("%-24s %10.1f\n", "reconverge_ms", reconverge_ms);
+
+    // The chaos assertions: only the dead member's share moved, the share
+    // is within a consistent-hash tolerance of 1/width, and revival
+    // restored the original placement bit-for-bit.
+    bool ok = true;
+    if (survivor_moves != 0) {
+        std::fprintf(stderr, "FAIL: %zu surviving flows moved\n",
+                     survivor_moves);
+        ok = false;
+    }
+    if (moved != on_dead) {
+        std::fprintf(stderr, "FAIL: moved %zu != dead share %zu\n", moved,
+                     on_dead);
+        ok = false;
+    }
+    if (moved_pct < expected_pct / 2.0 || moved_pct > expected_pct * 2.0) {
+        std::fprintf(stderr, "FAIL: moved share %.1f%% far from %.1f%%\n",
+                     moved_pct, expected_pct);
+        ok = false;
+    }
+    if (restore_diffs != 0) {
+        std::fprintf(stderr, "FAIL: %zu flows failed to restore\n",
+                     restore_diffs);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

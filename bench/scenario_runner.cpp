@@ -9,6 +9,8 @@
 //
 // Flags: --quick (smaller fleets), --smoke (single fixed-seed small-grid
 // cell — the CI gate), --family=NAME / --schedule=NAME filters.
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -120,10 +122,21 @@ struct CellResult {
     uint64_t net_msgs = 0;
     uint64_t net_bytes = 0;
     double virtual_s = 0;
+    // Host-resource cost of the cell: CPU time burned running it and the
+    // process high-water RSS when it finished.
+    double cpu_ms = 0;
+    int64_t max_rss_kb = 0;
 };
+
+double cpu_ms_of(const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) * 1000.0 +
+           static_cast<double>(tv.tv_usec) / 1000.0;
+}
 
 CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     CellResult res;
+    struct rusage ru0;
+    getrusage(RUSAGE_SELF, &ru0);
     ev::VirtualClock clock;
     ev::EventLoop loop(clock);
     fea::VirtualNetwork network(1ms);
@@ -205,6 +218,56 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
                                                     (16u << 16) | (i << 8)),
                                           24));
         loop.run_for(60s);
+    } else if (schedule == "supervisor_kill") {
+        // No physical fault at all: one busy router's OSPF component dies
+        // (fault/1.0 kill plan on its channels). The oracle records
+        // nothing, so any blackhole window is charged squarely to the
+        // router software; supervision plus stale-route preservation
+        // should keep forwarding intact through death and restart.
+        size_t victim = busiest_node(spec);
+        loop.run_for(5s);
+        t_fault = loop.now();
+        auto& r = fleet.router(victim);
+        ipc::FaultInjector::Plan kill;
+        kill.kill_channel = true;
+        r.plexus().faults.set_target_plan("ospf", kill);
+        loop.run_until(
+            [&] {
+                return r.supervisor().state("ospf") !=
+                       rtrmgr::Supervisor::State::kAlive;
+            },
+            120s);
+        r.plexus().faults.clear_scope("target:ospf");
+        loop.run_until(
+            [&] {
+                return r.supervisor().state("ospf") ==
+                       rtrmgr::Supervisor::State::kAlive;
+            },
+            300s);
+        loop.run_for(120s);
+    } else if (schedule == "xrl_chaos") {
+        // Control-plane degradation, not failure: every router's XRL
+        // transport drops 10% and delays 30% of calls (the same fault/1.0
+        // plan API operators drive) while a busy link flaps. The reliable
+        // call contract has to absorb the faults; the analyzer charges
+        // whatever it can't.
+        ipc::FaultInjector::Plan p;
+        p.drop_permille = 100;
+        p.delay_permille = 300;
+        p.delay_min = 5ms;
+        p.delay_max = 50ms;
+        for (size_t n = 0; n < fleet.size(); ++n)
+            fleet.router(n).plexus().faults.set_default_plan(p);
+        size_t l = busiest_link(spec);
+        loop.run_for(5s);
+        t_fault = loop.now();
+        fleet.set_link_up(l, false);
+        loop.run_for(60s);
+        fleet.set_link_up(l, true);
+        loop.run_for(60s);
+        for (size_t n = 0; n < fleet.size(); ++n)
+            fleet.router(n).plexus().faults.clear_scope("default");
+        loop.run_for(120s);
     } else {
         std::fprintf(stderr, "unknown schedule %s\n", schedule.c_str());
         return res;
@@ -241,12 +304,15 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
                     for (int hop = 0; hop < 10; ++hop) {
                         const net::IPv4Net* best = nullptr;
                         net::IPv4 nh{};
-                        for (const auto& [net, nexthop] : live[n]) {
+                        for (const auto& [net, nexthops] : live[n]) {
                             if (!net.contains(b.dst)) continue;
                             if (best == nullptr ||
                                 net.prefix_len() > best->prefix_len()) {
                                 best = &net;
-                                nh = nexthop;
+                                nh = nexthops.empty()
+                                         ? net::IPv4{}
+                                         : nexthops.pick(net::flow_key(
+                                               net::IPv4{}, b.dst));
                             }
                         }
                         if (best == nullptr) {
@@ -293,6 +359,11 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     res.net_msgs = network.delivered_count() - msgs0;
     res.net_bytes = network.delivered_bytes() - bytes0;
     res.virtual_s = std::chrono::duration<double>(t_end - t0).count();
+    struct rusage ru1;
+    getrusage(RUSAGE_SELF, &ru1);
+    res.cpu_ms = cpu_ms_of(ru1.ru_utime) + cpu_ms_of(ru1.ru_stime) -
+                 cpu_ms_of(ru0.ru_utime) - cpu_ms_of(ru0.ru_stime);
+    res.max_rss_kb = ru1.ru_maxrss;
     return res;
 }
 
@@ -330,7 +401,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> schedules =
         smoke ? std::vector<std::string>{"link_flap"}
               : std::vector<std::string>{"link_flap", "node_kill",
-                                         "metric_noise", "churn_burst"};
+                                         "metric_noise", "churn_burst",
+                                         "supervisor_kill", "xrl_chaos"};
 
     bench::Report report("scenarios");
     report.set_meta("quick", json::Value(quick));
@@ -338,9 +410,10 @@ int main(int argc, char** argv) {
 
     std::printf("# Scenario observatory: convergence / blackhole / loop "
                 "windows per (family x schedule)\n");
-    std::printf("%-10s %-14s %8s %7s %6s %12s %12s %10s %10s\n", "family",
-                "schedule", "routers", "links", "conv", "converge_ms",
-                "blackhole_ms", "loop_ms", "msgs");
+    std::printf("%-10s %-15s %8s %7s %6s %12s %12s %10s %10s %9s %9s\n",
+                "family", "schedule", "routers", "links", "conv",
+                "converge_ms", "blackhole_ms", "loop_ms", "msgs", "cpu_ms",
+                "rss_kb");
     int failures = 0;
     for (const TopoSpec& spec : families) {
         if (!only_family.empty() && spec.family != only_family) continue;
@@ -352,12 +425,13 @@ int main(int argc, char** argv) {
                 ++failures;
                 continue;
             }
-            std::printf("%-10s %-14s %8zu %7zu %6s %12.1f %12.1f %10.1f "
-                        "%10llu\n",
+            std::printf("%-10s %-15s %8zu %7zu %6s %12.1f %12.1f %10.1f "
+                        "%10llu %9.1f %9lld\n",
                         spec.family.c_str(), schedule.c_str(), spec.nodes,
                         spec.links.size(), r.converged ? "yes" : "NO",
                         r.convergence_ms, r.blackhole_ms, r.loop_ms,
-                        static_cast<unsigned long long>(r.net_msgs));
+                        static_cast<unsigned long long>(r.net_msgs),
+                        r.cpu_ms, static_cast<long long>(r.max_rss_kb));
             std::fflush(stdout);
             if (!r.converged) ++failures;
             json::Value& row = report.add_row();
@@ -382,6 +456,8 @@ int main(int argc, char** argv) {
             row.set("net_msgs", json::Value(r.net_msgs));
             row.set("net_bytes", json::Value(r.net_bytes));
             row.set("virtual_s", json::Value(r.virtual_s));
+            row.set("cpu_ms", json::Value(r.cpu_ms));
+            row.set("max_rss_kb", json::Value(r.max_rss_kb));
         }
     }
     if (report.row_count() == 0) {

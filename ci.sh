@@ -64,6 +64,13 @@ for b in build/bench/bench_*; do
 done
 echo "-- build/bench/scenario_runner --smoke"
 XRP_BENCH_DIR="$BENCH_OUT" build/bench/scenario_runner --smoke >/dev/null
+# The ECMP member-kill chaos cell is a hard gate, not just a smoke run:
+# the binary exits non-zero unless killing one member of the 4-way group
+# moves exactly that member's flow share (zero survivor flinch) and
+# reviving it restores the original placement bit-for-bit.
+echo "-- build/bench/bench_ecmp (ECMP member-kill chaos cell)"
+XRP_BENCH_DIR="$BENCH_OUT" build/bench/bench_ecmp >/dev/null
+build/bench/validate_bench "$BENCH_OUT"/BENCH_ecmp.json
 build/bench/validate_bench "$BENCH_OUT"/BENCH_*.json
 
 echo "CI OK"

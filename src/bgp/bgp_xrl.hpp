@@ -37,16 +37,29 @@ public:
     }
 
     void add_route(const BgpRoute& r) override {
+        uint32_t metric = r.igp_metric == stage::kUnresolvedMetric
+                              ? uint32_t{0}
+                              : r.igp_metric;
+        if (prof_sent_.enabled()) prof_sent_.record("add " + r.net.str());
+        // Route pushes are idempotent: mark them so the call contract may
+        // retry through drops without risking double-execution harm.
+        if (r.is_multipath()) {
+            xrl::XrlArgs args;
+            args.add("protocol", r.protocol)
+                .add("net", r.net)
+                .add("nexthops", r.nexthops.str())
+                .add("metric", metric);
+            router_.call_oneway(
+                xrl::Xrl::generic(target_, "rib", "1.0",
+                                  "add_route_multipath", args),
+                ipc::CallOptions::reliable());
+            return;
+        }
         xrl::XrlArgs args;
         args.add("protocol", r.protocol)
             .add("net", r.net)
             .add("nexthop", r.nexthop)
-            .add("metric", r.igp_metric == stage::kUnresolvedMetric
-                               ? uint32_t{0}
-                               : r.igp_metric);
-        if (prof_sent_.enabled()) prof_sent_.record("add " + r.net.str());
-        // Route pushes are idempotent: mark them so the call contract may
-        // retry through drops without risking double-execution harm.
+            .add("metric", metric);
         router_.call_oneway(
             xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args),
             ipc::CallOptions::reliable());

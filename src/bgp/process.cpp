@@ -72,6 +72,7 @@ BgpProcess::BgpProcess(ev::EventLoop& loop, Config config,
     if (!rib_) rib_ = std::make_unique<NullRibHandle>();
 
     decision_ = std::make_unique<DecisionStage>("decision");
+    if (config_.multipath) decision_->set_multipath(config_.max_paths);
     fanout_ = std::make_unique<stage::FanoutStage<IPv4>>("fanout");
     decision_->set_downstream(fanout_.get());
     fanout_->set_upstream(decision_.get());

@@ -72,6 +72,10 @@ public:
         DampingConfig damping;
         // Routes per background-task slice for table dumps and deletions.
         size_t routes_per_slice = 100;
+        // Config leaf "multipath": merge equal-ranked paths (through step
+        // 6 of the ranking) into one NexthopSet, up to max_paths members.
+        bool multipath = false;
+        size_t max_paths = 4;
     };
 
     BgpProcess(ev::EventLoop& loop, Config config,

@@ -2,29 +2,29 @@
 
 namespace xrp::bgp {
 
-bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b) {
+int bgp_route_compare_rank(const BgpRoute& a, const BgpRoute& b) {
     const PathAttributes* pa = route_attrs(a);
     const PathAttributes* pb = route_attrs(b);
 
     // Eligibility: a resolved nexthop always beats an unresolved one.
     bool ra = a.igp_metric != stage::kUnresolvedMetric;
     bool rb = b.igp_metric != stage::kUnresolvedMetric;
-    if (ra != rb) return ra;
+    if (ra != rb) return ra ? 1 : -1;
 
     // 1. Highest LOCAL_PREF (default 100).
     uint32_t lpa = pa != nullptr && pa->local_pref ? *pa->local_pref : 100;
     uint32_t lpb = pb != nullptr && pb->local_pref ? *pb->local_pref : 100;
-    if (lpa != lpb) return lpa > lpb;
+    if (lpa != lpb) return lpa > lpb ? 1 : -1;
 
     // 2. Shortest AS path.
     uint32_t la = pa != nullptr ? pa->as_path.path_length() : 0;
     uint32_t lb = pb != nullptr ? pb->as_path.path_length() : 0;
-    if (la != lb) return la < lb;
+    if (la != lb) return la < lb ? 1 : -1;
 
     // 3. Lowest origin (IGP < EGP < INCOMPLETE).
     uint8_t oa = pa != nullptr ? static_cast<uint8_t>(pa->origin) : 2;
     uint8_t ob = pb != nullptr ? static_cast<uint8_t>(pb->origin) : 2;
-    if (oa != ob) return oa < ob;
+    if (oa != ob) return oa < ob ? 1 : -1;
 
     // 4. Lowest MED, comparable only when learned from the same
     // neighbouring AS (RFC 4271 §9.1.2.2 c).
@@ -34,18 +34,24 @@ bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b) {
         if (na && nb && *na == *nb) {
             uint32_t ma = pa->med.value_or(0);
             uint32_t mb = pb->med.value_or(0);
-            if (ma != mb) return ma < mb;
+            if (ma != mb) return ma < mb ? 1 : -1;
         }
     }
 
     // 5. EBGP-learned over IBGP-learned.
     bool ea = a.protocol == "ebgp";
     bool eb = b.protocol == "ebgp";
-    if (ea != eb) return ea;
+    if (ea != eb) return ea ? 1 : -1;
 
     // 6. Lowest IGP metric to the nexthop — hot-potato routing (§3).
-    if (a.igp_metric != b.igp_metric) return a.igp_metric < b.igp_metric;
+    if (a.igp_metric != b.igp_metric) return a.igp_metric < b.igp_metric ? 1 : -1;
 
+    return 0;
+}
+
+bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b) {
+    int rank = bgp_route_compare_rank(a, b);
+    if (rank != 0) return rank > 0;
     // 7. Lowest originating router id (carried in source_id), then
     // nexthop as a final deterministic tie-break.
     if (a.source_id != b.source_id) return a.source_id < b.source_id;

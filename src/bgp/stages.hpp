@@ -4,6 +4,7 @@
 #ifndef XRP_BGP_STAGES_HPP
 #define XRP_BGP_STAGES_HPP
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <vector>
@@ -20,11 +21,15 @@ inline const PathAttributes* route_attrs(const BgpRoute& r) {
     return static_cast<const PathAttributes*>(r.attrs.get());
 }
 
-// The full RFC 4271 §9.1.2.2 ranking, in order: LOCAL_PREF (higher wins),
-// AS path length, origin, MED (comparable only between routes from the
-// same neighbour AS), EBGP-over-IBGP, IGP metric to nexthop (hot potato,
-// §3), then router id / peer address as deterministic tie-breaks.
-// Returns true when `a` is preferred.
+// The RFC 4271 §9.1.2.2 ranking through step 6 — LOCAL_PREF (higher
+// wins), AS path length, origin, MED (comparable only between routes from
+// the same neighbour AS), EBGP-over-IBGP, IGP metric to nexthop (hot
+// potato, §3). Returns >0 when `a` ranks better, <0 when `b` does, 0 when
+// the two are equal-ranked — the multipath merge condition.
+int bgp_route_compare_rank(const BgpRoute& a, const BgpRoute& b);
+
+// The full ranking: compare_rank, then router id / peer address as
+// deterministic tie-breaks. Returns true when `a` is preferred.
 bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b);
 
 // ---- Decision Process (§5.1.1) -----------------------------------------
@@ -36,9 +41,22 @@ bool bgp_route_preferred(const BgpRoute& a, const BgpRoute& b);
 // — alternatives are found by calling lookup_route *upstream through each
 // parent pipeline*, which works because origins hold original routes and
 // every intermediate stage answers lookups consistently (§5.1's rules).
+//
+// With set_multipath(k>1) the stage additionally merges every candidate
+// that ranks equal to the best through step 6 (bgp_route_compare_rank ==
+// 0) into one route whose NexthopSet carries up to k members. The merged
+// route matches no single parent's stored route, so multipath mode keeps
+// a forwarded trie and recomputes the merge per event, diffing against
+// what it last emitted.
 class DecisionStage : public stage::RouteStage<net::IPv4> {
 public:
     explicit DecisionStage(std::string name) : name_(std::move(name)) {}
+
+    // k <= 1 (the default) keeps the stateless single-best behaviour.
+    void set_multipath(size_t max_paths) {
+        max_paths_ = max_paths == 0 ? 1 : max_paths;
+    }
+    size_t max_paths() const { return max_paths_; }
 
     void add_parent(RouteStage* parent) {
         parents_.push_back(parent);
@@ -49,6 +67,10 @@ public:
     }
 
     void add_route(const BgpRoute& route, RouteStage* caller) override {
+        if (max_paths_ > 1) {
+            recompute(route.net);
+            return;
+        }
         auto other = best_other(route.net, caller);
         if (other && bgp_route_preferred(*other, route)) return;
         if (other) {
@@ -61,6 +83,10 @@ public:
     }
 
     void delete_route(const BgpRoute& route, RouteStage* caller) override {
+        if (max_paths_ > 1) {
+            recompute(route.net);
+            return;
+        }
         auto other = best_other(route.net, caller);
         if (other && bgp_route_preferred(*other, route))
             return;  // the deleted route had lost; downstream never saw it
@@ -69,12 +95,59 @@ public:
     }
 
     std::optional<BgpRoute> lookup_route(const Net& net) const override {
+        if (max_paths_ > 1) {
+            const BgpRoute* f = forwarded_.find(net);
+            return f != nullptr ? std::optional<BgpRoute>(*f) : std::nullopt;
+        }
         return best_other(net, nullptr);
     }
 
     std::string name() const override { return name_; }
 
 private:
+    // Multipath path: parents' lookup_route already reflects the event
+    // that triggered us (stages update their own state before forwarding),
+    // so the merge is recomputed from scratch and diffed against what we
+    // last sent downstream.
+    void recompute(const Net& net) {
+        std::vector<BgpRoute> cands;
+        for (RouteStage* p : parents_) {
+            auto r = p->lookup_route(net);
+            if (r) cands.push_back(std::move(*r));
+        }
+        const BgpRoute* prev = forwarded_.find(net);
+        if (cands.empty()) {
+            if (prev != nullptr) {
+                BgpRoute old = *prev;
+                forwarded_.erase(net);
+                this->forward_delete(old);
+            }
+            return;
+        }
+        BgpRoute merged = *std::min_element(
+            cands.begin(), cands.end(),
+            [](const BgpRoute& a, const BgpRoute& b) {
+                return bgp_route_preferred(a, b);
+            });
+        if (merged.igp_metric != stage::kUnresolvedMetric) {
+            net::NexthopSet4 set;
+            for (const BgpRoute& c : cands)
+                if (bgp_route_compare_rank(c, merged) == 0)
+                    set.insert(c.nexthop);
+            set.clamp(max_paths_);
+            merged.set_nexthops(set);
+        }
+        if (prev != nullptr) {
+            if (*prev == merged) return;
+            BgpRoute old = *prev;
+            if (old.nexthop != merged.nexthop) best_flips()->inc();
+            forwarded_.erase(net);
+            this->forward_delete(old);
+        }
+        forwarded_.insert(net, merged);
+        this->forward_add(merged);
+    }
+
     std::optional<BgpRoute> best_other(const Net& net,
                                        RouteStage* excluded) const {
         std::optional<BgpRoute> best;
@@ -97,6 +170,8 @@ private:
 
     std::string name_;
     std::vector<RouteStage*> parents_;
+    size_t max_paths_ = 1;
+    net::RouteTrie<net::IPv4, BgpRoute> forwarded_;  // multipath mode only
     mutable telemetry::Counter* flips_ = nullptr;
 };
 

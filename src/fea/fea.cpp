@@ -19,6 +19,40 @@ void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
     if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
 }
 
+void Fea::add_route(const net::IPv4Net& net,
+                    const net::NexthopSet4& nexthops) {
+    if (nexthops.size() <= 1) {
+        add_route(net,
+                  nexthops.empty() ? net::IPv4() : nexthops.primary());
+        return;
+    }
+    if (prof_in_.enabled()) prof_in_.record("add " + net.str());
+    FibEntry e;
+    e.net = net;
+    e.nexthops = nexthops;
+    // Per-member egress resolution; journal detail is "addr[@w]:ifname"
+    // per member, '|'-joined — the single-member form is byte-identical
+    // to the legacy scalar detail, and the analyzer rebuilds the set from
+    // the member tokens.
+    std::string detail;
+    for (const auto& m : nexthops.members()) {
+        const Interface* itf = interfaces_.find_by_subnet(m.addr);
+        e.ifnames.push_back(itf != nullptr ? itf->name : std::string());
+        if (!detail.empty()) detail += '|';
+        detail += m.addr.str();
+        if (m.weight != 1) detail += '@' + std::to_string(m.weight);
+        detail += ':' + e.ifnames.back();
+    }
+    e.nexthop = nexthops.primary();
+    e.ifname = e.ifnames.front();
+    fib_.add_route(e);
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
+            net.str(), detail);
+    if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
+}
+
 bool Fea::delete_route(const net::IPv4Net& net) {
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);

@@ -43,6 +43,10 @@ public:
     // whose nexthop matches no interface is installed interface-less
     // (recursive routes — the RIB has already resolved reachability).
     void add_route(const net::IPv4Net& net, net::IPv4 nexthop);
+    // Multipath install: each member's egress resolves independently and
+    // flows are spread across members by lookup_flow(). A 0/1-member set
+    // degrades to the scalar install above.
+    void add_route(const net::IPv4Net& net, const net::NexthopSet4& nexthops);
     bool delete_route(const net::IPv4Net& net);
     const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
 

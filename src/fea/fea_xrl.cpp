@@ -15,6 +15,14 @@ void bind_fea_xrl(Fea& fea, ipc::XrlRouter& router) {
             return XrlError::okay();
         });
     router.add_handler(
+        "fea/1.0/add_route4_multipath", [&fea](const XrlArgs& in, XrlArgs&) {
+            auto set = net::NexthopSet4::parse(*in.get_text("nexthops"));
+            if (!set || set->empty())
+                return XrlError::command_failed("bad nexthops");
+            fea.add_route(*in.get_ipv4net("net"), *set);
+            return XrlError::okay();
+        });
+    router.add_handler(
         "fea/1.0/delete_route4", [&fea](const XrlArgs& in, XrlArgs&) {
             if (!fea.delete_route(*in.get_ipv4net("net")))
                 return XrlError::command_failed("no such route");

@@ -12,6 +12,7 @@ namespace xrp::fea {
 inline constexpr const char* kFeaIdl = R"(
 interface fea/1.0 {
     add_route4 ? net:ipv4net & nexthop:ipv4;
+    add_route4_multipath ? net:ipv4net & nexthops:txt;
     delete_route4 ? net:ipv4net;
     lookup_route4 ? addr:ipv4 -> found:bool & net:ipv4net & nexthop:ipv4;
     get_fib_size -> count:u32;

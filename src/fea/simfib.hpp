@@ -14,16 +14,27 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "net/nexthop_set.hpp"
 #include "net/trie.hpp"
 
 namespace xrp::fea {
 
 struct FibEntry {
     net::IPv4Net net;
+    // Primary member and its egress — the whole story for single-path
+    // entries, and the canonical (lowest-address) member for multipath.
     net::IPv4 nexthop;
     std::string ifname;
+    // ECMP members and their egress interfaces, index-aligned with
+    // nexthops.members(). A set of size <= 1 means single-path: flows
+    // follow the scalar fields and no hashing happens.
+    net::NexthopSet4 nexthops;
+    std::vector<std::string> ifnames;
     bool operator==(const FibEntry&) const = default;
+
+    bool is_multipath() const { return nexthops.size() > 1; }
 };
 
 class SimForwardingPlane {
@@ -51,6 +62,30 @@ public:
     const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
     const FibEntry* find_exact(const net::IPv4Net& net) const {
         return fib_.find(net);
+    }
+
+    // Flow-aware lookup: LPM, then weighted-rendezvous placement of the
+    // flow across the entry's ECMP members. Deterministic per (table,
+    // flow): the same key always lands on the same member until that
+    // member itself leaves the set — the stickiness contract bench_ecmp
+    // measures. Single-path entries skip hashing entirely.
+    struct HopChoice {
+        net::IPv4 nexthop;
+        std::string ifname;
+    };
+    std::optional<HopChoice> lookup_flow(net::IPv4 addr,
+                                         uint64_t flow_key) const {
+        const FibEntry* e = fib_.lookup(addr);
+        if (e == nullptr) return std::nullopt;
+        if (!e->is_multipath()) return HopChoice{e->nexthop, e->ifname};
+        net::IPv4 member = e->nexthops.pick(flow_key);
+        const auto& mem = e->nexthops.members();
+        for (size_t i = 0; i < mem.size(); ++i)
+            if (mem[i].addr == member)
+                return HopChoice{member, i < e->ifnames.size()
+                                             ? e->ifnames[i]
+                                             : std::string()};
+        return HopChoice{e->nexthop, e->ifname};
     }
 
     size_t size() const { return fib_.size(); }

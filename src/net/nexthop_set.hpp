@@ -1,0 +1,235 @@
+// Shared multipath nexthop-set value type.
+//
+// A NexthopSet<A> is an ordered list of (address, weight) members with
+// canonical ordering (ascending by address) so that equality is a cheap
+// memberwise compare and two sets built from the same members in any
+// insertion order are identical. Routes carry these through the staged
+// tables; an *empty* set is the degenerate single-path case (the route's
+// scalar `nexthop` field is authoritative), which keeps every existing
+// single-nexthop code path byte-for-byte unchanged.
+//
+// Flow placement uses weighted rendezvous (highest-random-weight)
+// hashing: each member scores every flow independently, so removing a
+// member remaps exactly that member's flows and adding one steals only
+// the flows the newcomer wins. That is the stickiness guarantee the ECMP
+// chaos scenario asserts: killing one member of a 4-way group moves ~1/4
+// of flows and leaves the other 3/4 pinned. The same pick() runs in the
+// sim FIB and in the convergence analyzer's journal replay, so offline
+// beacon walks agree with the live data path.
+#ifndef XRP_NET_NEXTHOP_SET_HPP
+#define XRP_NET_NEXTHOP_SET_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+
+namespace xrp::net {
+
+namespace detail {
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing for the
+// rendezvous scores. Seeded hashing is not needed — placement only has to
+// be deterministic and uniform, not adversary-resistant.
+inline constexpr uint64_t mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+inline constexpr uint64_t addr_key(IPv4 a) { return a.to_host(); }
+inline constexpr uint64_t addr_key(const IPv6& a) {
+    return mix64(a.hi()) ^ a.lo();
+}
+
+}  // namespace detail
+
+// 64-bit flow identity for hashing; any stable 5-tuple reduction works.
+// Callers with only a destination pass src = A{} — placement is still
+// per-destination sticky, which is what the beacon walks need.
+template <class A>
+constexpr uint64_t flow_key(const A& src, const A& dst, uint16_t sport = 0,
+                            uint16_t dport = 0) {
+    uint64_t k = detail::addr_key(src) * 0x100000001b3ull;
+    k ^= detail::addr_key(dst);
+    k ^= (uint64_t{sport} << 16) | dport;
+    return detail::mix64(k);
+}
+
+template <class A>
+struct Nexthop {
+    A addr{};
+    uint32_t weight = 1;
+
+    friend constexpr auto operator<=>(const Nexthop&, const Nexthop&) = default;
+};
+
+template <class A>
+class NexthopSet {
+public:
+    using Addr = A;
+
+    NexthopSet() = default;
+
+    static NexthopSet single(const A& addr, uint32_t weight = 1) {
+        NexthopSet s;
+        s.insert(addr, weight);
+        return s;
+    }
+
+    // Inserts or updates a member; duplicate addresses keep the larger
+    // weight (a union of equal-cost contributions must be idempotent).
+    void insert(const A& addr, uint32_t weight = 1) {
+        if (weight == 0) weight = 1;
+        auto it = lower_bound(addr);
+        if (it != members_.end() && it->addr == addr) {
+            it->weight = std::max(it->weight, weight);
+            return;
+        }
+        members_.insert(it, Nexthop<A>{addr, weight});
+    }
+
+    void merge(const NexthopSet& o) {
+        for (const auto& m : o.members_) insert(m.addr, m.weight);
+    }
+
+    bool erase(const A& addr) {
+        auto it = lower_bound(addr);
+        if (it == members_.end() || it->addr != addr) return false;
+        members_.erase(it);
+        return true;
+    }
+
+    bool contains(const A& addr) const {
+        auto it = lower_bound(addr);
+        return it != members_.end() && it->addr == addr;
+    }
+
+    bool empty() const { return members_.empty(); }
+    size_t size() const { return members_.size(); }
+    void clear() { members_.clear(); }
+
+    const std::vector<Nexthop<A>>& members() const { return members_; }
+
+    // Lowest-address member; the scalar nexthop a multipath route exposes
+    // to single-path consumers. Callers must check empty() first.
+    const A& primary() const {
+        assert(!members_.empty());
+        return members_.front().addr;
+    }
+
+    // Keeps the first `max_paths` members in canonical order — both SPF
+    // modes clamp identically, so the incremental/full equality guarantee
+    // survives the cap.
+    void clamp(size_t max_paths) {
+        if (max_paths > 0 && members_.size() > max_paths)
+            members_.resize(max_paths);
+    }
+
+    uint64_t total_weight() const {
+        uint64_t t = 0;
+        for (const auto& m : members_) t += m.weight;
+        return t;
+    }
+
+    // Weighted rendezvous hash: every member scores the flow with
+    // -weight / ln(u), u drawn deterministically from (flow, member);
+    // highest score wins. Removing a member leaves every other member's
+    // score untouched, so only the removed member's flows move.
+    const A& pick(uint64_t key) const {
+        assert(!members_.empty());
+        const Nexthop<A>* best = &members_.front();
+        double best_score = -1.0;
+        for (const auto& m : members_) {
+            uint64_t h = detail::mix64(key ^ detail::mix64(detail::addr_key(m.addr)));
+            // u in (0, 1): 53 high bits, forced odd so ln(u) != 0 is
+            // never hit with u == 0.
+            double u = static_cast<double>((h >> 11) | 1u) * 0x1.0p-53;
+            double score = -static_cast<double>(m.weight) / std::log(u);
+            if (score > best_score) {
+                best_score = score;
+                best = &m;
+            }
+        }
+        return best->addr;
+    }
+
+    // Canonical text form: members joined by '|', each "addr" or
+    // "addr@weight" when the weight isn't 1. A single weight-1 member
+    // prints as the bare address — identical to the legacy scalar wire
+    // encoding, so journals and XRLs stay readable and compatible.
+    std::string str() const {
+        std::string out;
+        for (const auto& m : members_) {
+            if (!out.empty()) out += '|';
+            out += m.addr.str();
+            if (m.weight != 1) {
+                out += '@';
+                out += std::to_string(m.weight);
+            }
+        }
+        return out;
+    }
+
+    static std::optional<NexthopSet> parse(std::string_view text) {
+        NexthopSet s;
+        while (!text.empty()) {
+            size_t bar = text.find('|');
+            std::string_view tok =
+                bar == std::string_view::npos ? text : text.substr(0, bar);
+            text = bar == std::string_view::npos ? std::string_view{}
+                                                 : text.substr(bar + 1);
+            uint32_t weight = 1;
+            size_t at = tok.rfind('@');
+            if (at != std::string_view::npos) {
+                uint64_t w = 0;
+                std::string_view ws = tok.substr(at + 1);
+                if (ws.empty()) return std::nullopt;
+                for (char c : ws) {
+                    if (c < '0' || c > '9') return std::nullopt;
+                    w = w * 10 + static_cast<uint64_t>(c - '0');
+                    if (w > 0xffffffffull) return std::nullopt;
+                }
+                weight = static_cast<uint32_t>(w);
+                tok = tok.substr(0, at);
+            }
+            auto addr = A::parse(tok);
+            if (!addr) return std::nullopt;
+            s.insert(*addr, weight);
+        }
+        return s;
+    }
+
+    friend constexpr auto operator<=>(const NexthopSet&, const NexthopSet&) =
+        default;
+
+private:
+    typename std::vector<Nexthop<A>>::iterator lower_bound(const A& addr) {
+        return std::lower_bound(
+            members_.begin(), members_.end(), addr,
+            [](const Nexthop<A>& m, const A& a) { return m.addr < a; });
+    }
+    typename std::vector<Nexthop<A>>::const_iterator lower_bound(
+        const A& addr) const {
+        return std::lower_bound(
+            members_.begin(), members_.end(), addr,
+            [](const Nexthop<A>& m, const A& a) { return m.addr < a; });
+    }
+
+    std::vector<Nexthop<A>> members_;
+};
+
+using NexthopSet4 = NexthopSet<IPv4>;
+using NexthopSet6 = NexthopSet<IPv6>;
+
+}  // namespace xrp::net
+
+#endif

@@ -654,6 +654,7 @@ void OspfProcess::run_spf() {
     std::vector<LsaKey> changed = std::move(pending_spf_);
     pending_spf_.clear();
     engine_.set_root(router_id_);
+    engine_.set_max_paths(config_.max_paths);
     uint64_t full_before = engine_.stats().full_runs;
     // Wall-clock timing: the latency histogram must be meaningful even on
     // a virtual event-loop clock.
@@ -688,9 +689,17 @@ void OspfProcess::run_spf() {
         // OriginStage add is replace-on-duplicate, so metric/nexthop
         // changes are a single add_route.
         if (it == installed_.end() || !(it->second == r))
-            rib_->add_route(net, r.nexthop, r.cost);
+            rib_->add_route(net, r.nexthops, r.cost);
     }
     installed_ = std::move(next);
+}
+
+void OspfProcess::set_max_paths(uint32_t k) {
+    k = k == 0 ? 1 : k;
+    if (config_.max_paths == k) return;
+    config_.max_paths = k;
+    engine_.set_max_paths(k);  // invalidates: next run is full
+    schedule_spf(LsaKey{});
 }
 
 }  // namespace xrp::ospf

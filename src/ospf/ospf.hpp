@@ -30,12 +30,19 @@
 
 namespace xrp::ospf {
 
-// Coupling to the RIB (abstract for standalone tests).
+// Coupling to the RIB (abstract for standalone tests). SPF pushes full
+// ECMP successor sets; the set overload defaults to forwarding the
+// primary member so scalar-only clients keep working unchanged.
 class RibClient {
 public:
     virtual ~RibClient() = default;
     virtual void add_route(const net::IPv4Net& net, net::IPv4 nexthop,
                            uint32_t metric) = 0;
+    virtual void add_route(const net::IPv4Net& net,
+                           const net::NexthopSet4& nexthops, uint32_t metric) {
+        add_route(net, nexthops.empty() ? net::IPv4() : nexthops.primary(),
+                  metric);
+    }
     virtual void delete_route(const net::IPv4Net& net) = 0;
 };
 
@@ -51,6 +58,10 @@ public:
     void add_route(const net::IPv4Net& net, net::IPv4 nexthop,
                    uint32_t metric) override {
         rib_.add_route("ospf", net, nexthop, metric);
+    }
+    void add_route(const net::IPv4Net& net, const net::NexthopSet4& nexthops,
+                   uint32_t metric) override {
+        rib_.add_route("ospf", net, nexthops, metric);
     }
     void delete_route(const net::IPv4Net& net) override {
         rib_.delete_route("ospf", net);
@@ -84,6 +95,9 @@ public:
         ev::Duration lsa_refresh = std::chrono::minutes(30);
         ev::Duration age_scan_interval = std::chrono::seconds(30);
         uint16_t max_age_secs = 3600;
+        // ECMP width: equal-cost successor sets are clamped to this many
+        // members; 1 disables multipath. Config leaf "max-paths".
+        uint32_t max_paths = 8;
     };
 
     OspfProcess(ev::EventLoop& loop, fea::Fea& fea, Config config,
@@ -104,6 +118,9 @@ public:
     bool enable_interface(const std::string& ifname, uint32_t cost = 1);
     void disable_interface(const std::string& ifname);
     bool set_interface_cost(const std::string& ifname, uint32_t cost);
+    // Changes the ECMP width at runtime; successor sets are re-derived by
+    // a scheduled full SPF.
+    void set_max_paths(uint32_t k);
 
     net::IPv4 router_id() const { return router_id_; }
     const Config& config() const { return config_; }

@@ -45,6 +45,25 @@ public:
             ipc::CallOptions::reliable());
     }
 
+    void add_route(const net::IPv4Net& net, const net::NexthopSet4& nexthops,
+                   uint32_t metric) override {
+        if (nexthops.size() <= 1) {
+            add_route(net,
+                      nexthops.empty() ? net::IPv4() : nexthops.primary(),
+                      metric);
+            return;
+        }
+        xrl::XrlArgs args;
+        args.add("protocol", std::string("ospf"))
+            .add("net", net)
+            .add("nexthops", nexthops.str())
+            .add("metric", metric);
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route_multipath",
+                              args),
+            ipc::CallOptions::reliable());
+    }
+
     void delete_route(const net::IPv4Net& net) override {
         xrl::XrlArgs args;
         args.add("protocol", std::string("ospf")).add("net", net);

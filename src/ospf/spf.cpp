@@ -138,13 +138,18 @@ void SpfEngine::add_contributions(const Vertex& v,
     auto nit = nodes_.find(v);
     if (nit == nodes_.end() || nit->second.dist == kInf) return;
     const Node& n = nit->second;
+    // The gateway set this vertex contributes: its full equal-cost hop
+    // set, or empty for the no-gateway case (root itself / directly
+    // attached), mirroring the scalar nexthop convention.
+    net::NexthopSet4 gws;
+    if (n.nexthop != net::IPv4()) gws = n.hops;
     auto& plist = vertex_prefixes_[v];
     auto put = [&](const net::IPv4Net& p, uint32_t cost) {
         auto& m = contrib_[p];
-        auto [sit, inserted] = m.try_emplace(v, SpfRoute{cost, n.nexthop});
+        auto [sit, inserted] = m.try_emplace(v, SpfRoute{cost, n.nexthop, gws});
         if (!inserted) {
             // Two stub links on the same subnet: keep the cheaper.
-            if (cost < sit->second.cost) sit->second = {cost, n.nexthop};
+            if (cost < sit->second.cost) sit->second = {cost, n.nexthop, gws};
         } else {
             plist.push_back(p);
         }
@@ -179,6 +184,30 @@ void SpfEngine::drop_contributions(const Vertex& v,
     vertex_prefixes_.erase(it);
 }
 
+// Folds a prefix's per-vertex contributions into the winning route:
+// cheapest cost wins, and every contribution at that cost pools its
+// gateways into one ECMP set. A no-gateway contribution (root's own stub
+// or a directly attached segment) beats gateways outright — those
+// prefixes belong to the connected origin. The fold is order-independent
+// and shared by both run modes, so full and incremental agree.
+SpfRoute SpfEngine::winner_for(const std::map<Vertex, SpfRoute>& contribs) const {
+    uint32_t best_cost = kInf;
+    for (const auto& [v, r] : contribs) best_cost = std::min(best_cost, r.cost);
+    bool direct = false;
+    net::NexthopSet4 set;
+    for (const auto& [v, r] : contribs) {
+        if (r.cost != best_cost) continue;
+        if (r.nexthop == net::IPv4())
+            direct = true;
+        else
+            set.merge(r.nexthops);
+    }
+    if (direct || set.empty()) return SpfRoute{best_cost, net::IPv4(), {}};
+    set.clamp(max_paths_);
+    net::IPv4 primary = set.primary();
+    return SpfRoute{best_cost, primary, std::move(set)};
+}
+
 void SpfEngine::recompute_winners(const std::set<net::IPv4Net>& touched) {
     for (const net::IPv4Net& p : touched) {
         auto cit = contrib_.find(p);
@@ -186,12 +215,73 @@ void SpfEngine::recompute_winners(const std::set<net::IPv4Net>& touched) {
             routes_.erase(p);
             continue;
         }
-        // SpfRoute's ordering is (cost, nexthop), so min() is the cheapest
-        // contribution with a deterministic tie-break.
-        const SpfRoute* best = nullptr;
-        for (const auto& [v, r] : cit->second)
-            if (!best || r < *best) best = &r;
-        routes_[p] = *best;
+        routes_[p] = winner_for(cit->second);
+    }
+}
+
+void SpfEngine::derive_hops(std::set<Vertex>* changed) {
+    // Topological order of the tight-edge DAG: distance ascending, and at
+    // equal distance networks before routers — the only zero-weight edges
+    // are network->router (§16.1 step 2b), so every tight edge goes from
+    // an earlier slot to a later one. Ids break remaining ties so the
+    // order (and with it every clamped set) is deterministic.
+    struct Ord {
+        uint32_t dist;
+        int rank;
+        Vertex v;
+        bool operator<(const Ord& o) const {
+            if (dist != o.dist) return dist < o.dist;
+            if (rank != o.rank) return rank < o.rank;
+            return v < o.v;
+        }
+    };
+    std::vector<Ord> order;
+    order.reserve(nodes_.size());
+    for (const auto& [v, n] : nodes_)
+        if (n.dist != kInf)
+            order.push_back({n.dist, v.kind == LsaType::kNetwork ? 0 : 1, v});
+    std::sort(order.begin(), order.end());
+    std::map<Vertex, size_t> pos;
+    for (size_t i = 0; i < order.size(); ++i) pos[order[i].v] = i;
+
+    const Vertex root{LsaType::kRouter, root_};
+    for (size_t i = 0; i < order.size(); ++i) {
+        const Vertex& v = order[i].v;
+        Node& n = nodes_.at(v);
+        net::NexthopSet4 hops;
+        if (!(v == root)) {
+            // Claimed adjacencies are symmetric at the adjacency level, so
+            // v's own targets are exactly its possible in-neighbours.
+            for (const Vertex& u : raw_targets(v)) {
+                if (u == v) continue;
+                auto pit = pos.find(u);
+                if (pit == pos.end() || pit->second >= i) continue;
+                auto w = edge_weight(u, v);
+                if (!w) continue;
+                const Node& un = nodes_.at(u);
+                if (sat_add(un.dist, *w) != n.dist) continue;
+                if (u == root || un.nexthop == net::IPv4()) {
+                    // Hop decided at this edge: root's own link, or a
+                    // parent reached with no gateway (directly attached
+                    // segment) whose child address is the hop.
+                    hops.insert(first_hop(u, v));
+                } else {
+                    hops.merge(un.hops);
+                }
+            }
+            // A direct attachment (hop 0) at equal cost beats gateways —
+            // and the sentinel composes with nothing else.
+            if (hops.contains(net::IPv4()))
+                hops = net::NexthopSet4::single(net::IPv4());
+            hops.clamp(max_paths_);
+        }
+        net::IPv4 primary =
+            hops.empty() || hops.primary() == net::IPv4() ? net::IPv4()
+                                                          : hops.primary();
+        if (changed && (hops != n.hops || primary != n.nexthop))
+            changed->insert(v);
+        n.hops = std::move(hops);
+        n.nexthop = primary;
     }
 }
 
@@ -232,14 +322,10 @@ const RouteMap& SpfEngine::run_full(const Lsdb& db) {
             ++visited;
             relax(v, pq);
         }
+        derive_hops(nullptr);
         for (const auto& [v, n] : nodes_) add_contributions(v, nullptr);
     }
-    for (const auto& [p, m] : contrib_) {
-        const SpfRoute* best = nullptr;
-        for (const auto& [v, r] : m)
-            if (!best || r < *best) best = &r;
-        routes_[p] = *best;
-    }
+    for (const auto& [p, m] : contrib_) routes_[p] = winner_for(m);
     stats_.last_visited = visited;
     ++stats_.full_runs;
     has_run_ = true;
@@ -417,38 +503,16 @@ const RouteMap& SpfEngine::run_incremental(const Lsdb& db,
         touched.insert(v);
         relax(v, pq);
     }
-    // 7b. Re-derive every next hop from the finished tree. Settling only
-    // recomputes hops for re-settled vertices, but a hop is inherited from
-    // the ancestor chain — an ancestor re-parented at equal cost, or
-    // re-settled against a transiently inconsistent LSA, changes its
-    // descendants' first hops without moving their distances, so they are
-    // never re-popped and would keep a hop from an older run. Walking each
-    // parent chain top-down (memoised, cycle-guarded) makes the result
-    // identical to what run_full computes from the same snapshot.
-    {
-        std::set<Vertex> derived;
-        std::vector<Vertex> chain;
-        for (const auto& entry : nodes_) {
-            chain.clear();
-            Vertex v = entry.first;
-            while (derived.insert(v).second) {
-                chain.push_back(v);
-                const Node& n = nodes_.at(v);
-                if (!n.has_parent || nodes_.find(n.parent) == nodes_.end())
-                    break;
-                v = n.parent;
-            }
-            for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-                Node& n = nodes_.at(*it);
-                net::IPv4 h =
-                    n.has_parent ? first_hop(n.parent, *it) : net::IPv4();
-                if (h != n.nexthop) {
-                    n.nexthop = h;
-                    touched.insert(*it);
-                }
-            }
-        }
-    }
+    // 7b. Re-derive every vertex's equal-cost hop set from the finished
+    // distance field. Settling only recomputes hops for re-settled
+    // vertices, but hop sets are inherited along tight edges — an
+    // ancestor re-parented at equal cost, or an edge change that created
+    // a *new* equal-cost path without moving any distance, changes
+    // descendants' hop sets although they are never re-popped. The pass
+    // is the same one run_full uses on the same snapshot, so incremental
+    // successor sets equal full ones by construction; any vertex whose
+    // set moved joins `touched` so its prefix contributions refresh.
+    derive_hops(&touched);
 
     // Stub-only changes never enter the graph phase but still move
     // prefixes.

@@ -30,6 +30,7 @@
 #include <set>
 #include <vector>
 
+#include "net/nexthop_set.hpp"
 #include "ospf/lsdb.hpp"
 
 namespace xrp::ospf {
@@ -39,6 +40,13 @@ struct SpfRoute {
     // First-hop address; 0 for prefixes on the root itself or on a
     // directly attached segment (the RIB's connected origin owns those).
     net::IPv4 nexthop{};
+    // Every equal-cost first hop (ECMP successor set), canonical order,
+    // clamped to the engine's max_paths. Empty iff nexthop is 0 (root's
+    // own / directly attached prefixes); otherwise nexthop ==
+    // nexthops.primary(). Both SPF modes derive this from the finished
+    // distance field with the same deterministic pass, so the sets are
+    // identical between full and incremental runs by construction.
+    net::NexthopSet4 nexthops;
     friend constexpr auto operator<=>(const SpfRoute&,
                                       const SpfRoute&) = default;
 };
@@ -63,6 +71,17 @@ public:
         }
     }
     net::IPv4 root() const { return root_; }
+
+    // ECMP width cap; 1 disables multipath. A change forces the next run
+    // full so every successor set is re-derived under the new cap.
+    void set_max_paths(size_t k) {
+        k = k == 0 ? 1 : k;
+        if (max_paths_ != k) {
+            max_paths_ = k;
+            has_run_ = false;
+        }
+    }
+    size_t max_paths() const { return max_paths_; }
     bool has_run() const { return has_run_; }
 
     const RouteMap& run_full(const Lsdb& db);
@@ -89,6 +108,10 @@ private:
         Vertex parent{};
         bool has_parent = false;
         net::IPv4 nexthop{};
+        // Full equal-cost hop set, rebuilt by derive_hops() each run;
+        // nexthop is its primary (or 0 when the set is the direct-
+        // attachment sentinel {0} / empty).
+        net::NexthopSet4 hops;
         uint64_t processed_run = 0;
     };
     struct QueueEntry {
@@ -114,12 +137,20 @@ private:
                                    std::greater<QueueEntry>>& pq);
     void add_contributions(const Vertex& v, std::set<net::IPv4Net>* touched);
     void drop_contributions(const Vertex& v, std::set<net::IPv4Net>* touched);
+    SpfRoute winner_for(const std::map<Vertex, SpfRoute>& contribs) const;
     void recompute_winners(const std::set<net::IPv4Net>& touched);
+    // ECMP post-pass: rebuilds every settled vertex's equal-cost hop set
+    // from the finished distance field (union over tight in-edges, in
+    // topological order). Shared verbatim by both run modes — that is the
+    // incremental==full successor-set guarantee. Vertices whose hop set
+    // moved are added to `changed` (may be null).
+    void derive_hops(std::set<Vertex>* changed);
     void rebuild_snapshot(const Lsdb& db);
 
     net::IPv4 root_{};
     bool has_run_ = false;
     uint64_t run_id_ = 0;
+    size_t max_paths_ = 8;
 
     // Last-run snapshot: LSA contents, network-LSA index, the SPT, prefix
     // contributions per vertex, and the resulting routes.

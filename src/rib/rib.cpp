@@ -58,15 +58,32 @@ Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
     extint_->set_downstream(register_stage_.get());
     register_stage_->set_upstream(extint_.get());
 
+    {
+        auto& reg = telemetry::Registry::global();
+        m_ecmp_routes_ = reg.gauge("rib_ecmp_routes");
+        m_ecmp_members_ = reg.gauge("rib_ecmp_members");
+    }
     final_ = std::make_unique<stage::SinkStage<IPv4>>(
         "fea-branch", [this](bool is_add, const Route4& r) {
             if (prof_fea_queued_.enabled())
                 prof_fea_queued_.record(
                     (is_add ? "add " : "delete ") + r.net.str());
-            if (is_add)
-                fea_->add_route(r.net, r.nexthop);
-            else
+            // Replacement is delete(old)+add(new), so the ECMP occupancy
+            // gauges stay balanced across set membership changes.
+            if (r.is_multipath()) {
+                m_ecmp_routes_->add(is_add ? 1 : -1);
+                m_ecmp_members_->add(
+                    (is_add ? 1 : -1) *
+                    static_cast<int64_t>(r.nexthops.size()));
+            }
+            if (is_add) {
+                if (r.is_multipath())
+                    fea_->add_route(r.net, r.nexthops);
+                else
+                    fea_->add_route(r.net, r.nexthop);
+            } else {
                 fea_->delete_route(r.net);
+            }
         });
     register_stage_->set_downstream(final_.get());
     final_->set_upstream(register_stage_.get());
@@ -88,6 +105,34 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
     Route4 r;
     r.net = net;
     r.nexthop = nexthop;
+    r.metric = metric;
+    r.admin_distance = it->second.admin_distance;
+    r.protocol = protocol;
+    it->second.stage->add_route(r);
+    if (it->second.state != OriginState::kFresh)
+        it->second.stale_gauge->set(
+            static_cast<int64_t>(it->second.stage->stale_count()));
+    return true;
+}
+
+bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
+                    const net::NexthopSet4& nexthops, uint32_t metric) {
+    if (nexthops.size() <= 1)
+        return add_route(protocol, net,
+                         nexthops.empty() ? IPv4() : nexthops.primary(),
+                         metric);
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return false;
+    it->second.adds->inc();
+    if (prof_in_.enabled()) prof_in_.record("add " + net.str());
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
+            net.str(), protocol + ":" + nexthops.str(),
+            static_cast<int64_t>(metric));
+    Route4 r;
+    r.net = net;
+    r.set_nexthops(nexthops);
     r.metric = metric;
     r.admin_distance = it->second.admin_distance;
     r.protocol = protocol;

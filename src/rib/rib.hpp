@@ -49,16 +49,23 @@ namespace xrp::rib {
 using Route4 = stage::Route<net::IPv4>;
 
 // Coupling to the FEA, abstract so the RIB tests standalone and deploys
-// over XRLs.
+// over XRLs. Multipath winners go through the set overload; its default
+// forwards the primary member so scalar-only handles stay correct (they
+// just lose the extra members).
 class FeaHandle {
 public:
     virtual ~FeaHandle() = default;
     virtual void add_route(const net::IPv4Net& net, net::IPv4 nexthop) = 0;
+    virtual void add_route(const net::IPv4Net& net,
+                           const net::NexthopSet4& nexthops) {
+        add_route(net, nexthops.empty() ? net::IPv4() : nexthops.primary());
+    }
     virtual void delete_route(const net::IPv4Net& net) = 0;
 };
 
 class NullFeaHandle final : public FeaHandle {
 public:
+    using FeaHandle::add_route;
     void add_route(const net::IPv4Net&, net::IPv4) override {}
     void delete_route(const net::IPv4Net&) override {}
 };
@@ -69,6 +76,10 @@ public:
     explicit DirectFeaHandle(fea::Fea& fea) : fea_(fea) {}
     void add_route(const net::IPv4Net& net, net::IPv4 nexthop) override {
         fea_.add_route(net, nexthop);
+    }
+    void add_route(const net::IPv4Net& net,
+                   const net::NexthopSet4& nexthops) override {
+        fea_.add_route(net, nexthops);
     }
     void delete_route(const net::IPv4Net& net) override {
         fea_.delete_route(net);
@@ -108,6 +119,10 @@ public:
     // ibgp (external). Returns false for an unknown protocol name.
     bool add_route(const std::string& protocol, const net::IPv4Net& net,
                    net::IPv4 nexthop, uint32_t metric = 0);
+    // Multipath entry point: a 0/1-member set degrades to the scalar form
+    // so downstream stages see the identical route either way.
+    bool add_route(const std::string& protocol, const net::IPv4Net& net,
+                   const net::NexthopSet4& nexthops, uint32_t metric = 0);
     bool delete_route(const std::string& protocol, const net::IPv4Net& net);
     void set_admin_distance(const std::string& protocol, uint32_t distance);
 
@@ -215,6 +230,10 @@ private:
         redists_;
     std::unique_ptr<stage::RegisterStage<net::IPv4>> register_stage_;
     std::unique_ptr<stage::SinkStage<net::IPv4>> final_;
+    // ECMP occupancy of the forwarding set: multipath winners currently
+    // installed, and their total member count.
+    telemetry::Gauge* m_ecmp_routes_ = nullptr;
+    telemetry::Gauge* m_ecmp_members_ = nullptr;
     // Live DeletionStages flushing tables whose grace period expired;
     // each removes itself via its completion callback.
     std::vector<std::unique_ptr<stage::DeletionStage<net::IPv4>>> deleters_;

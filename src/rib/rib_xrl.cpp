@@ -30,6 +30,20 @@ void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router) {
             return XrlError::okay();
         });
     router.add_handler(
+        "rib/1.0/add_route_multipath", [&rib](const XrlArgs& in, XrlArgs&) {
+            // nexthops is the NexthopSet canonical text form
+            // ("addr[@w]|addr[@w]..."); a bare address parses as the
+            // 1-member set, so scalar senders could use this method too.
+            auto set = net::NexthopSet4::parse(*in.get_text("nexthops"));
+            if (!set || set->empty())
+                return XrlError::command_failed("bad nexthops");
+            if (!rib.add_route(*in.get_text("protocol"),
+                               *in.get_ipv4net("net"), *set,
+                               *in.get_u32("metric")))
+                return XrlError::command_failed("unknown protocol");
+            return XrlError::okay();
+        });
+    router.add_handler(
         "rib/1.0/delete_route", [&rib](const XrlArgs& in, XrlArgs&) {
             if (!rib.delete_route(*in.get_text("protocol"),
                                   *in.get_ipv4net("net")))

@@ -16,6 +16,7 @@ namespace xrp::rib {
 inline constexpr const char* kRibIdl = R"(
 interface rib/1.0 {
     add_route ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32;
+    add_route_multipath ? protocol:txt & net:ipv4net & nexthops:txt & metric:u32;
     delete_route ? protocol:txt & net:ipv4net;
     lookup_route4 ? addr:ipv4
         -> found:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & protocol:txt;
@@ -63,6 +64,21 @@ public:
         // so the reliable contract may retry them through chaos.
         router_.call_oneway(
             xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args),
+            ipc::CallOptions::reliable());
+    }
+    void add_route(const net::IPv4Net& net,
+                   const net::NexthopSet4& nexthops) override {
+        if (nexthops.size() <= 1) {
+            add_route(net,
+                      nexthops.empty() ? net::IPv4() : nexthops.primary());
+            return;
+        }
+        xrl::XrlArgs args;
+        args.add("net", net).add("nexthops", nexthops.str());
+        if (prof_sent_.enabled()) prof_sent_.record("add " + net.str());
+        router_.call_oneway(
+            xrl::Xrl::generic(target_, "fea", "1.0", "add_route4_multipath",
+                              args),
             ipc::CallOptions::reliable());
     }
     void delete_route(const net::IPv4Net& net) override {

@@ -155,6 +155,10 @@ bool Router::validate(const ConfigTree& tree, std::string* error) const {
                         } else if (c.name == "router-id") {
                             if (c.args.size() != 1 || !IPv4::parse(c.args[0]))
                                 return fail(error, "ospf: bad router-id");
+                        } else if (c.name == "max-paths") {
+                            if (c.args.size() != 1 ||
+                                std::atoi(c.args[0].c_str()) <= 0)
+                                return fail(error, "ospf: bad max-paths");
                         } else if (c.name == "interface") {
                             if (c.args.size() != 1)
                                 return fail(error,
@@ -279,12 +283,17 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
         if (old_rip.count(ifname) == 0) rip_->enable_interface(ifname);
 
     // ---- OSPF interfaces (diffed; costs applied in place) ----------------
-    if (const ConfigNode* o = tree.find("protocols/ospf"))
+    if (const ConfigNode* o = tree.find("protocols/ospf")) {
         if (auto rid = o->leaf_value("router-id"))
             if (!ospf_->set_router_id(IPv4::must_parse(*rid)))
                 return fail(error,
                             "ospf: router-id cannot change while interfaces "
                             "are enabled");
+        // ECMP width; changing it reschedules SPF with the new clamp.
+        if (auto mp = o->leaf_value("max-paths"))
+            ospf_->set_max_paths(
+                static_cast<uint32_t>(std::atoi(mp->c_str())));
+    }
     auto old_ospf = ospf_interfaces(running_);
     auto new_ospf = ospf_interfaces(tree);
     for (const auto& [ifname, cost] : old_ospf)
@@ -306,6 +315,7 @@ bool Router::apply(const ConfigTree& tree, std::string* error) {
                 std::atoi(b->leaf_value("local-as")->c_str()));
             cfg.bgp_id = IPv4::must_parse(*b->leaf_value("bgp-id"));
             if (b->find("damping") != nullptr) cfg.enable_damping = true;
+            if (b->find("multipath") != nullptr) cfg.multipath = true;
             bgp_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "bgp", true);
             bgp_ = std::make_unique<bgp::BgpProcess>(
                 plexus_.loop, cfg,
@@ -448,9 +458,13 @@ void Router::restart_ospf() {
     ospf_->set_node(name_);
     ospf::bind_ospf_xrl(*ospf_, *ospf_xr_);
     ospf_xr_->finalize();
-    if (const ConfigNode* o = running_.find("protocols/ospf"))
+    if (const ConfigNode* o = running_.find("protocols/ospf")) {
         if (auto rid = o->leaf_value("router-id"))
             ospf_->set_router_id(IPv4::must_parse(*rid));
+        if (auto mp = o->leaf_value("max-paths"))
+            ospf_->set_max_paths(
+                static_cast<uint32_t>(std::atoi(mp->c_str())));
+    }
     // Re-enabling interfaces restarts hellos; adjacency re-formation and
     // database exchange re-flood the area's LSAs into the fresh Lsdb
     // (receiving our own pre-restart LSAs bumps our sequence numbers).

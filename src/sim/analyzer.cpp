@@ -33,15 +33,18 @@ ConvergenceAnalyzer::WalkResult ConvergenceAnalyzer::walk(
         if (n >= fibs.size()) return WalkResult::kBlackhole;
         // Longest-prefix match over the modeled FIB.
         const IPv4Net* best = nullptr;
-        IPv4 nh{};
-        for (const auto& [net, nexthop] : fibs[n]) {
+        const net::NexthopSet4* set = nullptr;
+        for (const auto& [net, nexthops] : fibs[n]) {
             if (!net.contains(dst)) continue;
             if (best == nullptr || net.prefix_len() > best->prefix_len()) {
                 best = &net;
-                nh = nexthop;
+                set = &nexthops;
             }
         }
-        if (best == nullptr) return WalkResult::kBlackhole;
+        if (best == nullptr || set->empty()) return WalkResult::kBlackhole;
+        // Multipath: the walk takes the member the data plane would —
+        // the same per-destination rendezvous pick as SimForwardingPlane.
+        IPv4 nh = set->pick(net::flow_key(IPv4{}, dst));
         auto it = topo.addr_owner.find(nh);
         if (it == topo.addr_owner.end()) return WalkResult::kBlackhole;
         size_t next = it->second;
@@ -168,7 +171,7 @@ ConvergenceAnalyzer::Report ConvergenceAnalyzer::analyze(
         size_t node = 0;
         bool add = false;
         IPv4Net net{};
-        IPv4 nexthop{};
+        net::NexthopSet4 nexthops;
     };
     std::vector<FibChange> changes;
     for (const JournalEvent& e : events) {
@@ -191,10 +194,23 @@ ConvergenceAnalyzer::Report ConvergenceAnalyzer::analyze(
         c.add = e.kind == JournalKind::kFibAdd;
         c.net = *net;
         if (c.add) {
-            // detail is "nexthop:ifname"; the walk only needs the address.
-            auto nh = IPv4::parse(e.detail.substr(0, e.detail.find(':')));
-            if (!nh) continue;
-            c.nexthop = *nh;
+            // detail is "nexthop[@w]:ifname" per member, '|'-joined for
+            // multipath; the walk only needs the addresses and weights.
+            std::string addrs;
+            std::string_view rest = e.detail;
+            while (!rest.empty()) {
+                size_t bar = rest.find('|');
+                std::string_view tok = bar == std::string_view::npos
+                                           ? rest
+                                           : rest.substr(0, bar);
+                rest = bar == std::string_view::npos ? std::string_view{}
+                                                     : rest.substr(bar + 1);
+                if (!addrs.empty()) addrs += '|';
+                addrs += tok.substr(0, tok.find(':'));
+            }
+            auto set = net::NexthopSet4::parse(addrs);
+            if (!set || set->empty()) continue;
+            c.nexthops = *set;
         }
         changes.push_back(c);
         rep.fib_events++;
@@ -228,7 +244,7 @@ ConvergenceAnalyzer::Report ConvergenceAnalyzer::analyze(
         while (next_change < changes.size() && changes[next_change].t <= t) {
             const FibChange& c = changes[next_change++];
             if (c.add)
-                fibs[c.node][c.net] = c.nexthop;
+                fibs[c.node][c.net] = c.nexthops;
             else
                 fibs[c.node].erase(c.net);
         }

@@ -21,13 +21,16 @@
 
 #include "ev/clock.hpp"
 #include "net/ipnet.hpp"
+#include "net/nexthop_set.hpp"
 #include "telemetry/journal.hpp"
 
 namespace xrp::sim {
 
-// Per-node forwarding model: prefix -> nexthop address. Longest prefix
-// wins on lookup, same as the real SimForwardingPlane.
-using AnalyzerFib = std::map<net::IPv4Net, net::IPv4>;
+// Per-node forwarding model: prefix -> nexthop set. Longest prefix wins
+// on lookup, then the walk picks the member the same rendezvous hash the
+// real SimForwardingPlane uses, so an ECMP fan-out replays identically
+// offline. Single-path routes are 1-member sets.
+using AnalyzerFib = std::map<net::IPv4Net, net::NexthopSet4>;
 
 class ConvergenceAnalyzer {
 public:

@@ -243,7 +243,9 @@ std::vector<AnalyzerFib> ScenarioFleet::live_fibs() const {
     for (size_t n = 0; n < routers_.size(); ++n) {
         routers_[n]->fea().fib().for_each(
             [&](const IPv4Net& net, const fea::FibEntry& e) {
-                fibs[n][net] = e.nexthop;
+                fibs[n][net] = e.is_multipath()
+                                   ? e.nexthops
+                                   : net::NexthopSet4::single(e.nexthop);
             });
     }
     return fibs;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/ipnet.hpp"
+#include "net/nexthop_set.hpp"
 
 namespace xrp::stage {
 
@@ -37,6 +38,14 @@ struct Route {
     uint32_t igp_metric = kUnresolvedMetric;
     // Protocol-private immutable attributes (BGP: PathAttributes).
     std::shared_ptr<const void> attrs;
+    // ECMP/weighted-multipath members. The *empty* set is the degenerate
+    // single-path case: `nexthop` alone is authoritative and nothing
+    // multipath-aware ever allocates. A populated set always satisfies
+    // nexthop == nexthops.primary(), so stages that only understand one
+    // nexthop (recursive resolution, legacy sinks) keep working on the
+    // canonical member while set-aware consumers (FEA FIB, analyzer)
+    // spread flows over all of them.
+    net::NexthopSet<A> nexthops;
     // Policy tag list; policy filter stages read and write these.
     std::vector<std::string> tags;
     // Graceful-restart bookkeeping, maintained by OriginStage: the
@@ -46,11 +55,33 @@ struct Route {
     // the origin can refresh the stamp without churning downstream.
     uint64_t origin_stamp = 0;
 
+    // The member view every consumer can use: the full set for multipath
+    // routes, or the scalar nexthop wrapped as a 1-member set.
+    net::NexthopSet<A> nexthop_set() const {
+        return nexthops.empty() ? net::NexthopSet<A>::single(nexthop)
+                                : nexthops;
+    }
+
+    // Canonicalises: sets of size <= 1 collapse to the degenerate scalar
+    // form so a 1-member multipath route and a plain single-path route
+    // compare equal everywhere (stages, graceful restart, stale sweep).
+    void set_nexthops(const net::NexthopSet<A>& set) {
+        if (set.size() <= 1) {
+            if (!set.empty()) nexthop = set.primary();
+            nexthops.clear();
+        } else {
+            nexthops = set;
+            nexthop = set.primary();
+        }
+    }
+
+    bool is_multipath() const { return nexthops.size() > 1; }
+
     bool operator==(const Route& o) const {
         return net == o.net && nexthop == o.nexthop && metric == o.metric &&
                admin_distance == o.admin_distance && protocol == o.protocol &&
                source_id == o.source_id && igp_metric == o.igp_metric &&
-               attrs == o.attrs && tags == o.tags;
+               attrs == o.attrs && nexthops == o.nexthops && tags == o.tags;
     }
 };
 

@@ -438,3 +438,52 @@ TEST(BgpProcess, HotPotatoPrefersNearerExit) {
         return b.has_value() && b->nexthop.str() == "192.0.2.2";
     }));
 }
+
+TEST(BgpProcess, MultipathMergesEqualRankedPaths) {
+    // r3 (multipath on) hears 10/8 via r1 (path "2 1") and r2 (path
+    // "3 1") — equal through step 6 of the ranking (same length, origin,
+    // ebgp, metric; MED not comparable across neighbour ASes). The
+    // decision must merge both exits into one 2-member NexthopSet, and
+    // shrink back to one member when a contributing session dies.
+    //   r0 --- r1 --- r3
+    //     \--- r2 ---/
+    Net net;
+    int r0 = net.add_router(1, "192.0.2.1");
+    int r1 = net.add_router(2, "192.0.2.2");
+    int r2 = net.add_router(3, "192.0.2.3");
+    BgpProcess::Config mp;
+    mp.multipath = true;
+    mp.max_paths = 4;
+    int r3 = net.add_router(4, "192.0.2.4", mp);
+    net.connect(r0, r1);
+    net.connect(r0, r2);
+    net.connect(r1, r3);
+    net.connect(r2, r3);
+    ASSERT_TRUE(net.run_until([&] { return net.all_established(); }));
+
+    net.routers[r0]->originate(IPv4Net::must_parse("10.0.0.0/8"),
+                               IPv4::must_parse("192.0.2.1"));
+    ASSERT_TRUE(net.run_until([&] {
+        auto b = net.routers[r3]->best_route(IPv4Net::must_parse("10.0.0.0/8"));
+        return b.has_value() && b->is_multipath();
+    }));
+    auto best = net.routers[r3]->best_route(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->nexthops.size(), 2u);
+    EXPECT_TRUE(best->nexthops.contains(IPv4::must_parse("192.0.2.2")));
+    EXPECT_TRUE(best->nexthops.contains(IPv4::must_parse("192.0.2.3")));
+    // The scalar nexthop stays the canonical primary (lowest member), so
+    // multipath-unaware consumers keep seeing a coherent single path.
+    EXPECT_EQ(best->nexthop, best->nexthops.primary());
+    EXPECT_EQ(net.routers[r3]->loc_rib_count(), 1u);
+
+    // Kill the r1-r3 session: only the dead member leaves the set.
+    net.routers[r1]->peer_session(net.peers[{r1, r3}])->stop();
+    ASSERT_TRUE(net.run_until([&] {
+        auto b = net.routers[r3]->best_route(IPv4Net::must_parse("10.0.0.0/8"));
+        return b.has_value() && !b->is_multipath();
+    }, 60s));
+    best = net.routers[r3]->best_route(IPv4Net::must_parse("10.0.0.0/8"));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->nexthop.str(), "192.0.2.3");
+}

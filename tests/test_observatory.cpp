@@ -72,8 +72,8 @@ struct Line3 {
         beacons.push_back({beacon, 2});
         // Converged forwarding state: r0 and r1 both route the beacon.
         fibs.resize(3);
-        fibs[0][beacon_net] = IPv4::must_parse("10.1.0.2");
-        fibs[1][beacon_net] = IPv4::must_parse("10.1.1.2");
+        fibs[0][beacon_net] = net::NexthopSet4::single(IPv4::must_parse("10.1.0.2"));
+        fibs[1][beacon_net] = net::NexthopSet4::single(IPv4::must_parse("10.1.1.2"));
     }
 
     JournalEvent fib_add(int64_t s, const char* node, IPv4 nexthop) {
@@ -278,7 +278,7 @@ TEST(Analyzer, WalkDetectsDeliveryBlackholeAndLoop) {
                                         up),
               ConvergenceAnalyzer::WalkResult::kBlackhole);
     std::vector<AnalyzerFib> looped = net.fibs;
-    looped[1][net.beacon_net] = IPv4::must_parse("10.1.0.1");
+    looped[1][net.beacon_net] = net::NexthopSet4::single(IPv4::must_parse("10.1.0.1"));
     EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, looped, 0, net.beacon,
                                         up),
               ConvergenceAnalyzer::WalkResult::kLoop);
@@ -287,6 +287,80 @@ TEST(Analyzer, WalkDetectsDeliveryBlackholeAndLoop) {
     EXPECT_EQ(ConvergenceAnalyzer::walk(net.topo, net.fibs, 0, net.beacon,
                                         down),
               ConvergenceAnalyzer::WalkResult::kBlackhole);
+}
+
+TEST(Analyzer, EcmpFanoutWalkChargesNoFalseWindows) {
+    // Diamond: r0 forks over {r1, r2}, both rejoin at r3 which owns the
+    // beacon. r0's FIB entry is a genuine 2-member NexthopSet; the walk
+    // must follow the rendezvous pick (not flag the fork as a loop) and
+    // the analyzer must parse multipath fib_add details ('|'-joined
+    // members) without inventing blackhole windows.
+    ConvergenceAnalyzer::Topology topo;
+    topo.node_count = 4;
+    topo.node_index = {{"r0", 0}, {"r1", 1}, {"r2", 2}, {"r3", 3}};
+    IPv4Net beacon_net = IPv4Net::must_parse("10.240.0.0/24");
+    IPv4 beacon = IPv4::must_parse("10.240.0.10");
+    struct Wire { const char* a; const char* b; size_t na, nb; };
+    // l0 r0-r1, l1 r0-r2, l2 r1-r3, l3 r2-r3; a-side .1, b-side .2.
+    Wire wires[] = {{"10.1.0.1", "10.1.0.2", 0, 1},
+                    {"10.1.1.1", "10.1.1.2", 0, 2},
+                    {"10.1.2.1", "10.1.2.2", 1, 3},
+                    {"10.1.3.1", "10.1.3.2", 2, 3}};
+    topo.attached.resize(4);
+    for (const Wire& w : wires) {
+        IPv4 a = IPv4::must_parse(w.a), b = IPv4::must_parse(w.b);
+        topo.addr_owner[a] = w.na;
+        topo.addr_owner[b] = w.nb;
+        topo.attached[w.na].push_back(IPv4Net(a, 24));
+        topo.attached[w.nb].push_back(IPv4Net(b, 24));
+    }
+    topo.attached[3].push_back(beacon_net);
+    ConvergenceAnalyzer::Oracle oracle;
+    size_t e0 = oracle.add_edge(0, 1);
+    oracle.add_edge(0, 2);
+    oracle.add_edge(1, 3);
+    oracle.add_edge(2, 3);
+    std::vector<ConvergenceAnalyzer::Beacon> beacons = {{beacon, 3}};
+
+    std::vector<AnalyzerFib> fibs(4);
+    net::NexthopSet4 fork;
+    fork.insert(IPv4::must_parse("10.1.0.2"));
+    fork.insert(IPv4::must_parse("10.1.1.2"));
+    fibs[0][beacon_net] = fork;
+    fibs[1][beacon_net] =
+        net::NexthopSet4::single(IPv4::must_parse("10.1.2.2"));
+    fibs[2][beacon_net] =
+        net::NexthopSet4::single(IPv4::must_parse("10.1.3.2"));
+
+    // The fork itself is not a loop and both branches deliver.
+    auto up = [](size_t, size_t) { return true; };
+    EXPECT_EQ(ConvergenceAnalyzer::walk(topo, fibs, 0, beacon, up),
+              ConvergenceAnalyzer::WalkResult::kDelivered);
+
+    // Timeline: at t=10 the r0-r1 link dies and r0's FIB is replaced by
+    // the surviving member in the same instant (the multipath detail is
+    // the '|'-joined member list the sim FEA journals). No probe ever
+    // sees a dead entry, so no window may be charged.
+    auto fib_add = [&](int64_t s, const char* detail) {
+        JournalEvent e;
+        e.t = at(s);
+        e.kind = JournalKind::kFibAdd;
+        e.node = "r0";
+        e.component = "fea";
+        e.subject = beacon_net.str();
+        e.detail = detail;
+        return e;
+    };
+    oracle.set_edge_up(at(10), e0, false);
+    std::vector<JournalEvent> events = {
+        fib_add(5, "10.1.0.2:eth0|10.1.1.2:eth1"),
+        fib_add(10, "10.1.1.2:eth1")};
+    auto rep = ConvergenceAnalyzer::analyze(topo, oracle, events, beacons,
+                                            {0}, fibs, at(0), at(30));
+    EXPECT_TRUE(rep.converged);
+    EXPECT_TRUE(rep.blackhole_windows.empty()) << rep.blackhole_windows.size();
+    EXPECT_TRUE(rep.loop_windows.empty()) << rep.loop_windows.size();
+    EXPECT_EQ(rep.fib_events, 2u);
 }
 
 // ---- BENCH_scenarios.json golden schema --------------------------------
@@ -307,7 +381,8 @@ constexpr const char* kScenariosGolden = R"({
      "loop_ms": 0, "blackhole_windows": 4, "loop_windows": 0,
      "fib_events": 364, "route_events": 451, "flood_events": 180,
      "journal_events": 995, "journal_dropped": 0, "net_msgs": 2596,
-     "net_bytes": 435912, "virtual_s": 275}
+     "net_bytes": 435912, "virtual_s": 275, "cpu_ms": 812.5,
+     "max_rss_kb": 48216}
   ]
 })";
 
@@ -333,7 +408,8 @@ TEST(BenchSchema, ScenariosGoldenEnvelopeAndColumns) {
         "blackhole_ms",    "loop_ms",      "blackhole_windows",
         "loop_windows",    "fib_events",   "route_events",
         "flood_events",    "journal_events", "journal_dropped",
-        "net_msgs",        "net_bytes",    "virtual_s"};
+        "net_msgs",        "net_bytes",    "virtual_s",
+        "cpu_ms",          "max_rss_kb"};
     for (const json::Value& row : rows->items()) {
         ASSERT_TRUE(row.is_object());
         std::set<std::string> keys;

@@ -249,12 +249,17 @@ TEST(OspfSpf, PointToPointLineCostsAndNexthops) {
     // Root's own stub: reachable at its metric, no nexthop.
     EXPECT_EQ(routes.at(IPv4Net::must_parse("172.16.0.0/24")),
               (SpfRoute{1, IPv4::any()}));
-    // B's stub: one hop; the nexthop is B's address on the shared link.
+    // B's stub: one hop; the nexthop is B's address on the shared link
+    // (a single-member successor set).
     EXPECT_EQ(routes.at(IPv4Net::must_parse("172.16.1.0/24")),
-              (SpfRoute{2, IPv4::must_parse("10.0.1.2")}));
+              (SpfRoute{2, IPv4::must_parse("10.0.1.2"),
+                        net::NexthopSet4::single(
+                            IPv4::must_parse("10.0.1.2"))}));
     // C's stub: two hops, nexthop inherited from the first.
     EXPECT_EQ(routes.at(IPv4Net::must_parse("172.16.2.0/24")),
-              (SpfRoute{4, IPv4::must_parse("10.0.1.2")}));
+              (SpfRoute{4, IPv4::must_parse("10.0.1.2"),
+                        net::NexthopSet4::single(
+                            IPv4::must_parse("10.0.1.2"))}));
     EXPECT_EQ(e.stats().full_runs, 1u);
 }
 
@@ -282,7 +287,49 @@ TEST(OspfSpf, TransitNetworkNexthops) {
     // R2's stub across the segment: nexthop is R2's segment address,
     // network->router hops are free.
     EXPECT_EQ(routes.at(IPv4Net::must_parse("172.16.0.0/16")),
-              (SpfRoute{4, dr_addr}));
+              (SpfRoute{4, dr_addr, net::NexthopSet4::single(dr_addr)}));
+}
+
+TEST(OspfSpf, EqualCostDiamondBuildsSuccessorSet) {
+    ev::VirtualClock clock;
+    ev::EventLoop loop(clock);
+    Lsdb db(loop);
+    IPv4 a = IPv4::must_parse("1.1.1.1");
+    IPv4 b = IPv4::must_parse("2.2.2.2");
+    IPv4 c = IPv4::must_parse("3.3.3.3");
+    IPv4 d = IPv4::must_parse("4.4.4.4");
+    // Diamond with equal costs: A-B-D and A-C-D both cost 2, so D's stub
+    // must carry a 2-member successor set {B's addr, C's addr}.
+    db.install(router_lsa(a, {p2p(b, IPv4::must_parse("10.0.1.1"), 1),
+                              p2p(c, IPv4::must_parse("10.0.2.1"), 1)}));
+    db.install(router_lsa(b, {p2p(a, IPv4::must_parse("10.0.1.2"), 1),
+                              p2p(d, IPv4::must_parse("10.0.3.1"), 1)}));
+    db.install(router_lsa(c, {p2p(a, IPv4::must_parse("10.0.2.2"), 1),
+                              p2p(d, IPv4::must_parse("10.0.4.1"), 1)}));
+    db.install(router_lsa(
+        d, {p2p(b, IPv4::must_parse("10.0.3.2"), 1),
+            p2p(c, IPv4::must_parse("10.0.4.2"), 1),
+            stub_link(IPv4Net::must_parse("172.16.9.0/24"), 1)}));
+
+    SpfEngine e;
+    e.set_root(a);
+    const RouteMap& routes = e.run_full(db);
+    const SpfRoute& r = routes.at(IPv4Net::must_parse("172.16.9.0/24"));
+    EXPECT_EQ(r.cost, 3u);
+    net::NexthopSet4 want;
+    want.insert(IPv4::must_parse("10.0.1.2"));
+    want.insert(IPv4::must_parse("10.0.2.2"));
+    EXPECT_EQ(r.nexthops, want);
+    EXPECT_EQ(r.nexthop, want.primary());
+
+    // max_paths = 1 disables multipath: same cost, one deterministic
+    // (lowest-address) successor.
+    e.set_max_paths(1);
+    const RouteMap& clamped = e.run_full(db);
+    const SpfRoute& r1 = clamped.at(IPv4Net::must_parse("172.16.9.0/24"));
+    EXPECT_EQ(r1.cost, 3u);
+    EXPECT_EQ(r1.nexthops.size(), 1u);
+    EXPECT_EQ(r1.nexthop, want.primary());
 }
 
 TEST(OspfSpf, OneWayClaimsContributeNothing) {
@@ -441,10 +488,12 @@ TEST(OspfSpf, IncrementalMatchesFullUnderRandomMutations) {
                 break;
         }
         LsaKey changed = g.reinstall(db, i);
-        // Equal costs are what is guaranteed: on equal-cost ties the two
-        // paths may legitimately pick different nexthops.
-        EXPECT_EQ(cost_map(incr.run_incremental(db, {changed})),
-                  cost_map(full.run_full(db)))
+        // Full RouteMap equality: costs AND the ECMP successor sets (with
+        // their primaries) must be identical between the incremental and
+        // full paths — both derive the sets from the finished distance
+        // field with the same deterministic pass, so even on equal-cost
+        // ties there is exactly one right answer.
+        EXPECT_EQ(incr.run_incremental(db, {changed}), full.run_full(db))
             << "step " << step;
     }
     // The point of the test: the incremental path actually ran.

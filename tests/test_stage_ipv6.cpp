@@ -224,6 +224,99 @@ TEST(StageIPv6, FanoutWithSlowReader) {
     EXPECT_EQ(fanout.queue_size(), 0u);
 }
 
+TEST(StageIPv6, MultipathSetFlowsThroughPipeline) {
+    OriginStage<IPv6> origin("origin6");
+    CacheStage<IPv6> check("check6");
+    SinkStage<IPv6> sink("sink6");
+    origin.set_downstream(&check);
+    check.set_upstream(&origin);
+    check.set_downstream(&sink);
+    sink.set_upstream(&check);
+
+    // Insertion order must not matter: the set is canonically ordered, so
+    // the primary (and thus the legacy scalar nexthop) is the lowest
+    // member regardless of discovery order.
+    net::NexthopSet6 set;
+    set.insert(IPv6::must_parse("fe80::3"));
+    set.insert(IPv6::must_parse("fe80::1"));
+    set.insert(IPv6::must_parse("fe80::2"));
+    Route<IPv6> r = mkroute6("2400:cb00::/32");
+    r.set_nexthops(set);
+    EXPECT_EQ(r.nexthop.str(), "fe80::1");
+    origin.add_route(r);
+
+    auto got = sink.lookup_route(IPv6Net::must_parse("2400:cb00::/32"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->is_multipath());
+    EXPECT_EQ(got->nexthops.size(), 3u);
+    EXPECT_EQ(got->nexthop, got->nexthops.primary());
+    EXPECT_TRUE(check.consistent());
+
+    // Shrinking the set is a replacement, not an add: the staged tables
+    // must converge on the new membership, and a one-member set collapses
+    // back to the scalar degenerate form.
+    net::NexthopSet6 lone = net::NexthopSet6::single(
+        IPv6::must_parse("fe80::2"));
+    r.set_nexthops(lone);
+    EXPECT_FALSE(r.is_multipath());
+    origin.add_route(r);
+    got = sink.lookup_route(IPv6Net::must_parse("2400:cb00::/32"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(got->is_multipath());
+    EXPECT_EQ(got->nexthop.str(), "fe80::2");
+    EXPECT_EQ(sink.route_count(), 1u);
+    EXPECT_TRUE(check.consistent());
+}
+
+TEST(StageIPv6, MultipathEqualityIsOrderInsensitive) {
+    net::NexthopSet6 a, b;
+    a.insert(IPv6::must_parse("fe80::1"), 2);
+    a.insert(IPv6::must_parse("fe80::9"));
+    b.insert(IPv6::must_parse("fe80::9"));
+    b.insert(IPv6::must_parse("fe80::1"), 2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.str(), "fe80::1@2|fe80::9");
+    auto parsed = net::NexthopSet6::parse(a.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+
+    Route<IPv6> ra = mkroute6("2400:cb00::/32");
+    ra.set_nexthops(a);
+    Route<IPv6> rb = mkroute6("2400:cb00::/32");
+    rb.set_nexthops(b);
+    EXPECT_EQ(ra, rb);  // cheap equality is what stage diffing relies on
+}
+
+TEST(StageIPv6, MergePreservesWinningMultipathSet) {
+    OriginStage<IPv6> a("ospf6"), b("ripng6");
+    MergeStage<IPv6> merge("merge6");
+    merge.set_parents(&a, &b);
+    SinkStage<IPv6> sink("sink6");
+    merge.set_downstream(&sink);
+    sink.set_upstream(&merge);
+
+    net::NexthopSet6 set;
+    set.insert(IPv6::must_parse("fe80::a"));
+    set.insert(IPv6::must_parse("fe80::b"));
+    Route<IPv6> multi = mkroute6("2400:cb00::/32", "fe80::a", 5, "ospf", 110);
+    multi.set_nexthops(set);
+    a.add_route(multi);
+    b.add_route(mkroute6("2400:cb00::/32", "fe80::9", 3, "ripng", 120));
+
+    auto got = sink.lookup_route(IPv6Net::must_parse("2400:cb00::/32"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->protocol, "ospf");
+    EXPECT_TRUE(got->is_multipath());
+    EXPECT_EQ(got->nexthops, set);
+
+    // When the multipath winner withdraws, the scalar loser takes over.
+    a.delete_route(multi);
+    got = sink.lookup_route(IPv6Net::must_parse("2400:cb00::/32"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(got->is_multipath());
+    EXPECT_EQ(got->nexthop.str(), "fe80::9");
+}
+
 TEST(StageIPv6, RegisterStageFigure8Semantics) {
     OriginStage<IPv6> origin("origin6");
     RegisterStage<IPv6> reg("register6");
