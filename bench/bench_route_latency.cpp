@@ -21,9 +21,11 @@
 // loopback TCP, so the measured latency includes genuine IPC, as the
 // paper's did ("latency is mostly dominated by ... inter-process
 // communication").
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <random>
 
 #include "bgp/bgp_xrl.hpp"
 #include "fea/fea_xrl.hpp"
@@ -69,7 +71,10 @@ struct Stack {
     std::unique_ptr<bgp::BgpProcess> bgp_proc;
     bgp::XrlRibHandle* rib_handle = nullptr;
 
-    Stack() {
+    // `profile` arms the eight per-route profiling points. The download
+    // experiment leaves them off: recording one string per route at 1M+
+    // routes would measure the profiler, not the pipeline.
+    explicit Stack(bool profile = true) {
         // Every component listens on TCP and prefers TCP outbound, so
         // inter-component XRLs run over real loopback sockets, like the
         // separate processes of the paper's deployment.
@@ -102,7 +107,8 @@ struct Stack {
         bgp_proc->set_profiler(&prof);
         fea_handle->set_profiler(&prof);
         rib_handle->set_profiler(&prof);
-        for (const char* p : kPointNames) prof.enable(p);
+        if (profile)
+            for (const char* p : kPointNames) prof.enable(p);
 
         // The IGP route that makes peer nexthops resolvable; kept
         // installed for the whole test, like the paper's single route
@@ -267,19 +273,221 @@ void run_experiment(bench::Report& report, const char* figure,
     std::fflush(stdout);
 }
 
+// ---- million-route download + churn replay ------------------------------
+//
+// The bulk-API experiment: a full-table download (BGP's coupling to the
+// RIB, over loopback TCP, through the RIB pipeline, into the FEA) driven
+// two ways — one scalar XRL per route vs. framed add_routes_bulk batches
+// — then a churn replay on the loaded table measuring end-to-end
+// latency percentiles per burst. Rows: download throughput per mode,
+// churn p50/p95/p99 per mode, and a CDF per mode for plotting.
+
+constexpr double kCdfPcts[] = {1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9, 100};
+
+IPv4Net download_net(size_t i) {
+    // Distinct /24s walking up from 10.0.0.0; 1M routes end near
+    // 25.66.64.0/24, clear of every other range the bench uses.
+    return IPv4Net(IPv4(0x0a000000u + (static_cast<uint32_t>(i) << 8)), 24);
+}
+
+stage::Route4 download_route(size_t i, const char* nexthop) {
+    stage::Route4 r;
+    r.net = download_net(i);
+    r.nexthop = IPv4::must_parse(nexthop);
+    r.protocol = "ebgp";
+    r.igp_metric = 1;
+    return r;
+}
+
+double run_download_mode(bench::Report& report, bool batched, size_t n_routes,
+                        size_t churn_bursts, size_t burst_size) {
+    const char* mode = batched ? "batch" : "per_route";
+    Stack stack(false);
+    if (g_inproc) {
+        stack.rib_xr.set_preferred_family("");
+        stack.bgp_xr.set_preferred_family("");
+    }
+    const size_t base_fib = stack.fea.fib().size();
+
+    std::fprintf(stderr, "[download %s] pushing %zu routes...\n", mode,
+                 n_routes);
+    constexpr size_t kChunk = 8192;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (batched) {
+        stage::RouteBatch4 b;
+        b.reserve(kChunk);
+        for (size_t i = 0; i < n_routes; ++i) {
+            b.add(download_route(i, "192.0.2.1"));
+            if (b.size() == kChunk) {
+                stack.rib_handle->push_batch(std::move(b));
+                b.clear();
+                b.reserve(kChunk);
+                // Keep the pipeline moving so send queues stay bounded.
+                stack.run_until(
+                    [&] {
+                        return stack.fea.fib().size() + 8 * kChunk >=
+                               base_fib + i;
+                    },
+                    60s);
+            }
+        }
+        if (!b.empty()) stack.rib_handle->push_batch(std::move(b));
+    } else {
+        for (size_t i = 0; i < n_routes; ++i) {
+            stack.rib_handle->add_route(download_route(i, "192.0.2.1"));
+            if (i % kChunk == kChunk - 1)
+                stack.run_until(
+                    [&] {
+                        return stack.fea.fib().size() + 8 * kChunk >=
+                               base_fib + i;
+                    },
+                    60s);
+        }
+    }
+    if (!stack.run_until(
+            [&] { return stack.fea.fib().size() >= base_fib + n_routes; },
+            1200s)) {
+        std::fprintf(stderr, "[download %s] timed out (fib=%zu)\n", mode,
+                     stack.fea.fib().size());
+        return 0;
+    }
+    const double dl_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double rps = static_cast<double>(n_routes) / dl_secs;
+    std::printf("%-12s %10zu routes %10.2f s %12.0f routes/s\n", mode,
+                n_routes, dl_secs, rps);
+    json::Value& row = report.add_row();
+    row.set("figure", json::Value("download_1m"));
+    row.set("mode", json::Value(mode));
+    row.set("routes", json::Value(static_cast<int64_t>(n_routes)));
+    row.set("seconds", json::Value(dl_secs));
+    row.set("routes_per_sec", json::Value(rps));
+
+    // Churn replay on the loaded table: each burst re-advertises
+    // `burst_size` random prefixes with a flipped nexthop, then a fresh
+    // sentinel route; the sample is push-to-FIB latency for the burst.
+    sim::LatencyStats churn;
+    std::mt19937 rng(0xc4u);
+    for (size_t burst = 0; burst < churn_bursts; ++burst) {
+        const char* nh = burst % 2 == 0 ? "192.0.2.2" : "192.0.2.1";
+        const IPv4Net sentinel = IPv4Net(
+            IPv4(0xac100000u + (static_cast<uint32_t>(burst) << 8)), 24);
+        stage::Route4 sent_r;
+        sent_r.net = sentinel;
+        sent_r.nexthop = IPv4::must_parse("192.0.2.1");
+        sent_r.protocol = "ebgp";
+        sent_r.igp_metric = 1;
+
+        const auto tb = std::chrono::steady_clock::now();
+        if (batched) {
+            stage::RouteBatch4 b;
+            b.reserve(burst_size + 1);
+            for (size_t k = 0; k < burst_size; ++k)
+                b.add(download_route(rng() % n_routes, nh));
+            b.add(sent_r);
+            stack.rib_handle->push_batch(std::move(b));
+        } else {
+            for (size_t k = 0; k < burst_size; ++k)
+                stack.rib_handle->add_route(download_route(rng() % n_routes,
+                                                           nh));
+            stack.rib_handle->add_route(sent_r);
+        }
+        if (!stack.run_until(
+                [&] {
+                    return stack.fea.fib().find_exact(sentinel) != nullptr;
+                },
+                30s)) {
+            std::fprintf(stderr, "[churn %s] burst %zu timed out\n", mode,
+                         burst);
+            continue;
+        }
+        churn.add(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - tb)
+                      .count());
+    }
+
+    std::printf("%-12s churn (%zu bursts x %zu): p50 %.3f ms  p95 %.3f ms  "
+                "p99 %.3f ms\n",
+                mode, churn_bursts, burst_size, churn.percentile(50),
+                churn.percentile(95), churn.percentile(99));
+    json::Value& crow = report.add_row();
+    crow.set("figure", json::Value("churn"));
+    crow.set("mode", json::Value(mode));
+    crow.set("bursts", json::Value(static_cast<int64_t>(churn_bursts)));
+    crow.set("burst_size", json::Value(static_cast<int64_t>(burst_size)));
+    crow.set("avg_ms", json::Value(churn.mean()));
+    crow.set("p50_ms", json::Value(churn.percentile(50)));
+    crow.set("p95_ms", json::Value(churn.percentile(95)));
+    crow.set("p99_ms", json::Value(churn.percentile(99)));
+    crow.set("max_ms", json::Value(churn.max()));
+    for (double pct : kCdfPcts) {
+        json::Value& cdf = report.add_row();
+        cdf.set("figure", json::Value("churn_cdf"));
+        cdf.set("mode", json::Value(mode));
+        cdf.set("pct", json::Value(pct));
+        cdf.set("ms", json::Value(churn.percentile(pct)));
+    }
+    return rps;
+}
+
+void run_bulk_experiments(bench::Report& report, size_t n_routes,
+                          size_t churn_bursts, size_t burst_size) {
+    std::printf("\n## Million-route download + churn replay "
+                "(bulk stage API vs per-route XRLs)\n");
+    const double scalar_rps =
+        run_download_mode(report, false, n_routes, churn_bursts, burst_size);
+    const double batch_rps =
+        run_download_mode(report, true, n_routes, churn_bursts, burst_size);
+    if (scalar_rps > 0) {
+        const double speedup = batch_rps / scalar_rps;
+        std::printf("batch download speedup: %.1fx\n", speedup);
+        report.set_meta("batch_speedup", json::Value(speedup));
+    }
+    report.set_meta("download_routes",
+                    json::Value(static_cast<int64_t>(n_routes)));
+    report.set_meta("churn_bursts",
+                    json::Value(static_cast<int64_t>(churn_bursts)));
+    report.set_meta("burst_size",
+                    json::Value(static_cast<int64_t>(burst_size)));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     size_t table_size = 146515;  // the paper's backbone feed
     int test_routes = 255;
+    size_t download_routes = 1000000;
+    size_t churn_bursts = 200;
+    size_t burst_size = 64;
+    bool figures = true, download = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             table_size = 20000;
             test_routes = 50;
+            download_routes = 100000;
+            churn_bursts = 50;
+        } else if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+            // The CI bench-smoke loop passes google-benchmark's flag to
+            // every binary; treat it as "token run, just prove liveness".
+            table_size = 2000;
+            test_routes = 8;
+            download_routes = 20000;
+            churn_bursts = 8;
         } else if (std::strncmp(argv[i], "--table-size=", 13) == 0) {
             table_size = static_cast<size_t>(std::atol(argv[i] + 13));
         } else if (std::strncmp(argv[i], "--test-routes=", 14) == 0) {
             test_routes = std::atoi(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--download-routes=", 18) == 0) {
+            download_routes = static_cast<size_t>(std::atol(argv[i] + 18));
+        } else if (std::strncmp(argv[i], "--churn-bursts=", 15) == 0) {
+            churn_bursts = static_cast<size_t>(std::atol(argv[i] + 15));
+        } else if (std::strncmp(argv[i], "--burst-size=", 13) == 0) {
+            burst_size = static_cast<size_t>(std::atol(argv[i] + 13));
+        } else if (std::strcmp(argv[i], "--download-only") == 0) {
+            figures = false;
+        } else if (std::strcmp(argv[i], "--figures-only") == 0) {
+            download = false;
         } else if (std::strcmp(argv[i], "--inproc") == 0) {
             g_inproc = true;  // intra-process XRLs (debug/comparison)
         }
@@ -294,22 +502,28 @@ int main(int argc, char** argv) {
     report.set_meta("test_routes", json::Value(test_routes));
     report.set_meta("inproc", json::Value(g_inproc));
 
-    std::printf("# Figures 10-12: route propagation latency (ms)\n");
-    std::printf("# BGP -> RIB -> FEA coupled by XRLs over loopback TCP\n");
-    run_experiment(report, "fig10", "Figure 10: empty routing table", false,
-                   true, 0, test_routes);
-    run_experiment(report, "fig11",
-                   ("Figure 11: " + std::to_string(table_size) +
-                    " routes, test routes on the SAME peering")
-                       .c_str(),
-                   true, true, table_size, test_routes);
-    run_experiment(report, "fig12",
-                   ("Figure 12: " + std::to_string(table_size) +
-                    " routes, test routes on a DIFFERENT peering")
-                       .c_str(),
-                   true, false, table_size, test_routes);
-    std::printf(
-        "\n# paper shape: ~3.4/3.6/4.4 ms avg to kernel; full table barely\n"
-        "# slower than empty; different peering slightly slower than same\n");
+    if (figures) {
+        std::printf("# Figures 10-12: route propagation latency (ms)\n");
+        std::printf("# BGP -> RIB -> FEA coupled by XRLs over loopback TCP\n");
+        run_experiment(report, "fig10", "Figure 10: empty routing table",
+                       false, true, 0, test_routes);
+        run_experiment(report, "fig11",
+                       ("Figure 11: " + std::to_string(table_size) +
+                        " routes, test routes on the SAME peering")
+                           .c_str(),
+                       true, true, table_size, test_routes);
+        run_experiment(report, "fig12",
+                       ("Figure 12: " + std::to_string(table_size) +
+                        " routes, test routes on a DIFFERENT peering")
+                           .c_str(),
+                       true, false, table_size, test_routes);
+        std::printf("\n# paper shape: ~3.4/3.6/4.4 ms avg to kernel; full "
+                    "table barely\n"
+                    "# slower than empty; different peering slightly slower "
+                    "than same\n");
+    }
+    if (download)
+        run_bulk_experiments(report, download_routes, churn_bursts,
+                             burst_size);
     return 0;
 }

@@ -3,9 +3,16 @@
 // envelope. Fails (non-zero exit, one line per problem) on malformed
 // JSON, a wrong/missing schema tag, a missing bench name or meta object,
 // an empty or missing rows array, a non-object row, or a row value that
-// is not a scalar (number / string / bool).
+// is not a scalar (number / string / bool). Latency rows get semantic
+// checks on top of the envelope: any row carrying p50_ms/p95_ms/p99_ms
+// must have them numeric and ordered (p50 <= p95 <= p99), and CDF rows
+// (those with a "pct" key) must keep pct within [0,100], ms >= 0, and ms
+// non-decreasing across consecutive rows of the same (figure, mode)
+// series — a regression that scrambles a distribution fails the gate,
+// not just one that breaks the JSON shape.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -54,17 +61,68 @@ int check_file(const std::string& path) {
         return bad + 1;
     }
     size_t i = 0;
+    // Per-(figure, mode) running maximum for CDF rows: the ms column must
+    // be non-decreasing within one distribution's series.
+    std::map<std::string, double> cdf_floor;
     for (const Value& row : rows->items()) {
         if (!row.is_object() || row.size() == 0) {
             std::fprintf(stderr, "%s: row %zu is not a non-empty object\n",
                          path.c_str(), i);
             ++bad;
-        } else {
-            for (const auto& [key, v] : row.members()) {
-                if (v.is_number() || v.is_string() || v.is_bool()) continue;
-                std::fprintf(stderr, "%s: row %zu key \"%s\" is not scalar\n",
-                             path.c_str(), i, key.c_str());
+            ++i;
+            continue;
+        }
+        for (const auto& [key, v] : row.members()) {
+            if (v.is_number() || v.is_string() || v.is_bool()) continue;
+            std::fprintf(stderr, "%s: row %zu key \"%s\" is not scalar\n",
+                         path.c_str(), i, key.c_str());
+            ++bad;
+        }
+        if (row.find("p50_ms") != nullptr || row.find("p95_ms") != nullptr ||
+            row.find("p99_ms") != nullptr) {
+            auto p50 = row.get_number("p50_ms");
+            auto p95 = row.get_number("p95_ms");
+            auto p99 = row.get_number("p99_ms");
+            if (!p50 || !p95 || !p99) {
+                std::fprintf(stderr,
+                             "%s: row %zu has partial/non-numeric "
+                             "p50_ms/p95_ms/p99_ms\n",
+                             path.c_str(), i);
                 ++bad;
+            } else if (!(*p50 <= *p95 && *p95 <= *p99) || *p50 < 0) {
+                std::fprintf(stderr,
+                             "%s: row %zu percentiles out of order "
+                             "(p50=%g p95=%g p99=%g)\n",
+                             path.c_str(), i, *p50, *p95, *p99);
+                ++bad;
+            }
+        }
+        if (row.find("pct") != nullptr) {
+            auto pct = row.get_number("pct");
+            auto ms = row.get_number("ms");
+            if (!pct || !ms || *pct < 0 || *pct > 100 || *ms < 0) {
+                std::fprintf(stderr,
+                             "%s: row %zu bad CDF point (pct must be in "
+                             "[0,100], ms >= 0)\n",
+                             path.c_str(), i);
+                ++bad;
+            } else {
+                std::string series =
+                    row.get_string("figure").value_or("") + "/" +
+                    row.get_string("mode").value_or("");
+                auto [it, fresh] = cdf_floor.emplace(series, *ms);
+                if (!fresh) {
+                    if (*ms + 1e-9 < it->second) {
+                        std::fprintf(stderr,
+                                     "%s: row %zu CDF series \"%s\" not "
+                                     "monotonic (%g ms after %g ms)\n",
+                                     path.c_str(), i, series.c_str(), *ms,
+                                     it->second);
+                        ++bad;
+                    } else {
+                        it->second = *ms;
+                    }
+                }
             }
         }
         ++i;

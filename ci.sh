@@ -71,6 +71,14 @@ XRP_BENCH_DIR="$BENCH_OUT" build/bench/scenario_runner --smoke >/dev/null
 echo "-- build/bench/bench_ecmp (ECMP member-kill chaos cell)"
 XRP_BENCH_DIR="$BENCH_OUT" build/bench/bench_ecmp >/dev/null
 build/bench/validate_bench "$BENCH_OUT"/BENCH_ecmp.json
+# Bulk-download smoke at a real (if modest) scale: 100k routes through
+# the batch and per-route paths plus a short churn replay, then schema +
+# percentile/CDF validation of the emitted trajectory. This is the gate
+# that keeps the bulk stage API's wire path honest between full 1M runs.
+echo "-- build/bench/bench_route_latency (100k bulk-download smoke)"
+XRP_BENCH_DIR="$BENCH_OUT" build/bench/bench_route_latency \
+    --download-only --download-routes=100000 --churn-bursts=20
+build/bench/validate_bench "$BENCH_OUT"/BENCH_route_latency.json
 build/bench/validate_bench "$BENCH_OUT"/BENCH_*.json
 
 echo "CI OK"

@@ -170,21 +170,61 @@ std::optional<PathAttributes> PathAttributes::decode(const uint8_t* data,
     return pa;
 }
 
+uint64_t PathAttributesHash::operator()(const PathAttributes& pa) const {
+    uint64_t h = 0x8e5d1f3a2b94c607ull;
+    h = net::hash_mix(h, static_cast<uint64_t>(pa.origin));
+    for (const auto& seg : pa.as_path.segments()) {
+        h = net::hash_mix(h, static_cast<uint64_t>(seg.type));
+        for (As as : seg.ases) h = net::hash_mix(h, as);
+    }
+    h = net::hash_mix(h, pa.nexthop.to_host());
+    h = net::hash_mix(h, pa.med ? uint64_t{*pa.med} + 1 : 0);
+    h = net::hash_mix(h, pa.local_pref ? uint64_t{*pa.local_pref} + 1 : 0);
+    h = net::hash_mix(h, pa.atomic_aggregate ? 1 : 0);
+    if (pa.aggregator) {
+        h = net::hash_mix(h, pa.aggregator->as);
+        h = net::hash_mix(h, pa.aggregator->id.to_host());
+    }
+    for (uint32_t c : pa.communities) h = net::hash_mix(h, c);
+    return h;
+}
+
+namespace {
+bool& attr_interning_flag() {
+    static bool enabled = true;
+    return enabled;
+}
+}  // namespace
+
+void set_attr_interning_enabled(bool on) { attr_interning_flag() = on; }
+bool attr_interning_enabled() { return attr_interning_flag(); }
+
+AttrInternTable& attr_intern_table() {
+    static AttrInternTable table;
+    return table;
+}
+
+PathAttributesPtr intern_attrs(PathAttributes attrs) {
+    if (!attr_interning_enabled())
+        return std::make_shared<const PathAttributes>(std::move(attrs));
+    return attr_intern_table().intern(std::move(attrs));
+}
+
 PathAttributesPtr with_prepended_as(const PathAttributes& base, As as,
                                     net::IPv4 new_nexthop) {
-    auto pa = std::make_shared<PathAttributes>(base);
-    pa->as_path = base.as_path.prepend(as);
-    pa->nexthop = new_nexthop;
+    PathAttributes pa = base;
+    pa.as_path = base.as_path.prepend(as);
+    pa.nexthop = new_nexthop;
     // MED and LOCAL_PREF are not propagated to external peers.
-    pa->med.reset();
-    pa->local_pref.reset();
-    return pa;
+    pa.med.reset();
+    pa.local_pref.reset();
+    return intern_attrs(std::move(pa));
 }
 
 PathAttributesPtr with_local_pref(const PathAttributes& base, uint32_t lp) {
-    auto pa = std::make_shared<PathAttributes>(base);
-    pa->local_pref = lp;
-    return pa;
+    PathAttributes pa = base;
+    pa.local_pref = lp;
+    return intern_attrs(std::move(pa));
 }
 
 }  // namespace xrp::bgp

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bgp/aspath.hpp"
+#include "net/intern.hpp"
 #include "net/ipv4.hpp"
 
 namespace xrp::bgp {
@@ -64,7 +65,28 @@ public:
 
 using PathAttributesPtr = std::shared_ptr<const PathAttributes>;
 
-// Builder helpers for the common mutations; each returns a fresh block.
+// ---- flyweight interning ------------------------------------------------
+// A full table download carries ~1M prefixes but only tens of thousands
+// of distinct attribute blocks. Every block entering the pipeline goes
+// through intern_attrs, so equal blocks share one allocation and
+// attribute equality is usually a pointer compare. Handles are ordinary
+// shared_ptrs — a block dies with its last route.
+struct PathAttributesHash {
+    uint64_t operator()(const PathAttributes& pa) const;
+};
+using AttrInternTable = net::InternTable<PathAttributes, PathAttributesHash>;
+
+// The process-wide attribute flyweight (stats feed bench_memory/tests).
+AttrInternTable& attr_intern_table();
+// Canonicalises: returns the shared block equal to `attrs`, allocating
+// only for a first-seen value. With interning disabled it degrades to a
+// plain make_shared.
+PathAttributesPtr intern_attrs(PathAttributes attrs);
+void set_attr_interning_enabled(bool on);
+bool attr_interning_enabled();
+
+// Builder helpers for the common mutations; each returns the interned
+// block for the mutated value.
 PathAttributesPtr with_prepended_as(const PathAttributes& base, As as,
                                     net::IPv4 new_nexthop);
 PathAttributesPtr with_local_pref(const PathAttributes& base, uint32_t lp);

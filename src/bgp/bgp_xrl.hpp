@@ -36,32 +36,21 @@ public:
                                   : profiler::Profiler::ProfilePoint{};
     }
 
+    // One marshalling path for scalar and multipath winners: the
+    // 1-member set's text form is byte-identical to the bare address, so
+    // every add goes out as rib/1.0/add_route_multipath. Route pushes are
+    // idempotent: mark them so the call contract may retry through drops
+    // without risking double-execution harm.
     void add_route(const BgpRoute& r) override {
-        uint32_t metric = r.igp_metric == stage::kUnresolvedMetric
-                              ? uint32_t{0}
-                              : r.igp_metric;
         if (prof_sent_.enabled()) prof_sent_.record("add " + r.net.str());
-        // Route pushes are idempotent: mark them so the call contract may
-        // retry through drops without risking double-execution harm.
-        if (r.is_multipath()) {
-            xrl::XrlArgs args;
-            args.add("protocol", r.protocol)
-                .add("net", r.net)
-                .add("nexthops", r.nexthops.str())
-                .add("metric", metric);
-            router_.call_oneway(
-                xrl::Xrl::generic(target_, "rib", "1.0",
-                                  "add_route_multipath", args),
-                ipc::CallOptions::reliable());
-            return;
-        }
         xrl::XrlArgs args;
         args.add("protocol", r.protocol)
             .add("net", r.net)
-            .add("nexthop", r.nexthop)
-            .add("metric", metric);
+            .add("nexthops", r.nexthop_set().str())
+            .add("metric", wire_metric(r));
         router_.call_oneway(
-            xrl::Xrl::generic(target_, "rib", "1.0", "add_route", args),
+            xrl::Xrl::generic(target_, "rib", "1.0", "add_route_multipath",
+                              args),
             ipc::CallOptions::reliable());
     }
 
@@ -72,6 +61,25 @@ public:
         router_.call_oneway(
             xrl::Xrl::generic(target_, "rib", "1.0", "delete_route", args),
             ipc::CallOptions::reliable());
+    }
+
+    // A whole decision delta as a handful of framed add_routes_bulk XRLs.
+    // The bulk verb carries the protocol at batch level, but one decision
+    // batch may mix ebgp and ibgp winners, so entries are regrouped per
+    // protocol first (a replace whose halves changed protocol splits into
+    // its delete and add — they target different RIB origins anyway).
+    void push_batch(stage::RouteBatch4&& batch) override {
+        std::map<std::string, stage::RouteBatch4> by_proto;
+        for (auto& e : batch.entries()) {
+            if (e.op == stage::BatchOp::kReplace &&
+                e.old_route.protocol != e.route.protocol) {
+                by_proto[e.old_route.protocol].del(std::move(e.old_route));
+                by_proto[e.route.protocol].add(std::move(e.route));
+            } else {
+                by_proto[e.route.protocol].push(std::move(e));
+            }
+        }
+        for (auto& [proto, b] : by_proto) send_bulk(proto, std::move(b));
     }
 
     void register_interest(
@@ -104,6 +112,61 @@ public:
     }
 
 private:
+    // The RIB wire carries the IGP metric in the route's metric slot.
+    static uint32_t wire_metric(const BgpRoute& r) {
+        return r.igp_metric == stage::kUnresolvedMetric ? uint32_t{0}
+                                                        : r.igp_metric;
+    }
+
+    void send_bulk(const std::string& protocol, stage::RouteBatch4&& b) {
+        b.coalesce();
+        if (b.empty()) return;
+        if (b.size() == 1 &&
+            b.entries()[0].op != stage::BatchOp::kReplace) {
+            // Singleton leftovers keep the legacy wire shape.
+            auto& e = b.entries()[0];
+            if (e.op == stage::BatchOp::kAdd)
+                add_route(e.route);
+            else
+                delete_route(e.route);
+            return;
+        }
+        stage::RouteBatch4 chunk;
+        auto flush = [&] {
+            if (chunk.empty()) return;
+            xrl::XrlArgs args;
+            args.add("protocol", protocol).add("routes", chunk.encode());
+            router_.call_oneway(
+                xrl::Xrl::generic(target_, "rib", "1.0", "add_routes_bulk",
+                                  args),
+                ipc::CallOptions::reliable());
+            chunk.clear();
+        };
+        for (auto& e : b.entries()) {
+            if (prof_sent_.enabled()) {
+                if (e.op != stage::BatchOp::kAdd)
+                    prof_sent_.record(
+                        "delete " + (e.op == stage::BatchOp::kReplace
+                                         ? e.old_route.net.str()
+                                         : e.route.net.str()));
+                if (e.op != stage::BatchOp::kDelete)
+                    prof_sent_.record("add " + e.route.net.str());
+            }
+            // The wire's metric slot carries the resolved IGP metric,
+            // matching what the scalar verbs send.
+            e.route.metric = wire_metric(e.route);
+            if (e.op == stage::BatchOp::kReplace)
+                e.old_route.metric = wire_metric(e.old_route);
+            chunk.push(std::move(e));
+            if (chunk.size() >= kBulkChunkEntries) flush();
+        }
+        flush();
+    }
+
+    // Entries per add_routes_bulk message: bounds any one XRL's payload
+    // without meaningfully increasing the message count at 1M-route scale.
+    static constexpr size_t kBulkChunkEntries = 8192;
+
     ipc::XrlRouter& router_;
     std::string target_;
     profiler::Profiler::ProfilePoint prof_sent_;

@@ -91,6 +91,36 @@ BgpProcess::BgpProcess(ev::EventLoop& loop, Config config,
             else
                 rib_->delete_route(r);
         });
+    rib_branch_->set_batch_callback([this](stage::RouteBatch<IPv4>&& batch) {
+        // Same per-route filtering as the scalar callback, applied per
+        // entry; a replace whose halves disagree degrades to the
+        // surviving half. The filtered delta ships as one RIB call.
+        stage::RouteBatch<IPv4> out;
+        out.reserve(batch.size());
+        for (auto& e : batch.entries()) {
+            const bool new_ok = e.route.protocol != "local";
+            const bool old_ok = e.op != stage::BatchOp::kReplace ||
+                                e.old_route.protocol != "local";
+            if (prof_rib_queued_.enabled()) {
+                if (e.op == stage::BatchOp::kDelete && new_ok)
+                    prof_rib_queued_.record("delete " + e.route.net.str());
+                if (e.op == stage::BatchOp::kReplace && old_ok)
+                    prof_rib_queued_.record("delete " + e.old_route.net.str());
+                if (e.op != stage::BatchOp::kDelete && new_ok)
+                    prof_rib_queued_.record("add " + e.route.net.str());
+            }
+            if (e.op != stage::BatchOp::kReplace) {
+                if (new_ok) out.push(std::move(e));
+            } else if (new_ok && old_ok) {
+                out.push(std::move(e));
+            } else if (new_ok) {
+                out.add(std::move(e.route));
+            } else if (old_ok) {
+                out.del(std::move(e.old_route));
+            }
+        }
+        if (!out.empty()) rib_->push_batch(std::move(out));
+    });
     fanout_->add_branch(rib_branch_.get());
 
     loc_rib_ = std::make_unique<stage::SinkStage<IPv4>>("loc-rib");
@@ -206,32 +236,37 @@ void BgpProcess::handle_update(int peer_id, const UpdateMessage& update) {
     if (it == peers_.end()) return;
     PeerPipeline& p = *it->second;
 
+    // One UPDATE becomes one batch into the Peer In: withdrawals then
+    // announcements, the announcements sharing a single interned
+    // attribute block.
+    stage::RouteBatch<IPv4> batch;
+    batch.reserve(update.withdrawn.size() + update.nlri.size());
     for (const IPv4Net& net : update.withdrawn) {
         if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
         BgpRoute r;
         r.net = net;
-        p.peer_in->delete_route(r);
+        batch.del(std::move(r));
     }
-    if (update.nlri.empty()) return;
-    if (!update.attributes) return;  // malformed; session layer notified
 
     // Sender-side loop prevention can fail; receiver-side is mandatory.
-    if (update.attributes->as_path.contains(config_.local_as) &&
-        !p.session->is_ibgp())
-        return;
-
-    auto attrs = std::make_shared<PathAttributes>(*update.attributes);
-    const bool ibgp = p.session->is_ibgp();
-    for (const IPv4Net& net : update.nlri) {
-        if (prof_in_.enabled()) prof_in_.record("add " + net.str());
-        BgpRoute r;
-        r.net = net;
-        r.nexthop = attrs->nexthop;
-        r.protocol = ibgp ? "ibgp" : "ebgp";
-        r.source_id = p.session->config().peer_addr.to_host();
-        r.attrs = attrs;
-        p.peer_in->add_route(r);
+    // (malformed attributes: session layer notified, announcements dropped)
+    if (!update.nlri.empty() && update.attributes &&
+        !(update.attributes->as_path.contains(config_.local_as) &&
+          !p.session->is_ibgp())) {
+        auto attrs = intern_attrs(*update.attributes);
+        const bool ibgp = p.session->is_ibgp();
+        for (const IPv4Net& net : update.nlri) {
+            if (prof_in_.enabled()) prof_in_.record("add " + net.str());
+            BgpRoute r;
+            r.net = net;
+            r.nexthop = attrs->nexthop;
+            r.protocol = ibgp ? "ibgp" : "ebgp";
+            r.source_id = p.session->config().peer_addr.to_host();
+            r.attrs = attrs;
+            batch.add(std::move(r));
+        }
     }
+    if (!batch.empty()) p.peer_in->push_batch(std::move(batch));
 }
 
 // ---- session lifecycle -----------------------------------------------------
@@ -291,9 +326,10 @@ void BgpProcess::start_table_dump(int peer_id) {
 // ---- local origination -----------------------------------------------------
 
 void BgpProcess::originate(const IPv4Net& net, IPv4 nexthop) {
-    auto attrs = std::make_shared<PathAttributes>();
-    attrs->origin = Origin::kIgp;
-    attrs->nexthop = nexthop;
+    PathAttributes pa;
+    pa.origin = Origin::kIgp;
+    pa.nexthop = nexthop;
+    auto attrs = intern_attrs(std::move(pa));
     BgpRoute r;
     r.net = net;
     r.nexthop = nexthop;
@@ -330,11 +366,11 @@ policy::AttributeBinding<IPv4> BgpProcess::policy_binding() {
         if (pa == nullptr) return false;
         auto n = std::get_if<uint32_t>(&v);
         if (n == nullptr) return false;
-        auto copy = std::make_shared<PathAttributes>(*pa);
-        if (name == "localpref") copy->local_pref = *n;
-        else if (name == "med") copy->med = *n;
+        PathAttributes copy = *pa;
+        if (name == "localpref") copy.local_pref = *n;
+        else if (name == "med") copy.med = *n;
         else return false;
-        r.attrs = std::move(copy);
+        r.attrs = intern_attrs(std::move(copy));
         return true;
     };
     return b;

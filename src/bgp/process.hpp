@@ -43,6 +43,25 @@ public:
     virtual ~RibHandle() = default;
     virtual void add_route(const BgpRoute& r) = 0;
     virtual void delete_route(const BgpRoute& r) = 0;
+    // Bulk delta: one call per batch of winners. The default unrolls to
+    // the scalar verbs; transport-backed handles override it to ship the
+    // whole delta as one framed message.
+    virtual void push_batch(stage::RouteBatch<net::IPv4>&& batch) {
+        for (auto& e : batch.entries()) {
+            switch (e.op) {
+            case stage::BatchOp::kAdd:
+                add_route(e.route);
+                break;
+            case stage::BatchOp::kDelete:
+                delete_route(e.route);
+                break;
+            case stage::BatchOp::kReplace:
+                delete_route(e.old_route);
+                add_route(e.route);
+                break;
+            }
+        }
+    }
     // Figure-8 registration: answer arrives asynchronously with the IGP
     // metric (nullopt = unreachable) and the validity subnet.
     virtual void register_interest(

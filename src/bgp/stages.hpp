@@ -102,6 +102,16 @@ public:
         return best_other(net, nullptr);
     }
 
+    // Per-route decision logic is unchanged; the collector turns the
+    // resulting add/delete stream into one downstream message. Single-best
+    // mode only consults parents *other* than the caller, and multipath
+    // recompute diffs against forwarded_, so neither cares that the caller
+    // applied the whole batch before pushing it.
+    void push_batch(stage::RouteBatch<net::IPv4>&& batch,
+                    RouteStage* caller) override {
+        this->collect_and_forward(std::move(batch), caller);
+    }
+
     std::string name() const override { return name_; }
 
 private:
@@ -270,6 +280,15 @@ public:
             pending_[original.nexthop].push_back(original);
             if (first) query(original.nexthop);
         }
+    }
+
+    // Routes whose nexthop metric is cached resolve inline and ride the
+    // output batch; cache misses park as before and emit per-route from
+    // the asynchronous answer (the collector is long gone by then —
+    // forward_add falls back to the normal path).
+    void push_batch(stage::RouteBatch<net::IPv4>&& batch,
+                    RouteStage* caller) override {
+        this->collect_and_forward(std::move(batch), caller);
     }
 
     std::string name() const override { return name_; }

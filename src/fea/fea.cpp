@@ -53,6 +53,29 @@ void Fea::add_route(const net::IPv4Net& net,
     if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
 }
 
+void Fea::apply_batch(const stage::RouteBatch4& batch) {
+    for (const auto& e : batch.entries()) {
+        switch (e.op) {
+        case stage::BatchOp::kAdd:
+            if (e.route.is_multipath())
+                add_route(e.route.net, e.route.nexthops);
+            else
+                add_route(e.route.net, e.route.nexthop);
+            break;
+        case stage::BatchOp::kDelete:
+            delete_route(e.route.net);
+            break;
+        case stage::BatchOp::kReplace:
+            delete_route(e.old_route.net);
+            if (e.route.is_multipath())
+                add_route(e.route.net, e.route.nexthops);
+            else
+                add_route(e.route.net, e.route.nexthop);
+            break;
+        }
+    }
+}
+
 bool Fea::delete_route(const net::IPv4Net& net) {
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);

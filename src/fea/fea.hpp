@@ -21,6 +21,7 @@
 #include "fea/simfib.hpp"
 #include "fea/simnet.hpp"
 #include "profiler/profiler.hpp"
+#include "stage/batch.hpp"
 
 namespace xrp::fea {
 
@@ -48,6 +49,11 @@ public:
     // degrades to the scalar install above.
     void add_route(const net::IPv4Net& net, const net::NexthopSet4& nexthops);
     bool delete_route(const net::IPv4Net& net);
+    // Bulk install: one call applies a whole RIB delta in entry order.
+    // Per-entry FIB journaling is preserved — the convergence analyzer
+    // replays individual kFibAdd/kFibDelete events — so the saving is the
+    // transport round-trips, not the journal.
+    void apply_batch(const stage::RouteBatch4& batch);
     const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
 
     // ---- virtual network attachment -------------------------------------

@@ -9,17 +9,27 @@ void bind_fea_xrl(Fea& fea, ipc::XrlRouter& router) {
     auto spec = xrl::InterfaceSpec::parse(kFeaIdl);
     router.add_interface(*spec);
 
-    router.add_handler(
-        "fea/1.0/add_route4", [&fea](const XrlArgs& in, XrlArgs&) {
-            fea.add_route(*in.get_ipv4net("net"), *in.get_ipv4("nexthop"));
-            return XrlError::okay();
-        });
+    // add_route4_multipath is the canonical install verb (a bare address
+    // is the 1-member set); add_route4 stays as a thin compat wrapper.
     router.add_handler(
         "fea/1.0/add_route4_multipath", [&fea](const XrlArgs& in, XrlArgs&) {
             auto set = net::NexthopSet4::parse(*in.get_text("nexthops"));
             if (!set || set->empty())
                 return XrlError::command_failed("bad nexthops");
             fea.add_route(*in.get_ipv4net("net"), *set);
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/add_route4", [&fea](const XrlArgs& in, XrlArgs&) {
+            fea.add_route(*in.get_ipv4net("net"),
+                          net::NexthopSet4::single(*in.get_ipv4("nexthop")));
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "fea/1.0/add_routes4_bulk", [&fea](const XrlArgs& in, XrlArgs&) {
+            auto batch = stage::RouteBatch4::decode(*in.get_text("routes"));
+            if (!batch) return XrlError::command_failed("bad routes");
+            fea.apply_batch(*batch);
             return XrlError::okay();
         });
     router.add_handler(

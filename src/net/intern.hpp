@@ -1,0 +1,103 @@
+// Flyweight interning table: identical immutable values share one
+// refcounted allocation.
+//
+// At million-route scale the same attribute payloads recur massively — a
+// full BGP feed has ~1M prefixes but only tens of thousands of distinct
+// AS-paths, and an ECMP deployment has a handful of distinct nexthop
+// sets. Interning turns "one heap block per route" into "one heap block
+// per distinct value, shared by handle". Handles are plain
+// shared_ptr<const T>: lifetime is the ordinary refcount, and the table
+// holds only weak_ptrs, so a value dies with its last route — no
+// explicit release protocol, no leak when a table download is withdrawn.
+//
+// Buckets are keyed by the caller-supplied hash; collisions fall back to
+// operator==. Expired weak entries are swept lazily: the bucket scan
+// drops any it walks over, and a full purge runs every kPurgeInterval
+// interns to bound the dead weight from never-revisited buckets.
+#ifndef XRP_NET_INTERN_HPP
+#define XRP_NET_INTERN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace xrp::net {
+
+template <class T, class Hash>
+class InternTable {
+public:
+    static constexpr size_t kPurgeInterval = 8192;
+
+    explicit InternTable(Hash hash = Hash{}) : hash_(std::move(hash)) {}
+
+    struct Stats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        size_t live = 0;  // entries whose value is still referenced
+    };
+
+    std::shared_ptr<const T> intern(T value) {
+        if (++ops_ % kPurgeInterval == 0) purge();
+        const uint64_t h = hash_(value);
+        auto range = buckets_.equal_range(h);
+        for (auto it = range.first; it != range.second;) {
+            if (auto sp = it->second.lock()) {
+                if (*sp == value) {
+                    ++hits_;
+                    return sp;
+                }
+                ++it;
+            } else {
+                it = buckets_.erase(it);
+            }
+        }
+        ++misses_;
+        auto sp = std::make_shared<const T>(std::move(value));
+        buckets_.emplace(h, sp);
+        return sp;
+    }
+
+    // Drops every expired entry. O(table size); called automatically
+    // every kPurgeInterval interns.
+    void purge() {
+        for (auto it = buckets_.begin(); it != buckets_.end();)
+            it = it->second.expired() ? buckets_.erase(it) : std::next(it);
+    }
+
+    Stats stats() const {
+        Stats s;
+        s.hits = hits_;
+        s.misses = misses_;
+        for (const auto& [h, wp] : buckets_)
+            if (!wp.expired()) ++s.live;
+        return s;
+    }
+
+    void clear() {
+        buckets_.clear();
+        hits_ = misses_ = 0;
+        ops_ = 0;
+    }
+
+private:
+    Hash hash_;
+    std::unordered_multimap<uint64_t, std::weak_ptr<const T>> buckets_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t ops_ = 0;
+};
+
+// 64-bit hash combiner for building the caller-side hash functors
+// (boost-style, splitmix-strength mixing).
+inline constexpr uint64_t hash_mix(uint64_t seed, uint64_t v) {
+    v += 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return seed ^ (v ^ (v >> 31));
+}
+
+}  // namespace xrp::net
+
+#endif

@@ -22,16 +22,30 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <compare>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "net/intern.hpp"
 #include "net/ipv4.hpp"
 #include "net/ipv6.hpp"
 
 namespace xrp::net {
+
+// Process-wide gate for the nexthop-set flyweight (bench_memory measures
+// the table footprint with it on and off).
+inline bool& nexthop_interning_flag() {
+    static bool enabled = true;
+    return enabled;
+}
+inline void set_nexthop_interning_enabled(bool on) {
+    nexthop_interning_flag() = on;
+}
+inline bool nexthop_interning_enabled() { return nexthop_interning_flag(); }
 
 namespace detail {
 
@@ -74,6 +88,19 @@ struct Nexthop {
 
 template <class A>
 class NexthopSet {
+    using Members = std::vector<Nexthop<A>>;
+
+    struct MembersHash {
+        uint64_t operator()(const Members& v) const {
+            uint64_t h = 0x9ae16a3b2f90404full;
+            for (const auto& m : v) {
+                h = hash_mix(h, detail::addr_key(m.addr));
+                h = hash_mix(h, m.weight);
+            }
+            return h;
+        }
+    };
+
 public:
     using Addr = A;
 
@@ -89,66 +116,86 @@ public:
     // weight (a union of equal-cost contributions must be idempotent).
     void insert(const A& addr, uint32_t weight = 1) {
         if (weight == 0) weight = 1;
-        auto it = lower_bound(addr);
-        if (it != members_.end() && it->addr == addr) {
+        Members& m = mutate();
+        auto it = lower_bound(m, addr);
+        if (it != m.end() && it->addr == addr) {
             it->weight = std::max(it->weight, weight);
             return;
         }
-        members_.insert(it, Nexthop<A>{addr, weight});
+        m.insert(it, Nexthop<A>{addr, weight});
     }
 
     void merge(const NexthopSet& o) {
-        for (const auto& m : o.members_) insert(m.addr, m.weight);
+        if (o.rep_ == rep_) return;  // same rep: union is a no-op
+        for (const auto& m : o.view()) insert(m.addr, m.weight);
     }
 
     bool erase(const A& addr) {
-        auto it = lower_bound(addr);
-        if (it == members_.end() || it->addr != addr) return false;
-        members_.erase(it);
+        const Members& v = view();
+        auto it = lower_bound(v, addr);
+        if (it == v.end() || it->addr != addr) return false;
+        const size_t idx = static_cast<size_t>(it - v.begin());
+        Members& m = mutate();
+        m.erase(m.begin() + static_cast<ptrdiff_t>(idx));
         return true;
     }
 
     bool contains(const A& addr) const {
-        auto it = lower_bound(addr);
-        return it != members_.end() && it->addr == addr;
+        const Members& v = view();
+        auto it = lower_bound(v, addr);
+        return it != v.end() && it->addr == addr;
     }
 
-    bool empty() const { return members_.empty(); }
-    size_t size() const { return members_.size(); }
-    void clear() { members_.clear(); }
+    bool empty() const { return view().empty(); }
+    size_t size() const { return view().size(); }
+    void clear() { rep_.reset(); }
 
-    const std::vector<Nexthop<A>>& members() const { return members_; }
+    const std::vector<Nexthop<A>>& members() const { return view(); }
 
     // Lowest-address member; the scalar nexthop a multipath route exposes
     // to single-path consumers. Callers must check empty() first.
     const A& primary() const {
-        assert(!members_.empty());
-        return members_.front().addr;
+        assert(!empty());
+        return view().front().addr;
     }
 
     // Keeps the first `max_paths` members in canonical order — both SPF
     // modes clamp identically, so the incremental/full equality guarantee
     // survives the cap.
     void clamp(size_t max_paths) {
-        if (max_paths > 0 && members_.size() > max_paths)
-            members_.resize(max_paths);
+        if (max_paths > 0 && size() > max_paths) mutate().resize(max_paths);
     }
 
     uint64_t total_weight() const {
         uint64_t t = 0;
-        for (const auto& m : members_) t += m.weight;
+        for (const auto& m : view()) t += m.weight;
         return t;
     }
+
+    // Swaps this set's members for the canonical interned copy — distinct
+    // routes carrying equal sets then share one allocation. A later
+    // mutation through any handle copies first (the canonical value is
+    // never written through). No-op when interning is disabled or the set
+    // is empty.
+    void intern() {
+        if (!rep_ || interned_ || !nexthop_interning_enabled()) return;
+        rep_ = std::const_pointer_cast<Members>(intern_table().intern(*rep_));
+        interned_ = true;
+    }
+
+    using InternStats = typename InternTable<Members, MembersHash>::Stats;
+    static InternStats intern_stats() { return intern_table().stats(); }
 
     // Weighted rendezvous hash: every member scores the flow with
     // -weight / ln(u), u drawn deterministically from (flow, member);
     // highest score wins. Removing a member leaves every other member's
     // score untouched, so only the removed member's flows move.
     const A& pick(uint64_t key) const {
-        assert(!members_.empty());
-        const Nexthop<A>* best = &members_.front();
+        const Members& v = view();
+        assert(!v.empty());
+        const Nexthop<A>* best = &v.front();
         double best_score = -1.0;
-        for (const auto& m : members_) {
+        for (const auto& m : v) {
             uint64_t h = detail::mix64(key ^ detail::mix64(detail::addr_key(m.addr)));
             // u in (0, 1): 53 high bits, forced odd so ln(u) != 0 is
             // never hit with u == 0.
@@ -168,7 +215,7 @@ public:
     // encoding, so journals and XRLs stay readable and compatible.
     std::string str() const {
         std::string out;
-        for (const auto& m : members_) {
+        for (const auto& m : view()) {
             if (!out.empty()) out += '|';
             out += m.addr.str();
             if (m.weight != 1) {
@@ -208,23 +255,54 @@ public:
         return s;
     }
 
-    friend constexpr auto operator<=>(const NexthopSet&, const NexthopSet&) =
-        default;
+    // Equality stays a cheap memberwise compare — and cheaper still when
+    // two handles share one rep (the common case after interning).
+    friend bool operator==(const NexthopSet& a, const NexthopSet& b) {
+        return a.rep_ == b.rep_ || a.view() == b.view();
+    }
+    friend std::strong_ordering operator<=>(const NexthopSet& a,
+                                            const NexthopSet& b) {
+        if (a.rep_ == b.rep_) return std::strong_ordering::equal;
+        return a.view() <=> b.view();
+    }
 
 private:
-    typename std::vector<Nexthop<A>>::iterator lower_bound(const A& addr) {
+    static const Members& empty_members() {
+        static const Members kEmpty;
+        return kEmpty;
+    }
+    const Members& view() const { return rep_ ? *rep_ : empty_members(); }
+    // Copy-on-write: clone when the rep is shared with another set or is
+    // the interned canonical value (which must never be written through).
+    Members& mutate() {
+        if (!rep_) {
+            rep_ = std::make_shared<Members>();
+        } else if (rep_.use_count() > 1 || interned_) {
+            rep_ = std::make_shared<Members>(*rep_);
+        }
+        interned_ = false;
+        return *rep_;
+    }
+    static typename Members::iterator lower_bound(Members& v, const A& addr) {
         return std::lower_bound(
-            members_.begin(), members_.end(), addr,
+            v.begin(), v.end(), addr,
             [](const Nexthop<A>& m, const A& a) { return m.addr < a; });
     }
-    typename std::vector<Nexthop<A>>::const_iterator lower_bound(
-        const A& addr) const {
+    static typename Members::const_iterator lower_bound(const Members& v,
+                                                        const A& addr) {
         return std::lower_bound(
-            members_.begin(), members_.end(), addr,
+            v.begin(), v.end(), addr,
             [](const Nexthop<A>& m, const A& a) { return m.addr < a; });
+    }
+    static InternTable<Members, MembersHash>& intern_table() {
+        static InternTable<Members, MembersHash> table;
+        return table;
     }
 
-    std::vector<Nexthop<A>> members_;
+    // COW representation: null == empty, so the degenerate single-path
+    // case (every scalar route in the system) still allocates nothing.
+    std::shared_ptr<Members> rep_;
+    bool interned_ = false;
 };
 
 using NexthopSet4 = NexthopSet<IPv4>;

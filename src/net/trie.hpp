@@ -18,18 +18,39 @@
 //    is pruned (spliced out or removed) eagerly;
 //  - subtree_values counts valued nodes in each subtree, giving O(path)
 //    "is there any route under this prefix" queries for the RegisterStage.
+//
+// Allocation: nodes live on a per-trie arena — contiguous blocks carved
+// into node slots, recycled through a free list — so a million-route
+// table costs one malloc per kArenaBlockNodes nodes instead of one per
+// node, and neighbouring nodes share cache lines. The global toggle
+// (set_trie_arena_enabled) is captured at construction; bench_memory
+// flips it to measure the before/after footprint.
 #ifndef XRP_NET_TRIE_HPP
 #define XRP_NET_TRIE_HPP
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "net/ipnet.hpp"
 
 namespace xrp::net {
+
+// Process-wide default for whether new tries pool their nodes. Each trie
+// snapshots the flag in its constructor, so flipping it never mixes
+// allocators within one table.
+inline bool& trie_arena_flag() {
+    static bool enabled = true;
+    return enabled;
+}
+inline void set_trie_arena_enabled(bool on) { trie_arena_flag() = on; }
+inline bool trie_arena_enabled() { return trie_arena_flag(); }
+
+inline constexpr size_t kArenaBlockNodes = 256;
 
 template <class A, class T>
 class RouteTrie {
@@ -38,19 +59,26 @@ class RouteTrie {
 public:
     using Net = IpNet<A>;
 
-    RouteTrie() : root_(std::make_unique<Node>(Net{})) {}
+    RouteTrie() : root_(arena_.create(Net{}, nullptr)) {}
 
     RouteTrie(const RouteTrie&) = delete;
     RouteTrie& operator=(const RouteTrie&) = delete;
 
-    ~RouteTrie() { assert(live_iterators_ == 0); }
+    ~RouteTrie() {
+        assert(live_iterators_ == 0);
+        destroy_subtree(root_);
+    }
 
     size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    // Bytes held by the node arena (0 when the arena is disabled and
+    // nodes come from the general-purpose allocator one by one).
+    size_t arena_bytes() const { return arena_.bytes(); }
+
     // Inserts or overwrites. Returns true if the key was new.
     bool insert(const Net& net, T value) {
-        Node* n = root_.get();
+        Node* n = root_;
         while (true) {
             if (n->key == net) {
                 bool was_new = !n->value.has_value();
@@ -63,45 +91,41 @@ public:
             }
             // Invariant: n->key contains net and is strictly shorter.
             bool b = net.masked_addr().bit(n->key.prefix_len());
-            std::unique_ptr<Node>& slot = n->child[b];
-            if (!slot) {
-                slot = std::make_unique<Node>(net, n);
-                slot->value = std::move(value);
+            Node* c = n->child[b];
+            if (c == nullptr) {
+                Node* leaf = arena_.create(net, n);
+                leaf->value = std::move(value);
+                n->child[b] = leaf;
                 ++size_;
-                bump_counts(slot.get(), +1);
+                bump_counts(leaf, +1);
                 return true;
             }
-            Node* c = slot.get();
             if (c->key.contains(net)) {
                 n = c;
                 continue;
             }
             if (net.contains(c->key)) {
                 // Interpose a node for `net` between n and c.
-                auto mid = std::make_unique<Node>(net, n);
+                Node* mid = arena_.create(net, n);
                 mid->value = std::move(value);
-                Node* midp = mid.get();
-                adopt(midp, std::move(slot));
-                slot = std::move(mid);
+                n->child[b] = mid;
+                adopt(mid, c);
                 ++size_;
-                bump_counts(midp, +1);
+                bump_counts(mid, +1);
                 return true;
             }
             // Keys diverge: interpose a valueless fork at the common prefix.
             uint32_t d = A::common_prefix_len(net.masked_addr(),
                                               c->key.masked_addr());
             assert(d < net.prefix_len() && d < c->key.prefix_len());
-            auto fork = std::make_unique<Node>(
-                Net(net.masked_addr(), d), n);
-            Node* forkp = fork.get();
-            adopt(forkp, std::move(slot));
-            auto leaf = std::make_unique<Node>(net, forkp);
+            Node* fork = arena_.create(Net(net.masked_addr(), d), n);
+            n->child[b] = fork;
+            adopt(fork, c);
+            Node* leaf = arena_.create(net, fork);
             leaf->value = std::move(value);
-            Node* leafp = leaf.get();
-            forkp->child[net.masked_addr().bit(d)] = std::move(leaf);
-            slot = std::move(fork);
+            fork->child[net.masked_addr().bit(d)] = leaf;
             ++size_;
-            bump_counts(leafp, +1);
+            bump_counts(leaf, +1);
             return true;
         }
     }
@@ -132,11 +156,11 @@ public:
     // Longest-prefix match for a host address.
     const T* lookup(A addr, Net* matched_net = nullptr) const {
         const Node* best = nullptr;
-        for (const Node* n = root_.get(); n != nullptr;) {
+        for (const Node* n = root_; n != nullptr;) {
             if (!n->key.contains(addr)) break;
             if (n->value.has_value()) best = n;
             if (n->key.prefix_len() == A::kAddrBits) break;
-            n = n->child[addr.bit(n->key.prefix_len())].get();
+            n = n->child[addr.bit(n->key.prefix_len())];
         }
         if (best == nullptr) return nullptr;
         if (matched_net != nullptr) *matched_net = best->key;
@@ -146,11 +170,11 @@ public:
     // Nearest strictly-less-specific route covering `net`.
     const T* find_less_specific(const Net& net, Net* matched_net = nullptr) const {
         const Node* best = nullptr;
-        for (const Node* n = root_.get(); n != nullptr;) {
+        for (const Node* n = root_; n != nullptr;) {
             if (!n->key.contains(net) || n->key.prefix_len() >= net.prefix_len())
                 break;
             if (n->value.has_value()) best = n;
-            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())];
         }
         if (best == nullptr) return nullptr;
         if (matched_net != nullptr) *matched_net = best->key;
@@ -159,12 +183,12 @@ public:
 
     // True if any route exists that is equal to or more specific than `net`.
     bool has_route_within(const Net& net) const {
-        const Node* n = root_.get();
+        const Node* n = root_;
         while (n != nullptr) {
             if (net.contains(n->key)) return n->subtree_values > 0;
             if (!n->key.contains(net)) return false;
             if (n->key.prefix_len() == A::kAddrBits) return false;
-            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())];
         }
         return false;
     }
@@ -184,14 +208,14 @@ public:
         RegisterResult r;
         // Phase 1: find the deepest valued node containing addr.
         const Node* vnode = nullptr;
-        for (const Node* n = root_.get(); n != nullptr;) {
+        for (const Node* n = root_; n != nullptr;) {
             if (!n->key.contains(addr)) break;
             if (n->value.has_value()) vnode = n;
             if (n->key.prefix_len() == A::kAddrBits) break;
-            n = n->child[addr.bit(n->key.prefix_len())].get();
+            n = n->child[addr.bit(n->key.prefix_len())];
         }
         uint32_t best = 0;
-        const Node* n = root_.get();
+        const Node* n = root_;
         if (vnode != nullptr) {
             r.route = &*vnode->value;
             r.matched_net = vnode->key;
@@ -202,10 +226,10 @@ public:
         // every more-specific route that shares a partial path with addr.
         while (n->key.prefix_len() < A::kAddrBits) {
             bool b = addr.bit(n->key.prefix_len());
-            const Node* sib = n->child[!b].get();
+            const Node* sib = n->child[!b];
             if (sib != nullptr && sib->subtree_values > 0)
                 best = std::max(best, n->key.prefix_len() + 1);
-            const Node* c = n->child[b].get();
+            const Node* c = n->child[b];
             if (c == nullptr) break;
             uint32_t d = std::min(
                 A::common_prefix_len(addr, c->key.masked_addr()),
@@ -312,7 +336,7 @@ public:
     };
 
     iterator begin() {
-        Node* n = root_.get();
+        Node* n = root_;
         if (!n->value.has_value()) {
             do {
                 n = preorder_next(n);
@@ -325,22 +349,22 @@ public:
     // Visits every live route in prefix order. `fn(net, value)`.
     template <class Fn>
     void for_each(Fn&& fn) const {
-        for_each_node(root_.get(), fn);
+        for_each_node(root_, fn);
     }
 
     // Visits every live route equal to or more specific than `within`.
     template <class Fn>
     void for_each_within(const Net& within, Fn&& fn) const {
-        const Node* n = root_.get();
+        const Node* n = root_;
         while (n != nullptr && !within.contains(n->key)) {
             if (!n->key.contains(within)) return;  // disjoint
             if (n->key.prefix_len() == A::kAddrBits) return;
-            n = n->child[within.masked_addr().bit(n->key.prefix_len())].get();
+            n = n->child[within.masked_addr().bit(n->key.prefix_len())];
         }
         if (n != nullptr) for_each_node(n, fn);
     }
 
-    size_t node_count() const { return count_nodes(root_.get()); }
+    size_t node_count() const { return count_nodes(root_); }
 
 private:
     struct Node {
@@ -350,18 +374,70 @@ private:
         Net key;
         std::optional<T> value;
         Node* parent = nullptr;
-        std::unique_ptr<Node> child[2];
+        Node* child[2] = {nullptr, nullptr};
         uint32_t iter_refs = 0;
         // Count of valued nodes in this subtree (including this node).
         uint32_t subtree_values = 0;
     };
 
-    static void adopt(Node* new_parent, std::unique_ptr<Node> child) {
-        Node* c = child.get();
-        c->parent = new_parent;
-        new_parent->subtree_values += c->subtree_values;
-        new_parent->child[c->key.masked_addr().bit(
-            new_parent->key.prefix_len())] = std::move(child);
+    // Per-trie node pool: blocks carved into Node-sized slots threaded on
+    // a free list. destroy() runs the destructor and recycles the slot;
+    // block storage is released only when the trie itself dies, which is
+    // exactly the lifetime a routing table wants (peak size is sticky).
+    class Arena {
+        union Slot {
+            Slot* next;
+            alignas(Node) std::byte storage[sizeof(Node)];
+        };
+        struct Block {
+            Slot slots[kArenaBlockNodes];
+        };
+
+    public:
+        Arena() : enabled_(trie_arena_enabled()) {}
+        Arena(const Arena&) = delete;
+        Arena& operator=(const Arena&) = delete;
+
+        template <class... Args>
+        Node* create(Args&&... args) {
+            if (!enabled_) return new Node(std::forward<Args>(args)...);
+            if (free_ == nullptr) grow();
+            Slot* s = free_;
+            free_ = s->next;
+            return new (s->storage) Node(std::forward<Args>(args)...);
+        }
+        void destroy(Node* n) {
+            if (!enabled_) {
+                delete n;
+                return;
+            }
+            n->~Node();
+            Slot* s = reinterpret_cast<Slot*>(n);
+            s->next = free_;
+            free_ = s;
+        }
+        size_t bytes() const { return blocks_.size() * sizeof(Block); }
+
+    private:
+        void grow() {
+            blocks_.push_back(std::make_unique<Block>());
+            Block* b = blocks_.back().get();
+            for (size_t i = kArenaBlockNodes; i-- > 0;) {
+                b->slots[i].next = free_;
+                free_ = &b->slots[i];
+            }
+        }
+
+        bool enabled_;
+        Slot* free_ = nullptr;
+        std::vector<std::unique_ptr<Block>> blocks_;
+    };
+
+    static void adopt(Node* new_parent, Node* child) {
+        child->parent = new_parent;
+        new_parent->subtree_values += child->subtree_values;
+        new_parent->child[child->key.masked_addr().bit(
+            new_parent->key.prefix_len())] = child;
     }
 
     void bump_counts(Node* n, int delta) {
@@ -371,21 +447,21 @@ private:
     }
 
     Node* find_node(const Net& net) const {
-        Node* n = root_.get();
+        Node* n = root_;
         while (n != nullptr) {
             if (n->key == net) return n;
             if (!n->key.contains(net)) return nullptr;
-            n = n->child[net.masked_addr().bit(n->key.prefix_len())].get();
+            n = n->child[net.masked_addr().bit(n->key.prefix_len())];
         }
         return nullptr;
     }
 
     static Node* preorder_next(Node* n) {
-        if (n->child[0]) return n->child[0].get();
-        if (n->child[1]) return n->child[1].get();
+        if (n->child[0] != nullptr) return n->child[0];
+        if (n->child[1] != nullptr) return n->child[1];
         while (n->parent != nullptr) {
             Node* p = n->parent;
-            if (p->child[0].get() == n && p->child[1]) return p->child[1].get();
+            if (p->child[0] == n && p->child[1] != nullptr) return p->child[1];
             n = p;
         }
         return nullptr;
@@ -396,37 +472,46 @@ private:
     // fewer than two children. Never removes the root.
     void prune_upward(Node* n) {
         while (n != nullptr && n->parent != nullptr && !n->value.has_value() &&
-               n->iter_refs == 0 && !(n->child[0] && n->child[1])) {
+               n->iter_refs == 0 &&
+               !(n->child[0] != nullptr && n->child[1] != nullptr)) {
             Node* parent = n->parent;
-            std::unique_ptr<Node>& slot =
-                parent->child[parent->child[0].get() == n ? 0 : 1];
-            assert(slot.get() == n);
-            std::unique_ptr<Node> only_child =
-                std::move(n->child[0] ? n->child[0] : n->child[1]);
-            if (only_child) {
+            Node*& slot = parent->child[parent->child[0] == n ? 0 : 1];
+            assert(slot == n);
+            Node* only_child =
+                n->child[0] != nullptr ? n->child[0] : n->child[1];
+            if (only_child != nullptr) {
                 only_child->parent = parent;
-                slot = std::move(only_child);  // splice n out
+                slot = only_child;  // splice n out
             } else {
-                slot.reset();  // remove leaf
+                slot = nullptr;  // remove leaf
             }
+            arena_.destroy(n);
             n = parent;
         }
+    }
+
+    void destroy_subtree(Node* n) {
+        if (n == nullptr) return;
+        destroy_subtree(n->child[0]);
+        destroy_subtree(n->child[1]);
+        arena_.destroy(n);
     }
 
     template <class Fn>
     static void for_each_node(const Node* n, Fn& fn) {
         if (n == nullptr) return;
         if (n->value.has_value()) fn(n->key, *n->value);
-        for_each_node(n->child[0].get(), fn);
-        for_each_node(n->child[1].get(), fn);
+        for_each_node(n->child[0], fn);
+        for_each_node(n->child[1], fn);
     }
 
     static size_t count_nodes(const Node* n) {
         if (n == nullptr) return 0;
-        return 1 + count_nodes(n->child[0].get()) + count_nodes(n->child[1].get());
+        return 1 + count_nodes(n->child[0]) + count_nodes(n->child[1]);
     }
 
-    std::unique_ptr<Node> root_;
+    Arena arena_;
+    Node* root_;
     size_t size_ = 0;
     size_t live_iterators_ = 0;
 };

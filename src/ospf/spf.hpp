@@ -47,8 +47,7 @@ struct SpfRoute {
     // distance field with the same deterministic pass, so the sets are
     // identical between full and incremental runs by construction.
     net::NexthopSet4 nexthops;
-    friend constexpr auto operator<=>(const SpfRoute&,
-                                      const SpfRoute&) = default;
+    friend auto operator<=>(const SpfRoute&, const SpfRoute&) = default;
 };
 
 using RouteMap = std::map<net::IPv4Net, SpfRoute>;

@@ -85,6 +85,34 @@ Rib::Rib(ev::EventLoop& loop, std::unique_ptr<FeaHandle> fea)
                 fea_->delete_route(r.net);
             }
         });
+    // Batched winners ship to the FEA as one delta; per-entry gauge and
+    // profiling bookkeeping mirrors the scalar callback (a replace is a
+    // delete(old)+add(new) for both).
+    final_->set_batch_callback([this](stage::RouteBatch<IPv4>&& batch) {
+        for (const auto& e : batch.entries()) {
+            if (prof_fea_queued_.enabled()) {
+                if (e.op == stage::BatchOp::kDelete)
+                    prof_fea_queued_.record("delete " + e.route.net.str());
+                else if (e.op == stage::BatchOp::kReplace)
+                    prof_fea_queued_.record("delete " + e.old_route.net.str());
+                if (e.op != stage::BatchOp::kDelete)
+                    prof_fea_queued_.record("add " + e.route.net.str());
+            }
+            const Route4& gone =
+                e.op == stage::BatchOp::kReplace ? e.old_route : e.route;
+            if (e.op != stage::BatchOp::kAdd && gone.is_multipath()) {
+                m_ecmp_routes_->add(-1);
+                m_ecmp_members_->add(
+                    -static_cast<int64_t>(gone.nexthops.size()));
+            }
+            if (e.op != stage::BatchOp::kDelete && e.route.is_multipath()) {
+                m_ecmp_routes_->add(1);
+                m_ecmp_members_->add(
+                    static_cast<int64_t>(e.route.nexthops.size()));
+            }
+        }
+        fea_->push_batch(std::move(batch));
+    });
     register_stage_->set_downstream(final_.get());
     final_->set_upstream(register_stage_.get());
 }
@@ -93,49 +121,29 @@ Rib::~Rib() = default;
 
 bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
                     IPv4 nexthop, uint32_t metric) {
-    auto it = origins_.find(protocol);
-    if (it == origins_.end()) return false;
-    it->second.adds->inc();
-    if (prof_in_.enabled()) prof_in_.record("add " + net.str());
-    if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
-            loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
-            net.str(), protocol + ":" + nexthop.str(),
-            static_cast<int64_t>(metric));
-    Route4 r;
-    r.net = net;
-    r.nexthop = nexthop;
-    r.metric = metric;
-    r.admin_distance = it->second.admin_distance;
-    r.protocol = protocol;
-    it->second.stage->add_route(r);
-    if (it->second.state != OriginState::kFresh)
-        it->second.stale_gauge->set(
-            static_cast<int64_t>(it->second.stage->stale_count()));
-    return true;
+    // The scalar verb is the 1-member degenerate case of the set verb;
+    // set_nexthops() collapses it back so the stored route is identical.
+    return add_route(protocol, net, net::NexthopSet4::single(nexthop),
+                     metric);
 }
 
 bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
                     const net::NexthopSet4& nexthops, uint32_t metric) {
-    if (nexthops.size() <= 1)
-        return add_route(protocol, net,
-                         nexthops.empty() ? IPv4() : nexthops.primary(),
-                         metric);
     auto it = origins_.find(protocol);
     if (it == origins_.end()) return false;
     it->second.adds->inc();
     if (prof_in_.enabled()) prof_in_.record("add " + net.str());
-    if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
-            loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
-            net.str(), protocol + ":" + nexthops.str(),
-            static_cast<int64_t>(metric));
     Route4 r;
     r.net = net;
     r.set_nexthops(nexthops);
     r.metric = metric;
     r.admin_distance = it->second.admin_distance;
     r.protocol = protocol;
+    if (telemetry::journal_enabled())
+        telemetry::Journal::global().record(
+            loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
+            net.str(), protocol + ":" + r.nexthop_set().str(),
+            static_cast<int64_t>(metric));
     it->second.stage->add_route(r);
     if (it->second.state != OriginState::kFresh)
         it->second.stale_gauge->set(
@@ -158,6 +166,50 @@ bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
     if (it->second.state != OriginState::kFresh)
         it->second.stale_gauge->set(
             static_cast<int64_t>(it->second.stage->stale_count()));
+    return true;
+}
+
+bool Rib::push_batch(const std::string& protocol,
+                     stage::RouteBatch4&& batch) {
+    auto it = origins_.find(protocol);
+    if (it == origins_.end()) return false;
+    Origin& o = it->second;
+    if (batch.empty()) return true;
+    o.adds->inc(batch.add_count());
+    o.deletes->inc(batch.delete_count());
+    if (prof_in_.enabled())
+        prof_in_.record("bulk " + std::to_string(batch.size()));
+    const bool journal = telemetry::journal_enabled();
+    for (auto& e : batch.entries()) {
+        if (e.op != stage::BatchOp::kDelete) {
+            e.route.admin_distance = o.admin_distance;
+            e.route.protocol = protocol;
+        }
+        if (e.op == stage::BatchOp::kReplace) {
+            e.old_route.admin_distance = o.admin_distance;
+            e.old_route.protocol = protocol;
+        }
+        // The journal stays per-route when enabled — the analyzer replays
+        // individual events — and costs one branch per entry when not.
+        if (journal) {
+            auto& j = telemetry::Journal::global();
+            if (e.op != stage::BatchOp::kAdd)
+                j.record(loop_.now(), telemetry::JournalKind::kRouteWithdraw,
+                         node_, "rib",
+                         (e.op == stage::BatchOp::kReplace ? e.old_route.net
+                                                           : e.route.net)
+                             .str(),
+                         protocol);
+            if (e.op != stage::BatchOp::kDelete)
+                j.record(loop_.now(), telemetry::JournalKind::kRouteInstall,
+                         node_, "rib", e.route.net.str(),
+                         protocol + ":" + e.route.nexthop_set().str(),
+                         static_cast<int64_t>(e.route.metric));
+        }
+    }
+    o.stage->push_batch(std::move(batch));
+    if (o.state != OriginState::kFresh)
+        o.stale_gauge->set(static_cast<int64_t>(o.stage->stale_count()));
     return true;
 }
 

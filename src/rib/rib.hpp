@@ -61,6 +61,30 @@ public:
         add_route(net, nexthops.empty() ? net::IPv4() : nexthops.primary());
     }
     virtual void delete_route(const net::IPv4Net& net) = 0;
+    // Bulk delta: the default unrolls to the scalar verbs; transport or
+    // direct handles override it to apply the whole delta in one call.
+    virtual void push_batch(stage::RouteBatch4&& batch) {
+        for (auto& e : batch.entries()) {
+            switch (e.op) {
+            case stage::BatchOp::kAdd:
+                if (e.route.is_multipath())
+                    add_route(e.route.net, e.route.nexthops);
+                else
+                    add_route(e.route.net, e.route.nexthop);
+                break;
+            case stage::BatchOp::kDelete:
+                delete_route(e.route.net);
+                break;
+            case stage::BatchOp::kReplace:
+                delete_route(e.old_route.net);
+                if (e.route.is_multipath())
+                    add_route(e.route.net, e.route.nexthops);
+                else
+                    add_route(e.route.net, e.route.nexthop);
+                break;
+            }
+        }
+    }
 };
 
 class NullFeaHandle final : public FeaHandle {
@@ -83,6 +107,9 @@ public:
     }
     void delete_route(const net::IPv4Net& net) override {
         fea_.delete_route(net);
+    }
+    void push_batch(stage::RouteBatch4&& batch) override {
+        fea_.apply_batch(batch);
     }
 
 private:
@@ -124,6 +151,10 @@ public:
     bool add_route(const std::string& protocol, const net::IPv4Net& net,
                    const net::NexthopSet4& nexthops, uint32_t metric = 0);
     bool delete_route(const std::string& protocol, const net::IPv4Net& net);
+    // Bulk entry point: one ordered delta from a single origin protocol.
+    // Entries are stamped with the protocol's admin distance and flow into
+    // the origin as one message; scalar verbs are the degenerate case.
+    bool push_batch(const std::string& protocol, stage::RouteBatch4&& batch);
     void set_admin_distance(const std::string& protocol, uint32_t distance);
 
     // ---- winner queries -----------------------------------------------

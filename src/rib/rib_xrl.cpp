@@ -21,25 +21,35 @@ void bind_rib_xrl(Rib& rib, ipc::XrlRouter& router) {
     auto spec = xrl::InterfaceSpec::parse(kRibIdl);
     router.add_interface(*spec);
 
-    router.add_handler(
-        "rib/1.0/add_route", [&rib](const XrlArgs& in, XrlArgs&) {
-            if (!rib.add_route(*in.get_text("protocol"),
-                               *in.get_ipv4net("net"),
-                               *in.get_ipv4("nexthop"), *in.get_u32("metric")))
-                return XrlError::command_failed("unknown protocol");
-            return XrlError::okay();
-        });
+    // add_route_multipath is the canonical route-input verb: nexthops is
+    // the NexthopSet canonical text form ("addr[@w]|addr[@w]..."), and a
+    // bare address parses as the 1-member set, so the scalar add_route
+    // verb below is a thin compat wrapper over the same path.
     router.add_handler(
         "rib/1.0/add_route_multipath", [&rib](const XrlArgs& in, XrlArgs&) {
-            // nexthops is the NexthopSet canonical text form
-            // ("addr[@w]|addr[@w]..."); a bare address parses as the
-            // 1-member set, so scalar senders could use this method too.
             auto set = net::NexthopSet4::parse(*in.get_text("nexthops"));
             if (!set || set->empty())
                 return XrlError::command_failed("bad nexthops");
             if (!rib.add_route(*in.get_text("protocol"),
                                *in.get_ipv4net("net"), *set,
                                *in.get_u32("metric")))
+                return XrlError::command_failed("unknown protocol");
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/add_route", [&rib](const XrlArgs& in, XrlArgs&) {
+            if (!rib.add_route(*in.get_text("protocol"),
+                               *in.get_ipv4net("net"),
+                               net::NexthopSet4::single(*in.get_ipv4("nexthop")),
+                               *in.get_u32("metric")))
+                return XrlError::command_failed("unknown protocol");
+            return XrlError::okay();
+        });
+    router.add_handler(
+        "rib/1.0/add_routes_bulk", [&rib](const XrlArgs& in, XrlArgs&) {
+            auto batch = stage::RouteBatch4::decode(*in.get_text("routes"));
+            if (!batch) return XrlError::command_failed("bad routes");
+            if (!rib.push_batch(*in.get_text("protocol"), std::move(*batch)))
                 return XrlError::command_failed("unknown protocol");
             return XrlError::okay();
         });

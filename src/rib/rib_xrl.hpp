@@ -17,6 +17,7 @@ inline constexpr const char* kRibIdl = R"(
 interface rib/1.0 {
     add_route ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32;
     add_route_multipath ? protocol:txt & net:ipv4net & nexthops:txt & metric:u32;
+    add_routes_bulk ? protocol:txt & routes:txt;
     delete_route ? protocol:txt & net:ipv4net;
     lookup_route4 ? addr:ipv4
         -> found:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & protocol:txt;
@@ -56,23 +57,16 @@ public:
                                   : profiler::Profiler::ProfilePoint{};
     }
 
+    // One marshalling path for scalar and multipath installs: a 1-member
+    // set's text form is byte-identical to the bare address, so every add
+    // goes out as fea/1.0/add_route4_multipath. FIB pushes are idempotent
+    // (re-adding the same route is a no-op), so the reliable contract may
+    // retry them through chaos.
     void add_route(const net::IPv4Net& net, net::IPv4 nexthop) override {
-        xrl::XrlArgs args;
-        args.add("net", net).add("nexthop", nexthop);
-        if (prof_sent_.enabled()) prof_sent_.record("add " + net.str());
-        // FIB pushes are idempotent (re-adding the same route is a no-op),
-        // so the reliable contract may retry them through chaos.
-        router_.call_oneway(
-            xrl::Xrl::generic(target_, "fea", "1.0", "add_route4", args),
-            ipc::CallOptions::reliable());
+        add_route(net, net::NexthopSet4::single(nexthop));
     }
     void add_route(const net::IPv4Net& net,
                    const net::NexthopSet4& nexthops) override {
-        if (nexthops.size() <= 1) {
-            add_route(net,
-                      nexthops.empty() ? net::IPv4() : nexthops.primary());
-            return;
-        }
         xrl::XrlArgs args;
         args.add("net", net).add("nexthops", nexthops.str());
         if (prof_sent_.enabled()) prof_sent_.record("add " + net.str());
@@ -89,8 +83,55 @@ public:
             xrl::Xrl::generic(target_, "fea", "1.0", "delete_route4", args),
             ipc::CallOptions::reliable());
     }
+    // A whole RIB delta as a handful of framed add_routes4_bulk XRLs.
+    // Coalescing is safe at this boundary (the FEA cares about final FIB
+    // state, not transients); 1-entry leftovers use the scalar verbs so
+    // singleton churn keeps its legacy wire shape.
+    void push_batch(stage::RouteBatch4&& batch) override {
+        batch.coalesce();
+        if (batch.empty()) return;
+        if (batch.size() == 1 &&
+            batch.entries()[0].op != stage::BatchOp::kReplace) {
+            auto& e = batch.entries()[0];
+            if (e.op == stage::BatchOp::kAdd)
+                add_route(e.route.net, e.route.nexthop_set());
+            else
+                delete_route(e.route.net);
+            return;
+        }
+        stage::RouteBatch4 chunk;
+        auto flush = [&] {
+            if (chunk.empty()) return;
+            xrl::XrlArgs args;
+            args.add("routes", chunk.encode());
+            router_.call_oneway(
+                xrl::Xrl::generic(target_, "fea", "1.0", "add_routes4_bulk",
+                                  args),
+                ipc::CallOptions::reliable());
+            chunk.clear();
+        };
+        for (auto& e : batch.entries()) {
+            if (prof_sent_.enabled()) {
+                if (e.op != stage::BatchOp::kAdd)
+                    prof_sent_.record(
+                        "delete " + (e.op == stage::BatchOp::kReplace
+                                         ? e.old_route.net.str()
+                                         : e.route.net.str()));
+                if (e.op != stage::BatchOp::kDelete)
+                    prof_sent_.record("add " + e.route.net.str());
+            }
+            chunk.push(std::move(e));
+            if (chunk.size() >= kBulkChunkEntries) flush();
+        }
+        flush();
+    }
 
 private:
+    // Entries per add_routes4_bulk message: bounds any one XRL's payload
+    // (and the receiver's decode allocation) without meaningfully
+    // increasing the message count for million-route downloads.
+    static constexpr size_t kBulkChunkEntries = 8192;
+
     ipc::XrlRouter& router_;
     std::string target_;
     profiler::Profiler::ProfilePoint prof_sent_;

@@ -68,6 +68,12 @@ public:
         this->forward_delete(route);
     }
 
+    // A resyncing peer re-announcing its table in bulk hits this: each
+    // entry still purges our held copy (stale delete first), batched out.
+    void push_batch(RouteBatch<A>&& batch, RouteStage<A>* caller) override {
+        this->collect_and_forward(std::move(batch), caller);
+    }
+
     std::optional<RouteT> lookup_route(const Net& net) const override {
         // New routes (upstream) take precedence; otherwise our not-yet-
         // deleted copy is still the truth downstream has.
@@ -78,14 +84,11 @@ public:
 
     std::optional<RouteT> lookup_route_lpm(A addr) const override {
         auto up = RouteStage<A>::lookup_route_lpm(addr);
-        Net matched;
-        const RouteT* held = table_->lookup(addr, &matched);
-        if (held == nullptr) return up;
-        if (!up) return *held;
+        const RouteT* held = table_->lookup(addr, nullptr);
         // Prefer the more specific answer; ties go upstream (fresher).
-        return up->net.prefix_len() >= matched.prefix_len()
-                   ? up
-                   : std::optional<RouteT>(*held);
+        return this->longer_match(
+            held != nullptr ? std::optional<RouteT>(*held) : std::nullopt,
+            std::move(up));
     }
 
     std::string name() const override { return name_; }

@@ -56,6 +56,12 @@ public:
         }
     }
 
+    // Resolution state updates run per entry exactly as before; only the
+    // emitted resolved/retracted stream is batched downstream.
+    void push_batch(RouteBatch<A>&& batch, RouteStage<A>* caller) override {
+        this->collect_and_forward(std::move(batch), caller);
+    }
+
     std::optional<RouteT> lookup_route(const Net& net) const override {
         // Downstream truth: whatever we forwarded for this prefix.
         if (const RouteT* f = forwarded_.find(net))
@@ -65,14 +71,12 @@ public:
     }
 
     std::optional<RouteT> lookup_route_lpm(A addr) const override {
-        Net fnet;
-        const RouteT* f = forwarded_.lookup(addr, &fnet);
+        const RouteT* f = forwarded_.lookup(addr, nullptr);
         auto i = int_ != nullptr ? int_->lookup_route_lpm(addr) : std::nullopt;
-        if (f == nullptr) return i;
-        if (!i) return *f;
-        return i->net.prefix_len() > fnet.prefix_len()
-                   ? i
-                   : std::optional<RouteT>(*f);
+        // Ties go to the forwarded external answer (it carries igp_metric).
+        return this->longer_match(
+            std::move(i),
+            f != nullptr ? std::optional<RouteT>(*f) : std::nullopt);
     }
 
     std::string name() const override { return name_; }

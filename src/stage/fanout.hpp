@@ -75,6 +75,28 @@ public:
     void delete_route(const RouteT& route, RouteStage<A>*) override {
         enqueue({false, route});
     }
+    // A batch lands in the queue as its unrolled item stream (so reader
+    // positions, lag accounting and gc are untouched), then every ready
+    // reader is driven once — drain() re-chunks whatever span a reader
+    // can consume into a single push_batch to its branch.
+    void push_batch(RouteBatch<A>&& batch, RouteStage<A>*) override {
+        for (auto& e : batch.entries()) {
+            switch (e.op) {
+            case BatchOp::kAdd:
+                queue_.push_back({true, std::move(e.route)});
+                break;
+            case BatchOp::kDelete:
+                queue_.push_back({false, std::move(e.route)});
+                break;
+            case BatchOp::kReplace:
+                queue_.push_back({false, std::move(e.old_route)});
+                queue_.push_back({true, std::move(e.route)});
+                break;
+            }
+        }
+        for (auto& [id, r] : readers_) drain(r);
+        gc();
+    }
     std::optional<RouteT> lookup_route(const Net& net) const override {
         return this->lookup_upstream(net);
     }
@@ -102,12 +124,31 @@ private:
         if (r.draining) return;  // downstream called back into us
         r.draining = true;
         while (r.ready && r.next < base_ + queue_.size()) {
-            const Item& item = queue_[r.next - base_];
-            ++r.next;
-            if (item.is_add)
-                r.stage->add_route(item.route, this);
-            else
-                r.stage->delete_route(item.route, this);
+            const size_t avail = base_ + queue_.size() - r.next;
+            if (avail == 1) {
+                const Item& item = queue_[r.next - base_];
+                ++r.next;
+                if (item.is_add)
+                    r.stage->add_route(item.route, this);
+                else
+                    r.stage->delete_route(item.route, this);
+                continue;
+            }
+            // A lagging or batch-fed reader gets its whole available span
+            // as one message. The span is snapshotted before calling out:
+            // the branch may re-enter (enqueue more, flip readiness), and
+            // the loop re-checks both on return.
+            RouteBatch<A> chunk;
+            chunk.reserve(avail);
+            for (size_t i = 0; i < avail; ++i) {
+                const Item& item = queue_[r.next - base_ + i];
+                if (item.is_add)
+                    chunk.add(item.route);
+                else
+                    chunk.del(item.route);
+            }
+            r.next += avail;
+            r.stage->push_batch(std::move(chunk), this);
         }
         r.draining = false;
     }

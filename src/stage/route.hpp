@@ -71,6 +71,7 @@ struct Route {
             nexthops.clear();
         } else {
             nexthops = set;
+            nexthops.intern();
             nexthop = set.primary();
         }
     }

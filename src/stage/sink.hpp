@@ -19,9 +19,14 @@ public:
     using typename RouteStage<A>::RouteT;
     using typename RouteStage<A>::Net;
     using ChangeCallback = std::function<void(bool is_add, const RouteT&)>;
+    // Batch-aware consumers (the RIB's FEA feed) install this to receive
+    // whole deltas; without it a batch degrades to per-entry cb_ calls.
+    using BatchCallback = std::function<void(RouteBatch<A>&&)>;
 
     explicit SinkStage(std::string name, ChangeCallback cb = nullptr)
         : name_(std::move(name)), cb_(std::move(cb)) {}
+
+    void set_batch_callback(BatchCallback cb) { batch_cb_ = std::move(cb); }
 
     void add_route(const RouteT& route, RouteStage<A>*) override {
         this->stage_metrics().adds->inc();
@@ -35,6 +40,44 @@ public:
         table_.erase(route.net);
         this->routes_gauge()->set(static_cast<int64_t>(table_.size()));
         if (cb_) cb_(false, route);
+    }
+
+    void push_batch(RouteBatch<A>&& batch, RouteStage<A>*) override {
+        this->stage_metrics().adds->inc(batch.add_count());
+        this->stage_metrics().deletes->inc(batch.delete_count());
+        for (const auto& e : batch.entries()) {
+            switch (e.op) {
+            case BatchOp::kAdd:
+                table_.insert(e.route.net, e.route);
+                break;
+            case BatchOp::kDelete:
+                table_.erase(e.route.net);
+                break;
+            case BatchOp::kReplace:
+                table_.erase(e.old_route.net);
+                table_.insert(e.route.net, e.route);
+                break;
+            }
+        }
+        this->routes_gauge()->set(static_cast<int64_t>(table_.size()));
+        if (batch_cb_) {
+            batch_cb_(std::move(batch));
+        } else if (cb_) {
+            for (const auto& e : batch.entries()) {
+                switch (e.op) {
+                case BatchOp::kAdd:
+                    cb_(true, e.route);
+                    break;
+                case BatchOp::kDelete:
+                    cb_(false, e.route);
+                    break;
+                case BatchOp::kReplace:
+                    cb_(false, e.old_route);
+                    cb_(true, e.route);
+                    break;
+                }
+            }
+        }
     }
 
     std::optional<RouteT> lookup_route(const Net& net) const override {
@@ -59,6 +102,7 @@ public:
 private:
     std::string name_;
     ChangeCallback cb_;
+    BatchCallback batch_cb_;
     net::RouteTrie<A, RouteT> table_;
 };
 

@@ -23,7 +23,9 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "stage/batch.hpp"
 #include "stage/route.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -50,6 +52,31 @@ public:
                                     : std::nullopt;
     }
 
+    // ---- the bulk verb ---------------------------------------------------
+    // An ordered delta of adds/deletes/replaces flowing downstream as one
+    // message. The default unrolls to the legacy per-route calls, so every
+    // stage works unchanged; hot stages override it to amortize dispatch,
+    // lookups, telemetry and journaling. Overrides must be message-
+    // preserving: processing the entries in order through the override
+    // must hand downstream the same add/delete stream the unroll would
+    // (replace = delete(old) then add(new)).
+    virtual void push_batch(RouteBatch<A>&& batch, RouteStage* caller) {
+        for (auto& e : batch.entries()) {
+            switch (e.op) {
+            case BatchOp::kAdd:
+                add_route(e.route, caller);
+                break;
+            case BatchOp::kDelete:
+                delete_route(e.route, caller);
+                break;
+            case BatchOp::kReplace:
+                delete_route(e.old_route, caller);
+                add_route(e.route, caller);
+                break;
+            }
+        }
+    }
+
     // ---- plumbing -------------------------------------------------------
     // Simple stages have one upstream and one downstream; stages with
     // fan-in/fan-out (Decision, Fanout, Merge) override what they need.
@@ -63,17 +90,62 @@ public:
 
 protected:
     void forward_add(const RouteT& r) {
+        if (collect_ != nullptr) {
+            collect_->add(r);
+            return;
+        }
         stage_metrics().adds->inc();
         if (downstream_ != nullptr) downstream_->add_route(r, this);
     }
     void forward_delete(const RouteT& r) {
+        if (collect_ != nullptr) {
+            collect_->del(r);
+            return;
+        }
         stage_metrics().deletes->inc();
         if (downstream_ != nullptr) downstream_->delete_route(r, this);
+    }
+    // The workhorse behind most push_batch overrides: runs the batch
+    // through this stage's own per-route handlers (the base unroll calls
+    // the virtual add_route/delete_route) with forward_add/forward_delete
+    // redirected into one output batch, then hands that batch downstream
+    // as a single message. Per-route *processing* is untouched — semantics
+    // stay pinned to the unroll by construction — but the downstream
+    // pipeline traversal (virtual dispatch, telemetry, journaling per
+    // message) collapses to once per batch, which is what dominates at
+    // million-route scale.
+    void collect_and_forward(RouteBatch<A>&& batch, RouteStage* caller) {
+        RouteBatch<A> out;
+        out.reserve(batch.size());
+        collect_ = &out;
+        RouteStage<A>::push_batch(std::move(batch), caller);
+        collect_ = nullptr;
+        forward_batch(std::move(out));
     }
     std::optional<RouteT> lookup_upstream(const Net& net) const {
         stage_metrics().lookups->inc();
         return upstream_ != nullptr ? upstream_->lookup_route(net)
                                     : std::nullopt;
+    }
+    // Forwards a whole batch downstream with one virtual call, bumping the
+    // per-stage counters by the batch's add/delete totals so telemetry
+    // stays comparable with the unrolled path.
+    void forward_batch(RouteBatch<A>&& batch) {
+        if (batch.empty()) return;
+        stage_metrics().adds->inc(batch.add_count());
+        stage_metrics().deletes->inc(batch.delete_count());
+        if (downstream_ != nullptr)
+            downstream_->push_batch(std::move(batch), this);
+    }
+    // Shared LPM-fallback arbitration: the longer prefix wins between two
+    // candidate answers; `b` wins ties. DeletionStage (held vs upstream)
+    // and ExtIntStage (internal vs forwarded) both reduce to this.
+    static std::optional<RouteT> longer_match(std::optional<RouteT> a,
+                                              std::optional<RouteT> b) {
+        if (!a) return b;
+        if (!b) return a;
+        return b->net.prefix_len() >= a->net.prefix_len() ? std::move(b)
+                                                          : std::move(a);
     }
 
     // Per-stage telemetry, keyed by name() and bound lazily (name() is
@@ -111,6 +183,7 @@ private:
     mutable telemetry::Gauge* routes_gauge_ = nullptr;
     RouteStage* downstream_ = nullptr;
     RouteStage* upstream_ = nullptr;
+    RouteBatch<A>* collect_ = nullptr;
 };
 
 // Splices `mid` into the pipeline between `up` and `down` (Figure 6).

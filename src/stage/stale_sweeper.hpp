@@ -62,6 +62,11 @@ public:
     void delete_route(const RouteT& route, RouteStage<A>*) override {
         this->forward_delete(route);
     }
+    void push_batch(RouteBatch<A>&& batch, RouteStage<A>* caller) override {
+        // Pure pass-through: hand the batch on whole.
+        this->forward_batch(std::move(batch));
+        (void)caller;
+    }
     std::optional<RouteT> lookup_route(const Net& net) const override {
         return this->lookup_upstream(net);
     }

@@ -1,0 +1,700 @@
+// Tests for the bulk/delta stage API: RouteBatch semantics (coalescing,
+// wire framing), attribute/nexthop-set interning and COW safety, the
+// per-table trie arena toggle, and — the load-bearing part — randomized
+// equivalence oracles pinning the batch path to the legacy per-route
+// path: the same shuffled stream through both must produce bit-identical
+// final tables AND identical downstream message streams, including
+// multipath routes, a mid-stream origin death (DeletionStage), and a
+// graceful-restart resync + stale sweep. A bulk-XRL end-to-end test
+// drives add_routes_bulk / add_routes4_bulk across real XrlRouters.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bgp/attributes.hpp"
+#include "bgp/bgp_xrl.hpp"
+#include "ev/eventloop.hpp"
+#include "fea/fea_xrl.hpp"
+#include "ipc/router.hpp"
+#include "net/trie.hpp"
+#include "rib/rib_xrl.hpp"
+#include "stage/batch.hpp"
+#include "stage/cache.hpp"
+#include "stage/deletion.hpp"
+#include "stage/origin.hpp"
+#include "stage/sink.hpp"
+#include "stage/stale_sweeper.hpp"
+
+using namespace xrp;
+using namespace xrp::stage;
+using namespace std::chrono_literals;
+using net::IPv4;
+using net::IPv4Net;
+
+namespace {
+
+Route4 mkroute(const std::string& net_s, const char* nh = "192.0.2.1",
+               uint32_t metric = 1, const char* proto = "test",
+               uint32_t admin = 100) {
+    Route4 r;
+    r.net = IPv4Net::must_parse(net_s);
+    r.nexthop = IPv4::must_parse(nh);
+    r.metric = metric;
+    r.protocol = proto;
+    r.admin_distance = admin;
+    return r;
+}
+
+}  // namespace
+
+// ---- RouteBatch: coalescing --------------------------------------------
+
+TEST(RouteBatch, CoalesceFoldsChurnToNetEffect) {
+    RouteBatch4 b;
+    // 10/8: add then delete — downstream must never see it.
+    Route4 ephemeral = mkroute("10.0.0.0/8", "192.0.2.1", 1);
+    b.add(ephemeral);
+    b.del(ephemeral);
+    // 20/8: delete then add — folds to a replace(old=deleted, new=added).
+    Route4 old20 = mkroute("20.0.0.0/8", "192.0.2.2", 2);
+    Route4 new20 = mkroute("20.0.0.0/8", "192.0.2.3", 3);
+    b.del(old20);
+    b.add(new20);
+    // 30/8: add then replace — one add carrying the final route.
+    Route4 mid30 = mkroute("30.0.0.0/8", "192.0.2.4", 4);
+    Route4 fin30 = mkroute("30.0.0.0/8", "192.0.2.5", 5);
+    b.add(mid30);
+    b.replace(mid30, fin30);
+    // 40/8: replace then delete — delete of the *original* old route.
+    Route4 old40 = mkroute("40.0.0.0/8", "192.0.2.6", 6);
+    Route4 new40 = mkroute("40.0.0.0/8", "192.0.2.7", 7);
+    b.replace(old40, new40);
+    b.del(new40);
+
+    b.coalesce();
+    // Survivors follow first-appearance order: 20/8, 30/8, 40/8.
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_EQ(b.entries()[0].op, BatchOp::kReplace);
+    EXPECT_EQ(b.entries()[0].route, new20);
+    EXPECT_EQ(b.entries()[0].old_route, old20);
+    EXPECT_EQ(b.entries()[1].op, BatchOp::kAdd);
+    EXPECT_EQ(b.entries()[1].route, fin30);
+    EXPECT_EQ(b.entries()[2].op, BatchOp::kDelete);
+    EXPECT_EQ(b.entries()[2].route, old40);
+
+    // Idempotent: coalescing an already-coalesced batch changes nothing.
+    RouteBatch4 again;
+    for (const auto& e : b.entries()) again.push(e);
+    again.coalesce();
+    ASSERT_EQ(again.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(again.entries()[i].op, b.entries()[i].op);
+        EXPECT_EQ(again.entries()[i].route, b.entries()[i].route);
+    }
+}
+
+TEST(RouteBatch, CountsSplitReplacesIntoBothSides) {
+    RouteBatch4 b;
+    b.add(mkroute("10.0.0.0/8"));
+    b.del(mkroute("20.0.0.0/8"));
+    b.replace(mkroute("30.0.0.0/8", "192.0.2.1"),
+              mkroute("30.0.0.0/8", "192.0.2.2"));
+    EXPECT_EQ(b.add_count(), 2u);     // add + replace
+    EXPECT_EQ(b.delete_count(), 2u);  // delete + replace
+}
+
+// ---- RouteBatch: wire framing ------------------------------------------
+
+TEST(RouteBatch, WireRoundtripPreservesEveryEntry) {
+    RouteBatch4 b;
+    Route4 scalar = mkroute("10.1.0.0/16", "192.0.2.9", 7);
+    b.add(scalar);
+
+    Route4 multi = mkroute("10.2.0.0/16", "192.0.2.1", 3);
+    net::NexthopSet4 set;
+    set.insert(IPv4::must_parse("192.0.2.1"));
+    set.insert(IPv4::must_parse("192.0.2.2"), 3);  // weighted member
+    multi.set_nexthops(set);
+    b.add(multi);
+
+    b.del(mkroute("10.3.0.0/16", "192.0.2.4", 11));
+
+    Route4 old_r = mkroute("10.4.0.0/16", "192.0.2.5", 2);
+    net::NexthopSet4 old_set;
+    old_set.insert(IPv4::must_parse("192.0.2.5"));
+    old_set.insert(IPv4::must_parse("192.0.2.6"));
+    old_r.set_nexthops(old_set);
+    Route4 new_r = mkroute("10.4.0.0/16", "192.0.2.7", 9);
+    b.replace(old_r, new_r);
+
+    auto dec = RouteBatch4::decode(b.encode());
+    ASSERT_TRUE(dec.has_value());
+    ASSERT_EQ(dec->size(), b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+        const auto& want = b.entries()[i];
+        const auto& got = dec->entries()[i];
+        EXPECT_EQ(got.op, want.op) << i;
+        EXPECT_EQ(got.route.net, want.route.net) << i;
+        EXPECT_EQ(got.route.metric, want.route.metric) << i;
+        // The wire carries net + nexthop set + metric (protocol/admin ride
+        // at batch level on the XRL verb).
+        EXPECT_EQ(got.route.nexthop_set(), want.route.nexthop_set()) << i;
+        if (want.op == BatchOp::kReplace) {
+            EXPECT_EQ(got.old_route.metric, want.old_route.metric);
+            EXPECT_EQ(got.old_route.nexthop_set(),
+                      want.old_route.nexthop_set());
+        }
+    }
+}
+
+TEST(RouteBatch, DecodeRejectsMalformedFrames) {
+    EXPECT_FALSE(RouteBatch4::decode("x 10.0.0.0/8 192.0.2.1 5\n"));
+    EXPECT_FALSE(RouteBatch4::decode("a notanet 192.0.2.1 5\n"));
+    EXPECT_FALSE(RouteBatch4::decode("a 10.0.0.0/8 not.an.addr 5\n"));
+    EXPECT_FALSE(RouteBatch4::decode("a 10.0.0.0/8 192.0.2.1\n"));
+    // A replace missing its old half.
+    EXPECT_FALSE(RouteBatch4::decode("r 10.0.0.0/8 192.0.2.1 5\n"));
+    // Empty text is the empty batch, not an error.
+    auto empty = RouteBatch4::decode("");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->empty());
+}
+
+// ---- attribute interning ------------------------------------------------
+
+TEST(Interning, EqualAttributeBlocksShareOneAllocation) {
+    bgp::PathAttributes pa;
+    pa.origin = bgp::Origin::kIgp;
+    pa.nexthop = IPv4::must_parse("192.0.2.1");
+    pa.med = 50;
+    auto p1 = bgp::intern_attrs(pa);
+    auto p2 = bgp::intern_attrs(pa);
+    EXPECT_EQ(p1.get(), p2.get());  // flyweight: same block
+
+    pa.med = 51;
+    auto p3 = bgp::intern_attrs(pa);
+    EXPECT_NE(p1.get(), p3.get());  // distinct value, distinct block
+
+    // With interning off it degrades to plain allocation.
+    bgp::set_attr_interning_enabled(false);
+    auto p4 = bgp::intern_attrs(*p1);
+    EXPECT_NE(p1.get(), p4.get());
+    EXPECT_EQ(*p1, *p4);
+    bgp::set_attr_interning_enabled(true);
+}
+
+TEST(Interning, TableDropsValuesWithTheirLastRoute) {
+    bgp::PathAttributes pa;
+    pa.nexthop = IPv4::must_parse("203.0.113.77");
+    pa.local_pref = 424242;  // value unique to this test
+    auto p1 = bgp::intern_attrs(pa);
+    auto held = bgp::attr_intern_table().stats().live;
+    p1.reset();  // last reference gone
+    bgp::attr_intern_table().purge();
+    EXPECT_LT(bgp::attr_intern_table().stats().live, held);
+}
+
+TEST(Interning, NexthopSetCowProtectsCanonicalValue) {
+    net::NexthopSet4 a;
+    a.insert(IPv4::must_parse("192.0.2.1"));
+    a.insert(IPv4::must_parse("192.0.2.2"), 3);
+    a.intern();
+
+    // A copy shares the canonical rep; mutating it must copy first.
+    net::NexthopSet4 b = a;
+    b.insert(IPv4::must_parse("192.0.2.3"));
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_TRUE(a.contains(IPv4::must_parse("192.0.2.2")));
+    EXPECT_FALSE(a.contains(IPv4::must_parse("192.0.2.3")));
+
+    // Erase through another handle: canonical value still untouched.
+    net::NexthopSet4 c = a;
+    ASSERT_TRUE(c.erase(IPv4::must_parse("192.0.2.1")));
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.str(), "192.0.2.1|192.0.2.2@3");
+
+    // Same members built in a different insertion order intern to the
+    // live canonical rep — observable as an intern-table hit.
+    auto before = net::NexthopSet4::intern_stats();
+    net::NexthopSet4 d;
+    d.insert(IPv4::must_parse("192.0.2.2"), 3);
+    d.insert(IPv4::must_parse("192.0.2.1"));
+    d.intern();
+    auto after = net::NexthopSet4::intern_stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(d, a);
+
+    // With the flyweight disabled intern() is a no-op.
+    net::set_nexthop_interning_enabled(false);
+    auto off_before = net::NexthopSet4::intern_stats();
+    net::NexthopSet4 e = a;
+    e.insert(IPv4::must_parse("192.0.2.9"));
+    e.intern();
+    auto off_after = net::NexthopSet4::intern_stats();
+    EXPECT_EQ(off_after.hits, off_before.hits);
+    EXPECT_EQ(off_after.misses, off_before.misses);
+    net::set_nexthop_interning_enabled(true);
+}
+
+// ---- trie arena ---------------------------------------------------------
+
+TEST(TrieArena, ToggleSnapshotsAndCorrectnessHolds) {
+    const bool was = net::trie_arena_enabled();
+    auto exercise = [](net::RouteTrie<IPv4, uint32_t>& t) {
+        for (uint32_t i = 0; i < 200; ++i) {
+            IPv4Net n(IPv4::must_parse("10." + std::to_string(i / 16) + "." +
+                                       std::to_string(i % 16) + ".0"),
+                      24);
+            t.insert(n, i);
+        }
+        EXPECT_EQ(t.size(), 200u);
+        for (uint32_t i = 0; i < 200; i += 2) {
+            IPv4Net n(IPv4::must_parse("10." + std::to_string(i / 16) + "." +
+                                       std::to_string(i % 16) + ".0"),
+                      24);
+            ASSERT_NE(t.find(n), nullptr);
+            EXPECT_EQ(*t.find(n), i);
+            t.erase(n);
+            EXPECT_EQ(t.find(n), nullptr);
+        }
+        EXPECT_EQ(t.size(), 100u);
+        const uint32_t* hit = t.lookup(IPv4::must_parse("10.0.1.77"));
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(*hit, 1u);
+    };
+
+    net::set_trie_arena_enabled(true);
+    net::RouteTrie<IPv4, uint32_t> on;
+    EXPECT_GT(on.arena_bytes(), 0u);  // root node lives on the arena
+    exercise(on);
+    EXPECT_GT(on.arena_bytes(), 0u);
+
+    // The flag is snapshotted at construction: a trie built with the
+    // arena off heap-allocates and reports zero arena footprint.
+    net::set_trie_arena_enabled(false);
+    net::RouteTrie<IPv4, uint32_t> off;
+    exercise(off);
+    EXPECT_EQ(off.arena_bytes(), 0u);
+
+    net::set_trie_arena_enabled(was);
+}
+
+// ---- the equivalence oracle (stage level) -------------------------------
+//
+// The batch API's contract is that replaying a batch entry-by-entry
+// through the per-route calls is semantically identical to pushing it as
+// one message. The oracle feeds one randomized stream through two
+// identical pipelines — scalar calls vs. randomly-chunked batches — with
+// a consistency checker in the middle, and demands bit-identical final
+// tables AND an identical downstream message stream, across a mid-stream
+// origin death (DeletionStage drain) and a graceful-restart resync with
+// a stale sweep.
+
+namespace {
+
+struct Op {
+    bool is_add = true;
+    Route4 route;
+};
+
+std::vector<Op> make_stream(uint32_t seed, size_t n) {
+    std::mt19937 rng(seed);
+    std::vector<Op> ops;
+    ops.reserve(n);
+    const char* nhs[] = {"192.0.2.1", "192.0.2.2", "192.0.2.3", "192.0.2.4"};
+    for (size_t i = 0; i < n; ++i) {
+        Op op;
+        const uint32_t a = rng() % 8, b = rng() % 8;
+        op.is_add = rng() % 10 < 6;
+        op.route = mkroute("10." + std::to_string(a) + "." +
+                               std::to_string(b) + ".0/24",
+                           nhs[rng() % 4], 1 + rng() % 10);
+        if (op.is_add && rng() % 4 == 0) {
+            // Every fourth add is multipath, occasionally weighted.
+            net::NexthopSet4 set;
+            const size_t k = 2 + rng() % 3;
+            for (size_t j = 0; j < k; ++j)
+                set.insert(IPv4::must_parse(nhs[(j + rng() % 4) % 4]),
+                           rng() % 3 == 0 ? 2 + rng() % 4 : 1);
+            op.route.set_nexthops(set);
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+struct OraclePipe {
+    ev::VirtualClock clock;
+    ev::EventLoop loop{clock};
+    OriginStage<IPv4> origin{"peer"};
+    CacheStage<IPv4> checker{"check"};
+    std::vector<std::pair<bool, Route4>> msgs;
+    SinkStage<IPv4> sink{"sink", [this](bool is_add, const Route4& r) {
+                             msgs.emplace_back(is_add, r);
+                         }};
+
+    OraclePipe() {
+        origin.set_downstream(&checker);
+        checker.set_upstream(&origin);
+        checker.set_downstream(&sink);
+        sink.set_upstream(&checker);
+    }
+
+    // Feeds ops[begin, end): scalar calls, or batches of random sizes
+    // drawn from `chunk_rng` (the chunking must not change anything, so
+    // its seed is independent of the stream).
+    void feed(const std::vector<Op>& ops, size_t begin, size_t end,
+              std::mt19937* chunk_rng) {
+        if (chunk_rng == nullptr) {
+            for (size_t i = begin; i < end; ++i) {
+                if (ops[i].is_add)
+                    origin.add_route(ops[i].route);
+                else
+                    origin.delete_route(ops[i].route);
+            }
+            return;
+        }
+        size_t i = begin;
+        while (i < end) {
+            RouteBatch4 b;
+            for (size_t k = 1 + (*chunk_rng)() % 8; k > 0 && i < end;
+                 --k, ++i) {
+                if (ops[i].is_add)
+                    b.add(ops[i].route);
+                else
+                    b.del(ops[i].route);
+            }
+            origin.push_batch(std::move(b));
+        }
+    }
+
+    // Peer death: detach the table into a DeletionStage and drain it
+    // completely before the stream resumes.
+    void kill_and_drain() {
+        bool completed = false;
+        auto del = std::make_unique<DeletionStage<IPv4>>(
+            "del", origin.detach_table(), loop,
+            [&](DeletionStage<IPv4>*) { completed = true; }, 7);
+        plumb_between<IPv4>(origin, *del, checker);
+        loop.run_until([&] { return completed; }, 10s);
+        ASSERT_TRUE(completed);
+    }
+
+    // Graceful restart: mark everything stale, re-confirm `survivors`
+    // (identical re-advertisements — zero downstream traffic), then sweep
+    // the stale remainder in background slices.
+    void restart_resync_sweep(const std::vector<Route4>& survivors,
+                              bool batched) {
+        origin.begin_refresh();
+        if (batched) {
+            RouteBatch4 b;
+            for (const auto& r : survivors) b.add(r);
+            origin.push_batch(std::move(b));
+        } else {
+            for (const auto& r : survivors) origin.add_route(r);
+        }
+        bool completed = false;
+        auto sweeper = std::make_unique<StaleSweeperStage<IPv4>>(
+            "sweep", origin, loop,
+            [&](StaleSweeperStage<IPv4>*) { completed = true; }, 5);
+        plumb_between<IPv4>(origin, *sweeper, checker);
+        loop.run_until([&] { return completed; }, 10s);
+        ASSERT_TRUE(completed);
+    }
+
+    std::vector<Route4> table_rows() const {
+        std::vector<Route4> rows;
+        sink.table().for_each(
+            [&](const IPv4Net&, const Route4& r) { rows.push_back(r); });
+        return rows;
+    }
+};
+
+}  // namespace
+
+TEST(BatchOracle, RandomStreamBatchEqualsPerRoute) {
+    const auto ops = make_stream(0xb8bc01e5, 400);
+    OraclePipe scalar, batched;
+    std::mt19937 chunk_rng(0x5eed);
+
+    // First half of the stream.
+    scalar.feed(ops, 0, ops.size() / 2, nullptr);
+    batched.feed(ops, 0, ops.size() / 2, &chunk_rng);
+
+    // Mid-stream origin death, fully drained in both variants.
+    scalar.kill_and_drain();
+    batched.kill_and_drain();
+
+    // Second half.
+    scalar.feed(ops, ops.size() / 2, ops.size(), nullptr);
+    batched.feed(ops, ops.size() / 2, ops.size(), &chunk_rng);
+
+    // Graceful restart: re-confirm every other held route (trie order is
+    // deterministic and the tables are equal, so both variants pick the
+    // same survivors), then sweep the stale rest.
+    std::vector<Route4> held;
+    scalar.origin.table().for_each(
+        [&](const IPv4Net&, const Route4& r) { held.push_back(r); });
+    std::vector<Route4> survivors;
+    for (size_t i = 0; i < held.size(); i += 2) survivors.push_back(held[i]);
+    scalar.restart_resync_sweep(survivors, false);
+    batched.restart_resync_sweep(survivors, true);
+
+    // The oracle: identical message streams, identical final state.
+    EXPECT_GT(scalar.msgs.size(), 100u);  // the test actually exercised it
+    ASSERT_EQ(scalar.msgs.size(), batched.msgs.size());
+    for (size_t i = 0; i < scalar.msgs.size(); ++i) {
+        ASSERT_EQ(scalar.msgs[i].first, batched.msgs[i].first) << "msg " << i;
+        ASSERT_EQ(scalar.msgs[i].second, batched.msgs[i].second)
+            << "msg " << i << " net " << scalar.msgs[i].second.net.str();
+    }
+    EXPECT_TRUE(scalar.checker.consistent())
+        << scalar.checker.violations().front();
+    EXPECT_TRUE(batched.checker.consistent())
+        << batched.checker.violations().front();
+
+    auto rows_a = scalar.table_rows();
+    auto rows_b = batched.table_rows();
+    ASSERT_EQ(rows_a.size(), rows_b.size());
+    for (size_t i = 0; i < rows_a.size(); ++i)
+        EXPECT_EQ(rows_a[i], rows_b[i]) << rows_a[i].net.str();
+    EXPECT_EQ(scalar.origin.route_count(), batched.origin.route_count());
+    EXPECT_EQ(scalar.origin.route_count(), survivors.size());
+    EXPECT_EQ(scalar.origin.stale_count(), 0u);
+    EXPECT_EQ(batched.origin.stale_count(), 0u);
+}
+
+// ---- the equivalence oracle (whole RIB) ---------------------------------
+//
+// Same idea one layer up: a mixed-protocol stream into two full RIBs —
+// scalar add_route/delete_route vs. push_batch with batches cut at
+// protocol changes (a batch rides one origin, matching the wire verb) —
+// must leave identical RIB winners and identical FEA FIBs.
+
+namespace {
+
+struct RibPipe {
+    ev::VirtualClock clock;
+    ev::EventLoop loop{clock};
+    fea::Fea fea{loop};
+    rib::Rib rib{loop, std::make_unique<rib::DirectFeaHandle>(fea)};
+
+    RibPipe() {
+        fea.interfaces().add_interface("eth0", IPv4::must_parse("192.0.2.1"),
+                                       24);
+        rib.add_route("connected", IPv4Net::must_parse("192.0.2.0/24"),
+                      IPv4::must_parse("192.0.2.1"), 0);
+    }
+
+    std::vector<fea::FibEntry> fib_rows() const {
+        std::vector<fea::FibEntry> rows;
+        fea.fib().for_each(
+            [&](const IPv4Net&, const fea::FibEntry& e) { rows.push_back(e); });
+        std::sort(rows.begin(), rows.end(),
+                  [](const fea::FibEntry& a, const fea::FibEntry& b) {
+                      return a.net < b.net;
+                  });
+        return rows;
+    }
+};
+
+}  // namespace
+
+TEST(BatchOracle, RibBulkInputMatchesScalarInput) {
+    const char* protos[] = {"static", "rip", "ospf", "ebgp"};
+    std::mt19937 rng(0x00c0ffee);
+    struct RibOp {
+        std::string proto;
+        bool is_add;
+        Route4 route;
+    };
+    std::vector<RibOp> ops;
+    for (size_t i = 0; i < 300; ++i) {
+        RibOp op;
+        op.proto = protos[rng() % 4];
+        op.is_add = rng() % 10 < 7;
+        op.route = mkroute("10." + std::to_string(rng() % 12) + ".0.0/16",
+                           "192.0.2.10", 1 + rng() % 20);
+        net::NexthopSet4 set;
+        const size_t k = rng() % 5 == 0 ? 2 : 1;
+        for (size_t j = 0; j < k; ++j)
+            set.insert(
+                IPv4::must_parse("192.0.2." + std::to_string(10 + rng() % 6)));
+        op.route.set_nexthops(set);
+        ops.push_back(std::move(op));
+    }
+
+    RibPipe scalar, batched;
+    for (const auto& op : ops) {
+        if (op.is_add)
+            scalar.rib.add_route(op.proto, op.route.net,
+                                 op.route.nexthop_set(), op.route.metric);
+        else
+            scalar.rib.delete_route(op.proto, op.route.net);
+    }
+
+    // Batch variant: maximal same-protocol runs (protocol is batch-level
+    // context on the wire, so a flush happens at every protocol change).
+    RouteBatch4 pending;
+    std::string pending_proto;
+    auto flush = [&] {
+        if (pending.empty()) return;
+        ASSERT_TRUE(batched.rib.push_batch(pending_proto, std::move(pending)));
+        pending.clear();
+    };
+    for (const auto& op : ops) {
+        if (op.proto != pending_proto) {
+            flush();
+            pending_proto = op.proto;
+        }
+        if (op.is_add) {
+            Route4 r = op.route;
+            pending.add(std::move(r));
+        } else {
+            Route4 r;
+            r.net = op.route.net;
+            pending.del(std::move(r));
+        }
+    }
+    flush();
+
+    EXPECT_EQ(scalar.rib.route_count(), batched.rib.route_count());
+    auto rows_a = scalar.fib_rows();
+    auto rows_b = batched.fib_rows();
+    ASSERT_EQ(rows_a.size(), rows_b.size());
+    ASSERT_GT(rows_a.size(), 2u);
+    for (size_t i = 0; i < rows_a.size(); ++i)
+        EXPECT_EQ(rows_a[i], rows_b[i]) << rows_a[i].net.str();
+    // Winner arbitration agrees prefix by prefix.
+    for (uint32_t i = 0; i < 12; ++i) {
+        auto net = IPv4Net::must_parse("10." + std::to_string(i) + ".0.0/16");
+        auto a = scalar.rib.lookup_exact(net);
+        auto b = batched.rib.lookup_exact(net);
+        ASSERT_EQ(a.has_value(), b.has_value()) << net.str();
+        if (a) {
+            EXPECT_EQ(a->protocol, b->protocol) << net.str();
+            EXPECT_EQ(a->nexthop_set(), b->nexthop_set()) << net.str();
+            EXPECT_EQ(a->metric, b->metric) << net.str();
+        }
+    }
+}
+
+// ---- bulk XRLs end to end -----------------------------------------------
+
+TEST(BulkXrl, BatchFlowsThroughRibToFeaOverWire) {
+    ev::RealClock clock;
+    ipc::Plexus plexus(clock);
+
+    // FEA process.
+    fea::Fea fea(plexus.loop);
+    fea.interfaces().add_interface("eth0", IPv4::must_parse("192.0.2.1"), 24);
+    ipc::XrlRouter fea_router(plexus, "fea", true);
+    fea::bind_fea_xrl(fea, fea_router);
+    ASSERT_TRUE(fea_router.finalize());
+
+    // RIB process, coupled to the FEA over XRLs.
+    ipc::XrlRouter rib_router(plexus, "rib", true);
+    rib::Rib rib(plexus.loop, std::make_unique<rib::XrlFeaHandle>(rib_router));
+    rib::bind_rib_xrl(rib, rib_router);
+    ASSERT_TRUE(rib_router.finalize());
+
+    // IGP cover for the BGP nexthops below.
+    rib.add_route("connected", IPv4Net::must_parse("192.0.2.0/24"),
+                  IPv4::must_parse("192.0.2.1"), 0);
+
+    // BGP-side client pushing one decision delta that mixes protocols —
+    // XrlRibHandle regroups it into per-protocol add_routes_bulk calls.
+    ipc::XrlRouter bgp_router(plexus, "bgp");
+    ASSERT_TRUE(bgp_router.finalize());
+    bgp::XrlRibHandle handle(bgp_router);
+
+    RouteBatch4 delta;
+    for (uint32_t i = 0; i < 12; ++i) {
+        Route4 r = mkroute("10." + std::to_string(i) + ".0.0/16",
+                           "192.0.2.9", 0, i % 3 == 2 ? "ibgp" : "ebgp");
+        r.igp_metric = 5;
+        if (i % 4 == 0) {
+            net::NexthopSet4 set;
+            set.insert(IPv4::must_parse("192.0.2.9"));
+            set.insert(IPv4::must_parse("192.0.2.10"), 2);
+            r.set_nexthops(set);
+        }
+        delta.add(std::move(r));
+    }
+    handle.push_batch(std::move(delta));
+
+    // 12 BGP routes + the connected route.
+    plexus.loop.run_until([&] { return fea.fib().size() == 13; }, 5s);
+    ASSERT_EQ(fea.fib().size(), 13u);
+    EXPECT_EQ(rib.route_count(), 13u);
+    const fea::FibEntry* e = fea.lookup(IPv4::must_parse("10.0.1.1"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->is_multipath());
+    EXPECT_EQ(e->nexthops.str(), "192.0.2.9|192.0.2.10@2");
+    e = fea.lookup(IPv4::must_parse("10.1.1.1"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->nexthop.str(), "192.0.2.9");
+
+    // Churn delta: replaces and deletes ride the same bulk path.
+    RouteBatch4 churn;
+    for (uint32_t i = 0; i < 12; ++i) {
+        Route4 old_r = mkroute("10." + std::to_string(i) + ".0.0/16",
+                               "192.0.2.9", 0, i % 3 == 2 ? "ibgp" : "ebgp");
+        old_r.igp_metric = 5;
+        if (i % 4 == 0) {
+            net::NexthopSet4 set;
+            set.insert(IPv4::must_parse("192.0.2.9"));
+            set.insert(IPv4::must_parse("192.0.2.10"), 2);
+            old_r.set_nexthops(set);
+        }
+        if (i % 2 == 0) {
+            Route4 new_r = mkroute("10." + std::to_string(i) + ".0.0/16",
+                                   "192.0.2.11", 0,
+                                   i % 3 == 2 ? "ibgp" : "ebgp");
+            new_r.igp_metric = 7;
+            churn.replace(std::move(old_r), std::move(new_r));
+        } else {
+            churn.del(std::move(old_r));
+        }
+    }
+    handle.push_batch(std::move(churn));
+
+    plexus.loop.run_until([&] { return fea.fib().size() == 7; }, 5s);
+    ASSERT_EQ(fea.fib().size(), 7u);  // 6 replaced survivors + connected
+    e = fea.lookup(IPv4::must_parse("10.0.1.1"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->nexthop.str(), "192.0.2.11");
+    EXPECT_EQ(fea.lookup(IPv4::must_parse("10.1.1.1")), nullptr);
+
+    // The bulk verb validates its inputs: unknown protocol and malformed
+    // frames are command failures, not crashes.
+    bool done = false, ok = true;
+    xrl::XrlArgs bad;
+    bad.add("protocol", std::string("carrier-pigeon"))
+        .add("routes", std::string("a 10.0.0.0/8 192.0.2.1 1\n"));
+    bgp_router.send(
+        xrl::Xrl::generic("rib", "rib", "1.0", "add_routes_bulk", bad),
+        [&](const xrl::XrlError& err, const xrl::XrlArgs&) {
+            ok = err.ok();
+            done = true;
+        });
+    plexus.loop.run_until([&] { return done; }, 5s);
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(ok);
+
+    done = false;
+    ok = true;
+    xrl::XrlArgs garbled;
+    garbled.add("protocol", std::string("ebgp"))
+        .add("routes", std::string("a 10.0.0.0/8\n"));
+    bgp_router.send(
+        xrl::Xrl::generic("rib", "rib", "1.0", "add_routes_bulk", garbled),
+        [&](const xrl::XrlError& err, const xrl::XrlArgs&) {
+            ok = err.ok();
+            done = true;
+        });
+    plexus.loop.run_until([&] { return done; }, 5s);
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(ok);
+}
