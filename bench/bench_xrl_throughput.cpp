@@ -10,13 +10,27 @@
 //
 // Expected shape: intra-process fastest at few arguments, TCP approaching
 // it as argument count grows (marshalling dominates), UDP far below both.
+//
+// The second half measures the parallel control plane: a 4-way fan-out of
+// clients, once as four routers sharing one event loop over sTCP (the
+// single-loop baseline) and once as four ComponentThreads calling a
+// threaded server over the xring family. The acceptance bar is xring
+// aggregate >= 2x the single-loop baseline.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
 
 #include "ipc/router.hpp"
 #include "report.hpp"
+#include "rtrmgr/component_thread.hpp"
 #include "telemetry/metrics.hpp"
 
 using namespace xrp;
@@ -89,9 +103,154 @@ double run_transaction(ipc::Plexus& plexus, ipc::XrlRouter& client,
     return static_cast<double>(completed) / secs;
 }
 
+// ---- 4-way fan-out: single loop vs one thread per client ----------------
+
+constexpr int kFanClients = 4;
+
+xrl::Xrl fan_call(int nargs) {
+    xrl::XrlArgs args;
+    for (int i = 0; i < nargs; ++i)
+        args.add("a" + std::to_string(i), static_cast<uint32_t>(i));
+    return xrl::Xrl::generic("echo", "echo", "1.0",
+                             "m" + std::to_string(nargs), args);
+}
+
+// Baseline: kFanClients routers multiplexed onto ONE event loop, calling
+// the echo server over sTCP. Aggregate XRLs/s across all clients.
+double run_fanout_single_loop(ipc::Plexus& plexus, ipc::XrlRouter** clients,
+                              int nargs) {
+    const xrl::Xrl call = fan_call(nargs);
+    struct Pipe {
+        int sent = 0;
+        int completed = 0;
+        bool pumping = false;
+        std::function<void()> pump;
+    };
+    std::vector<Pipe> pipes(kFanClients);
+    int total = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < kFanClients; ++c) {
+        clients[c]->set_preferred_family("stcp");
+        Pipe& p = pipes[c];
+        ipc::XrlRouter& xr = *clients[c];
+        p.pump = [&p, &xr, &total, call] {
+            if (p.pumping) return;
+            p.pumping = true;
+            while (p.sent - p.completed < kPipeline &&
+                   p.sent < kTransaction) {
+                ++p.sent;
+                xr.send(call, [&p, &total](const xrl::XrlError& err,
+                                           const xrl::XrlArgs&) {
+                    if (!err.ok())
+                        std::fprintf(stderr, "fanout XRL failed: %s\n",
+                                     err.str().c_str());
+                    ++p.completed;
+                    ++total;
+                    p.pump();
+                });
+            }
+            p.pumping = false;
+        };
+        p.pump();
+    }
+    plexus.loop.run_until(
+        [&] { return total >= kFanClients * kTransaction; },
+        std::chrono::seconds(300));
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<double>(total) /
+           std::chrono::duration<double>(elapsed).count();
+}
+
+// The parallel shape: the server on its own ComponentThread, each client
+// on its own ComponentThread, every call crossing the xring rings. The
+// main thread only watches atomics.
+double run_fanout_threaded(ev::RealClock& clock, int nargs) {
+    ipc::Plexus plexus(clock);
+    rtrmgr::ComponentThread server_thread(clock);
+    ipc::XrlRouter server(plexus, server_thread.loop(), "echo", true);
+    server.add_handler("echo/1.0/m" + std::to_string(nargs),
+                       [](const xrl::XrlArgs&, xrl::XrlArgs&) {
+                           return xrl::XrlError::okay();
+                       });
+    server.finalize();
+    server_thread.start();
+
+    struct Client {
+        Client(ipc::Plexus& plexus, ev::Clock& clock, int idx)
+            : thread(clock),
+              router(plexus, thread.loop(),
+                     "fan-client-" + std::to_string(idx)) {
+            router.finalize();
+            thread.start();
+        }
+        rtrmgr::ComponentThread thread;
+        ipc::XrlRouter router;
+        // sent/pumping live on the client thread; completed is the
+        // cross-thread progress mirror the main thread polls.
+        int sent = 0;
+        bool pumping = false;
+        std::function<void()> pump;
+        std::atomic<int> completed{0};
+    };
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int c = 0; c < kFanClients; ++c)
+        clients.push_back(std::make_unique<Client>(plexus, clock, c));
+
+    const xrl::Xrl call = fan_call(nargs);
+    auto start = std::chrono::steady_clock::now();
+    for (auto& cp : clients) {
+        Client& c = *cp;
+        c.thread.post([&c, call] {
+            c.pump = [&c, call] {
+                if (c.pumping) return;
+                c.pumping = true;
+                while (c.sent -
+                               c.completed.load(std::memory_order_relaxed) <
+                           kPipeline &&
+                       c.sent < kTransaction) {
+                    ++c.sent;
+                    c.router.send(call, [&c](const xrl::XrlError& err,
+                                             const xrl::XrlArgs&) {
+                        if (!err.ok())
+                            std::fprintf(stderr, "fanout XRL failed: %s\n",
+                                         err.str().c_str());
+                        c.completed.fetch_add(1, std::memory_order_relaxed);
+                        c.pump();
+                    });
+                }
+                c.pumping = false;
+            };
+            c.pump();
+        });
+    }
+    auto done = [&] {
+        int total = 0;
+        for (auto& c : clients)
+            total += c->completed.load(std::memory_order_relaxed);
+        return total;
+    };
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(300);
+    while (done() < kFanClients * kTransaction &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    double rate = static_cast<double>(done()) /
+                  std::chrono::duration<double>(elapsed).count();
+    for (auto& c : clients) c->thread.stop_and_join();
+    server_thread.stop_and_join();
+    return rate;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef __GLIBC__
+    // xring frames are allocated on the sender thread and freed on the
+    // receiver; one shared malloc arena avoids cross-thread arena growth
+    // (see bench_route_latency for the measured effect).
+    mallopt(M_ARENA_MAX, 1);
+#endif
     bool quick = false;
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -131,5 +290,38 @@ int main(int argc, char** argv) {
     }
     std::printf("# paper shape: intra ~12000/s at 0 args; TCP converges to "
                 "intra at high arg counts; UDP well below (no pipelining)\n");
+
+    // ---- parallel control plane: 4-way fan-out ------------------------
+    const int fan_nargs = 4;
+    std::printf("\n# 4-way fan-out, %d XRLs per client, %d args\n",
+                kTransaction, fan_nargs);
+    ipc::XrlRouter* fan_clients[kFanClients];
+    std::vector<std::unique_ptr<ipc::XrlRouter>> fan_owned;
+    for (int c = 0; c < kFanClients; ++c) {
+        fan_owned.push_back(std::make_unique<ipc::XrlRouter>(
+            plexus, "fan-base-" + std::to_string(c)));
+        fan_owned.back()->finalize();
+        fan_clients[c] = fan_owned.back().get();
+    }
+    double base = run_fanout_single_loop(plexus, fan_clients, fan_nargs);
+    double threaded = run_fanout_threaded(clock, fan_nargs);
+    double speedup = base > 0 ? threaded / base : 0;
+    std::printf("%-22s %12.0f aggregate XRLs/s\n", "single-loop stcp", base);
+    std::printf("%-22s %12.0f aggregate XRLs/s (%.2fx)\n", "threaded xring",
+                threaded, speedup);
+    json::Value& brow = report.add_row();
+    brow.set("figure", json::Value("fanout_4way"));
+    brow.set("mode", json::Value("single_loop_stcp"));
+    brow.set("clients", json::Value(kFanClients));
+    brow.set("nargs", json::Value(fan_nargs));
+    brow.set("aggregate_xrls_per_s", json::Value(base));
+    json::Value& trow = report.add_row();
+    trow.set("figure", json::Value("fanout_4way"));
+    trow.set("mode", json::Value("threaded_xring"));
+    trow.set("clients", json::Value(kFanClients));
+    trow.set("nargs", json::Value(fan_nargs));
+    trow.set("aggregate_xrls_per_s", json::Value(threaded));
+    trow.set("speedup_vs_single_loop", json::Value(speedup));
+    std::printf("# gate: threaded xring >= 2x single-loop stcp aggregate\n");
     return 0;
 }

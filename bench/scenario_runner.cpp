@@ -11,9 +11,14 @@
 // cell — the CI gate), --family=NAME / --schedule=NAME filters.
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "report.hpp"
@@ -133,16 +138,21 @@ double cpu_ms_of(const timeval& tv) {
            static_cast<double>(tv.tv_usec) / 1000.0;
 }
 
+// One matrix cell, self-contained: runs on whatever pool thread picked
+// it up, journaling into that thread's private Journal (installed by the
+// worker via set_thread_override) and charging CPU to itself via
+// RUSAGE_THREAD deltas — process-wide rusage would smear concurrent
+// cells into each other.
 CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     CellResult res;
     struct rusage ru0;
-    getrusage(RUSAGE_SELF, &ru0);
+    getrusage(RUSAGE_THREAD, &ru0);
     ev::VirtualClock clock;
     ev::EventLoop loop(clock);
     fea::VirtualNetwork network(1ms);
-    Journal::global().set_enabled(false);
-    Journal::global().set_capacity(1 << 18);
-    Journal::global().clear();
+    Journal::current().set_enabled(false);
+    Journal::current().set_capacity(1 << 18);
+    Journal::current().clear();
 
     ScenarioFleet fleet(spec, loop, network);
     const std::vector<size_t> probes = probe_sample(spec.nodes);
@@ -159,7 +169,7 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     loop.run_for(30s);  // settle
 
     // Observation starts here: journal on, FIB ground truth snapshotted.
-    Journal::global().set_enabled(true);
+    Journal::current().set_enabled(true);
     const ev::TimePoint t0 = loop.now();
     auto initial_fibs = fleet.live_fibs();
     const uint64_t msgs0 = network.delivered_count();
@@ -273,7 +283,7 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
         return res;
     }
     const ev::TimePoint t_end = loop.now();
-    Journal::global().set_enabled(false);
+    Journal::current().set_enabled(false);
 
     if (getenv("XRP_SCENARIO_DEBUG") != nullptr) {
         // Triage aid: is the data plane actually broken at the end, or
@@ -338,9 +348,9 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     }
 
     // ---- reduce through the analyzer -----------------------------------
-    auto events = Journal::global().events();
+    auto events = Journal::current().events();
     res.journal_events = events.size();
-    res.journal_dropped = Journal::global().dropped();
+    res.journal_dropped = Journal::current().dropped();
     ConvergenceAnalyzer::Report rep = ConvergenceAnalyzer::analyze(
         fleet.topo(), fleet.oracle(), events, fleet.beacons(), probes,
         std::move(initial_fibs), t0, t_end);
@@ -360,9 +370,12 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     res.net_bytes = network.delivered_bytes() - bytes0;
     res.virtual_s = std::chrono::duration<double>(t_end - t0).count();
     struct rusage ru1;
-    getrusage(RUSAGE_SELF, &ru1);
+    getrusage(RUSAGE_THREAD, &ru1);
     res.cpu_ms = cpu_ms_of(ru1.ru_utime) + cpu_ms_of(ru1.ru_stime) -
                  cpu_ms_of(ru0.ru_utime) - cpu_ms_of(ru0.ru_stime);
+    // ru_maxrss is a process-wide high-water even under RUSAGE_THREAD, so
+    // with concurrent cells this is an upper bound on the cell's own
+    // footprint (recorded at cell completion); meta.max_rss_scope says so.
     res.max_rss_kb = ru1.ru_maxrss;
     return res;
 }
@@ -371,6 +384,7 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
 
 int main(int argc, char** argv) {
     bool quick = false, smoke = false;
+    size_t jobs = 0;  // 0 = auto
     std::string only_family, only_schedule;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -379,6 +393,8 @@ int main(int argc, char** argv) {
             only_family = argv[i] + 9;
         else if (std::strncmp(argv[i], "--schedule=", 11) == 0)
             only_schedule = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = static_cast<size_t>(std::atol(argv[i] + 7));
     }
     telemetry::set_enabled(false);  // metrics are not this bench's subject
 
@@ -404,36 +420,91 @@ int main(int argc, char** argv) {
                                          "metric_noise", "churn_burst",
                                          "supervisor_kill", "xrl_chaos"};
 
-    bench::Report report("scenarios");
-    report.set_meta("quick", json::Value(quick));
-    report.set_meta("smoke", json::Value(smoke));
-
-    std::printf("# Scenario observatory: convergence / blackhole / loop "
-                "windows per (family x schedule)\n");
-    std::printf("%-10s %-15s %8s %7s %6s %12s %12s %10s %10s %9s %9s\n",
-                "family", "schedule", "routers", "links", "conv",
-                "converge_ms", "blackhole_ms", "loop_ms", "msgs", "cpu_ms",
-                "rss_kb");
-    int failures = 0;
+    // The cell matrix, fixed up front so report rows come out in a
+    // deterministic order no matter which pool thread finishes first.
+    struct CellJob {
+        const TopoSpec* spec;
+        std::string schedule;
+    };
+    std::vector<CellJob> cells;
     for (const TopoSpec& spec : families) {
         if (!only_family.empty() && spec.family != only_family) continue;
         for (const std::string& schedule : schedules) {
             if (!only_schedule.empty() && schedule != only_schedule)
                 continue;
-            CellResult r = run_cell(spec, schedule);
-            if (!r.ran) {
-                ++failures;
-                continue;
-            }
-            std::printf("%-10s %-15s %8zu %7zu %6s %12.1f %12.1f %10.1f "
+            cells.push_back({&spec, schedule});
+        }
+    }
+
+    if (jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = std::min<size_t>(4, hw ? hw : 1);
+    }
+    jobs = std::max<size_t>(1, std::min(jobs, cells.size()));
+
+    bench::Report report("scenarios");
+    report.set_meta("quick", json::Value(quick));
+    report.set_meta("smoke", json::Value(smoke));
+    report.set_meta("pool_threads", json::Value(static_cast<int64_t>(jobs)));
+    report.set_meta("max_rss_scope", json::Value("process_highwater"));
+
+    std::printf("# Scenario observatory: convergence / blackhole / loop "
+                "windows per (family x schedule), %zu pool thread%s\n",
+                jobs, jobs == 1 ? "" : "s");
+    std::printf("%-10s %-15s %8s %7s %6s %12s %12s %10s %10s %9s %9s\n",
+                "family", "schedule", "routers", "links", "conv",
+                "converge_ms", "blackhole_ms", "loop_ms", "msgs", "cpu_ms",
+                "rss_kb");
+
+    // Small worker pool over the cell list. Each worker installs its own
+    // thread-local Journal so concurrent cells never share a recorder;
+    // the virtual clock, loop, network, and fleet are all cell-local.
+    std::vector<CellResult> results(cells.size());
+    std::atomic<size_t> next{0};
+    std::mutex print_mu;
+    auto worker = [&] {
+        Journal cell_journal;
+        Journal* prev = Journal::set_thread_override(&cell_journal);
+        for (size_t i = next.fetch_add(1); i < cells.size();
+             i = next.fetch_add(1)) {
+            const CellJob& c = cells[i];
+            CellResult r = run_cell(*c.spec, c.schedule);
+            {
+                std::lock_guard<std::mutex> lk(print_mu);
+                if (r.ran) {
+                    std::printf(
+                        "%-10s %-15s %8zu %7zu %6s %12.1f %12.1f %10.1f "
                         "%10llu %9.1f %9lld\n",
-                        spec.family.c_str(), schedule.c_str(), spec.nodes,
-                        spec.links.size(), r.converged ? "yes" : "NO",
-                        r.convergence_ms, r.blackhole_ms, r.loop_ms,
-                        static_cast<unsigned long long>(r.net_msgs),
-                        r.cpu_ms, static_cast<long long>(r.max_rss_kb));
-            std::fflush(stdout);
-            if (!r.converged) ++failures;
+                        c.spec->family.c_str(), c.schedule.c_str(),
+                        c.spec->nodes, c.spec->links.size(),
+                        r.converged ? "yes" : "NO", r.convergence_ms,
+                        r.blackhole_ms, r.loop_ms,
+                        static_cast<unsigned long long>(r.net_msgs), r.cpu_ms,
+                        static_cast<long long>(r.max_rss_kb));
+                    std::fflush(stdout);
+                }
+            }
+            results[i] = std::move(r);
+        }
+        Journal::set_thread_override(prev);
+    };
+    std::vector<std::thread> pool;
+    for (size_t t = 1; t < jobs; ++t) pool.emplace_back(worker);
+    worker();  // the main thread is a worker too
+    for (auto& th : pool) th.join();
+
+    int failures = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const CellJob& c = cells[i];
+        const CellResult& r = results[i];
+        if (!r.ran) {
+            ++failures;
+            continue;
+        }
+        if (!r.converged) ++failures;
+        {
+            const TopoSpec& spec = *c.spec;
+            const std::string& schedule = c.schedule;
             json::Value& row = report.add_row();
             row.set("family", json::Value(spec.family));
             row.set("schedule", json::Value(schedule));

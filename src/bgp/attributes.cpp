@@ -199,8 +199,12 @@ bool& attr_interning_flag() {
 void set_attr_interning_enabled(bool on) { attr_interning_flag() = on; }
 bool attr_interning_enabled() { return attr_interning_flag(); }
 
+// Thread-local for the same reason as NexthopSet's table (see
+// net/intern.hpp): the table is single-owner, and each BgpProcess
+// interns on its own component thread in the threaded router. Attribute
+// sharing matters within one process's table, not across processes.
 AttrInternTable& attr_intern_table() {
-    static AttrInternTable table;
+    static thread_local AttrInternTable table;
     return table;
 }
 

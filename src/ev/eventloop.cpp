@@ -1,9 +1,13 @@
 #include "ev/eventloop.hpp"
 
 #include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "telemetry/metrics.hpp"
 
@@ -42,6 +46,13 @@ struct EvMetrics {
 
 }  // namespace
 
+EventLoop::EventLoop(Clock& clock) : clock_(clock) {
+    // The wakeup eventfd exists for the loop's whole life so post() never
+    // races fd creation; a loop that is never posted to pays one idle
+    // pollfd for it.
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+}
+
 EventLoop::~EventLoop() {
     // A pending timer's callback can own state whose destructor in turn
     // holds Timer handles on this loop — XrlRouter's in-flight CallState
@@ -57,9 +68,77 @@ EventLoop::~EventLoop() {
         s->cb = nullptr;
         s->periodic_cb = nullptr;
     }
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    wake_fd_ = -1;
+}
+
+void EventLoop::claim_owner() {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+bool EventLoop::in_owner_thread() const {
+    const std::thread::id own = owner_.load(std::memory_order_relaxed);
+    return own == std::thread::id{} || own == std::this_thread::get_id();
+}
+
+void EventLoop::check_owner(const char* what) const {
+    // Armed the moment any thread drives the loop. Before that (component
+    // construction happens on the spawning thread, strictly before the
+    // component thread starts running) everything is permitted.
+    if (in_owner_thread()) return;
+    std::fprintf(stderr,
+                 "[ev] FATAL: %s called from a thread that does not own "
+                 "this event loop (use post()/run_on() to cross threads)\n",
+                 what);
+    std::abort();
+}
+
+void EventLoop::wake() {
+    if (wake_fd_ < 0) return;
+    const uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::post(std::function<void()> cb) {
+    {
+        std::lock_guard<std::mutex> lock(post_mu_);
+        posted_.push_back(std::move(cb));
+        posted_pending_.store(true, std::memory_order_release);
+    }
+    wake();
+}
+
+void EventLoop::run_on(std::function<void()> cb) {
+    if (in_owner_thread()) {
+        cb();
+        return;
+    }
+    post(std::move(cb));
+}
+
+void EventLoop::request_stop() {
+    stopped_.store(true, std::memory_order_relaxed);
+    wake();
+}
+
+bool EventLoop::drain_posted() {
+    if (!posted_pending_.load(std::memory_order_acquire)) return false;
+    // Swap out the whole batch: callbacks posted from inside a posted
+    // callback run on the next turn, so a self-posting task cannot starve
+    // timers and fds.
+    std::deque<std::function<void()>> batch;
+    {
+        std::lock_guard<std::mutex> lock(post_mu_);
+        batch.swap(posted_);
+        posted_pending_.store(false, std::memory_order_release);
+    }
+    for (auto& cb : batch) cb();
+    return !batch.empty();
 }
 
 Timer EventLoop::schedule(TimerSP state) {
+    check_owner("set_timer");
     state->seq = ++timer_seq_;
     state->scheduled = true;
     heap_.push(state);
@@ -99,15 +178,24 @@ void EventLoop::defer_after(Duration delay, std::function<void()> cb) {
 }
 
 void EventLoop::add_reader(int fd, std::function<void()> cb) {
+    check_owner("add_reader");
     readers_[fd] = std::move(cb);
 }
 void EventLoop::add_writer(int fd, std::function<void()> cb) {
+    check_owner("add_writer");
     writers_[fd] = std::move(cb);
 }
-void EventLoop::remove_reader(int fd) { readers_.erase(fd); }
-void EventLoop::remove_writer(int fd) { writers_.erase(fd); }
+void EventLoop::remove_reader(int fd) {
+    check_owner("remove_reader");
+    readers_.erase(fd);
+}
+void EventLoop::remove_writer(int fd) {
+    check_owner("remove_writer");
+    writers_.erase(fd);
+}
 
 Task EventLoop::add_background_task(std::function<bool()> slice, int weight) {
+    check_owner("add_background_task");
     auto s = std::make_shared<detail::TaskState>();
     s->slice = std::move(slice);
     s->weight = std::max(1, weight);
@@ -174,13 +262,16 @@ bool EventLoop::fire_due_timers() {
 }
 
 bool EventLoop::dispatch_fds(int timeout_ms) {
-    if (readers_.empty() && writers_.empty()) return false;
+    if (readers_.empty() && writers_.empty() && wake_fd_ < 0) return false;
     // Exactly one pollfd per fd, with merged interest bits: duplicate fd
     // entries confuse some poll(2) interposition layers (which also
     // rewrite `events`, so classification below re-checks our own maps
     // rather than trusting the returned events field).
     std::vector<pollfd> pfds;
-    pfds.reserve(readers_.size() + writers_.size());
+    pfds.reserve(readers_.size() + writers_.size() + 1);
+    // The cross-thread wakeup fd rides in slot 0 of every poll, so a
+    // blocked idle loop reacts to post() immediately.
+    if (wake_fd_ >= 0) pfds.push_back({wake_fd_, POLLIN, 0});
     {
         auto rit = readers_.begin();
         auto wit = writers_.begin();
@@ -204,6 +295,13 @@ bool EventLoop::dispatch_fds(int timeout_ms) {
     bool any = false;
     for (const pollfd& p : pfds) {
         if (p.revents == 0) continue;
+        if (p.fd == wake_fd_ && wake_fd_ >= 0) {
+            uint64_t n;
+            while (::read(wake_fd_, &n, sizeof n) > 0) {
+            }
+            any |= drain_posted();
+            continue;
+        }
         // Look the callbacks up at dispatch time: an earlier callback in
         // this batch may have removed (or replaced) this fd's handler.
         const EvMetrics& m = EvMetrics::get();
@@ -266,15 +364,22 @@ bool EventLoop::run_one_task_slice() {
 int EventLoop::poll_timeout_ms(bool may_block) {
     if (!may_block || clock_.is_virtual()) return 0;
     if (background_task_count() > 0) return 0;
-    if (heap_.empty()) return 100;  // re-check stop flag periodically
-    Duration d = heap_.top()->expiry - now();
+    if (posted_pending_.load(std::memory_order_acquire)) return 0;
+    Duration d = Duration(std::chrono::milliseconds(100));
+    if (!heap_.empty()) d = std::min(d, heap_.top()->expiry - now());
+    // run_for/run_until pin advance_cap_ to their deadline on real clocks
+    // too: a blocking poll must not overshoot the caller's time budget.
+    if (advance_cap_ != TimePoint::max())
+        d = std::min(d, advance_cap_ - now());
     if (d <= Duration::zero()) return 0;
     auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
     return static_cast<int>(std::min<long long>(ms + 1, 100));
 }
 
 bool EventLoop::run_once(bool may_block) {
-    bool any = fire_due_timers();
+    claim_owner();
+    bool any = drain_posted();
+    any |= fire_due_timers();
     any |= dispatch_fds(any ? 0 : poll_timeout_ms(may_block));
     if (!any) any = run_one_task_slice();
     if (!any && clock_.is_virtual() && !heap_.empty()) {
@@ -290,11 +395,12 @@ bool EventLoop::run_once(bool may_block) {
 }
 
 void EventLoop::run() {
-    stopped_ = false;
-    while (!stopped_) {
+    stopped_.store(false, std::memory_order_relaxed);
+    while (!stopped_.load(std::memory_order_relaxed)) {
         bool any = run_once(true);
-        if (!any && heap_.empty() && readers_.empty() && writers_.empty() &&
-            background_task_count() == 0)
+        if (!any && !hold_open_ && heap_.empty() && readers_.empty() &&
+            writers_.empty() && background_task_count() == 0 &&
+            !posted_pending_.load(std::memory_order_acquire))
             break;  // nothing can ever fire again
     }
 }

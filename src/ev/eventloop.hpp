@@ -9,13 +9,27 @@
 // The loop never blocks while a background task has work, and on a virtual
 // clock it never blocks at all: when nothing is runnable it advances the
 // clock straight to the next timer deadline.
+//
+// Threading model: a loop is owned by exactly one thread — whichever
+// thread drives run()/run_once() — and every API except post(),
+// run_on(), and request_stop() must be called from that thread. The
+// three exceptions are the cross-thread seam: post() enqueues a callback
+// under a small mutex and wakes the owning thread through an eventfd, so
+// an idle loop blocks in poll(2) instead of spinning and still reacts
+// immediately. Ownership is asserted at runtime: once a thread has
+// driven the loop, a timer/fd/task registration from any other thread
+// aborts with a diagnostic instead of corrupting the heap silently.
 #ifndef XRP_EV_EVENTLOOP_HPP
 #define XRP_EV_EVENTLOOP_HPP
 
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "ev/clock.hpp"
@@ -26,7 +40,7 @@ namespace xrp::ev {
 
 class EventLoop {
 public:
-    explicit EventLoop(Clock& clock) : clock_(clock) {}
+    explicit EventLoop(Clock& clock);
     ~EventLoop();
 
     EventLoop(const EventLoop&) = delete;
@@ -65,13 +79,36 @@ public:
     // freeze virtual time and starve every timer). Default 1us.
     void set_task_virtual_cost(Duration d) { task_virtual_cost_ = d; }
 
+    // ---- cross-thread seam --------------------------------------------
+    // Enqueues `cb` to run on the loop's owning thread and wakes it (the
+    // only registration that is safe from any thread). Callbacks run in
+    // post order, before timers, on the next loop turn.
+    void post(std::function<void()> cb);
+    // post(), except run inline when already on the owning thread (or when
+    // no thread has claimed the loop yet). Use for callbacks that may
+    // arrive from either side of a thread boundary — e.g. Finder
+    // notifications — without perturbing single-threaded call order.
+    void run_on(std::function<void()> cb);
+    // Thread-safe stop: sets the flag and wakes a blocked poll.
+    void request_stop();
+    // True when the calling thread owns the loop (or nobody does yet).
+    bool in_owner_thread() const;
+    // Releases thread ownership. Call after join()ing the thread that ran
+    // the loop, so teardown (or a new driver thread) may proceed from the
+    // current thread; the join provides the happens-before edge.
+    void release_owner() { owner_.store({}, std::memory_order_relaxed); }
+    // Keeps run() alive when every event source is empty — a component
+    // thread parks in poll(2) awaiting post()/ring wakeups instead of
+    // falling out of run(); only stop()/request_stop() ends such a run().
+    void hold_open(bool on) { hold_open_ = on; }
+
     // ---- running ------------------------------------------------------
     // Processes one batch of work. `may_block` permits a blocking poll when
     // nothing is due (real clocks only). Returns true if any callback ran.
     bool run_once(bool may_block = true);
     // Runs until stop() or until no event source could ever fire again.
     void run();
-    void stop() { stopped_ = true; }
+    void stop() { stopped_.store(true, std::memory_order_relaxed); }
     // Runs until `pred()` is true or `limit` elapses (loop-clock time).
     // Returns true if the predicate was satisfied.
     bool run_until(const std::function<bool()>& pred, Duration limit);
@@ -94,10 +131,23 @@ private:
     bool dispatch_fds(int timeout_ms);
     bool run_one_task_slice();
     int poll_timeout_ms(bool may_block);
+    void claim_owner();
+    void check_owner(const char* what) const;
+    bool drain_posted();
+    void wake();
 
     Clock& clock_;
-    bool stopped_ = false;
+    std::atomic<bool> stopped_{false};
+    bool hold_open_ = false;
     uint64_t timer_seq_ = 0;
+
+    // Cross-thread post queue + eventfd wakeup. `owner_` is the id of the
+    // thread currently driving the loop (claimed on each run_once).
+    int wake_fd_ = -1;
+    mutable std::mutex post_mu_;
+    std::deque<std::function<void()>> posted_;
+    std::atomic<bool> posted_pending_{false};
+    std::atomic<std::thread::id> owner_{};
     // Virtual clocks never advance past this; run_for/run_until pin it to
     // their deadline so idle jumps stop exactly on time.
     TimePoint advance_cap_ = TimePoint::max();

@@ -13,7 +13,7 @@ void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
     if (itf != nullptr) e.ifname = itf->name;
     fib_.add_route(e);
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
+        telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
             net.str(), nexthop.str() + ":" + e.ifname);
     if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
@@ -47,7 +47,7 @@ void Fea::add_route(const net::IPv4Net& net,
     e.ifname = e.ifnames.front();
     fib_.add_route(e);
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
+        telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
             net.str(), detail);
     if (prof_kernel_.enabled()) prof_kernel_.record("add " + net.str());
@@ -80,7 +80,7 @@ bool Fea::delete_route(const net::IPv4Net& net) {
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);
     if (ok && telemetry::journal_enabled())
-        telemetry::Journal::global().record(loop_.now(),
+        telemetry::Journal::current().record(loop_.now(),
                                             telemetry::JournalKind::kFibDelete,
                                             node_, "fea", net.str());
     if (ok && prof_kernel_.enabled())

@@ -8,18 +8,22 @@ namespace xrp::finder {
 
 namespace {
 
-// Preference order for transports: cheapest first.
+// Preference order for transports: cheapest first. Same-loop direct
+// dispatch beats the cross-thread ring, which beats anything that
+// touches a socket.
 int family_rank(std::string_view family) {
     if (family == "inproc") return 0;
-    if (family == "stcp") return 1;
-    if (family == "sudp") return 2;
-    return 3;
+    if (family == "xring") return 1;
+    if (family == "stcp") return 2;
+    if (family == "sudp") return 3;
+    return 4;
 }
 
 }  // namespace
 
 std::optional<std::string> Finder::register_target(const std::string& cls,
                                                    bool sole) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     {
         // Only live instances block joiners: a sole instance that was
         // marked dead must not prevent its replacement from registering.
@@ -52,6 +56,7 @@ std::optional<std::string> Finder::register_target(const std::string& cls,
 std::string Finder::register_method(
     const std::string& instance, const xrl::MethodName& method,
     const std::map<std::string, std::string>& family_addresses) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     auto it = instances_.find(instance);
     if (it == instances_.end()) return {};
     MethodInfo info;
@@ -71,6 +76,7 @@ std::string Finder::register_method(
 }
 
 void Finder::unregister_target(const std::string& instance) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     auto it = instances_.find(instance);
     if (it == instances_.end()) return;
     Instance inst = std::move(it->second);
@@ -88,6 +94,7 @@ void Finder::unregister_target(const std::string& instance) {
 }
 
 bool Finder::target_exists(const std::string& cls) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     auto range = by_class_.equal_range(cls);
     for (auto it = range.first; it != range.second; ++it)
         if (!instances_.at(it->second).down) return true;
@@ -95,6 +102,7 @@ bool Finder::target_exists(const std::string& cls) const {
 }
 
 void Finder::report_dead(const std::string& instance_or_cls) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     // Accept an instance name or a class (which marks its instances).
     std::vector<std::string> names;
     if (instances_.count(instance_or_cls) != 0) {
@@ -122,11 +130,13 @@ void Finder::report_dead(const std::string& instance_or_cls) {
 }
 
 bool Finder::is_alive(const std::string& instance) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     auto it = instances_.find(instance);
     return it == instances_.end() || !it->second.down;
 }
 
 const std::string& Finder::instance_secret(const std::string& instance) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     static const std::string kEmpty;
     auto it = instances_.find(instance);
     return it == instances_.end() ? kEmpty : it->second.secret;
@@ -136,6 +146,7 @@ std::optional<std::vector<Resolution>> Finder::resolve(
     const std::string& target, const std::string& full_method,
     const std::string& caller, xrl::XrlError* error,
     const std::string& caller_secret) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     if (require_secrets_) {
         auto cit = instances_.find(caller);
         if (cit == instances_.end() || cit->second.secret != caller_secret) {
@@ -210,26 +221,33 @@ std::optional<std::vector<Resolution>> Finder::resolve(
 }
 
 uint64_t Finder::watch(const std::string& cls, LifetimeCallback cb) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     uint64_t id = next_id_++;
     watches_[id] = {cls, std::move(cb)};
     return id;
 }
 
-void Finder::unwatch(uint64_t id) { watches_.erase(id); }
+void Finder::unwatch(uint64_t id) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    watches_.erase(id);
+}
 
 uint64_t Finder::add_invalidate_listener(InvalidateCallback cb) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     uint64_t id = next_id_++;
     invalidate_listeners_[id] = std::move(cb);
     return id;
 }
 
 void Finder::remove_invalidate_listener(uint64_t id) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     invalidate_listeners_.erase(id);
 }
 
 void Finder::allow(const std::string& target_cls,
                    const std::string& caller_cls,
                    const std::string& method_prefix) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     acl_.emplace(target_cls, AclRule{caller_cls, method_prefix});
 }
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -67,6 +68,7 @@ public:
     // When enabled, resolve() calls must present the caller's own secret;
     // a caller cannot impersonate another component to sneak past ACLs.
     void set_require_caller_secrets(bool require) {
+        std::lock_guard<std::recursive_mutex> lk(mu_);
         require_secrets_ = require;
     }
 
@@ -124,7 +126,10 @@ public:
     void allow(const std::string& target_cls, const std::string& caller_cls,
                const std::string& method_prefix = {});
 
-    size_t target_count() const { return instances_.size(); }
+    size_t target_count() const {
+        std::lock_guard<std::recursive_mutex> lk(mu_);
+        return instances_.size();
+    }
 
 private:
     struct MethodInfo {
@@ -148,6 +153,15 @@ private:
                      const std::string& full_method) const;
     void notify(LifetimeEvent ev, const Instance& inst);
 
+    // One lock over the whole broker: registration, resolution, and the
+    // notification fan-outs may arrive from any component thread.
+    // Recursive because lifetime/invalidate callbacks run under it and
+    // routinely call back in (a death watch re-registering a replacement,
+    // an invalidation listener resolving afresh). Callbacks that take
+    // their own locks must never be entered while holding those locks in
+    // reverse order — the XrlRouter keeps its resolve-cache mutex strictly
+    // inside or outside Finder calls for exactly this reason.
+    mutable std::recursive_mutex mu_;
     std::map<std::string, Instance> instances_;          // by instance name
     std::multimap<std::string, std::string> by_class_;   // cls -> instance
     std::map<uint64_t, std::pair<std::string, LifetimeCallback>> watches_;

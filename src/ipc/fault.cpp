@@ -40,48 +40,60 @@ struct FaultMetrics {
 }  // namespace
 
 void FaultInjector::set_default_plan(const Plan& p) {
+    std::lock_guard<std::mutex> lk(mu_);
     default_plan_ = p;
     have_default_ = true;
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::set_target_plan(const std::string& cls, const Plan& p) {
+    std::lock_guard<std::mutex> lk(mu_);
     by_target_[cls] = p;
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::set_family_plan(const std::string& family, const Plan& p) {
+    std::lock_guard<std::mutex> lk(mu_);
     by_family_[family] = p;
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::clear() {
-    by_target_.clear();
-    by_family_.clear();
-    have_default_ = false;
-    default_plan_ = Plan{};
-    active_ = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        by_target_.clear();
+        by_family_.clear();
+        have_default_ = false;
+        default_plan_ = Plan{};
+        active_.store(false, std::memory_order_relaxed);
+    }
     flush_held();
 }
 
 bool FaultInjector::clear_scope(const std::string& scope) {
     bool removed = false;
-    if (scope.empty() || scope == "default") {
-        removed = have_default_;
-        have_default_ = false;
-        default_plan_ = Plan{};
-    } else if (scope.rfind("family:", 0) == 0) {
-        removed = by_family_.erase(scope.substr(7)) > 0;
-    } else if (scope.rfind("target:", 0) == 0) {
-        removed = by_target_.erase(scope.substr(7)) > 0;
+    bool still_active;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (scope.empty() || scope == "default") {
+            removed = have_default_;
+            have_default_ = false;
+            default_plan_ = Plan{};
+        } else if (scope.rfind("family:", 0) == 0) {
+            removed = by_family_.erase(scope.substr(7)) > 0;
+        } else if (scope.rfind("target:", 0) == 0) {
+            removed = by_target_.erase(scope.substr(7)) > 0;
+        }
+        recompute_active();
+        still_active = active_.load(std::memory_order_relaxed);
     }
-    active_ = have_default_ || !by_target_.empty() || !by_family_.empty();
-    if (!active_) flush_held();
+    if (!still_active) flush_held();
     return removed;
 }
 
 std::vector<std::pair<std::string, FaultInjector::Plan>>
 FaultInjector::list_plans() const {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<std::pair<std::string, Plan>> out;
     if (have_default_) out.emplace_back("default", default_plan_);
     for (const auto& [family, p] : by_family_)
@@ -164,19 +176,24 @@ bool FaultInjector::roll(uint32_t permille) {
 void FaultInjector::journal_fault(const std::string& target,
                                   const char* action) {
     if (loop_ == nullptr || !telemetry::journal_enabled()) return;
-    telemetry::Journal::global().record(
+    telemetry::Journal::current().record(
         loop_->now(), telemetry::JournalKind::kFaultInjected, node_, "faults",
         target, action);
 }
 
 void FaultInjector::flush_held() {
-    if (held_.empty()) return;
-    auto held = std::move(held_);
-    held_.clear();
-    held_flush_.unschedule();
+    std::deque<Held> held;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (held_.empty()) return;
+        held.swap(held_);
+    }
+    // Fire outside the lock (a delivery may recurse into intercept), each
+    // thunk on the loop it was intercepted from — post() is thread-safe
+    // and keeps the release shallow-stacked even same-thread.
     for (auto& h : held) {
-        if (loop_ != nullptr)
-            loop_->defer([fire = std::move(h.fire)]() mutable { fire(); });
+        if (h.loop != nullptr)
+            h.loop->post([fire = std::move(h.fire)]() mutable { fire(); });
         else
             h.fire();
     }
@@ -185,19 +202,65 @@ void FaultInjector::flush_held() {
 void FaultInjector::intercept(const std::string& target,
                               const std::string& family,
                               std::function<void(ResponseCallback)> deliver,
-                              ResponseCallback done) {
-    Plan* p = (active_ && loop_ != nullptr) ? plan_for(target, family)
-                                            : nullptr;
-    if (p == nullptr || p->trivial()) {
+                              ResponseCallback done,
+                              ev::EventLoop* caller_loop) {
+    ev::EventLoop* cl = caller_loop != nullptr ? caller_loop : loop_;
+    enum class Verdict { kClean, kKill, kDrop, kHold, kFire };
+    Verdict v = Verdict::kClean;
+    bool dup = false;
+    bool delayed = false;
+    ev::Duration delay{};
+    ev::Duration release_after{};
+    {
+        // Decision phase under the lock (plans, PRNG, stats); the chosen
+        // action runs after release so deliveries can nest.
+        std::lock_guard<std::mutex> lk(mu_);
+        Plan* p = (active() && cl != nullptr) ? plan_for(target, family)
+                                              : nullptr;
+        if (p != nullptr && !p->trivial()) {
+            if (p->kill_channel) {
+                v = Verdict::kKill;
+                stats_.kills++;
+            } else if (p->drop_first > 0 || roll(p->drop_permille)) {
+                if (p->drop_first > 0) --p->drop_first;
+                v = Verdict::kDrop;
+                stats_.drops++;
+            } else {
+                dup = roll(p->duplicate_permille);
+                if (dup) stats_.duplicates++;
+                if (roll(p->delay_permille)) {
+                    delayed = true;
+                    stats_.delays++;
+                    delay = p->delay_min;
+                    const auto span = p->delay_max - p->delay_min;
+                    if (span.count() > 0)
+                        delay += ev::Duration(static_cast<ev::Duration::rep>(
+                            rnd() % (span.count() + 1)));
+                }
+                if (roll(p->reorder_permille)) {
+                    v = Verdict::kHold;
+                    stats_.reorders++;
+                    // Held until the next send passes it (or the backstop
+                    // fires so a quiet wire cannot strand it), plus any
+                    // rolled delay.
+                    release_after =
+                        delay + std::max<ev::Duration>(
+                                    p->delay_max, std::chrono::milliseconds(2));
+                } else {
+                    v = Verdict::kFire;
+                }
+            }
+        }
+    }
+
+    if (v == Verdict::kClean) {
         deliver(std::move(done));
         return;
     }
-
-    if (p->kill_channel) {
-        stats_.kills++;
+    if (v == Verdict::kKill) {
         FaultMetrics::get().kills->inc();
         journal_fault(target, "kill");
-        loop_->defer([done = std::move(done)] {
+        cl->defer([done = std::move(done)] {
             done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
                                "fault injection: channel killed"),
                  {});
@@ -205,9 +268,7 @@ void FaultInjector::intercept(const std::string& target,
         flush_held();
         return;
     }
-    if (p->drop_first > 0 || roll(p->drop_permille)) {
-        if (p->drop_first > 0) --p->drop_first;
-        stats_.drops++;
+    if (v == Verdict::kDrop) {
         FaultMetrics::get().drops->inc();
         journal_fault(target, "drop");
         // Swallowed whole: `done` never fires, exactly like a lost
@@ -216,20 +277,11 @@ void FaultInjector::intercept(const std::string& target,
         return;
     }
 
-    const bool dup = roll(p->duplicate_permille);
-    ev::Duration delay{};
-    if (roll(p->delay_permille)) {
-        stats_.delays++;
+    if (delayed) {
         FaultMetrics::get().delays->inc();
         journal_fault(target, "delay");
-        delay = p->delay_min;
-        const auto span = p->delay_max - p->delay_min;
-        if (span.count() > 0)
-            delay += ev::Duration(
-                static_cast<ev::Duration::rep>(rnd() % (span.count() + 1)));
     }
     if (dup) {
-        stats_.duplicates++;
         FaultMetrics::get().duplicates->inc();
         journal_fault(target, "duplicate");
     }
@@ -241,24 +293,21 @@ void FaultInjector::intercept(const std::string& target,
         deliver(std::move(done));
     };
 
-    if (roll(p->reorder_permille)) {
-        stats_.reorders++;
+    if (v == Verdict::kHold) {
         FaultMetrics::get().reorders->inc();
         journal_fault(target, "reorder");
-        // Held until the next send passes it (or the backstop timer fires
-        // so a quiet wire cannot strand it), plus any rolled delay.
-        ev::Duration release_after =
-            delay + std::max<ev::Duration>(p->delay_max,
-                                           std::chrono::milliseconds(2));
-        held_.push_back({std::move(fire)});
-        if (!held_flush_.scheduled())
-            held_flush_ =
-                loop_->set_timer(release_after, [this] { flush_held(); });
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            held_.push_back({std::move(fire), cl});
+        }
+        // Backstop on the caller's loop (intercept runs on the caller's
+        // thread); a redundant flush is a cheap no-op.
+        cl->defer_after(release_after, [this] { flush_held(); });
         return;
     }
 
     if (delay.count() > 0) {
-        loop_->defer_after(delay, std::move(fire));
+        cl->defer_after(delay, std::move(fire));
         flush_held();
         return;
     }

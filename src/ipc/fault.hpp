@@ -18,10 +18,12 @@
 #ifndef XRP_IPC_FAULT_HPP
 #define XRP_IPC_FAULT_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,7 +69,10 @@ public:
     // Router identity stamped on journal events; empty = unbound.
     void set_node(std::string node) { node_ = std::move(node); }
 
-    void seed(uint64_t s) { prng_ = s ? s : 1; }
+    void seed(uint64_t s) {
+        std::lock_guard<std::mutex> lk(mu_);
+        prng_ = s ? s : 1;
+    }
     void set_default_plan(const Plan& p);
     void set_target_plan(const std::string& cls, const Plan& p);
     void set_family_plan(const std::string& family, const Plan& p);
@@ -93,8 +98,12 @@ public:
     // the variables are set.
     void configure_from_env();
 
-    bool active() const { return active_; }
-    const Stats& stats() const { return stats_; }
+    bool active() const { return active_.load(std::memory_order_relaxed); }
+    // Copy, not reference: another thread may be rolling faults.
+    Stats stats() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return stats_;
+    }
 
     // Routes one outbound dispatch through the injector. `deliver`
     // performs the real transport dispatch with whatever completion
@@ -103,24 +112,41 @@ public:
     // injector were absent. A dropped send is never delivered and never
     // completes `done` — the caller's timeout is the only way out.
     // Callers should bypass the injector entirely while !active().
+    //
+    // Thread use: one injector serves every component thread of its
+    // Plexus. `caller_loop` is the calling component's home loop (null =
+    // the Plexus loop, the single-thread legacy): delayed and reordered
+    // deliveries are scheduled on it, so a fault never makes a dispatch
+    // jump threads. Plans, stats, and the PRNG are mutex-guarded; the
+    // fault decision holds the lock, the delivery never does.
     void intercept(const std::string& target, const std::string& family,
                    std::function<void(ResponseCallback)> deliver,
-                   ResponseCallback done);
+                   ResponseCallback done,
+                   ev::EventLoop* caller_loop = nullptr);
 
 private:
     struct Held {
         std::function<void()> fire;  // delivery thunk awaiting release
+        ev::EventLoop* loop;         // caller's home loop — fires here
     };
 
+    // All four require mu_ held by the caller.
     Plan* plan_for(const std::string& target, const std::string& family);
     uint64_t rnd();
     bool roll(uint32_t permille);
+    void recompute_active() {
+        active_.store(have_default_ || !by_target_.empty() ||
+                          !by_family_.empty(),
+                      std::memory_order_relaxed);
+    }
+
     void flush_held();
     void journal_fault(const std::string& target, const char* action);
 
     ev::EventLoop* loop_ = nullptr;
     std::string node_;
-    bool active_ = false;
+    std::atomic<bool> active_{false};
+    mutable std::mutex mu_;
     uint64_t prng_ = 0x9e3779b97f4a7c15ull;
     Plan default_plan_;
     bool have_default_ = false;
@@ -128,7 +154,6 @@ private:
     std::map<std::string, Plan> by_family_;
     Stats stats_;
     std::deque<Held> held_;  // reordered sends awaiting release
-    ev::Timer held_flush_;
 };
 
 }  // namespace xrp::ipc

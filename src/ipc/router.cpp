@@ -22,6 +22,7 @@ struct IpcMetrics {
     telemetry::Counter* sends_inproc;
     telemetry::Counter* sends_stcp;
     telemetry::Counter* sends_sudp;
+    telemetry::Counter* sends_xring;
     telemetry::Counter* resolve_failures;
     telemetry::Counter* retries;
     telemetry::Counter* failovers;
@@ -40,6 +41,7 @@ struct IpcMetrics {
                 r.counter("xrl_sends_total{family=\"inproc\"}");
             x.sends_stcp = r.counter("xrl_sends_total{family=\"stcp\"}");
             x.sends_sudp = r.counter("xrl_sends_total{family=\"sudp\"}");
+            x.sends_xring = r.counter("xrl_sends_total{family=\"xring\"}");
             x.resolve_failures = r.counter("xrl_resolve_failures_total");
             x.retries = r.counter("xrl_call_retries_total");
             x.failovers = r.counter("xrl_call_failovers_total");
@@ -89,15 +91,23 @@ struct XrlRouter::CallState {
 };
 
 XrlRouter::XrlRouter(Plexus& plexus, std::string cls, bool sole)
-    : plexus_(plexus), cls_(std::move(cls)), sole_(sole) {
+    : XrlRouter(plexus, plexus.loop, std::move(cls), sole) {}
+
+XrlRouter::XrlRouter(Plexus& plexus, ev::EventLoop& home, std::string cls,
+                     bool sole)
+    : plexus_(plexus), home_loop_(home), cls_(std::move(cls)), sole_(sole) {
     // Deterministic per-class seed: chaos runs replay bit-for-bit.
     prng_ = 0x9e3779b97f4a7c15ull ^ std::hash<std::string>{}(cls_);
     if (prng_ == 0) prng_ = 1;
+    // A component on its own loop cannot offer inproc (synchronous
+    // dispatch would run handlers on the caller's thread); it is reachable
+    // over xring instead.
+    if (threaded()) xring_enabled_ = true;
 }
 
 XrlRouter::~XrlRouter() {
     if (!instance_.empty()) {
-        plexus_.intra.remove(instance_);
+        if (intra_registered_) plexus_.intra.remove(instance_);
         plexus_.finder.unregister_target(instance_);
     }
     if (invalidate_listener_id_ != 0)
@@ -106,12 +116,12 @@ XrlRouter::~XrlRouter() {
 
 void XrlRouter::enable_tcp() {
     if (!tcp_listener_)
-        tcp_listener_ = std::make_unique<TcpListener>(plexus_.loop, dispatcher_);
+        tcp_listener_ = std::make_unique<TcpListener>(home_loop_, dispatcher_);
 }
 
 void XrlRouter::enable_udp() {
     if (!udp_listener_)
-        udp_listener_ = std::make_unique<UdpListener>(plexus_.loop, dispatcher_);
+        udp_listener_ = std::make_unique<UdpListener>(home_loop_, dispatcher_);
 }
 
 bool XrlRouter::finalize() {
@@ -128,10 +138,20 @@ bool XrlRouter::finalize() {
     if (!instance) return false;
     instance_ = *instance;
     secret_ = plexus_.finder.instance_secret(instance_);
-    plexus_.intra.add(instance_, &dispatcher_);
 
     std::map<std::string, std::string> families;
-    families["inproc"] = instance_;
+    if (!threaded()) {
+        // Inproc's synchronous dispatch requires caller and callee to
+        // share a loop (thread); a threaded component must not offer it.
+        plexus_.intra.add(instance_, &dispatcher_);
+        intra_registered_ = true;
+        families["inproc"] = instance_;
+    }
+    if (xring_enabled_) {
+        xring_port_ = std::make_unique<XringPort>(home_loop_, dispatcher_,
+                                                  plexus_.xring, instance_);
+        if (xring_port_->ok()) families["xring"] = instance_;
+    }
     if (tcp_listener_ && tcp_listener_->ok())
         families["stcp"] = tcp_listener_->address();
     if (udp_listener_ && udp_listener_->ok())
@@ -145,8 +165,11 @@ bool XrlRouter::finalize() {
 
     // Drop cached resolutions whenever any instance of a class goes away;
     // the next send re-resolves (§6.2 cache invalidation).
+    // The listener may fire from whichever thread unregisters the class
+    // (e.g. a component thread tearing down its router) — hence the lock.
     invalidate_listener_id_ = plexus_.finder.add_invalidate_listener(
         [this](const std::string& cls) {
+            std::lock_guard<std::mutex> lk(resolve_mu_);
             for (auto it = resolve_cache_.begin();
                  it != resolve_cache_.end();) {
                 // Cache keys are "target|full_method"; match on target
@@ -165,26 +188,44 @@ bool XrlRouter::finalize() {
     return true;
 }
 
-const std::vector<finder::Resolution>* XrlRouter::resolve(
+std::optional<std::vector<finder::Resolution>> XrlRouter::resolve(
     const xrl::Xrl& xrl, xrl::XrlError* err) {
     const std::string cache_key = xrl.target() + "|" + xrl.full_method();
-    auto it = resolve_cache_.find(cache_key);
-    if (it == resolve_cache_.end()) {
-        auto resolutions = plexus_.finder.resolve(
-            xrl.target(), xrl.full_method(), instance_, err, secret_);
-        if (!resolutions) return nullptr;
-        it = resolve_cache_.emplace(cache_key, std::move(*resolutions)).first;
+    {
+        std::lock_guard<std::mutex> lk(resolve_mu_);
+        auto it = resolve_cache_.find(cache_key);
+        if (it != resolve_cache_.end()) {
+            if (it->second.empty()) {
+                if (err)
+                    *err = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
+                                         "no transports");
+                return std::nullopt;
+            }
+            return it->second;
+        }
     }
-    if (it->second.empty()) {
+    // Miss: ask the Finder with the cache lock released (lock order is
+    // always resolve_mu_ strictly inside or outside Finder calls, never
+    // held across one — the Finder takes its own lock and may call our
+    // invalidation listener, which takes resolve_mu_).
+    auto resolutions = plexus_.finder.resolve(
+        xrl.target(), xrl.full_method(), instance_, err, secret_);
+    if (!resolutions) return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lk(resolve_mu_);
+        resolve_cache_[cache_key] = *resolutions;
+    }
+    if (resolutions->empty()) {
         if (err)
             *err = xrl::XrlError(xrl::ErrorCode::kResolveFailed,
                                  "no transports");
-        return nullptr;
+        return std::nullopt;
     }
-    return &it->second;
+    return std::move(*resolutions);
 }
 
 void XrlRouter::invalidate_cached(const xrl::Xrl& xrl) {
+    std::lock_guard<std::mutex> lk(resolve_mu_);
     resolve_cache_.erase(xrl.target() + "|" + xrl.full_method());
 }
 
@@ -193,13 +234,15 @@ void XrlRouter::dispatch_via(const std::string& target,
                              const xrl::XrlArgs& args, ResponseCallback done) {
     if (plexus_.faults.active()) {
         // The injector decides the send's fate; `deliver` carries copies
-        // so a delayed/duplicated dispatch outlives this frame.
+        // so a delayed/duplicated dispatch outlives this frame. The home
+        // loop rides along so delayed/held deliveries of a threaded
+        // component fire on its thread, not the Plexus loop's.
         plexus_.faults.intercept(
             target, res.family,
             [this, res, args](ResponseCallback cb) {
                 dispatch_raw(res, args, std::move(cb));
             },
-            std::move(done));
+            std::move(done), &home_loop_);
         return;
     }
     dispatch_raw(res, args, std::move(done));
@@ -218,14 +261,14 @@ void XrlRouter::dispatch_raw(const finder::Resolution& res,
             if (ctx.valid()) {
                 telemetry::TraceContext hop = ctx.next_hop();
                 telemetry::Tracer::global().record(
-                    hop, plexus_.loop.now(), "dispatch",
+                    hop, home_loop_.now(), "dispatch",
                     "inproc " + res.keyed_method);
                 telemetry::Tracer::Scope scope(hop);
                 if (telemetry::enabled()) {
-                    const ev::TimePoint t0 = plexus_.loop.now();
+                    const ev::TimePoint t0 = home_loop_.now();
                     plexus_.intra.send(res.address, res.keyed_method, args,
                                        std::move(done));
-                    m.lat_inproc->observe_always(plexus_.loop.now() - t0);
+                    m.lat_inproc->observe_always(home_loop_.now() - t0);
                 } else {
                     plexus_.intra.send(res.address, res.keyed_method, args,
                                        std::move(done));
@@ -234,24 +277,39 @@ void XrlRouter::dispatch_raw(const finder::Resolution& res,
             }
         }
         if (telemetry::enabled()) {
-            const ev::TimePoint t0 = plexus_.loop.now();
+            const ev::TimePoint t0 = home_loop_.now();
             plexus_.intra.send(res.address, res.keyed_method, args,
                                std::move(done));
-            m.lat_inproc->observe_always(plexus_.loop.now() - t0);
+            m.lat_inproc->observe_always(home_loop_.now() - t0);
         } else {
             plexus_.intra.send(res.address, res.keyed_method, args,
                                std::move(done));
         }
         return;
     }
+    if (res.family == "xring") {
+        m.sends_xring->inc();
+        auto& ch = xring_channels_[res.address];
+        if (!ch || ch->broken()) {
+            // (Re)connect: the target may have restarted under the same
+            // instance name, and a stale broken channel must not wedge us.
+            // If the port is simply gone, the fresh channel is born broken
+            // and send() fails the call hard (kTransportFailed) — which is
+            // what failover and dead-target detection key on.
+            ch = std::make_unique<XringChannel>(home_loop_, plexus_.xring,
+                                                res.address);
+        }
+        ch->send(res.keyed_method, args, std::move(done));
+        return;
+    }
     if (res.family == "stcp") {
         m.sends_stcp->inc();
         auto& ch = tcp_channels_[res.address];
-        if (!ch) ch = std::make_unique<TcpChannel>(plexus_.loop, res.address);
+        if (!ch) ch = std::make_unique<TcpChannel>(home_loop_, res.address);
         if (ch->broken()) {
             // Recreate once: the target may have restarted on the same
             // address, and a stale broken channel must not wedge us.
-            ch = std::make_unique<TcpChannel>(plexus_.loop, res.address);
+            ch = std::make_unique<TcpChannel>(home_loop_, res.address);
         }
         ch->send(res.keyed_method, args, std::move(done));
         return;
@@ -259,11 +317,11 @@ void XrlRouter::dispatch_raw(const finder::Resolution& res,
     if (res.family == "sudp") {
         m.sends_sudp->inc();
         auto& ch = udp_channels_[res.address];
-        if (!ch) ch = std::make_unique<UdpChannel>(plexus_.loop, res.address);
+        if (!ch) ch = std::make_unique<UdpChannel>(home_loop_, res.address);
         ch->send(res.keyed_method, args, std::move(done));
         return;
     }
-    plexus_.loop.defer([done = std::move(done), family = res.family] {
+    home_loop_.defer([done = std::move(done), family = res.family] {
         done(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
                            "unknown family: " + family),
              {});
@@ -279,7 +337,7 @@ bool XrlRouter::call(const xrl::Xrl& xrl, const CallOptions& opts,
     st->opts = opts;
     if (st->opts.retry.max_attempts == 0) st->opts.retry.max_attempts = 1;
     st->done = std::move(done);
-    st->deadline_at = plexus_.loop.now() + st->opts.deadline;
+    st->deadline_at = home_loop_.now() + st->opts.deadline;
     if (telemetry::tracing_enabled()) {
         // An explicit per-call context (CallOptions::with_trace) wins;
         // otherwise inherit the ambient one, or root a new trace if this
@@ -352,9 +410,9 @@ void XrlRouter::pump_oneway(const std::string& target) {
 void XrlRouter::begin_cycle(const std::shared_ptr<CallState>& st) {
     if (st->finished) return;
     xrl::XrlError err;
-    const std::vector<finder::Resolution>* resolutions =
+    std::optional<std::vector<finder::Resolution>> resolutions =
         resolve(st->xrl, &err);
-    if (resolutions == nullptr) {
+    if (!resolutions) {
         IpcMetrics::get().resolve_failures->inc();
         if (err.code() == xrl::ErrorCode::kTargetDead) {
             // The Finder already knows: fail fast and typed, no probing.
@@ -369,7 +427,7 @@ void XrlRouter::begin_cycle(const std::shared_ptr<CallState>& st) {
     }
     st->resolutions.clear();
     if (preferred_family_.empty()) {
-        st->resolutions = *resolutions;
+        st->resolutions = std::move(*resolutions);
     } else {
         for (const finder::Resolution& r : *resolutions)
             if (r.family == preferred_family_) st->resolutions.push_back(r);
@@ -388,7 +446,7 @@ void XrlRouter::begin_cycle(const std::shared_ptr<CallState>& st) {
 
 void XrlRouter::start_attempt(const std::shared_ptr<CallState>& st) {
     if (st->finished) return;
-    const ev::TimePoint now = plexus_.loop.now();
+    const ev::TimePoint now = home_loop_.now();
     if (now >= st->deadline_at) {
         IpcMetrics::get().deadline_hits->inc();
         std::string note =
@@ -403,7 +461,7 @@ void XrlRouter::start_attempt(const std::shared_ptr<CallState>& st) {
     ev::Duration budget = st->opts.attempt_timeout;
     if (st->deadline_at - now < budget) budget = st->deadline_at - now;
     const uint64_t gen = ++st->generation;
-    st->attempt_timer = plexus_.loop.set_timer(
+    st->attempt_timer = home_loop_.set_timer(
         budget, [this, st, gen] { on_attempt_timeout(st, gen); });
     const finder::Resolution res = st->resolutions[st->res_index];
     ResponseCallback cb = [this, st, gen](const xrl::XrlError& e,
@@ -489,8 +547,8 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
         st->res_index++;
         IpcMetrics::get().failovers->inc();
         if (telemetry::journal_enabled())
-            telemetry::Journal::global().record(
-                plexus_.loop.now(), telemetry::JournalKind::kCallFailover,
+            telemetry::Journal::current().record(
+                home_loop_.now(), telemetry::JournalKind::kCallFailover,
                 plexus_.node, "ipc", st->xrl.target(),
                 st->xrl.full_method());
         start_attempt(st);
@@ -510,7 +568,7 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
         return;
     }
     const ev::Duration backoff = backoff_for(st->opts.retry, st->cycles_used);
-    if (plexus_.loop.now() + backoff >= st->deadline_at) {
+    if (home_loop_.now() + backoff >= st->deadline_at) {
         IpcMetrics::get().deadline_hits->inc();
         finish_call(st,
                     xrl::XrlError(xrl::ErrorCode::kTimeout,
@@ -522,12 +580,12 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
     }
     IpcMetrics::get().retries->inc();
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
-            plexus_.loop.now(), telemetry::JournalKind::kCallRetry,
+        telemetry::Journal::current().record(
+            home_loop_.now(), telemetry::JournalKind::kCallRetry,
             plexus_.node, "ipc", st->xrl.target(), st->xrl.full_method(),
             static_cast<int64_t>(st->cycles_used));
     st->backoff_timer =
-        plexus_.loop.set_timer(backoff, [this, st] { begin_cycle(st); });
+        home_loop_.set_timer(backoff, [this, st] { begin_cycle(st); });
 }
 
 void XrlRouter::finish_call(const std::shared_ptr<CallState>& st,
@@ -566,9 +624,10 @@ bool XrlRouter::send_unreliable(const xrl::Xrl& xrl, ResponseCallback done) {
     // The pre-contract semantics, kept for A/B comparison in chaos tests:
     // one dispatch, first resolution, no loop-enforced timeout.
     xrl::XrlError err;
-    const std::vector<finder::Resolution>* resolutions = resolve(xrl, &err);
+    std::optional<std::vector<finder::Resolution>> resolutions =
+        resolve(xrl, &err);
     const finder::Resolution* res = nullptr;
-    if (resolutions != nullptr) {
+    if (resolutions) {
         if (preferred_family_.empty()) {
             res = &resolutions->front();
         } else {
@@ -585,14 +644,14 @@ bool XrlRouter::send_unreliable(const xrl::Xrl& xrl, ResponseCallback done) {
     }
     if (res == nullptr) {
         IpcMetrics::get().resolve_failures->inc();
-        plexus_.loop.defer([done = std::move(done), err] { done(err, {}); });
+        home_loop_.defer([done = std::move(done), err] { done(err, {}); });
         return true;
     }
     if (telemetry::tracing_enabled()) {
         auto& tracer = telemetry::Tracer::global();
         telemetry::TraceContext ctx = telemetry::Tracer::current();
         if (!ctx.valid()) ctx = tracer.begin_trace();
-        tracer.record(ctx, plexus_.loop.now(), "send",
+        tracer.record(ctx, home_loop_.now(), "send",
                       res->family + " " + xrl.target() + "/" +
                           xrl.full_method());
         telemetry::Tracer::Scope scope(ctx);
@@ -619,6 +678,13 @@ std::string XrlRouter::debug_state() const {
         char buf[128];
         std::snprintf(buf, sizeof buf, " lsn conns=%zu wbuf=%zu rbuf=%zu;",
                       tcp_listener_->connection_count(), w, r);
+        out += buf;
+    }
+    for (const auto& [addr, ch] : xring_channels_) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf, " xr[%s] pend=%zu backlog=%zu brk=%d;",
+                      addr.c_str(), ch->pending_count(), ch->backlog_count(),
+                      ch->broken() ? 1 : 0);
         out += buf;
     }
     for (const auto& [tgt, oq] : oneway_queues_) {

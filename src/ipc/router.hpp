@@ -27,6 +27,7 @@
 #include "ipc/intra.hpp"
 #include "ipc/tcp.hpp"
 #include "ipc/udp.hpp"
+#include "ipc/xring.hpp"
 
 namespace xrp::ipc {
 
@@ -46,6 +47,9 @@ struct Plexus {
     ev::EventLoop& loop;
     finder::Finder finder;
     IntraProcessRegistry intra;
+    // Cross-thread in-process family: components whose home loop runs on
+    // its own thread register here and reach each other over SPSC rings.
+    XringHub xring;
     // Chaos hook: every outbound XRL dispatch of every router in this
     // Plexus passes through the injector (inert until given a plan).
     FaultInjector faults;
@@ -69,6 +73,14 @@ public:
     // `cls` is the component class ("bgp", "rib", ...). With `sole`, a
     // second instance of the class is refused by the Finder.
     XrlRouter(Plexus& plexus, std::string cls, bool sole = false);
+    // Threaded variant: the component lives on `home` — its own event
+    // loop, typically run by its own thread (rtrmgr::ComponentThread).
+    // All call-contract timers run on the home loop, inproc (synchronous
+    // direct dispatch) is NOT offered, and the component is reachable
+    // over "xring" instead: same-process callers on other threads talk to
+    // it through lock-free SPSC rings.
+    XrlRouter(Plexus& plexus, ev::EventLoop& home, std::string cls,
+              bool sole = false);
     ~XrlRouter();
     XrlRouter(const XrlRouter&) = delete;
     XrlRouter& operator=(const XrlRouter&) = delete;
@@ -85,10 +97,15 @@ public:
         dispatcher_.add_async_handler(full_method, std::move(h));
     }
 
-    // Transports this component is reachable over. Intra-process is always
-    // enabled; TCP/UDP listeners are created on demand.
+    // Transports this component is reachable over. Intra-process is
+    // enabled whenever the component shares the Plexus loop; TCP/UDP
+    // listeners are created on demand. enable_xring() additionally offers
+    // the SPSC-ring family (implied — and inproc dropped — when the
+    // component has its own home loop; explicit for same-loop components
+    // that want to be reachable from threaded peers or benchmarks).
     void enable_tcp();
     void enable_udp();
+    void enable_xring() { xring_enabled_ = true; }
 
     // Registers target + methods with the Finder. Call after all handlers
     // are added; later-added handlers are registered incrementally.
@@ -97,7 +114,10 @@ public:
 
     const std::string& instance() const { return instance_; }
     Plexus& plexus() { return plexus_; }
-    ev::EventLoop& loop() { return plexus_.loop; }
+    // The component's home loop: plexus.loop unless constructed with an
+    // explicit one. Everything the router schedules runs here.
+    ev::EventLoop& loop() { return home_loop_; }
+    bool threaded() const { return &home_loop_ != &plexus_.loop; }
 
     // ---- sender side -----------------------------------------------------
     // The reliable call contract (see ipc/call.hpp): resolves, dispatches,
@@ -143,7 +163,10 @@ public:
 
     XrlDispatcher& dispatcher() { return dispatcher_; }
 
-    size_t resolution_cache_size() const { return resolve_cache_.size(); }
+    size_t resolution_cache_size() const {
+        std::lock_guard<std::mutex> lk(resolve_mu_);
+        return resolve_cache_.size();
+    }
 
     // Debug introspection for stall diagnosis.
     std::string debug_state() const;
@@ -151,9 +174,12 @@ public:
 private:
     struct CallState;  // one in-flight reliable call (defined in .cpp)
 
-    // Returns the full preference-ordered resolution list (cached).
-    const std::vector<finder::Resolution>* resolve(const xrl::Xrl& xrl,
-                                                   xrl::XrlError* err);
+    // Returns the full preference-ordered resolution list, by value: the
+    // cache behind it is shared with the Finder's invalidation listener
+    // (which may run from another thread), so callers get a snapshot
+    // instead of a pointer into a map another thread may mutate.
+    std::optional<std::vector<finder::Resolution>> resolve(
+        const xrl::Xrl& xrl, xrl::XrlError* err);
     void invalidate_cached(const xrl::Xrl& xrl);
 
     // Call-contract state machine.
@@ -191,22 +217,33 @@ private:
                       ResponseCallback done);
 
     Plexus& plexus_;
+    // The loop the component lives on; == plexus_.loop unless the threaded
+    // ctor was used. All timers, dispatches, and callbacks run here.
+    ev::EventLoop& home_loop_;
     std::string cls_;
     std::string instance_;
     std::string secret_;  // §7 caller-authentication secret from the Finder
     bool sole_;
     bool finalized_ = false;
+    bool xring_enabled_ = false;
+    bool intra_registered_ = false;
     XrlDispatcher dispatcher_;
 
     std::unique_ptr<TcpListener> tcp_listener_;
     std::unique_ptr<UdpListener> udp_listener_;
+    std::unique_ptr<XringPort> xring_port_;
 
     std::map<std::string, std::unique_ptr<TcpChannel>> tcp_channels_;
     std::map<std::string, std::unique_ptr<UdpChannel>> udp_channels_;
+    std::map<std::string, std::unique_ptr<XringChannel>> xring_channels_;
 
     std::map<std::string, OnewayQueue> oneway_queues_;
 
-    // target + full_method -> resolutions (preference-ordered).
+    // target + full_method -> resolutions (preference-ordered). Guarded by
+    // resolve_mu_: the Finder's invalidation push may arrive from the
+    // registering component's thread, not ours. Never held across a Finder
+    // call (the Finder has its own lock; fixed order avoids deadlock).
+    mutable std::mutex resolve_mu_;
     std::map<std::string, std::vector<finder::Resolution>> resolve_cache_;
     uint64_t invalidate_listener_id_ = 0;
     std::string preferred_family_;

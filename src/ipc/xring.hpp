@@ -1,0 +1,239 @@
+// Cross-thread in-process protocol family ("xring"): XRLs between
+// components of the same address space that live on *different* event-loop
+// threads.
+//
+// The paper's §6 point is that protocol families are pluggable and hide
+// the transport: components written against XRLs never know whether a peer
+// is a function call away or a process away. This family exploits exactly
+// that to take the router multi-core with zero locks in protocol code.
+// Each directed (sender, receiver) pairing owns a Conduit: a bounded
+// lock-free SPSC ring of serialized request frames one way and a second
+// SPSC ring carrying the reply frames back. Frames reuse the binary wire
+// codec (wire.hpp) including the optional trace trailer, so tracing,
+// method keys, and argument validation behave identically to stcp — an
+// xring XRL *is* an XRL, just cheaper.
+//
+// Wakeups: each endpoint parks its event loop in poll(2); the producer
+// rings an eventfd after pushing, so an idle component thread wakes in
+// microseconds and a busy one absorbs whole batches per wakeup. The
+// eventfds crossing the boundary are dup()s owned by the Conduit itself,
+// so a write after the peer died hits a still-open-but-unwatched
+// description, never a recycled descriptor.
+//
+// Failure model: a receiver that unregisters (component death) marks the
+// conduit closed and rings every attached sender; senders fail their
+// in-flight calls with kTransportFailed — a *hard* failure, which is what
+// the reliable call contract's failover and dead-target reporting key on.
+// Ring-full is backpressure, not failure: requests queue in the sender's
+// backlog exactly as the TCP channel does behind its window.
+#ifndef XRP_IPC_XRING_HPP
+#define XRP_IPC_XRING_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ev/eventloop.hpp"
+#include "ipc/dispatcher.hpp"
+#include "ipc/sockets.hpp"
+#include "ipc/wire.hpp"
+
+namespace xrp::ipc {
+
+// Bounded lock-free single-producer/single-consumer ring of serialized
+// frames. Producer and consumer must each be one thread (per ring); the
+// two may freely differ. Capacity is rounded up to a power of two.
+class SpscRing {
+public:
+    explicit SpscRing(size_t capacity);
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    // Producer side. False = ring full (caller keeps ownership of frame).
+    bool push(std::vector<uint8_t>&& frame);
+    // Consumer side. False = ring empty.
+    bool pop(std::vector<uint8_t>& out);
+
+    bool empty() const {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+    size_t capacity() const { return slots_.size(); }
+
+    // Wakeup handshake (Dekker with seq_cst fences), closing the classic
+    // lost-wakeup race: a producer that merely checks "was the ring empty?"
+    // can race a consumer finishing its drain — the consumer misses the new
+    // frame AND the producer skips the wakeup, stranding the frame until
+    // the next push. Instead the consumer *parks* (try_park: set flag, re-
+    // check emptiness) before sleeping, and the producer *claims* the wake
+    // after pushing (claim_wake: fence, exchange flag). The fences order
+    // the flag store against the emptiness re-check on one side and the
+    // slot publish against the flag read on the other, so at least one of
+    // them sees the other: either the consumer keeps draining or the
+    // producer rings the eventfd. Claiming clears the flag, so a burst of
+    // pushes against a parked consumer costs one syscall, not one each.
+    void unpark() { parked_.store(false, std::memory_order_relaxed); }
+    bool try_park() {
+        parked_.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (empty()) return true;
+        parked_.store(false, std::memory_order_relaxed);
+        return false;
+    }
+    bool claim_wake() {
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        return parked_.exchange(false, std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<std::vector<uint8_t>> slots_;
+    size_t mask_;
+    // Separate cache lines: the producer writes tail_, the consumer head_.
+    alignas(64) std::atomic<uint64_t> head_{0};  // next slot to pop
+    alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to fill
+    // Starts parked: the first push must ring (the consumer has never run).
+    alignas(64) std::atomic<bool> parked_{true};
+};
+
+// One directed sender->receiver pairing. Shared (via shared_ptr) between
+// the sender's XringChannel and the receiver's XringPort so either side
+// may die first.
+struct XringConduit {
+    explicit XringConduit(size_t cap) : req(cap), resp(cap) {}
+
+    SpscRing req;   // sender thread produces, receiver thread consumes
+    SpscRing resp;  // receiver thread produces, sender thread consumes
+    Fd receiver_wake;  // dup of the port's eventfd; rung after req.push
+    Fd sender_wake;    // dup of the channel's eventfd; rung after resp.push
+    std::atomic<bool> receiver_open{true};
+    std::atomic<bool> sender_open{true};
+
+    void ring_receiver() const;
+    void ring_sender() const;
+};
+
+class XringPort;
+
+// Per-Plexus registry of xring receiver ports, keyed by instance name
+// (the family address, same convention as "inproc"). All methods are
+// thread-safe: senders connect from their own threads.
+class XringHub {
+public:
+    XringHub() = default;
+    XringHub(const XringHub&) = delete;
+    XringHub& operator=(const XringHub&) = delete;
+
+    void add(XringPort* port);
+    void remove(const std::string& address);
+    // Builds a conduit to `address`, registering `sender_wake_dup` (a dup
+    // the conduit takes ownership of) for reply wakeups. Null when no such
+    // port exists — the sender fails the call kTransportFailed.
+    std::shared_ptr<XringConduit> connect(const std::string& address,
+                                          Fd sender_wake_dup);
+
+private:
+    std::mutex mu_;
+    std::map<std::string, XringPort*> ports_;
+};
+
+// Receiver endpoint: owned by the XrlRouter, lives on the component's home
+// loop. Drains request rings of every attached conduit on wakeup,
+// dispatches on the home-loop thread, and pushes replies back.
+class XringPort {
+public:
+    XringPort(ev::EventLoop& loop, XrlDispatcher& dispatcher, XringHub& hub,
+              std::string address);
+    ~XringPort();
+    XringPort(const XringPort&) = delete;
+    XringPort& operator=(const XringPort&) = delete;
+
+    bool ok() const { return wake_.valid(); }
+    const std::string& address() const { return address_; }
+
+    // Called by the hub (any thread) under its lock.
+    std::shared_ptr<XringConduit> attach(Fd sender_wake_dup);
+
+    // Default ring capacity (frames) per direction per conduit.
+    static constexpr size_t kRingSlots = 1024;
+
+private:
+    void on_wake();
+    void drain(const std::shared_ptr<XringConduit>& c);
+    void drain_once(const std::shared_ptr<XringConduit>& c);
+    void queue_reply(const std::shared_ptr<XringConduit>& c,
+                     std::vector<uint8_t>&& frame);
+    void flush_overflow();
+
+    ev::EventLoop& loop_;
+    XrlDispatcher& dispatcher_;
+    XringHub& hub_;
+    std::string address_;
+    Fd wake_;  // eventfd registered as a reader on loop_
+
+    std::mutex mu_;  // guards conduits_ membership (attach is cross-thread)
+    std::vector<std::shared_ptr<XringConduit>> conduits_;
+
+    // Replies that found their resp ring full wait here (home thread only)
+    // and retry on a short timer until the sender drains.
+    std::deque<std::pair<std::shared_ptr<XringConduit>, std::vector<uint8_t>>>
+        overflow_;
+    ev::Timer overflow_timer_;
+};
+
+// Sender endpoint: one per (sender router, receiver address), created
+// lazily by XrlRouter::dispatch_raw on the sender's home loop, mirroring
+// TcpChannel's shape — pending map keyed by sequence number, bounded
+// in-flight window with a user-space backlog behind it.
+class XringChannel {
+public:
+    XringChannel(ev::EventLoop& loop, XringHub& hub,
+                 const std::string& address);
+    ~XringChannel();
+    XringChannel(const XringChannel&) = delete;
+    XringChannel& operator=(const XringChannel&) = delete;
+
+    void send(const std::string& keyed_method, const xrl::XrlArgs& args,
+              ResponseCallback done);
+
+    static constexpr size_t kMaxOutstanding = 512;
+
+    bool broken() const { return broken_; }
+    size_t pending_count() const { return pending_.size(); }
+    size_t backlog_count() const { return backlog_.size(); }
+
+private:
+    struct Queued {
+        uint32_t seq;
+        std::vector<uint8_t> frame;
+        ResponseCallback done;
+        ev::TimePoint t0{};
+    };
+
+    void on_wake();
+    void pump_backlog();
+    // Consumes `q` only on success (returns true); on a full ring `q` is
+    // left intact for the backlog.
+    bool push_frame(Queued& q);
+    void fail_all(const xrl::XrlError& err);
+
+    ev::EventLoop& loop_;
+    Fd wake_;  // eventfd registered as a reader on loop_
+    std::shared_ptr<XringConduit> conduit_;
+    bool broken_ = false;
+    uint32_t next_seq_ = 1;
+    struct Pending {
+        ResponseCallback done;
+        ev::TimePoint t0{};
+    };
+    std::map<uint32_t, Pending> pending_;
+    std::deque<Queued> backlog_;
+};
+
+}  // namespace xrp::ipc
+
+#endif

@@ -14,12 +14,27 @@
 // operator==. Expired weak entries are swept lazily: the bucket scan
 // drops any it walks over, and a full purge runs every kPurgeInterval
 // interns to bound the dead weight from never-revisited buckets.
+//
+// Threading: an InternTable is deliberately NOT thread-safe — it is a
+// single-owner structure with component affinity. Each table belongs to
+// exactly one component (BGP's attribute tables live on the BGP thread;
+// in the threaded router every component keeps its own tables), so the
+// hot intern path stays lock-free and branch-predictable at million-
+// route scale. Releasing a handle from another thread is fine — that is
+// shared_ptr's atomic refcount; only intern()/purge()/clear()/stats()
+// must stay on the owning thread. The affinity is *checked*, not hoped
+// for: the first intern() claims the table for its thread and calls
+// from any other thread are counted in affinity_violations(), which
+// tests assert is zero (an abort here would hide the bug from TSan
+// runs; a counter lets both report).
 #ifndef XRP_NET_INTERN_HPP
 #define XRP_NET_INTERN_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -39,6 +54,7 @@ public:
     };
 
     std::shared_ptr<const T> intern(T value) {
+        note_owner();
         if (++ops_ % kPurgeInterval == 0) purge();
         const uint64_t h = hash_(value);
         auto range = buckets_.equal_range(h);
@@ -81,12 +97,35 @@ public:
         ops_ = 0;
     }
 
+    // Interns observed from a thread other than the claiming one. Must
+    // stay zero; tests and debug assertions read it from any thread.
+    uint64_t affinity_violations() const {
+        return violations_.load(std::memory_order_relaxed);
+    }
+    // Hands the table to a new owning thread (e.g. a component rebuilt
+    // onto a different ComponentThread). The caller is responsible for
+    // the handoff's happens-before edge (a thread join or run_sync).
+    void rebind_owner() {
+        owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+
 private:
+    void note_owner() {
+        std::thread::id expect{};
+        const std::thread::id self = std::this_thread::get_id();
+        if (!owner_.compare_exchange_strong(expect, self,
+                                            std::memory_order_relaxed) &&
+            expect != self)
+            violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     Hash hash_;
     std::unordered_multimap<uint64_t, std::weak_ptr<const T>> buckets_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t ops_ = 0;
+    std::atomic<std::thread::id> owner_{};
+    std::atomic<uint64_t> violations_{0};
 };
 
 // 64-bit hash combiner for building the caller-side hash functors

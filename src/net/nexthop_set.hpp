@@ -294,8 +294,16 @@ private:
             v.begin(), v.end(), addr,
             [](const Nexthop<A>& m, const A& a) { return m.addr < a; });
     }
+    // Thread-local, not process-global: InternTable is single-owner (see
+    // net/intern.hpp), and multipath routes are built on whichever
+    // component thread runs the producing protocol. A per-thread table
+    // keeps the hot path lock-free; the only cost is that equal sets
+    // built on different threads do not share one allocation, which is
+    // noise — sharing *within* a component's million-route table is
+    // where the memory is. Handles cross threads freely regardless
+    // (shared_ptr refcounts are atomic).
     static InternTable<Members, MembersHash>& intern_table() {
-        static InternTable<Members, MembersHash> table;
+        static thread_local InternTable<Members, MembersHash> table;
         return table;
     }
 

@@ -452,7 +452,7 @@ void OspfProcess::send_update(const std::string& ifname, IPv4 dst,
 
 void OspfProcess::flood(const Lsa& lsa, const std::string& except_ifname) {
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
+        telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kLsaFlood, node_, "ospf",
             lsa.key().str(), except_ifname, static_cast<int64_t>(lsa.seq));
     for (const auto& [ifname, cost] : iface_cost_) {

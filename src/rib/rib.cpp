@@ -140,7 +140,7 @@ bool Rib::add_route(const std::string& protocol, const IPv4Net& net,
     r.admin_distance = it->second.admin_distance;
     r.protocol = protocol;
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
+        telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kRouteInstall, node_, "rib",
             net.str(), protocol + ":" + r.nexthop_set().str(),
             static_cast<int64_t>(metric));
@@ -157,7 +157,7 @@ bool Rib::delete_route(const std::string& protocol, const IPv4Net& net) {
     it->second.deletes->inc();
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
+        telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kRouteWithdraw, node_, "rib",
             net.str(), protocol);
     Route4 r;
@@ -192,7 +192,7 @@ bool Rib::push_batch(const std::string& protocol,
         // The journal stays per-route when enabled — the analyzer replays
         // individual events — and costs one branch per entry when not.
         if (journal) {
-            auto& j = telemetry::Journal::global();
+            auto& j = telemetry::Journal::current();
             if (e.op != stage::BatchOp::kAdd)
                 j.record(loop_.now(), telemetry::JournalKind::kRouteWithdraw,
                          node_, "rib",

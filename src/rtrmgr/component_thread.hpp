@@ -1,0 +1,104 @@
+// ComponentThread: one event loop on one std::thread.
+//
+// The paper's multi-process decomposition (§3) maps here onto threads:
+// each routing component owns a private EventLoop driven by a dedicated
+// thread, and everything crossing between components goes through the
+// IPC layer (the xring family for cross-thread calls). The lifecycle is
+// deliberately two-phase:
+//
+//   ComponentThread t(clock);
+//   // ... construct the component against t.loop() from this thread:
+//   //     the loop has no owner yet, so timer/fd registrations are
+//   //     permitted (check_owner treats "unowned" as fine) ...
+//   t.start();   // spawns the thread; it claims ownership on first
+//                // run_once and parks in poll(2) when idle (hold_open)
+//   ...
+//   t.stop_and_join();  // request_stop + join + release_owner, after
+//                       // which the constructing thread may destroy the
+//                       // component's objects safely (join = sync edge)
+//
+// While running, the only safe ways in are loop().post()/run_on() and
+// run_sync() below; any direct registration from outside aborts.
+#ifndef XRP_RTRMGR_COMPONENT_THREAD_HPP
+#define XRP_RTRMGR_COMPONENT_THREAD_HPP
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ev/eventloop.hpp"
+
+namespace xrp::rtrmgr {
+
+class ComponentThread {
+public:
+    explicit ComponentThread(ev::Clock& clock) : loop_(clock) {
+        // Keep run() parked when all event sources drain: a component
+        // thread waits for cross-thread work instead of exiting.
+        loop_.hold_open(true);
+    }
+
+    ~ComponentThread() { stop_and_join(); }
+    ComponentThread(const ComponentThread&) = delete;
+    ComponentThread& operator=(const ComponentThread&) = delete;
+
+    ev::EventLoop& loop() { return loop_; }
+
+    // Spawns the driver thread. Call after the component has been
+    // constructed against loop(); from this point on, all interaction
+    // must go through post()/run_sync() or IPC.
+    void start() {
+        if (thread_.joinable()) return;
+        thread_ = std::thread([this] { loop_.run(); });
+    }
+
+    bool running() const { return thread_.joinable(); }
+
+    // Fire-and-forget onto the component's thread.
+    void post(std::function<void()> cb) { loop_.post(std::move(cb)); }
+
+    // Runs `cb` on the component's thread and blocks until it returned.
+    // Runs inline when the thread is not started yet (construction
+    // phase) or when called from the component's own thread (a nested
+    // run_sync must not deadlock against itself). The driver's thread id
+    // is compared directly — loop ownership is claimed asynchronously on
+    // the driver's first run_once, so right after start() the loop can
+    // still look unowned from the caller.
+    void run_sync(const std::function<void()>& cb) {
+        if (!thread_.joinable() ||
+            std::this_thread::get_id() == thread_.get_id()) {
+            cb();
+            return;
+        }
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        loop_.post([&] {
+            cb();
+            std::lock_guard<std::mutex> lk(mu);
+            done = true;
+            cv.notify_one();
+        });
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done; });
+    }
+
+    // Stops the loop, joins the thread, and releases loop ownership so
+    // the calling thread may tear the component down. Idempotent.
+    void stop_and_join() {
+        if (!thread_.joinable()) return;
+        loop_.request_stop();
+        thread_.join();
+        loop_.release_owner();
+    }
+
+private:
+    ev::EventLoop loop_;
+    std::thread thread_;
+};
+
+}  // namespace xrp::rtrmgr
+
+#endif

@@ -16,16 +16,21 @@ Supervisor::Supervisor(ipc::Plexus& plexus, ipc::XrlRouter& xr)
         "supervisor_failed_components");
     // One wildcard watch covers every supervised class; deaths reported
     // by anyone (a probe, a protocol's RIB push, an operator) all funnel
-    // through here. Deferred: the Finder fires watches synchronously from
-    // report_dead, which can be deep inside a call-contract completion —
-    // restarting a component from there would destroy objects with frames
-    // on the stack.
+    // through here. Posted, not handled inline, for two reasons: the
+    // Finder fires watches synchronously from report_dead — which can be
+    // deep inside a call-contract completion, where restarting a component
+    // would destroy objects with frames on the stack — and with threaded
+    // components the report may arrive from *their* thread, while all
+    // supervisor state lives on the manager's loop. post() is the
+    // thread-safe seam that covers both.
     watch_id_ = plexus_.finder.watch(
         "*", [this](finder::LifetimeEvent ev, const std::string& cls,
                     const std::string&) {
             if (ev != finder::LifetimeEvent::kDeath) return;
-            if (components_.count(cls) == 0) return;
-            plexus_.loop.defer([this, cls] { on_death(cls); });
+            loop().post([this, cls] {
+                if (components_.count(cls) == 0) return;
+                on_death(cls);
+            });
         });
 }
 
@@ -90,11 +95,11 @@ void Supervisor::on_death(const std::string& cls) {
     c.probe_timer.unschedule();
     c.deaths_total->inc();
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
-            plexus_.loop.now(), telemetry::JournalKind::kDeath, plexus_.node,
+        telemetry::Journal::current().record(
+            loop().now(), telemetry::JournalKind::kDeath, plexus_.node,
             "supervisor", cls);
 
-    const ev::TimePoint now = plexus_.loop.now();
+    const ev::TimePoint now = loop().now();
     c.deaths.push_back(now);
     while (!c.deaths.empty() &&
            now - c.deaths.front() > c.spec.breaker_window)
@@ -110,7 +115,7 @@ void Supervisor::on_death(const std::string& cls) {
         c.state = State::kFailed;
         failed_gauge_->add(1);
         if (telemetry::journal_enabled())
-            telemetry::Journal::global().record(
+            telemetry::Journal::current().record(
                 now, telemetry::JournalKind::kBreakerTrip, plexus_.node,
                 "supervisor", cls, {},
                 static_cast<int64_t>(c.deaths.size()));
@@ -130,7 +135,7 @@ ev::Duration Supervisor::backoff_for(const Component& c) const {
 void Supervisor::schedule_restart(const std::string& cls) {
     Component& c = components_[cls];
     c.state = State::kRestarting;
-    c.restart_timer = plexus_.loop.set_timer(
+    c.restart_timer = loop().set_timer(
         backoff_for(c), [this, cls] { do_restart(cls); });
 }
 
@@ -143,8 +148,8 @@ void Supervisor::do_restart(const std::string& cls) {
     ++c.consecutive_failures;
     c.restarts_total->inc();
     if (telemetry::journal_enabled())
-        telemetry::Journal::global().record(
-            plexus_.loop.now(), telemetry::JournalKind::kRestart, plexus_.node,
+        telemetry::Journal::current().record(
+            loop().now(), telemetry::JournalKind::kRestart, plexus_.node,
             "supervisor", cls, {}, static_cast<int64_t>(c.restarts));
     c.spec.restart();
     // The fresh instance is registered; tell the RIB the protocol is back
@@ -156,7 +161,7 @@ void Supervisor::do_restart(const std::string& cls) {
 void Supervisor::begin_resync(const std::string& cls) {
     Component& c = components_[cls];
     c.state = State::kResync;
-    c.resync_deadline = plexus_.loop.set_timer(
+    c.resync_deadline = loop().set_timer(
         c.spec.resync_timeout, [this, cls] {
             // Resync never completed; sweep anyway so stale routes are
             // not preserved forever (the protocol keeps adding whatever
@@ -169,7 +174,7 @@ void Supervisor::begin_resync(const std::string& cls) {
             cit->second.settle_timer.unschedule();
             finish_resync(cls);
         });
-    c.resync_poll = plexus_.loop.set_periodic(
+    c.resync_poll = loop().set_periodic(
         std::chrono::milliseconds(500), [this, cls] {
             auto cit = components_.find(cls);
             if (cit == components_.end() ||
@@ -177,7 +182,7 @@ void Supervisor::begin_resync(const std::string& cls) {
                 return false;
             Component& comp = cit->second;
             if (!comp.spec.resynced || comp.spec.resynced()) {
-                comp.settle_timer = plexus_.loop.set_timer(
+                comp.settle_timer = loop().set_timer(
                     comp.spec.resync_settle,
                     [this, cls] { finish_resync(cls); });
                 return false;  // stop polling; the settle timer owns it now
@@ -199,7 +204,7 @@ void Supervisor::finish_resync(const std::string& cls) {
 
 void Supervisor::start_probing(const std::string& cls) {
     Component& c = components_[cls];
-    c.probe_timer = plexus_.loop.set_periodic(
+    c.probe_timer = loop().set_periodic(
         c.spec.probe_interval, [this, cls] {
             probe(cls);
             return true;

@@ -121,6 +121,10 @@ private:
         telemetry::Counter* restarts_total = nullptr;
     };
 
+    // All supervisor state lives on the manager's home loop (== the Plexus
+    // loop today; the threaded router gives the manager its own).
+    ev::EventLoop& loop() { return xr_.loop(); }
+
     void on_death(const std::string& cls);
     void schedule_restart(const std::string& cls);
     void do_restart(const std::string& cls);

@@ -1,0 +1,116 @@
+#include "rtrmgr/threaded.hpp"
+
+namespace xrp::rtrmgr {
+
+using std::chrono::milliseconds;
+
+bgp::BgpProcess::Config ThreadedRouter::default_bgp() {
+    bgp::BgpProcess::Config cfg;
+    cfg.local_as = 1777;
+    cfg.bgp_id = net::IPv4::must_parse("192.0.2.250");
+    return cfg;
+}
+
+ThreadedRouter::ThreadedRouter(ev::RealClock& clock,
+                               bgp::BgpProcess::Config bgp_cfg)
+    : clock_(clock),
+      plexus_(clock),
+      bgp_cfg_(std::move(bgp_cfg)),
+      fea_ct_(clock),
+      rib_ct_(clock),
+      bgp_ct_(clock) {
+    // FEA on its own thread. The FIB change callback runs on the FEA
+    // thread; it keeps the cross-thread size mirror current.
+    fea_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, fea_ct_.loop(),
+                                               "fea", true);
+    fea_ = std::make_unique<fea::Fea>(fea_ct_.loop());
+    fea_->fib().set_change_callback([this](bool, const fea::FibEntry&) {
+        fib_size_.store(fea_->fib().size(), std::memory_order_relaxed);
+    });
+    fea::bind_fea_xrl(*fea_, *fea_xr_);
+    fea_xr_->finalize();
+
+    // RIB on its own thread; its FEA handle crosses to the FEA thread
+    // over the xring family.
+    rib_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, rib_ct_.loop(),
+                                               "rib", true);
+    rib_ = std::make_unique<rib::Rib>(
+        rib_ct_.loop(), std::make_unique<rib::XrlFeaHandle>(*rib_xr_));
+    rib::bind_rib_xrl(*rib_, *rib_xr_);
+    rib_xr_->finalize();
+
+    build_bgp();
+
+    // The Router Manager stays on the Plexus loop (caller-driven); its
+    // probes reach the component threads over xring.
+    mgr_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, "rtrmgr", true);
+    mgr_xr_->finalize();
+    supervisor_ = std::make_unique<Supervisor>(plexus_, *mgr_xr_);
+}
+
+ThreadedRouter::~ThreadedRouter() { stop(); }
+
+void ThreadedRouter::start() {
+    if (started_) return;
+    fea_ct_.start();
+    rib_ct_.start();
+    bgp_ct_.start();
+    started_ = true;
+}
+
+void ThreadedRouter::stop() {
+    if (!started_) return;
+    bgp_ct_.stop_and_join();
+    rib_ct_.stop_and_join();
+    fea_ct_.stop_and_join();
+    started_ = false;
+}
+
+void ThreadedRouter::build_bgp() {
+    // Cancel the mirror timer first: its callback dereferences bgp_.
+    bgp_mirror_timer_ = ev::Timer();
+    rib_handle_ = nullptr;
+    // Process first — it references its XrlRouter. Destroying the
+    // XrlRouter unregisters the dead instance so the fresh sole-class
+    // registration succeeds.
+    bgp_.reset();
+    bgp_xr_.reset();
+    bgp_xr_ = std::make_unique<ipc::XrlRouter>(plexus_, bgp_ct_.loop(),
+                                               "bgp", true);
+    auto rh = std::make_unique<bgp::XrlRibHandle>(*bgp_xr_);
+    rib_handle_ = rh.get();
+    bgp_ = std::make_unique<bgp::BgpProcess>(bgp_ct_.loop(), bgp_cfg_,
+                                             std::move(rh));
+    bgp::bind_bgp_xrl(*bgp_, *bgp_xr_);
+    bgp_xr_->finalize();
+    bgp_mirror_timer_ = bgp_ct_.loop().set_periodic(milliseconds(10), [this] {
+        loc_rib_.store(bgp_->loc_rib_count(), std::memory_order_relaxed);
+        return true;
+    });
+    bgp_generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadedRouter::supervise_bgp(Supervisor::Spec spec) {
+    spec.cls = "bgp";
+    spec.protocols = {"ebgp", "ibgp"};
+    // do_restart runs on the manager loop; the rebuild itself must run on
+    // the BGP thread (the new XrlRouter/XringPort register on its loop).
+    spec.restart = [this] { bgp_ct_.run_sync([this] { build_bgp(); }); };
+    if (!spec.resynced)
+        // No peer sessions to re-establish in this harness: resync is
+        // immediately complete and the settle delay covers in-flight
+        // re-adds.
+        spec.resynced = [] { return true; };
+    supervisor_->supervise(std::move(spec));
+}
+
+void ThreadedRouter::kill_bgp() {
+    bgp_ct_.run_sync([this] {
+        bgp_mirror_timer_ = ev::Timer();
+        rib_handle_ = nullptr;
+        bgp_.reset();
+        bgp_xr_.reset();
+    });
+}
+
+}  // namespace xrp::rtrmgr

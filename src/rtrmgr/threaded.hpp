@@ -1,0 +1,145 @@
+// ThreadedRouter: the parallel control plane.
+//
+// The paper's router is a set of processes — BGP, the RIB, the FEA, the
+// Router Manager — coupled only by XRLs (§3). The single-threaded
+// rtrmgr::Router collapses them onto one event loop; ThreadedRouter
+// restores the concurrency: FEA, RIB, and BGP each run their own
+// EventLoop on their own thread (ComponentThread), and every
+// inter-component XRL crosses threads over the lock-free SPSC-ring
+// "xring" family. The Router Manager (its XrlRouter, the Finder, and the
+// Supervisor) stays on the Plexus loop, driven by the caller — typically
+// the main thread.
+//
+// Lifecycle: construction wires all components on the calling thread
+// (loops are unowned until driven, so registrations are permitted);
+// start() spawns the three component threads; stop() joins them, after
+// which the destructor tears everything down from the calling thread.
+//
+// Cross-thread discipline for callers:
+//   - fib_size()/loc_rib_count() are atomic mirrors maintained on the
+//     owning threads — safe from anywhere, cheap enough to poll.
+//   - post_bgp()/run_sync_bgp() are the doors onto the BGP thread; the
+//     raw bgp()/rib_handle() pointers must only be dereferenced from
+//     inside those doors (or before start()/after stop()).
+//   - kill_bgp() simulates a component crash for supervision tests.
+#ifndef XRP_RTRMGR_THREADED_HPP
+#define XRP_RTRMGR_THREADED_HPP
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "bgp/bgp_xrl.hpp"
+#include "bgp/process.hpp"
+#include "fea/fea.hpp"
+#include "fea/fea_xrl.hpp"
+#include "rib/rib.hpp"
+#include "rib/rib_xrl.hpp"
+#include "rtrmgr/component_thread.hpp"
+#include "rtrmgr/supervisor.hpp"
+
+namespace xrp::rtrmgr {
+
+class ThreadedRouter {
+public:
+    // Component threads park in poll(2); virtual clocks cannot drive a
+    // blocked poll, so a threaded router requires a real clock.
+    explicit ThreadedRouter(ev::RealClock& clock,
+                            bgp::BgpProcess::Config bgp_cfg = default_bgp());
+    ~ThreadedRouter();
+    ThreadedRouter(const ThreadedRouter&) = delete;
+    ThreadedRouter& operator=(const ThreadedRouter&) = delete;
+
+    static bgp::BgpProcess::Config default_bgp();
+
+    // Spawns the FEA, RIB, and BGP threads. Idempotent.
+    void start();
+    // Stops and joins all component threads (BGP first — it feeds the
+    // RIB, which feeds the FEA). Idempotent; also run by the destructor.
+    void stop();
+    bool running() const { return started_; }
+
+    ipc::Plexus& plexus() { return plexus_; }
+    // The Router Manager's loop (== plexus().loop): the caller drives it
+    // to run supervisor probes, restarts, and RIB grace notifications.
+    ev::EventLoop& mgr_loop() { return plexus_.loop; }
+    Supervisor& supervisor() { return *supervisor_; }
+
+    ComponentThread& fea_thread() { return fea_ct_; }
+    ComponentThread& rib_thread() { return rib_ct_; }
+    ComponentThread& bgp_thread() { return bgp_ct_; }
+
+    // ---- cross-thread-safe observation ------------------------------
+    // Mirrors maintained by callbacks on the owning threads.
+    size_t fib_size() const {
+        return fib_size_.load(std::memory_order_relaxed);
+    }
+    size_t loc_rib_count() const {
+        return loc_rib_.load(std::memory_order_relaxed);
+    }
+    uint64_t bgp_generation() const {
+        return bgp_generation_.load(std::memory_order_relaxed);
+    }
+
+    // ---- doors onto the BGP thread ----------------------------------
+    void post_bgp(std::function<void()> fn) { bgp_ct_.post(std::move(fn)); }
+    void run_sync_bgp(const std::function<void()>& fn) {
+        bgp_ct_.run_sync(fn);
+    }
+    // Only dereference on the BGP thread (or while its thread is down).
+    bgp::BgpProcess* bgp() { return bgp_.get(); }
+    ipc::XrlRouter& bgp_router() { return *bgp_xr_; }
+    bgp::XrlRibHandle* rib_handle() { return rib_handle_; }
+    // Same discipline: RIB objects belong to the RIB thread, FEA objects
+    // to the FEA thread. Safe before start() and after stop().
+    rib::Rib& rib() { return *rib_; }
+    fea::Fea& fea() { return *fea_; }
+
+    // ---- supervision -------------------------------------------------
+    // Puts BGP under the Supervisor: death -> RIB grace mark -> rebuild
+    // on the BGP thread -> resync-complete sweep.
+    void supervise_bgp(Supervisor::Spec overrides = {});
+    // Simulates a BGP crash: destroys the process and its XrlRouter on
+    // the BGP thread; the Finder death notification reaches the
+    // Supervisor on the manager loop.
+    void kill_bgp();
+
+private:
+    // (Re)builds the BGP objects against the BGP loop. Runs on the
+    // calling thread at construction, on the BGP thread thereafter.
+    void build_bgp();
+
+    ev::RealClock& clock_;
+    ipc::Plexus plexus_;
+    bgp::BgpProcess::Config bgp_cfg_;
+
+    ComponentThread fea_ct_;
+    ComponentThread rib_ct_;
+    ComponentThread bgp_ct_;
+
+    std::unique_ptr<ipc::XrlRouter> fea_xr_;
+    std::unique_ptr<fea::Fea> fea_;
+    std::unique_ptr<ipc::XrlRouter> rib_xr_;
+    std::unique_ptr<rib::Rib> rib_;
+    std::unique_ptr<ipc::XrlRouter> bgp_xr_;
+    std::unique_ptr<bgp::BgpProcess> bgp_;
+    bgp::XrlRibHandle* rib_handle_ = nullptr;
+    // Mirrors loc_rib_count() into the atomic from the BGP thread.
+    ev::Timer bgp_mirror_timer_;
+
+    std::unique_ptr<ipc::XrlRouter> mgr_xr_;
+
+    std::atomic<size_t> fib_size_{0};
+    std::atomic<size_t> loc_rib_{0};
+    // Bumped on every (re)build; tests use it to await a restart.
+    std::atomic<uint64_t> bgp_generation_{0};
+
+    bool started_ = false;
+
+    // Declared last: destroyed first, before the components it watches.
+    std::unique_ptr<Supervisor> supervisor_;
+};
+
+}  // namespace xrp::rtrmgr
+
+#endif

@@ -52,8 +52,25 @@ Journal& Journal::global() {
     return j;
 }
 
+namespace {
+thread_local Journal* g_journal_override = nullptr;
+}  // namespace
+
+Journal& Journal::current() {
+    return g_journal_override != nullptr ? *g_journal_override : global();
+}
+
+Journal* Journal::set_thread_override(Journal* j) {
+    Journal* prev = g_journal_override;
+    g_journal_override = j;
+    return prev;
+}
+
 void Journal::set_enabled(bool on) {
-    detail::g_journal_enabled.store(on, std::memory_order_relaxed);
+    const bool was = enabled_.exchange(on, std::memory_order_relaxed);
+    if (was == on) return;
+    detail::g_journal_enabled_count.fetch_add(on ? 1 : -1,
+                                              std::memory_order_relaxed);
 }
 
 void Journal::set_capacity(size_t cap) {
@@ -88,7 +105,7 @@ size_t Journal::capacity() const {
 void Journal::record(ev::TimePoint t, JournalKind kind, std::string_view node,
                      std::string_view component, std::string_view subject,
                      std::string_view detail, int64_t value) {
-    if (!journal_enabled()) return;
+    if (!enabled()) return;
     JournalEvent ev;
     ev.t = t;
     ev.kind = kind;

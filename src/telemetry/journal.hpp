@@ -11,6 +11,16 @@
 // nothing when nobody is watching. Callers pass their own loop's
 // timestamp — in a multi-router simulation every component runs on one
 // VirtualClock loop, so journal order and timestamp order agree.
+//
+// Threading: record()/events()/clear() are safe from any thread — every
+// ring mutation happens under one mutex, and seq numbers stay globally
+// ordered under concurrent producers (the 4-thread hammer test pins
+// this). When journal order must be isolated per unit of work instead
+// of interleaved — scenario_runner running matrix cells on a thread
+// pool — a thread installs its own Journal with set_thread_override();
+// instrumented code reaches the journal through Journal::current(), so
+// everything that thread's cell does lands in the cell's journal while
+// other threads keep writing to their own (or the global one).
 #ifndef XRP_TELEMETRY_JOURNAL_HPP
 #define XRP_TELEMETRY_JOURNAL_HPP
 
@@ -59,13 +69,16 @@ struct JournalEvent {
 };
 
 namespace detail {
-// Inline mirror of Journal::global()'s enabled flag so the hot-path
-// check never takes the singleton's mutex (same trick as g_tracing).
-inline std::atomic<bool> g_journal_enabled{false};
+// Count of currently-enabled Journal instances. The hot-path guard at
+// hook sites is "is ANY journal on?" — one relaxed load, no mutex. It
+// can be true when only some other thread's journal is recording; the
+// per-instance flag inside record() settles it, so a pool cell turning
+// its private journal off can never silence a concurrent cell's.
+inline std::atomic<int> g_journal_enabled_count{0};
 }  // namespace detail
 
 inline bool journal_enabled() {
-    return detail::g_journal_enabled.load(std::memory_order_relaxed);
+    return detail::g_journal_enabled_count.load(std::memory_order_relaxed) > 0;
 }
 
 class Journal {
@@ -74,8 +87,25 @@ public:
 
     static Journal& global();
 
+    // The journal instrumented code should append to: the calling
+    // thread's override when one is installed, else the global journal.
+    static Journal& current();
+    // Installs `j` as this thread's journal (nullptr restores the
+    // global). Returns the previous override so scopes can nest.
+    static Journal* set_thread_override(Journal* j);
+
+    // Public constructor: scenario cells build private journals and
+    // install them per worker thread via set_thread_override().
+    Journal() { ring_.reserve(kDefaultCapacity); }
+    // Balances the enabled-journal count if an owner forgets to disable.
+    ~Journal() { set_enabled(false); }
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    // Per-instance: enabling/disabling this journal never affects what
+    // another thread's journal records. Idempotent.
     void set_enabled(bool on);
-    bool enabled() const { return journal_enabled(); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
     // Resize the bounded ring; keeps the newest events that fit.
     void set_capacity(size_t cap);
@@ -100,8 +130,7 @@ public:
     std::string to_jsonl() const;
 
 private:
-    Journal() { ring_.reserve(kDefaultCapacity); }
-
+    std::atomic<bool> enabled_{false};
     mutable std::mutex mu_;
     std::vector<JournalEvent> ring_;  // circular once full
     size_t cap_ = kDefaultCapacity;

@@ -1,0 +1,309 @@
+// Cross-thread XRL tests: the reliable call contract over the "xring"
+// family. A component on its own ComponentThread is reachable through
+// lock-free SPSC rings, and the full CallOptions machinery — deadlines,
+// retry-through-drops, failover across families, dead-target reporting —
+// must behave exactly as it does over inproc/stcp/sudp, with the caller
+// and callee on different threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "ipc/router.hpp"
+#include "rtrmgr/component_thread.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace xrp;
+using namespace xrp::ipc;
+using namespace std::chrono_literals;
+using rtrmgr::ComponentThread;
+using xrl::ErrorCode;
+using xrl::Xrl;
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+namespace {
+
+uint64_t ctr(const std::string& key) {
+    return telemetry::Registry::global().counter(key)->value();
+}
+
+// The arithmetic server from test_ipc, hosted on its own thread. The
+// handler runs on the component thread; `dispatched` is read from the
+// test thread, hence atomic.
+class ThreadedAddServer {
+public:
+    ThreadedAddServer(Plexus& plexus, ev::Clock& clock, bool tcp = false)
+        : thread_(clock), router_(plexus, thread_.loop(), "calc", true) {
+        auto spec = xrl::InterfaceSpec::parse(
+            "interface calc/1.0 { add ? a:u32 & b:u32 -> sum:u32; hang; }");
+        router_.add_interface(*spec);
+        router_.add_handler(
+            "calc/1.0/add", [this](const XrlArgs& in, XrlArgs& out) {
+                dispatched_.fetch_add(1, std::memory_order_relaxed);
+                out.add("sum", *in.get_u32("a") + *in.get_u32("b"));
+                return XrlError::okay();
+            });
+        router_.add_async_handler(
+            "calc/1.0/hang", [this](const XrlArgs&, ResponseCallback done) {
+                dispatched_.fetch_add(1, std::memory_order_relaxed);
+                parked_.push_back(std::move(done));  // never completed
+            });
+        if (tcp) router_.enable_tcp();
+        EXPECT_TRUE(router_.finalize());
+        thread_.start();
+    }
+    ~ThreadedAddServer() { thread_.stop_and_join(); }
+
+    int dispatched() const {
+        return static_cast<int>(dispatched_.load(std::memory_order_relaxed));
+    }
+    ComponentThread& thread() { return thread_; }
+    XrlRouter& router() { return router_; }
+
+private:
+    ComponentThread thread_;
+    XrlRouter router_;
+    std::atomic<int> dispatched_{0};
+    std::vector<ResponseCallback> parked_;  // only touched on the thread
+};
+
+Xrl add_xrl(uint32_t a, uint32_t b) {
+    XrlArgs args;
+    args.add("a", a).add("b", b);
+    return Xrl::generic("calc", "calc", "1.0", "add", args);
+}
+
+}  // namespace
+
+TEST(Xring, CrossThreadRoundTrip) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    const uint64_t xr0 = ctr("xrl_sends_total{family=\"xring\"}");
+    std::optional<uint32_t> sum;
+    bool done = false;
+    client.send(add_xrl(40, 2), [&](const XrlError& e, const XrlArgs& out) {
+        if (e.ok()) sum = out.get_u32("sum");
+        done = true;
+    });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 5s));
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    // A threaded component offers no inproc: the call crossed the ring.
+    EXPECT_GE(ctr("xrl_sends_total{family=\"xring\"}") - xr0, 1u);
+    EXPECT_EQ(server.dispatched(), 1);
+}
+
+TEST(Xring, PipelinedBurstCompletesAndExercisesBackpressure) {
+    // 4000 concurrent calls against kMaxOutstanding=512 per channel: the
+    // excess waits in the sender backlog, everything completes, nothing
+    // is lost or duplicated.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    const int kCalls = 4000;
+    int completed = 0;
+    int sum_errors = 0;
+    for (int i = 0; i < kCalls; ++i) {
+        client.send(add_xrl(static_cast<uint32_t>(i), 1),
+                    [&, i](const XrlError& e, const XrlArgs& out) {
+                        if (!e.ok() ||
+                            *out.get_u32("sum") !=
+                                static_cast<uint32_t>(i) + 1)
+                            ++sum_errors;
+                        ++completed;
+                    });
+    }
+    ASSERT_TRUE(
+        plexus.loop.run_until([&] { return completed == kCalls; }, 30s))
+        << "completed " << completed;
+    EXPECT_EQ(sum_errors, 0);
+    EXPECT_EQ(server.dispatched(), kCalls);
+}
+
+TEST(Xring, NeverReplyingHandlerHitsDeadline) {
+    // The contract's acceptance bar, across threads: a handler that
+    // never completes produces a typed kTimeout from the caller's own
+    // loop timer.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    CallOptions opts;
+    opts.with_deadline(500ms).with_attempt_timeout(100ms).with_attempts(1);
+    XrlError got;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "hang"), opts,
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 5s));
+    EXPECT_EQ(got.code(), ErrorCode::kTimeout) << got.str();
+}
+
+TEST(Xring, IdempotentCallRetriesThroughDrops) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan plan;
+    plan.drop_first = 2;
+    plexus.faults.set_target_plan("calc", plan);
+
+    const uint64_t retries0 = ctr("xrl_call_retries_total");
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(50ms).with_attempts(4).with_deadline(10s);
+    std::optional<uint32_t> sum;
+    bool done = false;
+    client.call(add_xrl(40, 2), opts,
+                [&](const XrlError& e, const XrlArgs& out) {
+                    if (e.ok()) sum = out.get_u32("sum");
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_EQ(plexus.faults.stats().drops, 2u);
+    EXPECT_GE(ctr("xrl_call_retries_total") - retries0, 2u);
+}
+
+TEST(Xring, HardFailureFailsOverToTcp) {
+    // The threaded server is reachable over xring and sTCP. Killing the
+    // xring channel is a pre-execution hard failure: the call hops to
+    // the TCP resolution inside one attempt and still completes.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock, /*tcp=*/true);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_family_plan("xring", kill);
+
+    const uint64_t failovers0 = ctr("xrl_call_failovers_total");
+    std::optional<uint32_t> sum;
+    bool done = false;
+    client.send(add_xrl(40, 2), [&](const XrlError& e, const XrlArgs& out) {
+        if (e.ok()) sum = out.get_u32("sum");
+        done = true;
+    });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, 42u);
+    EXPECT_GE(ctr("xrl_call_failovers_total") - failovers0, 1u);
+}
+
+TEST(Xring, ExhaustedHardFailuresReportTargetDead) {
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);  // xring only: nowhere to hop
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    FaultInjector::Plan kill;
+    kill.kill_channel = true;
+    plexus.faults.set_target_plan("calc", kill);
+
+    const uint64_t dead0 = ctr("xrl_targets_reported_dead_total");
+    CallOptions opts = CallOptions::reliable();
+    opts.with_attempt_timeout(100ms).with_attempts(2).with_deadline(10s);
+    XrlError got;
+    bool done = false;
+    client.call(add_xrl(1, 2), opts, [&](const XrlError& e, const XrlArgs&) {
+        got = e;
+        done = true;
+    });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 10s));
+    EXPECT_EQ(got.code(), ErrorCode::kTransportFailed) << got.str();
+    EXPECT_EQ(ctr("xrl_targets_reported_dead_total") - dead0, 1u);
+
+    // The Finder remembers: with the faults gone, the next call
+    // fast-fails kTargetDead instead of dispatching at a corpse.
+    plexus.faults.clear();
+    done = false;
+    client.call(add_xrl(1, 2), CallOptions::defaults(),
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 5s));
+    EXPECT_EQ(got.code(), ErrorCode::kTargetDead) << got.str();
+}
+
+TEST(Xring, ServerTeardownFailsInFlightCallsHard) {
+    // Destroying the server's port (component death) must convert the
+    // outstanding calls into hard transport failures that feed the
+    // failover/dead-target machinery — not hangs until deadline.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    auto server = std::make_unique<ThreadedAddServer>(plexus, clock);
+    XrlRouter client(plexus, "client");
+    ASSERT_TRUE(client.finalize());
+
+    CallOptions opts;
+    opts.with_deadline(30s).with_attempt_timeout(30s).with_attempts(1);
+    XrlError got;
+    bool done = false;
+    client.call(Xrl::generic("calc", "calc", "1.0", "hang"), opts,
+                [&](const XrlError& e, const XrlArgs&) {
+                    got = e;
+                    done = true;
+                });
+    // Let the request reach the (parked) handler, then kill the server.
+    ASSERT_TRUE(
+        plexus.loop.run_until([&] { return server->dispatched() == 1; }, 5s));
+    server.reset();
+    ASSERT_TRUE(plexus.loop.run_until([&] { return done; }, 5s));
+    EXPECT_EQ(got.code(), ErrorCode::kTransportFailed) << got.str();
+}
+
+TEST(Xring, ThreadedClientCallsThreadedServer) {
+    // Caller and callee each on their own thread; the test thread only
+    // watches an atomic. Request rings carry the frames one way, reply
+    // rings the other, and the client's contract timers run on the
+    // client's own loop.
+    ev::RealClock clock;
+    Plexus plexus(clock);
+    ThreadedAddServer server(plexus, clock);
+
+    ComponentThread client_thread(clock);
+    XrlRouter client(plexus, client_thread.loop(), "client");
+    ASSERT_TRUE(client.finalize());
+    client_thread.start();
+
+    std::atomic<int> completed{0};
+    std::atomic<int> errors{0};
+    const int kCalls = 1000;
+    client_thread.post([&] {
+        for (int i = 0; i < kCalls; ++i) {
+            client.send(add_xrl(static_cast<uint32_t>(i), 2),
+                        [&, i](const XrlError& e, const XrlArgs& out) {
+                            if (!e.ok() ||
+                                *out.get_u32("sum") !=
+                                    static_cast<uint32_t>(i) + 2)
+                                errors.fetch_add(1);
+                            completed.fetch_add(1);
+                        });
+        }
+    });
+    const auto deadline = std::chrono::steady_clock::now() + 30s;
+    while (completed.load() < kCalls &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    EXPECT_EQ(completed.load(), kCalls);
+    EXPECT_EQ(errors.load(), 0);
+    client_thread.stop_and_join();
+}
