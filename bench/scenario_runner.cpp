@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "report.hpp"
+#include "rtrmgr/process.hpp"
 #include "sim/analyzer.hpp"
 #include "sim/topogen.hpp"
 #include "telemetry/journal.hpp"
@@ -380,6 +381,117 @@ CellResult run_cell(const TopoSpec& spec, const std::string& schedule) {
     return res;
 }
 
+// ---- the process_kill cell ---------------------------------------------
+// Unlike the matrix cells this one is not simulated at all: a real
+// 3-process router (forked xrp_component binaries on real sockets, real
+// clock), and the fault is a real SIGKILL on the live bgp PID — no
+// cleanup code runs, the kernel just yanks the process. The oracle here
+// is the deterministic feed: the restarted instance re-advertises the
+// identical table, so convergence means the RIB is back to exactly
+// `routes + 1` entries (feed + static cover) and — the graceful-restart
+// payoff — the FEA's monotonic delete counter never moved: forwarding
+// state survived every kill untouched.
+CellResult run_process_kill(bench::Report& report, size_t routes,
+                            int kills) {
+    CellResult res;
+    struct rusage ru0;
+    getrusage(RUSAGE_THREAD, &ru0);
+
+    ev::RealClock clock;
+    ev::EventLoop loop(clock);
+    rtrmgr::ProcessRouter::Options opts;
+    opts.node = "chaos";
+    opts.capture_output = false;
+    rtrmgr::ProcessRouter router(loop, opts);
+    std::vector<rtrmgr::ProcessRouter::ComponentSpec> specs(3);
+    specs[0].cls = "fea";
+    specs[1].cls = "rib";
+    specs[2].cls = "bgp";
+    specs[2].extra_args.push_back("--feed-routes=" + std::to_string(routes));
+    if (!router.start(specs) || !router.wait_all_ready(120s)) {
+        std::fprintf(stderr,
+                     "  [procrouter/process_kill] boot failed (component "
+                     "binary missing?)\n");
+        return res;
+    }
+
+    const uint32_t expected = static_cast<uint32_t>(routes) + 1;
+    const uint64_t deletes0 =
+        router.query_u64("fea", "fea", "1.0", "get_fib_churn", "deletes")
+            .value_or(0);
+    res.ran = true;
+    res.converged = true;
+    auto wall0 = std::chrono::steady_clock::now();
+
+    for (int k = 0; k < kills; ++k) {
+        const pid_t victim = router.active_pid("bgp");
+        auto t0 = std::chrono::steady_clock::now();
+        router.kill("bgp", SIGKILL);
+        // Reconverged: a NEW process is active, the supervisor is back to
+        // kAlive (restart + resync + sweep all done), and the RIB holds
+        // exactly the full table again.
+        bool ok = false;
+        while (std::chrono::steady_clock::now() - t0 < 120s) {
+            loop.run_for(50ms);
+            if (router.active_pid("bgp") == victim) continue;
+            if (router.supervisor().state("bgp") !=
+                rtrmgr::Supervisor::State::kAlive)
+                continue;
+            if (router
+                    .query_u32("rib", "rib", "1.0", "get_route_count",
+                               "count")
+                    .value_or(0) == expected) {
+                ok = true;
+                break;
+            }
+        }
+        double round_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        res.convergence_ms = std::max(res.convergence_ms, round_ms);
+        if (!ok) res.converged = false;
+    }
+
+    const uint64_t deletes1 =
+        router.query_u64("fea", "fea", "1.0", "get_fib_churn", "deletes")
+            .value_or(deletes0 + 1);
+    // Forwarding-plane flinch across all kills, expressed in the same
+    // units as the matrix cells' blackhole accounting: any FIB delete
+    // during SIGKILL chaos means stale-route preservation failed.
+    res.blackhole_windows = static_cast<size_t>(deletes1 - deletes0);
+    if (deletes1 != deletes0) res.converged = false;
+    res.fib_events = deletes1 - deletes0;
+    res.virtual_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    struct rusage ru1;
+    getrusage(RUSAGE_THREAD, &ru1);
+    res.cpu_ms = cpu_ms_of(ru1.ru_utime) + cpu_ms_of(ru1.ru_stime) -
+                 cpu_ms_of(ru0.ru_utime) - cpu_ms_of(ru0.ru_stime);
+    res.max_rss_kb = ru1.ru_maxrss;
+
+    json::Value& row = report.add_row();
+    row.set("family", json::Value("procrouter"));
+    row.set("schedule", json::Value("process_kill"));
+    row.set("routers", json::Value(static_cast<int64_t>(1)));
+    row.set("links", json::Value(static_cast<int64_t>(0)));
+    row.set("converged", json::Value(res.converged));
+    row.set("convergence_ms", json::Value(res.convergence_ms));
+    row.set("routes", json::Value(static_cast<int64_t>(routes)));
+    row.set("kills", json::Value(static_cast<int64_t>(kills)));
+    row.set("fib_flinch_deletes",
+            json::Value(static_cast<int64_t>(deletes1 - deletes0)));
+    row.set("wall_s", json::Value(res.virtual_s));
+    row.set("cpu_ms", json::Value(res.cpu_ms));
+    row.set("max_rss_kb", json::Value(res.max_rss_kb));
+    std::printf("%-10s %-15s %8d %7d %6s %12.1f %12s %10s %10s %9.1f %9lld\n",
+                "procrouter", "process_kill", 1, 0,
+                res.converged ? "yes" : "NO", res.convergence_ms, "-", "-",
+                "-", res.cpu_ms, static_cast<long long>(res.max_rss_kb));
+    std::fflush(stdout);
+    return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,6 +606,18 @@ int main(int argc, char** argv) {
     for (auto& th : pool) th.join();
 
     int failures = 0;
+
+    // The real-process chaos cell runs after the simulated matrix, alone
+    // on the main thread (it forks actual component processes and owns
+    // real sockets — no reason to contend with pool workers). Excluded
+    // from --smoke: the sanitizer CI gate keeps fork/exec out; ci.sh
+    // drives it as its own multi-process smoke step.
+    if (!smoke && only_family.empty() &&
+        (only_schedule.empty() || only_schedule == "process_kill")) {
+        CellResult r =
+            run_process_kill(report, quick ? 5000 : 20000, quick ? 2 : 3);
+        if (!r.ran || !r.converged) ++failures;
+    }
     for (size_t i = 0; i < cells.size(); ++i) {
         const CellJob& c = cells[i];
         const CellResult& r = results[i];

@@ -10,6 +10,12 @@
 // non-decreasing across consecutive rows of the same (figure, mode)
 // series — a regression that scrambles a distribution fails the gate,
 // not just one that breaks the JSON shape.
+//
+// Hitless-upgrade rows (mode == "upgrade") and real-process kill-chaos
+// rows (schedule == "process_kill") carry hard invariants, not just
+// measurements: a committed artifact claiming routes were lost or the
+// FIB flinched fails validation — those numbers are the feature's
+// contract, so the trajectory file itself gates them.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -94,6 +100,41 @@ int check_file(const std::string& path) {
                              "%s: row %zu percentiles out of order "
                              "(p50=%g p95=%g p99=%g)\n",
                              path.c_str(), i, *p50, *p95, *p99);
+                ++bad;
+            }
+        }
+        if (row.get_string("mode").value_or("") == "upgrade") {
+            auto ms = row.get_number("upgrade_ms");
+            auto lost = row.get_number("routes_lost");
+            auto flinch = row.get_number("fib_flinch_deletes");
+            if (!ms || *ms < 0 || !lost || !flinch) {
+                std::fprintf(stderr,
+                             "%s: row %zu upgrade row missing/invalid "
+                             "upgrade_ms/routes_lost/fib_flinch_deletes\n",
+                             path.c_str(), i);
+                ++bad;
+            } else if (*lost != 0 || *flinch != 0) {
+                std::fprintf(stderr,
+                             "%s: row %zu upgrade was not hitless "
+                             "(routes_lost=%g fib_flinch_deletes=%g)\n",
+                             path.c_str(), i, *lost, *flinch);
+                ++bad;
+            }
+        }
+        if (row.get_string("schedule").value_or("") == "process_kill") {
+            auto conv = row.find("converged");
+            auto flinch = row.get_number("fib_flinch_deletes");
+            if (conv == nullptr || !conv->is_bool() || !flinch) {
+                std::fprintf(stderr,
+                             "%s: row %zu process_kill row missing "
+                             "converged/fib_flinch_deletes\n",
+                             path.c_str(), i);
+                ++bad;
+            } else if (!conv->as_bool() || *flinch != 0) {
+                std::fprintf(stderr,
+                             "%s: row %zu SIGKILL chaos did not reconverge "
+                             "cleanly (fib_flinch_deletes=%g)\n",
+                             path.c_str(), i, *flinch);
                 ++bad;
             }
         }

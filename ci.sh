@@ -91,4 +91,17 @@ XRP_BENCH_DIR="$BENCH_OUT" build/bench/bench_route_latency \
 build/bench/validate_bench "$BENCH_OUT"/BENCH_route_latency.json
 build/bench/validate_bench "$BENCH_OUT"/BENCH_*.json
 
+echo "== multi-process smoke (fork/exec, SIGKILL, hitless upgrade) =="
+# Real processes, real kernel: the plain build's test_process suite forks
+# xrp_component binaries over stcp — SIGKILL a live bgp, assert the
+# supervisor restarts it with zero FIB flinch, run one hitless binary
+# upgrade, and verify a SIGKILLed manager takes its components with it
+# (no orphan leak). Then the upgrade bench at a quick size as a hard
+# gate: exit status is non-zero unless 0 routes lost and 0 FIB deletes.
+(cd build && ctest -R 'ProcessHost|KillChaos.RealSigkill|KillChaos.DeadPeer|Upgrade.Hitless|Supervisor.CleanExits|OrphanCleanup' \
+    --output-on-failure -j "$JOBS")
+echo "-- build/bench/bench_restart --quick --mode=upgrade (hitless gate)"
+XRP_BENCH_DIR="$BENCH_OUT" build/bench/bench_restart --quick --mode=upgrade
+build/bench/validate_bench "$BENCH_OUT"/BENCH_restart.json
+
 echo "CI OK"

@@ -12,6 +12,7 @@ void Fea::add_route(const net::IPv4Net& net, net::IPv4 nexthop) {
     const Interface* itf = interfaces_.find_by_subnet(nexthop);
     if (itf != nullptr) e.ifname = itf->name;
     fib_.add_route(e);
+    ++fib_adds_;
     if (telemetry::journal_enabled())
         telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
@@ -46,6 +47,7 @@ void Fea::add_route(const net::IPv4Net& net,
     e.nexthop = nexthops.primary();
     e.ifname = e.ifnames.front();
     fib_.add_route(e);
+    ++fib_adds_;
     if (telemetry::journal_enabled())
         telemetry::Journal::current().record(
             loop_.now(), telemetry::JournalKind::kFibAdd, node_, "fea",
@@ -79,6 +81,7 @@ void Fea::apply_batch(const stage::RouteBatch4& batch) {
 bool Fea::delete_route(const net::IPv4Net& net) {
     if (prof_in_.enabled()) prof_in_.record("delete " + net.str());
     bool ok = fib_.delete_route(net);
+    if (ok) ++fib_deletes_;
     if (ok && telemetry::journal_enabled())
         telemetry::Journal::current().record(loop_.now(),
                                             telemetry::JournalKind::kFibDelete,

@@ -56,6 +56,14 @@ public:
     void apply_batch(const stage::RouteBatch4& batch);
     const FibEntry* lookup(net::IPv4 addr) const { return fib_.lookup(addr); }
 
+    // Monotonic churn counters: every install/removal that reached the
+    // forwarding plane, ever. A hitless restart or upgrade must hold
+    // fib_deletes() constant — the 0-flinch gate reads these, because a
+    // transient dip in fib().size() could be masked by a same-tick re-add
+    // while a delete+add pair cannot hide from a monotonic counter.
+    uint64_t fib_adds() const { return fib_adds_; }
+    uint64_t fib_deletes() const { return fib_deletes_; }
+
     // ---- virtual network attachment -------------------------------------
     void attach_to_network(VirtualNetwork* network, int link_id,
                            const std::string& ifname);
@@ -98,6 +106,8 @@ private:
     std::map<int, RelaySocket> sockets_;
     std::map<std::string, Attachment> attachments_;  // by ifname
     int next_sock_ = 1;
+    uint64_t fib_adds_ = 0;
+    uint64_t fib_deletes_ = 0;
     profiler::Profiler* profiler_ = nullptr;
     profiler::Profiler::ProfilePoint prof_in_;
     profiler::Profiler::ProfilePoint prof_kernel_;

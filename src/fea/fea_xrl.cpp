@@ -51,6 +51,15 @@ void bind_fea_xrl(Fea& fea, ipc::XrlRouter& router) {
             out.add("count", static_cast<uint32_t>(fea.fib().size()));
             return XrlError::okay();
         });
+    // The 0-flinch witnesses: monotonic lifetime install/remove counts.
+    // bench_restart and the upgrade tests read `deletes` before and after
+    // a restart or binary upgrade — hitless means it did not move.
+    router.add_handler(
+        "fea/1.0/get_fib_churn", [&fea](const XrlArgs&, XrlArgs& out) {
+            out.add("adds", fea.fib_adds());
+            out.add("deletes", fea.fib_deletes());
+            return XrlError::okay();
+        });
     router.add_handler(
         "fea/1.0/get_interface_count", [&fea](const XrlArgs&, XrlArgs& out) {
             out.add("count", static_cast<uint32_t>(fea.interfaces().size()));

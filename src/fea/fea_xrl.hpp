@@ -17,6 +17,7 @@ interface fea/1.0 {
     delete_route4 ? net:ipv4net;
     lookup_route4 ? addr:ipv4 -> found:bool & net:ipv4net & nexthop:ipv4;
     get_fib_size -> count:u32;
+    get_fib_churn -> adds:u64 & deletes:u64;
     get_interface_count -> count:u32;
 }
 )";

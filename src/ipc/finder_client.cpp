@@ -1,0 +1,217 @@
+#include "ipc/finder_client.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <sstream>
+
+#include "ipc/finder_xrl.hpp"
+#include "ipc/tcp.hpp"
+#include "ipc/wire.hpp"
+
+namespace xrp::ipc {
+
+using xrl::XrlArgs;
+using xrl::XrlError;
+
+namespace {
+
+void set_transport_err(XrlError* err, const std::string& what) {
+    if (err != nullptr)
+        *err = XrlError(xrl::ErrorCode::kTransportFailed,
+                        "finder: " + what + ": " + strerror(errno));
+}
+
+}  // namespace
+
+FinderClient::FinderClient(std::string address, int timeout_ms)
+    : address_(std::move(address)), timeout_ms_(timeout_ms) {}
+
+bool FinderClient::connect() {
+    fd_.reset();
+    auto sa = parse_inet_address(address_);
+    if (!sa) return false;
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return false;
+    timeval tv;
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&*sa), sizeof *sa) !=
+        0)
+        return false;
+    set_nodelay(fd.get());
+    fd_ = std::move(fd);
+    return true;
+}
+
+bool FinderClient::send_all(const uint8_t* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+        // MSG_NOSIGNAL: a Finder that died mid-write must surface EPIPE,
+        // not kill this process with SIGPIPE.
+        ssize_t n = ::send(fd_.get(), data + off, len - off, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool FinderClient::recv_exact(uint8_t* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::recv(fd_.get(), data + off, len - off, 0);
+        if (n <= 0) return false;  // timeout, reset, or orderly close
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::optional<XrlArgs> FinderClient::rpc_once(const std::string& full_method,
+                                              const XrlArgs& args,
+                                              XrlError* err) {
+    RequestFrame req;
+    req.seq = seq_++;
+    req.method = full_method;
+    req.args = args;
+    std::vector<uint8_t> body;
+    encode_request(req, body);
+    uint32_t len = static_cast<uint32_t>(body.size());
+    uint8_t hdr[4] = {static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
+                      static_cast<uint8_t>(len >> 16),
+                      static_cast<uint8_t>(len >> 24)};
+    if (!send_all(hdr, 4) || !send_all(body.data(), body.size())) {
+        set_transport_err(err, "send failed");
+        fd_.reset();
+        return std::nullopt;
+    }
+    if (!recv_exact(hdr, 4)) {
+        set_transport_err(err, "recv failed");
+        fd_.reset();
+        return std::nullopt;
+    }
+    uint32_t rlen = static_cast<uint32_t>(hdr[0]) |
+                    (static_cast<uint32_t>(hdr[1]) << 8) |
+                    (static_cast<uint32_t>(hdr[2]) << 16) |
+                    (static_cast<uint32_t>(hdr[3]) << 24);
+    if (rlen > kMaxFrameBytes) {
+        if (err != nullptr)
+            *err = XrlError(xrl::ErrorCode::kTransportFailed,
+                            "finder: oversized frame");
+        fd_.reset();
+        return std::nullopt;
+    }
+    std::vector<uint8_t> rbody(rlen);
+    if (!recv_exact(rbody.data(), rlen)) {
+        set_transport_err(err, "recv failed");
+        fd_.reset();
+        return std::nullopt;
+    }
+    RequestFrame req_unused;
+    ResponseFrame resp;
+    auto kind = decode_frame(rbody.data(), rlen, req_unused, resp);
+    if (!kind || *kind != FrameKind::kResponse || resp.seq != req.seq) {
+        if (err != nullptr)
+            *err = XrlError(xrl::ErrorCode::kTransportFailed,
+                            "finder: bad response frame");
+        fd_.reset();
+        return std::nullopt;
+    }
+    if (!resp.error.ok()) {
+        if (err != nullptr) *err = resp.error;
+        return std::nullopt;
+    }
+    return std::move(resp.args);
+}
+
+std::optional<XrlArgs> FinderClient::rpc(const std::string& full_method,
+                                         const XrlArgs& args, XrlError* err) {
+    XrlError first_err;
+    if (fd_.valid()) {
+        if (auto out = rpc_once(full_method, args, &first_err)) return out;
+        // An application error is final; only transport failures earn the
+        // reconnect below (the Finder may have restarted on this address).
+        if (first_err.code() != xrl::ErrorCode::kTransportFailed) {
+            if (err != nullptr) *err = first_err;
+            return std::nullopt;
+        }
+    }
+    if (!connect()) {
+        set_transport_err(err, "connect to " + address_ + " failed");
+        return std::nullopt;
+    }
+    return rpc_once(full_method, args, err);
+}
+
+std::optional<FinderClient::Registration> FinderClient::register_target(
+    const std::string& cls, bool sole, XrlError* err) {
+    XrlArgs args;
+    args.add("cls", cls).add("sole", sole);
+    auto out = rpc("finder/1.0/register_target", args, err);
+    if (!out) return std::nullopt;
+    Registration reg;
+    reg.instance = out->get_text("instance").value_or("");
+    reg.secret = out->get_text("secret").value_or("");
+    if (reg.instance.empty()) return std::nullopt;
+    return reg;
+}
+
+std::vector<std::string> FinderClient::register_methods(
+    const std::string& instance, const std::vector<std::string>& methods,
+    const std::map<std::string, std::string>& families) {
+    std::string joined;
+    for (const std::string& m : methods) {
+        if (!joined.empty()) joined += '\n';
+        joined += m;
+    }
+    XrlArgs args;
+    args.add("instance", instance)
+        .add("methods", joined)
+        .add("families", encode_families(families));
+    auto out = rpc("finder/1.0/register_methods", args);
+    std::vector<std::string> keys;
+    if (!out) return keys;
+    std::istringstream lines(out->get_text("keys").value_or(""));
+    std::string key;
+    while (std::getline(lines, key)) keys.push_back(key);
+    keys.resize(methods.size());
+    return keys;
+}
+
+void FinderClient::unregister_target(const std::string& instance) {
+    XrlArgs args;
+    args.add("instance", instance);
+    rpc("finder/1.0/unregister_target", args);
+}
+
+void FinderClient::report_dead(const std::string& target) {
+    XrlArgs args;
+    args.add("target", target);
+    rpc("finder/1.0/report_dead", args);
+}
+
+std::optional<std::vector<finder::Resolution>> FinderClient::resolve(
+    const std::string& target, const std::string& full_method,
+    const std::string& caller, const std::string& secret, XrlError* err) {
+    XrlArgs args;
+    args.add("target", target)
+        .add("method", full_method)
+        .add("caller", caller)
+        .add("secret", secret);
+    auto out = rpc("finder/1.0/resolve_all", args, err);
+    if (!out) return std::nullopt;
+    return decode_resolutions(out->get_text("resolutions").value_or(""));
+}
+
+bool FinderClient::target_exists(const std::string& cls) {
+    XrlArgs args;
+    args.add("target", cls);
+    auto out = rpc("finder/1.0/target_exists", args);
+    return out && out->get_bool("exists").value_or(false);
+}
+
+}  // namespace xrp::ipc

@@ -1,0 +1,94 @@
+// FinderClient: a component process's line to the master Finder.
+//
+// In the paper's deployment every process except the Router Manager
+// bootstraps the same way: connect to the Finder's well-known endpoint,
+// register the component's class, methods, and transport addresses, and
+// from then on resolve every generic XRL through that connection. This
+// client is that bootstrap path. It is deliberately SYNCHRONOUS — a
+// small blocking RPC over one stcp connection with send/receive
+// timeouts — because every use is either boot-time (register before the
+// event loop runs), a resolution-cache miss (rare, and the caller's
+// reliable-call contract already budgets for resolution latency), or
+// teardown (unregister on exit). Building an async client would drag
+// the whole call contract into the bootstrap it exists to set up.
+//
+// The wire format is the ordinary XRL frame codec (wire.hpp) over a
+// length-framed TCP stream — the same bytes an XrlRouter-to-XrlRouter
+// stcp call uses — so the Finder face needs no special transport.
+//
+// Reconnects: each RPC reconnects once if the connection is down or dies
+// mid-call. A Finder that stays unreachable surfaces kTransportFailed;
+// callers decide whether to retry (component boot spins on
+// register_target; resolution misses just fail the call attempt).
+#ifndef XRP_IPC_FINDER_CLIENT_HPP
+#define XRP_IPC_FINDER_CLIENT_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "finder/finder.hpp"
+#include "ipc/sockets.hpp"
+#include "xrl/args.hpp"
+#include "xrl/error.hpp"
+
+namespace xrp::ipc {
+
+class FinderClient {
+public:
+    // `address` is the master Finder face's stcp listen address
+    // ("127.0.0.1:port"); `timeout_ms` bounds each blocking send/recv.
+    explicit FinderClient(std::string address, int timeout_ms = 2000);
+
+    const std::string& address() const { return address_; }
+    bool connected() const { return fd_.valid(); }
+
+    struct Registration {
+        std::string instance;
+        std::string secret;  // §7 caller-authentication secret
+    };
+    // Registers a target class; nullopt if the Finder refused (sole-class
+    // conflict) or is unreachable (distinguish via *err).
+    std::optional<Registration> register_target(const std::string& cls,
+                                                bool sole,
+                                                xrl::XrlError* err = nullptr);
+    // Registers all methods in one round trip; returns per-method keys in
+    // input order (empty on transport failure).
+    std::vector<std::string> register_methods(
+        const std::string& instance, const std::vector<std::string>& methods,
+        const std::map<std::string, std::string>& families);
+    void unregister_target(const std::string& instance);
+    void report_dead(const std::string& target);
+    // Remote Finder::resolve(): full preference-ordered list, typed
+    // errors (kTargetDead passes through) in *err.
+    std::optional<std::vector<finder::Resolution>> resolve(
+        const std::string& target, const std::string& full_method,
+        const std::string& caller, const std::string& secret,
+        xrl::XrlError* err = nullptr);
+    bool target_exists(const std::string& cls);
+
+    // One blocking request/response round trip (the typed calls above are
+    // wrappers). nullopt + *err on transport failure; a response carrying
+    // an application error yields nullopt with that error in *err.
+    std::optional<xrl::XrlArgs> rpc(const std::string& full_method,
+                                    const xrl::XrlArgs& args,
+                                    xrl::XrlError* err = nullptr);
+
+private:
+    bool connect();
+    bool send_all(const uint8_t* data, size_t len);
+    bool recv_exact(uint8_t* data, size_t len);
+    std::optional<xrl::XrlArgs> rpc_once(const std::string& full_method,
+                                         const xrl::XrlArgs& args,
+                                         xrl::XrlError* err);
+
+    std::string address_;
+    int timeout_ms_;
+    Fd fd_;
+    uint32_t seq_ = 1;
+};
+
+}  // namespace xrp::ipc
+
+#endif

@@ -1,13 +1,71 @@
 #include "ipc/finder_xrl.hpp"
 
+#include <sstream>
+
 namespace xrp::ipc {
 
 using xrl::XrlArgs;
 using xrl::XrlError;
 
-std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus) {
+std::string encode_resolutions(const std::vector<finder::Resolution>& res) {
+    std::string out;
+    for (const finder::Resolution& r : res) {
+        if (!out.empty()) out += '\n';
+        out += r.family + ' ' + r.address + ' ' + r.keyed_method;
+    }
+    return out;
+}
+
+std::vector<finder::Resolution> decode_resolutions(const std::string& text) {
+    std::vector<finder::Resolution> out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        size_t a = line.find(' ');
+        size_t b = a == std::string::npos ? a : line.find(' ', a + 1);
+        if (b == std::string::npos) continue;
+        finder::Resolution r;
+        r.family = line.substr(0, a);
+        r.address = line.substr(a + 1, b - a - 1);
+        r.keyed_method = line.substr(b + 1);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::string encode_families(const std::map<std::string, std::string>& fams) {
+    std::string out;
+    for (const auto& [family, address] : fams) {
+        if (!out.empty()) out += ';';
+        out += family + '=' + address;
+    }
+    return out;
+}
+
+std::map<std::string, std::string> decode_families(const std::string& text) {
+    std::map<std::string, std::string> out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t end = text.find(';', pos);
+        if (end == std::string::npos) end = text.size();
+        size_t eq = text.find('=', pos);
+        if (eq != std::string::npos && eq < end)
+            out[text.substr(pos, eq - pos)] =
+                text.substr(eq + 1, end - eq - 1);
+        pos = end + 1;
+    }
+    return out;
+}
+
+std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus, bool tcp) {
     auto router = std::make_unique<XrlRouter>(plexus, "finder", true);
     router->add_interface(*xrl::InterfaceSpec::parse(kFinderIdl));
+    // Bootstrap endpoint: a remote component cannot hold any method key
+    // before it has talked to the Finder, so this face alone accepts
+    // unkeyed calls. Everything else still requires keys.
+    router->dispatcher().set_require_keys(false);
+    if (tcp) router->enable_tcp();
     finder::Finder& finder = plexus.finder;
 
     router->add_handler(
@@ -22,6 +80,66 @@ std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus) {
             out.add("address", ok ? res->front().address : std::string{});
             out.add("keyed_method",
                     ok ? res->front().keyed_method : std::string{});
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/resolve_all",
+        [&finder](const XrlArgs& in, XrlArgs& out) {
+            // Full preference list + typed error passthrough: a dead
+            // target must come back as kTargetDead, not a generic
+            // failure, so the remote caller's contract fails fast.
+            XrlError err;
+            auto res = finder.resolve(*in.get_text("target"),
+                                      *in.get_text("method"),
+                                      *in.get_text("caller"), &err,
+                                      *in.get_text("secret"));
+            if (!res)
+                return err.ok() ? XrlError(xrl::ErrorCode::kResolveFailed,
+                                           "no such target/method")
+                                : err;
+            out.add("count", static_cast<uint32_t>(res->size()));
+            out.add("resolutions", encode_resolutions(*res));
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/register_target",
+        [&finder](const XrlArgs& in, XrlArgs& out) {
+            auto instance = finder.register_target(*in.get_text("cls"),
+                                                   *in.get_bool("sole"));
+            if (!instance)
+                return XrlError::command_failed(
+                    "class has a live sole instance");
+            out.add("instance", *instance);
+            out.add("secret", finder.instance_secret(*instance));
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/register_methods",
+        [&finder](const XrlArgs& in, XrlArgs& out) {
+            const std::string instance = *in.get_text("instance");
+            auto families = decode_families(*in.get_text("families"));
+            std::istringstream lines(*in.get_text("methods"));
+            std::string method, keys;
+            bool first = true;
+            while (std::getline(lines, method)) {
+                if (method.empty()) continue;
+                if (!first) keys += '\n';
+                first = false;
+                keys += finder.register_method(instance, method, families);
+            }
+            out.add("keys", keys);
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/unregister_target",
+        [&finder](const XrlArgs& in, XrlArgs&) {
+            finder.unregister_target(*in.get_text("instance"));
+            return XrlError::okay();
+        });
+    router->add_handler(
+        "finder/1.0/report_dead",
+        [&finder](const XrlArgs& in, XrlArgs&) {
+            finder.report_dead(*in.get_text("target"));
             return XrlError::okay();
         });
     router->add_handler(

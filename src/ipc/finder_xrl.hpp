@@ -8,13 +8,34 @@
 //
 // bind_finder_xrl() registers a "finder" target whose methods proxy the
 // Finder object, so management tooling (call_xrl scripts, the Router
-// Manager) can query resolution state over ordinary XRLs.
+// Manager) can query resolution state over ordinary XRLs — and, with
+// `tcp`, so components in OTHER PROCESSES can register and resolve over
+// stcp. The remote face carries the full broker protocol:
+//
+//   register_target / register_methods / unregister_target — a child
+//   process's XrlRouter registers its class, methods, and transport
+//   addresses here instead of in a (nonexistent) local Finder; the reply
+//   carries the assigned instance name and the §7 caller secret.
+//
+//   resolve_all — the remote counterpart of Finder::resolve(): returns
+//   the full preference-ordered resolution list and propagates typed
+//   errors (kTargetDead in particular) so a remote caller's reliable-call
+//   contract fails exactly as fast as a local one's.
+//
+//   report_dead — a remote caller that exhausted the call contract
+//   reports the corpse, firing death watches and cache invalidation in
+//   the master process (where the Supervisor lives).
+//
+// The face's own dispatcher does not require method keys: it is the
+// bootstrap endpoint — a caller cannot know any key before it has
+// resolved something, and resolution itself goes through this face.
 //
 // KillFamily delivers "signals" to co-hosted components: each component
 // registers a handler; senders address components by instance name. In
 // the multi-process original this wraps kill(2); in-process it invokes
 // the handler through the event loop, preserving the asynchronous
-// semantics.
+// semantics. (Real processes are signalled directly via
+// rtrmgr::ProcessHost::kill, which wraps kill(2) proper.)
 #ifndef XRP_IPC_FINDER_XRL_HPP
 #define XRP_IPC_FINDER_XRL_HPP
 
@@ -28,14 +49,30 @@ inline constexpr const char* kFinderIdl = R"(
 interface finder/1.0 {
     resolve_xrl ? target:txt & method:txt
         -> ok:bool & family:txt & address:txt & keyed_method:txt;
+    resolve_all ? target:txt & method:txt & caller:txt & secret:txt
+        -> count:u32 & resolutions:txt;
+    register_target ? cls:txt & sole:bool -> instance:txt & secret:txt;
+    register_methods ? instance:txt & methods:txt & families:txt -> keys:txt;
+    unregister_target ? instance:txt;
+    report_dead ? target:txt;
     target_exists ? target:txt -> exists:bool;
     get_target_count -> count:u32;
 }
 )";
 
+// Wire helpers shared by the face (encode) and FinderClient (decode).
+// Resolutions: one per line, "family<SP>address<SP>keyed_method".
+// Families:    semicolon-separated "family=address" pairs.
+std::string encode_resolutions(const std::vector<finder::Resolution>& res);
+std::vector<finder::Resolution> decode_resolutions(const std::string& text);
+std::string encode_families(const std::map<std::string, std::string>& fams);
+std::map<std::string, std::string> decode_families(const std::string& text);
+
 // Creates (and returns) the Finder's XrlRouter, bound to plexus.finder.
-// Keep the returned router alive as long as the face should exist.
-std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus);
+// Keep the returned router alive as long as the face should exist. With
+// `tcp`, the face listens on stcp so other processes can reach it; the
+// listen address is XrlRouter::tcp_address() on the returned router.
+std::unique_ptr<XrlRouter> bind_finder_xrl(Plexus& plexus, bool tcp = false);
 
 class KillFamily {
 public:

@@ -6,6 +6,7 @@
 
 #include "ipc/common_xrl.hpp"
 #include "ipc/fault_xrl.hpp"
+#include "ipc/finder_client.hpp"
 #include "ipc/telemetry_xrl.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
@@ -108,10 +109,22 @@ XrlRouter::XrlRouter(Plexus& plexus, ev::EventLoop& home, std::string cls,
 XrlRouter::~XrlRouter() {
     if (!instance_.empty()) {
         if (intra_registered_) plexus_.intra.remove(instance_);
-        plexus_.finder.unregister_target(instance_);
+        if (finder_client_) {
+            // Best-effort: a clean exit removes the registration so the
+            // master sees an orderly departure (death watch fires, the
+            // name is freed). If the master is already gone, so be it.
+            finder_client_->unregister_target(instance_);
+        } else {
+            plexus_.finder.unregister_target(instance_);
+        }
     }
     if (invalidate_listener_id_ != 0)
         plexus_.finder.remove_invalidate_listener(invalidate_listener_id_);
+}
+
+std::string XrlRouter::tcp_address() const {
+    return tcp_listener_ && tcp_listener_->ok() ? tcp_listener_->address()
+                                                : std::string{};
 }
 
 void XrlRouter::enable_tcp() {
@@ -134,6 +147,7 @@ bool XrlRouter::finalize() {
     bind_common_xrls(dispatcher_, cls_);
     bind_telemetry_xrls(dispatcher_);
     bind_fault_xrls(dispatcher_, plexus_.faults);
+    if (remote()) return finalize_remote();
     auto instance = plexus_.finder.register_target(cls_, sole_);
     if (!instance) return false;
     instance_ = *instance;
@@ -188,6 +202,35 @@ bool XrlRouter::finalize() {
     return true;
 }
 
+bool XrlRouter::finalize_remote() {
+    // Child-process registration: everything goes through the master
+    // Finder over stcp. Only socket families are offered — inproc and
+    // xring addresses are meaningless outside this address space.
+    finder_client_ = std::make_unique<FinderClient>(plexus_.finder_address);
+    auto reg = finder_client_->register_target(cls_, sole_);
+    if (!reg) return false;
+    instance_ = reg->instance;
+    secret_ = reg->secret;
+
+    std::map<std::string, std::string> families;
+    if (tcp_listener_ && tcp_listener_->ok())
+        families["stcp"] = tcp_listener_->address();
+    if (udp_listener_ && udp_listener_->ok())
+        families["sudp"] = udp_listener_->address();
+
+    const std::vector<std::string> methods = dispatcher_.method_names();
+    const std::vector<std::string> keys =
+        finder_client_->register_methods(instance_, methods, families);
+    if (keys.size() != methods.size()) return false;
+    for (size_t i = 0; i < methods.size(); ++i)
+        dispatcher_.set_method_key(methods[i], keys[i]);
+
+    // No invalidation push crosses the process boundary; stale cache
+    // entries are dropped per-call by handle_attempt_failure instead.
+    finalized_ = true;
+    return true;
+}
+
 std::optional<std::vector<finder::Resolution>> XrlRouter::resolve(
     const xrl::Xrl& xrl, xrl::XrlError* err) {
     const std::string cache_key = xrl.target() + "|" + xrl.full_method();
@@ -208,8 +251,23 @@ std::optional<std::vector<finder::Resolution>> XrlRouter::resolve(
     // always resolve_mu_ strictly inside or outside Finder calls, never
     // held across one — the Finder takes its own lock and may call our
     // invalidation listener, which takes resolve_mu_).
-    auto resolutions = plexus_.finder.resolve(
-        xrl.target(), xrl.full_method(), instance_, err, secret_);
+    std::optional<std::vector<finder::Resolution>> resolutions;
+    if (finder_client_) {
+        // Remote mode: a blocking round trip to the master. Typed errors
+        // (kTargetDead especially) pass through so the call contract
+        // fails exactly as fast as it would against a local Finder. Drop
+        // in-address-space families — the master's own components
+        // register inproc endpoints we cannot reach from this process.
+        resolutions = finder_client_->resolve(xrl.target(), xrl.full_method(),
+                                              instance_, secret_, err);
+        if (resolutions)
+            std::erase_if(*resolutions, [](const finder::Resolution& r) {
+                return r.family != "stcp" && r.family != "sudp";
+            });
+    } else {
+        resolutions = plexus_.finder.resolve(
+            xrl.target(), xrl.full_method(), instance_, err, secret_);
+    }
     if (!resolutions) return std::nullopt;
     {
         std::lock_guard<std::mutex> lk(resolve_mu_);
@@ -562,7 +620,10 @@ void XrlRouter::handle_attempt_failure(const std::shared_ptr<CallState>& st,
             // fail fast (kTargetDead) instead of rediscovering it one
             // timeout at a time.
             IpcMetrics::get().targets_reported_dead->inc();
-            plexus_.finder.report_dead(st->xrl.target());
+            if (finder_client_)
+                finder_client_->report_dead(st->xrl.target());
+            else
+                plexus_.finder.report_dead(st->xrl.target());
         }
         finish_call(st, err, {});
         return;

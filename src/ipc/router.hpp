@@ -31,6 +31,8 @@
 
 namespace xrp::ipc {
 
+class FinderClient;  // blocking remote-Finder RPC (finder_client.hpp)
+
 struct Plexus {
     explicit Plexus(ev::Clock& clock)
         : owned_loop_(std::make_unique<ev::EventLoop>(clock)),
@@ -60,6 +62,12 @@ struct Plexus {
     // Router identity ("r12") stamped on journal events emitted by this
     // Plexus's components; empty when the simulation has a single router.
     std::string node;
+    // Remote-Finder mode: when set ("127.0.0.1:port" of the master
+    // process's Finder face), this Plexus belongs to a CHILD PROCESS of a
+    // multi-process router. Its local `finder` member stays empty; every
+    // XrlRouter instead registers and resolves through a FinderClient
+    // aimed here, and components are reachable over stcp/sudp only.
+    std::string finder_address;
 
 private:
     void init() {
@@ -114,6 +122,13 @@ public:
 
     const std::string& instance() const { return instance_; }
     Plexus& plexus() { return plexus_; }
+    // True when this router registers/resolves through a remote master
+    // Finder (plexus.finder_address set) instead of the local one.
+    bool remote() const { return !plexus_.finder_address.empty(); }
+    // The stcp listen address ("127.0.0.1:port"), empty unless
+    // enable_tcp() succeeded. The Router Manager passes its Finder face's
+    // address to child processes through this.
+    std::string tcp_address() const;
     // The component's home loop: plexus.loop unless constructed with an
     // explicit one. Everything the router schedules runs here.
     ev::EventLoop& loop() { return home_loop_; }
@@ -181,6 +196,9 @@ private:
     std::optional<std::vector<finder::Resolution>> resolve(
         const xrl::Xrl& xrl, xrl::XrlError* err);
     void invalidate_cached(const xrl::Xrl& xrl);
+    // finalize() when plexus.finder_address is set: register target and
+    // methods with the master process's Finder over stcp.
+    bool finalize_remote();
 
     // Call-contract state machine.
     void begin_cycle(const std::shared_ptr<CallState>& st);
@@ -232,6 +250,10 @@ private:
     std::unique_ptr<TcpListener> tcp_listener_;
     std::unique_ptr<UdpListener> udp_listener_;
     std::unique_ptr<XringPort> xring_port_;
+    // Remote mode only: the blocking line to the master Finder. Used from
+    // the home loop thread (registration at finalize, resolution-cache
+    // misses, death reports, unregistration at destruction).
+    std::unique_ptr<FinderClient> finder_client_;
 
     std::map<std::string, std::unique_ptr<TcpChannel>> tcp_channels_;
     std::map<std::string, std::unique_ptr<UdpChannel>> udp_channels_;

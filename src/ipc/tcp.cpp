@@ -167,8 +167,11 @@ void TcpListener::queue_response(const std::shared_ptr<Connection>& c,
 
 void TcpListener::flush(const std::shared_ptr<Connection>& c) {
     while (c->woff < c->wbuf.size()) {
-        ssize_t n = ::write(c->fd.get(), c->wbuf.data() + c->woff,
-                            c->wbuf.size() - c->woff);
+        // MSG_NOSIGNAL: a peer PROCESS that died (SIGKILL) leaves a
+        // half-closed socket; writing to it must surface EPIPE here, not
+        // raise SIGPIPE and kill us alongside it.
+        ssize_t n = ::send(c->fd.get(), c->wbuf.data() + c->woff,
+                           c->wbuf.size() - c->woff, MSG_NOSIGNAL);
         if (n > 0) {
             TcpMetrics::get().tx_bytes->inc(static_cast<uint64_t>(n));
             c->woff += static_cast<size_t>(n);
@@ -306,16 +309,23 @@ void TcpChannel::pump_backlog() {
 
 void TcpChannel::flush() {
     while (woff_ < wbuf_.size()) {
-        ssize_t n =
-            ::write(fd_.get(), wbuf_.data() + woff_, wbuf_.size() - woff_);
+        // MSG_NOSIGNAL (see listener note): EPIPE from a SIGKILLed peer
+        // must fail the pending calls, not signal this process.
+        ssize_t n = ::send(fd_.get(), wbuf_.data() + woff_,
+                           wbuf_.size() - woff_, MSG_NOSIGNAL);
         if (n > 0) {
             TcpMetrics::get().tx_bytes->inc(static_cast<uint64_t>(n));
             woff_ += static_cast<size_t>(n);
         } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             break;
         } else {
-            fail_all(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
-                                   "write failed"));
+            // ECONNRESET/EPIPE here IS the prompt dead-peer signal: every
+            // pending call fails kTransportFailed immediately — the
+            // reliable-call contract reports the target dead without
+            // waiting out a per-attempt timer.
+            fail_all(xrl::XrlError(
+                xrl::ErrorCode::kTransportFailed,
+                std::string("write failed: ") + std::strerror(errno)));
             return;
         }
     }
@@ -345,13 +355,17 @@ void TcpChannel::on_readable() {
             TcpMetrics::get().rx_bytes->inc(static_cast<uint64_t>(n));
             rbuf_.insert(rbuf_.end(), buf, buf + n);
         } else if (n == 0) {
+            // Orderly close from the peer: its process exited (or its
+            // listener was destroyed). Fail everything now — the kernel
+            // told us the peer is gone, no probe timeout needed.
             fail_all(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
-                                   "connection closed"));
+                                   "connection closed by peer"));
             return;
         } else {
             if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-            fail_all(xrl::XrlError(xrl::ErrorCode::kTransportFailed,
-                                   "read failed"));
+            fail_all(xrl::XrlError(
+                xrl::ErrorCode::kTransportFailed,
+                std::string("read failed: ") + std::strerror(errno)));
             return;
         }
     }

@@ -25,10 +25,17 @@ Supervisor::Supervisor(ipc::Plexus& plexus, ipc::XrlRouter& xr)
     // thread-safe seam that covers both.
     watch_id_ = plexus_.finder.watch(
         "*", [this](finder::LifetimeEvent ev, const std::string& cls,
-                    const std::string&) {
+                    const std::string& instance) {
             if (ev != finder::LifetimeEvent::kDeath) return;
-            loop().post([this, cls] {
-                if (components_.count(cls) == 0) return;
+            loop().post([this, cls, instance] {
+                auto it = components_.find(cls);
+                if (it == components_.end()) return;
+                // With coexisting instances (mid-upgrade), only the
+                // active one's death may drive the state machine; a
+                // retiring process's orderly unregister is expected.
+                if (it->second.spec.owns_instance &&
+                    !it->second.spec.owns_instance(instance))
+                    return;
                 on_death(cls);
             });
         });
@@ -59,6 +66,16 @@ uint64_t Supervisor::restart_count(const std::string& cls) const {
     return it == components_.end() ? 0 : it->second.restarts;
 }
 
+uint64_t Supervisor::upgrade_count(const std::string& cls) const {
+    auto it = components_.find(cls);
+    return it == components_.end() ? 0 : it->second.upgrades;
+}
+
+bool Supervisor::upgrading(const std::string& cls) const {
+    auto it = components_.find(cls);
+    return it != components_.end() && it->second.upgrade_in_progress;
+}
+
 bool Supervisor::any_failed() const {
     for (const auto& [cls, c] : components_)
         if (c.state == State::kFailed) return true;
@@ -83,7 +100,7 @@ void Supervisor::clear_failed(const std::string& cls) {
     schedule_restart(cls);
 }
 
-void Supervisor::on_death(const std::string& cls) {
+void Supervisor::on_death(const std::string& cls, bool crashed) {
     auto it = components_.find(cls);
     if (it == components_.end()) return;
     Component& c = it->second;
@@ -92,18 +109,24 @@ void Supervisor::on_death(const std::string& cls) {
     // restart can re-report a corpse we are already burying.
     if (c.state != State::kAlive) return;
     c.state = State::kDead;
+    c.upgrade_in_progress = false;
     c.probe_timer.unschedule();
     c.deaths_total->inc();
     if (telemetry::journal_enabled())
         telemetry::Journal::current().record(
             loop().now(), telemetry::JournalKind::kDeath, plexus_.node,
-            "supervisor", cls);
+            "supervisor", cls, crashed ? "" : "clean");
 
     const ev::TimePoint now = loop().now();
-    c.deaths.push_back(now);
-    while (!c.deaths.empty() &&
-           now - c.deaths.front() > c.spec.breaker_window)
-        c.deaths.pop_front();
+    // Breaker accounting counts CRASHES only: a deliberate clean exit
+    // (upgrade retirement, operator stop-and-restart) must never push a
+    // healthy component toward kFailed.
+    if (crashed) {
+        c.deaths.push_back(now);
+        while (!c.deaths.empty() &&
+               now - c.deaths.front() > c.spec.breaker_window)
+            c.deaths.pop_front();
+    }
 
     // Graceful restart, step 1: the RIB preserves this component's routes
     // as stale and starts the grace clock. This must go out even when the
@@ -111,7 +134,8 @@ void Supervisor::on_death(const std::string& cls) {
     // component's routes eventually age out.
     notify_rib("origin_dead", c);
 
-    if (static_cast<int>(c.deaths.size()) >= c.spec.breaker_threshold) {
+    if (crashed &&
+        static_cast<int>(c.deaths.size()) >= c.spec.breaker_threshold) {
         c.state = State::kFailed;
         failed_gauge_->add(1);
         if (telemetry::journal_enabled())
@@ -122,6 +146,81 @@ void Supervisor::on_death(const std::string& cls) {
         return;
     }
     schedule_restart(cls);
+}
+
+void Supervisor::notify_exit(const std::string& cls, bool clean) {
+    auto it = components_.find(cls);
+    if (it == components_.end()) return;
+    Component& c = it->second;
+    if (c.state == State::kAlive) {
+        on_death(cls, /*crashed=*/!clean);
+        return;
+    }
+    if (clean && (c.state == State::kDead || c.state == State::kRestarting ||
+                  c.state == State::kFailed)) {
+        // The death already drove the state machine through a channel
+        // that cannot see wait status — the Finder noticed the dropped
+        // connection, or a probe failed hard — and on_death classified
+        // it as a crash by default. The exit status is authoritative:
+        // this was a deliberate clean exit, so retract the breaker entry
+        // it charged. If that entry was the one that tripped the
+        // breaker, un-trip and resume the restart the component was
+        // owed all along.
+        if (!c.deaths.empty()) c.deaths.pop_back();
+        if (c.state == State::kFailed) {
+            c.state = State::kDead;
+            failed_gauge_->add(-1);
+            if (telemetry::journal_enabled())
+                telemetry::Journal::current().record(
+                    loop().now(), telemetry::JournalKind::kDeath,
+                    plexus_.node, "supervisor", cls, "clean-reclassified");
+            schedule_restart(cls);
+        }
+        return;
+    }
+    if (c.state == State::kResync && !clean) {
+        // The restarted (or replacement) process itself crashed before
+        // resync completed. Abort the resync — sweeping now would reap
+        // every stale route with nobody feeding replacements — and run
+        // the death path again.
+        c.resync_poll.unschedule();
+        c.resync_deadline.unschedule();
+        c.settle_timer.unschedule();
+        c.upgrade_in_progress = false;
+        c.state = State::kAlive;  // re-arm the guard; this death counts
+        on_death(cls, /*crashed=*/true);
+    }
+    // Any other state: a death is already being handled; the extra exit
+    // report is the same corpse seen through a second channel.
+}
+
+bool Supervisor::upgrade(const std::string& cls) {
+    auto it = components_.find(cls);
+    if (it == components_.end()) return false;
+    Component& c = it->second;
+    if (c.state != State::kAlive || !c.spec.spawn_replacement ||
+        !c.spec.retire_old)
+        return false;
+    c.upgrade_in_progress = true;
+    c.probe_timer.unschedule();
+    if (telemetry::journal_enabled())
+        telemetry::Journal::current().record(
+            loop().now(), telemetry::JournalKind::kRestart, plexus_.node,
+            "supervisor", cls, "upgrade");
+    // Hitless choreography, order is the whole point: stale-stamp FIRST
+    // (origin_dead bumps the origin's refresh generation — everything the
+    // component ever contributed is now stale), revive IMMEDIATELY (the
+    // old instance is alive and forwarding; the grace clock must not
+    // run), and only THEN boot the replacement — so every route the new
+    // binary pushes lands as a refresh against the new generation, and
+    // the eventual sweep reaps exactly the routes it no longer
+    // advertises. Doing this after the spawn would race the new
+    // instance's table feed and stale-stamp fresh routes.
+    notify_rib("origin_dead", c);
+    notify_rib("origin_revived", c);
+    c.spec.spawn_replacement();
+    begin_resync(cls);
+    return true;
 }
 
 ev::Duration Supervisor::backoff_for(const Component& c) const {
@@ -199,6 +298,16 @@ void Supervisor::finish_resync(const std::string& cls) {
     c.state = State::kAlive;
     c.consecutive_failures = 0;
     notify_rib("origin_resynced", c);
+    if (c.upgrade_in_progress) {
+        // The replacement has resynced and the sweep is on its way; the
+        // pre-upgrade process can now exit. Its clean departure is
+        // filtered (owns_instance / notify_exit's clean path) so the
+        // component stays kAlive throughout — zero routes lost, zero
+        // probe gap.
+        c.upgrade_in_progress = false;
+        ++c.upgrades;
+        c.spec.retire_old();
+    }
     start_probing(cls);
 }
 

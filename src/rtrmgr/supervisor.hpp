@@ -66,6 +66,21 @@ public:
         // True once the restarted component has relearned its state well
         // enough that unrefreshed RIB routes are genuinely gone.
         std::function<bool()> resynced;
+        // Process backend (optional) — hitless binary upgrade hooks.
+        // spawn_replacement() starts a NEW instance of the component
+        // while the old one is still alive and serving; retire_old()
+        // gracefully stops the pre-upgrade instance once the replacement
+        // has resynced. Both set => upgrade(cls) is available.
+        std::function<void()> spawn_replacement;
+        std::function<void()> retire_old;
+        // Process backend (optional): death filter. The Finder's death
+        // watch reports (cls, instance); with multiple coexisting
+        // instances of a class (mid-upgrade, or a corpse whose name was
+        // never unregistered) only the ACTIVE instance's death may drive
+        // the state machine — a retired process's orderly departure must
+        // not look like a crash. Unset = every instance counts (the
+        // in-process backends are sole-instance).
+        std::function<bool(const std::string& instance)> owns_instance;
 
         ev::Duration probe_interval = std::chrono::seconds(5);
         ev::Duration backoff_initial = std::chrono::milliseconds(500);
@@ -98,11 +113,40 @@ public:
 
     State state(const std::string& cls) const;
     uint64_t restart_count(const std::string& cls) const;
+    uint64_t upgrade_count(const std::string& cls) const;
+    bool upgrading(const std::string& cls) const;
     bool any_failed() const;
     std::vector<std::string> failed() const;
     // Operator acknowledgment of a tripped breaker: clears the death
     // history and immediately schedules another restart attempt.
     void clear_failed(const std::string& cls);
+
+    // Hitless binary upgrade (process backend). Choreography:
+    //   1. origin_dead + origin_revived to the RIB — every route the
+    //      component contributed is stale-stamped (new refresh
+    //      generation) but the grace clock never runs: the old instance
+    //      is still alive and forwarding state stays put.
+    //   2. spawn_replacement() — the new binary boots, registers with the
+    //      Finder (sole=false: both instances coexist), and re-feeds its
+    //      table; every push lands as a refresh against the new
+    //      generation.
+    //   3. resync wait (spec.resynced + settle), then origin_resynced —
+    //      the StaleSweeperStage reaps exactly the unrefreshed tail:
+    //      routes the new binary no longer advertises.
+    //   4. retire_old() — the pre-upgrade process exits cleanly; its
+    //      departure is filtered by owns_instance and never counts as a
+    //      death.
+    // Returns false unless the component is kAlive and both upgrade
+    // hooks are set.
+    bool upgrade(const std::string& cls);
+
+    // Process-backend death entry point: the ProcessHost reaped the
+    // component's ACTIVE process. A clean exit (code 0 — deliberate
+    // retirement, operator stop) still restarts the component but never
+    // counts toward the crash-loop breaker; a crash (signal / non-zero)
+    // is a death like any other. A crash while kResync aborts the resync
+    // and re-enters the death path (the replacement itself died).
+    void notify_exit(const std::string& cls, bool clean);
 
 private:
     struct Component {
@@ -111,6 +155,8 @@ private:
         std::deque<ev::TimePoint> deaths;  // within breaker accounting
         uint32_t consecutive_failures = 0;  // resets on reaching kAlive
         uint64_t restarts = 0;
+        uint64_t upgrades = 0;
+        bool upgrade_in_progress = false;
         ev::Timer probe_timer;
         ev::Timer restart_timer;
         ev::Timer resync_poll;
@@ -125,7 +171,9 @@ private:
     // loop today; the threaded router gives the manager its own).
     ev::EventLoop& loop() { return xr_.loop(); }
 
-    void on_death(const std::string& cls);
+    // `crashed` distinguishes a real crash (counts toward the breaker)
+    // from a deliberate clean exit (restarts, but never trips it).
+    void on_death(const std::string& cls, bool crashed = true);
     void schedule_restart(const std::string& cls);
     void do_restart(const std::string& cls);
     void begin_resync(const std::string& cls);

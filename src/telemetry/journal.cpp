@@ -17,6 +17,8 @@ const char* journal_kind_name(JournalKind k) {
         case JournalKind::kFaultInjected: return "fault_injected";
         case JournalKind::kCallRetry: return "call_retry";
         case JournalKind::kCallFailover: return "call_failover";
+        case JournalKind::kProcessOutput: return "process_output";
+        case JournalKind::kProcessExit: return "process_exit";
     }
     return "unknown";
 }

@@ -47,6 +47,8 @@ enum class JournalKind : uint8_t {
     kFaultInjected,  // injector perturbed a send     subject=target detail=action
     kCallRetry,      // reliable call re-sent         subject=target detail=method value=attempt
     kCallFailover,   // reliable call switched ep     subject=target detail=method
+    kProcessOutput,  // child process wrote a line    subject=component detail=line
+    kProcessExit,    // child process was reaped      subject=component detail=status value=pid
 };
 
 // Stable machine-readable name ("route_install", "fib_add", ...) used by
